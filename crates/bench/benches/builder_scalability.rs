@@ -1,0 +1,55 @@
+//! Criterion bench for the paper's scalability experiment: the
+//! `RelevUserViewBuilder` algorithm on increasingly large randomized
+//! workflow specifications (the paper reports < 80 ms per execution on
+//! thousand-node specs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use zoom_gen::generate_random_spec;
+use zoom_views::relev_user_view_builder;
+
+fn bench_builder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relev_user_view_builder");
+    for &modules in &[10usize, 50, 100, 250, 500, 1000] {
+        let mut rng = StdRng::seed_from_u64(42);
+        let spec = generate_random_spec("bench", modules, &mut rng);
+        let relevant: Vec<_> = spec
+            .module_ids()
+            .filter(|_| rng.random_range(0..100u32) < 20)
+            .collect();
+        group.throughput(Throughput::Elements(spec.module_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(modules),
+            &(&spec, &relevant),
+            |b, (spec, relevant)| {
+                b.iter(|| black_box(relev_user_view_builder(spec, relevant).expect("builds")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_nr_context(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nr_context");
+    for &modules in &[100usize, 1000] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let spec = generate_random_spec("bench", modules, &mut rng);
+        let relevant: Vec<_> = spec
+            .module_ids()
+            .filter(|_| rng.random_range(0..100u32) < 20)
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(modules),
+            &(&spec, &relevant),
+            |b, (spec, relevant)| {
+                b.iter(|| black_box(zoom_views::NrContext::of_spec(spec, relevant)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builder, bench_nr_context);
+criterion_main!(benches);

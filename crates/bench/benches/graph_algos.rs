@@ -1,0 +1,67 @@
+//! Criterion bench for the graph substrate: the primitives every ZOOM
+//! query leans on (reachability, SCC, transitive closure, constrained
+//! nr-path sweeps).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+use zoom_graph::algo::reach::TransitiveClosure;
+use zoom_graph::algo::scc::strongly_connected_components;
+use zoom_graph::algo::topo::topological_sort;
+use zoom_graph::{constrained_reachable_set, Digraph, Direction, NodeId};
+
+/// A layered random DAG with occasional back edges (workflow-shaped).
+fn graph(n: usize, seed: u64) -> Digraph<(), ()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g: Digraph<(), ()> = Digraph::with_capacity(n, n * 2);
+    for _ in 0..n {
+        g.add_node(());
+    }
+    for i in 1..n {
+        // 1-3 edges from earlier nodes.
+        for _ in 0..rng.random_range(1..=3usize) {
+            let j = rng.random_range(0..i);
+            g.add_edge(NodeId::from_index(j), NodeId::from_index(i), ());
+        }
+        // 5% back edges to form loops.
+        if rng.random_range(0..100u32) < 5 {
+            let j = rng.random_range(0..i);
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j), ());
+        }
+    }
+    g
+}
+
+fn bench_algos(c: &mut Criterion) {
+    for &n in &[100usize, 1000, 5000] {
+        let g = graph(n, n as u64);
+        let mut group = c.benchmark_group(format!("graph_{n}"));
+        group.bench_function("topological_sort", |b| {
+            b.iter(|| black_box(topological_sort(&g)))
+        });
+        group.bench_function("scc", |b| {
+            b.iter(|| black_box(strongly_connected_components(&g)))
+        });
+        if n <= 1000 {
+            group.bench_function("transitive_closure", |b| {
+                b.iter(|| black_box(TransitiveClosure::compute(&g)))
+            });
+        }
+        group.bench_function("constrained_bfs", |b| {
+            let blocked: Vec<bool> = (0..n).map(|i| i % 7 == 0).collect();
+            b.iter(|| {
+                black_box(constrained_reachable_set(
+                    &g,
+                    NodeId::from_index(0),
+                    Direction::Forward,
+                    |m| !blocked[m.index()],
+                ))
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_algos);
+criterion_main!(benches);

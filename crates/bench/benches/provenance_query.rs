@@ -1,0 +1,103 @@
+//! Criterion bench for the paper's query-response-time experiment: deep
+//! provenance of the final output, per run kind (Table II) and per view
+//! family — "the most expensive provenance query possible".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use zoom_core::Zoom;
+use zoom_gen::{generate_run, generate_spec, RunGenConfig, RunKind, SpecGenConfig, WorkflowClass};
+use zoom_model::{DataId, ModuleKind};
+
+struct Fixture {
+    zoom: Zoom,
+    run: zoom_core::RunId,
+    admin: zoom_core::ViewId,
+    bio: zoom_core::ViewId,
+    black_box: zoom_core::ViewId,
+    target: DataId,
+}
+
+fn fixture(kind: RunKind) -> Fixture {
+    let mut rng = StdRng::seed_from_u64(kind as u64 + 1);
+    let spec = generate_spec(
+        "bench",
+        &SpecGenConfig::new(WorkflowClass::Loop, 20),
+        &mut rng,
+    );
+    let mut zoom = Zoom::new();
+    let sid = zoom.register_workflow(spec.clone()).expect("fresh");
+    let admin = zoom.admin_view(sid).expect("admin");
+    let black_box = zoom.black_box_view(sid).expect("blackbox");
+    let bio_labels: Vec<String> = spec
+        .module_ids()
+        .filter(|&m| spec.kind(m) == ModuleKind::Analysis)
+        .map(|m| spec.label(m).to_string())
+        .collect();
+    let refs: Vec<&str> = bio_labels.iter().map(String::as_str).collect();
+    let bio = zoom.build_view(sid, &refs).expect("good view");
+    let run = generate_run(&spec, &RunGenConfig::for_kind(kind), &mut rng).expect("valid");
+    let target = run.final_outputs()[0];
+    let run = zoom.load_run(sid, run).expect("loads");
+    Fixture {
+        zoom,
+        run,
+        admin,
+        bio,
+        black_box,
+        target,
+    }
+}
+
+fn bench_deep_provenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deep_provenance_warm");
+    for kind in RunKind::ALL {
+        let f = fixture(kind);
+        // Warm the materialization cache once.
+        for view in [f.admin, f.bio, f.black_box] {
+            f.zoom.deep_provenance(f.run, view, f.target).expect("visible");
+        }
+        for (name, view) in [("UAdmin", f.admin), ("UBio", f.bio), ("UBlackBox", f.black_box)] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{kind:?}")),
+                &view,
+                |b, &view| {
+                    b.iter(|| {
+                        black_box(
+                            f.zoom
+                                .deep_provenance(f.run, view, f.target)
+                                .expect("visible"),
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_cold_materialization(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_run_materialization");
+    for kind in RunKind::ALL {
+        let f = fixture(kind);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &f,
+            |b, f| {
+                b.iter(|| {
+                    black_box(
+                        f.zoom
+                            .warehouse()
+                            .view_run_uncached(f.run, f.bio)
+                            .expect("valid"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_deep_provenance, bench_cold_materialization);
+criterion_main!(benches);

@@ -1,0 +1,172 @@
+//! Figure 10 — conciseness of the query result: the size (tuples) of the
+//! deep provenance of each run's final output, per workflow class × run
+//! kind × view family (UAdmin / UBio / UBlackBox).
+//!
+//! Shape targets from the paper: in small runs roughly 24 / 13 / 5 tuples;
+//! in medium and large runs UBio returns ≈20% of UAdmin and ≈22× UBlackBox;
+//! Class 4 (loops) benefits most (up to ~90% hidden).
+
+use crate::workloads::Corpus;
+use std::fmt::Write as _;
+use zoom_gen::{RunKind, Summary, WorkflowClass};
+
+/// One cell of the figure: a (class, kind) pair with mean tuples per view.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Workflow class.
+    pub class: WorkflowClass,
+    /// Run kind.
+    pub kind: RunKind,
+    /// Mean tuples under UAdmin.
+    pub admin: f64,
+    /// Mean tuples under UBio.
+    pub bio: f64,
+    /// Mean tuples under UBlackBox.
+    pub black_box: f64,
+}
+
+/// Computes all 12 cells.
+pub fn run(corpus: &Corpus) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for class in WorkflowClass::ALL {
+        for kind in RunKind::ALL {
+            let mut admin = Vec::new();
+            let mut bio = Vec::new();
+            let mut bb = Vec::new();
+            for w in corpus.workflows.iter().filter(|w| w.class == class) {
+                for (k, runs) in &w.runs {
+                    if *k != kind {
+                        continue;
+                    }
+                    for &rid in runs {
+                        let q = |view| {
+                            corpus
+                                .zoom
+                                .deep_provenance_of_final_output(rid, view)
+                                .expect("final output visible at every level")
+                                .tuples() as f64
+                        };
+                        admin.push(q(w.admin));
+                        bio.push(q(w.bio));
+                        bb.push(q(w.black_box));
+                    }
+                }
+            }
+            cells.push(Cell {
+                class,
+                kind,
+                admin: Summary::of(&admin).mean,
+                bio: Summary::of(&bio).mean,
+                black_box: Summary::of(&bb).mean,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders Figure 10 as a table (the paper plots it as log-scale bars).
+pub fn report(corpus: &Corpus) -> String {
+    let cells = run(corpus);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "FIGURE 10 — size of deep-provenance query result (tuples, mean)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<20} {:<14} {:>10} {:>10} {:>10} {:>11} {:>12}",
+        "class", "run kind", "UAdmin", "UBio", "UBlackBox", "bio/admin", "bio/blackbox"
+    );
+    for c in &cells {
+        let _ = writeln!(
+            out,
+            "{:<20} {:<14} {:>10.1} {:>10.1} {:>10.1} {:>10.0}% {:>11.1}x",
+            c.class.label(),
+            c.kind.label(),
+            c.admin,
+            c.bio,
+            c.black_box,
+            100.0 * c.bio / c.admin,
+            c.bio / c.black_box
+        );
+    }
+
+    // The paper's headline aggregates.
+    let agg = |kind: RunKind, f: &dyn Fn(&Cell) -> f64| {
+        Summary::of(
+            &cells
+                .iter()
+                .filter(|c| c.kind == kind)
+                .map(f)
+                .collect::<Vec<_>>(),
+        )
+        .mean
+    };
+    let _ = writeln!(
+        out,
+        "\nsmall runs   : avg tuples {:.0} / {:.0} / {:.0} (paper: 24 / 13 / 5)",
+        agg(RunKind::Small, &|c| c.admin),
+        agg(RunKind::Small, &|c| c.bio),
+        agg(RunKind::Small, &|c| c.black_box)
+    );
+    for kind in [RunKind::Medium, RunKind::Large] {
+        let _ = writeln!(
+            out,
+            "{:<13}: UBio = {:.0}% of UAdmin, {:.0}x UBlackBox (paper: ~20%, ~22x)",
+            kind.label(),
+            100.0 * agg(kind, &|c| c.bio) / agg(kind, &|c| c.admin),
+            agg(kind, &|c| c.bio) / agg(kind, &|c| c.black_box)
+        );
+    }
+    // Class 4 hiding.
+    let loops_hidden = Summary::of(
+        &cells
+            .iter()
+            .filter(|c| c.class == WorkflowClass::Loop && c.kind != RunKind::Small)
+            .map(|c| 100.0 * (1.0 - c.bio / c.admin))
+            .collect::<Vec<_>>(),
+    )
+    .mean;
+    let _ = writeln!(
+        out,
+        "Class4 (loops): UBio hides {loops_hidden:.0}% of UAdmin tuples on medium/large runs \
+         (paper: up to 90%)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{build_corpus, Scale};
+
+    #[test]
+    fn ordering_holds_everywhere() {
+        let corpus = build_corpus(Scale::Quick, 10);
+        let cells = run(&corpus);
+        assert_eq!(cells.len(), 12);
+        for c in &cells {
+            assert!(
+                c.admin >= c.bio && c.bio >= c.black_box,
+                "view ordering violated: {c:?}"
+            );
+            assert!(c.black_box >= 1.0);
+        }
+    }
+
+    #[test]
+    fn larger_runs_return_more_tuples() {
+        let corpus = build_corpus(Scale::Quick, 11);
+        let cells = run(&corpus);
+        for class in WorkflowClass::ALL {
+            let get = |kind| {
+                cells
+                    .iter()
+                    .find(|c| c.class == class && c.kind == kind)
+                    .unwrap()
+                    .admin
+            };
+            assert!(get(RunKind::Large) > get(RunKind::Small), "{class}");
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Beyond the paper: how often is the polynomial algorithm's *minimal* view
+//! actually *minimum*?
+//!
+//! The paper leaves open whether a polynomial-time algorithm can always
+//! produce a good view of smallest size, exhibiting one instance (Figure 7)
+//! where `RelevUserViewBuilder` is minimal but not minimum. With the
+//! exhaustive search of `zoom_views::minimum` we can measure how often —
+//! and by how much — the algorithm misses the minimum on random small
+//! specifications, quantifying how much the open problem matters in
+//! practice.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+use zoom_gen::generate_random_spec;
+use zoom_views::{minimum_view, relev_user_view_builder};
+
+/// Aggregated gap statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GapStats {
+    /// Instances examined.
+    pub instances: usize,
+    /// Instances where the builder's view was already minimum.
+    pub already_minimum: usize,
+    /// Instances with a gap (builder size > minimum size).
+    pub gaps: usize,
+    /// Total gap (sum of size differences).
+    pub total_gap: usize,
+    /// Largest single gap observed.
+    pub max_gap: usize,
+}
+
+/// Examines up to `instances` (specification, relevant-pair) combinations:
+/// random specifications of ≤ `max_modules` modules, sweeping **every
+/// 2-subset of modules** as the relevant set. Pair sweeps probe the gap
+/// far more effectively than random relevant draws, which almost never hit
+/// a Figure-7-shaped instance.
+pub fn run(instances: usize, max_modules: usize, seed: u64) -> GapStats {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = GapStats::default();
+    'outer: loop {
+        let target = rng.random_range(3..=max_modules.saturating_sub(2).max(3));
+        let spec = generate_random_spec("gap", target, &mut rng);
+        if spec.module_count() > max_modules {
+            continue;
+        }
+        let modules: Vec<_> = spec.module_ids().collect();
+        for i in 0..modules.len() {
+            for j in (i + 1)..modules.len() {
+                if stats.instances >= instances {
+                    break 'outer;
+                }
+                let relevant = vec![modules[i], modules[j]];
+                let built = relev_user_view_builder(&spec, &relevant).expect("builds");
+                let min = minimum_view(&spec, &relevant, max_modules).expect("within cap");
+                stats.instances += 1;
+                let gap = built.view.size() - min.size();
+                if gap == 0 {
+                    stats.already_minimum += 1;
+                } else {
+                    stats.gaps += 1;
+                    stats.total_gap += gap;
+                    stats.max_gap = stats.max_gap.max(gap);
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Renders the open-problem report.
+pub fn report(instances: usize, max_modules: usize, seed: u64) -> String {
+    let s = run(instances, max_modules, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "OPEN PROBLEM (extension) — minimal vs. minimum over {} relevant-pair \
+         instances on random specs (≤{} modules)",
+        s.instances, max_modules
+    );
+    let _ = writeln!(
+        out,
+        "builder already minimum : {} / {} ({:.1}%)",
+        s.already_minimum,
+        s.instances,
+        100.0 * s.already_minimum as f64 / s.instances as f64
+    );
+    let _ = writeln!(
+        out,
+        "gap instances           : {} (avg gap {:.2}, max gap {})",
+        s.gaps,
+        if s.gaps == 0 {
+            0.0
+        } else {
+            s.total_gap as f64 / s.gaps as f64
+        },
+        s.max_gap
+    );
+    let _ = writeln!(
+        out,
+        "(the paper's Figure 7 exhibits one gap instance; whether a polynomial \
+         algorithm can always reach the minimum remains open)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_search_runs_and_finds_mostly_minimum() {
+        let s = run(25, 8, 7);
+        assert_eq!(s.instances, 25);
+        assert_eq!(s.already_minimum + s.gaps, 25);
+        // The builder is minimum in the clear majority of instances.
+        assert!(s.already_minimum * 2 > s.instances);
+    }
+
+    #[test]
+    fn known_gap_instance_is_detected() {
+        // Figure 7 has a gap of exactly 1.
+        let (spec, rel) = zoom_views::paper::figure7();
+        let built = relev_user_view_builder(&spec, &rel).unwrap();
+        let min = minimum_view(&spec, &rel, 9).unwrap();
+        assert_eq!(built.view.size() - min.size(), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Optimality of `RelevUserViewBuilder` (Section V-B): increasing the
+//! percentage of relevant modules and measuring the number of composite
+//! modules created. "Our results showed that adding one relevant class in a
+//! workflow creates only one new composite class, meaning that \[the\]
+//! algorithm does not frequently construct non-relevant composite modules."
+
+use crate::workloads::{random_relevant, Scale, SYNTH_MODULES};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use zoom_gen::{generate_random_spec, Summary};
+use zoom_views::relev_user_view_builder;
+
+/// One aggregated data point.
+#[derive(Clone, Copy, Debug)]
+pub struct Point {
+    /// Percentage of modules flagged relevant.
+    pub percent: u32,
+    /// Mean |R| drawn.
+    pub relevant: f64,
+    /// Mean view size.
+    pub view_size: f64,
+    /// Mean non-relevant composite count (view size − |R|).
+    pub non_relevant: f64,
+}
+
+/// Runs the experiment: percentages 0..=100 step 10, `draws` random
+/// relevant sets each over `spec_count` random specs.
+pub fn run(scale: Scale, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec_count = scale.workflows_per_class();
+    let specs: Vec<_> = (0..spec_count)
+        .map(|i| generate_random_spec(&format!("opt-{i}"), SYNTH_MODULES, &mut rng))
+        .collect();
+    let mut points = Vec::new();
+    for percent in (0..=100).step_by(10) {
+        let mut rel = Vec::new();
+        let mut size = Vec::new();
+        let mut nonrel = Vec::new();
+        for spec in &specs {
+            for _ in 0..scale.draws_per_percent() {
+                let relevant = random_relevant(spec, percent, &mut rng);
+                let built = relev_user_view_builder(spec, &relevant).expect("builds");
+                rel.push(relevant.len() as f64);
+                size.push(built.view.size() as f64);
+                nonrel.push(built.non_relevant_composites as f64);
+            }
+        }
+        points.push(Point {
+            percent,
+            relevant: Summary::of(&rel).mean,
+            view_size: Summary::of(&size).mean,
+            non_relevant: Summary::of(&nonrel).mean,
+        });
+    }
+    points
+}
+
+/// Renders the optimality report.
+pub fn report(scale: Scale, seed: u64) -> String {
+    let points = run(scale, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "OPTIMALITY — composites created vs. relevant modules (scale: {scale:?})"
+    );
+    let _ = writeln!(
+        out,
+        "{:>9} {:>8} {:>10} {:>13} {:>22}",
+        "percent", "avg |R|", "avg |U|", "non-relevant", "d|U| per added relevant"
+    );
+    for (i, p) in points.iter().enumerate() {
+        let slope = if i == 0 {
+            f64::NAN
+        } else {
+            let prev = points[i - 1];
+            let dr = p.relevant - prev.relevant;
+            if dr.abs() < 1e-9 {
+                f64::NAN
+            } else {
+                (p.view_size - prev.view_size) / dr
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:>8}% {:>8.1} {:>10.1} {:>13.1} {:>22.2}",
+            p.percent, p.relevant, p.view_size, p.non_relevant, slope
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(paper: adding one relevant module creates about one new composite — slope ≈ 1)"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_size_tracks_relevant_count() {
+        let points = run(Scale::Quick, 5);
+        assert_eq!(points.len(), 11);
+        // Monotone growth in |U| with percent.
+        for w in points.windows(2) {
+            assert!(w[1].view_size >= w[0].view_size - 1e-9);
+        }
+        // At 100%, every module is its own composite: |U| = |R|.
+        let last = points.last().unwrap();
+        assert!((last.view_size - last.relevant).abs() < 1e-9);
+        // The headline claim: view size stays close to |R| + a few
+        // non-relevant composites.
+        for p in &points[1..] {
+            assert!(
+                p.non_relevant <= 8.0,
+                "too many non-relevant composites: {p:?}"
+            );
+        }
+    }
+}

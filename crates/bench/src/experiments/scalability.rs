@@ -1,0 +1,112 @@
+//! Scalability of `RelevUserViewBuilder` (Section V-B): "we evaluated the
+//! scalability … by running the algorithm on 1000, increasingly large,
+//! randomized workflow specifications. Each execution of the algorithm took
+//! less than 80ms."
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+use zoom_gen::{generate_random_spec, Summary};
+use zoom_views::relev_user_view_builder;
+
+/// Number of specifications, as in the paper.
+pub const SPEC_COUNT: usize = 1000;
+
+/// Largest specification size (modules). The paper plots up to ~1000-node
+/// specifications.
+pub const MAX_MODULES: usize = 1000;
+
+/// One timing sample.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Modules in the specification.
+    pub modules: usize,
+    /// Relevant modules drawn.
+    pub relevant: usize,
+    /// Builder wall time in milliseconds.
+    pub millis: f64,
+}
+
+/// Runs the experiment and returns the samples.
+pub fn run(count: usize, max_modules: usize, seed: u64) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(count);
+    for i in 0..count {
+        // Increasingly large: size grows linearly across the batch.
+        let target = 3 + (max_modules - 3) * i / count.max(1);
+        let spec = generate_random_spec(&format!("scal-{i}"), target, &mut rng);
+        let percent = rng.random_range(5..50u32);
+        let relevant: Vec<_> = spec
+            .module_ids()
+            .filter(|_| rng.random_range(0..100) < percent)
+            .collect();
+        let start = Instant::now();
+        let built = relev_user_view_builder(&spec, &relevant).expect("builder succeeds");
+        let millis = start.elapsed().as_secs_f64() * 1e3;
+        std::hint::black_box(built.view.size());
+        samples.push(Sample {
+            modules: spec.module_count(),
+            relevant: relevant.len(),
+            millis,
+        });
+    }
+    samples
+}
+
+/// Renders the scalability report.
+pub fn report(count: usize, max_modules: usize, seed: u64) -> String {
+    let samples = run(count, max_modules, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "SCALABILITY — RelevUserViewBuilder on {count} randomized specs (3..{max_modules} modules)"
+    );
+    let _ = writeln!(out, "{:<18} {:>8} {:>12} {:>12}", "modules", "specs", "avg ms", "max ms");
+    let buckets = 8usize;
+    for b in 0..buckets {
+        let lo = max_modules * b / buckets;
+        let hi = max_modules * (b + 1) / buckets;
+        let times: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.modules > lo && s.modules <= hi)
+            .map(|s| s.millis)
+            .collect();
+        if times.is_empty() {
+            continue;
+        }
+        let sum = Summary::of(&times);
+        let _ = writeln!(
+            out,
+            "{:<18} {:>8} {:>12.3} {:>12.3}",
+            format!("{}..{}", lo + 1, hi),
+            sum.n,
+            sum.mean,
+            sum.max
+        );
+    }
+    let overall = Summary::of(&samples.iter().map(|s| s.millis).collect::<Vec<_>>());
+    let _ = writeln!(
+        out,
+        "overall: mean {:.3} ms, max {:.3} ms (paper: every execution < 80 ms on 2007 hardware)",
+        overall.mean, overall.max
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_batch_is_fast_and_reported() {
+        let samples = run(30, 120, 7);
+        assert_eq!(samples.len(), 30);
+        // Debug builds are slow, but even there the builder should finish a
+        // 120-module spec well under the paper's 80 ms.
+        assert!(samples.iter().all(|s| s.millis < 80.0));
+        let r = report(30, 120, 7);
+        assert!(r.contains("SCALABILITY"));
+        assert!(r.contains("overall"));
+    }
+}

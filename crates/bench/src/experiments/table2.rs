@@ -1,0 +1,101 @@
+//! Table II — classes of runs: the generator parameters and the measured
+//! size distributions of the loaded run battery.
+
+use crate::workloads::{Corpus, Scale};
+use std::fmt::Write as _;
+use zoom_gen::{infer_loop_iterations, run_stats, RunGenConfig, RunKind, Summary};
+
+/// Renders Table II for the given corpus.
+pub fn report(corpus: &Corpus, scale: Scale) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "TABLE II — CLASSES OF RUNS (scale: {scale:?})");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>10} {:>11} {:>10} {:>9} | {:>11} {:>11} {:>10}",
+        "kind", "user-input", "data/step", "loop-iter", "cap", "steps", "edges", "data objs"
+    );
+    for kind in RunKind::ALL {
+        let cfg = RunGenConfig::for_kind(kind);
+        let mut steps = Vec::new();
+        let mut edges = Vec::new();
+        let mut data = Vec::new();
+        let mut iters = Vec::new();
+        for w in &corpus.workflows {
+            for (k, runs) in &w.runs {
+                if *k != kind {
+                    continue;
+                }
+                for &rid in runs {
+                    let st = run_stats(corpus.zoom.warehouse().run(rid).expect("loaded"));
+                    steps.push(st.steps as f64);
+                    edges.push(st.edges as f64);
+                    data.push(st.data_objects as f64);
+                    let run = corpus.zoom.warehouse().run(rid).expect("loaded");
+                    for (_, n) in infer_loop_iterations(run) {
+                        iters.push(n as f64);
+                    }
+                }
+            }
+        }
+        let (s, e, d) = (Summary::of(&steps), Summary::of(&edges), Summary::of(&data));
+        let it = Summary::of(&iters);
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6}-{:<3} {:>7}-{:<3} {:>6}-{:<3} {:>9} | {:>4.0}-{:<6.0} {:>4.0}-{:<6.0} {:>10.0} | iters {:.1}",
+            kind.label(),
+            cfg.user_input.0,
+            cfg.user_input.1,
+            cfg.data_per_step.0,
+            cfg.data_per_step.1,
+            cfg.loop_iterations.0,
+            cfg.loop_iterations.1,
+            cfg.max_nodes,
+            s.min,
+            s.max,
+            e.min,
+            e.max,
+            d.mean,
+            it.mean
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(left: Table II generator parameters; right: measured over {} runs)",
+        corpus
+            .workflows
+            .iter()
+            .map(|w| w.runs.iter().map(|(_, r)| r.len()).sum::<usize>())
+            .sum::<usize>()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::build_corpus;
+
+    #[test]
+    fn renders_three_kinds_with_caps() {
+        let corpus = build_corpus(Scale::Quick, 2);
+        let r = report(&corpus, Scale::Quick);
+        for kind in RunKind::ALL {
+            assert!(r.contains(kind.label()), "{r}");
+        }
+        assert!(r.contains("10000"));
+    }
+
+    #[test]
+    fn measured_sizes_respect_caps() {
+        let corpus = build_corpus(Scale::Quick, 3);
+        for w in &corpus.workflows {
+            for (kind, runs) in &w.runs {
+                let cap = RunGenConfig::for_kind(*kind).max_nodes;
+                for &rid in runs {
+                    let st = run_stats(corpus.zoom.warehouse().run(rid).unwrap());
+                    assert!(st.steps + 2 <= cap + 2, "{kind}: {} steps", st.steps);
+                }
+            }
+        }
+    }
+}

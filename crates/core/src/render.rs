@@ -1,0 +1,309 @@
+//! Provenance-answer rendering — the stand-in for ZOOM's graphical display
+//! (the paper's Figure 9 shows the deep provenance of `d447` as a graph).
+//!
+//! Renders a [`ProvenanceResult`] either as GraphViz DOT (the provenance
+//! subgraph of the view-run) or as an indented text tree rooted at the
+//! queried data object.
+
+use std::fmt::Write as _;
+use zoom_model::{DataId, UserView, ViewRun, ViewRunNode};
+use zoom_warehouse::ProvenanceResult;
+
+/// Renders the provenance subgraph (the visited executions, the input node
+/// when involved, and the data edges among them) as DOT.
+pub fn provenance_to_dot(vr: &ViewRun, view: &UserView, result: &ProvenanceResult) -> String {
+    use zoom_model::run::format_data_range;
+    let g = vr.graph();
+    let involved = |n: zoom_graph::NodeId| -> bool {
+        match g.node(n) {
+            ViewRunNode::Input => true, // kept if it has edges into the set
+            ViewRunNode::Output => false,
+            ViewRunNode::Exec(i) => {
+                let e = &vr.execs()[*i as usize];
+                result.execs.binary_search(&e.id).is_ok()
+            }
+        }
+    };
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"provenance of {}\" {{", result.target);
+    let _ = writeln!(s, "  rankdir=LR;");
+    let mut used_input = false;
+    // Edges among involved nodes, restricted to provenance data.
+    let in_result = |d: DataId| result.rows.binary_search_by_key(&d, |r| r.data).is_ok();
+    for (_, src, tgt, data) in g.edges() {
+        if !involved(src) || !involved(tgt) || matches!(g.node(tgt), ViewRunNode::Input) {
+            continue;
+        }
+        let shown: Vec<DataId> = data.iter().copied().filter(|&d| in_result(d)).collect();
+        if shown.is_empty() {
+            continue;
+        }
+        if matches!(g.node(src), ViewRunNode::Input) {
+            used_input = true;
+        }
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [label=\"{}\"];",
+            src.index(),
+            tgt.index(),
+            format_data_range(&shown)
+        );
+    }
+    // Node declarations.
+    for (id, node) in g.nodes() {
+        match node {
+            ViewRunNode::Input if used_input => {
+                let _ = writeln!(s, "  n{} [label=\"input\",shape=circle];", id.index());
+            }
+            ViewRunNode::Exec(i) if involved(id) => {
+                let e = &vr.execs()[*i as usize];
+                let _ = writeln!(
+                    s,
+                    "  n{} [label=\"{}:{}\",shape=box{}];",
+                    id.index(),
+                    e.id,
+                    zoom_graph::dot::escape(view.composite_name(e.composite)),
+                    if e.is_virtual { ",style=dotted" } else { "" }
+                );
+            }
+            _ => {}
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a specification with a user view overlaid as dotted composite
+/// boxes — the paper's Figure 1, where `M9`, `M10`, `M11` appear as dotted
+/// rectangles around their member modules. Relevant modules are shaded.
+/// Composite boxes are drawn only for non-singleton composites (singleton
+/// boxes add no information).
+pub fn view_on_spec_to_dot(
+    spec: &zoom_model::WorkflowSpec,
+    view: &UserView,
+    relevant: &[zoom_graph::NodeId],
+) -> String {
+    use std::fmt::Write as _;
+    use zoom_graph::dot::escape;
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}\" {{", escape(spec.name()));
+    let _ = writeln!(s, "  rankdir=LR;");
+    let _ = writeln!(s, "  n0 [label=\"input\",shape=circle];");
+    let _ = writeln!(s, "  n1 [label=\"output\",shape=circle];");
+    for c in view.composite_ids() {
+        let members = view.members(c);
+        let declare = |s: &mut String, m: zoom_graph::NodeId, indent: &str| {
+            let attrs = if relevant.contains(&m) {
+                "shape=box,style=filled,fillcolor=gray"
+            } else {
+                "shape=box"
+            };
+            let _ = writeln!(
+                s,
+                "{indent}n{} [label=\"{}\",{}];",
+                m.index(),
+                escape(spec.label(m)),
+                attrs
+            );
+        };
+        if members.len() == 1 {
+            declare(&mut s, members[0], "  ");
+        } else {
+            let _ = writeln!(s, "  subgraph cluster_{} {{", c.index());
+            let _ = writeln!(s, "    style=dotted;");
+            let _ = writeln!(
+                s,
+                "    label=\"{}\";",
+                escape(view.composite_name(c))
+            );
+            for &m in members {
+                declare(&mut s, m, "    ");
+            }
+            let _ = writeln!(s, "  }}");
+        }
+    }
+    for (_, src, tgt, _) in spec.graph().edges() {
+        let _ = writeln!(s, "  n{} -> n{};", src.index(), tgt.index());
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the provenance as an indented text tree rooted at the target:
+/// each level shows a data object, its producer, and (recursively) the
+/// producer's inputs. Shared sub-provenance is expanded once and referenced
+/// afterwards (`…see above`); data ranges are compacted.
+pub fn provenance_to_text(vr: &ViewRun, view: &UserView, result: &ProvenanceResult) -> String {
+    let mut out = String::new();
+    let mut expanded: Vec<DataId> = Vec::new();
+    render_datum(vr, view, result.target, 0, &mut expanded, &mut out);
+    out
+}
+
+fn render_datum(
+    vr: &ViewRun,
+    view: &UserView,
+    d: DataId,
+    depth: usize,
+    expanded: &mut Vec<DataId>,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    let Some(producer) = vr.producer_node(d) else {
+        let _ = writeln!(out, "{pad}{d} (not visible at this level)");
+        return;
+    };
+    if producer == vr.input() {
+        let _ = writeln!(out, "{pad}{d} <- user input");
+        return;
+    }
+    let exec = vr.exec_at(producer).expect("producer is input or exec");
+    if expanded.contains(&d) {
+        let _ = writeln!(
+            out,
+            "{pad}{d} <- {}:{} (see above)",
+            exec.id,
+            view.composite_name(exec.composite)
+        );
+        return;
+    }
+    expanded.push(d);
+    let idx = match vr.graph().node(producer) {
+        ViewRunNode::Exec(i) => *i,
+        _ => unreachable!("checked"),
+    };
+    let inputs = vr.inputs_of(idx);
+    let _ = writeln!(
+        out,
+        "{pad}{d} <- {}:{} ({} input{})",
+        exec.id,
+        view.composite_name(exec.composite),
+        inputs.len(),
+        if inputs.len() == 1 { "" } else { "s" }
+    );
+    // Compact: group inputs by producer; expand one representative per
+    // producer and list the rest as a range.
+    let mut by_producer: Vec<(Option<zoom_graph::NodeId>, Vec<DataId>)> = Vec::new();
+    for x in inputs {
+        let p = vr.producer_node(x);
+        if let Some(entry) = by_producer.iter_mut().find(|(pp, _)| *pp == p) {
+            entry.1.push(x);
+        } else {
+            by_producer.push((p, vec![x]));
+        }
+    }
+    for (p, data) in by_producer {
+        match p {
+            Some(n) if n == vr.input() => {
+                let pad2 = "  ".repeat(depth + 1);
+                let _ = writeln!(
+                    out,
+                    "{pad2}{} <- user input",
+                    zoom_model::run::format_data_range(&data)
+                );
+            }
+            _ => {
+                // Recurse on the first datum; siblings share the producer.
+                render_datum(vr, view, data[0], depth + 1, expanded, out);
+                if data.len() > 1 {
+                    let pad2 = "  ".repeat(depth + 1);
+                    let _ = writeln!(
+                        out,
+                        "{pad2}(+ {} more from the same execution: {})",
+                        data.len() - 1,
+                        zoom_model::run::format_data_range(&data[1..])
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{RunBuilder, SpecBuilder, UserView};
+
+    fn setup() -> (zoom_model::WorkflowRun, ViewRun, UserView, ProvenanceResult) {
+        let mut b = SpecBuilder::new("render");
+        b.analysis("A");
+        b.analysis("B");
+        b.from_input("A").edge("A", "B").to_output("B");
+        let s = b.build().unwrap();
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(s.module("A").unwrap());
+        let s2 = rb.step(s.module("B").unwrap());
+        rb.input_edge(s1, [1, 2])
+            .data_edge(s1, s2, [3])
+            .output_edge(s2, [4]);
+        let r = rb.build().unwrap();
+        let v = UserView::admin(&s);
+        let vr = ViewRun::new(&r, &v);
+        let res = zoom_warehouse::deep_provenance(&r, &vr, zoom_model::DataId(4)).unwrap();
+        (r, vr, v, res)
+    }
+
+    #[test]
+    fn text_tree_shows_chain() {
+        let (_r, vr, v, res) = setup();
+        let text = provenance_to_text(&vr, &v, &res);
+        assert!(text.contains("d4 <- S2:B"), "{text}");
+        assert!(text.contains("d3 <- S1:A"), "{text}");
+        assert!(text.contains("d1..d2 <- user input"), "{text}");
+    }
+
+    #[test]
+    fn clustered_view_rendering() {
+        let mut b = SpecBuilder::new("cluster");
+        b.analysis("A");
+        b.analysis("B");
+        b.analysis("C");
+        b.from_input("A").edge("A", "B").edge("B", "C").to_output("C");
+        let s = b.build().unwrap();
+        let (a, bb, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let v = UserView::new(
+            "v",
+            &s,
+            vec![
+                zoom_model::CompositeModule::new("AB", vec![a, bb]),
+                zoom_model::CompositeModule::new("C", vec![c]),
+            ],
+        )
+        .unwrap();
+        let dot = view_on_spec_to_dot(&s, &v, &[a]);
+        assert!(dot.contains("subgraph cluster_0"), "{dot}");
+        assert!(dot.contains("label=\"AB\""));
+        assert!(dot.contains("style=dotted"));
+        assert!(dot.contains("fillcolor=gray")); // A is relevant
+        // Singleton composite C gets no cluster box.
+        assert!(!dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("n0 ->"));
+    }
+
+    #[test]
+    fn dot_contains_involved_nodes_and_data() {
+        let (_r, vr, v, res) = setup();
+        let dot = provenance_to_dot(&vr, &v, &res);
+        assert!(dot.contains("S1:A"));
+        assert!(dot.contains("S2:B"));
+        assert!(dot.contains("d1..d2"));
+        assert!(dot.contains("d3"));
+        assert!(dot.contains("input"));
+        // The output node never appears.
+        assert!(!dot.contains("output"));
+    }
+
+    #[test]
+    fn dot_of_partial_provenance_excludes_unrelated() {
+        let (r, vr, v, _) = setup();
+        // Provenance of d3 involves only S1.
+        let res = zoom_warehouse::deep_provenance(&r, &vr, zoom_model::DataId(3)).unwrap();
+        let dot = provenance_to_dot(&vr, &v, &res);
+        assert!(dot.contains("S1:A"));
+        assert!(!dot.contains("S2:B"));
+    }
+}

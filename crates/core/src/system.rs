@@ -1,0 +1,259 @@
+//! The ZOOM system facade (Section IV, Figure 8): one object wiring the
+//! provenance warehouse, the view builder, and the query layer together.
+
+use std::path::Path;
+use zoom_graph::NodeId;
+use zoom_model::{DataId, EventLog, UserView, WorkflowRun, WorkflowSpec};
+use zoom_views::relev_user_view_builder;
+use zoom_warehouse::persist::PersistError;
+use zoom_warehouse::{
+    ImmediateAnswer, ProvenanceResult, Result, RunId, SpecId, ViewId, Warehouse, WarehouseError,
+};
+
+/// The ZOOM system: registration, view building, execution loading, and
+/// provenance querying behind one API.
+#[derive(Debug, Default)]
+pub struct Zoom {
+    warehouse: Warehouse,
+}
+
+impl Zoom {
+    /// A fresh system with an empty warehouse.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the underlying warehouse.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.warehouse
+    }
+
+    /// Mutable access to the underlying warehouse (bulk operations).
+    pub fn warehouse_mut(&mut self) -> &mut Warehouse {
+        &mut self.warehouse
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Registers a workflow specification.
+    pub fn register_workflow(&mut self, spec: WorkflowSpec) -> Result<SpecId> {
+        self.warehouse.register_spec(spec)
+    }
+
+    /// Registers an explicit user view.
+    pub fn register_view(&mut self, spec: SpecId, view: UserView) -> Result<ViewId> {
+        self.warehouse.register_view(spec, view)
+    }
+
+    /// Builds a *good* user view from relevant module labels with
+    /// `RelevUserViewBuilder` and registers it. Re-registering the same
+    /// relevant set returns the existing view.
+    pub fn build_view(&mut self, spec_id: SpecId, relevant_labels: &[&str]) -> Result<ViewId> {
+        let spec = self.warehouse.spec(spec_id)?;
+        let relevant: Vec<NodeId> = relevant_labels
+            .iter()
+            .map(|l| spec.module(l))
+            .collect::<zoom_model::Result<_>>()?;
+        let built = relev_user_view_builder(spec, &relevant)?;
+        if let Some(existing) = self.warehouse.find_view(spec_id, built.view.name()) {
+            return Ok(existing);
+        }
+        self.warehouse.register_view(spec_id, built.view)
+    }
+
+    /// The finest view (UAdmin), registered on first use.
+    pub fn admin_view(&mut self, spec_id: SpecId) -> Result<ViewId> {
+        if let Some(v) = self.warehouse.find_view(spec_id, "UAdmin") {
+            return Ok(v);
+        }
+        let view = UserView::admin(self.warehouse.spec(spec_id)?);
+        self.warehouse.register_view(spec_id, view)
+    }
+
+    /// The coarsest view (UBlackBox), registered on first use.
+    pub fn black_box_view(&mut self, spec_id: SpecId) -> Result<ViewId> {
+        if let Some(v) = self.warehouse.find_view(spec_id, "UBlackBox") {
+            return Ok(v);
+        }
+        let view = UserView::black_box(self.warehouse.spec(spec_id)?);
+        self.warehouse.register_view(spec_id, view)
+    }
+
+    /// Loads a validated run.
+    pub fn load_run(&mut self, spec: SpecId, run: WorkflowRun) -> Result<RunId> {
+        self.warehouse.load_run(spec, run)
+    }
+
+    /// Ingests a workflow-system event log.
+    pub fn load_log(&mut self, spec: SpecId, log: &EventLog) -> Result<RunId> {
+        self.warehouse.load_log(spec, log)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Deep provenance of `data` through `view`.
+    pub fn deep_provenance(
+        &self,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> Result<ProvenanceResult> {
+        self.warehouse.deep_provenance(run, view, data)
+    }
+
+    /// Immediate provenance of `data` through `view`.
+    pub fn immediate_provenance(
+        &self,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> Result<ImmediateAnswer> {
+        self.warehouse.immediate_provenance(run, view, data)
+    }
+
+    /// Canned forward query: the data objects that have `data` in their
+    /// provenance.
+    pub fn dependents_of(&self, run: RunId, view: ViewId, data: DataId) -> Result<Vec<DataId>> {
+        self.warehouse.dependents_of(run, view, data)
+    }
+
+    /// The data set passed between two executions (Section IV's edge-click
+    /// interaction). `None` endpoints denote the run's input/output nodes.
+    pub fn data_between(
+        &self,
+        run: RunId,
+        view: ViewId,
+        from: Option<zoom_model::StepId>,
+        to: Option<zoom_model::StepId>,
+    ) -> Result<Vec<DataId>> {
+        self.warehouse.data_between(run, view, from, to)
+    }
+
+    /// The run's final outputs (data flowing to the output node) — the
+    /// target of "the most expensive provenance query possible" used
+    /// throughout Section V.
+    pub fn final_outputs(&self, run: RunId) -> Result<Vec<DataId>> {
+        Ok(self.warehouse.run(run)?.final_outputs())
+    }
+
+    /// Deep provenance of the run's (first) final output through `view`.
+    pub fn deep_provenance_of_final_output(
+        &self,
+        run: RunId,
+        view: ViewId,
+    ) -> Result<ProvenanceResult> {
+        let outs = self.final_outputs(run)?;
+        let &target = outs
+            .first()
+            .ok_or(WarehouseError::DataNotFound(DataId(0)))?;
+        self.deep_provenance(run, view, target)
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence
+    // ------------------------------------------------------------------
+
+    /// Saves the warehouse snapshot to `path`.
+    pub fn save(&self, path: &Path) -> std::result::Result<(), PersistError> {
+        zoom_warehouse::persist::save(&self.warehouse, path)
+    }
+
+    /// Loads a system from a warehouse snapshot.
+    pub fn load(path: &Path) -> std::result::Result<Self, PersistError> {
+        Ok(Zoom {
+            warehouse: zoom_warehouse::persist::load(path)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{RunBuilder, SpecBuilder, StepId};
+
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("sys");
+        b.formatting("F");
+        b.analysis("R");
+        b.from_input("F").edge("F", "R").to_output("R");
+        b.build().unwrap()
+    }
+
+    fn run(s: &WorkflowSpec) -> WorkflowRun {
+        let mut rb = RunBuilder::new(s);
+        let s1 = rb.step(s.module("F").unwrap());
+        let s2 = rb.step(s.module("R").unwrap());
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        rb.build().unwrap()
+    }
+
+    #[test]
+    fn facade_flow() {
+        let mut z = Zoom::new();
+        let s = spec();
+        let sid = z.register_workflow(s.clone()).unwrap();
+        let vid = z.build_view(sid, &["R"]).unwrap();
+        let rid = z.load_run(sid, run(&s)).unwrap();
+
+        // The built view groups F into C(R): only d1 and d3 are visible.
+        let res = z.deep_provenance_of_final_output(rid, vid).unwrap();
+        assert_eq!(res.tuples(), 2);
+        let admin = z.admin_view(sid).unwrap();
+        let res = z.deep_provenance_of_final_output(rid, admin).unwrap();
+        assert_eq!(res.tuples(), 3);
+        let bb = z.black_box_view(sid).unwrap();
+        let res = z.deep_provenance_of_final_output(rid, bb).unwrap();
+        assert_eq!(res.tuples(), 2);
+
+        // Idempotent view creation.
+        assert_eq!(z.build_view(sid, &["R"]).unwrap(), vid);
+        assert_eq!(z.admin_view(sid).unwrap(), admin);
+        assert_eq!(z.black_box_view(sid).unwrap(), bb);
+    }
+
+    #[test]
+    fn unknown_relevant_label_errors() {
+        let mut z = Zoom::new();
+        let sid = z.register_workflow(spec()).unwrap();
+        assert!(z.build_view(sid, &["nope"]).is_err());
+    }
+
+    #[test]
+    fn forward_query_through_facade() {
+        let mut z = Zoom::new();
+        let s = spec();
+        let sid = z.register_workflow(s.clone()).unwrap();
+        let admin = z.admin_view(sid).unwrap();
+        let rid = z.load_run(sid, run(&s)).unwrap();
+        assert_eq!(
+            z.dependents_of(rid, admin, DataId(1)).unwrap(),
+            vec![DataId(2), DataId(3)]
+        );
+        match z.immediate_provenance(rid, admin, DataId(3)).unwrap() {
+            ImmediateAnswer::Produced { exec, .. } => assert_eq!(exec, StepId(2)),
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn save_and_load_via_facade() {
+        let mut z = Zoom::new();
+        let s = spec();
+        let sid = z.register_workflow(s.clone()).unwrap();
+        let admin = z.admin_view(sid).unwrap();
+        let rid = z.load_run(sid, run(&s)).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("zoom-core-test-{}", std::process::id()));
+        z.save(&path).unwrap();
+        let z2 = Zoom::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let res = z2.deep_provenance_of_final_output(rid, admin).unwrap();
+        assert_eq!(res.tuples(), 3);
+    }
+}

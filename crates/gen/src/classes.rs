@@ -1,0 +1,127 @@
+//! Workflow patterns and classes (Table I).
+//!
+//! The paper extracts patterns (sequence, loop, parallel process, parallel
+//! input, synchronization — from the Workflow Patterns initiative) and their
+//! usage frequencies from 30 collected workflows, then generates synthetic
+//! workflows per class:
+//!
+//! | Class | Pattern frequencies |
+//! |---|---|
+//! | 1 (Real)     | the collected corpus (our curated library) |
+//! | 2 (Linear)   | sequence 80%, loop 10%, parallel process 10% |
+//! | 3 (Parallel) | parallel process 20%, parallel input 10%, synchronization 20%, sequence 50% |
+//! | 4 (Loop)     | loop 50%, sequence 50% |
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A structural workflow pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pattern {
+    /// A chain of modules.
+    Sequence,
+    /// A loop (back edge), occasionally reflexive (self-loop).
+    Loop,
+    /// An AND-split into parallel branches.
+    ParallelProcess,
+    /// An additional independent input branch.
+    ParallelInput,
+    /// An AND-join of open branches.
+    Synchronization,
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pattern::Sequence => "sequence",
+            Pattern::Loop => "loop",
+            Pattern::ParallelProcess => "parallel-process",
+            Pattern::ParallelInput => "parallel-input",
+            Pattern::Synchronization => "synchronization",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The four workflow classes of Table I.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkflowClass {
+    /// Class 1: real collected workflows (the curated library).
+    Real,
+    /// Class 2: predominantly linear synthetic workflows.
+    Linear,
+    /// Class 3: parallel-heavy synthetic workflows.
+    Parallel,
+    /// Class 4: loop-heavy synthetic workflows.
+    Loop,
+}
+
+impl WorkflowClass {
+    /// All four classes, in Table I order.
+    pub const ALL: [WorkflowClass; 4] = [
+        WorkflowClass::Real,
+        WorkflowClass::Linear,
+        WorkflowClass::Parallel,
+        WorkflowClass::Loop,
+    ];
+
+    /// The class's pattern frequencies in percent (Table I). `Real` has no
+    /// generator weights — its workflows come from the library.
+    pub fn pattern_weights(self) -> &'static [(Pattern, u32)] {
+        match self {
+            WorkflowClass::Real => &[],
+            WorkflowClass::Linear => &[
+                (Pattern::Sequence, 80),
+                (Pattern::Loop, 10),
+                (Pattern::ParallelProcess, 10),
+            ],
+            WorkflowClass::Parallel => &[
+                (Pattern::ParallelProcess, 20),
+                (Pattern::ParallelInput, 10),
+                (Pattern::Synchronization, 20),
+                (Pattern::Sequence, 50),
+            ],
+            WorkflowClass::Loop => &[(Pattern::Loop, 50), (Pattern::Sequence, 50)],
+        }
+    }
+
+    /// Table I row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkflowClass::Real => "Class1 (Real)",
+            WorkflowClass::Linear => "Class2 (Linear)",
+            WorkflowClass::Parallel => "Class3 (Parallel)",
+            WorkflowClass::Loop => "Class4 (Loop)",
+        }
+    }
+}
+
+impl fmt::Display for WorkflowClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_100_for_synthetic_classes() {
+        for c in [
+            WorkflowClass::Linear,
+            WorkflowClass::Parallel,
+            WorkflowClass::Loop,
+        ] {
+            let sum: u32 = c.pattern_weights().iter().map(|&(_, w)| w).sum();
+            assert_eq!(sum, 100, "{c}");
+        }
+        assert!(WorkflowClass::Real.pattern_weights().is_empty());
+    }
+
+    #[test]
+    fn labels_match_table_one() {
+        assert_eq!(WorkflowClass::Loop.label(), "Class4 (Loop)");
+        assert_eq!(WorkflowClass::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,853 @@
+//! The "Class 1" library: realistic scientific workflows.
+//!
+//! The paper's Class 1 is a private corpus of 30 collected workflows
+//! (average ≈ 12 modules, mostly linear, occasional loops and parallel
+//! sections). That corpus is not public, so this module provides a curated
+//! library with the same published statistics — headlined by a faithful
+//! reconstruction of the paper's **Figure 1** phylogenomic workflow and its
+//! **Figure 2** run (steps `S1..S10`, data `d1..d447`), which the worked
+//! examples of Section II are stated against.
+
+use zoom_model::{RunBuilder, SpecBuilder, StepId, WorkflowRun, WorkflowSpec};
+
+// `provenance_challenge` is not part of `real_workflows()` — the Class-1
+// statistics are calibrated to the ten curated specs — but it is exported
+// for the challenge example and tests.
+
+/// The Figure 1 phylogenomic workflow:
+///
+/// * `M1` — format DB entries (→ sequences for `M3`, annotations for `M2`)
+/// * `M2` — annotation checking (needs user input)
+/// * `M3` — run alignment
+/// * `M4` — format alignment
+/// * `M5` — rectify alignment (loops back to `M3`)
+/// * `M6` — format lab annotations
+/// * `M7` — build phylogenetic tree
+/// * `M8` — format curated annotations
+///
+/// Edges: `I→M1, I→M2, I→M6; M1→M2, M1→M3; M3→M4; M4→M5, M4→M7;
+/// M5→M3; M2→M8; M8→M7; M6→M7; M7→O`.
+///
+/// With relevant modules `{M2, M3, M7}` the `RelevUserViewBuilder` yields
+/// Joe's view (`{M2}, {M3,M4,M5}, {M6,M7,M8}, {M1}`, size 4); with
+/// `{M2, M3, M5, M7}` it yields Mary's (size 5) — exactly the views of the
+/// paper's introduction.
+pub fn phylogenomic() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("phylogenomic");
+    b.formatting("M1");
+    b.analysis("M2");
+    b.analysis("M3");
+    b.formatting("M4");
+    b.analysis("M5");
+    b.formatting("M6");
+    b.analysis("M7");
+    b.formatting("M8");
+    b.from_input("M1")
+        .from_input("M2")
+        .from_input("M6")
+        .edge("M1", "M2")
+        .edge("M1", "M3")
+        .edge("M3", "M4")
+        .edge("M4", "M5")
+        .edge("M4", "M7")
+        .edge("M5", "M3")
+        .edge("M2", "M8")
+        .edge("M8", "M7")
+        .edge("M6", "M7")
+        .to_output("M7");
+    b.build().expect("phylogenomic workflow is a valid spec")
+}
+
+/// The Figure 2 run of the phylogenomic workflow: 100 input sequences
+/// (`d1..d100`), the alignment loop executed twice, 5 user-modified
+/// annotations (`d202..d206`), 31 lab annotations (`d415..d445`), final
+/// tree `d447`. Steps and data flows:
+///
+/// ```text
+/// S1:M1  in d1..d100          out d101..d201 → S7:M2,  d308..d408 → S2:M3
+/// S2:M3  in d308..d408        out d409 → S3:M4
+/// S3:M4  in d409              out d410 → S4:M5
+/// S4:M5  in d410              out d411 → S5:M3
+/// S5:M3  in d411              out d412 → S6:M4
+/// S6:M4  in d412              out d413 → S10:M7
+/// S7:M2  in d101..d201 + d202..d206 (user)   out d207..d307 → S8:M8
+/// S8:M8  in d207..d307        out d414 → S10:M7
+/// S9:M6  in d415..d445 (user) out d446 → S10:M7
+/// S10:M7 in d413,d414,d446    out d447 → output
+/// ```
+///
+/// Every stated fact of Section II holds on this run: the immediate
+/// provenance of `d413` is `S6:M4` with inputs `{d412}`; its deep provenance
+/// contains `S2:M3` with inputs `{d308..d408}`; under Joe's view the
+/// immediate provenance of `d413` is the virtual `S13` with inputs
+/// `{d308..d408}`; under Mary's it is `S12` with inputs `{d411}`; and the
+/// deep provenance of `d447` under UAdmin contains all of `d1..d447` and
+/// `S1..S10`.
+pub fn figure2_run(spec: &WorkflowSpec) -> WorkflowRun {
+    let m = |l: &str| spec.module(l).expect("phylogenomic module");
+    let mut rb = RunBuilder::new(spec);
+    rb.user("biologist");
+    let s1 = rb.step_with_id(StepId(1), m("M1"));
+    let s2 = rb.step_with_id(StepId(2), m("M3"));
+    let s3 = rb.step_with_id(StepId(3), m("M4"));
+    let s4 = rb.step_with_id(StepId(4), m("M5"));
+    let s5 = rb.step_with_id(StepId(5), m("M3"));
+    let s6 = rb.step_with_id(StepId(6), m("M4"));
+    let s7 = rb.step_with_id(StepId(7), m("M2"));
+    let s8 = rb.step_with_id(StepId(8), m("M8"));
+    let s9 = rb.step_with_id(StepId(9), m("M6"));
+    let s10 = rb.step_with_id(StepId(10), m("M7"));
+    rb.param(s2, "tool", "clustalw")
+        .param(s2, "gap-penalty", "10")
+        .param(s5, "tool", "clustalw")
+        .param(s5, "gap-penalty", "8")
+        .param(s10, "method", "neighbor-joining")
+        .input_edge(s1, 1..=100)
+        .data_edge(s1, s7, 101..=201)
+        .data_edge(s1, s2, 308..=408)
+        .data_edge(s2, s3, [409])
+        .data_edge(s3, s4, [410])
+        .data_edge(s4, s5, [411])
+        .data_edge(s5, s6, [412])
+        .data_edge(s6, s10, [413])
+        .input_edge(s7, 202..=206)
+        .data_edge(s7, s8, 207..=307)
+        .data_edge(s8, s10, [414])
+        .input_edge(s9, 415..=445)
+        .data_edge(s9, s10, [446])
+        .output_edge(s10, [447]);
+    rb.build().expect("figure 2 run is valid")
+}
+
+/// A linear BLAST-and-annotate pipeline (9 modules, mostly formatting).
+pub fn blast_pipeline() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("blast-pipeline");
+    b.formatting("FetchSeq");
+    b.formatting("ToFasta");
+    b.analysis("Blast");
+    b.formatting("ParseHits");
+    b.analysis("FilterHits");
+    b.formatting("FetchHitSeqs");
+    b.analysis("Annotate");
+    b.formatting("FormatReport");
+    b.analysis("Report");
+    b.from_input("FetchSeq")
+        .edge("FetchSeq", "ToFasta")
+        .edge("ToFasta", "Blast")
+        .edge("Blast", "ParseHits")
+        .edge("ParseHits", "FilterHits")
+        .edge("FilterHits", "FetchHitSeqs")
+        .edge("FetchHitSeqs", "Annotate")
+        .edge("Annotate", "FormatReport")
+        .edge("FormatReport", "Report")
+        .to_output("Report");
+    b.build().expect("valid spec")
+}
+
+/// A microarray differential-expression workflow with a normalization loop
+/// and parallel statistical tests (12 modules).
+pub fn microarray() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("microarray");
+    b.formatting("LoadCEL");
+    b.formatting("QC");
+    b.analysis("Normalize");
+    b.analysis("InspectNorm"); // loops back to Normalize
+    b.formatting("ToMatrix");
+    b.analysis("TTest");
+    b.analysis("Permutation");
+    b.formatting("MergeStats");
+    b.analysis("FDR");
+    b.formatting("AnnotateGenes");
+    b.analysis("Cluster");
+    b.formatting("RenderHeatmap");
+    b.from_input("LoadCEL")
+        .edge("LoadCEL", "QC")
+        .edge("QC", "Normalize")
+        .edge("Normalize", "InspectNorm")
+        .edge("InspectNorm", "Normalize")
+        .edge("InspectNorm", "ToMatrix")
+        .edge("ToMatrix", "TTest")
+        .edge("ToMatrix", "Permutation")
+        .edge("TTest", "MergeStats")
+        .edge("Permutation", "MergeStats")
+        .edge("MergeStats", "FDR")
+        .edge("FDR", "AnnotateGenes")
+        .edge("AnnotateGenes", "Cluster")
+        .edge("Cluster", "RenderHeatmap")
+        .to_output("RenderHeatmap");
+    b.build().expect("valid spec")
+}
+
+/// A proteomics identification workflow with parallel search engines
+/// (11 modules).
+pub fn proteomics() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("proteomics");
+    b.formatting("ConvertRaw");
+    b.formatting("PeakPick");
+    b.analysis("SearchMascot");
+    b.analysis("SearchSequest");
+    b.formatting("MergeIds");
+    b.analysis("ScorePSMs");
+    b.analysis("FilterFDR");
+    b.formatting("MapProteins");
+    b.analysis("Quantify");
+    b.formatting("FormatTable");
+    b.analysis("Summarize");
+    b.from_input("ConvertRaw")
+        .edge("ConvertRaw", "PeakPick")
+        .edge("PeakPick", "SearchMascot")
+        .edge("PeakPick", "SearchSequest")
+        .edge("SearchMascot", "MergeIds")
+        .edge("SearchSequest", "MergeIds")
+        .edge("MergeIds", "ScorePSMs")
+        .edge("ScorePSMs", "FilterFDR")
+        .edge("FilterFDR", "MapProteins")
+        .edge("MapProteins", "Quantify")
+        .edge("Quantify", "FormatTable")
+        .edge("FormatTable", "Summarize")
+        .to_output("Summarize");
+    b.build().expect("valid spec")
+}
+
+/// A variant-calling workflow with a realignment loop and two callers
+/// (14 modules).
+pub fn variant_calling() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("variant-calling");
+    b.formatting("Demultiplex");
+    b.formatting("TrimAdapters");
+    b.analysis("AlignBWA");
+    b.analysis("CheckAlign"); // loop back to AlignBWA
+    b.formatting("SortBam");
+    b.formatting("MarkDups");
+    b.analysis("CallGATK");
+    b.analysis("CallFreebayes");
+    b.formatting("MergeVCF");
+    b.analysis("FilterVariants");
+    b.formatting("NormalizeVCF");
+    b.analysis("AnnotateVEP");
+    b.formatting("FormatVCF");
+    b.analysis("Prioritize");
+    b.from_input("Demultiplex")
+        .edge("Demultiplex", "TrimAdapters")
+        .edge("TrimAdapters", "AlignBWA")
+        .edge("AlignBWA", "CheckAlign")
+        .edge("CheckAlign", "AlignBWA")
+        .edge("CheckAlign", "SortBam")
+        .edge("SortBam", "MarkDups")
+        .edge("MarkDups", "CallGATK")
+        .edge("MarkDups", "CallFreebayes")
+        .edge("CallGATK", "MergeVCF")
+        .edge("CallFreebayes", "MergeVCF")
+        .edge("MergeVCF", "FilterVariants")
+        .edge("FilterVariants", "NormalizeVCF")
+        .edge("NormalizeVCF", "AnnotateVEP")
+        .edge("AnnotateVEP", "FormatVCF")
+        .edge("FormatVCF", "Prioritize")
+        .to_output("Prioritize");
+    b.build().expect("valid spec")
+}
+
+/// A small linear QC pipeline (6 modules).
+pub fn sequence_qc() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("sequence-qc");
+    b.formatting("Ingest");
+    b.analysis("FastQC");
+    b.formatting("Trim");
+    b.analysis("ReQC");
+    b.formatting("Compress");
+    b.analysis("Publish");
+    b.from_input("Ingest")
+        .edge("Ingest", "FastQC")
+        .edge("FastQC", "Trim")
+        .edge("Trim", "ReQC")
+        .edge("ReQC", "Compress")
+        .edge("Compress", "Publish")
+        .to_output("Publish");
+    b.build().expect("valid spec")
+}
+
+/// A pathway-enrichment workflow merging two user-supplied inputs
+/// (10 modules).
+pub fn pathway_enrichment() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("pathway-enrichment");
+    b.formatting("LoadGeneList");
+    b.formatting("LoadBackground");
+    b.formatting("MapIds");
+    b.analysis("Enrich");
+    b.analysis("CorrectPvals");
+    b.formatting("FetchPathways");
+    b.analysis("ScorePathways");
+    b.formatting("MergeResults");
+    b.formatting("RenderPlot");
+    b.analysis("Interpret");
+    b.from_input("LoadGeneList")
+        .from_input("LoadBackground")
+        .edge("LoadGeneList", "MapIds")
+        .edge("LoadBackground", "MapIds")
+        .edge("MapIds", "Enrich")
+        .edge("Enrich", "CorrectPvals")
+        .edge("CorrectPvals", "ScorePathways")
+        .edge("FetchPathways", "ScorePathways")
+        .from_input("FetchPathways")
+        .edge("ScorePathways", "MergeResults")
+        .edge("MergeResults", "RenderPlot")
+        .edge("RenderPlot", "Interpret")
+        .to_output("Interpret");
+    b.build().expect("valid spec")
+}
+
+/// A docking-screen workflow with a refinement loop (13 modules).
+pub fn docking_screen() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("docking-screen");
+    b.formatting("PrepLigands");
+    b.formatting("PrepReceptor");
+    b.analysis("Dock");
+    b.analysis("ScorePoses");
+    b.analysis("RefinePoses"); // loop back to Dock
+    b.formatting("ExtractTop");
+    b.analysis("MDsimulate");
+    b.formatting("ParseTrajectory");
+    b.analysis("BindingEnergy");
+    b.formatting("RankTable");
+    b.analysis("SelectHits");
+    b.formatting("ExportSDF");
+    b.analysis("ReportHits");
+    b.from_input("PrepLigands")
+        .from_input("PrepReceptor")
+        .edge("PrepLigands", "Dock")
+        .edge("PrepReceptor", "Dock")
+        .edge("Dock", "ScorePoses")
+        .edge("ScorePoses", "RefinePoses")
+        .edge("RefinePoses", "Dock")
+        .edge("ScorePoses", "ExtractTop")
+        .edge("ExtractTop", "MDsimulate")
+        .edge("MDsimulate", "ParseTrajectory")
+        .edge("ParseTrajectory", "BindingEnergy")
+        .edge("BindingEnergy", "RankTable")
+        .edge("RankTable", "SelectHits")
+        .edge("SelectHits", "ExportSDF")
+        .edge("ExportSDF", "ReportHits")
+        .to_output("ReportHits");
+    b.build().expect("valid spec")
+}
+
+/// A metagenomics profiling workflow (12 modules, parallel classifiers).
+pub fn metagenomics() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("metagenomics");
+    b.formatting("SplitReads");
+    b.formatting("HostFilter");
+    b.analysis("Kraken");
+    b.analysis("MetaPhlAn");
+    b.formatting("MergeProfiles");
+    b.analysis("Diversity");
+    b.analysis("Assemble");
+    b.formatting("BinContigs");
+    b.analysis("AnnotateBins");
+    b.formatting("BuildTables");
+    b.analysis("Compare");
+    b.formatting("RenderReport");
+    b.from_input("SplitReads")
+        .edge("SplitReads", "HostFilter")
+        .edge("HostFilter", "Kraken")
+        .edge("HostFilter", "MetaPhlAn")
+        .edge("HostFilter", "Assemble")
+        .edge("Kraken", "MergeProfiles")
+        .edge("MetaPhlAn", "MergeProfiles")
+        .edge("MergeProfiles", "Diversity")
+        .edge("Assemble", "BinContigs")
+        .edge("BinContigs", "AnnotateBins")
+        .edge("Diversity", "BuildTables")
+        .edge("AnnotateBins", "BuildTables")
+        .edge("BuildTables", "Compare")
+        .edge("Compare", "RenderReport")
+        .to_output("RenderReport");
+    b.build().expect("valid spec")
+}
+
+/// A structure-prediction-and-compare workflow (8 modules).
+pub fn structure_prediction() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("structure-prediction");
+    b.formatting("CleanSeq");
+    b.analysis("PredictSS");
+    b.analysis("Fold");
+    b.analysis("AssessModel"); // loop back to Fold
+    b.formatting("SuperposePrep");
+    b.analysis("CompareKnown");
+    b.formatting("RenderPyMOL");
+    b.analysis("Conclude");
+    b.from_input("CleanSeq")
+        .edge("CleanSeq", "PredictSS")
+        .edge("PredictSS", "Fold")
+        .edge("Fold", "AssessModel")
+        .edge("AssessModel", "Fold")
+        .edge("AssessModel", "SuperposePrep")
+        .edge("SuperposePrep", "CompareKnown")
+        .edge("CompareKnown", "RenderPyMOL")
+        .edge("RenderPyMOL", "Conclude")
+        .to_output("Conclude");
+    b.build().expect("valid spec")
+}
+
+/// The First Provenance Challenge fMRI workflow (the paper's references
+/// \[5\]/\[6\]: the authors' provenance model "was used in the First Provenance
+/// Challenge"). Five procedures — align_warp, reslice, softmean, slicer,
+/// convert — run over four anatomy-image/header pairs, producing three
+/// atlas graphics:
+///
+/// ```text
+/// I → AlignWarp → Reslice → Softmean → Slicer → Convert → O
+/// ```
+pub fn provenance_challenge() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("provenance-challenge");
+    b.analysis("AlignWarp");
+    b.analysis("Reslice");
+    b.analysis("Softmean");
+    b.analysis("Slicer");
+    b.formatting("Convert");
+    b.from_input("AlignWarp")
+        .edge("AlignWarp", "Reslice")
+        .edge("Reslice", "Softmean")
+        .edge("Softmean", "Slicer")
+        .edge("Slicer", "Convert")
+        .to_output("Convert");
+    b.build().expect("valid spec")
+}
+
+/// The canonical run of the Provenance Challenge workflow: four parallel
+/// `align_warp`/`reslice` instances (one per anatomy-image/header pair),
+/// one `softmean`, and three `slicer`/`convert` instances (x/y/z slices),
+/// producing three atlas graphics. Data numbering:
+///
+/// * `d1..d8` — four (anatomy image, header) input pairs
+/// * `d9..d12` — warp parameters; `d13..d16` — resliced images
+/// * `d17` — atlas mean; `d18..d20` — atlas slices; `d21..d23` — graphics
+pub fn provenance_challenge_run(spec: &WorkflowSpec) -> WorkflowRun {
+    let m = |l: &str| spec.module(l).expect("module exists");
+    let mut rb = RunBuilder::new(spec);
+    rb.user("challenge");
+    // Four parallel align_warp steps: S1..S4 (steps of one module may run
+    // in parallel over different inputs — module labels repeat without a
+    // loop, which the run model permits).
+    let aligns: Vec<StepId> = (0..4).map(|_| rb.step(m("AlignWarp"))).collect();
+    let reslices: Vec<StepId> = (0..4).map(|_| rb.step(m("Reslice"))).collect();
+    let softmean = rb.step(m("Softmean"));
+    let slicers: Vec<StepId> = (0..3).map(|_| rb.step(m("Slicer"))).collect();
+    let converts: Vec<StepId> = (0..3).map(|_| rb.step(m("Convert"))).collect();
+    for (i, &a) in aligns.iter().enumerate() {
+        let img = 1 + 2 * i as u64; // d1,d3,d5,d7 images; d2,d4,d6,d8 headers
+        rb.input_edge(a, [img, img + 1]);
+        rb.data_edge(a, reslices[i], [9 + i as u64]);
+        rb.data_edge(reslices[i], softmean, [13 + i as u64]);
+    }
+    for (i, &s) in slicers.iter().enumerate() {
+        rb.data_edge(softmean, s, [17]);
+        rb.data_edge(s, converts[i], [18 + i as u64]);
+        rb.output_edge(converts[i], [21 + i as u64]);
+    }
+    rb.build().expect("valid run")
+}
+
+/// An RNA-seq differential-expression pipeline (13 modules, linear with one
+/// parallel quantification fork).
+pub fn rnaseq() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("rnaseq");
+    b.formatting("Demux");
+    b.analysis("TrimQC");
+    b.analysis("AlignSTAR");
+    b.formatting("SortIndex");
+    b.analysis("CountFeature");
+    b.analysis("Salmon");
+    b.formatting("MergeCounts");
+    b.analysis("NormalizeDESeq");
+    b.analysis("TestDE");
+    b.formatting("AnnotateHits");
+    b.analysis("GSEA");
+    b.formatting("MakeFigures");
+    b.analysis("WriteReport");
+    b.from_input("Demux")
+        .edge("Demux", "TrimQC")
+        .edge("TrimQC", "AlignSTAR")
+        .edge("TrimQC", "Salmon")
+        .edge("AlignSTAR", "SortIndex")
+        .edge("SortIndex", "CountFeature")
+        .edge("CountFeature", "MergeCounts")
+        .edge("Salmon", "MergeCounts")
+        .edge("MergeCounts", "NormalizeDESeq")
+        .edge("NormalizeDESeq", "TestDE")
+        .edge("TestDE", "AnnotateHits")
+        .edge("AnnotateHits", "GSEA")
+        .edge("GSEA", "MakeFigures")
+        .edge("MakeFigures", "WriteReport")
+        .to_output("WriteReport");
+    b.build().expect("valid spec")
+}
+
+/// A ChIP-seq peak-calling workflow with a filtering loop (11 modules).
+pub fn chipseq() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("chipseq");
+    b.formatting("SplitLanes");
+    b.analysis("MapBowtie");
+    b.formatting("Dedup");
+    b.analysis("CallPeaks");
+    b.analysis("InspectPeaks"); // loops back to CallPeaks with new params
+    b.formatting("MergeReplicates");
+    b.analysis("MotifSearch");
+    b.analysis("AnnotatePeaks");
+    b.formatting("BedToBigBed");
+    b.formatting("TrackHub");
+    b.analysis("Interpret");
+    b.from_input("SplitLanes")
+        .edge("SplitLanes", "MapBowtie")
+        .edge("MapBowtie", "Dedup")
+        .edge("Dedup", "CallPeaks")
+        .edge("CallPeaks", "InspectPeaks")
+        .edge("InspectPeaks", "CallPeaks")
+        .edge("InspectPeaks", "MergeReplicates")
+        .edge("MergeReplicates", "MotifSearch")
+        .edge("MergeReplicates", "AnnotatePeaks")
+        .edge("MotifSearch", "Interpret")
+        .edge("AnnotatePeaks", "BedToBigBed")
+        .edge("BedToBigBed", "TrackHub")
+        .edge("TrackHub", "Interpret")
+        .to_output("Interpret");
+    b.build().expect("valid spec")
+}
+
+/// A comparative-genomics ortholog workflow with two independent inputs
+/// (9 modules).
+pub fn ortholog_detection() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("ortholog-detection");
+    b.formatting("LoadGenomeA");
+    b.formatting("LoadGenomeB");
+    b.analysis("AllVsAllBlast");
+    b.analysis("ReciprocalBest");
+    b.formatting("ClusterFormat");
+    b.analysis("BuildFamilies");
+    b.analysis("AlignFamilies");
+    b.formatting("ConcatAlignments");
+    b.analysis("SpeciesTree");
+    b.from_input("LoadGenomeA")
+        .from_input("LoadGenomeB")
+        .edge("LoadGenomeA", "AllVsAllBlast")
+        .edge("LoadGenomeB", "AllVsAllBlast")
+        .edge("AllVsAllBlast", "ReciprocalBest")
+        .edge("ReciprocalBest", "ClusterFormat")
+        .edge("ClusterFormat", "BuildFamilies")
+        .edge("BuildFamilies", "AlignFamilies")
+        .edge("AlignFamilies", "ConcatAlignments")
+        .edge("ConcatAlignments", "SpeciesTree")
+        .to_output("SpeciesTree");
+    b.build().expect("valid spec")
+}
+
+/// A mass-spec metabolomics workflow (12 modules, two-stage loop).
+pub fn metabolomics() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("metabolomics");
+    b.formatting("ConvertVendor");
+    b.analysis("PickFeatures");
+    b.analysis("AlignRT"); // loops with PickFeatures for parameter tuning
+    b.formatting("FillGaps");
+    b.analysis("IdentifyMS2");
+    b.formatting("MapHMDB");
+    b.analysis("QuantifyPeaks");
+    b.formatting("NormalizeBatch");
+    b.analysis("Statistics");
+    b.analysis("PathwayMap");
+    b.formatting("ExportTables");
+    b.analysis("WriteSummary");
+    b.from_input("ConvertVendor")
+        .edge("ConvertVendor", "PickFeatures")
+        .edge("PickFeatures", "AlignRT")
+        .edge("AlignRT", "PickFeatures")
+        .edge("AlignRT", "FillGaps")
+        .edge("FillGaps", "IdentifyMS2")
+        .edge("IdentifyMS2", "MapHMDB")
+        .edge("FillGaps", "QuantifyPeaks")
+        .edge("QuantifyPeaks", "NormalizeBatch")
+        .edge("MapHMDB", "Statistics")
+        .edge("NormalizeBatch", "Statistics")
+        .edge("Statistics", "PathwayMap")
+        .edge("PathwayMap", "ExportTables")
+        .edge("ExportTables", "WriteSummary")
+        .to_output("WriteSummary");
+    b.build().expect("valid spec")
+}
+
+/// A single-cell clustering workflow (10 modules, linear).
+pub fn single_cell() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("single-cell");
+    b.formatting("CellRangerOut");
+    b.analysis("FilterCells");
+    b.analysis("NormalizeSC");
+    b.formatting("SelectGenes");
+    b.analysis("PCA");
+    b.analysis("Neighbors");
+    b.analysis("ClusterLeiden");
+    b.analysis("UMAP");
+    b.formatting("ExportLoom");
+    b.analysis("AnnotateTypes");
+    b.from_input("CellRangerOut")
+        .edge("CellRangerOut", "FilterCells")
+        .edge("FilterCells", "NormalizeSC")
+        .edge("NormalizeSC", "SelectGenes")
+        .edge("SelectGenes", "PCA")
+        .edge("PCA", "Neighbors")
+        .edge("Neighbors", "ClusterLeiden")
+        .edge("Neighbors", "UMAP")
+        .edge("ClusterLeiden", "AnnotateTypes")
+        .edge("UMAP", "AnnotateTypes")
+        .edge("AnnotateTypes", "ExportLoom")
+        .to_output("ExportLoom");
+    b.build().expect("valid spec")
+}
+
+/// An epidemiological phylodynamics workflow (11 modules, reflexive MCMC
+/// loop).
+pub fn phylodynamics() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("phylodynamics");
+    b.formatting("HarvestGenbank");
+    b.formatting("CurateMetadata");
+    b.analysis("AlignMAFFT");
+    b.analysis("MaskSites");
+    b.analysis("RunBEAST"); // reflexive: chains resumed until converged
+    b.analysis("CheckESS");
+    b.formatting("ThinTrees");
+    b.analysis("MCCTree");
+    b.analysis("Skyline");
+    b.formatting("PlotFigures");
+    b.analysis("Conclusions");
+    b.from_input("HarvestGenbank")
+        .from_input("CurateMetadata")
+        .edge("HarvestGenbank", "AlignMAFFT")
+        .edge("CurateMetadata", "AlignMAFFT")
+        .edge("AlignMAFFT", "MaskSites")
+        .edge("MaskSites", "RunBEAST")
+        .edge("RunBEAST", "RunBEAST")
+        .edge("RunBEAST", "CheckESS")
+        .edge("CheckESS", "ThinTrees")
+        .edge("ThinTrees", "MCCTree")
+        .edge("ThinTrees", "Skyline")
+        .edge("MCCTree", "PlotFigures")
+        .edge("Skyline", "PlotFigures")
+        .edge("PlotFigures", "Conclusions")
+        .to_output("Conclusions");
+    b.build().expect("valid spec")
+}
+
+/// A genome-annotation workflow with three parallel evidence tracks
+/// (13 modules).
+pub fn genome_annotation() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("genome-annotation");
+    b.formatting("SoftMask");
+    b.analysis("AbInitio");
+    b.analysis("ProteinEvidence");
+    b.analysis("RnaEvidence");
+    b.formatting("FormatHints");
+    b.analysis("CombineEVM");
+    b.analysis("FilterModels");
+    b.formatting("AssignIds");
+    b.analysis("FunctionalBlast");
+    b.formatting("GffCleanup");
+    b.analysis("QualityBusco");
+    b.formatting("Package");
+    b.analysis("Submit");
+    b.from_input("SoftMask")
+        .edge("SoftMask", "AbInitio")
+        .edge("SoftMask", "ProteinEvidence")
+        .edge("SoftMask", "RnaEvidence")
+        .edge("ProteinEvidence", "FormatHints")
+        .edge("RnaEvidence", "FormatHints")
+        .edge("AbInitio", "CombineEVM")
+        .edge("FormatHints", "CombineEVM")
+        .edge("CombineEVM", "FilterModels")
+        .edge("FilterModels", "AssignIds")
+        .edge("AssignIds", "FunctionalBlast")
+        .edge("FunctionalBlast", "GffCleanup")
+        .edge("GffCleanup", "QualityBusco")
+        .edge("QualityBusco", "Package")
+        .edge("Package", "Submit")
+        .to_output("Submit");
+    b.build().expect("valid spec")
+}
+
+/// A small imaging-segmentation workflow (7 modules, linear with one loop).
+pub fn image_segmentation() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("image-segmentation");
+    b.formatting("IngestTiff");
+    b.analysis("Denoise");
+    b.analysis("Segment");
+    b.analysis("ReviewMasks"); // loops back to Segment
+    b.analysis("MeasureObjects");
+    b.formatting("ExportCSV");
+    b.analysis("Classify");
+    b.from_input("IngestTiff")
+        .edge("IngestTiff", "Denoise")
+        .edge("Denoise", "Segment")
+        .edge("Segment", "ReviewMasks")
+        .edge("ReviewMasks", "Segment")
+        .edge("ReviewMasks", "MeasureObjects")
+        .edge("MeasureObjects", "ExportCSV")
+        .edge("ExportCSV", "Classify")
+        .to_output("Classify");
+    b.build().expect("valid spec")
+}
+
+/// A GWAS association workflow (12 modules).
+pub fn gwas() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("gwas");
+    b.formatting("MergePlates");
+    b.analysis("CallGenotypes");
+    b.analysis("QCSamples");
+    b.analysis("QCVariants");
+    b.formatting("PhasePrep");
+    b.analysis("Impute");
+    b.analysis("Associate");
+    b.formatting("ClumpResults");
+    b.analysis("FineMap");
+    b.formatting("MakeManhattan");
+    b.analysis("Replicate");
+    b.analysis("ReportLoci");
+    b.from_input("MergePlates")
+        .edge("MergePlates", "CallGenotypes")
+        .edge("CallGenotypes", "QCSamples")
+        .edge("QCSamples", "QCVariants")
+        .edge("QCVariants", "PhasePrep")
+        .edge("PhasePrep", "Impute")
+        .edge("Impute", "Associate")
+        .edge("Associate", "ClumpResults")
+        .edge("ClumpResults", "FineMap")
+        .edge("ClumpResults", "MakeManhattan")
+        .edge("FineMap", "Replicate")
+        .edge("MakeManhattan", "ReportLoci")
+        .edge("Replicate", "ReportLoci")
+        .to_output("ReportLoci");
+    b.build().expect("valid spec")
+}
+
+/// A tiny format-convert-and-check workflow (4 modules) — the collected
+/// corpus also contained very small pipelines.
+pub fn format_check() -> WorkflowSpec {
+    let mut b = SpecBuilder::new("format-check");
+    b.formatting("Convert");
+    b.analysis("Validate");
+    b.formatting("Compress");
+    b.analysis("Archive");
+    b.from_input("Convert")
+        .edge("Convert", "Validate")
+        .edge("Validate", "Compress")
+        .edge("Compress", "Archive")
+        .to_output("Archive");
+    b.build().expect("valid spec")
+}
+
+/// The full Class-1 library (20 curated workflows, ≈ 11 modules average,
+/// mostly linear, occasional loops and parallel sections — matching the
+/// statistics the paper reports for its collected corpus of 30).
+pub fn real_workflows() -> Vec<WorkflowSpec> {
+    vec![
+        phylogenomic(),
+        blast_pipeline(),
+        microarray(),
+        proteomics(),
+        variant_calling(),
+        sequence_qc(),
+        pathway_enrichment(),
+        docking_screen(),
+        metagenomics(),
+        structure_prediction(),
+        rnaseq(),
+        chipseq(),
+        ortholog_detection(),
+        metabolomics(),
+        single_cell(),
+        phylodynamics(),
+        genome_annotation(),
+        image_segmentation(),
+        gwas(),
+        format_check(),
+    ]
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{DataId, Producer, StepId};
+
+    #[test]
+    fn all_library_specs_are_valid_and_sized_right() {
+        let lib = real_workflows();
+        assert_eq!(lib.len(), 20);
+        let total: usize = lib.iter().map(WorkflowSpec::module_count).sum();
+        let avg = total as f64 / lib.len() as f64;
+        assert!(
+            (9.0..=14.0).contains(&avg),
+            "average module count {avg} should be near the paper's 12"
+        );
+        // Unique names.
+        let mut names: Vec<&str> = lib.iter().map(WorkflowSpec::name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+
+    #[test]
+    fn figure2_run_matches_paper_facts() {
+        let spec = phylogenomic();
+        let run = figure2_run(&spec);
+        assert_eq!(run.step_count(), 10);
+        assert_eq!(run.data_count(), 447);
+        // d1..d447 all present.
+        assert_eq!(run.all_data().first(), Some(&DataId(1)));
+        assert_eq!(run.all_data().last(), Some(&DataId(447)));
+        assert_eq!(run.final_outputs(), vec![DataId(447)]);
+        // Immediate provenance of d413 is S6 (an M4 instance) with {d412}.
+        assert_eq!(run.producer_of(DataId(413)), Some(Producer::Step(StepId(6))));
+        assert_eq!(run.module_of(StepId(6)).unwrap(), spec.module("M4").unwrap());
+        assert_eq!(run.inputs_of(StepId(6)).unwrap(), vec![DataId(412)]);
+        // S2 is an M3 instance with inputs {d308..d408}.
+        assert_eq!(run.module_of(StepId(2)).unwrap(), spec.module("M3").unwrap());
+        let ins = run.inputs_of(StepId(2)).unwrap();
+        assert_eq!(ins.len(), 101);
+        assert_eq!(ins[0], DataId(308));
+        assert_eq!(ins[100], DataId(408));
+        // User inputs: d1..d100, d202..d206, d415..d445.
+        let ui = run.user_inputs();
+        assert_eq!(ui.len(), 100 + 5 + 31);
+        assert!(run.user_input_meta(DataId(202)).is_some());
+    }
+
+    #[test]
+    fn provenance_challenge_run_shape() {
+        let spec = provenance_challenge();
+        let run = provenance_challenge_run(&spec);
+        assert_eq!(run.step_count(), 15); // 4 + 4 + 1 + 3 + 3
+        assert_eq!(run.data_count(), 23);
+        assert_eq!(run.user_inputs().len(), 8);
+        assert_eq!(
+            run.final_outputs(),
+            vec![DataId(21), DataId(22), DataId(23)]
+        );
+        // Parallel instances of one module, no loop in the spec.
+        let aligns = run
+            .steps()
+            .filter(|&(_, m)| m == spec.module("AlignWarp").unwrap())
+            .count();
+        assert_eq!(aligns, 4);
+        assert!(zoom_graph::algo::topo::is_acyclic(spec.graph()));
+        // The atlas mean d17 fans out to all three slicers.
+        assert_eq!(run.producer_of(DataId(17)), Some(Producer::Step(StepId(9))));
+    }
+
+    #[test]
+    fn every_library_spec_roundtrips_through_a_log() {
+        // Sanity: the Figure 2 run survives run -> log -> run.
+        let spec = phylogenomic();
+        let run = figure2_run(&spec);
+        let log = zoom_model::EventLog::from_run(&run, &spec);
+        let back = log.to_run(&spec).unwrap();
+        assert_eq!(back.step_count(), run.step_count());
+        assert_eq!(back.all_data(), run.all_data());
+        assert_eq!(back.final_outputs(), run.final_outputs());
+    }
+}

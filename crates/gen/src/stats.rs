@@ -1,0 +1,326 @@
+//! Statistics extraction over specifications and runs — the analysis side
+//! of Section V's methodology ("we extracted patterns of workflows … and
+//! inferred statistics on their usage").
+
+use serde::{Deserialize, Serialize};
+use zoom_graph::algo::cycles::back_edges;
+use zoom_model::{ModuleKind, WorkflowRun, WorkflowSpec};
+
+/// Structural statistics of a workflow specification.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SpecStats {
+    /// Number of modules.
+    pub modules: usize,
+    /// Number of edges (including input/output edges).
+    pub edges: usize,
+    /// Number of loop (back) edges.
+    pub loops: usize,
+    /// Number of AND-split modules (out-degree > 1, ignoring edges to output).
+    pub splits: usize,
+    /// Number of join modules (in-degree > 1, ignoring edges from input).
+    pub joins: usize,
+    /// Number of modules fed directly by the input node.
+    pub sources: usize,
+    /// Number of formatting modules.
+    pub formatting: usize,
+    /// `true` if the workflow is a pure chain (no splits, joins, or loops).
+    pub is_linear: bool,
+}
+
+/// Computes [`SpecStats`] for a specification.
+pub fn spec_stats(spec: &WorkflowSpec) -> SpecStats {
+    let g = spec.graph();
+    let loops = back_edges(g).len();
+    let mut splits = 0;
+    let mut joins = 0;
+    let mut formatting = 0;
+    for m in spec.module_ids() {
+        let out = g
+            .successors(m)
+            .filter(|&t| t != spec.output())
+            .count();
+        let inn = g
+            .predecessors(m)
+            .filter(|&p| p != spec.input())
+            .count();
+        if out > 1 {
+            splits += 1;
+        }
+        if inn > 1 {
+            joins += 1;
+        }
+        if spec.kind(m) == ModuleKind::Formatting {
+            formatting += 1;
+        }
+    }
+    let sources = g.successors(spec.input()).count();
+    SpecStats {
+        modules: spec.module_count(),
+        edges: g.edge_count(),
+        loops,
+        splits,
+        joins,
+        sources,
+        formatting,
+        is_linear: loops == 0 && splits == 0 && joins == 0 && sources == 1,
+    }
+}
+
+/// Detected pattern instances in a specification — the inference direction
+/// of the paper's methodology: "we extracted patterns of workflows (e.g.,
+/// sequence, loop) and inferred statistics on their usage (e.g. the
+/// sequence pattern is used four times more than the reflexive loop)".
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternCounts {
+    /// Maximal chains of pass-through modules (in-degree = out-degree = 1),
+    /// weighted by length — the "sequence" instances.
+    pub sequences: usize,
+    /// Two-or-more-module cycles (non-reflexive loops).
+    pub loops: usize,
+    /// Reflexive loops (self-edges).
+    pub reflexive_loops: usize,
+    /// AND-splits (modules with ≥ 2 module successors).
+    pub parallel_splits: usize,
+    /// Additional independent input branches beyond the first (modules fed
+    /// directly by the input node).
+    pub parallel_inputs: usize,
+    /// Synchronization joins (modules with ≥ 2 module predecessors).
+    pub synchronizations: usize,
+}
+
+impl PatternCounts {
+    /// Total detected pattern instances.
+    pub fn total(&self) -> usize {
+        self.sequences
+            + self.loops
+            + self.reflexive_loops
+            + self.parallel_splits
+            + self.parallel_inputs
+            + self.synchronizations
+    }
+
+    /// The frequency (0..=1) of each pattern family, in the order
+    /// `[sequence, loop (incl. reflexive), parallel-split, parallel-input,
+    /// synchronization]`. Zero total yields zeros.
+    pub fn frequencies(&self) -> [f64; 5] {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return [0.0; 5];
+        }
+        [
+            self.sequences as f64 / t,
+            (self.loops + self.reflexive_loops) as f64 / t,
+            self.parallel_splits as f64 / t,
+            self.parallel_inputs as f64 / t,
+            self.synchronizations as f64 / t,
+        ]
+    }
+}
+
+/// Detects pattern instances in a specification by structure.
+pub fn infer_patterns(spec: &WorkflowSpec) -> PatternCounts {
+    let g = spec.graph();
+    let mut c = PatternCounts::default();
+
+    // Loops: classify back edges by self vs non-self.
+    for e in zoom_graph::algo::cycles::back_edges(g) {
+        let (s, t) = g.endpoints(e);
+        if s == t {
+            c.reflexive_loops += 1;
+        } else {
+            c.loops += 1;
+        }
+    }
+
+    let module_degree = |m, outgoing: bool| -> usize {
+        if outgoing {
+            g.successors(m).filter(|&t| t != spec.output() && t != m).count()
+        } else {
+            g.predecessors(m).filter(|&p| p != spec.input() && p != m).count()
+        }
+    };
+    for m in spec.module_ids() {
+        let (ind, outd) = (module_degree(m, false), module_degree(m, true));
+        if outd >= 2 {
+            c.parallel_splits += 1;
+        }
+        if ind >= 2 {
+            c.synchronizations += 1;
+        }
+        // Pass-through modules form sequence segments; count the modules
+        // (pattern instances roughly track chain length, as the generator's
+        // Sequence pattern adds 1-3 modules per draw).
+        if ind <= 1 && outd <= 1 {
+            c.sequences += 1;
+        }
+    }
+    // Independent input branches beyond the first.
+    c.parallel_inputs = g.successors(spec.input()).count().saturating_sub(1);
+    c
+}
+
+/// Size statistics of a workflow run.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Number of steps.
+    pub steps: usize,
+    /// Number of run-graph edges.
+    pub edges: usize,
+    /// Number of distinct data objects.
+    pub data_objects: usize,
+    /// Number of user-input objects.
+    pub user_inputs: usize,
+    /// Number of final outputs.
+    pub final_outputs: usize,
+}
+
+/// Computes [`RunStats`] for a run.
+pub fn run_stats(run: &WorkflowRun) -> RunStats {
+    RunStats {
+        steps: run.step_count(),
+        edges: run.graph().edge_count(),
+        data_objects: run.data_count(),
+        user_inputs: run.user_inputs().len(),
+        final_outputs: run.final_outputs().len(),
+    }
+}
+
+/// Infers the loop-iteration counts of a run: for each module executed more
+/// than once, its execution count ("statistics on runs, such as the average
+/// number of loop iterations, were also inferred"). Returns `(module,
+/// executions)` pairs sorted by module, only for modules with ≥ 2 steps.
+pub fn infer_loop_iterations(run: &WorkflowRun) -> Vec<(zoom_graph::NodeId, usize)> {
+    let mut counts: std::collections::BTreeMap<zoom_graph::NodeId, usize> =
+        std::collections::BTreeMap::new();
+    for (_, m) in run.steps() {
+        *counts.entry(m).or_insert(0) += 1;
+    }
+    counts.into_iter().filter(|&(_, n)| n >= 2).collect()
+}
+
+/// Aggregates a sequence of f64 samples (for the experiment harness).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples` (empty input yields zeros).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary::default();
+        }
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { n, mean, min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{figure2_run, phylogenomic};
+
+    #[test]
+    fn phylogenomic_stats() {
+        let s = phylogenomic();
+        let st = spec_stats(&s);
+        assert_eq!(st.modules, 8);
+        assert_eq!(st.loops, 1); // the M3/M5 alignment loop
+        assert!(st.splits >= 2); // M1 and M4 fan out
+        assert!(st.joins >= 1); // M7 joins three inputs
+        assert_eq!(st.sources, 3); // M1, M2, M6
+        assert_eq!(st.formatting, 4); // M1, M4, M6, M8
+        assert!(!st.is_linear);
+    }
+
+    #[test]
+    fn linear_detection() {
+        let s = crate::library::sequence_qc();
+        let st = spec_stats(&s);
+        assert!(st.is_linear);
+        assert_eq!(st.loops, 0);
+    }
+
+    #[test]
+    fn figure2_run_stats() {
+        let s = phylogenomic();
+        let r = figure2_run(&s);
+        let st = run_stats(&r);
+        assert_eq!(st.steps, 10);
+        assert_eq!(st.data_objects, 447);
+        assert_eq!(st.user_inputs, 136);
+        assert_eq!(st.final_outputs, 1);
+    }
+
+    #[test]
+    fn pattern_inference_on_phylogenomic() {
+        let s = phylogenomic();
+        let p = infer_patterns(&s);
+        assert_eq!(p.loops, 1, "the M3/M5 alignment loop");
+        assert_eq!(p.reflexive_loops, 0);
+        assert!(p.parallel_splits >= 2, "M1 and M4 fan out");
+        assert!(p.synchronizations >= 1, "M7 joins");
+        assert_eq!(p.parallel_inputs, 2, "M2 and M6 beyond M1");
+        assert!(p.sequences >= 1);
+        let f = p.frequencies();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inferred_frequencies_reflect_generator_class() {
+        use crate::specgen::{generate_spec, SpecGenConfig};
+        use crate::WorkflowClass;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut agg = |class: WorkflowClass| {
+            let mut freq = [0.0f64; 5];
+            for _ in 0..20 {
+                let s = generate_spec("t", &SpecGenConfig::new(class, 30), &mut rng);
+                let f = infer_patterns(&s).frequencies();
+                for (a, b) in freq.iter_mut().zip(f) {
+                    *a += b / 20.0;
+                }
+            }
+            freq
+        };
+        let linear = agg(WorkflowClass::Linear);
+        let loopy = agg(WorkflowClass::Loop);
+        // Loop-class specs show markedly more loop instances.
+        assert!(loopy[1] > linear[1] * 2.0, "{loopy:?} vs {linear:?}");
+        // Linear-class specs are sequence-dominated.
+        assert!(linear[0] > 0.5, "{linear:?}");
+    }
+
+    #[test]
+    fn loop_iteration_inference() {
+        let s = phylogenomic();
+        let r = figure2_run(&s);
+        let iters = infer_loop_iterations(&r);
+        // M3 and M4 each executed twice; everything else once.
+        assert_eq!(iters.len(), 2);
+        assert!(iters.iter().all(|&(_, n)| n == 2));
+        let labels: Vec<&str> = iters.iter().map(|&(m, _)| s.label(m)).collect();
+        assert_eq!(labels, vec!["M3", "M4"]);
+    }
+
+    #[test]
+    fn summary_math() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(Summary::of(&[]).n, 0);
+    }
+}

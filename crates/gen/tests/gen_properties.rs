@@ -1,0 +1,103 @@
+//! Property-based tests of the workload generators: everything generated
+//! must satisfy the model's structural invariants (checked with the
+//! `validate()` re-validators, an independent code path from the builders),
+//! and the Table II knobs must actually steer the output.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zoom_gen::{
+    generate_random_spec, generate_run, generate_spec, infer_loop_iterations, spec_stats,
+    RunGenConfig, SpecGenConfig, WorkflowClass,
+};
+
+fn class_of(tag: u8) -> WorkflowClass {
+    match tag % 3 {
+        0 => WorkflowClass::Linear,
+        1 => WorkflowClass::Parallel,
+        _ => WorkflowClass::Loop,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every generated specification passes the independent re-validator.
+    #[test]
+    fn generated_specs_validate(seed in any::<u64>(), tag in any::<u8>(), n in 1usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_spec("p", &SpecGenConfig::new(class_of(tag), n), &mut rng);
+        prop_assert!(spec.validate().is_ok());
+        let spec = generate_random_spec("q", n, &mut rng);
+        prop_assert!(spec.validate().is_ok());
+    }
+
+    /// Every generated run passes the independent re-validator against its
+    /// spec, respects the node cap, and its loop iterations stay within the
+    /// configured range.
+    #[test]
+    fn generated_runs_validate_and_respect_knobs(
+        seed in any::<u64>(),
+        tag in any::<u8>(),
+        n in 2usize..25,
+        iters in (1u32..12).prop_flat_map(|lo| (Just(lo), lo..=lo + 8)),
+        per_step in (1u32..6).prop_flat_map(|lo| (Just(lo), lo..=lo + 6)),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_spec("p", &SpecGenConfig::new(class_of(tag), n), &mut rng);
+        let cfg = RunGenConfig {
+            user_input: (1, 40),
+            data_per_step: per_step,
+            loop_iterations: iters,
+            max_nodes: 600,
+            max_edges: 600,
+        };
+        let run = generate_run(&spec, &cfg, &mut rng).expect("valid run");
+        prop_assert!(run.validate(&spec).is_ok());
+        prop_assert!(run.graph().node_count() <= cfg.max_nodes);
+        // Every step runs; iterations bounded by the knob (body nodes can
+        // run one fewer when skipped in the final iteration).
+        for (_, count) in infer_loop_iterations(&run) {
+            prop_assert!(count <= iters.1 as usize, "{count} > {}", iters.1);
+        }
+        // Data volume scales with the per-step knob: at least one object
+        // per producing step, at most the cap per step.
+        let producing_steps = run
+            .steps()
+            .filter(|&(s, _)| !run.outputs_of(s).expect("step").is_empty())
+            .count();
+        prop_assert!(run.data_count() >= producing_steps);
+    }
+
+    /// Spec statistics agree with direct graph measurements.
+    #[test]
+    fn spec_stats_consistency(seed in any::<u64>(), tag in any::<u8>(), n in 2usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_spec("p", &SpecGenConfig::new(class_of(tag), n), &mut rng);
+        let st = spec_stats(&spec);
+        prop_assert_eq!(st.modules, spec.module_count());
+        prop_assert_eq!(st.edges, spec.graph().edge_count());
+        prop_assert_eq!(
+            st.loops,
+            zoom_graph::algo::cycles::back_edges(spec.graph()).len()
+        );
+        prop_assert_eq!(st.sources, spec.graph().successors(spec.input()).count());
+        if st.is_linear {
+            prop_assert_eq!(st.loops, 0);
+            prop_assert_eq!(st.splits + st.joins, 0);
+        }
+    }
+
+    /// The loop class produces cyclic specs much more often than the
+    /// parallel class (which has no loop pattern at all).
+    #[test]
+    fn class_character_is_stable(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = generate_spec(
+            "p",
+            &SpecGenConfig::new(WorkflowClass::Parallel, 30),
+            &mut rng,
+        );
+        prop_assert!(zoom_graph::algo::topo::is_acyclic(s.graph()));
+    }
+}

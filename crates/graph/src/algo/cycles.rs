@@ -1,0 +1,210 @@
+//! Cycle detection and enumeration.
+//!
+//! Workflow specifications may contain loops (e.g. the alignment-rectify
+//! loop M3→M5→M3 in the paper's Figure 1); the run generator needs to find
+//! them so it can unroll them, and the pattern-statistics extractor needs to
+//! count them.
+
+use crate::digraph::{Digraph, EdgeId, NodeId};
+
+/// Classifies each edge as a *back edge* (closing a cycle in some DFS forest)
+/// or not. The graph has a cycle iff at least one back edge exists.
+pub fn back_edges<N, E>(graph: &Digraph<N, E>) -> Vec<EdgeId> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let n = graph.node_count();
+    let mut color = vec![Color::White; n];
+    let mut back = Vec::new();
+    // Iterative DFS with explicit edge cursors.
+    let out_lists: Vec<Vec<EdgeId>> = graph
+        .node_ids()
+        .map(|v| graph.out_edges(v).collect())
+        .collect();
+    for root in graph.node_ids() {
+        if color[root.index()] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        color[root.index()] = Color::Gray;
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            let edges = &out_lists[v.index()];
+            if *pos < edges.len() {
+                let e = edges[*pos];
+                *pos += 1;
+                let w = graph.target(e);
+                match color[w.index()] {
+                    Color::White => {
+                        color[w.index()] = Color::Gray;
+                        stack.push((w, 0));
+                    }
+                    Color::Gray => back.push(e),
+                    Color::Black => {}
+                }
+            } else {
+                color[v.index()] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    back
+}
+
+/// Enumerates the elementary cycles of the graph (as node sequences, first
+/// node repeated at the end is omitted), up to `limit` cycles.
+///
+/// Uses the simple SCC-restricted DFS variant of Johnson's idea: for each
+/// node `v` (in id order), find simple paths from `v` back to `v` that only
+/// use nodes `>= v` within `v`'s SCC. Exponential in the worst case —
+/// intended for small specification graphs.
+pub fn elementary_cycles<N, E>(graph: &Digraph<N, E>, limit: usize) -> Vec<Vec<NodeId>> {
+    use crate::algo::scc::strongly_connected_components;
+    let mut out = Vec::new();
+    let sccs = strongly_connected_components(graph);
+    let mut scc_of = vec![usize::MAX; graph.node_count()];
+    for (i, c) in sccs.iter().enumerate() {
+        for &m in c {
+            scc_of[m.index()] = i;
+        }
+    }
+    let succs: Vec<Vec<NodeId>> = graph
+        .node_ids()
+        .map(|v| {
+            let mut s: Vec<NodeId> = graph.successors(v).collect();
+            s.sort();
+            s.dedup();
+            s
+        })
+        .collect();
+
+    for start in graph.node_ids() {
+        if out.len() >= limit {
+            break;
+        }
+        // DFS over nodes >= start, same SCC as start.
+        let allowed = |w: NodeId| w >= start && scc_of[w.index()] == scc_of[start.index()];
+        let mut path = vec![start];
+        let mut on_path = crate::bitset::BitSet::new(graph.node_count());
+        on_path.insert(start.index());
+        let mut cursors = vec![0usize];
+        while !path.is_empty() && out.len() < limit {
+            let v = *path.last().expect("nonempty");
+            let cur = cursors.last_mut().expect("nonempty");
+            let vs = &succs[v.index()];
+            if *cur < vs.len() {
+                let w = vs[*cur];
+                *cur += 1;
+                if w == start {
+                    out.push(path.clone());
+                } else if allowed(w) && !on_path.contains(w.index()) {
+                    on_path.insert(w.index());
+                    path.push(w);
+                    cursors.push(0);
+                }
+            } else {
+                path.pop();
+                cursors.pop();
+                on_path.remove(v.index());
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` if the graph contains at least one directed cycle.
+pub fn has_cycle<N, E>(graph: &Digraph<N, E>) -> bool {
+    !crate::algo::topo::is_acyclic(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn dag_has_no_back_edges() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(0), n(2), ());
+        assert!(back_edges(&g).is_empty());
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn cycle_yields_back_edge() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        let e_back = g.add_edge(n(1), n(0), ());
+        g.add_edge(n(1), n(2), ());
+        let back = back_edges(&g);
+        assert_eq!(back, vec![e_back]);
+        assert!(has_cycle(&g));
+    }
+
+    #[test]
+    fn enumerate_two_cycles() {
+        // 0 <-> 1, 1 <-> 2
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(0), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(2), n(1), ());
+        let mut cycles = elementary_cycles(&g, 100);
+        cycles.sort();
+        assert_eq!(cycles, vec![vec![n(0), n(1)], vec![n(1), n(2)]]);
+    }
+
+    #[test]
+    fn self_loop_cycle() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert_eq!(elementary_cycles(&g, 10), vec![vec![a]]);
+        assert_eq!(back_edges(&g).len(), 1);
+    }
+
+    #[test]
+    fn figure_eight() {
+        // Two cycles sharing node 0: 0->1->0 and 0->2->0.
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(0), ());
+        g.add_edge(n(0), n(2), ());
+        g.add_edge(n(2), n(0), ());
+        let mut cycles = elementary_cycles(&g, 100);
+        cycles.sort();
+        assert_eq!(cycles, vec![vec![n(0), n(1)], vec![n(0), n(2)]]);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(0), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(2), n(1), ());
+        assert_eq!(elementary_cycles(&g, 1).len(), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Path predicates used by the workflow model: "every node lies on some path
+//! from input to output", bounded simple-path enumeration, and edge-level
+//! path membership.
+
+use crate::bitset::BitSet;
+use crate::digraph::{Digraph, EdgeId, NodeId};
+use crate::traversal::{reachable_set, Direction};
+
+/// The set of nodes that lie on at least one directed path from `source` to
+/// `sink` (inclusive): reachable from `source` AND co-reachable to `sink`.
+pub fn nodes_on_paths<N, E>(graph: &Digraph<N, E>, source: NodeId, sink: NodeId) -> BitSet {
+    let mut fwd = reachable_set(graph, source, Direction::Forward);
+    let bwd = reachable_set(graph, sink, Direction::Backward);
+    fwd.intersect_with(&bwd);
+    fwd
+}
+
+/// Returns `true` if every node of `graph` lies on a path from `source` to
+/// `sink`. This is the well-formedness condition the paper imposes on both
+/// workflow specifications and runs (Section II).
+pub fn all_nodes_on_paths<N, E>(graph: &Digraph<N, E>, source: NodeId, sink: NodeId) -> bool {
+    nodes_on_paths(graph, source, sink).count() == graph.node_count()
+}
+
+/// The set of edges that lie on at least one directed path from `source` to
+/// `sink`: an edge (u, v) qualifies iff u is reachable from `source` and v
+/// co-reaches `sink`.
+pub fn edges_on_paths<N, E>(graph: &Digraph<N, E>, source: NodeId, sink: NodeId) -> Vec<EdgeId> {
+    let fwd = reachable_set(graph, source, Direction::Forward);
+    let bwd = reachable_set(graph, sink, Direction::Backward);
+    graph
+        .edge_ids()
+        .filter(|&e| {
+            let (u, v) = graph.endpoints(e);
+            fwd.contains(u.index()) && bwd.contains(v.index())
+        })
+        .collect()
+}
+
+/// Enumerates simple paths (as node sequences, endpoints included) from
+/// `source` to `sink`, visiting no node twice, up to `limit` paths.
+///
+/// Exponential in the worst case — intended for small specification graphs
+/// (tests, examples, and the brute-force minimum-view search).
+pub fn simple_paths<N, E>(
+    graph: &Digraph<N, E>,
+    source: NodeId,
+    sink: NodeId,
+    limit: usize,
+) -> Vec<Vec<NodeId>> {
+    let mut out = Vec::new();
+    let mut path = vec![source];
+    let mut on_path = BitSet::new(graph.node_count());
+    on_path.insert(source.index());
+    // stack of successor cursors parallel to `path`
+    let mut cursors = vec![0usize];
+    let succs: Vec<Vec<NodeId>> = graph
+        .node_ids()
+        .map(|v| {
+            let mut s: Vec<NodeId> = graph.successors(v).collect();
+            s.sort();
+            s.dedup(); // parallel edges yield the same simple path
+            s
+        })
+        .collect();
+
+    while !path.is_empty() && out.len() < limit {
+        let v = *path.last().expect("nonempty");
+        let cur = cursors.last_mut().expect("nonempty");
+        let vs = &succs[v.index()];
+        if *cur < vs.len() {
+            let w = vs[*cur];
+            *cur += 1;
+            if w == sink {
+                // Record and do not extend beyond the sink. This also covers
+                // source == sink (a simple cycle through the source).
+                let mut p = path.clone();
+                p.push(w);
+                out.push(p);
+            } else if !on_path.contains(w.index()) {
+                on_path.insert(w.index());
+                path.push(w);
+                cursors.push(0);
+            }
+        } else {
+            path.pop();
+            cursors.pop();
+            on_path.remove(v.index());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    /// input(0) -> 1 -> 2 -> out(4), input -> 3 -> out, 5 dangling from 1
+    fn g() -> Digraph<(), ()> {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..6 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(2), n(4), ());
+        g.add_edge(n(0), n(3), ());
+        g.add_edge(n(3), n(4), ());
+        g.add_edge(n(1), n(5), ());
+        g
+    }
+
+    #[test]
+    fn nodes_on_paths_excludes_dangling() {
+        let g = g();
+        let s = nodes_on_paths(&g, n(0), n(4));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert!(!all_nodes_on_paths(&g, n(0), n(4)));
+    }
+
+    #[test]
+    fn edges_on_paths_excludes_dangling_edge() {
+        let g = g();
+        let es = edges_on_paths(&g, n(0), n(4));
+        assert_eq!(es.len(), 5);
+        assert!(!es.contains(&EdgeId::from_index(5)));
+    }
+
+    #[test]
+    fn simple_paths_enumeration() {
+        let g = g();
+        let mut ps = simple_paths(&g, n(0), n(4), 100);
+        ps.sort();
+        assert_eq!(
+            ps,
+            vec![
+                vec![n(0), n(1), n(2), n(4)],
+                vec![n(0), n(3), n(4)],
+            ]
+        );
+    }
+
+    #[test]
+    fn simple_paths_respects_limit() {
+        let g = g();
+        let ps = simple_paths(&g, n(0), n(4), 1);
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn simple_paths_with_cycle_terminates() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        g.add_edge(b, c, ());
+        let ps = simple_paths(&g, a, c, 100);
+        assert_eq!(ps, vec![vec![a, b, c]]);
+    }
+
+    #[test]
+    fn source_equals_sink_needs_cycle() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let ps = simple_paths(&g, a, a, 100);
+        assert_eq!(ps, vec![vec![a, b, a]]);
+    }
+}

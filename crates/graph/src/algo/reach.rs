@@ -1,0 +1,187 @@
+//! Reachability queries and all-pairs transitive closure.
+
+use crate::bitset::BitSet;
+use crate::digraph::{Digraph, NodeId};
+use crate::traversal::{reachable_set, Direction};
+
+/// Returns `true` if there is a directed path from `a` to `b` (including the
+/// trivial path when `a == b`).
+pub fn is_reachable<N, E>(graph: &Digraph<N, E>, a: NodeId, b: NodeId) -> bool {
+    reachable_set(graph, a, Direction::Forward).contains(b.index())
+}
+
+/// All-pairs reachability, computed as one BFS per node: O(V·(V+E)) time,
+/// O(V²) bits of space.
+///
+/// For the graph sizes ZOOM deals with (specifications of tens to hundreds of
+/// nodes, runs of up to ~10,000 steps) this is both simple and fast; the
+/// bit-parallel union step keeps constants low.
+#[derive(Clone, Debug)]
+pub struct TransitiveClosure {
+    rows: Vec<BitSet>,
+}
+
+impl TransitiveClosure {
+    /// Computes the closure of `graph`. Each row `i` holds the set of nodes
+    /// reachable from node `i` (a node reaches itself only via a cycle;
+    /// use [`TransitiveClosure::reaches`] which treats `a == b` as reachable).
+    pub fn compute<N, E>(graph: &Digraph<N, E>) -> Self {
+        // Process nodes in reverse topological order of the condensation so
+        // each row can reuse successor rows (classic DAG closure trick).
+        let (cond, comp_of) = crate::algo::scc::condensation(graph);
+        let n = graph.node_count();
+        let mut rows = vec![BitSet::new(n); n];
+        // Tarjan order (= condensation insertion order) is reverse
+        // topological, so successors' rows are ready before we need them.
+        let mut comp_row: Vec<BitSet> = Vec::with_capacity(cond.node_count());
+        for cid in cond.node_ids() {
+            let members = cond.node(cid);
+            let mut row = BitSet::new(n);
+            // Within an SCC of size > 1 (or with a self-loop) every member
+            // reaches every member.
+            let cyclic = members.len() > 1
+                || members
+                    .iter()
+                    .any(|&m| graph.successors(m).any(|s| s == m));
+            if cyclic {
+                for &m in members {
+                    row.insert(m.index());
+                }
+            }
+            for &m in members {
+                for s in graph.successors(m) {
+                    let sc = comp_of[s.index()];
+                    if sc != cid {
+                        row.insert(s.index());
+                        row.union_with(&comp_row[sc.index()]);
+                    }
+                }
+            }
+            comp_row.push(row);
+        }
+        for v in graph.node_ids() {
+            rows[v.index()] = comp_row[comp_of[v.index()].index()].clone();
+        }
+        TransitiveClosure { rows }
+    }
+
+    /// `true` if `b` is reachable from `a` via a *nonempty* path.
+    pub fn reaches_strictly(&self, a: NodeId, b: NodeId) -> bool {
+        self.rows[a.index()].contains(b.index())
+    }
+
+    /// `true` if `b` is reachable from `a` (the empty path counts: `a` always
+    /// reaches itself).
+    pub fn reaches(&self, a: NodeId, b: NodeId) -> bool {
+        a == b || self.reaches_strictly(a, b)
+    }
+
+    /// The row of nodes reachable from `a` via nonempty paths.
+    pub fn row(&self, a: NodeId) -> &BitSet {
+        &self.rows[a.index()]
+    }
+
+    /// Number of reachable pairs (nonempty paths).
+    pub fn pair_count(&self) -> usize {
+        self.rows.iter().map(BitSet::count).sum()
+    }
+}
+
+/// Naive Floyd–Warshall style closure; used as an oracle in tests.
+#[allow(clippy::needless_range_loop)]
+pub fn naive_closure<N, E>(graph: &Digraph<N, E>) -> Vec<Vec<bool>> {
+    let n = graph.node_count();
+    let mut m = vec![vec![false; n]; n];
+    for (_, s, t, _) in graph.edges() {
+        m[s.index()][t.index()] = true;
+    }
+    for k in 0..n {
+        for i in 0..n {
+            if m[i][k] {
+                for j in 0..n {
+                    if m[k][j] {
+                        m[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    fn chain_with_cycle() -> Digraph<(), ()> {
+        // 0 -> 1 <-> 2 -> 3, 4 isolated, 3 -> 3 self loop
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..5 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(2), n(1), ());
+        g.add_edge(n(2), n(3), ());
+        g.add_edge(n(3), n(3), ());
+        g
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn closure_matches_naive() {
+        let g = chain_with_cycle();
+        let tc = TransitiveClosure::compute(&g);
+        let naive = naive_closure(&g);
+        for i in 0..g.node_count() {
+            for j in 0..g.node_count() {
+                assert_eq!(
+                    tc.reaches_strictly(n(i), n(j)),
+                    naive[i][j],
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn self_reachability_rules() {
+        let g = chain_with_cycle();
+        let tc = TransitiveClosure::compute(&g);
+        // 1 and 2 are on a cycle; 0 and 4 are not; 3 has a self loop.
+        assert!(tc.reaches_strictly(n(1), n(1)));
+        assert!(tc.reaches_strictly(n(2), n(2)));
+        assert!(tc.reaches_strictly(n(3), n(3)));
+        assert!(!tc.reaches_strictly(n(0), n(0)));
+        assert!(!tc.reaches_strictly(n(4), n(4)));
+        // But `reaches` counts the empty path.
+        assert!(tc.reaches(n(0), n(0)));
+        assert!(tc.reaches(n(4), n(4)));
+    }
+
+    #[test]
+    fn is_reachable_spot_checks() {
+        let g = chain_with_cycle();
+        assert!(is_reachable(&g, n(0), n(3)));
+        assert!(!is_reachable(&g, n(3), n(0)));
+        assert!(!is_reachable(&g, n(0), n(4)));
+        assert!(is_reachable(&g, n(2), n(1)));
+    }
+
+    #[test]
+    fn pair_count() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let tc = TransitiveClosure::compute(&g);
+        // a->b, a->c, b->c
+        assert_eq!(tc.pair_count(), 3);
+    }
+}

@@ -1,0 +1,202 @@
+//! Strongly connected components (iterative Tarjan) and condensation.
+
+use crate::digraph::{Digraph, NodeId};
+
+/// The strongly connected components of the graph, in reverse topological
+/// order of the condensation (i.e. a component appears before the components
+/// it has edges *into* are... precisely: Tarjan emits each SCC after all SCCs
+/// reachable from it, so the output order is a reverse topological order of
+/// the condensation DAG).
+///
+/// Every node appears in exactly one component; singleton components are
+/// emitted for nodes not on any cycle.
+pub fn strongly_connected_components<N, E>(graph: &Digraph<N, E>) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components = Vec::new();
+
+    // Explicit DFS stack: (node, iterator position into successors).
+    let mut call: Vec<(NodeId, usize)> = Vec::new();
+    // Precompute successor lists once so resuming a frame is O(1).
+    let succs: Vec<Vec<NodeId>> = graph
+        .node_ids()
+        .map(|v| graph.successors(v).collect())
+        .collect();
+
+    for root in graph.node_ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        call.push((root, 0));
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+            let succ = &succs[v.index()];
+            if *pos < succ.len() {
+                let w = succ[*pos];
+                *pos += 1;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call.pop();
+                if let Some(&(parent, _)) = call.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// The condensation of the graph: one node per SCC (carrying its member
+/// list), and an edge between distinct SCCs for every original cross-SCC
+/// edge (deduplicated).
+///
+/// Also returns the mapping from original node to condensation node.
+pub fn condensation<N, E>(graph: &Digraph<N, E>) -> (Digraph<Vec<NodeId>, ()>, Vec<NodeId>) {
+    let sccs = strongly_connected_components(graph);
+    let mut comp_of = vec![NodeId::from_index(0); graph.node_count()];
+    let mut cond: Digraph<Vec<NodeId>, ()> = Digraph::with_capacity(sccs.len(), 0);
+    for comp in sccs {
+        let cid = cond.add_node(comp);
+        for &m in cond.node(cid) {
+            comp_of[m.index()] = cid;
+        }
+    }
+    // Clippy: we must collect member lists first because cond is borrowed.
+    let mut seen: std::collections::HashSet<(NodeId, NodeId)> = std::collections::HashSet::new();
+    for (_, s, t, _) in graph.edges() {
+        let (cs, ct) = (comp_of[s.index()], comp_of[t.index()]);
+        if cs != ct && seen.insert((cs, ct)) {
+            cond.add_edge(cs, ct, ());
+        }
+    }
+    (cond, comp_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::topo::is_acyclic;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // {0,1,2} cycle -> 3 -> {4,5} cycle
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..6 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(2), n(0), ());
+        g.add_edge(n(2), n(3), ());
+        g.add_edge(n(3), n(4), ());
+        g.add_edge(n(4), n(5), ());
+        g.add_edge(n(5), n(4), ());
+        let mut sccs: Vec<Vec<usize>> = strongly_connected_components(&g)
+            .into_iter()
+            .map(|c| {
+                let mut v: Vec<usize> = c.into_iter().map(|x| x.index()).collect();
+                v.sort();
+                v
+            })
+            .collect();
+        sccs.sort();
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..4 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(0), n(3), ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 4);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn tarjan_order_is_reverse_topological() {
+        // 0 -> 1 -> 2 (all singletons): 2 must come out before 1 before 0.
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..3 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(2), ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs, vec![vec![n(2)], vec![n(1)], vec![n(0)]]);
+    }
+
+    #[test]
+    fn self_loop_is_its_own_scc() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs, vec![vec![a]]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_complete() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        for _ in 0..6 {
+            g.add_node(());
+        }
+        g.add_edge(n(0), n(1), ());
+        g.add_edge(n(1), n(0), ());
+        g.add_edge(n(1), n(2), ());
+        g.add_edge(n(2), n(3), ());
+        g.add_edge(n(3), n(2), ());
+        g.add_edge(n(3), n(4), ());
+        g.add_edge(n(4), n(5), ());
+        let (cond, comp_of) = condensation(&g);
+        assert!(is_acyclic(&cond));
+        assert_eq!(cond.node_count(), 4);
+        // Total membership covers all nodes exactly once.
+        let total: usize = cond.nodes().map(|(_, m)| m.len()).sum();
+        assert_eq!(total, 6);
+        assert_eq!(comp_of[0], comp_of[1]);
+        assert_eq!(comp_of[2], comp_of[3]);
+        assert_ne!(comp_of[0], comp_of[2]);
+        // Cross edges deduplicated: {0,1}->{2,3}, {2,3}->{4}, {4}->{5}.
+        assert_eq!(cond.edge_count(), 3);
+    }
+}

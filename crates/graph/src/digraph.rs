@@ -1,0 +1,427 @@
+//! An arena-based directed multigraph.
+//!
+//! Nodes and edges are stored in append-only arenas and addressed by
+//! [`NodeId`] / [`EdgeId`] handles. The graph is a *multigraph*: parallel
+//! edges between the same pair of nodes are allowed (a workflow run can pass
+//! several data sets between the same two steps), and self-loops are allowed
+//! (a workflow specification may contain a reflexive loop pattern).
+//!
+//! The arenas are append-only by design: ZOOM never mutates a registered
+//! workflow graph in place — derived graphs (induced specifications,
+//! condensations) are built as new graphs — so the ids stay stable for the
+//! lifetime of the graph and can be used as dense indices everywhere else in
+//! the workspace.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A handle to a node in a [`Digraph`]. Dense: `index()` is in `0..node_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+/// A handle to an edge in a [`Digraph`]. Dense: `index()` is in `0..edge_count()`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// Callers must ensure the index denotes an existing node of the graph
+    /// they use it with; methods panic on out-of-range ids.
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index overflows u32"))
+    }
+}
+
+impl EdgeId {
+    /// The dense index of this edge.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a dense index.
+    pub fn from_index(i: usize) -> Self {
+        EdgeId(u32::try_from(i).expect("edge index overflows u32"))
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct NodeData<N> {
+    weight: N,
+    out_edges: Vec<EdgeId>,
+    in_edges: Vec<EdgeId>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct EdgeData<E> {
+    weight: E,
+    source: NodeId,
+    target: NodeId,
+}
+
+/// An append-only directed multigraph with node weights `N` and edge weights `E`.
+///
+/// ```
+/// use zoom_graph::Digraph;
+/// let mut g: Digraph<&str, u32> = Digraph::new();
+/// let a = g.add_node("align");
+/// let b = g.add_node("build-tree");
+/// g.add_edge(a, b, 7);
+/// assert!(g.has_edge(a, b));
+/// assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b]);
+/// assert_eq!(*g.node(b), "build-tree");
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Digraph<N, E> {
+    nodes: Vec<NodeData<N>>,
+    edges: Vec<EdgeData<E>>,
+}
+
+impl<N, E> Default for Digraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N, E> Digraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Digraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        Digraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, weight: N) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData {
+            weight,
+            out_edges: Vec::new(),
+            in_edges: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a directed edge `source -> target` and returns its id.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
+        assert!(source.index() < self.nodes.len(), "source {source:?} out of range");
+        assert!(target.index() < self.nodes.len(), "target {target:?} out of range");
+        let id = EdgeId::from_index(self.edges.len());
+        self.edges.push(EdgeData {
+            weight,
+            source,
+            target,
+        });
+        self.nodes[source.index()].out_edges.push(id);
+        self.nodes[target.index()].in_edges.push(id);
+        id
+    }
+
+    /// Immutable access to a node's weight.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.index()].weight
+    }
+
+    /// Mutable access to a node's weight.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.index()].weight
+    }
+
+    /// Immutable access to an edge's weight.
+    pub fn edge(&self, id: EdgeId) -> &E {
+        &self.edges[id.index()].weight
+    }
+
+    /// Mutable access to an edge's weight.
+    pub fn edge_mut(&mut self, id: EdgeId) -> &mut E {
+        &mut self.edges[id.index()].weight
+    }
+
+    /// The `(source, target)` endpoints of an edge.
+    pub fn endpoints(&self, id: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[id.index()];
+        (e.source, e.target)
+    }
+
+    /// Source node of an edge.
+    pub fn source(&self, id: EdgeId) -> NodeId {
+        self.edges[id.index()].source
+    }
+
+    /// Target node of an edge.
+    pub fn target(&self, id: EdgeId) -> NodeId {
+        self.edges[id.index()].target
+    }
+
+    /// Iterates over all node ids in insertion order.
+    pub fn node_ids(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::from_index)
+    }
+
+    /// Iterates over all edge ids in insertion order.
+    pub fn edge_ids(&self) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::from_index)
+    }
+
+    /// Iterates over `(id, &weight)` for all nodes.
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = (NodeId, &N)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (NodeId::from_index(i), &d.weight))
+    }
+
+    /// Iterates over `(id, source, target, &weight)` for all edges.
+    pub fn edges(&self) -> impl ExactSizeIterator<Item = (EdgeId, NodeId, NodeId, &E)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (EdgeId::from_index(i), d.source, d.target, &d.weight))
+    }
+
+    /// Out-edges of `n` in insertion order.
+    pub fn out_edges(&self, n: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        self.nodes[n.index()].out_edges.iter().copied()
+    }
+
+    /// In-edges of `n` in insertion order.
+    pub fn in_edges(&self, n: NodeId) -> impl ExactSizeIterator<Item = EdgeId> + '_ {
+        self.nodes[n.index()].in_edges.iter().copied()
+    }
+
+    /// Successor nodes of `n` (with multiplicity if parallel edges exist).
+    pub fn successors(&self, n: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.nodes[n.index()]
+            .out_edges
+            .iter()
+            .map(|&e| self.edges[e.index()].target)
+    }
+
+    /// Predecessor nodes of `n` (with multiplicity if parallel edges exist).
+    pub fn predecessors(&self, n: NodeId) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.nodes[n.index()]
+            .in_edges
+            .iter()
+            .map(|&e| self.edges[e.index()].source)
+    }
+
+    /// Out-degree of `n` (counting parallel edges).
+    pub fn out_degree(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].out_edges.len()
+    }
+
+    /// In-degree of `n` (counting parallel edges).
+    pub fn in_degree(&self, n: NodeId) -> usize {
+        self.nodes[n.index()].in_edges.len()
+    }
+
+    /// Returns `true` if there is at least one edge `a -> b`.
+    ///
+    /// Scans the shorter of `a`'s out-list and `b`'s in-list.
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        let out = &self.nodes[a.index()].out_edges;
+        let inn = &self.nodes[b.index()].in_edges;
+        if out.len() <= inn.len() {
+            out.iter().any(|&e| self.edges[e.index()].target == b)
+        } else {
+            inn.iter().any(|&e| self.edges[e.index()].source == a)
+        }
+    }
+
+    /// Returns the first edge `a -> b`, if any.
+    pub fn find_edge(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        self.nodes[a.index()]
+            .out_edges
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].target == b)
+    }
+
+    /// Maps node and edge weights into a structurally identical graph.
+    pub fn map<N2, E2>(
+        &self,
+        mut node_map: impl FnMut(NodeId, &N) -> N2,
+        mut edge_map: impl FnMut(EdgeId, &E) -> E2,
+    ) -> Digraph<N2, E2> {
+        Digraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, d)| NodeData {
+                    weight: node_map(NodeId::from_index(i), &d.weight),
+                    out_edges: d.out_edges.clone(),
+                    in_edges: d.in_edges.clone(),
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .enumerate()
+                .map(|(i, d)| EdgeData {
+                    weight: edge_map(EdgeId::from_index(i), &d.weight),
+                    source: d.source,
+                    target: d.target,
+                })
+                .collect(),
+        }
+    }
+
+    /// Returns the reverse graph (every edge flipped), preserving ids.
+    pub fn reversed(&self) -> Digraph<N, E>
+    where
+        N: Clone,
+        E: Clone,
+    {
+        Digraph {
+            nodes: self
+                .nodes
+                .iter()
+                .map(|d| NodeData {
+                    weight: d.weight.clone(),
+                    out_edges: d.in_edges.clone(),
+                    in_edges: d.out_edges.clone(),
+                })
+                .collect(),
+            edges: self
+                .edges
+                .iter()
+                .map(|d| EdgeData {
+                    weight: d.weight.clone(),
+                    source: d.target,
+                    target: d.source,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> (Digraph<&'static str, u32>, [NodeId; 4]) {
+        // a -> b -> d, a -> c -> d
+        let mut g = Digraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        let d = g.add_node("d");
+        g.add_edge(a, b, 1);
+        g.add_edge(a, c, 2);
+        g.add_edge(b, d, 3);
+        g.add_edge(c, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(*g.node(a), "a");
+        assert_eq!(g.successors(a).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.predecessors(d).collect::<Vec<_>>(), vec![b, c]);
+        assert_eq!(g.out_degree(a), 2);
+        assert_eq!(g.in_degree(d), 2);
+        assert!(g.has_edge(a, b));
+        assert!(!g.has_edge(b, a));
+        let e = g.find_edge(c, d).unwrap();
+        assert_eq!(*g.edge(e), 4);
+        assert_eq!(g.endpoints(e), (c, d));
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops() {
+        let mut g: Digraph<(), u32> = Digraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 2);
+        g.add_edge(a, a, 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(b), 2);
+        assert!(g.has_edge(a, a));
+        assert_eq!(g.successors(a).filter(|&n| n == b).count(), 2);
+    }
+
+    #[test]
+    fn map_preserves_structure() {
+        let (g, [a, .., d]) = diamond();
+        let h = g.map(|_, &n| n.to_uppercase(), |_, &w| w * 10);
+        assert_eq!(h.node(a), "A");
+        assert_eq!(*h.edge(EdgeId::from_index(3)), 40);
+        assert_eq!(h.successors(a).count(), 2);
+        assert_eq!(h.in_degree(d), 2);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let (g, [a, b, _, d]) = diamond();
+        let r = g.reversed();
+        assert!(r.has_edge(b, a));
+        assert!(!r.has_edge(a, b));
+        assert_eq!(r.out_degree(d), 2);
+        assert_eq!(r.in_degree(d), 0);
+        // Edge ids are preserved, endpoints swapped.
+        assert_eq!(r.endpoints(EdgeId::from_index(0)), (b, a));
+    }
+
+    #[test]
+    fn node_edge_mut() {
+        let (mut g, [a, ..]) = diamond();
+        *g.node_mut(a) = "z";
+        assert_eq!(*g.node(a), "z");
+        let e = EdgeId::from_index(0);
+        *g.edge_mut(e) = 99;
+        assert_eq!(*g.edge(e), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_bad_endpoint_panics() {
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId::from_index(7), ());
+    }
+}

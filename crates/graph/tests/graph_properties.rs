@@ -1,0 +1,262 @@
+//! Property-based tests of the graph substrate against naive oracles.
+
+use proptest::prelude::*;
+use zoom_graph::algo::cycles::{back_edges, elementary_cycles, has_cycle};
+use zoom_graph::algo::paths::{edges_on_paths, nodes_on_paths, simple_paths};
+use zoom_graph::algo::reach::{naive_closure, TransitiveClosure};
+use zoom_graph::algo::scc::{condensation, strongly_connected_components};
+use zoom_graph::algo::topo::{is_acyclic, topological_ranks, topological_sort};
+use zoom_graph::{constrained_reachable_set, reachable_set, BitSet, Digraph, Direction, NodeId};
+
+/// Builds a graph from a node count and an edge list (indices mod n).
+fn graph(n: usize, edges: &[(usize, usize)]) -> Digraph<(), ()> {
+    let mut g: Digraph<(), ()> = Digraph::new();
+    for _ in 0..n {
+        g.add_node(());
+    }
+    for &(a, b) in edges {
+        g.add_edge(NodeId::from_index(a % n), NodeId::from_index(b % n), ());
+    }
+    g
+}
+
+fn arb_graph() -> impl Strategy<Value = Digraph<(), ()>> {
+    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..40))
+        .prop_map(|(n, edges)| graph(n, &edges))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The bit-parallel transitive closure agrees with Floyd–Warshall.
+    #[test]
+    fn closure_matches_naive(g in arb_graph()) {
+        let tc = TransitiveClosure::compute(&g);
+        let naive = naive_closure(&g);
+        for (i, row) in naive.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                prop_assert_eq!(
+                    tc.reaches_strictly(NodeId::from_index(i), NodeId::from_index(j)),
+                    want,
+                    "mismatch at ({}, {})",
+                    i,
+                    j
+                );
+            }
+        }
+    }
+
+    /// A topological sort exists iff the graph is acyclic, and respects
+    /// every edge when it exists.
+    #[test]
+    fn topo_sort_laws(g in arb_graph()) {
+        match topological_sort(&g) {
+            Some(order) => {
+                prop_assert!(is_acyclic(&g));
+                prop_assert!(!has_cycle(&g));
+                prop_assert_eq!(order.len(), g.node_count());
+                let ranks = topological_ranks(&g).expect("acyclic");
+                for (_, s, t, _) in g.edges() {
+                    prop_assert!(ranks[s.index()] < ranks[t.index()]);
+                }
+            }
+            None => {
+                prop_assert!(has_cycle(&g));
+                prop_assert!(!back_edges(&g).is_empty());
+            }
+        }
+    }
+
+    /// SCCs partition the nodes; two nodes share an SCC iff they reach each
+    /// other; the condensation is acyclic.
+    #[test]
+    fn scc_laws(g in arb_graph()) {
+        let sccs = strongly_connected_components(&g);
+        let total: usize = sccs.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, g.node_count());
+        let mut comp = vec![usize::MAX; g.node_count()];
+        for (i, c) in sccs.iter().enumerate() {
+            for &m in c {
+                prop_assert_eq!(comp[m.index()], usize::MAX, "node in two SCCs");
+                comp[m.index()] = i;
+            }
+        }
+        let tc = TransitiveClosure::compute(&g);
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                let same = comp[a.index()] == comp[b.index()];
+                let mutual = tc.reaches(a, b) && tc.reaches(b, a);
+                prop_assert_eq!(same, mutual, "{:?} {:?}", a, b);
+            }
+        }
+        let (cond, comp_of) = condensation(&g);
+        prop_assert!(is_acyclic(&cond));
+        prop_assert_eq!(cond.node_count(), sccs.len());
+        for (_, s, t, _) in g.edges() {
+            if comp_of[s.index()] != comp_of[t.index()] {
+                prop_assert!(cond.has_edge(comp_of[s.index()], comp_of[t.index()]));
+            }
+        }
+    }
+
+    /// Removing the DFS back edges always leaves an acyclic graph.
+    #[test]
+    fn back_edge_removal_breaks_all_cycles(g in arb_graph()) {
+        let backs: std::collections::HashSet<_> = back_edges(&g).into_iter().collect();
+        let mut fwd: Digraph<(), ()> = Digraph::new();
+        for _ in 0..g.node_count() {
+            fwd.add_node(());
+        }
+        for e in g.edge_ids() {
+            if !backs.contains(&e) {
+                let (s, t) = g.endpoints(e);
+                fwd.add_edge(s, t, ());
+            }
+        }
+        prop_assert!(is_acyclic(&fwd));
+    }
+
+    /// Reachability from BFS agrees with the closure (plus the trivial
+    /// self-path).
+    #[test]
+    fn bfs_reachability_matches_closure(g in arb_graph()) {
+        let tc = TransitiveClosure::compute(&g);
+        for a in g.node_ids() {
+            let fwd = reachable_set(&g, a, Direction::Forward);
+            for b in g.node_ids() {
+                prop_assert_eq!(fwd.contains(b.index()), tc.reaches(a, b));
+            }
+            let bwd = reachable_set(&g, a, Direction::Backward);
+            for b in g.node_ids() {
+                prop_assert_eq!(bwd.contains(b.index()), tc.reaches(b, a));
+            }
+        }
+    }
+
+    /// Constrained reachability equals plain reachability on the graph with
+    /// the blocked nodes' outgoing edges removed.
+    #[test]
+    fn constrained_bfs_matches_filtered_graph(
+        g in arb_graph(),
+        blocked_mask in any::<u16>(),
+        root in 0usize..12,
+    ) {
+        let root = NodeId::from_index(root % g.node_count());
+        let blocked = |m: NodeId| blocked_mask & (1 << (m.index() % 16)) != 0;
+        let got = constrained_reachable_set(&g, root, Direction::Forward, |m| !blocked(m));
+
+        // Oracle: remove out-edges of blocked nodes (except the root's own,
+        // which always expand), then BFS; drop the root unless re-reached.
+        let mut filtered: Digraph<(), ()> = Digraph::new();
+        for _ in 0..g.node_count() {
+            filtered.add_node(());
+        }
+        for (_, s, t, _) in g.edges() {
+            if s == root || !blocked(s) {
+                filtered.add_edge(s, t, ());
+            }
+        }
+        let mut want = BitSet::new(g.node_count());
+        for b in filtered.node_ids() {
+            if b == root {
+                // Root counts only if on a nontrivial cycle.
+                let back = filtered
+                    .node_ids()
+                    .any(|m| {
+                        reachable_set(&filtered, root, Direction::Forward).contains(m.index())
+                            && m != root
+                            && filtered.has_edge(m, root)
+                    })
+                    || filtered.has_edge(root, root);
+                if back {
+                    want.insert(root.index());
+                }
+                continue;
+            }
+            if reachable_set(&filtered, root, Direction::Forward).contains(b.index()) {
+                want.insert(b.index());
+            }
+        }
+        prop_assert_eq!(
+            got.iter().collect::<Vec<_>>(),
+            want.iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Every enumerated simple path is a real path with distinct
+    /// intermediate nodes and correct endpoints; and path existence agrees
+    /// with reachability.
+    #[test]
+    fn simple_paths_are_paths(g in arb_graph(), s in 0usize..12, t in 0usize..12) {
+        let s = NodeId::from_index(s % g.node_count());
+        let t = NodeId::from_index(t % g.node_count());
+        let paths = simple_paths(&g, s, t, 200);
+        for p in &paths {
+            prop_assert_eq!(p[0], s);
+            prop_assert_eq!(*p.last().expect("nonempty"), t);
+            for w in p.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+            let mut inner: Vec<_> = p[..p.len() - 1].to_vec();
+            inner.sort();
+            inner.dedup();
+            prop_assert_eq!(inner.len(), p.len() - 1, "repeated non-final node");
+        }
+        if s != t {
+            let tc = TransitiveClosure::compute(&g);
+            // If not truncated by the limit, path existence == reachability.
+            if paths.len() < 200 {
+                prop_assert_eq!(!paths.is_empty(), tc.reaches_strictly(s, t));
+            }
+        }
+    }
+
+    /// nodes_on_paths and edges_on_paths are consistent with each other.
+    #[test]
+    fn path_membership_consistency(g in arb_graph(), s in 0usize..12, t in 0usize..12) {
+        let s = NodeId::from_index(s % g.node_count());
+        let t = NodeId::from_index(t % g.node_count());
+        let nodes = nodes_on_paths(&g, s, t);
+        for e in edges_on_paths(&g, s, t) {
+            let (a, b) = g.endpoints(e);
+            prop_assert!(nodes.contains(a.index()));
+            prop_assert!(nodes.contains(b.index()));
+        }
+    }
+
+    /// Every elementary cycle is a real cycle; a graph has cycles iff the
+    /// enumeration finds one.
+    #[test]
+    fn elementary_cycles_are_cycles(g in arb_graph()) {
+        let cycles = elementary_cycles(&g, 500);
+        for c in &cycles {
+            for w in c.windows(2) {
+                prop_assert!(g.has_edge(w[0], w[1]));
+            }
+            prop_assert!(g.has_edge(*c.last().expect("nonempty"), c[0]));
+            let mut sorted = c.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), c.len(), "repeated node in cycle");
+        }
+        if cycles.len() < 500 {
+            prop_assert_eq!(!cycles.is_empty(), has_cycle(&g));
+        }
+    }
+
+    /// BitSet behaves like a BTreeSet model.
+    #[test]
+    fn bitset_model(ops in proptest::collection::vec((0usize..64, any::<bool>()), 0..100)) {
+        let mut bs = BitSet::new(64);
+        let mut model = std::collections::BTreeSet::new();
+        for (v, insert) in ops {
+            if insert {
+                prop_assert_eq!(bs.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(bs.remove(v), model.remove(&v));
+            }
+        }
+        prop_assert_eq!(bs.count(), model.len());
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+    }
+}

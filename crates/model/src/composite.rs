@@ -1,0 +1,577 @@
+//! Composite executions (Section II): the run as seen through a user view.
+//!
+//! "The execution of consecutive steps within the same composite module
+//! causes a virtual execution of the composite step." We materialize this as
+//! a [`ViewRun`]: the run graph whose nodes are *composite executions* —
+//! weakly-connected groups of steps belonging to the same composite module —
+//! and whose edges carry only the data passed **between** composite
+//! executions. Data passed between steps inside one composite execution is
+//! hidden, which is exactly how user views restrict provenance.
+//!
+//! On the paper's Figure 2 with Joe's view, the three steps of `M10`'s loop
+//! collapse into one virtual execution `S13` (input `{d308..d408}`, output
+//! `{d413}`); with Mary's view, `M11` yields two virtual executions `S11`
+//! and `S12` because the loop leaves the composite through `M5` and
+//! re-enters.
+//!
+//! Design note: a *singleton* composite (one module, as every composite of
+//! UAdmin) whose execution group is a single step keeps the original step
+//! id, so UAdmin's view-run is the run itself. Virtual executions get fresh
+//! ids numbered after the run's largest step id, in order of their smallest
+//! member step.
+
+use crate::ids::{CompositeId, DataId, StepId};
+use crate::run::{RunNode, WorkflowRun};
+use crate::spec::WorkflowSpec;
+use crate::view::UserView;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use zoom_graph::{Digraph, NodeId};
+
+/// One (possibly virtual) execution of a composite module.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompositeExecution {
+    /// The execution's step id — original for singleton groups of singleton
+    /// composites, fresh ("virtual") otherwise.
+    pub id: StepId,
+    /// The composite module this is an execution of.
+    pub composite: CompositeId,
+    /// The member steps, sorted.
+    pub members: Vec<StepId>,
+    /// Whether the id is virtual (constructed, not present in the log).
+    pub is_virtual: bool,
+}
+
+/// A node of a view-run graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ViewRunNode {
+    /// Beginning of the execution.
+    Input,
+    /// End of the execution.
+    Output,
+    /// A composite execution (index into [`ViewRun::execs`]).
+    Exec(u32),
+}
+
+/// A workflow run projected through a user view.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViewRun {
+    spec_name: String,
+    view_name: String,
+    execs: Vec<CompositeExecution>,
+    graph: Digraph<ViewRunNode, Vec<DataId>>,
+    exec_of_step: HashMap<StepId, u32>,
+    /// Producing view-graph node for every *visible* data object.
+    producer: HashMap<DataId, NodeId>,
+}
+
+impl ViewRun {
+    /// Projects `run` through `view`.
+    ///
+    /// # Panics
+    /// Panics if `run` and `view` do not belong to the same specification
+    /// (callers go through the warehouse or [`crate::spec::WorkflowSpec`]
+    /// APIs which guarantee this).
+    pub fn new(run: &WorkflowRun, view: &UserView) -> Self {
+        assert_eq!(
+            run.spec_name(),
+            view.spec_name(),
+            "run and view must be over the same specification"
+        );
+
+        // --- 1. Composite of every step node; union-find over step nodes.
+        let rg = run.graph();
+        let n = rg.node_count();
+        let mut comp_of_node: Vec<Option<CompositeId>> = vec![None; n];
+        for node in rg.node_ids() {
+            if let RunNode::Step { module, .. } = rg.node(node) {
+                comp_of_node[node.index()] = Some(view.composite_of(*module));
+            }
+        }
+        let mut uf = UnionFind::new(n);
+        for (_, s, t, _) in rg.edges() {
+            if let (Some(cs), Some(ct)) = (comp_of_node[s.index()], comp_of_node[t.index()]) {
+                // Steps group only within *composite* modules proper — a
+                // singleton composite is the module itself, so its steps
+                // (e.g. the unrolled iterations of a reflexive loop) stay
+                // separate. This keeps UAdmin ("no composite modules") the
+                // finest level: its view-run is exactly the run.
+                if cs == ct && view.members(cs).len() > 1 {
+                    uf.union(s.index(), t.index());
+                }
+            }
+        }
+
+        // --- 2. Collect groups (sorted by smallest member step id).
+        let mut groups: HashMap<usize, Vec<NodeId>> = HashMap::new();
+        for node in rg.node_ids() {
+            if comp_of_node[node.index()].is_some() {
+                groups.entry(uf.find(node.index())).or_default().push(node);
+            }
+        }
+        let step_id = |node: NodeId| match rg.node(node) {
+            RunNode::Step { id, .. } => *id,
+            _ => unreachable!("groups contain only steps"),
+        };
+        let mut group_list: Vec<Vec<NodeId>> = groups.into_values().collect();
+        for g in &mut group_list {
+            g.sort_by_key(|&m| step_id(m));
+        }
+        group_list.sort_by_key(|g| step_id(g[0]));
+
+        // --- 3. Assign execution ids.
+        let mut next_virtual = run.max_step_id() + 1;
+        let mut execs = Vec::with_capacity(group_list.len());
+        let mut exec_of_step: HashMap<StepId, u32> = HashMap::new();
+        let mut exec_of_node: Vec<u32> = vec![u32::MAX; n];
+        for (i, g) in group_list.iter().enumerate() {
+            let composite = comp_of_node[g[0].index()].expect("groups contain only steps");
+            let singleton_composite = view.members(composite).len() == 1;
+            let (id, is_virtual) = if g.len() == 1 && singleton_composite {
+                (step_id(g[0]), false)
+            } else {
+                let id = StepId(next_virtual);
+                next_virtual += 1;
+                (id, true)
+            };
+            let members: Vec<StepId> = g.iter().map(|&m| step_id(m)).collect();
+            for &m in &members {
+                exec_of_step.insert(m, i as u32);
+            }
+            for &node in g {
+                exec_of_node[node.index()] = i as u32;
+            }
+            execs.push(CompositeExecution {
+                id,
+                composite,
+                members,
+                is_virtual,
+            });
+        }
+
+        // --- 4. Build the view graph with merged boundary edges.
+        let mut graph: Digraph<ViewRunNode, Vec<DataId>> =
+            Digraph::with_capacity(execs.len() + 2, rg.edge_count());
+        let vin = graph.add_node(ViewRunNode::Input);
+        let vout = graph.add_node(ViewRunNode::Output);
+        let mut node_of_exec = Vec::with_capacity(execs.len());
+        for i in 0..execs.len() {
+            node_of_exec.push(graph.add_node(ViewRunNode::Exec(i as u32)));
+        }
+        let map = |node: NodeId| -> NodeId {
+            match rg.node(node) {
+                RunNode::Input => vin,
+                RunNode::Output => vout,
+                RunNode::Step { .. } => node_of_exec[exec_of_node[node.index()] as usize],
+            }
+        };
+        let mut edge_data: HashMap<(NodeId, NodeId), Vec<DataId>> = HashMap::new();
+        let mut edge_order: Vec<(NodeId, NodeId)> = Vec::new();
+        for (e, s, t, _) in rg.edges() {
+            let (vs, vt) = (map(s), map(t));
+            if vs == vt {
+                continue; // internal to a composite execution: hidden
+            }
+            let entry = edge_data.entry((vs, vt)).or_insert_with(|| {
+                edge_order.push((vs, vt));
+                Vec::new()
+            });
+            entry.extend(rg.edge(e).iter().copied());
+        }
+        let mut producer: HashMap<DataId, NodeId> = HashMap::new();
+        for key in edge_order {
+            let mut data = edge_data.remove(&key).expect("recorded above");
+            data.sort();
+            data.dedup();
+            for &d in &data {
+                producer.insert(d, key.0);
+            }
+            graph.add_edge(key.0, key.1, data);
+        }
+
+        ViewRun {
+            spec_name: run.spec_name().to_string(),
+            view_name: view.name().to_string(),
+            execs,
+            graph,
+            exec_of_step,
+            producer,
+        }
+    }
+
+    /// The specification's name.
+    pub fn spec_name(&self) -> &str {
+        &self.spec_name
+    }
+
+    /// The view's name.
+    pub fn view_name(&self) -> &str {
+        &self.view_name
+    }
+
+    /// The composite executions, ordered by smallest member step.
+    pub fn execs(&self) -> &[CompositeExecution] {
+        &self.execs
+    }
+
+    /// The view-level run graph.
+    pub fn graph(&self) -> &Digraph<ViewRunNode, Vec<DataId>> {
+        &self.graph
+    }
+
+    /// The input node (always node 0).
+    pub fn input(&self) -> NodeId {
+        NodeId::from_index(0)
+    }
+
+    /// The output node (always node 1).
+    pub fn output(&self) -> NodeId {
+        NodeId::from_index(1)
+    }
+
+    /// The view-graph node of execution index `i`.
+    pub fn node_of_exec(&self, i: u32) -> NodeId {
+        NodeId::from_index(i as usize + 2)
+    }
+
+    /// The execution at a view-graph node, if it is one.
+    pub fn exec_at(&self, n: NodeId) -> Option<&CompositeExecution> {
+        match self.graph.node(n) {
+            ViewRunNode::Exec(i) => Some(&self.execs[*i as usize]),
+            _ => None,
+        }
+    }
+
+    /// The composite execution containing original step `s`.
+    pub fn exec_of_step(&self, s: StepId) -> Option<&CompositeExecution> {
+        self.exec_of_step.get(&s).map(|&i| &self.execs[i as usize])
+    }
+
+    /// Finds an execution by its (possibly virtual) id.
+    pub fn exec_by_id(&self, id: StepId) -> Option<&CompositeExecution> {
+        self.execs.iter().find(|e| e.id == id)
+    }
+
+    /// The data input to execution `i`: union of its incoming edges, sorted.
+    pub fn inputs_of(&self, i: u32) -> Vec<DataId> {
+        let n = self.node_of_exec(i);
+        let mut v: Vec<DataId> = self
+            .graph
+            .in_edges(n)
+            .flat_map(|e| self.graph.edge(e).iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The data output by execution `i`: union of its outgoing edges, sorted.
+    pub fn outputs_of(&self, i: u32) -> Vec<DataId> {
+        let n = self.node_of_exec(i);
+        let mut v: Vec<DataId> = self
+            .graph
+            .out_edges(n)
+            .flat_map(|e| self.graph.edge(e).iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// All data visible at this view level, sorted. Data passed strictly
+    /// inside a composite execution is *not* visible.
+    pub fn visible_data(&self) -> Vec<DataId> {
+        let mut v: Vec<DataId> = self.producer.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether `d` is visible at this view level.
+    pub fn is_visible(&self, d: DataId) -> bool {
+        self.producer.contains_key(&d)
+    }
+
+    /// The view-graph node that produced visible datum `d`.
+    pub fn producer_node(&self, d: DataId) -> Option<NodeId> {
+        self.producer.get(&d).copied()
+    }
+
+    /// Renders the view-run as DOT, labeling executions `S13:M10`-style.
+    pub fn to_dot(&self, spec: &WorkflowSpec, view: &UserView) -> String {
+        use crate::run::format_data_range;
+        use zoom_graph::dot::{to_dot, DotStyle};
+        let _ = spec;
+        let style = DotStyle {
+            node_label: Box::new(move |_, n: &ViewRunNode| match n {
+                ViewRunNode::Input => "input".to_string(),
+                ViewRunNode::Output => "output".to_string(),
+                ViewRunNode::Exec(i) => {
+                    let e = &self.execs[*i as usize];
+                    format!("{}:{}", e.id, view.composite_name(e.composite))
+                }
+            }),
+            node_attrs: Box::new(|_, n: &ViewRunNode| match n {
+                ViewRunNode::Input | ViewRunNode::Output => "shape=circle".to_string(),
+                ViewRunNode::Exec(_) => "shape=box,style=dotted".to_string(),
+            }),
+            edge_label: Box::new(|_, data: &Vec<DataId>| format_data_range(data)),
+            graph_attrs: vec!["rankdir=LR".to_string()],
+        };
+        to_dot(
+            &self.graph,
+            &format!("{} through {}", self.spec_name, self.view_name),
+            &style,
+        )
+    }
+}
+
+/// Minimal union-find with path halving and union by size.
+#[derive(Debug)]
+struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::RunBuilder;
+    use crate::spec::SpecBuilder;
+    use crate::view::CompositeModule;
+
+    /// input -> A -> B -> C -> output with loop C -> B (the M3/M5 shape).
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("s");
+        b.analysis("A");
+        b.analysis("B");
+        b.analysis("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .edge("C", "B")
+            .to_output("C");
+        b.build().unwrap()
+    }
+
+    /// A run unrolling the B/C loop twice:
+    /// S1:A -> S2:B -> S3:C -> S4:B -> S5:C -> output
+    fn run(s: &WorkflowSpec) -> WorkflowRun {
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let mut rb = RunBuilder::new(s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        let s3 = rb.step(c);
+        let s4 = rb.step(b);
+        let s5 = rb.step(c);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s2, s3, [3])
+            .data_edge(s3, s4, [4])
+            .data_edge(s4, s5, [5])
+            .output_edge(s5, [6]);
+        rb.build().unwrap()
+    }
+
+    #[test]
+    fn admin_view_run_is_the_run() {
+        let s = spec();
+        let r = run(&s);
+        let v = UserView::admin(&s);
+        let vr = ViewRun::new(&r, &v);
+        assert_eq!(vr.execs().len(), r.step_count());
+        assert!(vr.execs().iter().all(|e| !e.is_virtual));
+        assert!(vr.execs().iter().all(|e| e.members == vec![e.id]));
+        assert_eq!(vr.visible_data().len(), r.data_count());
+        assert_eq!(vr.graph().edge_count(), r.graph().edge_count());
+    }
+
+    #[test]
+    fn blackbox_hides_everything_internal() {
+        let s = spec();
+        let r = run(&s);
+        let v = UserView::black_box(&s);
+        let vr = ViewRun::new(&r, &v);
+        assert_eq!(vr.execs().len(), 1);
+        let e = &vr.execs()[0];
+        assert!(e.is_virtual);
+        assert_eq!(e.id, StepId(6)); // fresh, after max step id 5
+        assert_eq!(e.members.len(), 5);
+        // Only the initial input and the final output are visible.
+        assert_eq!(vr.visible_data(), vec![DataId(1), DataId(6)]);
+        assert_eq!(vr.inputs_of(0), vec![DataId(1)]);
+        assert_eq!(vr.outputs_of(0), vec![DataId(6)]);
+    }
+
+    #[test]
+    fn loop_leaving_composite_splits_executions() {
+        // Composite {A, B}: the loop goes B -> C -> B, leaving through C, so
+        // B's two steps do NOT merge: groups {S1,S2}, {S4}.
+        let s = spec();
+        let r = run(&s);
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let v = UserView::new(
+            "v",
+            &s,
+            vec![
+                CompositeModule::new("AB", vec![a, b]),
+                CompositeModule::new("C", vec![c]),
+            ],
+        )
+        .unwrap();
+        let vr = ViewRun::new(&r, &v);
+        assert_eq!(vr.execs().len(), 4);
+        let e0 = vr.exec_of_step(StepId(1)).unwrap();
+        assert_eq!(e0.members, vec![StepId(1), StepId(2)]);
+        assert!(e0.is_virtual);
+        assert_eq!(e0.id, StepId(6));
+        let e1 = vr.exec_of_step(StepId(4)).unwrap();
+        assert_eq!(e1.members, vec![StepId(4)]);
+        // Single-step group of a multi-module composite is still virtual.
+        assert!(e1.is_virtual);
+        assert_eq!(e1.id, StepId(7));
+        // C's steps keep their original ids (singleton composite).
+        let e2 = vr.exec_of_step(StepId(3)).unwrap();
+        assert_eq!(e2.id, StepId(3));
+        assert!(!e2.is_virtual);
+        // d2 (A->B inside the composite) is hidden.
+        assert!(!vr.is_visible(DataId(2)));
+        assert!(vr.is_visible(DataId(3)));
+    }
+
+    #[test]
+    fn loop_inside_composite_merges_executions() {
+        // Composite {B, C}: the whole loop is internal, one execution.
+        let s = spec();
+        let r = run(&s);
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let v = UserView::new(
+            "v",
+            &s,
+            vec![
+                CompositeModule::new("A", vec![a]),
+                CompositeModule::new("BC", vec![b, c]),
+            ],
+        )
+        .unwrap();
+        let vr = ViewRun::new(&r, &v);
+        assert_eq!(vr.execs().len(), 2);
+        let e = vr.exec_of_step(StepId(2)).unwrap();
+        assert_eq!(
+            e.members,
+            vec![StepId(2), StepId(3), StepId(4), StepId(5)]
+        );
+        assert_eq!(vr.inputs_of(1), vec![DataId(2)]);
+        assert_eq!(vr.outputs_of(1), vec![DataId(6)]);
+        // The looping (d3, d4, d5) is invisible.
+        assert_eq!(vr.visible_data(), vec![DataId(1), DataId(2), DataId(6)]);
+    }
+
+    #[test]
+    fn parallel_executions_stay_separate() {
+        // spec: input -> A -> {B, B'} -> C -> output where two B-steps run in
+        // parallel with no edge between them: they form two executions.
+        let mut sb = SpecBuilder::new("par");
+        sb.analysis("A");
+        sb.analysis("B");
+        sb.analysis("C");
+        sb.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .to_output("C");
+        let s = sb.build().unwrap();
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        let s3 = rb.step(b);
+        let s4 = rb.step(c);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s1, s3, [3])
+            .data_edge(s2, s4, [4])
+            .data_edge(s3, s4, [5])
+            .output_edge(s4, [6]);
+        let r = rb.build().unwrap();
+        let v = UserView::admin(&s);
+        let vr = ViewRun::new(&r, &v);
+        let eb1 = vr.exec_of_step(s2).unwrap();
+        let eb2 = vr.exec_of_step(s3).unwrap();
+        assert_ne!(eb1.id, eb2.id);
+        assert_eq!(vr.execs().len(), 4);
+    }
+
+    #[test]
+    fn exec_lookup_apis() {
+        let s = spec();
+        let r = run(&s);
+        let v = UserView::black_box(&s);
+        let vr = ViewRun::new(&r, &v);
+        assert!(vr.exec_by_id(StepId(6)).is_some());
+        assert!(vr.exec_by_id(StepId(1)).is_none());
+        assert_eq!(vr.producer_node(DataId(1)), Some(vr.input()));
+        let e = vr.exec_by_id(StepId(6)).unwrap();
+        assert_eq!(
+            vr.producer_node(DataId(6)),
+            Some(vr.node_of_exec(0))
+        );
+        assert_eq!(e.composite, CompositeId(0));
+        assert!(vr.exec_at(vr.node_of_exec(0)).is_some());
+        assert!(vr.exec_at(vr.input()).is_none());
+    }
+
+    #[test]
+    fn dot_rendering_shows_virtual_ids() {
+        let s = spec();
+        let r = run(&s);
+        let v = UserView::black_box(&s);
+        let vr = ViewRun::new(&r, &v);
+        let dot = vr.to_dot(&s, &v);
+        assert!(dot.contains("S6:s-blackbox"));
+        assert!(dot.contains("style=dotted"));
+    }
+}

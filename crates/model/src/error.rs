@@ -1,0 +1,93 @@
+//! Error types for workflow-model validation.
+
+use std::fmt;
+
+/// Errors raised while constructing or validating workflow specifications,
+/// runs, logs, and user views.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// A module label was used twice in one specification.
+    DuplicateModule(String),
+    /// A referenced module label does not exist in the specification.
+    UnknownModule(String),
+    /// A specification or run node is not on any path from input to output
+    /// (violates the paper's well-formedness condition, Section II).
+    NotOnInputOutputPath(String),
+    /// The specification has no modules.
+    EmptySpec,
+    /// An edge was drawn into the input node or out of the output node.
+    BadEndpointEdge(String),
+    /// A run graph contains a directed cycle (runs must be DAGs; loops in the
+    /// specification are unrolled into distinct steps).
+    RunHasCycle,
+    /// A step id was used twice in one run.
+    DuplicateStep(u32),
+    /// A referenced step id does not exist in the run.
+    UnknownStep(u32),
+    /// A data object appears as the output of two different steps. The paper
+    /// assumes data is never overwritten: each object is produced by at most
+    /// one step.
+    DataProducedTwice {
+        /// The doubly-produced data id.
+        data: u64,
+        /// The first producing step.
+        first: u32,
+        /// The second producing step.
+        second: u32,
+    },
+    /// An edge in a run carries no data ids.
+    EmptyDataEdge {
+        /// Source node description.
+        from: String,
+        /// Target node description.
+        to: String,
+    },
+    /// The user view is not a partition of the specification's modules.
+    NotAPartition(String),
+    /// A user view composite is empty.
+    EmptyComposite(String),
+    /// A composite module name was used twice in one view.
+    DuplicateComposite(String),
+    /// A log could not be reconstructed into a run.
+    BadLog(String),
+    /// A run refers to a specification it does not match.
+    SpecMismatch(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateModule(m) => write!(f, "duplicate module label `{m}`"),
+            ModelError::UnknownModule(m) => write!(f, "unknown module `{m}`"),
+            ModelError::NotOnInputOutputPath(m) => {
+                write!(f, "node `{m}` is not on any path from input to output")
+            }
+            ModelError::EmptySpec => write!(f, "workflow specification has no modules"),
+            ModelError::BadEndpointEdge(d) => {
+                write!(f, "edge violates input/output node constraints: {d}")
+            }
+            ModelError::RunHasCycle => write!(f, "workflow run graph contains a cycle"),
+            ModelError::DuplicateStep(s) => write!(f, "duplicate step id S{s}"),
+            ModelError::UnknownStep(s) => write!(f, "unknown step id S{s}"),
+            ModelError::DataProducedTwice { data, first, second } => write!(
+                f,
+                "data object d{data} produced by two steps: S{first} and S{second}"
+            ),
+            ModelError::EmptyDataEdge { from, to } => {
+                write!(f, "edge {from} -> {to} carries no data")
+            }
+            ModelError::NotAPartition(d) => write!(f, "user view is not a partition: {d}"),
+            ModelError::EmptyComposite(c) => write!(f, "composite module `{c}` is empty"),
+            ModelError::DuplicateComposite(c) => {
+                write!(f, "duplicate composite module name `{c}`")
+            }
+            ModelError::BadLog(d) => write!(f, "cannot reconstruct run from log: {d}"),
+            ModelError::SpecMismatch(d) => write!(f, "run does not match specification: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// Convenience result alias for model operations.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,112 @@
+//! Identifier newtypes shared across the workflow model.
+//!
+//! The paper writes steps as `S1, S2, …` and data objects as `d1, d2, …`;
+//! these newtypes reproduce that notation in their `Display` impls.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a step (one execution of a module) within a workflow run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct StepId(pub u32);
+
+/// Identifier of a data object. Data is never overwritten or updated in
+/// place (Section II), so an id denotes one immutable object produced by at
+/// most one step.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DataId(pub u64);
+
+/// Index of a composite module within a [`crate::view::UserView`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompositeId(pub u32);
+
+impl StepId {
+    /// Dense index of this step id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl CompositeId {
+    /// Dense index of this composite id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Debug for StepId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+impl fmt::Display for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Debug for DataId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d{}", self.0)
+    }
+}
+
+impl fmt::Display for CompositeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+impl fmt::Debug for CompositeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// A logical timestamp for log events. The paper's logs record wall-clock
+/// times; for reproducibility our simulated executions use a monotonically
+/// increasing logical clock.
+#[derive(
+    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Debug,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The next instant.
+    pub fn tick(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(StepId(13).to_string(), "S13");
+        assert_eq!(DataId(447).to_string(), "d447");
+        assert_eq!(CompositeId(2).to_string(), "C2");
+        assert_eq!(Timestamp(5).to_string(), "t5");
+    }
+
+    #[test]
+    fn ordering_and_tick() {
+        assert!(StepId(1) < StepId(2));
+        assert!(DataId(100) < DataId(101));
+        assert_eq!(Timestamp(0).tick(), Timestamp(1));
+    }
+}

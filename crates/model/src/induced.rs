@@ -1,0 +1,289 @@
+//! Induced specifications (Section II): the higher-level workflow `U(G_w)`
+//! that a user view defines.
+//!
+//! `U(G_w)` has a node for each composite module plus input and output, and
+//! an edge `M_i -> M_j` whenever the original specification has an edge
+//! between a module of `M_i` and a module of `M_j` (similarly for edges
+//! touching input/output). Edges internal to a composite vanish.
+
+use crate::ids::CompositeId;
+use crate::spec::{ModuleKind, SpecBuilder, WorkflowSpec};
+use crate::view::UserView;
+use zoom_graph::{Digraph, NodeId};
+
+/// The induced specification together with the mapping between composites
+/// and induced-graph nodes.
+#[derive(Clone, Debug)]
+pub struct InducedSpec {
+    /// The induced workflow `U(G_w)`, itself a valid specification.
+    pub spec: WorkflowSpec,
+    /// For each composite id, its node in `spec`.
+    pub node_of_composite: Vec<NodeId>,
+}
+
+impl InducedSpec {
+    /// The induced-graph node of composite `c`.
+    pub fn node(&self, c: CompositeId) -> NodeId {
+        self.node_of_composite[c.index()]
+    }
+
+    /// The composite of an induced-graph module node, if it is one.
+    pub fn composite(&self, n: NodeId) -> Option<CompositeId> {
+        self.node_of_composite
+            .iter()
+            .position(|&x| x == n)
+            .map(|i| CompositeId(i as u32))
+    }
+}
+
+/// Computes the induced specification `U(G_w)` for `view` over `spec`.
+///
+/// A composite is classified [`ModuleKind::Analysis`] if any member is; a
+/// composite of pure formatting modules stays `Formatting`.
+///
+/// # Panics
+/// Panics if `view` is not a view of `spec` (mismatched partitions); views
+/// constructed through [`UserView::new`] against the same spec are always
+/// safe.
+pub fn induced_spec(spec: &WorkflowSpec, view: &UserView) -> InducedSpec {
+    let mut b = SpecBuilder::new(format!("{}@{}", spec.name(), view.name()));
+    let mut node_of_composite = Vec::with_capacity(view.size());
+    for c in view.composite_ids() {
+        let kind = if view
+            .members(c)
+            .iter()
+            .any(|&m| spec.kind(m) == ModuleKind::Analysis)
+        {
+            ModuleKind::Analysis
+        } else {
+            ModuleKind::Formatting
+        };
+        node_of_composite.push(b.module(view.composite_name(c).to_string(), kind));
+    }
+    let map = |n: NodeId| -> NodeId {
+        if n == spec.input() {
+            NodeId::from_index(0) // builder's input
+        } else if n == spec.output() {
+            NodeId::from_index(1) // builder's output
+        } else {
+            node_of_composite[view.composite_of(n).index()]
+        }
+    };
+    for (_, s, t, _) in spec.graph().edges() {
+        let (is_, it) = (map(s), map(t));
+        if is_ != it {
+            b.connect(is_, it);
+        }
+    }
+    // Edges internal to a composite induce nothing; but a composite whose
+    // members contain a cycle among themselves (including a member
+    // self-loop) carries a self-loop in the induced specification. This
+    // keeps UAdmin's induced spec isomorphic to the original and preserves
+    // the paper's lemma that views introduce no loops beyond those in the
+    // original specification (Mary's M11 = {M3, M4} gets no self-loop even
+    // though it has the internal edge M3 -> M4, because the M3/M5 cycle
+    // leaves the composite).
+    for c in view.composite_ids() {
+        let members = view.members(c);
+        if has_internal_cycle(spec, members) {
+            let n = node_of_composite[c.index()];
+            b.connect(n, n);
+        }
+    }
+    let spec = b
+        .build()
+        .expect("induced graph of a valid spec and partition is a valid spec");
+    InducedSpec {
+        spec,
+        node_of_composite,
+    }
+}
+
+/// Whether the subgraph of `spec` induced by `members` contains a directed
+/// cycle (a member self-loop counts).
+fn has_internal_cycle(spec: &WorkflowSpec, members: &[NodeId]) -> bool {
+    let mut sub: Digraph<(), ()> = Digraph::with_capacity(members.len(), members.len());
+    let mut index_of = std::collections::HashMap::with_capacity(members.len());
+    for &m in members {
+        index_of.insert(m, sub.add_node(()));
+    }
+    for &m in members {
+        let &sm = index_of.get(&m).expect("member indexed");
+        for succ in spec.graph().successors(m) {
+            if let Some(&ss) = index_of.get(&succ) {
+                sub.add_edge(sm, ss, ());
+            }
+        }
+    }
+    !zoom_graph::algo::topo::is_acyclic(&sub)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::CompositeModule;
+
+    /// input -> A -> B -> C -> output, plus A -> C
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("s");
+        b.analysis("A");
+        b.formatting("B");
+        b.analysis("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .edge("A", "C")
+            .to_output("C");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn induced_by_admin_is_isomorphic() {
+        let s = spec();
+        let v = UserView::admin(&s);
+        let ind = induced_spec(&s, &v);
+        assert_eq!(ind.spec.module_count(), s.module_count());
+        assert_eq!(ind.spec.graph().edge_count(), s.graph().edge_count());
+    }
+
+    #[test]
+    fn induced_by_blackbox_collapses() {
+        let s = spec();
+        let v = UserView::black_box(&s);
+        let ind = induced_spec(&s, &v);
+        assert_eq!(ind.spec.module_count(), 1);
+        // input -> box -> output only.
+        assert_eq!(ind.spec.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn grouping_merges_and_dedups_edges() {
+        let s = spec();
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let v = UserView::new(
+            "v",
+            &s,
+            vec![
+                CompositeModule::new("AB", vec![a, b]),
+                CompositeModule::new("C", vec![c]),
+            ],
+        )
+        .unwrap();
+        let ind = induced_spec(&s, &v);
+        assert_eq!(ind.spec.module_count(), 2);
+        // Edges: input->AB, AB->C (deduped from B->C and A->C), C->output.
+        assert_eq!(ind.spec.graph().edge_count(), 3);
+        let nab = ind.node(CompositeId(0));
+        let nc = ind.node(CompositeId(1));
+        assert!(ind.spec.graph().has_edge(nab, nc));
+        assert_eq!(ind.composite(nab), Some(CompositeId(0)));
+        // Composite kind: AB contains analysis A.
+        assert_eq!(ind.spec.kind(nab), ModuleKind::Analysis);
+    }
+
+    #[test]
+    fn internal_edges_vanish() {
+        let s = spec();
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let v = UserView::new(
+            "v",
+            &s,
+            vec![CompositeModule::new("ABC", vec![a, b, c])],
+        )
+        .unwrap();
+        let ind = induced_spec(&s, &v);
+        assert_eq!(ind.spec.graph().edge_count(), 2);
+    }
+
+    #[test]
+    fn cross_composite_loop_survives() {
+        // A <-> B with A and B in different composites: the induced spec
+        // keeps the loop (the paper: views introduce no loops *other than*
+        // those present in the original).
+        let mut bld = SpecBuilder::new("loopy");
+        bld.analysis("A");
+        bld.analysis("B");
+        bld.from_input("A")
+            .edge("A", "B")
+            .edge("B", "A")
+            .to_output("A");
+        let s = bld.build().unwrap();
+        let v = UserView::admin(&s);
+        let ind = induced_spec(&s, &v);
+        let na = ind.node(CompositeId(0));
+        let nb = ind.node(CompositeId(1));
+        assert!(ind.spec.graph().has_edge(na, nb));
+        assert!(ind.spec.graph().has_edge(nb, na));
+    }
+
+    #[test]
+    fn internal_cycle_becomes_self_loop_linear_edge_does_not() {
+        // A <-> B cycle plus C: composite {A, B} gets a self-loop; a
+        // composite {B, C} with only the linear internal edge B -> C does
+        // not (the cycle leaves it through A).
+        let mut bld = SpecBuilder::new("cyc");
+        bld.analysis("A");
+        bld.analysis("B");
+        bld.analysis("C");
+        bld.from_input("A")
+            .edge("A", "B")
+            .edge("B", "A")
+            .edge("B", "C")
+            .to_output("C");
+        let s = bld.build().unwrap();
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let v = UserView::new(
+            "v",
+            &s,
+            vec![
+                CompositeModule::new("AB", vec![a, b]),
+                CompositeModule::new("C", vec![c]),
+            ],
+        )
+        .unwrap();
+        let ind = induced_spec(&s, &v);
+        let nab = ind.node(CompositeId(0));
+        assert!(ind.spec.graph().has_edge(nab, nab));
+
+        let v2 = UserView::new(
+            "v2",
+            &s,
+            vec![
+                CompositeModule::new("A", vec![a]),
+                CompositeModule::new("BC", vec![b, c]),
+            ],
+        )
+        .unwrap();
+        let ind2 = induced_spec(&s, &v2);
+        let nbc = ind2.node(CompositeId(1));
+        assert!(!ind2.spec.graph().has_edge(nbc, nbc));
+        // But the A <-> BC loop is visible as a 2-cycle.
+        let na = ind2.node(CompositeId(0));
+        assert!(ind2.spec.graph().has_edge(na, nbc));
+        assert!(ind2.spec.graph().has_edge(nbc, na));
+    }
+
+    #[test]
+    fn self_loop_preserved_on_composite() {
+        let mut bld = SpecBuilder::new("reflexive");
+        bld.analysis("A");
+        bld.from_input("A").edge("A", "A").to_output("A");
+        let s = bld.build().unwrap();
+        let v = UserView::admin(&s);
+        let ind = induced_spec(&s, &v);
+        let na = ind.node(CompositeId(0));
+        assert!(ind.spec.graph().has_edge(na, na));
+    }
+}

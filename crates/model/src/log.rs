@@ -1,0 +1,456 @@
+//! Event logs (Section II): the raw material of provenance.
+//!
+//! "We assume that each workflow run generates a log of events, which tells
+//! what module a step is an instance of, what data objects and parameters
+//! were input to that step, and what data objects were output from that
+//! step." ZOOM is workflow-system-agnostic: anything that can produce this
+//! log can be loaded into the provenance warehouse. This module defines the
+//! log format, synthesizes logs from runs (our simulated executions), and —
+//! the direction real deployments use — reconstructs runs from logs.
+
+use crate::error::{ModelError, Result};
+use crate::ids::{DataId, StepId, Timestamp};
+use crate::run::{RunBuilder, WorkflowRun};
+use crate::spec::WorkflowSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// One event in a workflow-system log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogEvent {
+    /// The user provided a data object (recorded with who/when — this *is*
+    /// the provenance of user-input data).
+    UserInput {
+        /// The provided object.
+        data: DataId,
+        /// Who provided it.
+        user: String,
+        /// When.
+        time: Timestamp,
+    },
+    /// A parameter was passed to a step.
+    Param {
+        /// The receiving step.
+        step: StepId,
+        /// Parameter name.
+        key: String,
+        /// Parameter value.
+        value: String,
+        /// When.
+        time: Timestamp,
+    },
+    /// A step began, as an instance of the named module.
+    StepStarted {
+        /// The step.
+        step: StepId,
+        /// Label of the module it instantiates.
+        module: String,
+        /// Start time.
+        time: Timestamp,
+    },
+    /// A step read a data object.
+    Read {
+        /// The reading step.
+        step: StepId,
+        /// The object read.
+        data: DataId,
+        /// When.
+        time: Timestamp,
+    },
+    /// A step wrote a data object.
+    Wrote {
+        /// The writing step.
+        step: StepId,
+        /// The object written.
+        data: DataId,
+        /// When.
+        time: Timestamp,
+    },
+    /// A step finished.
+    StepFinished {
+        /// The step.
+        step: StepId,
+        /// When.
+        time: Timestamp,
+    },
+    /// A data object was designated a final output of the run.
+    Finalized {
+        /// The object.
+        data: DataId,
+        /// When.
+        time: Timestamp,
+    },
+}
+
+impl LogEvent {
+    /// The event's timestamp.
+    pub fn time(&self) -> Timestamp {
+        match self {
+            LogEvent::UserInput { time, .. }
+            | LogEvent::Param { time, .. }
+            | LogEvent::StepStarted { time, .. }
+            | LogEvent::Read { time, .. }
+            | LogEvent::Wrote { time, .. }
+            | LogEvent::StepFinished { time, .. }
+            | LogEvent::Finalized { time, .. } => *time,
+        }
+    }
+}
+
+/// A log of one workflow run.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLog {
+    /// Name of the executed specification.
+    pub spec_name: String,
+    /// Events in time order.
+    pub events: Vec<LogEvent>,
+}
+
+impl EventLog {
+    /// Synthesizes the event log a workflow system would have produced for
+    /// `run`: user inputs first, then — in a topological order of the run —
+    /// one `StepStarted`, the step's `Read`s, its `Wrote`s, and a
+    /// `StepFinished` per step, and finally `Finalized` events for the run's
+    /// final outputs. Timestamps are a logical clock.
+    pub fn from_run(run: &WorkflowRun, spec: &WorkflowSpec) -> Self {
+        let mut events = Vec::new();
+        let mut clock = Timestamp(0);
+        let mut tick = || {
+            clock = clock.tick();
+            clock
+        };
+
+        for d in run.user_inputs() {
+            let meta = run
+                .user_input_meta(d)
+                .expect("user inputs always carry metadata");
+            events.push(LogEvent::UserInput {
+                data: d,
+                user: meta.user.clone(),
+                time: tick(),
+            });
+        }
+
+        let order = zoom_graph::algo::topo::topological_sort(run.graph())
+            .expect("validated runs are acyclic");
+        for node in order {
+            let Some((sid, module)) = run.step_at(node) else {
+                continue;
+            };
+            events.push(LogEvent::StepStarted {
+                step: sid,
+                module: spec.label(module).to_string(),
+                time: tick(),
+            });
+            for (key, value) in run.params_of(sid) {
+                events.push(LogEvent::Param {
+                    step: sid,
+                    key: key.clone(),
+                    value: value.clone(),
+                    time: tick(),
+                });
+            }
+            for d in run.inputs_of(sid).expect("step exists") {
+                events.push(LogEvent::Read {
+                    step: sid,
+                    data: d,
+                    time: tick(),
+                });
+            }
+            for d in run.outputs_of(sid).expect("step exists") {
+                events.push(LogEvent::Wrote {
+                    step: sid,
+                    data: d,
+                    time: tick(),
+                });
+            }
+            events.push(LogEvent::StepFinished {
+                step: sid,
+                time: tick(),
+            });
+        }
+
+        for d in run.final_outputs() {
+            events.push(LogEvent::Finalized {
+                data: d,
+                time: tick(),
+            });
+        }
+
+        EventLog {
+            spec_name: spec.name().to_string(),
+            events,
+        }
+    }
+
+    /// Reconstructs the run from this log: the step that wrote an object is
+    /// its producer; an edge `A -> B` carries every object written by `A`
+    /// and read by `B`; objects read but never written are user inputs;
+    /// `Finalized` objects flow to the run's output node.
+    pub fn to_run(&self, spec: &WorkflowSpec) -> Result<WorkflowRun> {
+        if spec.name() != self.spec_name {
+            return Err(ModelError::SpecMismatch(format!(
+                "log is for spec `{}`, got `{}`",
+                self.spec_name,
+                spec.name()
+            )));
+        }
+
+        let mut rb = RunBuilder::new(spec);
+        let mut writer: HashMap<DataId, StepId> = HashMap::new();
+        // BTreeMaps keep edge insertion deterministic.
+        let mut reads: BTreeMap<StepId, Vec<DataId>> = BTreeMap::new();
+        let mut user_meta: HashMap<DataId, (String, Timestamp)> = HashMap::new();
+        let mut finals: Vec<DataId> = Vec::new();
+        let mut steps_seen: Vec<StepId> = Vec::new();
+        // Applied after the scan so Param events may precede StepStarted in
+        // foreign logs.
+        let mut params: Vec<(StepId, String, String)> = Vec::new();
+
+        for ev in &self.events {
+            match ev {
+                LogEvent::StepStarted { step, module, .. } => {
+                    let m = spec
+                        .node_by_label(module)
+                        .filter(|&n| spec.is_module(n))
+                        .ok_or_else(|| {
+                            ModelError::BadLog(format!("unknown module `{module}` in log"))
+                        })?;
+                    rb.step_with_id(*step, m);
+                    steps_seen.push(*step);
+                }
+                LogEvent::Read { step, data, .. } => {
+                    reads.entry(*step).or_default().push(*data);
+                }
+                LogEvent::Wrote { step, data, .. } => {
+                    if let Some(prev) = writer.insert(*data, *step) {
+                        if prev != *step {
+                            return Err(ModelError::DataProducedTwice {
+                                data: data.0,
+                                first: prev.0,
+                                second: step.0,
+                            });
+                        }
+                    }
+                }
+                LogEvent::UserInput { data, user, time } => {
+                    user_meta.insert(*data, (user.clone(), *time));
+                }
+                LogEvent::Param { step, key, value, .. } => {
+                    params.push((*step, key.clone(), value.clone()));
+                }
+                LogEvent::Finalized { data, .. } => finals.push(*data),
+                LogEvent::StepFinished { .. } => {}
+            }
+        }
+
+        for (step, key, value) in params {
+            rb.param(step, key, value);
+        }
+
+        // Group the data flowing into each step by producer.
+        for (&step, data) in &reads {
+            let mut by_producer: BTreeMap<Option<StepId>, Vec<u64>> = BTreeMap::new();
+            for &d in data {
+                by_producer
+                    .entry(writer.get(&d).copied())
+                    .or_default()
+                    .push(d.0);
+            }
+            for (producer, ds) in by_producer {
+                match producer {
+                    Some(p) => {
+                        rb.data_edge(p, step, ds);
+                    }
+                    None => {
+                        // Read but never written: user input. Restore the
+                        // recorded metadata when available.
+                        if let Some(&d0) = ds.first() {
+                            if let Some((user, _)) = user_meta.get(&DataId(d0)) {
+                                rb.user(user.clone());
+                            }
+                        }
+                        rb.input_edge(step, ds);
+                    }
+                }
+            }
+        }
+
+        // Final outputs, grouped by producing step.
+        let mut finals_by_producer: BTreeMap<StepId, Vec<u64>> = BTreeMap::new();
+        for d in finals {
+            let p = writer.get(&d).copied().ok_or_else(|| {
+                ModelError::BadLog(format!("finalized object {d} was never written"))
+            })?;
+            finals_by_producer.entry(p).or_default().push(d.0);
+        }
+        for (p, ds) in finals_by_producer {
+            rb.output_edge(p, ds);
+        }
+
+        rb.build()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::Producer;
+    use crate::spec::SpecBuilder;
+
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("s");
+        b.analysis("A");
+        b.analysis("B");
+        b.from_input("A").edge("A", "B").to_output("B");
+        b.build().unwrap()
+    }
+
+    fn run(spec: &WorkflowSpec) -> WorkflowRun {
+        let (a, b) = (spec.module("A").unwrap(), spec.module("B").unwrap());
+        let mut rb = RunBuilder::new(spec);
+        rb.user("joe");
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.param(s1, "threshold", "0.05")
+            .input_edge(s1, [1, 2])
+            .data_edge(s1, s2, [3, 4])
+            .output_edge(s2, [5]);
+        rb.build().unwrap()
+    }
+
+    #[test]
+    fn log_contains_expected_events() {
+        let s = spec();
+        let r = run(&s);
+        let log = EventLog::from_run(&r, &s);
+        assert_eq!(log.spec_name, "s");
+        assert!(!log.is_empty());
+        // 2 user inputs + (start [+ params] + reads + writes + finish) per
+        // step + 1 final. S1: start + 1 param + 2 reads + 2 writes + finish
+        // = 7; S2: start + 2 reads + 1 write + finish = 5.
+        assert_eq!(log.len(), 2 + 7 + 5 + 1);
+        // Times strictly increase.
+        for w in log.events.windows(2) {
+            assert!(w[0].time() < w[1].time());
+        }
+        assert!(log
+            .events
+            .iter()
+            .any(|e| matches!(e, LogEvent::UserInput { user, .. } if user == "joe")));
+        assert!(log
+            .events
+            .iter()
+            .any(|e| matches!(e, LogEvent::Finalized { data: DataId(5), .. })));
+    }
+
+    #[test]
+    fn roundtrip_run_log_run() {
+        let s = spec();
+        let r = run(&s);
+        let log = EventLog::from_run(&r, &s);
+        let r2 = log.to_run(&s).unwrap();
+        assert_eq!(r2.step_count(), r.step_count());
+        assert_eq!(r2.all_data(), r.all_data());
+        assert_eq!(r2.user_inputs(), r.user_inputs());
+        assert_eq!(r2.final_outputs(), r.final_outputs());
+        for (sid, m) in r.steps() {
+            assert_eq!(r2.module_of(sid).unwrap(), m);
+            assert_eq!(r2.inputs_of(sid).unwrap(), r.inputs_of(sid).unwrap());
+            assert_eq!(r2.outputs_of(sid).unwrap(), r.outputs_of(sid).unwrap());
+        }
+        assert_eq!(r2.producer_of(DataId(3)), Some(Producer::Step(StepId(1))));
+        assert_eq!(
+            r2.user_input_meta(DataId(1)).map(|m| m.user.as_str()),
+            Some("joe")
+        );
+        // Parameters survive the roundtrip.
+        assert_eq!(r2.params_of(StepId(1))["threshold"], "0.05");
+    }
+
+    #[test]
+    fn spec_name_mismatch_rejected() {
+        let s = spec();
+        let r = run(&s);
+        let log = EventLog::from_run(&r, &s);
+        let mut other = SpecBuilder::new("other");
+        other.analysis("A");
+        other.from_input("A").to_output("A");
+        let other = other.build().unwrap();
+        assert!(matches!(
+            log.to_run(&other).unwrap_err(),
+            ModelError::SpecMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn unknown_module_in_log_rejected() {
+        let s = spec();
+        let log = EventLog {
+            spec_name: "s".into(),
+            events: vec![LogEvent::StepStarted {
+                step: StepId(1),
+                module: "ZZZ".into(),
+                time: Timestamp(1),
+            }],
+        };
+        assert!(matches!(log.to_run(&s).unwrap_err(), ModelError::BadLog(_)));
+    }
+
+    #[test]
+    fn finalized_unwritten_rejected() {
+        let s = spec();
+        let log = EventLog {
+            spec_name: "s".into(),
+            events: vec![LogEvent::Finalized {
+                data: DataId(9),
+                time: Timestamp(1),
+            }],
+        };
+        assert!(matches!(log.to_run(&s).unwrap_err(), ModelError::BadLog(_)));
+    }
+
+    #[test]
+    fn double_write_rejected() {
+        let s = spec();
+        let log = EventLog {
+            spec_name: "s".into(),
+            events: vec![
+                LogEvent::StepStarted {
+                    step: StepId(1),
+                    module: "A".into(),
+                    time: Timestamp(1),
+                },
+                LogEvent::StepStarted {
+                    step: StepId(2),
+                    module: "B".into(),
+                    time: Timestamp(2),
+                },
+                LogEvent::Wrote {
+                    step: StepId(1),
+                    data: DataId(7),
+                    time: Timestamp(3),
+                },
+                LogEvent::Wrote {
+                    step: StepId(2),
+                    data: DataId(7),
+                    time: Timestamp(4),
+                },
+            ],
+        };
+        assert!(matches!(
+            log.to_run(&s).unwrap_err(),
+            ModelError::DataProducedTwice { data: 7, .. }
+        ));
+    }
+}

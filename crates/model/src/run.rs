@@ -1,0 +1,857 @@
+//! Workflow runs (Section II): executions of a specification.
+//!
+//! A run is a DAG whose nodes are *steps* labeled with unique step ids and
+//! the modules they execute (module labels repeat when loops are unrolled),
+//! plus distinguished input/output nodes. Edges carry the ids of the data
+//! objects output by the source step and input to the target step. Every
+//! node lies on some path from input to output, and — because data is never
+//! overwritten — every data object is produced by at most one node.
+
+use crate::error::{ModelError, Result};
+use crate::ids::{DataId, StepId, Timestamp};
+use crate::spec::WorkflowSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use zoom_graph::algo::paths::all_nodes_on_paths;
+use zoom_graph::algo::topo::is_acyclic;
+use zoom_graph::{Digraph, NodeId};
+
+/// Metadata recorded when a data object is input by the user rather than
+/// produced by a step: "who input the data and the time at which the input
+/// occurred" (Section II).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserInputMeta {
+    /// Who provided the data.
+    pub user: String,
+    /// When it was provided.
+    pub time: Timestamp,
+}
+
+/// A node of a run graph.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunNode {
+    /// Beginning of the execution.
+    Input,
+    /// End of the execution.
+    Output,
+    /// One execution of a module.
+    Step {
+        /// Unique step id (`S1`, `S2`, …).
+        id: StepId,
+        /// The module (a node of the specification) this step executes.
+        module: NodeId,
+    },
+}
+
+/// Who produced a data object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Producer {
+    /// Produced by a step of the run.
+    Step(StepId),
+    /// Input by the user (provenance is the recorded metadata).
+    UserInput,
+}
+
+/// A validated workflow run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WorkflowRun {
+    spec_name: String,
+    graph: Digraph<RunNode, Vec<DataId>>,
+    node_of_step: HashMap<StepId, NodeId>,
+    /// For every data object: the run-graph node that produced it (the input
+    /// node for user-provided data).
+    producer: HashMap<DataId, NodeId>,
+    user_input_meta: HashMap<DataId, UserInputMeta>,
+    /// Parameters passed to each step ("what data objects and parameters
+    /// were input to that step", Section II). Sparse: steps without
+    /// parameters have no entry.
+    params: HashMap<StepId, BTreeMap<String, String>>,
+}
+
+impl WorkflowRun {
+    /// The name of the specification this run executes.
+    pub fn spec_name(&self) -> &str {
+        &self.spec_name
+    }
+
+    /// The underlying run graph. Edge weights are the (sorted) data ids
+    /// passed along the edge.
+    pub fn graph(&self) -> &Digraph<RunNode, Vec<DataId>> {
+        &self.graph
+    }
+
+    /// The run's input node (always node 0).
+    pub fn input(&self) -> NodeId {
+        NodeId::from_index(0)
+    }
+
+    /// The run's output node (always node 1).
+    pub fn output(&self) -> NodeId {
+        NodeId::from_index(1)
+    }
+
+    /// Number of steps (excluding input/output).
+    pub fn step_count(&self) -> usize {
+        self.graph.node_count() - 2
+    }
+
+    /// Iterates over `(step id, module)` in node order.
+    pub fn steps(&self) -> impl Iterator<Item = (StepId, NodeId)> + '_ {
+        self.graph.nodes().filter_map(|(_, n)| match n {
+            RunNode::Step { id, module } => Some((*id, *module)),
+            _ => None,
+        })
+    }
+
+    /// The run-graph node of a step.
+    pub fn node_of_step(&self, s: StepId) -> Result<NodeId> {
+        self.node_of_step
+            .get(&s)
+            .copied()
+            .ok_or(ModelError::UnknownStep(s.0))
+    }
+
+    /// The step at a run-graph node, if it is one.
+    pub fn step_at(&self, n: NodeId) -> Option<(StepId, NodeId)> {
+        match self.graph.node(n) {
+            RunNode::Step { id, module } => Some((*id, *module)),
+            _ => None,
+        }
+    }
+
+    /// The module a step executes.
+    pub fn module_of(&self, s: StepId) -> Result<NodeId> {
+        let n = self.node_of_step(s)?;
+        match self.graph.node(n) {
+            RunNode::Step { module, .. } => Ok(*module),
+            _ => unreachable!("node_of_step always returns a step node"),
+        }
+    }
+
+    /// Who produced `d`, or `None` if `d` does not occur in this run.
+    pub fn producer_of(&self, d: DataId) -> Option<Producer> {
+        let &n = self.producer.get(&d)?;
+        Some(match self.graph.node(n) {
+            RunNode::Input => Producer::UserInput,
+            RunNode::Step { id, .. } => Producer::Step(*id),
+            RunNode::Output => unreachable!("output node never produces data"),
+        })
+    }
+
+    /// The run-graph node that produced `d`.
+    pub fn producer_node(&self, d: DataId) -> Option<NodeId> {
+        self.producer.get(&d).copied()
+    }
+
+    /// User-input metadata for `d`, if `d` was input by the user.
+    pub fn user_input_meta(&self, d: DataId) -> Option<&UserInputMeta> {
+        self.user_input_meta.get(&d)
+    }
+
+    /// All data ids occurring in the run, sorted.
+    pub fn all_data(&self) -> Vec<DataId> {
+        let mut v: Vec<DataId> = self.producer.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct data objects in the run.
+    pub fn data_count(&self) -> usize {
+        self.producer.len()
+    }
+
+    /// The set of data input by the user, sorted.
+    pub fn user_inputs(&self) -> Vec<DataId> {
+        let mut v: Vec<DataId> = self
+            .graph
+            .out_edges(self.input())
+            .flat_map(|e| self.graph.edge(e).iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The final outputs of the run (data on edges into the output node),
+    /// sorted.
+    pub fn final_outputs(&self) -> Vec<DataId> {
+        let mut v: Vec<DataId> = self
+            .graph
+            .in_edges(self.output())
+            .flat_map(|e| self.graph.edge(e).iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// The data objects input to a step: the union of the data on its
+    /// incoming edges, sorted.
+    pub fn inputs_of(&self, s: StepId) -> Result<Vec<DataId>> {
+        let n = self.node_of_step(s)?;
+        let mut v: Vec<DataId> = self
+            .graph
+            .in_edges(n)
+            .flat_map(|e| self.graph.edge(e).iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        Ok(v)
+    }
+
+    /// The data objects output by a step: the union of the data on its
+    /// outgoing edges, sorted.
+    pub fn outputs_of(&self, s: StepId) -> Result<Vec<DataId>> {
+        let n = self.node_of_step(s)?;
+        let mut v: Vec<DataId> = self
+            .graph
+            .out_edges(n)
+            .flat_map(|e| self.graph.edge(e).iter().copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        Ok(v)
+    }
+
+    /// Re-validates the structural invariants against `spec` — used when a
+    /// run arrives from untrusted bytes (snapshot/journal deserialization)
+    /// rather than through [`RunBuilder`].
+    pub fn validate(&self, spec: &WorkflowSpec) -> Result<()> {
+        if spec.name() != self.spec_name {
+            return Err(ModelError::SpecMismatch(format!(
+                "run is of `{}`, spec is `{}`",
+                self.spec_name,
+                spec.name()
+            )));
+        }
+        if !is_acyclic(&self.graph) {
+            return Err(ModelError::RunHasCycle);
+        }
+        if !all_nodes_on_paths(&self.graph, self.input(), self.output()) {
+            return Err(ModelError::NotOnInputOutputPath("run node".to_string()));
+        }
+        // Step index consistency and module existence.
+        for (&sid, &node) in &self.node_of_step {
+            match self.graph.node(node) {
+                RunNode::Step { id, module } if *id == sid => {
+                    if !spec.is_module(*module) {
+                        return Err(ModelError::SpecMismatch(format!(
+                            "step {sid} executes a non-module node"
+                        )));
+                    }
+                }
+                _ => return Err(ModelError::UnknownStep(sid.0)),
+            }
+        }
+        // Producers: unique and consistent with edge labels.
+        let mut producer_check: HashMap<DataId, NodeId> = HashMap::new();
+        for (e, src, _, _) in self.graph.edges() {
+            for &d in self.graph.edge(e) {
+                if let Some(&prev) = producer_check.get(&d) {
+                    if prev != src {
+                        return Err(ModelError::DataProducedTwice {
+                            data: d.0,
+                            first: 0,
+                            second: 0,
+                        });
+                    }
+                } else {
+                    producer_check.insert(d, src);
+                }
+            }
+        }
+        if producer_check != self.producer {
+            return Err(ModelError::SpecMismatch(
+                "producer index out of sync with edges".to_string(),
+            ));
+        }
+        // Spec conformance of every edge.
+        for (_, src, tgt, _) in self.graph.edges() {
+            let map = |n: NodeId| match self.graph.node(n) {
+                RunNode::Input => spec.input(),
+                RunNode::Output => spec.output(),
+                RunNode::Step { module, .. } => *module,
+            };
+            if !spec.graph().has_edge(map(src), map(tgt)) {
+                return Err(ModelError::SpecMismatch(format!(
+                    "run edge {} -> {} has no specification edge",
+                    self.graph.node(src),
+                    self.graph.node(tgt)
+                )));
+            }
+        }
+        // Params refer to existing steps.
+        for sid in self.params.keys() {
+            if !self.node_of_step.contains_key(sid) {
+                return Err(ModelError::UnknownStep(sid.0));
+            }
+        }
+        Ok(())
+    }
+
+    /// The parameters recorded for a step (empty map if none).
+    pub fn params_of(&self, s: StepId) -> &BTreeMap<String, String> {
+        static EMPTY: std::sync::OnceLock<BTreeMap<String, String>> = std::sync::OnceLock::new();
+        self.params
+            .get(&s)
+            .unwrap_or_else(|| EMPTY.get_or_init(BTreeMap::new))
+    }
+
+    /// The largest step id in the run (0 if there are none). Virtual
+    /// composite executions are numbered after this.
+    pub fn max_step_id(&self) -> u32 {
+        self.node_of_step.keys().map(|s| s.0).max().unwrap_or(0)
+    }
+
+    /// Renders the run as GraphViz DOT (steps labeled `S1:M3`, edges labeled
+    /// with compact data ranges), as in the paper's Figure 2.
+    pub fn to_dot(&self, spec: &WorkflowSpec) -> String {
+        use zoom_graph::dot::{to_dot, DotStyle};
+        let style = DotStyle {
+            node_label: Box::new(move |_, n: &RunNode| match n {
+                RunNode::Input => "input".to_string(),
+                RunNode::Output => "output".to_string(),
+                RunNode::Step { id, module } => format!("{id}:{}", spec.label(*module)),
+            }),
+            node_attrs: Box::new(|_, n: &RunNode| match n {
+                RunNode::Input | RunNode::Output => "shape=circle".to_string(),
+                RunNode::Step { .. } => "shape=box".to_string(),
+            }),
+            edge_label: Box::new(|_, data: &Vec<DataId>| format_data_range(data)),
+            graph_attrs: vec!["rankdir=LR".to_string()],
+        };
+        to_dot(&self.graph, &format!("run of {}", self.spec_name), &style)
+    }
+}
+
+/// Formats a sorted data-id list compactly, e.g. `d1..d100` or `d410`.
+pub fn format_data_range(data: &[DataId]) -> String {
+    if data.is_empty() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = Vec::new();
+    let mut start = data[0].0;
+    let mut prev = start;
+    for &DataId(d) in &data[1..] {
+        if d == prev + 1 {
+            prev = d;
+            continue;
+        }
+        parts.push(if start == prev {
+            format!("d{start}")
+        } else {
+            format!("d{start}..d{prev}")
+        });
+        start = d;
+        prev = d;
+    }
+    parts.push(if start == prev {
+        format!("d{start}")
+    } else {
+        format!("d{start}..d{prev}")
+    });
+    parts.join(",")
+}
+
+/// Incremental builder for [`WorkflowRun`]. Validates the run against its
+/// specification at [`RunBuilder::build`].
+#[derive(Debug)]
+pub struct RunBuilder<'a> {
+    spec: &'a WorkflowSpec,
+    graph: Digraph<RunNode, Vec<DataId>>,
+    node_of_step: HashMap<StepId, NodeId>,
+    next_step: u32,
+    default_user: String,
+    clock: Timestamp,
+    user_input_meta: HashMap<DataId, UserInputMeta>,
+    params: HashMap<StepId, BTreeMap<String, String>>,
+    deferred: Vec<ModelError>,
+}
+
+impl<'a> RunBuilder<'a> {
+    /// Starts building a run of `spec`.
+    pub fn new(spec: &'a WorkflowSpec) -> Self {
+        let mut graph = Digraph::new();
+        graph.add_node(RunNode::Input);
+        graph.add_node(RunNode::Output);
+        RunBuilder {
+            spec,
+            graph,
+            node_of_step: HashMap::new(),
+            next_step: 1,
+            default_user: "user".to_string(),
+            clock: Timestamp(0),
+            user_input_meta: HashMap::new(),
+            params: HashMap::new(),
+            deferred: Vec::new(),
+        }
+    }
+
+    /// Sets the user name recorded for subsequent user inputs.
+    pub fn user(&mut self, name: impl Into<String>) -> &mut Self {
+        self.default_user = name.into();
+        self
+    }
+
+    /// Adds a step executing `module` with an auto-assigned id.
+    pub fn step(&mut self, module: NodeId) -> StepId {
+        while self.node_of_step.contains_key(&StepId(self.next_step)) {
+            self.next_step += 1;
+        }
+        let id = StepId(self.next_step);
+        self.next_step += 1;
+        self.step_with_id(id, module);
+        id
+    }
+
+    /// Adds a step with an explicit id (to mirror the paper's `S1..S10`).
+    pub fn step_with_id(&mut self, id: StepId, module: NodeId) -> StepId {
+        if !self.spec.is_module(module) {
+            self.deferred.push(ModelError::SpecMismatch(format!(
+                "step {id} executes non-module node `{}`",
+                self.spec.label(module)
+            )));
+        }
+        if self.node_of_step.contains_key(&id) {
+            self.deferred.push(ModelError::DuplicateStep(id.0));
+            return id;
+        }
+        let n = self.graph.add_node(RunNode::Step { id, module });
+        self.node_of_step.insert(id, n);
+        id
+    }
+
+    fn step_node(&mut self, s: StepId) -> Option<NodeId> {
+        let n = self.node_of_step.get(&s).copied();
+        if n.is_none() {
+            self.deferred.push(ModelError::UnknownStep(s.0));
+        }
+        n
+    }
+
+    fn push_edge(&mut self, from: NodeId, to: NodeId, data: Vec<DataId>) {
+        if data.is_empty() {
+            self.deferred.push(ModelError::EmptyDataEdge {
+                from: format!("{:?}", self.graph.node(from)),
+                to: format!("{:?}", self.graph.node(to)),
+            });
+            return;
+        }
+        let mut data = data;
+        data.sort();
+        data.dedup();
+        self.graph.add_edge(from, to, data);
+    }
+
+    /// Records that `from` passed the given data objects to `to`.
+    pub fn data_edge(
+        &mut self,
+        from: StepId,
+        to: StepId,
+        data: impl IntoIterator<Item = u64>,
+    ) -> &mut Self {
+        let (Some(a), Some(b)) = (self.step_node(from), self.step_node(to)) else {
+            return self;
+        };
+        let data: Vec<DataId> = data.into_iter().map(DataId).collect();
+        self.push_edge(a, b, data);
+        self
+    }
+
+    /// Records a parameter passed to a step, e.g. an alignment tool's
+    /// gap-penalty setting.
+    pub fn param(
+        &mut self,
+        step: StepId,
+        key: impl Into<String>,
+        value: impl Into<String>,
+    ) -> &mut Self {
+        if self.step_node(step).is_some() {
+            self.params
+                .entry(step)
+                .or_default()
+                .insert(key.into(), value.into());
+        }
+        self
+    }
+
+    /// Records user-provided data flowing from the run's input node to `to`.
+    pub fn input_edge(&mut self, to: StepId, data: impl IntoIterator<Item = u64>) -> &mut Self {
+        let Some(b) = self.step_node(to) else {
+            return self;
+        };
+        let data: Vec<DataId> = data.into_iter().map(DataId).collect();
+        self.clock = self.clock.tick();
+        for &d in &data {
+            self.user_input_meta.entry(d).or_insert_with(|| UserInputMeta {
+                user: self.default_user.clone(),
+                time: self.clock,
+            });
+        }
+        self.push_edge(NodeId::from_index(0), b, data);
+        self
+    }
+
+    /// Records final outputs flowing from `from` to the run's output node.
+    pub fn output_edge(&mut self, from: StepId, data: impl IntoIterator<Item = u64>) -> &mut Self {
+        let Some(a) = self.step_node(from) else {
+            return self;
+        };
+        let data: Vec<DataId> = data.into_iter().map(DataId).collect();
+        self.push_edge(a, NodeId::from_index(1), data);
+        self
+    }
+
+    /// Validates and finalizes the run.
+    pub fn build(self) -> Result<WorkflowRun> {
+        if let Some(e) = self.deferred.into_iter().next() {
+            return Err(e);
+        }
+        let graph = self.graph;
+        let input = NodeId::from_index(0);
+        let output = NodeId::from_index(1);
+
+        if !is_acyclic(&graph) {
+            return Err(ModelError::RunHasCycle);
+        }
+        if !all_nodes_on_paths(&graph, input, output) {
+            let on = zoom_graph::algo::paths::nodes_on_paths(&graph, input, output);
+            let bad = graph
+                .node_ids()
+                .find(|n| !on.contains(n.index()))
+                .expect("some node is off the input-output paths");
+            return Err(ModelError::NotOnInputOutputPath(format!(
+                "{:?}",
+                graph.node(bad)
+            )));
+        }
+
+        // Unique producer per data object; the producer is the source node of
+        // every edge carrying the object.
+        let mut producer: HashMap<DataId, NodeId> = HashMap::new();
+        for (e, src, _, _) in graph.edges() {
+            for &d in graph.edge(e) {
+                if let Some(&prev) = producer.get(&d) {
+                    if prev != src {
+                        let step_of = |n: NodeId| match graph.node(n) {
+                            RunNode::Step { id, .. } => id.0,
+                            _ => 0,
+                        };
+                        return Err(ModelError::DataProducedTwice {
+                            data: d.0,
+                            first: step_of(prev),
+                            second: step_of(src),
+                        });
+                    }
+                } else {
+                    producer.insert(d, src);
+                }
+            }
+        }
+
+        // Spec conformance: every run edge must follow a specification edge.
+        for (_, src, tgt, _) in graph.edges() {
+            let spec_node = |n: NodeId| match graph.node(n) {
+                RunNode::Input => Some(self.spec.input()),
+                RunNode::Output => Some(self.spec.output()),
+                RunNode::Step { module, .. } => Some(*module),
+            };
+            let (a, b) = (
+                spec_node(src).expect("total"),
+                spec_node(tgt).expect("total"),
+            );
+            if !self.spec.graph().has_edge(a, b) {
+                return Err(ModelError::SpecMismatch(format!(
+                    "run edge {} -> {} has no specification edge {} -> {}",
+                    graph.node(src),
+                    graph.node(tgt),
+                    self.spec.label(a),
+                    self.spec.label(b)
+                )));
+            }
+        }
+
+        // Keep metadata only for data actually input by the user.
+        let user_input_meta = self
+            .user_input_meta
+            .into_iter()
+            .filter(|(d, _)| producer.get(d) == Some(&input))
+            .collect();
+
+        Ok(WorkflowRun {
+            spec_name: self.spec.name().to_string(),
+            graph,
+            node_of_step: self.node_of_step,
+            producer,
+            user_input_meta,
+            params: self.params,
+        })
+    }
+}
+
+impl std::fmt::Display for RunNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunNode::Input => write!(f, "input"),
+            RunNode::Output => write!(f, "output"),
+            RunNode::Step { id, .. } => write!(f, "{id}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpecBuilder;
+
+    /// input -> A -> B -> output with a loop B -> A
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("s");
+        b.analysis("A");
+        b.analysis("B");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "A")
+            .to_output("B");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_simple_run() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.input_edge(s1, [1, 2])
+            .data_edge(s1, s2, [3])
+            .output_edge(s2, [4]);
+        let run = rb.build().unwrap();
+        assert_eq!(run.step_count(), 2);
+        assert_eq!(run.data_count(), 4);
+        assert_eq!(run.user_inputs(), vec![DataId(1), DataId(2)]);
+        assert_eq!(run.final_outputs(), vec![DataId(4)]);
+        assert_eq!(run.producer_of(DataId(1)), Some(Producer::UserInput));
+        assert_eq!(run.producer_of(DataId(3)), Some(Producer::Step(s1)));
+        assert_eq!(run.producer_of(DataId(99)), None);
+        assert_eq!(run.inputs_of(s2).unwrap(), vec![DataId(3)]);
+        assert_eq!(run.outputs_of(s1).unwrap(), vec![DataId(3)]);
+        assert!(run.user_input_meta(DataId(1)).is_some());
+        assert!(run.user_input_meta(DataId(3)).is_none());
+        assert_eq!(run.module_of(s2).unwrap(), b);
+        assert_eq!(run.max_step_id(), 2);
+    }
+
+    #[test]
+    fn loop_unrolling_allows_repeated_modules() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        let s3 = rb.step(a); // second execution of A (loop unrolled)
+        let s4 = rb.step(b);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s2, s3, [3])
+            .data_edge(s3, s4, [4])
+            .output_edge(s4, [5]);
+        let run = rb.build().unwrap();
+        assert_eq!(run.step_count(), 4);
+        assert_eq!(run.module_of(s3).unwrap(), a);
+    }
+
+    #[test]
+    fn cyclic_run_rejected() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s2, s1, [3])
+            .output_edge(s2, [4]);
+        assert_eq!(rb.build().unwrap_err(), ModelError::RunHasCycle);
+    }
+
+    #[test]
+    fn data_produced_twice_rejected() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [2]); // d2 also "produced" by s2
+        let err = rb.build().unwrap_err();
+        assert!(matches!(err, ModelError::DataProducedTwice { data: 2, .. }));
+    }
+
+    #[test]
+    fn fanout_of_same_datum_is_fine() {
+        // d2 produced by s1 flows to two consumers.
+        let mut sb = SpecBuilder::new("fan");
+        sb.analysis("A");
+        sb.analysis("B");
+        sb.analysis("C");
+        sb.from_input("A")
+            .edge("A", "B")
+            .edge("A", "C")
+            .to_output("B")
+            .to_output("C");
+        let s = sb.build().unwrap();
+        let (a, b, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        let s3 = rb.step(c);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s1, s3, [2])
+            .output_edge(s2, [3])
+            .output_edge(s3, [4]);
+        let run = rb.build().unwrap();
+        assert_eq!(run.producer_of(DataId(2)), Some(Producer::Step(s1)));
+    }
+
+    #[test]
+    fn run_must_follow_spec_edges() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        // Spec has no edge input -> B.
+        rb.input_edge(s1, [1])
+            .input_edge(s2, [9])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        assert!(matches!(
+            rb.build().unwrap_err(),
+            ModelError::SpecMismatch(_)
+        ));
+    }
+
+    #[test]
+    fn disconnected_step_rejected() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        let _s3 = rb.step(a); // never wired up
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        assert!(matches!(
+            rb.build().unwrap_err(),
+            ModelError::NotOnInputOutputPath(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_steps() {
+        let s = spec();
+        let a = s.module("A").unwrap();
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        rb.step_with_id(s1, a);
+        assert_eq!(rb.build().unwrap_err(), ModelError::DuplicateStep(1));
+
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        rb.input_edge(s1, [1]).data_edge(s1, StepId(42), [2]);
+        assert_eq!(rb.build().unwrap_err(), ModelError::UnknownStep(42));
+    }
+
+    #[test]
+    fn empty_edge_rejected() {
+        let s = spec();
+        let a = s.module("A").unwrap();
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        rb.input_edge(s1, std::iter::empty::<u64>());
+        assert!(matches!(
+            rb.build().unwrap_err(),
+            ModelError::EmptyDataEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn explicit_ids_and_auto_ids_coexist() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s5 = rb.step_with_id(StepId(5), a);
+        let s1 = rb.step(b); // auto: S1
+        assert_eq!(s1, StepId(1));
+        rb.input_edge(s5, [1])
+            .data_edge(s5, s1, [2])
+            .output_edge(s1, [3]);
+        let run = rb.build().unwrap();
+        assert_eq!(run.max_step_id(), 5);
+    }
+
+    #[test]
+    fn step_parameters() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.param(s1, "gap-penalty", "0.5")
+            .param(s1, "matrix", "BLOSUM62")
+            .param(StepId(99), "ignored", "x") // unknown step: recorded error later
+            .input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        let err_or_run = rb.build();
+        // The unknown step surfaced as an error.
+        assert!(matches!(err_or_run, Err(ModelError::UnknownStep(99))));
+
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.param(s1, "gap-penalty", "0.5")
+            .param(s1, "matrix", "BLOSUM62")
+            .input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        let run = rb.build().unwrap();
+        assert_eq!(run.params_of(s1).len(), 2);
+        assert_eq!(run.params_of(s1)["matrix"], "BLOSUM62");
+        assert!(run.params_of(s2).is_empty());
+    }
+
+    #[test]
+    fn data_range_formatting() {
+        let d = |v: &[u64]| v.iter().copied().map(DataId).collect::<Vec<_>>();
+        assert_eq!(format_data_range(&d(&[1, 2, 3, 4])), "d1..d4");
+        assert_eq!(format_data_range(&d(&[5])), "d5");
+        assert_eq!(format_data_range(&d(&[1, 3, 4, 9])), "d1,d3..d4,d9");
+        assert_eq!(format_data_range(&[]), "");
+    }
+
+    #[test]
+    fn dot_rendering() {
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.input_edge(s1, [1, 2, 3])
+            .data_edge(s1, s2, [4])
+            .output_edge(s2, [5]);
+        let run = rb.build().unwrap();
+        let dot = run.to_dot(&s);
+        assert!(dot.contains("S1:A"));
+        assert!(dot.contains("S2:B"));
+        assert!(dot.contains("d1..d3"));
+    }
+}

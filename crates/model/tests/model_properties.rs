@@ -1,0 +1,183 @@
+//! Property-based tests of the model builders and derived structures,
+//! using raw random inputs (not the workload generator, which lives
+//! upstream of this crate): whatever the builders *accept* must satisfy
+//! the structural invariants, and whatever violates them must be rejected.
+
+use proptest::prelude::*;
+use zoom_model::{
+    induced_spec, CompositeModule, ModelError, RunBuilder, SpecBuilder, UserView, ViewRun,
+    WorkflowSpec,
+};
+
+/// Random spec input: module count and raw edge commands.
+#[derive(Debug, Clone)]
+struct RawSpec {
+    modules: usize,
+    /// (from, to) indices into 0..modules+2 where 0=input, 1=output,
+    /// 2..=modules+1 are modules M1..Mn.
+    edges: Vec<(usize, usize)>,
+}
+
+fn arb_raw_spec() -> impl Strategy<Value = RawSpec> {
+    (1usize..10).prop_flat_map(|modules| {
+        let node = 0..modules + 2;
+        proptest::collection::vec((node.clone(), node), 0..30)
+            .prop_map(move |edges| RawSpec { modules, edges })
+    })
+}
+
+fn build(raw: &RawSpec) -> Result<WorkflowSpec, ModelError> {
+    let mut b = SpecBuilder::new("prop");
+    let mut ids = vec![zoom_graph::NodeId::from_index(0), zoom_graph::NodeId::from_index(1)];
+    for i in 0..raw.modules {
+        ids.push(b.analysis(format!("M{}", i + 1)));
+    }
+    for &(f, t) in &raw.edges {
+        b.connect(ids[f], ids[t]);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Soundness: every spec the builder accepts passes the independent
+    /// re-validator; every rejection is one of the documented error kinds.
+    #[test]
+    fn spec_builder_sound(raw in arb_raw_spec()) {
+        match build(&raw) {
+            Ok(spec) => {
+                prop_assert!(spec.validate().is_ok());
+                prop_assert_eq!(spec.module_count(), raw.modules);
+            }
+            Err(
+                ModelError::BadEndpointEdge(_)
+                | ModelError::NotOnInputOutputPath(_)
+                | ModelError::EmptySpec,
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error kind: {other}"),
+        }
+    }
+
+    /// Completeness of rejection: a spec with an edge into `input` or out
+    /// of `output` never builds.
+    #[test]
+    fn bad_endpoint_edges_always_rejected(raw in arb_raw_spec(), bad_into_input in any::<bool>()) {
+        let mut raw = raw;
+        if bad_into_input {
+            raw.edges.push((2, 0));
+        } else {
+            raw.edges.push((1, 2));
+        }
+        prop_assert!(build(&raw).is_err());
+    }
+
+    /// UAdmin's induced specification is always isomorphic to the original
+    /// (same module count, same deduplicated edge multiset by label).
+    #[test]
+    fn admin_induced_is_isomorphic(raw in arb_raw_spec()) {
+        let Ok(spec) = build(&raw) else { return Ok(()); };
+        let admin = UserView::admin(&spec);
+        let ind = induced_spec(&spec, &admin);
+        prop_assert_eq!(ind.spec.module_count(), spec.module_count());
+        let edge_labels = |s: &WorkflowSpec| -> std::collections::BTreeSet<(String, String)> {
+            s.graph()
+                .edges()
+                .map(|(_, a, b, _)| (s.label(a).to_string(), s.label(b).to_string()))
+                .collect()
+        };
+        // Composite names equal module labels under UAdmin.
+        prop_assert_eq!(edge_labels(&ind.spec), edge_labels(&spec));
+    }
+
+    /// Any two-block split of the modules is accepted as a partition, and
+    /// the resulting composite-of map is total and consistent.
+    #[test]
+    fn arbitrary_bipartitions_are_views(raw in arb_raw_spec(), mask in any::<u32>()) {
+        let Ok(spec) = build(&raw) else { return Ok(()); };
+        let (mut left, mut right) = (Vec::new(), Vec::new());
+        for (i, m) in spec.module_ids().enumerate() {
+            if mask & (1 << (i % 32)) != 0 {
+                left.push(m);
+            } else {
+                right.push(m);
+            }
+        }
+        let mut parts = Vec::new();
+        if !left.is_empty() {
+            parts.push(CompositeModule::new("L", left.clone()));
+        }
+        if !right.is_empty() {
+            parts.push(CompositeModule::new("R", right.clone()));
+        }
+        let view = UserView::new("bi", &spec, parts).expect("partition");
+        for m in spec.module_ids() {
+            let c = view.composite_of(m);
+            prop_assert!(view.members(c).contains(&m));
+        }
+        prop_assert!(view.refines(&UserView::black_box(&spec)));
+        prop_assert!(UserView::admin(&spec).refines(&view));
+    }
+
+    /// Run builder: a random linear run over a random spec path either
+    /// builds and validates, or fails with a documented error.
+    #[test]
+    fn linear_runs_validate(raw in arb_raw_spec(), reps in 1usize..4) {
+        let Ok(spec) = build(&raw) else { return Ok(()); };
+        // Follow an actual path input -> ... -> output if one exists with
+        // at least one module.
+        let g = spec.graph();
+        let paths = zoom_graph::algo::paths::simple_paths(g, spec.input(), spec.output(), 5);
+        let Some(path) = paths.iter().find(|p| p.len() > 2) else { return Ok(()); };
+        let modules = &path[1..path.len() - 1];
+
+        let mut rb = RunBuilder::new(&spec);
+        let mut d = 1u64;
+        let mut steps = Vec::new();
+        for _ in 0..reps {
+            for &m in modules {
+                steps.push(rb.step(m));
+            }
+        }
+        // Wire them in sequence; repetitions of the path are legal only if
+        // the spec lets the last module loop back to the first, so only
+        // wire reps > 1 when that edge exists.
+        let loops_back = g.has_edge(*modules.last().expect("nonempty"), modules[0]);
+        let reps = if loops_back { reps } else { 1 };
+        let used = &steps[..reps * modules.len()];
+        rb.input_edge(used[0], [d]);
+        for w in used.windows(2) {
+            d += 1;
+            rb.data_edge(w[0], w[1], [d]);
+        }
+        d += 1;
+        rb.output_edge(*used.last().expect("nonempty"), [d]);
+        // Steps beyond `used` are unwired; drop them from the run by
+        // rebuilding when necessary.
+        if used.len() != steps.len() {
+            let mut rb2 = RunBuilder::new(&spec);
+            let mut d = 1u64;
+            let steps2: Vec<_> = (0..used.len())
+                .map(|i| rb2.step(modules[i % modules.len()]))
+                .collect();
+            rb2.input_edge(steps2[0], [d]);
+            for w in steps2.windows(2) {
+                d += 1;
+                rb2.data_edge(w[0], w[1], [d]);
+            }
+            d += 1;
+            rb2.output_edge(*steps2.last().expect("nonempty"), [d]);
+            let run = rb2.build().expect("linear run over a real path");
+            prop_assert!(run.validate(&spec).is_ok());
+            return Ok(());
+        }
+        let run = rb.build().expect("linear run over a real path");
+        prop_assert!(run.validate(&spec).is_ok());
+        prop_assert_eq!(run.step_count(), used.len());
+
+        // Its UAdmin view-run mirrors it 1:1.
+        let vr = ViewRun::new(&run, &UserView::admin(&spec));
+        prop_assert_eq!(vr.execs().len(), run.step_count());
+        prop_assert_eq!(vr.visible_data().len(), run.data_count());
+    }
+}

@@ -1,0 +1,52 @@
+//! Searches random small specifications for a minimal-but-not-minimum
+//! instance (the paper's Figure 7 phenomenon), printing the first few found.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zoom_gen::generate_random_spec;
+use zoom_views::{minimum_view, relev_user_view_builder};
+
+fn main() {
+    let mut found = 0;
+    for seed in 0..4000u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = generate_random_spec("gap", 5 + (seed % 4) as usize, &mut rng);
+        if spec.module_count() > 9 {
+            continue;
+        }
+        let modules: Vec<_> = spec.module_ids().collect();
+        // Try each 2-subset of modules as the relevant set.
+        for i in 0..modules.len() {
+            for j in (i + 1)..modules.len() {
+                let rel = vec![modules[i], modules[j]];
+                let built = relev_user_view_builder(&spec, &rel).expect("ok");
+                let min = minimum_view(&spec, &rel, 9).expect("small");
+                if min.size() < built.view.size() {
+                    println!(
+                        "GAP seed={seed} modules={} builder={} minimum={} R={:?}",
+                        spec.module_count(),
+                        built.view.size(),
+                        min.size(),
+                        rel.iter().map(|&r| spec.label(r)).collect::<Vec<_>>()
+                    );
+                    println!("{}", spec.to_dot(&rel));
+                    for c in min.composites() {
+                        let ls: Vec<_> =
+                            c.members.iter().map(|&m| spec.label(m)).collect();
+                        println!("  min part: {ls:?}");
+                    }
+                    for c in built.view.composites() {
+                        let ls: Vec<_> =
+                            c.members.iter().map(|&m| spec.label(m)).collect();
+                        println!("  builder part: {ls:?}");
+                    }
+                    found += 1;
+                    if found >= 3 {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+    println!("no gap found in search space");
+}

@@ -1,0 +1,334 @@
+//! `RelevUserViewBuilder` (Section III, Figure 5): constructs a *good* user
+//! view from a set of relevant modules.
+//!
+//! The algorithm has three steps:
+//!
+//! 1. **Relevant composites.** For each relevant module `r`, create
+//!    `C(r) = in(r) ∪ out(r) ∪ {r}` where `in(r)` are the non-relevant
+//!    modules whose only relevant successor (over nr-paths) is `r`, and
+//!    `out(r)` the still-unmarked non-relevant modules whose only relevant
+//!    predecessor is `r`.
+//! 2. **Non-relevant composites.** Group the remaining non-relevant modules
+//!    by equal `(rpred, rsucc)` pairs.
+//! 3. **Merging.** Repeatedly merge two non-relevant composites `M1, M2`
+//!    when doing so cannot fabricate or destroy nr-paths: writing
+//!    `M = M1 ∪ M2`, every exit point of `M` must satisfy
+//!    `rpred(n) = rpredM(M)` and every entry point `rsucc(n) = rsuccM(M)`.
+//!
+//! The result is well-formed, preserves and is complete w.r.t. dataflow
+//! (Properties 1–3), and is minimal — no two of its composites can be merged
+//! without breaking a property (Theorem 1). It is **not** guaranteed to be
+//! *minimum*; finding a polynomial algorithm for minimum good views is the
+//! paper's open problem (see [`crate::minimum`]).
+//!
+//! Complexity: `O(|R| · (V + E))` for the nr-path sweeps plus the merging
+//! fixpoint — polynomial, and in practice well under the paper's 80 ms on
+//! thousand-node specifications (see the `builder_scalability` bench).
+
+use crate::nrpath::NrContext;
+use zoom_graph::{BitSet, NodeId};
+use zoom_model::{CompositeModule, Result, UserView, WorkflowSpec};
+
+/// Output of [`relev_user_view_builder`], retaining which composites are
+/// relevant (contain a relevant module) for the evaluation harness.
+#[derive(Clone, Debug)]
+pub struct BuiltView {
+    /// The constructed user view.
+    pub view: UserView,
+    /// Number of relevant composites (= number of relevant modules).
+    pub relevant_composites: usize,
+    /// Number of non-relevant composites ("as few as possible").
+    pub non_relevant_composites: usize,
+}
+
+/// Runs `RelevUserViewBuilder` on `spec` with the given relevant modules.
+///
+/// Relevant composites are named after their relevant module; non-relevant
+/// composites are named `NR1, NR2, …` in order of their smallest member.
+/// Passing an empty relevant set yields a single non-relevant composite
+/// containing the whole workflow (the black-box view).
+///
+/// ```
+/// use zoom_views::{relev_user_view_builder, is_good_view, is_minimal};
+/// let (spec, relevant) = zoom_views::paper::figure6();
+/// let built = relev_user_view_builder(&spec, &relevant).unwrap();
+/// assert_eq!(built.view.size(), 4); // the paper's result
+/// assert!(is_good_view(&spec, &built.view, &relevant));
+/// assert!(is_minimal(&spec, &built.view, &relevant));
+/// ```
+pub fn relev_user_view_builder(spec: &WorkflowSpec, relevant: &[NodeId]) -> Result<BuiltView> {
+    let mut relevant: Vec<NodeId> = relevant.to_vec();
+    relevant.sort();
+    relevant.dedup();
+    let ctx = NrContext::of_spec(spec, &relevant);
+    let n = spec.graph().node_count();
+
+    let singleton = |x: NodeId| -> BitSet {
+        let mut s = BitSet::new(n);
+        s.insert(x.index());
+        s
+    };
+
+    // --- Step 1: relevant composite modules.
+    let mut marked = BitSet::new(n);
+    for &r in &relevant {
+        marked.insert(r.index()); // relevant modules never join step 2
+    }
+    let mut relevant_parts: Vec<Vec<NodeId>> = vec![Vec::new(); relevant.len()];
+    // in(r): non-relevant n with rsucc(n) = {r}.
+    for (i, &r) in relevant.iter().enumerate() {
+        let want = singleton(r);
+        for m in spec.module_ids() {
+            if !marked.contains(m.index()) && *ctx.rsucc(m) == want {
+                relevant_parts[i].push(m);
+                marked.insert(m.index());
+            }
+        }
+    }
+    // out(r): unmarked non-relevant n with rpred(n) = {r}.
+    for (i, &r) in relevant.iter().enumerate() {
+        let want = singleton(r);
+        for m in spec.module_ids() {
+            if !marked.contains(m.index()) && *ctx.rpred(m) == want {
+                relevant_parts[i].push(m);
+                marked.insert(m.index());
+            }
+        }
+    }
+    for (i, &r) in relevant.iter().enumerate() {
+        relevant_parts[i].push(r);
+    }
+
+    // --- Step 2: group unmarked non-relevant modules by (rpred, rsucc).
+    struct Nrc {
+        members: Vec<NodeId>,
+        rpred: BitSet,
+        rsucc: BitSet,
+    }
+    let mut nrc: Vec<Nrc> = Vec::new();
+    for m in spec.module_ids() {
+        if marked.contains(m.index()) {
+            continue;
+        }
+        let (rp, rs) = (ctx.rpred(m), ctx.rsucc(m));
+        if let Some(g) = nrc
+            .iter_mut()
+            .find(|g| g.rpred == *rp && g.rsucc == *rs)
+        {
+            g.members.push(m);
+        } else {
+            nrc.push(Nrc {
+                members: vec![m],
+                rpred: rp.clone(),
+                rsucc: rs.clone(),
+            });
+        }
+    }
+
+    // --- Step 3: merge non-relevant composites while it is safe.
+    //
+    // Safety condition (Figure 5, line 23): with M = M1 ∪ M2,
+    //   ∀n ∈ V+(M): rpred(n) = rpredM(M)   and
+    //   ∀n ∈ V−(M): rsucc(n) = rsuccM(M),
+    // where V−/V+ are the entry/exit points of M in the specification.
+    let in_set = |members: &[NodeId]| -> BitSet {
+        let mut s = BitSet::new(n);
+        for &m in members {
+            s.insert(m.index());
+        }
+        s
+    };
+    'merge: loop {
+        for i in 0..nrc.len() {
+            for j in (i + 1)..nrc.len() {
+                let mut members = nrc[i].members.clone();
+                members.extend_from_slice(&nrc[j].members);
+                let mset = in_set(&members);
+                let mut rpred_m = nrc[i].rpred.clone();
+                rpred_m.union_with(&nrc[j].rpred);
+                let mut rsucc_m = nrc[i].rsucc.clone();
+                rsucc_m.union_with(&nrc[j].rsucc);
+
+                let ok = members.iter().all(|&m| {
+                    let exit = spec
+                        .graph()
+                        .successors(m)
+                        .any(|s| !mset.contains(s.index()));
+                    let entry = spec
+                        .graph()
+                        .predecessors(m)
+                        .any(|p| !mset.contains(p.index()));
+                    (!exit || *ctx.rpred(m) == rpred_m) && (!entry || *ctx.rsucc(m) == rsucc_m)
+                });
+                if ok {
+                    let merged = Nrc {
+                        members,
+                        rpred: rpred_m,
+                        rsucc: rsucc_m,
+                    };
+                    nrc.remove(j);
+                    nrc[i] = merged;
+                    continue 'merge;
+                }
+            }
+        }
+        break;
+    }
+
+    // --- Assemble the view (deterministic composite order: relevant
+    // composites by relevant-module id, then non-relevant by smallest
+    // member).
+    let mut composites: Vec<CompositeModule> = Vec::with_capacity(relevant.len() + nrc.len());
+    for (i, &r) in relevant.iter().enumerate() {
+        composites.push(CompositeModule::new(
+            format!("C({})", spec.label(r)),
+            std::mem::take(&mut relevant_parts[i]),
+        ));
+    }
+    let mut nrc_parts: Vec<Vec<NodeId>> = nrc
+        .into_iter()
+        .map(|g| {
+            let mut m = g.members;
+            m.sort();
+            m
+        })
+        .collect();
+    nrc_parts.sort_by_key(|g| g[0]);
+    let non_relevant_composites = nrc_parts.len();
+    for (k, part) in nrc_parts.into_iter().enumerate() {
+        composites.push(CompositeModule::new(format!("NR{}", k + 1), part));
+    }
+
+    let view_name = format!("UV({})", {
+        let labels: Vec<&str> = relevant.iter().map(|&r| spec.label(r)).collect();
+        labels.join(",")
+    });
+    let view = UserView::new(view_name, spec, composites)?;
+    Ok(BuiltView {
+        view,
+        relevant_composites: relevant.len(),
+        non_relevant_composites,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::figure6;
+    use zoom_model::SpecBuilder;
+
+    /// Member labels of the composite containing `label`, sorted.
+    fn composite_labels(spec: &WorkflowSpec, view: &UserView, label: &str) -> Vec<String> {
+        let m = spec.module(label).unwrap();
+        let c = view.composite_of(m);
+        let mut ls: Vec<String> = view
+            .members(c)
+            .iter()
+            .map(|&x| spec.label(x).to_string())
+            .collect();
+        ls.sort();
+        ls
+    }
+
+    #[test]
+    fn figure6_produces_the_papers_view() {
+        let (s, rel) = figure6();
+        let built = relev_user_view_builder(&s, &rel).unwrap();
+        let v = &built.view;
+        // The paper's result: {M2,M3}, {M6,M8}, {M1,M4,M5}, {M7} — size 4.
+        assert_eq!(v.size(), 4);
+        assert_eq!(built.relevant_composites, 2);
+        assert_eq!(built.non_relevant_composites, 2);
+        assert_eq!(composite_labels(&s, v, "M3"), vec!["M2", "M3"]);
+        assert_eq!(composite_labels(&s, v, "M6"), vec!["M6", "M8"]);
+        assert_eq!(composite_labels(&s, v, "M1"), vec!["M1", "M4", "M5"]);
+        assert_eq!(composite_labels(&s, v, "M7"), vec!["M7"]);
+        assert!(v.is_well_formed(&rel));
+    }
+
+    #[test]
+    fn empty_relevant_set_gives_one_composite() {
+        let (s, _) = figure6();
+        let built = relev_user_view_builder(&s, &[]).unwrap();
+        assert_eq!(built.view.size(), 1);
+        assert_eq!(built.relevant_composites, 0);
+    }
+
+    #[test]
+    fn all_relevant_gives_admin_sized_view() {
+        let (s, _) = figure6();
+        let all: Vec<_> = s.module_ids().collect();
+        let built = relev_user_view_builder(&s, &all).unwrap();
+        assert_eq!(built.view.size(), s.module_count());
+        assert!(built
+            .view
+            .composites()
+            .iter()
+            .all(zoom_model::CompositeModule::is_singleton));
+    }
+
+    #[test]
+    fn linear_chain_absorbs_formatting() {
+        // I -> F1 -> R -> F2 -> O with R relevant: everything joins C(R).
+        let mut b = SpecBuilder::new("chain");
+        b.formatting("F1");
+        b.analysis("R");
+        b.formatting("F2");
+        b.from_input("F1")
+            .edge("F1", "R")
+            .edge("R", "F2")
+            .to_output("F2");
+        let s = b.build().unwrap();
+        let rel = vec![s.module("R").unwrap()];
+        let built = relev_user_view_builder(&s, &rel).unwrap();
+        assert_eq!(built.view.size(), 1);
+        assert_eq!(
+            composite_labels(&s, &built.view, "R"),
+            vec!["F1", "F2", "R"]
+        );
+    }
+
+    #[test]
+    fn in_r_takes_priority_over_out_r() {
+        // I -> r1 -> n -> r2 -> O: n has rpred {r1} and rsucc {r2}; the
+        // in-loop runs first, so n lands in in(r2), not out(r1).
+        let mut b = SpecBuilder::new("prio");
+        b.analysis("r1");
+        b.formatting("n");
+        b.analysis("r2");
+        b.from_input("r1")
+            .edge("r1", "n")
+            .edge("n", "r2")
+            .to_output("r2");
+        let s = b.build().unwrap();
+        let rel = vec![s.module("r1").unwrap(), s.module("r2").unwrap()];
+        let built = relev_user_view_builder(&s, &rel).unwrap();
+        assert_eq!(built.view.size(), 2);
+        assert_eq!(composite_labels(&s, &built.view, "r2"), vec!["n", "r2"]);
+        assert_eq!(composite_labels(&s, &built.view, "r1"), vec!["r1"]);
+    }
+
+    #[test]
+    fn duplicate_relevant_input_tolerated() {
+        let (s, rel) = figure6();
+        let doubled: Vec<_> = rel.iter().chain(rel.iter()).copied().collect();
+        let built = relev_user_view_builder(&s, &doubled).unwrap();
+        assert_eq!(built.view.size(), 4);
+    }
+
+    #[test]
+    fn view_names_are_deterministic() {
+        let (s, rel) = figure6();
+        let b1 = relev_user_view_builder(&s, &rel).unwrap();
+        let b2 = relev_user_view_builder(&s, &rel).unwrap();
+        assert_eq!(b1.view.name(), b2.view.name());
+        assert_eq!(b1.view.name(), "UV(M3,M6)");
+        let names: Vec<_> = b1
+            .view
+            .composites()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(names, vec!["C(M3)", "C(M6)", "NR1", "NR2"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! View algebra: composing and drilling into user views.
+//!
+//! The paper's conclusion sketches two operations beyond the core
+//! algorithm: user views "can be used in conjunction with other composite
+//! module construction techniques … by either marking relevant composite
+//! modules in the existing workflow specification" — i.e. building a view
+//! *of an induced specification* and flattening it back (composition) —
+//! "or by viewing each composite module as itself being a workflow and
+//! marking relevant atomic modules contained within it" — i.e. extracting
+//! a composite as a sub-workflow (drill-down). Both are implemented here.
+
+use zoom_graph::NodeId;
+use zoom_model::{
+    CompositeId, CompositeModule, InducedSpec, ModelError, Result, SpecBuilder, UserView,
+    WorkflowSpec,
+};
+
+/// Flattens a view of an induced specification back onto the base
+/// specification: composite `K` of `coarser` (whose members are composites
+/// of `base`) becomes the union of those composites' members.
+///
+/// `UAdmin` of the induced spec composes to `base` itself; `UBlackBox` of
+/// the induced spec composes to `UBlackBox` of the base.
+///
+/// ```
+/// use zoom_views::{compose, relev_user_view_builder};
+/// use zoom_model::{induced_spec, UserView};
+/// let (spec, relevant) = zoom_views::paper::figure6();
+/// let base = relev_user_view_builder(&spec, &relevant).unwrap().view;
+/// let ind = induced_spec(&spec, &base);
+/// let flat = compose(&spec, &base, &ind, &UserView::black_box(&ind.spec)).unwrap();
+/// assert_eq!(flat.size(), 1);
+/// ```
+pub fn compose(
+    spec: &WorkflowSpec,
+    base: &UserView,
+    induced: &InducedSpec,
+    coarser: &UserView,
+) -> Result<UserView> {
+    if coarser.spec_name() != induced.spec.name() {
+        return Err(ModelError::SpecMismatch(format!(
+            "coarser view is over `{}`, not the induced spec `{}`",
+            coarser.spec_name(),
+            induced.spec.name()
+        )));
+    }
+    let mut composites = Vec::with_capacity(coarser.size());
+    for k in coarser.composite_ids() {
+        let mut members: Vec<NodeId> = Vec::new();
+        for &ind_node in coarser.members(k) {
+            let c = induced.composite(ind_node).ok_or_else(|| {
+                ModelError::SpecMismatch(format!(
+                    "induced node {} is not a composite of the base view",
+                    induced.spec.label(ind_node)
+                ))
+            })?;
+            members.extend_from_slice(base.members(c));
+        }
+        composites.push(CompositeModule::new(
+            coarser.composite_name(k).to_string(),
+            members,
+        ));
+    }
+    UserView::new(
+        format!("{}∘{}", coarser.name(), base.name()),
+        spec,
+        composites,
+    )
+}
+
+/// Extracts one composite module as a standalone workflow specification:
+/// its members, the edges among them, with boundary edges redirected to the
+/// sub-workflow's own input/output nodes — "viewing each composite module
+/// as itself being a workflow".
+///
+/// Returns an error if the composite has no entry from or no exit to the
+/// rest of the workflow (impossible for views over valid specifications).
+pub fn subworkflow(
+    spec: &WorkflowSpec,
+    view: &UserView,
+    composite: CompositeId,
+) -> Result<WorkflowSpec> {
+    let members = view.members(composite);
+    let member_set: std::collections::HashSet<NodeId> = members.iter().copied().collect();
+    let mut b = SpecBuilder::new(format!(
+        "{}::{}",
+        spec.name(),
+        view.composite_name(composite)
+    ));
+    let mut map = std::collections::HashMap::with_capacity(members.len());
+    for &m in members {
+        map.insert(m, b.module(spec.label(m).to_string(), spec.kind(m)));
+    }
+    for (_, s, t, _) in spec.graph().edges() {
+        match (member_set.contains(&s), member_set.contains(&t)) {
+            (true, true) => {
+                b.connect(map[&s], map[&t]);
+            }
+            (false, true) => {
+                // Entry: anything outside (including the base input) feeds
+                // the sub-workflow's input node.
+                b.connect(NodeId::from_index(0), map[&t]);
+            }
+            (true, false) => {
+                b.connect(map[&s], NodeId::from_index(1));
+            }
+            (false, false) => {}
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::relev_user_view_builder;
+    use crate::paper::figure6;
+    use zoom_model::induced_spec;
+
+    #[test]
+    fn compose_with_admin_is_identity() {
+        let (s, rel) = figure6();
+        let base = relev_user_view_builder(&s, &rel).unwrap().view;
+        let ind = induced_spec(&s, &base);
+        let admin_of_induced = UserView::admin(&ind.spec);
+        let composed = compose(&s, &base, &ind, &admin_of_induced).unwrap();
+        assert_eq!(composed.size(), base.size());
+        for m in s.module_ids() {
+            // Same partition blocks (composite ids may be permuted).
+            let block = |v: &UserView| {
+                let mut b: Vec<NodeId> = v.members(v.composite_of(m)).to_vec();
+                b.sort();
+                b
+            };
+            assert_eq!(block(&composed), block(&base));
+        }
+    }
+
+    #[test]
+    fn compose_with_blackbox_is_blackbox() {
+        let (s, rel) = figure6();
+        let base = relev_user_view_builder(&s, &rel).unwrap().view;
+        let ind = induced_spec(&s, &base);
+        let bb = UserView::black_box(&ind.spec);
+        let composed = compose(&s, &base, &ind, &bb).unwrap();
+        assert_eq!(composed.size(), 1);
+        assert_eq!(
+            composed.members(CompositeId(0)).len(),
+            s.module_count()
+        );
+    }
+
+    #[test]
+    fn compose_intermediate_grouping() {
+        let (s, rel) = figure6();
+        let base = relev_user_view_builder(&s, &rel).unwrap().view;
+        let ind = induced_spec(&s, &base);
+        // Group the two non-relevant composites NR1 = {M1,M4,M5} and
+        // NR2 = {M7} at the induced level.
+        let nr1 = ind.spec.module("NR1").unwrap();
+        let nr2 = ind.spec.module("NR2").unwrap();
+        let others: Vec<NodeId> = ind
+            .spec
+            .module_ids()
+            .filter(|&m| m != nr1 && m != nr2)
+            .collect();
+        let mut parts = vec![CompositeModule::new("NRC", vec![nr1, nr2])];
+        parts.extend(
+            others
+                .iter()
+                .map(|&m| CompositeModule::new(ind.spec.label(m).to_string(), vec![m])),
+        );
+        let coarser = UserView::new("coarse", &ind.spec, parts).unwrap();
+        let composed = compose(&s, &base, &ind, &coarser).unwrap();
+        assert_eq!(composed.size(), base.size() - 1);
+        let m1 = s.module("M1").unwrap();
+        let m7 = s.module("M7").unwrap();
+        assert_eq!(composed.composite_of(m1), composed.composite_of(m7));
+    }
+
+    #[test]
+    fn compose_rejects_foreign_views() {
+        let (s, rel) = figure6();
+        let base = relev_user_view_builder(&s, &rel).unwrap().view;
+        let ind = induced_spec(&s, &base);
+        // A view of the *base* spec is not a view of the induced spec.
+        let wrong = UserView::admin(&s);
+        assert!(compose(&s, &base, &ind, &wrong).is_err());
+    }
+
+    #[test]
+    fn subworkflow_of_joe_m10() {
+        // Extract the alignment composite {M3, M4, M5} of the Figure 6...
+        // use the phylogenomic-like shape from figure6's C(M3) = {M2, M3}.
+        let (s, rel) = figure6();
+        let base = relev_user_view_builder(&s, &rel).unwrap().view;
+        let c_m3 = base.composite_of(s.module("M3").unwrap());
+        let sub = subworkflow(&s, &base, c_m3).unwrap();
+        assert_eq!(sub.module_count(), 2); // {M2, M3}
+        let m2 = sub.module("M2").unwrap();
+        let m3 = sub.module("M3").unwrap();
+        assert!(sub.graph().has_edge(m2, m3));
+        // M2's external feed (input) became the sub-workflow input; M3's
+        // edge to the base output became the sub-workflow output.
+        assert!(sub.graph().has_edge(sub.input(), m2));
+        assert!(sub.graph().has_edge(m3, sub.output()));
+    }
+
+    #[test]
+    fn subworkflow_preserves_internal_loops() {
+        // A composite containing a loop keeps it.
+        let mut b = SpecBuilder::new("loopy");
+        b.analysis("A");
+        b.analysis("B");
+        b.analysis("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .edge("C", "B")
+            .to_output("C");
+        let s = b.build().unwrap();
+        let (bb, cc) = (s.module("B").unwrap(), s.module("C").unwrap());
+        let view = UserView::new(
+            "v",
+            &s,
+            vec![
+                CompositeModule::new("A", vec![s.module("A").unwrap()]),
+                CompositeModule::new("BC", vec![bb, cc]),
+            ],
+        )
+        .unwrap();
+        let sub = subworkflow(&s, &view, CompositeId(1)).unwrap();
+        assert_eq!(sub.module_count(), 2);
+        let (sb, sc) = (sub.module("B").unwrap(), sub.module("C").unwrap());
+        assert!(sub.graph().has_edge(sb, sc));
+        assert!(sub.graph().has_edge(sc, sb));
+        assert!(!zoom_graph::algo::topo::is_acyclic(sub.graph()));
+    }
+
+    #[test]
+    fn drill_down_then_rebuild() {
+        // The conclusion's workflow: extract a composite, flag an atomic
+        // module inside it, and run the builder on the sub-workflow.
+        let (s, rel) = figure6();
+        let base = relev_user_view_builder(&s, &rel).unwrap().view;
+        let m1 = s.module("M1").unwrap();
+        let nrc = base.composite_of(m1); // {M1, M4, M5}
+        let sub = subworkflow(&s, &base, nrc).unwrap();
+        assert_eq!(sub.module_count(), 3);
+        let sub_rel = vec![sub.module("M4").unwrap()];
+        let refined = relev_user_view_builder(&sub, &sub_rel).unwrap();
+        assert!(refined.view.size() >= 1);
+        assert!(crate::properties::is_good_view(&sub, &refined.view, &sub_rel));
+    }
+}

@@ -1,0 +1,121 @@
+//! Interactive view construction, mirroring ZOOM's `UserViewBuilder` pane:
+//! "algorithm RelevUserViewBuilder runs interactively, allowing the user to
+//! visualize the new user view each time he flags or unflags a module as
+//! relevant" (Section IV).
+
+use crate::builder::{relev_user_view_builder, BuiltView};
+use std::collections::BTreeSet;
+use zoom_graph::NodeId;
+use zoom_model::{Result, WorkflowSpec};
+
+/// An interactive session over one specification. Flag and unflag modules;
+/// [`InteractiveViewBuilder::current`] rebuilds the good view for the
+/// current relevant set.
+#[derive(Debug)]
+pub struct InteractiveViewBuilder<'a> {
+    spec: &'a WorkflowSpec,
+    relevant: BTreeSet<NodeId>,
+}
+
+impl<'a> InteractiveViewBuilder<'a> {
+    /// Starts a session with no relevant modules.
+    pub fn new(spec: &'a WorkflowSpec) -> Self {
+        InteractiveViewBuilder {
+            spec,
+            relevant: BTreeSet::new(),
+        }
+    }
+
+    /// The specification being viewed.
+    pub fn spec(&self) -> &WorkflowSpec {
+        self.spec
+    }
+
+    /// Flags a module as relevant (by label). Returns whether it changed.
+    pub fn flag(&mut self, label: &str) -> Result<bool> {
+        let m = self.spec.module(label)?;
+        Ok(self.relevant.insert(m))
+    }
+
+    /// Unflags a module (by label). Returns whether it changed.
+    pub fn unflag(&mut self, label: &str) -> Result<bool> {
+        let m = self.spec.module(label)?;
+        Ok(self.relevant.remove(&m))
+    }
+
+    /// Toggles a module's relevance; returns the new state.
+    pub fn toggle(&mut self, label: &str) -> Result<bool> {
+        let m = self.spec.module(label)?;
+        if self.relevant.remove(&m) {
+            Ok(false)
+        } else {
+            self.relevant.insert(m);
+            Ok(true)
+        }
+    }
+
+    /// The currently flagged modules, sorted.
+    pub fn relevant(&self) -> Vec<NodeId> {
+        self.relevant.iter().copied().collect()
+    }
+
+    /// Whether `label` is currently flagged.
+    pub fn is_flagged(&self, label: &str) -> bool {
+        self.spec
+            .node_by_label(label)
+            .is_some_and(|m| self.relevant.contains(&m))
+    }
+
+    /// Rebuilds the good user view for the current relevant set.
+    pub fn current(&self) -> Result<BuiltView> {
+        relev_user_view_builder(self.spec, &self.relevant())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::figure6;
+
+    #[test]
+    fn flag_unflag_toggle() {
+        let (s, _) = figure6();
+        let mut ib = InteractiveViewBuilder::new(&s);
+        assert!(ib.flag("M3").unwrap());
+        assert!(!ib.flag("M3").unwrap());
+        assert!(ib.toggle("M6").unwrap());
+        assert!(ib.is_flagged("M6"));
+        assert_eq!(ib.relevant().len(), 2);
+        let v = ib.current().unwrap();
+        assert_eq!(v.view.size(), 4); // the Figure 6 result
+
+        assert!(!ib.toggle("M6").unwrap());
+        assert!(ib.unflag("M3").unwrap());
+        assert!(!ib.unflag("M3").unwrap());
+        let v = ib.current().unwrap();
+        assert_eq!(v.view.size(), 1); // nothing relevant: one composite
+    }
+
+    #[test]
+    fn unknown_label_errors() {
+        let (s, _) = figure6();
+        let mut ib = InteractiveViewBuilder::new(&s);
+        assert!(ib.flag("Mxx").is_err());
+        assert!(!ib.is_flagged("Mxx"));
+    }
+
+    #[test]
+    fn view_evolves_with_flags() {
+        // Size grows as more modules become relevant (paper's Optimality
+        // experiment: each added relevant module adds about one composite).
+        let (s, _) = figure6();
+        let mut ib = InteractiveViewBuilder::new(&s);
+        let mut last = ib.current().unwrap().view.size();
+        for l in ["M3", "M6", "M1", "M7"] {
+            ib.flag(l).unwrap();
+            let size = ib.current().unwrap().view.size();
+            assert!(size >= last, "view size should not shrink as R grows");
+            last = size;
+        }
+    }
+}

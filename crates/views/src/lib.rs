@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # zoom-views
+//!
+//! User-view theory from *"Querying and Managing Provenance through User
+//! Views in Scientific Workflows"* (ICDE 2008), Section III:
+//!
+//! * [`nrpath`] — nr-paths and the `rpred`/`rsucc` reachability functions;
+//! * [`properties`] — Properties 1–3 of a *good* user view (well-formed,
+//!   preserves dataflow, complete w.r.t. dataflow);
+//! * [`builder`] — the paper's `RelevUserViewBuilder` algorithm (Figure 5);
+//! * [`minimal`] — Theorem 1's minimality check (no pair of composites can
+//!   be merged);
+//! * [`minimum`] — exhaustive minimum-view search for small specifications
+//!   (the paper's open problem, and its Figure 7 minimal-vs-minimum gap);
+//! * [`mod@compose`] — view algebra: flattening a view of an induced spec back
+//!   onto the base, and extracting a composite as a sub-workflow;
+//! * [`interactive`] — flag/unflag-driven view building, as in the ZOOM
+//!   prototype's GUI;
+//! * [`paper`] — reconstructions of the paper's worked examples (Figures 4,
+//!   6, 7), shared by tests, examples, and benches.
+
+pub mod builder;
+pub mod compose;
+pub mod interactive;
+pub mod minimal;
+pub mod minimum;
+pub mod nrpath;
+pub mod paper;
+pub mod properties;
+
+pub use builder::{relev_user_view_builder, BuiltView};
+pub use compose::{compose, subworkflow};
+pub use interactive::InteractiveViewBuilder;
+pub use minimal::{is_minimal, mergeable_pair, merge_composites};
+pub use minimum::{minimum_view, DEFAULT_MAX_MODULES};
+pub use nrpath::NrContext;
+pub use properties::{check_view, is_good_view, Property, PropertyChecker, Violation};
+

@@ -1,0 +1,120 @@
+//! Minimality of user views (Theorem 1): a view is *minimal* when no two of
+//! its composite modules can be merged into one without violating
+//! Properties 1–3.
+
+use crate::properties::PropertyChecker;
+use zoom_graph::NodeId;
+use zoom_model::{CompositeId, CompositeModule, UserView, WorkflowSpec};
+
+/// Builds the view obtained from `view` by merging composites `i` and `j`.
+pub fn merge_composites(
+    spec: &WorkflowSpec,
+    view: &UserView,
+    i: CompositeId,
+    j: CompositeId,
+) -> UserView {
+    assert_ne!(i, j, "cannot merge a composite with itself");
+    let mut composites: Vec<CompositeModule> = Vec::with_capacity(view.size() - 1);
+    let mut merged_members: Vec<NodeId> = view.members(i).to_vec();
+    merged_members.extend_from_slice(view.members(j));
+    for c in view.composite_ids() {
+        if c == i {
+            composites.push(CompositeModule::new(
+                format!(
+                    "{}+{}",
+                    view.composite_name(i),
+                    view.composite_name(j)
+                ),
+                merged_members.clone(),
+            ));
+        } else if c != j {
+            composites.push(view.composites()[c.index()].clone());
+        }
+    }
+    UserView::new(format!("{}~merged", view.name()), spec, composites)
+        .expect("merging two parts of a partition yields a partition")
+}
+
+/// Finds a pair of composites whose merge still satisfies Properties 1–3,
+/// if any (i.e. a witness that `view` is *not* minimal).
+pub fn mergeable_pair(
+    spec: &WorkflowSpec,
+    view: &UserView,
+    relevant: &[NodeId],
+) -> Option<(CompositeId, CompositeId)> {
+    let checker = PropertyChecker::new(spec, relevant);
+    let ids: Vec<CompositeId> = view.composite_ids().collect();
+    for (a, &i) in ids.iter().enumerate() {
+        for &j in &ids[a + 1..] {
+            // Cheap pre-filter: a merge of two relevant composites always
+            // breaks Property 1.
+            let rel_count = |c: CompositeId| {
+                view.members(c)
+                    .iter()
+                    .filter(|m| relevant.contains(m))
+                    .count()
+            };
+            if rel_count(i) + rel_count(j) > 1 {
+                continue;
+            }
+            let merged = merge_composites(spec, view, i, j);
+            if checker.check(&merged).is_ok() {
+                return Some((i, j));
+            }
+        }
+    }
+    None
+}
+
+/// `true` if no pair of composites can be merged while preserving
+/// Properties 1–3.
+pub fn is_minimal(spec: &WorkflowSpec, view: &UserView, relevant: &[NodeId]) -> bool {
+    mergeable_pair(spec, view, relevant).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::relev_user_view_builder;
+    use crate::paper::figure6;
+    use zoom_model::UserView;
+
+    #[test]
+    fn builder_output_is_minimal_on_figure6() {
+        let (s, rel) = figure6();
+        let built = relev_user_view_builder(&s, &rel).unwrap();
+        assert!(is_minimal(&s, &built.view, &rel));
+    }
+
+    #[test]
+    fn admin_view_is_not_minimal_when_things_can_merge() {
+        let (s, rel) = figure6();
+        let admin = UserView::admin(&s);
+        // UAdmin keeps M2 separate from M3, but C(M3) = {M2, M3} is fine, so
+        // UAdmin is not minimal for R = {M3, M6}.
+        let pair = mergeable_pair(&s, &admin, &rel);
+        assert!(pair.is_some());
+    }
+
+    #[test]
+    fn merge_composites_shapes() {
+        let (s, _) = figure6();
+        let admin = UserView::admin(&s);
+        let merged = merge_composites(
+            &s,
+            &admin,
+            CompositeId(0),
+            CompositeId(1),
+        );
+        assert_eq!(merged.size(), admin.size() - 1);
+        assert_eq!(merged.composites()[0].members.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot merge")]
+    fn merge_same_composite_panics() {
+        let (s, _) = figure6();
+        let admin = UserView::admin(&s);
+        merge_composites(&s, &admin, CompositeId(0), CompositeId(0));
+    }
+}

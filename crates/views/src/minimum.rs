@@ -1,0 +1,146 @@
+//! Exhaustive search for a *minimum* good view.
+//!
+//! Whether a polynomial-time algorithm exists that produces a good view of
+//! the smallest possible size is the paper's open problem (Section III and
+//! VII). For small specifications we can settle individual instances by
+//! exhaustive search over set partitions, pruning on Property 1 and on the
+//! best size found so far. This powers the Figure 7 reproduction (a minimal
+//! view that is not minimum) and the `minimal_vs_minimum` ablation bench.
+
+use crate::properties::PropertyChecker;
+use zoom_graph::NodeId;
+use zoom_model::{CompositeModule, UserView, WorkflowSpec};
+
+/// Default cap on module count for the exhaustive search (Bell(12) ≈ 4.2M
+/// partitions, still tractable with pruning; beyond that, refuse).
+pub const DEFAULT_MAX_MODULES: usize = 12;
+
+/// Searches for a good view of minimum size. Returns `None` if the
+/// specification has more than `max_modules` modules.
+///
+/// A good view always exists (`RelevUserViewBuilder` produces one), so for
+/// in-range inputs this always finds one.
+pub fn minimum_view(
+    spec: &WorkflowSpec,
+    relevant: &[NodeId],
+    max_modules: usize,
+) -> Option<UserView> {
+    let modules: Vec<NodeId> = spec.module_ids().collect();
+    if modules.len() > max_modules {
+        return None;
+    }
+    let mut relevant = relevant.to_vec();
+    relevant.sort();
+    relevant.dedup();
+    let checker = PropertyChecker::new(spec, &relevant);
+
+    // Upper bound from the polynomial algorithm.
+    let built = crate::builder::relev_user_view_builder(spec, &relevant)
+        .expect("builder succeeds on valid specs");
+    let best_size = built.view.size();
+    let best = built.view;
+
+    // Enumerate set partitions via restricted-growth assignment. Parts that
+    // would hold two relevant modules are pruned immediately (Property 1);
+    // partitions already as large as the best known are pruned (part count
+    // only grows as assignment proceeds).
+    let is_rel: Vec<bool> = modules.iter().map(|m| relevant.contains(m)).collect();
+    let mut search = Search {
+        modules: &modules,
+        is_rel: &is_rel,
+        assignment: vec![usize::MAX; modules.len()],
+        part_rel_count: Vec::new(),
+        spec,
+        checker: &checker,
+        best_size,
+        best,
+    };
+    search.recurse(0);
+    Some(search.best)
+}
+
+/// Restricted-growth partition search state.
+struct Search<'a> {
+    modules: &'a [NodeId],
+    is_rel: &'a [bool],
+    assignment: Vec<usize>,
+    part_rel_count: Vec<usize>,
+    spec: &'a WorkflowSpec,
+    checker: &'a PropertyChecker<'a>,
+    best_size: usize,
+    best: UserView,
+}
+
+impl Search<'_> {
+    fn recurse(&mut self, idx: usize) {
+        let parts_so_far = self.part_rel_count.len();
+        if parts_so_far >= self.best_size {
+            return; // cannot beat the best even without new parts
+        }
+        if idx == self.modules.len() {
+            // Materialize and check Properties 2-3.
+            let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); parts_so_far];
+            for (i, &p) in self.assignment.iter().enumerate() {
+                members[p].push(self.modules[i]);
+            }
+            let composites: Vec<CompositeModule> = members
+                .into_iter()
+                .enumerate()
+                .map(|(i, m)| CompositeModule::new(format!("P{}", i + 1), m))
+                .collect();
+            let view = UserView::new("minimum-candidate", self.spec, composites)
+                .expect("restricted-growth assignment is a partition");
+            if self.checker.check(&view).is_ok() {
+                self.best_size = view.size();
+                self.best = view;
+            }
+            return;
+        }
+        // Place module idx into each existing part, then a fresh one.
+        let rel = usize::from(self.is_rel[idx]);
+        for p in 0..parts_so_far {
+            if rel > 0 && self.part_rel_count[p] > 0 {
+                continue; // Property 1 pruning
+            }
+            self.assignment[idx] = p;
+            self.part_rel_count[p] += rel;
+            self.recurse(idx + 1);
+            self.part_rel_count[p] -= rel;
+        }
+        self.assignment[idx] = parts_so_far;
+        self.part_rel_count.push(rel);
+        self.recurse(idx + 1);
+        self.part_rel_count.pop();
+        self.assignment[idx] = usize::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::relev_user_view_builder;
+    use crate::paper::figure6;
+    use crate::properties::is_good_view;
+
+    #[test]
+    fn figure6_builder_is_already_minimum() {
+        let (s, rel) = figure6();
+        let built = relev_user_view_builder(&s, &rel).unwrap();
+        let min = minimum_view(&s, &rel, DEFAULT_MAX_MODULES).unwrap();
+        assert!(is_good_view(&s, &min, &rel));
+        assert_eq!(min.size(), built.view.size());
+    }
+
+    #[test]
+    fn refuses_large_specs() {
+        let (s, rel) = figure6();
+        assert!(minimum_view(&s, &rel, 3).is_none());
+    }
+
+    #[test]
+    fn lower_bound_is_relevant_count() {
+        let (s, rel) = figure6();
+        let min = minimum_view(&s, &rel, DEFAULT_MAX_MODULES).unwrap();
+        assert!(min.size() >= rel.len());
+    }
+}

@@ -1,0 +1,328 @@
+//! nr-paths and the `rpred` / `rsucc` functions (Section III).
+//!
+//! An *nr-path* is a path in the specification (or in an induced view graph)
+//! that contains no **relevant** intermediate module; its endpoints are
+//! unconstrained. For every node `n` the paper defines
+//!
+//! * `rpred(n) = { r ∈ R ∪ {input}  | there is an nr-path from r to n }`
+//! * `rsucc(n) = { r ∈ R ∪ {output} | there is an nr-path from n to r }`
+//!
+//! Both are computed here with one constrained BFS per element of
+//! `R ∪ {input}` (resp. `R ∪ {output}`), i.e. `O(|R| · (V + E))` total —
+//! the bound that makes `RelevUserViewBuilder` polynomial.
+
+use zoom_graph::{constrained_reachable_set, BitSet, Digraph, Direction, NodeId};
+use zoom_model::WorkflowSpec;
+
+/// Precomputed nr-path reachability over one graph and one relevant set.
+///
+/// Sets are bit sets over the graph's node indices; the `input` and `output`
+/// special nodes participate with their own indices (0 and 1 in any
+/// [`WorkflowSpec`]).
+///
+/// ```
+/// use zoom_views::NrContext;
+/// let (spec, relevant) = zoom_views::paper::figure6();
+/// let ctx = NrContext::of_spec(&spec, &relevant);
+/// // The paper's stated value: rpred(M7) = {input, M6}.
+/// let m7 = spec.module("M7").unwrap();
+/// let rpred = ctx.rpred_nodes(m7);
+/// assert!(rpred.contains(&spec.input()));
+/// assert!(rpred.contains(&spec.module("M6").unwrap()));
+/// assert_eq!(rpred.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NrContext {
+    relevant: BitSet,
+    relevant_list: Vec<NodeId>,
+    input: NodeId,
+    output: NodeId,
+    rpred: Vec<BitSet>,
+    rsucc: Vec<BitSet>,
+}
+
+impl NrContext {
+    /// Builds the context for a workflow specification.
+    pub fn of_spec(spec: &WorkflowSpec, relevant: &[NodeId]) -> Self {
+        Self::new(spec.graph(), spec.input(), spec.output(), relevant)
+    }
+
+    /// Builds the context for an arbitrary graph with designated
+    /// input/output nodes (used for induced view graphs, whose relevant
+    /// nodes are the relevant composites).
+    pub fn new<N, E>(
+        graph: &Digraph<N, E>,
+        input: NodeId,
+        output: NodeId,
+        relevant: &[NodeId],
+    ) -> Self {
+        let n = graph.node_count();
+        let mut rel = BitSet::new(n);
+        let mut relevant_list: Vec<NodeId> = relevant.to_vec();
+        relevant_list.sort();
+        relevant_list.dedup();
+        for &r in &relevant_list {
+            rel.insert(r.index());
+        }
+
+        let mut rpred = vec![BitSet::new(n); n];
+        let mut rsucc = vec![BitSet::new(n); n];
+
+        // Forward sweeps from each r ∈ R ∪ {input}: nodes reached by an
+        // nr-path from r gain r in their rpred set. Intermediates must be
+        // non-relevant (input/output cannot be intermediates structurally).
+        for &r in relevant_list.iter().chain(std::iter::once(&input)) {
+            let reached = constrained_reachable_set(graph, r, Direction::Forward, |m| {
+                !rel.contains(m.index())
+            });
+            for i in reached.iter() {
+                rpred[i].insert(r.index());
+            }
+        }
+
+        // Backward sweeps from each r ∈ R ∪ {output}.
+        for &r in relevant_list.iter().chain(std::iter::once(&output)) {
+            let reached = constrained_reachable_set(graph, r, Direction::Backward, |m| {
+                !rel.contains(m.index())
+            });
+            for i in reached.iter() {
+                rsucc[i].insert(r.index());
+            }
+        }
+
+        NrContext {
+            relevant: rel,
+            relevant_list,
+            input,
+            output,
+            rpred,
+            rsucc,
+        }
+    }
+
+    /// The sorted relevant nodes.
+    pub fn relevant(&self) -> &[NodeId] {
+        &self.relevant_list
+    }
+
+    /// Whether `n` is relevant.
+    pub fn is_relevant(&self, n: NodeId) -> bool {
+        self.relevant.contains(n.index())
+    }
+
+    /// The graph's input node.
+    pub fn input(&self) -> NodeId {
+        self.input
+    }
+
+    /// The graph's output node.
+    pub fn output(&self) -> NodeId {
+        self.output
+    }
+
+    /// `rpred(n)` as a bit set over node indices.
+    pub fn rpred(&self, n: NodeId) -> &BitSet {
+        &self.rpred[n.index()]
+    }
+
+    /// `rsucc(n)` as a bit set over node indices.
+    pub fn rsucc(&self, n: NodeId) -> &BitSet {
+        &self.rsucc[n.index()]
+    }
+
+    /// `rpred(n)` as a sorted node list (for display and tests).
+    pub fn rpred_nodes(&self, n: NodeId) -> Vec<NodeId> {
+        self.rpred[n.index()].iter().map(NodeId::from_index).collect()
+    }
+
+    /// `rsucc(n)` as a sorted node list (for display and tests).
+    pub fn rsucc_nodes(&self, n: NodeId) -> Vec<NodeId> {
+        self.rsucc[n.index()].iter().map(NodeId::from_index).collect()
+    }
+
+    /// Whether there is an nr-path from `r` to `n` (`r ∈ R ∪ {input}`).
+    pub fn nr_reaches(&self, r: NodeId, n: NodeId) -> bool {
+        self.rpred[n.index()].contains(r.index())
+    }
+
+    /// `rpredM(M) = ⋃_{n ∈ M} rpred(n)`.
+    pub fn rpred_of_set(&self, members: &[NodeId]) -> BitSet {
+        let mut acc = BitSet::new(self.rpred.len());
+        for &m in members {
+            acc.union_with(&self.rpred[m.index()]);
+        }
+        acc
+    }
+
+    /// `rsuccM(M) = ⋃_{n ∈ M} rsucc(n)`.
+    pub fn rsucc_of_set(&self, members: &[NodeId]) -> BitSet {
+        let mut acc = BitSet::new(self.rsucc.len());
+        for &m in members {
+            acc.union_with(&self.rsucc[m.index()]);
+        }
+        acc
+    }
+
+    /// Whether edge `(u, v)` lies on an nr-path from `r` to `r'`
+    /// (`r ∈ R ∪ {input}`, `r' ∈ R ∪ {output}`): the prefix `r ⇝ u` and the
+    /// suffix `v ⇝ r'` must both be nr-connectable, with `u`/`v` allowed to
+    /// coincide with the endpoints.
+    pub fn edge_on_nr_path(&self, u: NodeId, v: NodeId, r: NodeId, rp: NodeId) -> bool {
+        let left = u == r || (!self.is_relevant(u) && self.nr_reaches(r, u));
+        let right = v == rp || (!self.is_relevant(v) && self.rsucc[v.index()].contains(rp.index()));
+        left && right
+    }
+
+    /// Iterates over the endpoint pairs `(r, r')` that Properties 2 and 3
+    /// quantify over: `(R ∪ {input}) × (R ∪ {output})`.
+    pub fn endpoint_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let lefts: Vec<NodeId> = self
+            .relevant_list
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.input))
+            .collect();
+        let rights: Vec<NodeId> = self
+            .relevant_list
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.output))
+            .collect();
+        let mut out = Vec::with_capacity(lefts.len() * rights.len());
+        for &l in &lefts {
+            for &r in &rights {
+                out.push((l, r));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::figure6;
+    use zoom_model::SpecBuilder;
+
+    #[test]
+    fn figure6_rpred_rsucc_match_paper() {
+        let (s, rel) = figure6();
+        let ctx = NrContext::of_spec(&s, &rel);
+        let m = |l: &str| s.module(l).unwrap();
+        let (i, o) = (s.input(), s.output());
+
+        // Values stated verbatim in Section III.
+        assert_eq!(ctx.rpred_nodes(m("M4")), vec![i]);
+        assert_eq!(ctx.rpred_nodes(m("M5")), vec![i]);
+        let mut rs4 = ctx.rsucc_nodes(m("M4"));
+        rs4.sort();
+        let mut expected = vec![m("M3"), o];
+        expected.sort();
+        assert_eq!(rs4, expected);
+        assert_eq!(ctx.rsucc_nodes(m("M5")), {
+            let mut e = vec![m("M3"), o];
+            e.sort();
+            e
+        });
+        assert_eq!(ctx.rpred_nodes(m("M1")), vec![i]);
+        assert_eq!(ctx.rsucc_nodes(m("M1")), {
+            let mut e = vec![m("M3"), m("M6"), o];
+            e.sort();
+            e
+        });
+        assert_eq!(ctx.rpred_nodes(m("M7")), {
+            let mut e = vec![i, m("M6")];
+            e.sort();
+            e
+        });
+        assert_eq!(ctx.rsucc_nodes(m("M7")), vec![o]);
+
+        // "in(M3) = {M2}": rsucc(M2) = {M3}.
+        assert_eq!(ctx.rsucc_nodes(m("M2")), vec![m("M3")]);
+        // "out(M6) = {M8}": rpred(M8) = {M6}.
+        assert_eq!(ctx.rpred_nodes(m("M8")), vec![m("M6")]);
+    }
+
+    #[test]
+    fn relevant_nodes_block_paths() {
+        // I -> A -> r -> B -> O: no nr-path from A to B (r intermediate).
+        let mut b = SpecBuilder::new("block");
+        b.analysis("A");
+        b.analysis("r");
+        b.analysis("B");
+        b.from_input("A").edge("A", "r").edge("r", "B").to_output("B");
+        let s = b.build().unwrap();
+        let rel = vec![s.module("r").unwrap()];
+        let ctx = NrContext::of_spec(&s, &rel);
+        let (a, r, bb) = (
+            s.module("A").unwrap(),
+            s.module("r").unwrap(),
+            s.module("B").unwrap(),
+        );
+        // rsucc(A) = {r}: the path to output is blocked by r.
+        assert_eq!(ctx.rsucc_nodes(a), vec![r]);
+        // rpred(B) = {r}.
+        assert_eq!(ctx.rpred_nodes(bb), vec![r]);
+        // rpred of the relevant node itself: input reaches it through A.
+        assert_eq!(ctx.rpred_nodes(r), vec![s.input()]);
+        assert!(ctx.is_relevant(r));
+        assert!(!ctx.is_relevant(a));
+    }
+
+    #[test]
+    fn edge_on_nr_path_endpoints() {
+        let mut b = SpecBuilder::new("e");
+        b.analysis("A");
+        b.analysis("r");
+        b.from_input("A").edge("A", "r").to_output("r");
+        let s = b.build().unwrap();
+        let rel = vec![s.module("r").unwrap()];
+        let ctx = NrContext::of_spec(&s, &rel);
+        let (a, r) = (s.module("A").unwrap(), s.module("r").unwrap());
+        // Edge (A, r) lies on an nr-path input -> r.
+        assert!(ctx.edge_on_nr_path(a, r, s.input(), r));
+        // Edge (input, A) lies on the same nr-path.
+        assert!(ctx.edge_on_nr_path(s.input(), a, s.input(), r));
+        // Edge (A, r) is NOT on an nr-path input -> output: r is relevant
+        // and not the right endpoint.
+        assert!(!ctx.edge_on_nr_path(a, r, s.input(), s.output()));
+        // Edge (r, output) IS on an nr-path r -> output.
+        assert!(ctx.edge_on_nr_path(r, s.output(), r, s.output()));
+    }
+
+    #[test]
+    fn set_unions() {
+        let (s, rel) = figure6();
+        let ctx = NrContext::of_spec(&s, &rel);
+        let m = |l: &str| s.module(l).unwrap();
+        let set = vec![m("M1"), m("M4"), m("M5")];
+        let rp = ctx.rpred_of_set(&set);
+        assert_eq!(rp.iter().collect::<Vec<_>>(), vec![s.input().index()]);
+        let rs = ctx.rsucc_of_set(&set);
+        let mut expect: Vec<usize> =
+            vec![m("M3").index(), m("M6").index(), s.output().index()];
+        expect.sort();
+        assert_eq!(rs.iter().collect::<Vec<_>>(), expect);
+    }
+
+    #[test]
+    fn endpoint_pairs_cover_specials() {
+        let (s, rel) = figure6();
+        let ctx = NrContext::of_spec(&s, &rel);
+        let pairs = ctx.endpoint_pairs();
+        // (|R|+1)^2 pairs.
+        assert_eq!(pairs.len(), 9);
+        assert!(pairs.contains(&(s.input(), s.output())));
+    }
+
+    #[test]
+    fn empty_relevant_set() {
+        let (s, _) = figure6();
+        let ctx = NrContext::of_spec(&s, &[]);
+        // With R = ∅ every node has rpred = {input}, rsucc = {output}.
+        for m in s.module_ids() {
+            assert_eq!(ctx.rpred_nodes(m), vec![s.input()]);
+            assert_eq!(ctx.rsucc_nodes(m), vec![s.output()]);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based verification of Theorem 1: on arbitrary (generated)
+//! workflow specifications and arbitrary relevant sets,
+//! `RelevUserViewBuilder` produces a view that is well-formed, preserves
+//! dataflow, is complete w.r.t. dataflow, and is minimal.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zoom_gen::{generate_random_spec, generate_spec, SpecGenConfig, WorkflowClass};
+use zoom_graph::NodeId;
+use zoom_model::WorkflowSpec;
+use zoom_views::{check_view, is_minimal, relev_user_view_builder};
+
+/// Builds a spec from a seed: random pattern mix, 3–20 modules.
+fn spec_from(seed: u64, size: usize, class: u8) -> WorkflowSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match class % 4 {
+        0 => generate_random_spec("prop", size, &mut rng),
+        1 => generate_spec("prop", &SpecGenConfig::new(WorkflowClass::Linear, size), &mut rng),
+        2 => generate_spec("prop", &SpecGenConfig::new(WorkflowClass::Parallel, size), &mut rng),
+        _ => generate_spec("prop", &SpecGenConfig::new(WorkflowClass::Loop, size), &mut rng),
+    }
+}
+
+/// Picks a relevant subset from a bitmask.
+fn relevant_from(spec: &WorkflowSpec, mask: u64) -> Vec<NodeId> {
+    spec.module_ids()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << (i % 64)) != 0)
+        .map(|(_, m)| m)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorem 1, first half: the builder's view satisfies Properties 1-3.
+    #[test]
+    fn builder_satisfies_properties(
+        seed in any::<u64>(),
+        size in 3usize..20,
+        class in any::<u8>(),
+        mask in any::<u64>(),
+    ) {
+        let spec = spec_from(seed, size, class);
+        let relevant = relevant_from(&spec, mask);
+        let built = relev_user_view_builder(&spec, &relevant).expect("builder succeeds");
+        if let Err(v) = check_view(&spec, &built.view, &relevant) {
+            panic!(
+                "builder violated a property on spec with {} modules, R={:?}: {v}\n{}",
+                spec.module_count(),
+                relevant.iter().map(|&r| spec.label(r)).collect::<Vec<_>>(),
+                spec.to_dot(&relevant)
+            );
+        }
+    }
+
+    /// Theorem 1, second half: the builder's view is minimal (no pair of
+    /// composites can be merged while keeping Properties 1-3). Smaller
+    /// sizes: minimality checking is quadratic in composites with a full
+    /// property check per pair.
+    #[test]
+    fn builder_output_is_minimal(
+        seed in any::<u64>(),
+        size in 3usize..12,
+        class in any::<u8>(),
+        mask in any::<u64>(),
+    ) {
+        let spec = spec_from(seed, size, class);
+        let relevant = relevant_from(&spec, mask);
+        let built = relev_user_view_builder(&spec, &relevant).expect("builder succeeds");
+        prop_assert!(
+            is_minimal(&spec, &built.view, &relevant),
+            "non-minimal view on spec with {} modules, R={:?}",
+            spec.module_count(),
+            relevant.iter().map(|&r| spec.label(r)).collect::<Vec<_>>()
+        );
+    }
+
+    /// The view size is bounded below by |R| (plus it contains exactly one
+    /// composite per relevant module) and above by the module count.
+    #[test]
+    fn view_size_bounds(
+        seed in any::<u64>(),
+        size in 3usize..25,
+        class in any::<u8>(),
+        mask in any::<u64>(),
+    ) {
+        let spec = spec_from(seed, size, class);
+        let relevant = relevant_from(&spec, mask);
+        let built = relev_user_view_builder(&spec, &relevant).expect("builder succeeds");
+        prop_assert_eq!(built.relevant_composites, relevant.len());
+        prop_assert!(built.view.size() >= relevant.len().max(1));
+        prop_assert!(built.view.size() <= spec.module_count());
+        prop_assert_eq!(
+            built.view.size(),
+            built.relevant_composites + built.non_relevant_composites
+        );
+    }
+
+    /// Relevant composites are connected subgraphs of the specification
+    /// (the paper: "Properties 1-3 guarantee that a relevant composite
+    /// module will always be a connected partition").
+    #[test]
+    fn relevant_composites_are_connected(
+        seed in any::<u64>(),
+        size in 3usize..20,
+        class in any::<u8>(),
+        mask in any::<u64>(),
+    ) {
+        let spec = spec_from(seed, size, class);
+        let relevant = relevant_from(&spec, mask);
+        let built = relev_user_view_builder(&spec, &relevant).expect("builder succeeds");
+        for c in built.view.composite_ids() {
+            let members = built.view.members(c);
+            let has_relevant = members.iter().any(|m| relevant.contains(m));
+            if !has_relevant || members.len() == 1 {
+                continue;
+            }
+            // Weak connectivity over spec edges restricted to members.
+            let mut reached = vec![false; members.len()];
+            reached[0] = true;
+            let mut frontier = vec![members[0]];
+            while let Some(x) = frontier.pop() {
+                let neighbors = spec
+                    .graph()
+                    .successors(x)
+                    .chain(spec.graph().predecessors(x));
+                for nb in neighbors {
+                    if let Some(pos) = members.iter().position(|&m| m == nb) {
+                        if !reached[pos] {
+                            reached[pos] = true;
+                            frontier.push(nb);
+                        }
+                    }
+                }
+            }
+            prop_assert!(
+                reached.iter().all(|&r| r),
+                "relevant composite {:?} is disconnected",
+                members.iter().map(|&m| spec.label(m)).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    /// View-algebra laws on arbitrary built views: composing with UAdmin of
+    /// the induced spec is the identity partition; composing with UBlackBox
+    /// collapses to one composite; and every drill-down sub-workflow of a
+    /// composite is a valid specification whose modules are the members.
+    #[test]
+    fn view_algebra_laws(
+        seed in any::<u64>(),
+        size in 3usize..16,
+        class in any::<u8>(),
+        mask in any::<u64>(),
+    ) {
+        let spec = spec_from(seed, size, class);
+        let relevant = relevant_from(&spec, mask);
+        let base = relev_user_view_builder(&spec, &relevant).expect("builds").view;
+        let induced = zoom_model::induced_spec(&spec, &base);
+
+        let id = zoom_views::compose(
+            &spec,
+            &base,
+            &induced,
+            &zoom_model::UserView::admin(&induced.spec),
+        )
+        .expect("composes");
+        prop_assert_eq!(id.size(), base.size());
+        for m in spec.module_ids() {
+            let block = |v: &zoom_model::UserView| {
+                let mut b = v.members(v.composite_of(m)).to_vec();
+                b.sort();
+                b
+            };
+            prop_assert_eq!(block(&id), block(&base));
+        }
+
+        let collapsed = zoom_views::compose(
+            &spec,
+            &base,
+            &induced,
+            &zoom_model::UserView::black_box(&induced.spec),
+        )
+        .expect("composes");
+        prop_assert_eq!(collapsed.size(), 1);
+
+        for c in base.composite_ids() {
+            let sub = zoom_views::subworkflow(&spec, &base, c).expect("valid sub-workflow");
+            prop_assert_eq!(sub.module_count(), base.members(c).len());
+            for &m in base.members(c) {
+                prop_assert!(sub.module(spec.label(m)).is_ok());
+            }
+        }
+    }
+
+    /// The induced workflow of a built view has no loops beyond those in
+    /// the original specification: if the spec is acyclic, so is the
+    /// induced workflow.
+    #[test]
+    fn no_new_loops(
+        seed in any::<u64>(),
+        size in 3usize..20,
+        mask in any::<u64>(),
+    ) {
+        // Linear/parallel classes can still generate loops; filter to
+        // acyclic specs.
+        let spec = spec_from(seed, size, 2);
+        prop_assume!(zoom_graph::algo::topo::is_acyclic(spec.graph()));
+        let relevant = relevant_from(&spec, mask);
+        let built = relev_user_view_builder(&spec, &relevant).expect("builder succeeds");
+        let induced = zoom_model::induced_spec(&spec, &built.view);
+        prop_assert!(
+            zoom_graph::algo::topo::is_acyclic(induced.spec.graph()),
+            "induced spec of an acyclic spec has a cycle"
+        );
+    }
+}

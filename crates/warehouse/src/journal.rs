@@ -1,0 +1,459 @@
+//! An append-only journal for incremental durability.
+//!
+//! Snapshots ([`crate::persist`]) rewrite the whole warehouse; a laboratory
+//! ingesting runs "about twice a week" per workflow wants every
+//! registration and load to be durable *as it happens*. The journal
+//! appends one length-prefixed, checksummed record per mutation; opening a
+//! journal replays the records into a fresh warehouse. A torn final record
+//! (crash mid-append) is detected via CRC and dropped; corruption in the
+//! middle of the file is reported as an error.
+//!
+//! Record wire format: `[u32 len (LE)] [u32 crc32 of payload (LE)]
+//! [payload: codec-encoded JournalRecord]`, after an 8-byte magic header.
+
+use crate::codec::{self, CodecError};
+use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow};
+use crate::store::{Warehouse, WarehouseError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use zoom_model::{EventLog, UserView, WorkflowRun, WorkflowSpec};
+
+/// Magic bytes identifying a warehouse journal.
+pub const MAGIC: &[u8; 8] = b"ZOOMWJ\x00\x01";
+
+/// Errors from journal operations.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Encoding/decoding error.
+    Codec(CodecError),
+    /// Warehouse-level rejection during append or replay.
+    Warehouse(WarehouseError),
+    /// The file is not a journal.
+    BadHeader,
+    /// A record in the middle of the journal is corrupt (CRC mismatch).
+    Corrupt {
+        /// Index of the corrupt record.
+        record: usize,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "io error: {e}"),
+            JournalError::Codec(e) => write!(f, "codec error: {e}"),
+            JournalError::Warehouse(e) => write!(f, "warehouse error: {e}"),
+            JournalError::BadHeader => write!(f, "not a warehouse journal (bad header)"),
+            JournalError::Corrupt { record } => {
+                write!(f, "journal record {record} is corrupt (crc mismatch)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+impl From<CodecError> for JournalError {
+    fn from(e: CodecError) -> Self {
+        JournalError::Codec(e)
+    }
+}
+
+impl From<WarehouseError> for JournalError {
+    fn from(e: WarehouseError) -> Self {
+        JournalError::Warehouse(e)
+    }
+}
+
+impl From<zoom_model::ModelError> for JournalError {
+    fn from(e: zoom_model::ModelError) -> Self {
+        JournalError::Warehouse(WarehouseError::Model(e))
+    }
+}
+
+/// One durable mutation.
+#[derive(Serialize, Deserialize)]
+enum JournalRecord {
+    Spec(SpecId, SpecRow),
+    View(ViewId, ViewRow),
+    Run(RunId, RunRow),
+}
+
+/// CRC-32 (IEEE 802.3, reflected), table-driven; implemented here because
+/// no checksum crate is in the workspace's dependency budget.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// A warehouse whose mutations are journaled to disk as they happen.
+///
+/// ```
+/// use zoom_warehouse::JournaledWarehouse;
+/// use zoom_model::SpecBuilder;
+/// let mut path = std::env::temp_dir();
+/// path.push(format!("zoom-journal-doc-{}", std::process::id()));
+///
+/// let mut b = SpecBuilder::new("doc");
+/// b.analysis("A");
+/// b.from_input("A").to_output("A");
+/// let spec = b.build().unwrap();
+///
+/// let mut jw = JournaledWarehouse::create(&path).unwrap();
+/// jw.register_spec(spec).unwrap();
+/// drop(jw); // crash or exit: the record is already durable
+///
+/// let replayed = JournaledWarehouse::open(&path).unwrap();
+/// assert_eq!(replayed.warehouse().stats().specs, 1);
+/// # std::fs::remove_file(&path).ok();
+/// ```
+pub struct JournaledWarehouse {
+    inner: Warehouse,
+    file: File,
+    path: PathBuf,
+    records: usize,
+}
+
+impl fmt::Debug for JournaledWarehouse {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JournaledWarehouse")
+            .field("path", &self.path)
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JournaledWarehouse {
+    /// Creates a fresh journal (truncating any existing file).
+    pub fn create(path: &Path) -> Result<Self, JournalError> {
+        let mut file = File::create(path)?;
+        file.write_all(MAGIC)?;
+        file.sync_all()?;
+        Ok(JournaledWarehouse {
+            inner: Warehouse::new(),
+            file,
+            path: path.to_path_buf(),
+            records: 0,
+        })
+    }
+
+    /// Opens an existing journal, replaying every intact record. A torn
+    /// final record (crash during the last append) is dropped silently;
+    /// corruption before the end is an error.
+    pub fn open(path: &Path) -> Result<Self, JournalError> {
+        let mut f = File::open(path)?;
+        let mut header = [0u8; 8];
+        f.read_exact(&mut header).map_err(|_| JournalError::BadHeader)?;
+        if &header != MAGIC {
+            return Err(JournalError::BadHeader);
+        }
+        let mut body = Vec::new();
+        f.read_to_end(&mut body)?;
+        drop(f);
+
+        let mut inner = Warehouse::new();
+        let mut offset = 0usize;
+        let mut records = 0usize;
+        let mut valid_end = 0usize; // bytes of body covered by intact records
+        while body.len() - offset >= 8 {
+            let len = u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4 bytes"))
+                as usize;
+            let crc = u32::from_le_bytes(body[offset + 4..offset + 8].try_into().expect("4"));
+            let start = offset + 8;
+            if body.len() < start + len {
+                break; // torn tail
+            }
+            let payload = &body[start..start + len];
+            if crc32(payload) != crc {
+                // A bad checksum at the very end is a torn write; earlier it
+                // is corruption.
+                if start + len == body.len() {
+                    break;
+                }
+                return Err(JournalError::Corrupt { record: records });
+            }
+            let rec: JournalRecord = codec::from_bytes(payload)?;
+            apply(&mut inner, rec)?;
+            records += 1;
+            offset = start + len;
+            valid_end = offset;
+        }
+        // Reopen for appending, truncated to the last intact record.
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        file.set_len((MAGIC.len() + valid_end) as u64)?;
+        let mut file = file;
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::End(0))?;
+        Ok(JournaledWarehouse {
+            inner,
+            file,
+            path: path.to_path_buf(),
+            records,
+        })
+    }
+
+    fn append(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
+        let payload = codec::to_bytes(rec)?;
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Registers a specification, durably.
+    pub fn register_spec(&mut self, spec: WorkflowSpec) -> Result<SpecId, JournalError> {
+        let row = SpecRow { spec };
+        let id = self.inner.register_spec(row.spec.clone())?;
+        self.append(&JournalRecord::Spec(id, row))?;
+        Ok(id)
+    }
+
+    /// Registers a view, durably.
+    pub fn register_view(&mut self, spec: SpecId, view: UserView) -> Result<ViewId, JournalError> {
+        let id = self.inner.register_view(spec, view.clone())?;
+        self.append(&JournalRecord::View(id, ViewRow { spec, view }))?;
+        Ok(id)
+    }
+
+    /// Loads a run, durably.
+    pub fn load_run(&mut self, spec: SpecId, run: WorkflowRun) -> Result<RunId, JournalError> {
+        let id = self.inner.load_run(spec, run.clone())?;
+        self.append(&JournalRecord::Run(id, RunRow { spec, run }))?;
+        Ok(id)
+    }
+
+    /// Ingests an event log, durably (journals the reconstructed run).
+    pub fn load_log(&mut self, spec: SpecId, log: &EventLog) -> Result<RunId, JournalError> {
+        let run = log.to_run(self.inner.spec(spec)?)?;
+        self.load_run(spec, run)
+    }
+
+    /// Read access to the replayed/ live warehouse.
+    pub fn warehouse(&self) -> &Warehouse {
+        &self.inner
+    }
+
+    /// Number of records in the journal.
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Compacts the journal into a snapshot file and starts a fresh journal
+    /// containing the same state (snapshot + empty tail).
+    pub fn compact_into_snapshot(&self, snapshot: &Path) -> Result<(), JournalError> {
+        crate::persist::save(&self.inner, snapshot).map_err(|e| match e {
+            crate::persist::PersistError::Io(e) => JournalError::Io(e),
+            crate::persist::PersistError::Codec(e) => JournalError::Codec(e),
+            crate::persist::PersistError::BadHeader => JournalError::BadHeader,
+            crate::persist::PersistError::Invalid(e) => {
+                JournalError::Warehouse(WarehouseError::Model(e))
+            }
+        })
+    }
+}
+
+fn apply(w: &mut Warehouse, rec: JournalRecord) -> Result<(), WarehouseError> {
+    match rec {
+        JournalRecord::Spec(_, row) => {
+            // Journal bytes bypass the builders; re-validate.
+            row.spec.validate().map_err(WarehouseError::Model)?;
+            w.register_spec(row.spec)?;
+        }
+        JournalRecord::View(_, row) => {
+            w.register_view(row.spec, row.view)?;
+        }
+        JournalRecord::Run(_, row) => {
+            row.run
+                .validate(w.spec(row.spec)?)
+                .map_err(WarehouseError::Model)?;
+            w.load_run(row.spec, row.run)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{DataId, RunBuilder, SpecBuilder};
+
+    fn temp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("zoom-journal-{name}-{}", std::process::id()));
+        p
+    }
+
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("j");
+        b.analysis("A");
+        b.analysis("B");
+        b.from_input("A").edge("A", "B").to_output("B");
+        b.build().unwrap()
+    }
+
+    fn run(s: &WorkflowSpec) -> WorkflowRun {
+        let mut rb = RunBuilder::new(s);
+        let s1 = rb.step(s.module("A").unwrap());
+        let s2 = rb.step(s.module("B").unwrap());
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        rb.build().unwrap()
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn append_and_replay() {
+        let path = temp("replay");
+        let s = spec();
+        {
+            let mut jw = JournaledWarehouse::create(&path).unwrap();
+            let sid = jw.register_spec(s.clone()).unwrap();
+            jw.register_view(sid, UserView::admin(&s)).unwrap();
+            jw.load_run(sid, run(&s)).unwrap();
+            assert_eq!(jw.record_count(), 3);
+        }
+        let jw = JournaledWarehouse::open(&path).unwrap();
+        assert_eq!(jw.record_count(), 3);
+        let st = jw.warehouse().stats();
+        assert_eq!((st.specs, st.views, st.runs), (1, 1, 1));
+        // The replayed warehouse answers queries.
+        let sid = jw.warehouse().spec_by_name("j").unwrap();
+        let vid = jw.warehouse().find_view(sid, "UAdmin").unwrap();
+        let rid = jw.warehouse().runs_of_spec(sid)[0];
+        let res = jw.warehouse().deep_provenance(rid, vid, DataId(3)).unwrap();
+        assert_eq!(res.tuples(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_records() {
+        let path = temp("reopen");
+        let s = spec();
+        {
+            let mut jw = JournaledWarehouse::create(&path).unwrap();
+            jw.register_spec(s.clone()).unwrap();
+        }
+        {
+            let mut jw = JournaledWarehouse::open(&path).unwrap();
+            let sid = jw.warehouse().spec_by_name("j").unwrap();
+            jw.load_run(sid, run(&s)).unwrap();
+            assert_eq!(jw.record_count(), 2);
+        }
+        let jw = JournaledWarehouse::open(&path).unwrap();
+        assert_eq!(jw.record_count(), 2);
+        assert_eq!(jw.warehouse().stats().runs, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let path = temp("torn");
+        let s = spec();
+        {
+            let mut jw = JournaledWarehouse::create(&path).unwrap();
+            let sid = jw.register_spec(s.clone()).unwrap();
+            jw.load_run(sid, run(&s)).unwrap();
+        }
+        // Chop off the last 5 bytes: the run record is torn.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let jw = JournaledWarehouse::open(&path).unwrap();
+        assert_eq!(jw.record_count(), 1);
+        assert_eq!(jw.warehouse().stats().runs, 0);
+        assert_eq!(jw.warehouse().stats().specs, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mid_file_corruption_detected() {
+        let path = temp("corrupt");
+        let s = spec();
+        {
+            let mut jw = JournaledWarehouse::create(&path).unwrap();
+            let sid = jw.register_spec(s.clone()).unwrap();
+            jw.load_run(sid, run(&s)).unwrap();
+        }
+        // Flip a byte inside the FIRST record's payload.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[MAGIC.len() + 12] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            JournaledWarehouse::open(&path),
+            Err(JournalError::Corrupt { record: 0 })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let path = temp("badheader");
+        std::fs::write(&path, b"NOTAJOURNAL!").unwrap();
+        assert!(matches!(
+            JournaledWarehouse::open(&path),
+            Err(JournalError::BadHeader)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compaction_produces_loadable_snapshot() {
+        let jpath = temp("compact-journal");
+        let spath = temp("compact-snapshot");
+        let s = spec();
+        let mut jw = JournaledWarehouse::create(&jpath).unwrap();
+        let sid = jw.register_spec(s.clone()).unwrap();
+        jw.register_view(sid, UserView::admin(&s)).unwrap();
+        jw.load_run(sid, run(&s)).unwrap();
+        jw.compact_into_snapshot(&spath).unwrap();
+        let w = crate::persist::load(&spath).unwrap();
+        assert_eq!(w.stats().runs, 1);
+        std::fs::remove_file(&jpath).ok();
+        std::fs::remove_file(&spath).ok();
+    }
+}

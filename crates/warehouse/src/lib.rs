@@ -1,0 +1,43 @@
+#![warn(missing_docs)]
+
+//! # zoom-warehouse
+//!
+//! The embedded provenance warehouse of the ZOOM*UserViews reproduction —
+//! the stand-in for the paper's Oracle 10g deployment (Section IV,
+//! Figure 8). It stores workflow specifications, user views, and runs;
+//! materializes composite executions per `(run, view)` pair; and answers
+//! immediate, deep, and forward provenance queries with respect to a user
+//! view. Switching views over one run reuses cached materializations, the
+//! embedded analog of the paper's temp-table strategy that made view
+//! switches ≈13 ms.
+//!
+//! * [`table`] — typed append-only tables with primary/secondary indexes;
+//! * [`schema`] — warehouse ids and row types;
+//! * [`query`] — recursive provenance queries over view-runs (the
+//!   `CONNECT BY` analog);
+//! * [`cache`] — the materialized view-run cache;
+//! * [`store`] — the [`Warehouse`] facade;
+//! * [`persist`] — binary snapshot save/load;
+//! * [`journal`] — an append-only, checksummed journal for incremental
+//!   durability (crash-tolerant replay, compaction into snapshots);
+//! * [`codec`] — the bincode-style serde format behind persistence;
+//! * [`fxhash`] — fast hashing for the integer-keyed indexes.
+
+pub mod cache;
+pub mod codec;
+pub mod fxhash;
+pub mod journal;
+pub mod persist;
+pub mod query;
+pub mod schema;
+pub mod store;
+pub mod table;
+
+pub use cache::ViewRunCache;
+pub use query::{
+    data_between, deep_provenance, dependents_of, immediate_provenance, ImmediateProvenance,
+    ProvenanceResult, ProvenanceRow,
+};
+pub use journal::{JournaledWarehouse, JournalError};
+pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
+pub use store::{ImmediateAnswer, Result, Warehouse, WarehouseError};

@@ -1,0 +1,400 @@
+//! Provenance queries over materialized view-runs.
+//!
+//! Two semantics coexist, both taken from the paper:
+//!
+//! * **Immediate provenance** of a visible object is the producing
+//!   (possibly virtual) execution together with its *full input set* —
+//!   "the immediate provenance of d413 seen by Joe would be S13 and its
+//!   input, {d308,…,d408}" (Section II).
+//! * **Deep provenance** follows the prototype's implementation: "first
+//!   compute UAdmin and then remove information hidden within composite
+//!   steps of the given user view" (Section V-B). The answer is the
+//!   base-level recursive closure (the `CONNECT BY` analog on the raw run),
+//!   projected to the data visible at the view level, with steps replaced
+//!   by their composite executions. This projection is what makes the
+//!   paper's Figure 10 monotone — coarser views always return *fewer*
+//!   tuples — whereas naively recursing over full composite input sets
+//!   could drag in side-branch inputs that never fed the queried object.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use zoom_graph::{BitSet, NodeId};
+use zoom_model::{DataId, StepId, ViewRun, WorkflowRun};
+
+/// One row of a provenance answer: a visible data object and its producer.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProvenanceRow {
+    /// The data object.
+    pub data: DataId,
+    /// Its producer: the (possibly virtual) execution id, or `None` for
+    /// user-input data.
+    pub producer: Option<StepId>,
+}
+
+/// The answer to a deep-provenance query at some view level.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvenanceResult {
+    /// The queried data object.
+    pub target: DataId,
+    /// One row per data object in the provenance (sorted by data id) —
+    /// the result-size metric of the paper's Figures 10 and 11.
+    pub rows: Vec<ProvenanceRow>,
+    /// The distinct (possibly virtual) executions involved, sorted.
+    pub execs: Vec<StepId>,
+}
+
+impl ProvenanceResult {
+    /// Number of tuples in the answer (the Figure 10/11 y-axis).
+    pub fn tuples(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of distinct data items in the answer.
+    pub fn data_items(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of executions in the answer.
+    pub fn exec_count(&self) -> usize {
+        self.execs.len()
+    }
+
+    /// The distinct data ids, sorted.
+    pub fn data_ids(&self) -> Vec<DataId> {
+        self.rows.iter().map(|r| r.data).collect()
+    }
+}
+
+/// The immediate provenance of a data object (Section II).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ImmediateProvenance {
+    /// Produced by a (possibly virtual) execution; the answer is that
+    /// execution and its full input set.
+    Produced {
+        /// The producing execution id.
+        exec: StepId,
+        /// The execution's input data, sorted.
+        inputs: Vec<DataId>,
+    },
+    /// Input by the user; the answer is whatever metadata was recorded
+    /// (resolved by the warehouse layer, which owns the run metadata).
+    UserInput,
+}
+
+/// Computes the immediate provenance of `d` at this view level, or `None`
+/// if `d` is not visible (it was passed strictly inside a composite
+/// execution).
+pub fn immediate_provenance(vr: &ViewRun, d: DataId) -> Option<ImmediateProvenance> {
+    let producer = vr.producer_node(d)?;
+    if producer == vr.input() {
+        return Some(ImmediateProvenance::UserInput);
+    }
+    let exec = vr.exec_at(producer).expect("producer is input or an exec");
+    let idx = match vr.graph().node(producer) {
+        zoom_model::ViewRunNode::Exec(i) => *i,
+        _ => unreachable!("checked above"),
+    };
+    Some(ImmediateProvenance::Produced {
+        exec: exec.id,
+        inputs: vr.inputs_of(idx),
+    })
+}
+
+/// Computes the deep provenance of `d` at this view level: the base-level
+/// recursive closure over `run`, projected to the view — hidden data
+/// dropped, steps replaced by their composite executions. Returns `None`
+/// if `d` is not visible at this view level (or absent from the run).
+pub fn deep_provenance(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<ProvenanceResult> {
+    vr.producer_node(d)?; // d itself must be visible at this view level
+    let start = run.producer_node(d)?;
+    let g = run.graph();
+
+    // Base closure: backward BFS over the *raw* run graph (UAdmin level).
+    let mut visited = BitSet::new(g.node_count());
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    visited.insert(start.index());
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for p in g.predecessors(n) {
+            if visited.insert(p.index()) {
+                queue.push_back(p);
+            }
+        }
+    }
+
+    // Projection: visible closure data with their view-level producers, and
+    // the composite executions touched by the closure.
+    let exec_id_of_run_node = |node: NodeId| -> Option<StepId> {
+        let (sid, _) = run.step_at(node)?;
+        Some(vr.exec_of_step(sid).expect("every step has an execution").id)
+    };
+    let mut rows: Vec<ProvenanceRow> = Vec::new();
+    let mut execs: Vec<StepId> = Vec::new();
+    rows.push(ProvenanceRow {
+        data: d,
+        producer: exec_id_of_run_node(start),
+    });
+    for n in g.node_ids() {
+        if !visited.contains(n.index()) {
+            continue;
+        }
+        if let Some(e) = exec_id_of_run_node(n) {
+            execs.push(e);
+        }
+        for edge in g.in_edges(n) {
+            let src = g.source(edge);
+            let src_id = exec_id_of_run_node(src);
+            for &x in g.edge(edge) {
+                if vr.is_visible(x) {
+                    rows.push(ProvenanceRow {
+                        data: x,
+                        producer: src_id,
+                    });
+                }
+            }
+        }
+    }
+    rows.sort();
+    rows.dedup();
+    execs.sort();
+    execs.dedup();
+    Some(ProvenanceResult {
+        target: d,
+        rows,
+        execs,
+    })
+}
+
+/// The canned forward query of Section IV ("Return the data objects which
+/// have a given data object in their data provenance"): the base-level
+/// forward closure of `d` over `run`, projected to view-visible data,
+/// excluding `d` itself, sorted. Returns `None` if `d` is not visible.
+pub fn dependents_of(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<DataId>> {
+    vr.producer_node(d)?;
+    let start = run.producer_node(d)?;
+    let g = run.graph();
+    // d flows along out-edges of its producer that carry it; every node
+    // reachable from a consumer of d depends on d (step-granularity
+    // dependency: a step's outputs depend on all of its inputs).
+    let mut visited = BitSet::new(g.node_count());
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for e in g.out_edges(start) {
+        if g.edge(e).contains(&d) {
+            let t = g.target(e);
+            if visited.insert(t.index()) {
+                queue.push_back(t);
+            }
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for s in g.successors(n) {
+            if visited.insert(s.index()) {
+                queue.push_back(s);
+            }
+        }
+    }
+    // Collect visible data produced by visited steps.
+    let mut out: Vec<DataId> = Vec::new();
+    for n in g.node_ids() {
+        if !visited.contains(n.index()) || run.step_at(n).is_none() {
+            continue;
+        }
+        for e in g.out_edges(n) {
+            out.extend(g.edge(e).iter().copied().filter(|&x| vr.is_visible(x)));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out.retain(|&x| x != d);
+    Some(out)
+}
+
+/// The data set passed between two (possibly virtual) executions — the
+/// prototype's "clicking on an edge between two steps" interaction
+/// (Section IV). `from`/`to` may also be the special `input`/`output`
+/// endpoints when `None`. Returns an empty set when no edge connects them.
+pub fn data_between(
+    vr: &ViewRun,
+    from: Option<StepId>,
+    to: Option<StepId>,
+) -> Option<Vec<DataId>> {
+    let resolve = |id: Option<StepId>, is_from: bool| -> Option<NodeId> {
+        match id {
+            None => Some(if is_from { vr.input() } else { vr.output() }),
+            Some(sid) => {
+                let e = vr.exec_by_id(sid)?;
+                let idx = vr
+                    .execs()
+                    .iter()
+                    .position(|x| x.id == e.id)
+                    .expect("exec listed") as u32;
+                Some(vr.node_of_exec(idx))
+            }
+        }
+    };
+    let a = resolve(from, true)?;
+    let b = resolve(to, false)?;
+    let mut out: Vec<DataId> = Vec::new();
+    let g = vr.graph();
+    for e in g.out_edges(a) {
+        if g.target(e) == b {
+            out.extend(g.edge(e).iter().copied());
+        }
+    }
+    out.sort();
+    out.dedup();
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{RunBuilder, SpecBuilder, UserView, WorkflowRun, WorkflowSpec};
+
+    /// input -> A -> B -> C -> output, A also feeds C directly.
+    fn setup() -> (WorkflowSpec, WorkflowRun) {
+        let mut b = SpecBuilder::new("q");
+        b.analysis("A");
+        b.analysis("B");
+        b.analysis("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .edge("A", "C")
+            .to_output("C");
+        let s = b.build().unwrap();
+        let (a, bb, c) = (
+            s.module("A").unwrap(),
+            s.module("B").unwrap(),
+            s.module("C").unwrap(),
+        );
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(a);
+        let s2 = rb.step(bb);
+        let s3 = rb.step(c);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s2, s3, [3])
+            .data_edge(s1, s3, [4])
+            .output_edge(s3, [5]);
+        let r = rb.build().unwrap();
+        (s, r)
+    }
+
+    #[test]
+    fn deep_provenance_at_admin_level() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        let res = deep_provenance(&r, &vr, DataId(5)).unwrap();
+        assert_eq!(res.target, DataId(5));
+        // All data d1..d5, all three steps.
+        assert_eq!(res.data_ids(), (1..=5).map(DataId).collect::<Vec<_>>());
+        assert_eq!(res.execs, vec![StepId(1), StepId(2), StepId(3)]);
+        assert_eq!(res.tuples(), 5);
+        // Producers recorded per row.
+        assert_eq!(res.rows[0], ProvenanceRow { data: DataId(1), producer: None });
+        assert_eq!(
+            res.rows[4],
+            ProvenanceRow { data: DataId(5), producer: Some(StepId(3)) }
+        );
+    }
+
+    #[test]
+    fn deep_provenance_of_intermediate() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        let res = deep_provenance(&r, &vr, DataId(3)).unwrap();
+        assert_eq!(res.data_ids(), vec![DataId(1), DataId(2), DataId(3)]);
+        assert_eq!(res.execs, vec![StepId(1), StepId(2)]);
+    }
+
+    #[test]
+    fn blackbox_hides_and_shrinks() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::black_box(&s));
+        // Intermediates are invisible.
+        assert!(deep_provenance(&r, &vr, DataId(3)).is_none());
+        let res = deep_provenance(&r, &vr, DataId(5)).unwrap();
+        assert_eq!(res.data_ids(), vec![DataId(1), DataId(5)]);
+        assert_eq!(res.execs.len(), 1);
+    }
+
+    #[test]
+    fn immediate_provenance_variants() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        match immediate_provenance(&vr, DataId(5)).unwrap() {
+            ImmediateProvenance::Produced { exec, inputs } => {
+                assert_eq!(exec, StepId(3));
+                assert_eq!(inputs, vec![DataId(3), DataId(4)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            immediate_provenance(&vr, DataId(1)).unwrap(),
+            ImmediateProvenance::UserInput
+        );
+        assert!(immediate_provenance(&vr, DataId(99)).is_none());
+    }
+
+    #[test]
+    fn forward_dependents() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        // Everything downstream of d2: d3 (from S2) and d5 (from S3).
+        assert_eq!(
+            dependents_of(&r, &vr, DataId(2)).unwrap(),
+            vec![DataId(3), DataId(5)]
+        );
+        // d4 feeds only S3.
+        assert_eq!(dependents_of(&r, &vr, DataId(4)).unwrap(), vec![DataId(5)]);
+        // The final output has no dependents.
+        assert_eq!(dependents_of(&r, &vr, DataId(5)).unwrap(), vec![]);
+        // d1 feeds everything.
+        assert_eq!(
+            dependents_of(&r, &vr, DataId(1)).unwrap(),
+            vec![DataId(2), DataId(3), DataId(4), DataId(5)]
+        );
+    }
+
+    #[test]
+    fn data_between_execs() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        // S1 -> S3 carries d4; S1 -> S2 carries d2.
+        assert_eq!(
+            data_between(&vr, Some(StepId(1)), Some(StepId(3))).unwrap(),
+            vec![DataId(4)]
+        );
+        assert_eq!(
+            data_between(&vr, Some(StepId(1)), Some(StepId(2))).unwrap(),
+            vec![DataId(2)]
+        );
+        // input -> S1 carries d1; S3 -> output carries d5.
+        assert_eq!(
+            data_between(&vr, None, Some(StepId(1))).unwrap(),
+            vec![DataId(1)]
+        );
+        assert_eq!(
+            data_between(&vr, Some(StepId(3)), None).unwrap(),
+            vec![DataId(5)]
+        );
+        // No edge S2 -> S1.
+        assert_eq!(
+            data_between(&vr, Some(StepId(2)), Some(StepId(1))).unwrap(),
+            vec![]
+        );
+        // Unknown exec id.
+        assert!(data_between(&vr, Some(StepId(42)), None).is_none());
+    }
+
+    #[test]
+    fn deep_provenance_of_user_input_is_trivial() {
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        let res = deep_provenance(&r, &vr, DataId(1)).unwrap();
+        assert_eq!(res.tuples(), 1);
+        assert!(res.execs.is_empty());
+        assert_eq!(res.rows[0].producer, None);
+    }
+}

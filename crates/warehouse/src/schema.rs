@@ -1,0 +1,114 @@
+//! Warehouse identifiers and row types.
+//!
+//! The ZOOM prototype stores workflow definitions, user-view definitions,
+//! and run information as tables in an Oracle warehouse (Section IV,
+//! Figure 8). This embedded warehouse keeps the same logical schema:
+//! a spec table, a view table keyed to specs, and a run table keyed to
+//! specs, with materialized composite executions as the query-acceleration
+//! structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use zoom_model::{UserView, WorkflowRun, WorkflowSpec};
+
+/// Identifier of a registered workflow specification.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SpecId(pub u32);
+
+/// Identifier of a registered user view.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ViewId(pub u32);
+
+/// Identifier of a loaded workflow run.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RunId(pub u32);
+
+impl fmt::Display for SpecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec#{}", self.0)
+    }
+}
+
+impl fmt::Debug for SpecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec#{}", self.0)
+    }
+}
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view#{}", self.0)
+    }
+}
+
+impl fmt::Debug for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "view#{}", self.0)
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+impl fmt::Debug for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "run#{}", self.0)
+    }
+}
+
+/// A row of the specification table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpecRow {
+    /// The registered specification.
+    pub spec: WorkflowSpec,
+}
+
+/// A row of the user-view table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViewRow {
+    /// The specification this view partitions.
+    pub spec: SpecId,
+    /// The view definition.
+    pub view: UserView,
+}
+
+/// A row of the run table.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunRow {
+    /// The executed specification.
+    pub spec: SpecId,
+    /// The validated run (graph + producer index).
+    pub run: WorkflowRun,
+}
+
+/// Aggregate sizes of the warehouse, for monitoring and tests.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WarehouseStats {
+    /// Registered specifications.
+    pub specs: usize,
+    /// Registered views.
+    pub views: usize,
+    /// Loaded runs.
+    pub runs: usize,
+    /// Total steps across runs.
+    pub steps: usize,
+    /// Total distinct data objects across runs.
+    pub data_objects: usize,
+    /// Materialized view-runs currently cached.
+    pub cached_view_runs: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(SpecId(1).to_string(), "spec#1");
+        assert_eq!(ViewId(2).to_string(), "view#2");
+        assert_eq!(RunId(3).to_string(), "run#3");
+    }
+}

@@ -1,0 +1,661 @@
+//! The provenance warehouse facade.
+//!
+//! Mirrors the architecture of the paper's Figure 8: the system designer
+//! registers workflow specifications and user-view definitions; run
+//! information arrives as event logs (or validated runs) from the workflow
+//! system; users query provenance with respect to a user view. The paper
+//! used Oracle 10g behind JDBC; this warehouse is embedded and in-process,
+//! with the same logical schema and the same query-acceleration strategy
+//! (materialize base structures once, reuse across view switches).
+
+use crate::cache::ViewRunCache;
+use crate::fxhash::FxHashMap;
+use crate::query::{self, ImmediateProvenance, ProvenanceResult};
+use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
+use crate::table::Table;
+use std::fmt;
+use std::sync::Arc;
+use zoom_model::{
+    DataId, EventLog, ModelError, UserInputMeta, UserView, ViewRun, WorkflowRun, WorkflowSpec,
+};
+
+/// Errors from warehouse operations.
+#[derive(Debug)]
+pub enum WarehouseError {
+    /// A model-level validation failure (invalid spec, run, log, or view).
+    Model(ModelError),
+    /// Unknown specification id.
+    SpecNotFound(SpecId),
+    /// Unknown view id.
+    ViewNotFound(ViewId),
+    /// Unknown run id.
+    RunNotFound(RunId),
+    /// A specification with this name is already registered.
+    DuplicateSpecName(String),
+    /// The view/run does not belong to the given specification.
+    SpecMismatch {
+        /// What was expected.
+        expected: String,
+        /// What was provided.
+        got: String,
+    },
+    /// The data object does not occur in the run.
+    DataNotFound(DataId),
+    /// The data object exists but is hidden at this view level.
+    DataNotVisible {
+        /// The queried object.
+        data: DataId,
+        /// The view that hides it.
+        view: String,
+    },
+}
+
+impl fmt::Display for WarehouseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WarehouseError::Model(e) => write!(f, "model error: {e}"),
+            WarehouseError::SpecNotFound(id) => write!(f, "{id} not found"),
+            WarehouseError::ViewNotFound(id) => write!(f, "{id} not found"),
+            WarehouseError::RunNotFound(id) => write!(f, "{id} not found"),
+            WarehouseError::DuplicateSpecName(n) => {
+                write!(f, "a specification named `{n}` is already registered")
+            }
+            WarehouseError::SpecMismatch { expected, got } => {
+                write!(f, "specification mismatch: expected `{expected}`, got `{got}`")
+            }
+            WarehouseError::DataNotFound(d) => write!(f, "data object {d} not found in run"),
+            WarehouseError::DataNotVisible { data, view } => {
+                write!(f, "data object {data} is hidden at view level `{view}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WarehouseError {}
+
+impl From<ModelError> for WarehouseError {
+    fn from(e: ModelError) -> Self {
+        WarehouseError::Model(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, WarehouseError>;
+
+/// The immediate-provenance answer with user-input metadata resolved.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ImmediateAnswer {
+    /// Produced by a (possibly virtual) execution.
+    Produced {
+        /// The producing execution id.
+        exec: zoom_model::StepId,
+        /// Its full input set.
+        inputs: Vec<DataId>,
+        /// Parameters of the execution's member steps, as
+        /// `(member step, key, value)`, sorted — "what data objects and
+        /// parameters were input to that step" (Section II).
+        params: Vec<(zoom_model::StepId, String, String)>,
+    },
+    /// Input by the user: "its provenance is whatever metadata information
+    /// is recorded" (Section II).
+    UserInput {
+        /// Who/when, if recorded.
+        meta: Option<UserInputMeta>,
+    },
+}
+
+/// Every row of the warehouse, sorted by id (persistence support).
+pub(crate) type ExportedRows = (
+    Vec<(SpecId, SpecRow)>,
+    Vec<(ViewId, ViewRow)>,
+    Vec<(RunId, RunRow)>,
+);
+
+/// The embedded provenance warehouse.
+///
+/// ```
+/// use zoom_warehouse::Warehouse;
+/// use zoom_model::{SpecBuilder, RunBuilder, UserView, DataId};
+///
+/// let mut b = SpecBuilder::new("wh-doc");
+/// b.analysis("A");
+/// b.from_input("A").to_output("A");
+/// let spec = b.build().unwrap();
+///
+/// let mut wh = Warehouse::new();
+/// let sid = wh.register_spec(spec.clone()).unwrap();
+/// let vid = wh.register_view(sid, UserView::admin(&spec)).unwrap();
+/// let mut rb = RunBuilder::new(&spec);
+/// let s1 = rb.step(spec.module("A").unwrap());
+/// rb.input_edge(s1, [1]).output_edge(s1, [2]);
+/// let rid = wh.load_run(sid, rb.build().unwrap()).unwrap();
+///
+/// let prov = wh.deep_provenance(rid, vid, DataId(2)).unwrap();
+/// assert_eq!(prov.tuples(), 2); // d1 and d2
+/// ```
+#[derive(Debug, Default)]
+pub struct Warehouse {
+    specs: Table<SpecId, SpecRow>,
+    spec_by_name: FxHashMap<String, SpecId>,
+    views: Table<ViewId, ViewRow>,
+    views_by_spec: FxHashMap<SpecId, Vec<ViewId>>,
+    runs: Table<RunId, RunRow>,
+    runs_by_spec: FxHashMap<SpecId, Vec<RunId>>,
+    next_spec: u32,
+    next_view: u32,
+    next_run: u32,
+    cache: ViewRunCache,
+}
+
+impl Warehouse {
+    /// An empty warehouse.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Registration (the "System designer" and "Workflow system" arrows of
+    // Figure 8).
+    // ------------------------------------------------------------------
+
+    /// Registers a workflow specification. Names must be unique.
+    pub fn register_spec(&mut self, spec: WorkflowSpec) -> Result<SpecId> {
+        if self.spec_by_name.contains_key(spec.name()) {
+            return Err(WarehouseError::DuplicateSpecName(spec.name().to_string()));
+        }
+        let id = SpecId(self.next_spec);
+        self.next_spec += 1;
+        self.spec_by_name.insert(spec.name().to_string(), id);
+        self.specs
+            .insert(id, SpecRow { spec })
+            .map_err(|_| WarehouseError::DuplicateSpecName(format!("{id}")))?;
+        Ok(id)
+    }
+
+    /// Registers a user view of a registered specification.
+    pub fn register_view(&mut self, spec_id: SpecId, view: UserView) -> Result<ViewId> {
+        let spec = self.spec(spec_id)?;
+        if spec.name() != view.spec_name() {
+            return Err(WarehouseError::SpecMismatch {
+                expected: spec.name().to_string(),
+                got: view.spec_name().to_string(),
+            });
+        }
+        let id = ViewId(self.next_view);
+        self.next_view += 1;
+        self.views
+            .insert(id, ViewRow { spec: spec_id, view })
+            .expect("fresh view id");
+        self.views_by_spec.entry(spec_id).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Loads a validated run of a registered specification.
+    pub fn load_run(&mut self, spec_id: SpecId, run: WorkflowRun) -> Result<RunId> {
+        let spec = self.spec(spec_id)?;
+        if spec.name() != run.spec_name() {
+            return Err(WarehouseError::SpecMismatch {
+                expected: spec.name().to_string(),
+                got: run.spec_name().to_string(),
+            });
+        }
+        let id = RunId(self.next_run);
+        self.next_run += 1;
+        self.runs
+            .insert(id, RunRow { spec: spec_id, run })
+            .expect("fresh run id");
+        self.runs_by_spec.entry(spec_id).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Reconstructs a run from a workflow-system event log and loads it —
+    /// the ingestion path real deployments use (Figure 8's "Logs" arrow).
+    pub fn load_log(&mut self, spec_id: SpecId, log: &EventLog) -> Result<RunId> {
+        let spec = self.spec(spec_id)?;
+        let run = log.to_run(spec)?;
+        self.load_run(spec_id, run)
+    }
+
+    // ------------------------------------------------------------------
+    // Lookups
+    // ------------------------------------------------------------------
+
+    /// The specification under `id`.
+    pub fn spec(&self, id: SpecId) -> Result<&WorkflowSpec> {
+        self.specs
+            .get(&id)
+            .map(|r| &r.spec)
+            .ok_or(WarehouseError::SpecNotFound(id))
+    }
+
+    /// Looks a specification up by name.
+    pub fn spec_by_name(&self, name: &str) -> Option<SpecId> {
+        self.spec_by_name.get(name).copied()
+    }
+
+    /// The view under `id` (and the spec it belongs to).
+    pub fn view(&self, id: ViewId) -> Result<&UserView> {
+        self.views
+            .get(&id)
+            .map(|r| &r.view)
+            .ok_or(WarehouseError::ViewNotFound(id))
+    }
+
+    /// The spec a view belongs to.
+    pub fn view_spec(&self, id: ViewId) -> Result<SpecId> {
+        self.views
+            .get(&id)
+            .map(|r| r.spec)
+            .ok_or(WarehouseError::ViewNotFound(id))
+    }
+
+    /// The run under `id`.
+    pub fn run(&self, id: RunId) -> Result<&WorkflowRun> {
+        self.runs
+            .get(&id)
+            .map(|r| &r.run)
+            .ok_or(WarehouseError::RunNotFound(id))
+    }
+
+    /// The spec a run belongs to.
+    pub fn run_spec(&self, id: RunId) -> Result<SpecId> {
+        self.runs
+            .get(&id)
+            .map(|r| r.spec)
+            .ok_or(WarehouseError::RunNotFound(id))
+    }
+
+    /// Views registered for a spec.
+    pub fn views_of_spec(&self, spec: SpecId) -> &[ViewId] {
+        self.views_by_spec.get(&spec).map_or(&[], Vec::as_slice)
+    }
+
+    /// Runs loaded for a spec.
+    pub fn runs_of_spec(&self, spec: SpecId) -> &[RunId] {
+        self.runs_by_spec.get(&spec).map_or(&[], Vec::as_slice)
+    }
+
+    /// Finds a registered view of `spec` by view name.
+    pub fn find_view(&self, spec: SpecId, name: &str) -> Option<ViewId> {
+        self.views_of_spec(spec)
+            .iter()
+            .copied()
+            .find(|&v| self.views.get(&v).is_some_and(|r| r.view.name() == name))
+    }
+
+    // ------------------------------------------------------------------
+    // Querying (the "User" arrows of Figure 8)
+    // ------------------------------------------------------------------
+
+    /// The materialized view-run for `(run, view)` (cached).
+    pub fn view_run(&self, run_id: RunId, view_id: ViewId) -> Result<Arc<ViewRun>> {
+        let run_row = self
+            .runs
+            .get(&run_id)
+            .ok_or(WarehouseError::RunNotFound(run_id))?;
+        let view_row = self
+            .views
+            .get(&view_id)
+            .ok_or(WarehouseError::ViewNotFound(view_id))?;
+        if run_row.spec != view_row.spec {
+            return Err(WarehouseError::SpecMismatch {
+                expected: format!("{}", run_row.spec),
+                got: format!("{}", view_row.spec),
+            });
+        }
+        Ok(self
+            .cache
+            .get_or_build((run_id, view_id), || {
+                ViewRun::new(&run_row.run, &view_row.view)
+            }))
+    }
+
+    /// Materializes the view-run *without* consulting or filling the cache —
+    /// the "rebuild every time" baseline strategy for the ablation bench.
+    pub fn view_run_uncached(&self, run_id: RunId, view_id: ViewId) -> Result<ViewRun> {
+        let run_row = self
+            .runs
+            .get(&run_id)
+            .ok_or(WarehouseError::RunNotFound(run_id))?;
+        let view_row = self
+            .views
+            .get(&view_id)
+            .ok_or(WarehouseError::ViewNotFound(view_id))?;
+        if run_row.spec != view_row.spec {
+            return Err(WarehouseError::SpecMismatch {
+                expected: format!("{}", run_row.spec),
+                got: format!("{}", view_row.spec),
+            });
+        }
+        Ok(ViewRun::new(&run_row.run, &view_row.view))
+    }
+
+    /// Deep provenance of `data` in `run` as seen through `view`.
+    pub fn deep_provenance(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+    ) -> Result<ProvenanceResult> {
+        let vr = self.view_run(run_id, view_id)?;
+        let run = self.run(run_id)?;
+        match query::deep_provenance(run, &vr, data) {
+            Some(r) => Ok(r),
+            None => Err(self.invisible_or_missing(run_id, view_id, data)),
+        }
+    }
+
+    /// Immediate provenance of `data` in `run` as seen through `view`, with
+    /// user-input metadata resolved from the run.
+    pub fn immediate_provenance(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+    ) -> Result<ImmediateAnswer> {
+        let vr = self.view_run(run_id, view_id)?;
+        match query::immediate_provenance(&vr, data) {
+            Some(ImmediateProvenance::Produced { exec, inputs }) => {
+                // Gather the member steps' parameters from the run.
+                let run = self.run(run_id)?;
+                let members = vr
+                    .exec_by_id(exec)
+                    .map(|e| e.members.clone())
+                    .unwrap_or_default();
+                let mut params: Vec<(zoom_model::StepId, String, String)> = Vec::new();
+                for m in members {
+                    for (k, v) in run.params_of(m) {
+                        params.push((m, k.clone(), v.clone()));
+                    }
+                }
+                params.sort();
+                Ok(ImmediateAnswer::Produced { exec, inputs, params })
+            }
+            Some(ImmediateProvenance::UserInput) => Ok(ImmediateAnswer::UserInput {
+                meta: self.run(run_id)?.user_input_meta(data).cloned(),
+            }),
+            None => Err(self.invisible_or_missing(run_id, view_id, data)),
+        }
+    }
+
+    /// The canned forward query: data objects that have `data` in their
+    /// provenance, at this view level.
+    pub fn dependents_of(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+    ) -> Result<Vec<DataId>> {
+        let vr = self.view_run(run_id, view_id)?;
+        let run = self.run(run_id)?;
+        match query::dependents_of(run, &vr, data) {
+            Some(v) => Ok(v),
+            None => Err(self.invisible_or_missing(run_id, view_id, data)),
+        }
+    }
+
+    /// The data set passed between two executions at this view level — the
+    /// prototype's edge-click interaction. `None` endpoints denote the
+    /// run's input/output nodes.
+    pub fn data_between(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        from: Option<zoom_model::StepId>,
+        to: Option<zoom_model::StepId>,
+    ) -> Result<Vec<DataId>> {
+        let vr = self.view_run(run_id, view_id)?;
+        query::data_between(&vr, from, to).ok_or({
+            WarehouseError::DataNotFound(DataId(0)) // unknown execution id
+        })
+    }
+
+    fn invisible_or_missing(&self, run_id: RunId, view_id: ViewId, data: DataId) -> WarehouseError {
+        let exists = self
+            .runs
+            .get(&run_id)
+            .is_some_and(|r| r.run.producer_of(data).is_some());
+        if exists {
+            let view = self
+                .views
+                .get(&view_id)
+                .map_or_else(|| format!("{view_id}"), |r| r.view.name().to_string());
+            WarehouseError::DataNotVisible { data, view }
+        } else {
+            WarehouseError::DataNotFound(data)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Maintenance
+    // ------------------------------------------------------------------
+
+    /// Aggregate sizes.
+    pub fn stats(&self) -> WarehouseStats {
+        WarehouseStats {
+            specs: self.specs.len(),
+            views: self.views.len(),
+            runs: self.runs.len(),
+            steps: self.runs.scan().map(|r| r.run.step_count()).sum(),
+            data_objects: self.runs.scan().map(|r| r.run.data_count()).sum(),
+            cached_view_runs: self.cache.len(),
+        }
+    }
+
+    /// Drops every materialized view-run.
+    pub fn clear_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// `(hits, misses)` of the view-run cache.
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.cache.counters()
+    }
+
+    /// Iterates over all rows (persistence support).
+    pub(crate) fn export_rows(&self) -> ExportedRows {
+        let mut specs: Vec<(SpecId, SpecRow)> =
+            self.specs.entries().map(|(k, v)| (*k, v.clone())).collect();
+        specs.sort_by_key(|(k, _)| *k);
+        let mut views: Vec<(ViewId, ViewRow)> =
+            self.views.entries().map(|(k, v)| (*k, v.clone())).collect();
+        views.sort_by_key(|(k, _)| *k);
+        let mut runs: Vec<(RunId, RunRow)> =
+            self.runs.entries().map(|(k, v)| (*k, v.clone())).collect();
+        runs.sort_by_key(|(k, _)| *k);
+        (specs, views, runs)
+    }
+
+    /// Rebuilds a warehouse from exported rows (persistence support).
+    pub(crate) fn from_rows(
+        specs: Vec<(SpecId, SpecRow)>,
+        views: Vec<(ViewId, ViewRow)>,
+        runs: Vec<(RunId, RunRow)>,
+    ) -> Self {
+        let mut w = Warehouse::new();
+        for (id, row) in specs {
+            w.next_spec = w.next_spec.max(id.0 + 1);
+            w.spec_by_name.insert(row.spec.name().to_string(), id);
+            w.specs.insert(id, row).expect("unique spec ids");
+        }
+        for (id, row) in views {
+            w.next_view = w.next_view.max(id.0 + 1);
+            w.views_by_spec.entry(row.spec).or_default().push(id);
+            w.views.insert(id, row).expect("unique view ids");
+        }
+        for (id, row) in runs {
+            w.next_run = w.next_run.max(id.0 + 1);
+            w.runs_by_spec.entry(row.spec).or_default().push(id);
+            w.runs.insert(id, row).expect("unique run ids");
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{RunBuilder, SpecBuilder, StepId};
+
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("wh-spec");
+        b.analysis("A");
+        b.analysis("B");
+        b.from_input("A").edge("A", "B").to_output("B");
+        b.build().unwrap()
+    }
+
+    fn run(s: &WorkflowSpec) -> WorkflowRun {
+        let (a, bb) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let mut rb = RunBuilder::new(s);
+        rb.user("alice");
+        let s1 = rb.step(a);
+        let s2 = rb.step(bb);
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .output_edge(s2, [3]);
+        rb.build().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_register_load_query() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let bb = w.register_view(sid, UserView::black_box(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+
+        let res = w.deep_provenance(rid, admin, DataId(3)).unwrap();
+        assert_eq!(res.tuples(), 3);
+        let res = w.deep_provenance(rid, bb, DataId(3)).unwrap();
+        assert_eq!(res.tuples(), 2); // d1 and d3; d2 hidden
+
+        // d2 is hidden under the black box.
+        match w.deep_provenance(rid, bb, DataId(2)).unwrap_err() {
+            WarehouseError::DataNotVisible { data, view } => {
+                assert_eq!(data, DataId(2));
+                assert_eq!(view, "UBlackBox");
+            }
+            e => panic!("unexpected {e}"),
+        }
+        // d99 does not exist at all.
+        assert!(matches!(
+            w.deep_provenance(rid, bb, DataId(99)).unwrap_err(),
+            WarehouseError::DataNotFound(DataId(99))
+        ));
+
+        let stats = w.stats();
+        assert_eq!(stats.specs, 1);
+        assert_eq!(stats.views, 2);
+        assert_eq!(stats.runs, 1);
+        assert_eq!(stats.steps, 2);
+        assert_eq!(stats.data_objects, 3);
+        assert_eq!(stats.cached_view_runs, 2);
+    }
+
+    #[test]
+    fn immediate_answers_resolve_metadata() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+        match w.immediate_provenance(rid, admin, DataId(1)).unwrap() {
+            ImmediateAnswer::UserInput { meta } => {
+                assert_eq!(meta.unwrap().user, "alice");
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+        match w.immediate_provenance(rid, admin, DataId(2)).unwrap() {
+            ImmediateAnswer::Produced { exec, inputs, .. } => {
+                assert_eq!(exec, StepId(1));
+                assert_eq!(inputs, vec![DataId(1)]);
+            }
+            o => panic!("unexpected {o:?}"),
+        }
+    }
+
+    #[test]
+    fn log_ingestion_path() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let log = EventLog::from_run(&run(&s), &s);
+        let rid = w.load_log(sid, &log).unwrap();
+        assert_eq!(w.run(rid).unwrap().step_count(), 2);
+        assert_eq!(w.runs_of_spec(sid), &[rid]);
+    }
+
+    #[test]
+    fn duplicate_and_mismatch_errors() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        assert!(matches!(
+            w.register_spec(s.clone()).unwrap_err(),
+            WarehouseError::DuplicateSpecName(_)
+        ));
+
+        // A view of some other spec cannot be registered under sid.
+        let mut b2 = SpecBuilder::new("other");
+        b2.analysis("X");
+        b2.from_input("X").to_output("X");
+        let other = b2.build().unwrap();
+        assert!(matches!(
+            w.register_view(sid, UserView::admin(&other)).unwrap_err(),
+            WarehouseError::SpecMismatch { .. }
+        ));
+        assert!(matches!(
+            w.load_run(sid, {
+                let mut rb = RunBuilder::new(&other);
+                let s1 = rb.step(other.module("X").unwrap());
+                rb.input_edge(s1, [1]).output_edge(s1, [2]);
+                rb.build().unwrap()
+            })
+            .unwrap_err(),
+            WarehouseError::SpecMismatch { .. }
+        ));
+
+        // Cross-spec view/run pairing is rejected at query time.
+        let oid = w.register_spec(other.clone()).unwrap();
+        let oview = w.register_view(oid, UserView::admin(&other)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+        assert!(matches!(
+            w.view_run(rid, oview).unwrap_err(),
+            WarehouseError::SpecMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn lookups() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        assert_eq!(w.spec_by_name("wh-spec"), Some(sid));
+        assert_eq!(w.spec_by_name("nope"), None);
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        assert_eq!(w.find_view(sid, "UAdmin"), Some(admin));
+        assert_eq!(w.find_view(sid, "UBio"), None);
+        assert_eq!(w.view_spec(admin).unwrap(), sid);
+        assert!(w.view(ViewId(99)).is_err());
+        assert!(w.run(RunId(99)).is_err());
+        assert!(w.spec(SpecId(99)).is_err());
+    }
+
+    #[test]
+    fn cache_behavior() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+        let _ = w.view_run(rid, admin).unwrap();
+        let _ = w.view_run(rid, admin).unwrap();
+        assert_eq!(w.cache_counters(), (1, 1));
+        w.clear_cache();
+        assert_eq!(w.stats().cached_view_runs, 0);
+        let _ = w.view_run_uncached(rid, admin).unwrap();
+        assert_eq!(w.stats().cached_view_runs, 0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based round-trip tests for the hand-written binary codec, on
+//! arbitrary nested value shapes and on real model types from generated
+//! workloads.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use zoom_warehouse::codec::{from_bytes, to_bytes};
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+enum Tree {
+    Leaf,
+    Value(i64),
+    Pair(Box<Tree>, Box<Tree>),
+    Tagged { name: String, children: Vec<Tree> },
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        Just(Tree::Leaf),
+        any::<i64>().prop_map(Tree::Value),
+        ".{0,12}".prop_map(|name| Tree::Tagged {
+            name,
+            children: vec![]
+        }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (".{0,8}", proptest::collection::vec(inner, 0..4))
+                .prop_map(|(name, children)| Tree::Tagged { name, children }),
+        ]
+    })
+}
+
+#[derive(Serialize, Deserialize, PartialEq, Debug, Clone)]
+struct Record {
+    flag: bool,
+    counts: Vec<u32>,
+    label: String,
+    table: BTreeMap<u16, String>,
+    opt: Option<(i8, f64)>,
+    tree: Tree,
+    bytes_like: Vec<u8>,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_records_roundtrip(
+        flag in any::<bool>(),
+        counts in proptest::collection::vec(any::<u32>(), 0..20),
+        label in ".{0,40}",
+        table in proptest::collection::btree_map(any::<u16>(), ".{0,10}", 0..8),
+        opt in proptest::option::of((any::<i8>(), prop::num::f64::NORMAL)),
+        tree in arb_tree(),
+        bytes_like in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let rec = Record { flag, counts, label, table, opt, tree, bytes_like };
+        let bytes = to_bytes(&rec).expect("encodes");
+        let back: Record = from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn primitive_extremes_roundtrip(
+        a in any::<u64>(),
+        b in any::<i64>(),
+        c in any::<f32>().prop_filter("NaN compares unequal", |x| !x.is_nan()),
+        d in any::<char>(),
+    ) {
+        let v = (a, b, c, d, u64::MAX, i64::MIN, f64::MIN_POSITIVE);
+        let bytes = to_bytes(&v).expect("encodes");
+        let back: (u64, i64, f32, char, u64, i64, f64) =
+            from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(v, back);
+    }
+
+    #[test]
+    fn corrupting_one_byte_never_panics(
+        seed in any::<u64>(),
+        victim in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let rec = Record {
+            flag: true,
+            counts: vec![1, 2, 3],
+            label: "corruption target".into(),
+            table: BTreeMap::new(),
+            opt: Some((1, 2.0)),
+            tree: Tree::Pair(Box::new(Tree::Leaf), Box::new(Tree::Value(seed as i64))),
+            bytes_like: vec![0; 16],
+        };
+        let mut bytes = to_bytes(&rec).expect("encodes").to_vec();
+        let idx = victim % bytes.len();
+        bytes[idx] ^= flip;
+        // Must either fail cleanly or produce *some* Record; never panic.
+        let _ = from_bytes::<Record>(&bytes);
+    }
+
+    #[test]
+    fn generated_model_types_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let spec = zoom_gen::generate_random_spec("codec-prop", 8, &mut rng);
+        let cfg = zoom_gen::RunGenConfig {
+            user_input: (1, 10),
+            data_per_step: (1, 3),
+            loop_iterations: (1, 4),
+            max_nodes: 120,
+            max_edges: 120,
+        };
+        let run = zoom_gen::generate_run(&spec, &cfg, &mut rng).expect("valid");
+        let log = zoom_model::EventLog::from_run(&run, &spec);
+
+        let bytes = to_bytes(&spec).expect("encodes");
+        let spec2: zoom_model::WorkflowSpec = from_bytes(&bytes).expect("decodes");
+        prop_assert!(spec2.validate().is_ok());
+        prop_assert_eq!(spec.name(), spec2.name());
+
+        let bytes = to_bytes(&run).expect("encodes");
+        let run2: zoom_model::WorkflowRun = from_bytes(&bytes).expect("decodes");
+        prop_assert!(run2.validate(&spec).is_ok());
+        prop_assert_eq!(run.all_data(), run2.all_data());
+
+        let bytes = to_bytes(&log).expect("encodes");
+        let log2: zoom_model::EventLog = from_bytes(&bytes).expect("decodes");
+        prop_assert_eq!(log, log2);
+    }
+}

@@ -1,0 +1,97 @@
+//! The view theory of Section III on the paper's own figures.
+//!
+//! Walks through Figure 4 (why Properties 2 and 3 matter), Figure 6 (the
+//! `RelevUserViewBuilder` running example, step by step), and Figure 7
+//! (a minimal view that is not minimum, settled by exhaustive search).
+//!
+//! ```sh
+//! cargo run --example view_algebra
+//! ```
+
+use zoom::model::{CompositeModule, UserView};
+use zoom::views::{
+    check_view, is_minimal, minimum_view, relev_user_view_builder, NrContext,
+};
+use zoom_views::paper::{figure4, figure6, figure7};
+
+fn show_view(spec: &zoom::WorkflowSpec, view: &UserView) {
+    for c in view.composites() {
+        let members: Vec<&str> = c.members.iter().map(|&m| spec.label(m)).collect();
+        println!("    {} = {members:?}", c.name);
+    }
+}
+
+fn main() {
+    // ---------------------------------------------------------------
+    println!("== Figure 4: a well-formed view can still lie ==");
+    let (spec, relevant, parts) = figure4();
+    let bad = UserView::new(
+        "bad",
+        &spec,
+        parts
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| CompositeModule::new(format!("C{}", i + 1), p))
+            .collect(),
+    )
+    .expect("a partition, just not a good one");
+    println!("  the view:");
+    show_view(&spec, &bad);
+    match check_view(&spec, &bad, &relevant) {
+        Err(v) => println!("  rejected: {v}"),
+        Ok(()) => unreachable!("figure 4's view violates properties 2 and 3"),
+    }
+
+    // ---------------------------------------------------------------
+    println!("\n== Figure 6: RelevUserViewBuilder, step by step ==");
+    let (spec, relevant) = figure6();
+    let ctx = NrContext::of_spec(&spec, &relevant);
+    println!("  rpred / rsucc of each module:");
+    for m in spec.module_ids() {
+        let show = |nodes: Vec<zoom::graph::NodeId>| {
+            nodes
+                .iter()
+                .map(|&n| spec.label(n))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "    {:<3} rpred={{{}}} rsucc={{{}}}",
+            spec.label(m),
+            show(ctx.rpred_nodes(m)),
+            show(ctx.rsucc_nodes(m)),
+        );
+    }
+    let built = relev_user_view_builder(&spec, &relevant).expect("builds");
+    println!(
+        "  result (size {} = {} relevant + {} non-relevant):",
+        built.view.size(),
+        built.relevant_composites,
+        built.non_relevant_composites
+    );
+    show_view(&spec, &built.view);
+    println!(
+        "  properties hold: {}; minimal: {}",
+        check_view(&spec, &built.view, &relevant).is_ok(),
+        is_minimal(&spec, &built.view, &relevant)
+    );
+
+    // ---------------------------------------------------------------
+    println!("\n== Figure 7: minimal is not minimum ==");
+    let (spec, relevant) = figure7();
+    let built = relev_user_view_builder(&spec, &relevant).expect("builds");
+    println!("  the algorithm's (minimal) view, size {}:", built.view.size());
+    show_view(&spec, &built.view);
+    let min = minimum_view(&spec, &relevant, 9).expect("small enough to search");
+    println!("  the minimum good view, size {}:", min.size());
+    show_view(&spec, &min);
+    println!(
+        "  both satisfy Properties 1-3: {} / {}",
+        check_view(&spec, &built.view, &relevant).is_ok(),
+        check_view(&spec, &min, &relevant).is_ok()
+    );
+    println!(
+        "  whether a polynomial algorithm can always find the minimum is \
+         the paper's open problem."
+    );
+}

@@ -1,0 +1,461 @@
+//! `zoomctl` — a command-line front end to the ZOOM provenance warehouse.
+//!
+//! The prototype of Section IV exposed view building and provenance
+//! querying through a GUI; this CLI exposes the same operations over a
+//! warehouse snapshot file:
+//!
+//! ```sh
+//! zoomctl demo lab.zoom                       # create a demo warehouse
+//! zoomctl stats lab.zoom                      # sizes
+//! zoomctl specs lab.zoom                      # list workflows
+//! zoomctl views lab.zoom phylogenomic         # list views of a workflow
+//! zoomctl build-view lab.zoom phylogenomic M2 M3 M7
+//! zoomctl query lab.zoom phylogenomic 0 UAdmin "deep d447"
+//! zoomctl render lab.zoom phylogenomic 0 "UV(M2,M3,M7)" d447 > prov.dot
+//! ```
+//!
+//! Run indices are per-workflow (0 = first loaded run).
+
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Writes a line to stdout, ignoring broken pipes (`zoomctl … | head`).
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// Like [`out!`] without the newline.
+macro_rules! out_raw {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = write!(std::io::stdout(), $($arg)*);
+    }};
+}
+use zoom::core::{execute_canned, CannedQuery, RunId, SpecId, ViewId};
+use zoom::model::DataId;
+use zoom::Zoom;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("zoomctl: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    match cmd {
+        "demo" => demo(path_arg(args, 1)?),
+        "stats" => stats(path_arg(args, 1)?),
+        "specs" => specs(path_arg(args, 1)?),
+        "views" => views(path_arg(args, 1)?, str_arg(args, 2, "workflow name")?),
+        "runs" => runs(path_arg(args, 1)?, str_arg(args, 2, "workflow name")?),
+        "build-view" => build_view(
+            path_arg(args, 1)?,
+            str_arg(args, 2, "workflow name")?,
+            &args[3..],
+        ),
+        "query" => query(
+            path_arg(args, 1)?,
+            str_arg(args, 2, "workflow name")?,
+            str_arg(args, 3, "run index")?,
+            str_arg(args, 4, "view name")?,
+            str_arg(args, 5, "query text")?,
+        ),
+        "compare" => compare(
+            path_arg(args, 1)?,
+            str_arg(args, 2, "workflow name")?,
+            str_arg(args, 3, "first run index")?,
+            str_arg(args, 4, "second run index")?,
+            str_arg(args, 5, "view name")?,
+        ),
+        "repl" => repl(
+            path_arg(args, 1)?,
+            str_arg(args, 2, "workflow name")?,
+            str_arg(args, 3, "run index")?,
+        ),
+        "render" => render(
+            path_arg(args, 1)?,
+            str_arg(args, 2, "workflow name")?,
+            str_arg(args, 3, "run index")?,
+            str_arg(args, 4, "view name")?,
+            str_arg(args, 5, "data id")?,
+        ),
+        "help" | "--help" | "-h" => {
+            out_raw!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}` (see `zoomctl help`)")),
+    }
+}
+
+const HELP: &str = "\
+zoomctl — ZOOM*UserViews provenance warehouse CLI
+
+usage:
+  zoomctl demo <snapshot>                              create a demo warehouse
+  zoomctl stats <snapshot>                             warehouse sizes
+  zoomctl specs <snapshot>                             list workflows
+  zoomctl views <snapshot> <workflow>                  list its views
+  zoomctl runs <snapshot> <workflow>                   list its runs
+  zoomctl build-view <snapshot> <workflow> <module>... build & register a view
+  zoomctl query <snapshot> <workflow> <run#> <view> <query>
+      query forms: deep dN | immediate dN | dependents dN
+                   | between X Y | final | visible
+  zoomctl render <snapshot> <workflow> <run#> <view> <dataid>
+      emit the provenance graph as GraphViz DOT on stdout
+  zoomctl repl <snapshot> <workflow> <run#>
+      interactive session: flag/unflag modules, switch views, run queries
+  zoomctl compare <snapshot> <workflow> <run#> <run#> <view>
+      compare two runs at a view level (reproducibility check)
+";
+
+fn path_arg(args: &[String], i: usize) -> Result<&Path, String> {
+    args.get(i)
+        .map(Path::new)
+        .ok_or_else(|| "missing snapshot path".to_string())
+}
+
+fn str_arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing {what}"))
+}
+
+fn load(path: &Path) -> Result<Zoom, String> {
+    Zoom::load(path).map_err(|e| format!("cannot load `{}`: {e}", path.display()))
+}
+
+fn resolve_spec(zoom: &Zoom, name: &str) -> Result<SpecId, String> {
+    zoom.warehouse()
+        .spec_by_name(name)
+        .ok_or_else(|| format!("no workflow named `{name}`"))
+}
+
+fn resolve_view(zoom: &Zoom, spec: SpecId, name: &str) -> Result<ViewId, String> {
+    zoom.warehouse()
+        .find_view(spec, name)
+        .ok_or_else(|| format!("no view named `{name}` for this workflow"))
+}
+
+fn resolve_run(zoom: &Zoom, spec: SpecId, index: &str) -> Result<RunId, String> {
+    let i: usize = index
+        .parse()
+        .map_err(|_| format!("`{index}` is not a run index"))?;
+    zoom.warehouse()
+        .runs_of_spec(spec)
+        .get(i)
+        .copied()
+        .ok_or_else(|| format!("run index {i} out of range"))
+}
+
+fn demo(path: &Path) -> Result<(), String> {
+    use zoom_gen::library::{figure2_run, phylogenomic};
+    let mut zoom = Zoom::new();
+    let spec = phylogenomic();
+    let sid = zoom
+        .register_workflow(spec.clone())
+        .map_err(|e| e.to_string())?;
+    zoom.admin_view(sid).map_err(|e| e.to_string())?;
+    zoom.black_box_view(sid).map_err(|e| e.to_string())?;
+    zoom.build_view(sid, &["M2", "M3", "M7"])
+        .map_err(|e| e.to_string())?;
+    zoom.load_run(sid, figure2_run(&spec))
+        .map_err(|e| e.to_string())?;
+    zoom.save(path).map_err(|e| e.to_string())?;
+    out!(
+        "demo warehouse written to {} (workflow `phylogenomic`, 1 run, 3 views)",
+        path.display()
+    );
+    Ok(())
+}
+
+fn stats(path: &Path) -> Result<(), String> {
+    let zoom = load(path)?;
+    let s = zoom.warehouse().stats();
+    out!("workflows    : {}", s.specs);
+    out!("views        : {}", s.views);
+    out!("runs         : {}", s.runs);
+    out!("steps        : {}", s.steps);
+    out!("data objects : {}", s.data_objects);
+    Ok(())
+}
+
+fn specs(path: &Path) -> Result<(), String> {
+    let zoom = load(path)?;
+    let wh = zoom.warehouse();
+    let n = wh.stats().specs as u32;
+    for i in 0..n {
+        let id = SpecId(i);
+        if let Ok(spec) = wh.spec(id) {
+            out!(
+                "{:<30} {} modules, {} views, {} runs",
+                spec.name(),
+                spec.module_count(),
+                wh.views_of_spec(id).len(),
+                wh.runs_of_spec(id).len()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn views(path: &Path, name: &str) -> Result<(), String> {
+    let zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    for &v in zoom.warehouse().views_of_spec(sid) {
+        let view = zoom.warehouse().view(v).map_err(|e| e.to_string())?;
+        out!("{:<24} size {}", view.name(), view.size());
+    }
+    Ok(())
+}
+
+fn runs(path: &Path, name: &str) -> Result<(), String> {
+    let zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    for (i, &r) in zoom.warehouse().runs_of_spec(sid).iter().enumerate() {
+        let run = zoom.warehouse().run(r).map_err(|e| e.to_string())?;
+        out!(
+            "run {:<3} {} steps, {} data objects, finals {}",
+            i,
+            run.step_count(),
+            run.data_count(),
+            zoom::model::run::format_data_range(&run.final_outputs())
+        );
+    }
+    Ok(())
+}
+
+fn build_view(path: &Path, name: &str, labels: &[String]) -> Result<(), String> {
+    if labels.is_empty() {
+        return Err("give at least one relevant module label".to_string());
+    }
+    let mut zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let vid = zoom.build_view(sid, &refs).map_err(|e| e.to_string())?;
+    let view = zoom.warehouse().view(vid).map_err(|e| e.to_string())?;
+    out!("registered view `{}` (size {})", view.name(), view.size());
+    let vname = view.name().to_string();
+    let spec = zoom.warehouse().spec(sid).map_err(|e| e.to_string())?;
+    let composites: Vec<String> = zoom
+        .warehouse()
+        .view(vid)
+        .map_err(|e| e.to_string())?
+        .composites()
+        .iter()
+        .map(|c| {
+            let ms: Vec<&str> = c.members.iter().map(|&m| spec.label(m)).collect();
+            format!("  {} = {ms:?}", c.name)
+        })
+        .collect();
+    for line in composites {
+        out!("{line}");
+    }
+    zoom.save(path).map_err(|e| e.to_string())?;
+    out!("snapshot updated ({vname})");
+    Ok(())
+}
+
+fn query(
+    path: &Path,
+    name: &str,
+    run_index: &str,
+    view_name: &str,
+    text: &str,
+) -> Result<(), String> {
+    let zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    let rid = resolve_run(&zoom, sid, run_index)?;
+    let vid = resolve_view(&zoom, sid, view_name)?;
+    let q = CannedQuery::parse(text).map_err(|e| e.to_string())?;
+    let answer = execute_canned(&zoom, rid, vid, &q).map_err(|e| e.to_string())?;
+    out!("{answer}");
+    Ok(())
+}
+
+/// Compares two runs of one workflow through a view — two runs differing
+/// only inside a composite (e.g. loop iterations) are identical at that
+/// level.
+fn compare(
+    path: &Path,
+    name: &str,
+    run_a: &str,
+    run_b: &str,
+    view_name: &str,
+) -> Result<(), String> {
+    let zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    let ra = resolve_run(&zoom, sid, run_a)?;
+    let rb = resolve_run(&zoom, sid, run_b)?;
+    let vid = resolve_view(&zoom, sid, view_name)?;
+    let vra = zoom.warehouse().view_run(ra, vid).map_err(|e| e.to_string())?;
+    let vrb = zoom.warehouse().view_run(rb, vid).map_err(|e| e.to_string())?;
+    let cmp = zoom::core::compare_view_runs(&vra, &vrb);
+    let view = zoom.warehouse().view(vid).map_err(|e| e.to_string())?;
+    out_raw!(
+        "{}",
+        zoom::core::ComparisonReport {
+            comparison: &cmp,
+            view,
+        }
+    );
+    Ok(())
+}
+
+/// The interactive session of Section IV: flag or unflag modules (the good
+/// view is rebuilt and switched to each time), jump between registered
+/// views, and run canned queries — all against one run.
+fn repl(path: &Path, name: &str, run_index: &str) -> Result<(), String> {
+    use std::io::BufRead;
+    let mut zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    let rid = resolve_run(&zoom, sid, run_index)?;
+    let mut current = zoom
+        .admin_view(sid)
+        .map_err(|e| e.to_string())?;
+    let mut flags: Vec<String> = Vec::new();
+    out!(
+        "interactive session on `{name}` run {run_index} — commands: \
+         flag <module> | unflag <module> | view <name> | views | modules | \
+         <query form> | tree dN | quit"
+    );
+    print_prompt(&zoom, current);
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() {
+            print_prompt(&zoom, current);
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let cmd = parts.next().expect("nonempty");
+        let rest: Vec<&str> = parts.collect();
+        match (cmd, rest.as_slice()) {
+            ("quit" | "exit", _) => break,
+            ("views", _) => {
+                for &v in zoom.warehouse().views_of_spec(sid) {
+                    let view = zoom.warehouse().view(v).map_err(|e| e.to_string())?;
+                    let marker = if v == current { "*" } else { " " };
+                    out!(" {marker} {:<24} size {}", view.name(), view.size());
+                }
+            }
+            ("modules", _) => {
+                let spec = zoom.warehouse().spec(sid).map_err(|e| e.to_string())?;
+                for m in spec.module_ids() {
+                    let label = spec.label(m);
+                    let marker = if flags.iter().any(|f| f == label) { "*" } else { " " };
+                    out!(" {marker} {label} ({})", spec.kind(m));
+                }
+            }
+            ("view", [vname]) => match resolve_view(&zoom, sid, vname) {
+                Ok(v) => {
+                    current = v;
+                    out!("switched to {vname}");
+                }
+                Err(e) => out!("{e}"),
+            },
+            ("flag" | "unflag", [module]) => {
+                if cmd == "flag" {
+                    if !flags.iter().any(|f| f == module) {
+                        flags.push((*module).to_string());
+                    }
+                } else {
+                    flags.retain(|f| f != module);
+                }
+                let refs: Vec<&str> = flags.iter().map(String::as_str).collect();
+                match zoom.build_view(sid, &refs) {
+                    Ok(v) => {
+                        current = v;
+                        let view = zoom.warehouse().view(v).map_err(|e| e.to_string())?;
+                        out!(
+                            "rebuilt: {} (size {})",
+                            view.name(),
+                            view.size()
+                        );
+                    }
+                    Err(e) => out!("cannot build view: {e}"),
+                }
+            }
+            ("tree", [d]) => {
+                let parsed = d
+                    .strip_prefix('d')
+                    .unwrap_or(d)
+                    .parse::<u64>()
+                    .map(DataId);
+                match parsed {
+                    Err(_) => out!("`{d}` is not a data id"),
+                    Ok(d) => match zoom.deep_provenance(rid, current, d) {
+                        Err(e) => out!("{e}"),
+                        Ok(res) => {
+                            let vr = zoom
+                                .warehouse()
+                                .view_run(rid, current)
+                                .map_err(|e| e.to_string())?;
+                            let view =
+                                zoom.warehouse().view(current).map_err(|e| e.to_string())?;
+                            out_raw!("{}", zoom::core::provenance_to_text(&vr, view, &res));
+                        }
+                    },
+                }
+            }
+            _ => match CannedQuery::parse(line) {
+                Ok(q) => match execute_canned(&zoom, rid, current, &q) {
+                    Ok(a) => out!("{a}"),
+                    Err(e) => out!("{e}"),
+                },
+                Err(e) => out!("{e}"),
+            },
+        }
+        print_prompt(&zoom, current);
+    }
+    zoom.save(path).map_err(|e| e.to_string())?;
+    out!("session views saved to {}", path.display());
+    Ok(())
+}
+
+fn print_prompt(zoom: &Zoom, current: zoom::core::ViewId) {
+    let name = zoom
+        .warehouse()
+        .view(current)
+        .map(|v| v.name().to_string())
+        .unwrap_or_else(|_| format!("{current}"));
+    out!("[{name}]>");
+}
+
+fn render(
+    path: &Path,
+    name: &str,
+    run_index: &str,
+    view_name: &str,
+    data: &str,
+) -> Result<(), String> {
+    let zoom = load(path)?;
+    let sid = resolve_spec(&zoom, name)?;
+    let rid = resolve_run(&zoom, sid, run_index)?;
+    let vid = resolve_view(&zoom, sid, view_name)?;
+    let d: DataId = data
+        .strip_prefix('d')
+        .unwrap_or(data)
+        .parse::<u64>()
+        .map(DataId)
+        .map_err(|_| format!("`{data}` is not a data id"))?;
+    let res = zoom
+        .deep_provenance(rid, vid, d)
+        .map_err(|e| e.to_string())?;
+    let vr = zoom
+        .warehouse()
+        .view_run(rid, vid)
+        .map_err(|e| e.to_string())?;
+    let view = zoom.warehouse().view(vid).map_err(|e| e.to_string())?;
+    out_raw!("{}", zoom::core::provenance_to_dot(&vr, view, &res));
+    Ok(())
+}

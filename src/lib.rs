@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # zoom
+//!
+//! Umbrella crate for the ZOOM*UserViews workspace — a Rust reproduction of
+//! *"Querying and Managing Provenance through User Views in Scientific
+//! Workflows"* (Biton, Cohen-Boulakia, Davidson, Hara; ICDE 2008).
+//!
+//! Re-exports the member crates under stable names:
+//!
+//! * [`graph`] — directed-graph substrate;
+//! * [`model`] — workflow specifications, runs, logs, views, composite
+//!   executions;
+//! * [`views`] — nr-paths, Properties 1–3, `RelevUserViewBuilder`,
+//!   minimality and minimum-view search;
+//! * [`warehouse`] — the embedded provenance warehouse;
+//! * [`gen`] — Table I/II workload generation and the curated Class-1
+//!   library;
+//! * [`core`] — the ZOOM system facade ([`Zoom`]).
+
+pub use zoom_core as core;
+pub use zoom_gen as gen;
+pub use zoom_graph as graph;
+pub use zoom_model as model;
+pub use zoom_views as views;
+pub use zoom_warehouse as warehouse;
+
+pub use zoom_core::{QuerySession, Zoom};
+pub use zoom_model::{DataId, StepId, UserView, WorkflowRun, WorkflowSpec};
