@@ -56,9 +56,15 @@ fn bench_deep_provenance(c: &mut Criterion) {
         let f = fixture(kind);
         // Warm the materialization cache once.
         for view in [f.admin, f.bio, f.black_box] {
-            f.zoom.deep_provenance(f.run, view, f.target).expect("visible");
+            f.zoom
+                .deep_provenance(f.run, view, f.target)
+                .expect("visible");
         }
-        for (name, view) in [("UAdmin", f.admin), ("UBio", f.bio), ("UBlackBox", f.black_box)] {
+        for (name, view) in [
+            ("UAdmin", f.admin),
+            ("UBio", f.bio),
+            ("UBlackBox", f.black_box),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("{kind:?}")),
                 &view,

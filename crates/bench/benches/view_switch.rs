@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use zoom_bench::workloads::random_relevant;
-use zoom_core::{Zoom, ViewId};
+use zoom_core::{ViewId, Zoom};
 use zoom_gen::{generate_run, generate_spec, RunGenConfig, RunKind, SpecGenConfig, WorkflowClass};
 use zoom_model::DataId;
 use zoom_views::relev_user_view_builder;
@@ -35,12 +35,8 @@ fn fixture() -> (Zoom, zoom_core::RunId, Vec<ViewId>, DataId) {
         .expect("partition");
         views.push(zoom.register_view(sid, renamed).expect("registers"));
     }
-    let run = generate_run(
-        &spec,
-        &RunGenConfig::for_kind(RunKind::Large),
-        &mut rng,
-    )
-    .expect("valid");
+    let run =
+        generate_run(&spec, &RunGenConfig::for_kind(RunKind::Large), &mut rng).expect("valid");
     let target = run.final_outputs()[0];
     let rid = zoom.load_run(sid, run).expect("loads");
     (zoom, rid, views, target)
@@ -58,7 +54,10 @@ fn bench_switching(c: &mut Criterion) {
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % views.len();
-            black_box(zoom.deep_provenance(rid, views[i], target).expect("visible"))
+            black_box(
+                zoom.deep_provenance(rid, views[i], target)
+                    .expect("visible"),
+            )
         })
     });
 

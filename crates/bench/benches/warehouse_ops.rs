@@ -63,9 +63,7 @@ fn bench_codec(c: &mut Criterion) {
     });
     group.bench_function("decode_large_run", |b| {
         b.iter(|| {
-            black_box(
-                zoom_warehouse::codec::from_bytes::<WorkflowRun>(&bytes).expect("decodes"),
-            )
+            black_box(zoom_warehouse::codec::from_bytes::<WorkflowRun>(&bytes).expect("decodes"))
         })
     });
     group.finish();

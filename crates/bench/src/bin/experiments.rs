@@ -1,8 +1,8 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```sh
-//! experiments [all|table1|table2|scalability|optimality|fig10|response_time|view_switch|fig11]
-//!             [--scale paper|quick] [--seed N]
+//! experiments [all|table1|table2|scalability|optimality|fig10|response_time|view_switch|fig11|
+//!              index_speedup] [--scale paper|quick] [--seed N]
 //! ```
 
 use zoom_bench::experiments::*;
@@ -38,7 +38,14 @@ fn main() {
 
     let needs_corpus = matches!(
         which.as_str(),
-        "all" | "table1" | "table2" | "fig10" | "response_time" | "view_switch" | "fig11"
+        "all"
+            | "table1"
+            | "table2"
+            | "fig10"
+            | "response_time"
+            | "view_switch"
+            | "fig11"
+            | "index_speedup"
     );
     let mut corpus = needs_corpus.then(|| {
         eprintln!("building corpus (scale {scale:?}, seed {seed})...");
@@ -102,6 +109,10 @@ fn main() {
             "fig11",
             fig11::report(corpus.as_ref().expect("corpus built"), scale, seed),
         ),
+        "index_speedup" => section(
+            "index_speedup",
+            index_speedup::report(corpus.as_ref().expect("corpus built"), scale),
+        ),
         other => die(&format!("unknown experiment `{other}`")),
     };
 
@@ -115,6 +126,7 @@ fn main() {
             "response_time",
             "view_switch",
             "fig11",
+            "index_speedup",
             "open_problem",
         ] {
             run_one(name, &mut corpus);

@@ -147,8 +147,7 @@ mod tests {
         for kind_idx in 0..3 {
             // Endpoints: 100% relevant (UAdmin-equivalent) must exceed 0%.
             assert!(
-                points.last().unwrap().tuples[kind_idx]
-                    > points.first().unwrap().tuples[kind_idx],
+                points.last().unwrap().tuples[kind_idx] > points.first().unwrap().tuples[kind_idx],
                 "kind {kind_idx}"
             );
         }

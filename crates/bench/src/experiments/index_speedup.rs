@@ -1,0 +1,385 @@
+//! Base-closure index speedup — a Figure 10/11-style variant for the
+//! warehouse's query engine: mean deep-provenance time over a sample of
+//! the run's data objects per run kind and view family, answered (a) by
+//! the seed per-query BFS scan and (b) by projecting the per-run
+//! base-closure index, plus the one-time index build cost those savings
+//! amortize.
+//!
+//! The paper's Section V-B observation is that computing base provenance
+//! once and reusing it across view switches turns seconds into ≈13 ms;
+//! this experiment shows the embedded analog. The seed path walks *and
+//! collects over* the whole run graph on every query, so its cost is
+//! `O(run)` regardless of the answer; the indexed path touches only the
+//! members of one precomputed closure row, so its cost is `O(answer)`.
+//! Averaged over the data objects users actually click (most of which
+//! derive from a fraction of the run), the gap widens with run size.
+
+use crate::workloads::{Corpus, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+use zoom_gen::{
+    generate_run, generate_spec, RunGenConfig, RunKind, SpecGenConfig, Summary, WorkflowClass,
+};
+use zoom_model::{Producer, UserView, ViewRun};
+use zoom_warehouse::{deep_provenance_bfs, deep_provenance_indexed, ProvenanceIndex};
+
+/// Mean per-query nanoseconds for one (run kind, view family) cell.
+///
+/// The `early_*` pair times the cheapest interesting query — the
+/// step-produced data object with the smallest ancestor closure — where
+/// the seed path's `O(run)` collection scan is pure overhead. The mixed pair
+/// averages a stride sample of all data objects (final output included),
+/// which the large sorted answers dominate.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Seed path over the mixed sample: whole-graph BFS + scan per query.
+    pub bfs_nanos: f64,
+    /// Indexed path over the mixed sample (index warm).
+    pub indexed_nanos: f64,
+    /// Seed path, first step-produced object only.
+    pub early_bfs_nanos: f64,
+    /// Indexed path, first step-produced object only.
+    pub early_indexed_nanos: f64,
+}
+
+impl Cell {
+    /// `bfs / indexed` over the mixed sample.
+    pub fn speedup(&self) -> f64 {
+        self.bfs_nanos / self.indexed_nanos
+    }
+
+    /// `bfs / indexed` for the small-closure query.
+    pub fn early_speedup(&self) -> f64 {
+        self.early_bfs_nanos / self.early_indexed_nanos
+    }
+}
+
+/// The experiment's outcome: a kind × view-family grid plus build costs.
+#[derive(Clone, Debug)]
+pub struct Grid {
+    /// Cells in `RunKind::ALL` × (UAdmin, UBio, UBlackBox) order.
+    pub cells: Vec<(RunKind, [Cell; 3])>,
+    /// Mean index build nanos per run kind, in `RunKind::ALL` order.
+    pub build_nanos: [f64; 3],
+}
+
+/// Timings from the regime the index is built for: one deep Loop-class
+/// run (thousands of nodes, long iteration chains, small per-step
+/// fan-in) queried at the smallest-closure step output, where the seed
+/// path's per-query whole-graph BFS and collection scan are pure
+/// overhead. The corpus grid averages over whatever run sizes the scale
+/// produced; this fixture pins the run size so the asymptotic gap is
+/// visible at any scale.
+#[derive(Clone, Copy, Debug)]
+pub struct DeepRunResult {
+    /// Run-graph nodes in the generated fixture.
+    pub nodes: usize,
+    /// Seed-path nanoseconds per query.
+    pub bfs_nanos: f64,
+    /// Indexed-path nanoseconds per query (index warm).
+    pub indexed_nanos: f64,
+    /// One-time index build nanoseconds.
+    pub build_nanos: f64,
+}
+
+impl DeepRunResult {
+    /// `bfs / indexed`.
+    pub fn speedup(&self) -> f64 {
+        self.bfs_nanos / self.indexed_nanos
+    }
+}
+
+/// Generates the deep Loop-class fixture and times both strategies on its
+/// smallest-closure step output (answers checked identical first).
+pub fn deep_run(reps: u32) -> DeepRunResult {
+    let mut rng = StdRng::seed_from_u64(9);
+    let spec = generate_spec(
+        "idx-deep",
+        &SpecGenConfig::new(WorkflowClass::Loop, 20),
+        &mut rng,
+    );
+    let cfg = RunGenConfig {
+        user_input: (1, 10),
+        data_per_step: (1, 2),
+        loop_iterations: (200, 400),
+        max_nodes: 30_000,
+        max_edges: 30_000,
+    };
+    let run = generate_run(&spec, &cfg, &mut rng).expect("valid");
+    let vr = ViewRun::new(&run, &UserView::admin(&spec));
+    let started = Instant::now();
+    let index = ProvenanceIndex::build(&run);
+    let build_nanos = started.elapsed().as_nanos() as f64;
+    let target = run
+        .all_data()
+        .iter()
+        .copied()
+        .filter(|&d| matches!(run.producer_of(d), Some(Producer::Step(_))))
+        .min_by_key(|&d| {
+            run.producer_node(d)
+                .map_or(usize::MAX, |n| index.ancestors(n).count())
+        })
+        .expect("runs have step outputs");
+    assert_eq!(
+        deep_provenance_indexed(&run, &vr, &index, target),
+        deep_provenance_bfs(&run, &vr, target),
+        "strategies disagree — timings would be meaningless"
+    );
+    let bfs_nanos = time_queries(reps, || {
+        deep_provenance_bfs(&run, &vr, target).expect("visible");
+    });
+    let indexed_nanos = time_queries(reps, || {
+        deep_provenance_indexed(&run, &vr, &index, target).expect("visible");
+    });
+    DeepRunResult {
+        nodes: run.graph().node_count(),
+        bfs_nanos,
+        indexed_nanos,
+        build_nanos,
+    }
+}
+
+/// One timing sample: (kind index, view index, bfs, indexed, early bfs,
+/// early indexed) nanoseconds.
+type Sample = (usize, usize, f64, f64, f64, f64);
+
+fn time_queries(reps: u32, mut f: impl FnMut()) -> f64 {
+    let started = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    started.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// Runs the experiment over the corpus: for each workflow and run kind, a
+/// stride sample of the first run's visible data objects (final output
+/// included) is queried `reps` times through each view family, once per
+/// strategy; the index is built once per run (and that build is timed
+/// separately). Both strategies' answers are checked identical before
+/// timing is trusted.
+pub fn run(corpus: &Corpus, scale: Scale) -> Grid {
+    let reps = match scale {
+        Scale::Paper => 40,
+        Scale::Quick => 5,
+    };
+    const TARGETS: usize = 24;
+    let mut samples: Vec<Sample> = Vec::new();
+    let mut builds: Vec<(usize, f64)> = Vec::new();
+    let wh = corpus.zoom.warehouse();
+
+    for w in &corpus.workflows {
+        for (ki, kind) in RunKind::ALL.into_iter().enumerate() {
+            let Some(&rid) = w
+                .runs
+                .iter()
+                .find(|(k, _)| *k == kind)
+                .and_then(|(_, r)| r.first())
+            else {
+                continue;
+            };
+            let run = wh.run(rid).expect("loaded");
+            let data = run.all_data();
+
+            let started = Instant::now();
+            let index = ProvenanceIndex::build(run);
+            builds.push((ki, started.elapsed().as_nanos() as f64));
+
+            for (vi, view) in [w.admin, w.bio, w.black_box].into_iter().enumerate() {
+                let vr = wh.view_run(rid, view).expect("materializes");
+                let mut targets: Vec<_> = data
+                    .iter()
+                    .copied()
+                    .step_by((data.len() / TARGETS).max(1))
+                    .filter(|&d| vr.is_visible(d))
+                    .collect();
+                targets.push(run.final_outputs()[0]);
+                for &d in &targets {
+                    assert_eq!(
+                        deep_provenance_indexed(run, &vr, &index, d),
+                        deep_provenance_bfs(run, &vr, d),
+                        "strategies disagree — timings would be meaningless"
+                    );
+                }
+                let per = targets.len() as f64;
+                let bfs = time_queries(reps, || {
+                    for &d in &targets {
+                        deep_provenance_bfs(run, &vr, d).expect("visible");
+                    }
+                }) / per;
+                let indexed = time_queries(reps, || {
+                    for &d in &targets {
+                        deep_provenance_indexed(run, &vr, &index, d).expect("visible");
+                    }
+                }) / per;
+
+                // The small-closure bracket: the visible step-produced
+                // object with the smallest ancestor closure.
+                let early = data
+                    .iter()
+                    .copied()
+                    .filter(|&x| {
+                        vr.is_visible(x)
+                            && matches!(run.producer_of(x), Some(zoom_model::Producer::Step(_)))
+                    })
+                    .min_by_key(|&x| {
+                        run.producer_node(x)
+                            .map_or(usize::MAX, |n| index.ancestors(n).count())
+                    })
+                    .expect("runs have visible step outputs");
+                let early_reps = reps * 8;
+                let early_bfs = time_queries(early_reps, || {
+                    deep_provenance_bfs(run, &vr, early).expect("visible");
+                });
+                let early_indexed = time_queries(early_reps, || {
+                    deep_provenance_indexed(run, &vr, &index, early).expect("visible");
+                });
+                samples.push((ki, vi, bfs, indexed, early_bfs, early_indexed));
+            }
+        }
+    }
+
+    let cells = RunKind::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(ki, kind)| {
+            let cell = |vi: usize| {
+                let mean = |pick: fn(&Sample) -> f64| {
+                    Summary::of(
+                        &samples
+                            .iter()
+                            .filter(|&&(k, v, ..)| k == ki && v == vi)
+                            .map(pick)
+                            .collect::<Vec<_>>(),
+                    )
+                    .mean
+                };
+                Cell {
+                    bfs_nanos: mean(|s| s.2),
+                    indexed_nanos: mean(|s| s.3),
+                    early_bfs_nanos: mean(|s| s.4),
+                    early_indexed_nanos: mean(|s| s.5),
+                }
+            };
+            (kind, [cell(0), cell(1), cell(2)])
+        })
+        .collect();
+
+    let build_mean = |ki: usize| {
+        Summary::of(
+            &builds
+                .iter()
+                .filter(|&&(k, _)| k == ki)
+                .map(|&(_, n)| n)
+                .collect::<Vec<_>>(),
+        )
+        .mean
+    };
+    Grid {
+        cells,
+        build_nanos: [build_mean(0), build_mean(1), build_mean(2)],
+    }
+}
+
+/// Renders the speedup grid.
+pub fn report(corpus: &Corpus, scale: Scale) -> String {
+    let grid = run(corpus, scale);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "INDEX SPEEDUP — warm deep provenance, seed BFS scan vs. base-closure \
+         index (mean µs/query, scale: {scale:?}; `mixed` = stride sample of all \
+         data incl. final output, `early` = smallest-closure step output)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>8} {:>10} {:>11} {:>13} {:>7} {:>11} {:>13} {:>7} {:>10}",
+        "kind",
+        "view",
+        "mixed bfs",
+        "mixed indexed",
+        "x",
+        "early bfs",
+        "early indexed",
+        "x",
+        "build µs"
+    );
+    for (row, (kind, cells)) in grid.cells.iter().enumerate() {
+        for (name, c) in ["UAdmin", "UBio", "UBlackBox"].iter().zip(cells) {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>10} {:>11.2} {:>13.2} {:>6.1}x {:>11.2} {:>13.2} {:>6.1}x {:>10.2}",
+                format!("{kind:?}"),
+                name,
+                c.bfs_nanos / 1e3,
+                c.indexed_nanos / 1e3,
+                c.speedup(),
+                c.early_bfs_nanos / 1e3,
+                c.early_indexed_nanos / 1e3,
+                c.early_speedup(),
+                grid.build_nanos[row] / 1e3,
+            );
+        }
+    }
+    let large = &grid.cells.last().expect("three kinds").1;
+    let _ = writeln!(
+        out,
+        "\nLarge-run UAdmin: {:.1}x on small-closure queries, {:.1}x on the mixed \
+         sample (index build repays itself after ~{:.0} mixed queries, any view)",
+        large[0].early_speedup(),
+        large[0].speedup(),
+        (grid.build_nanos[2] / (large[0].bfs_nanos - large[0].indexed_nanos).max(1.0)).ceil()
+    );
+    let deep = deep_run(match scale {
+        Scale::Paper => 2_000,
+        Scale::Quick => 200,
+    });
+    let _ = writeln!(
+        out,
+        "Deep Loop run ({} nodes), smallest-closure query: {:.2} µs seed BFS vs \
+         {:.2} µs indexed — {:.1}x (index built once in {:.0} µs)",
+        deep.nodes,
+        deep.bfs_nanos / 1e3,
+        deep.indexed_nanos / 1e3,
+        deep.speedup(),
+        deep.build_nanos / 1e3,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::build_corpus;
+
+    #[test]
+    fn grid_is_complete_and_sane() {
+        let corpus = build_corpus(Scale::Quick, 50);
+        let grid = run(&corpus, Scale::Quick);
+        assert_eq!(grid.cells.len(), 3);
+        for (kind, cells) in &grid.cells {
+            for c in cells {
+                assert!(c.bfs_nanos > 0.0, "{kind:?} bfs not measured");
+                assert!(c.indexed_nanos > 0.0, "{kind:?} indexed not measured");
+                assert!(c.speedup().is_finite());
+                assert!(c.early_speedup().is_finite());
+            }
+        }
+        for b in grid.build_nanos {
+            assert!(b > 0.0);
+        }
+    }
+
+    #[test]
+    fn deep_run_fixture_is_deep() {
+        let deep = deep_run(20);
+        assert!(
+            deep.nodes > 1_000,
+            "fixture too small: {} nodes",
+            deep.nodes
+        );
+        assert!(deep.bfs_nanos > 0.0 && deep.indexed_nanos > 0.0 && deep.build_nanos > 0.0);
+        assert!(deep.speedup().is_finite());
+    }
+}

@@ -62,7 +62,11 @@ pub fn report(count: usize, max_modules: usize, seed: u64) -> String {
         out,
         "SCALABILITY — RelevUserViewBuilder on {count} randomized specs (3..{max_modules} modules)"
     );
-    let _ = writeln!(out, "{:<18} {:>8} {:>12} {:>12}", "modules", "specs", "avg ms", "max ms");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>8} {:>12} {:>12}",
+        "modules", "specs", "avg ms", "max ms"
+    );
     let buckets = 8usize;
     for b in 0..buckets {
         let lo = max_modules * b / buckets;

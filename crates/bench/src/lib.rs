@@ -11,7 +11,8 @@
 //!   [`experiments::table1`], [`experiments::table2`],
 //!   [`experiments::scalability`], [`experiments::optimality`],
 //!   [`experiments::fig10`], [`experiments::response`],
-//!   [`experiments::switching`], [`experiments::fig11`], plus the
+//!   [`experiments::switching`], [`experiments::fig11`],
+//!   [`experiments::index_speedup`] (BFS vs. base-closure index), plus the
 //!   beyond-the-paper [`experiments::open_problem`] gap study.
 //!
 //! The `experiments` binary drives them:
@@ -24,6 +25,7 @@ pub mod experiments {
     //! One module per reproduced table/figure.
     pub mod fig10;
     pub mod fig11;
+    pub mod index_speedup;
     pub mod open_problem;
     pub mod optimality;
     pub mod response;

@@ -105,12 +105,8 @@ pub fn build_corpus(scale: Scale, seed: u64) -> Corpus {
     let mut zoom = Zoom::new();
     let mut workflows = Vec::new();
     for class in WorkflowClass::ALL {
-        for spec in workflows_of_class(
-            class,
-            scale.workflows_per_class(),
-            SYNTH_MODULES,
-            &mut rng,
-        ) {
+        for spec in workflows_of_class(class, scale.workflows_per_class(), SYNTH_MODULES, &mut rng)
+        {
             // Library specs repeat across counts > library size; make names
             // unique per slot.
             let spec = uniquify(spec, workflows.len());

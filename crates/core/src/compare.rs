@@ -245,8 +245,7 @@ mod tests {
         // cannot tell the runs apart: the loop is internal.
         let a = s.module("A").unwrap();
         let coarse = relev_user_view_builder(&s, &[a]).unwrap().view;
-        let cmp =
-            compare_view_runs(&ViewRun::new(&r1, &coarse), &ViewRun::new(&r2, &coarse));
+        let cmp = compare_view_runs(&ViewRun::new(&r1, &coarse), &ViewRun::new(&r2, &coarse));
         assert!(
             cmp.identical_shape(),
             "loop iterations are hidden inside the composite: {cmp:?}"

@@ -42,7 +42,9 @@ pub mod session;
 pub mod system;
 
 pub use compare::{compare_view_runs, ComparisonReport, ExecMatch, RunComparison};
-pub use queries::{execute as execute_canned, CannedQuery, QueryAnswer};
+pub use queries::{
+    execute as execute_canned, execute_many as execute_canned_many, CannedQuery, QueryAnswer,
+};
 pub use render::{provenance_to_dot, provenance_to_text, view_on_spec_to_dot};
 pub use session::QuerySession;
 pub use system::Zoom;

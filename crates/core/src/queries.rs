@@ -76,14 +76,11 @@ fn parse_endpoint(tok: &str) -> std::result::Result<Option<StepId>, ParseError> 
         "input" | "output" => Ok(None),
         _ => {
             let digits = tok.strip_prefix('S').unwrap_or(tok);
-            digits
-                .parse::<u32>()
-                .map(|n| Some(StepId(n)))
-                .map_err(|_| {
-                    ParseError(format!(
-                        "`{tok}` is not an execution id (expected e.g. S13, input, output)"
-                    ))
-                })
+            digits.parse::<u32>().map(|n| Some(StepId(n))).map_err(|_| {
+                ParseError(format!(
+                    "`{tok}` is not an execution id (expected e.g. S13, input, output)"
+                ))
+            })
         }
     }
 }
@@ -96,9 +93,7 @@ impl CannedQuery {
             ["deep", d] => Ok(CannedQuery::Deep(parse_data(d)?)),
             ["immediate", d] => Ok(CannedQuery::Immediate(parse_data(d)?)),
             ["dependents", d] => Ok(CannedQuery::Dependents(parse_data(d)?)),
-            ["between", a, b] => {
-                Ok(CannedQuery::Between(parse_endpoint(a)?, parse_endpoint(b)?))
-            }
+            ["between", a, b] => Ok(CannedQuery::Between(parse_endpoint(a)?, parse_endpoint(b)?)),
             ["final"] => Ok(CannedQuery::FinalOutputs),
             ["visible"] => Ok(CannedQuery::VisibleData),
             [] => Err(ParseError("empty query".to_string())),
@@ -144,7 +139,11 @@ impl fmt::Display for QueryAnswer {
                 }
                 Ok(())
             }
-            QueryAnswer::Immediate(ImmediateAnswer::Produced { exec, inputs, params }) => {
+            QueryAnswer::Immediate(ImmediateAnswer::Produced {
+                exec,
+                inputs,
+                params,
+            }) => {
                 write!(
                     f,
                     "produced by {exec} from {} input(s): {}",
@@ -188,6 +187,37 @@ pub fn execute(zoom: &Zoom, run: RunId, view: ViewId, q: &CannedQuery) -> Result
     })
 }
 
+/// Executes a batch of canned queries against one `(run, view)` pair.
+///
+/// `Deep` queries are fanned out together through [`Zoom::query_batch`]
+/// (one warehouse index build serves them all, and they run across
+/// threads); every other form executes serially. Answers come back in
+/// input order.
+pub fn execute_many(
+    zoom: &Zoom,
+    run: RunId,
+    view: ViewId,
+    qs: &[CannedQuery],
+) -> Vec<Result<QueryAnswer>> {
+    let deep_triples: Vec<(RunId, ViewId, DataId)> = qs
+        .iter()
+        .filter_map(|q| match q {
+            CannedQuery::Deep(d) => Some((run, view, *d)),
+            _ => None,
+        })
+        .collect();
+    let mut deep_answers = zoom.query_batch(&deep_triples).into_iter();
+    qs.iter()
+        .map(|q| match q {
+            CannedQuery::Deep(_) => deep_answers
+                .next()
+                .expect("one batched answer per deep query")
+                .map(QueryAnswer::Provenance),
+            other => execute(zoom, run, view, other),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,7 +249,10 @@ mod tests {
             CannedQuery::parse("between S3 output").unwrap(),
             CannedQuery::Between(Some(StepId(3)), None)
         );
-        assert_eq!(CannedQuery::parse("final").unwrap(), CannedQuery::FinalOutputs);
+        assert_eq!(
+            CannedQuery::parse("final").unwrap(),
+            CannedQuery::FinalOutputs
+        );
         assert_eq!(
             CannedQuery::parse("  visible  ").unwrap(),
             CannedQuery::VisibleData
@@ -269,5 +302,21 @@ mod tests {
         assert!(run("between input S1").contains("d1..d2"));
         assert!(run("final").contains("d4"));
         assert!(run("visible").contains("4 data object(s)"));
+
+        // Batch execution: deep queries batch through the index, other
+        // forms run serially, order and answers match one-by-one execution.
+        let qs: Vec<CannedQuery> = ["deep d4", "final", "deep d3", "immediate d1", "deep d99"]
+            .iter()
+            .map(|t| CannedQuery::parse(t).unwrap())
+            .collect();
+        let batch = execute_many(&z, rid, admin, &qs);
+        assert_eq!(batch.len(), qs.len());
+        for (res, q) in batch.iter().zip(&qs) {
+            match (res, execute(&z, rid, admin, q)) {
+                (Ok(a), Ok(b)) => assert_eq!(a.to_string(), b.to_string()),
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+                (a, b) => panic!("batch {a:?} vs serial {b:?}"),
+            }
+        }
     }
 }

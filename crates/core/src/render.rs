@@ -111,11 +111,7 @@ pub fn view_on_spec_to_dot(
         } else {
             let _ = writeln!(s, "  subgraph cluster_{} {{", c.index());
             let _ = writeln!(s, "    style=dotted;");
-            let _ = writeln!(
-                s,
-                "    label=\"{}\";",
-                escape(view.composite_name(c))
-            );
+            let _ = writeln!(s, "    label=\"{}\";", escape(view.composite_name(c)));
             for &m in members {
                 declare(&mut s, m, "    ");
             }
@@ -258,7 +254,10 @@ mod tests {
         b.analysis("A");
         b.analysis("B");
         b.analysis("C");
-        b.from_input("A").edge("A", "B").edge("B", "C").to_output("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .to_output("C");
         let s = b.build().unwrap();
         let (a, bb, c) = (
             s.module("A").unwrap(),
@@ -279,7 +278,7 @@ mod tests {
         assert!(dot.contains("label=\"AB\""));
         assert!(dot.contains("style=dotted"));
         assert!(dot.contains("fillcolor=gray")); // A is relevant
-        // Singleton composite C gets no cluster box.
+                                                 // Singleton composite C gets no cluster box.
         assert!(!dot.contains("subgraph cluster_1"));
         assert!(dot.contains("n0 ->"));
     }

@@ -105,6 +105,15 @@ impl Zoom {
         self.warehouse.deep_provenance(run, view, data)
     }
 
+    /// Deep provenance of many `(run, view, data)` triples at once,
+    /// fanned out across threads; results come back in input order.
+    pub fn query_batch(
+        &self,
+        queries: &[(RunId, ViewId, DataId)],
+    ) -> Vec<Result<ProvenanceResult>> {
+        self.warehouse.deep_provenance_many(queries)
+    }
+
     /// Immediate provenance of `data` through `view`.
     pub fn immediate_provenance(
         &self,

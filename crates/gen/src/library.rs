@@ -768,7 +768,6 @@ pub fn real_workflows() -> Vec<WorkflowSpec> {
     ]
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,11 +801,20 @@ mod tests {
         assert_eq!(run.all_data().last(), Some(&DataId(447)));
         assert_eq!(run.final_outputs(), vec![DataId(447)]);
         // Immediate provenance of d413 is S6 (an M4 instance) with {d412}.
-        assert_eq!(run.producer_of(DataId(413)), Some(Producer::Step(StepId(6))));
-        assert_eq!(run.module_of(StepId(6)).unwrap(), spec.module("M4").unwrap());
+        assert_eq!(
+            run.producer_of(DataId(413)),
+            Some(Producer::Step(StepId(6)))
+        );
+        assert_eq!(
+            run.module_of(StepId(6)).unwrap(),
+            spec.module("M4").unwrap()
+        );
         assert_eq!(run.inputs_of(StepId(6)).unwrap(), vec![DataId(412)]);
         // S2 is an M3 instance with inputs {d308..d408}.
-        assert_eq!(run.module_of(StepId(2)).unwrap(), spec.module("M3").unwrap());
+        assert_eq!(
+            run.module_of(StepId(2)).unwrap(),
+            spec.module("M3").unwrap()
+        );
         let ins = run.inputs_of(StepId(2)).unwrap();
         assert_eq!(ins.len(), 101);
         assert_eq!(ins[0], DataId(308));

@@ -229,10 +229,7 @@ pub fn generate_run<R: Rng>(
         let mut stack: Vec<NodeId> = members
             .iter()
             .copied()
-            .filter(|&m| {
-                g.successors(m)
-                    .any(|t| group_of[t.index()] != Some(gid))
-            })
+            .filter(|&m| g.successors(m).any(|t| group_of[t.index()] != Some(gid)))
             .collect();
         for &m in &stack {
             marked[m.index()] = true;
@@ -324,8 +321,7 @@ pub fn generate_run<R: Rng>(
             debug_assert_eq!(gb, Some(gid), "back edge stays within its group");
             let k = iters[&gid];
             for i in 0..k.saturating_sub(1) {
-                let (Some(&sa), Some(&sb)) = (steps.get(&(a, i)), steps.get(&(b, i + 1)))
-                else {
+                let (Some(&sa), Some(&sb)) = (steps.get(&(a, i)), steps.get(&(b, i + 1))) else {
                     continue;
                 };
                 let data = produce(sa, rng, &mut next_data);
@@ -335,8 +331,7 @@ pub fn generate_run<R: Rng>(
             // Intra-group forward edge: a@i -> b@i.
             let k = iters[&ga.expect("checked")];
             for i in 0..k {
-                let (Some(&sa), Some(&sb)) = (steps.get(&(a, i)), steps.get(&(b, i)))
-                else {
+                let (Some(&sa), Some(&sb)) = (steps.get(&(a, i)), steps.get(&(b, i))) else {
                     continue;
                 };
                 let data = produce(sa, rng, &mut next_data);
@@ -485,11 +480,7 @@ mod tests {
     #[test]
     fn larger_kinds_give_larger_runs() {
         let mut rng = StdRng::seed_from_u64(6);
-        let spec = generate_spec(
-            "t",
-            &SpecGenConfig::new(WorkflowClass::Loop, 20),
-            &mut rng,
-        );
+        let spec = generate_spec("t", &SpecGenConfig::new(WorkflowClass::Loop, 20), &mut rng);
         let small = generate_run(
             &spec,
             &RunGenConfig::for_kind(RunKind::Small),

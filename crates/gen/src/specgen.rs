@@ -209,7 +209,11 @@ pub fn generate_spec<R: Rng>(name: &str, cfg: &SpecGenConfig, rng: &mut R) -> Wo
 
 /// Generates a specification drawing all five patterns uniformly — the
 /// "randomized workflow specifications" of the scalability experiment.
-pub fn generate_random_spec<R: Rng>(name: &str, target_modules: usize, rng: &mut R) -> WorkflowSpec {
+pub fn generate_random_spec<R: Rng>(
+    name: &str,
+    target_modules: usize,
+    rng: &mut R,
+) -> WorkflowSpec {
     let cfg = SpecGenConfig::random_mix(target_modules);
     generate_spec_inner(name, &cfg, true, rng)
 }

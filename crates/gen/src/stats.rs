@@ -35,14 +35,8 @@ pub fn spec_stats(spec: &WorkflowSpec) -> SpecStats {
     let mut joins = 0;
     let mut formatting = 0;
     for m in spec.module_ids() {
-        let out = g
-            .successors(m)
-            .filter(|&t| t != spec.output())
-            .count();
-        let inn = g
-            .predecessors(m)
-            .filter(|&p| p != spec.input())
-            .count();
+        let out = g.successors(m).filter(|&t| t != spec.output()).count();
+        let inn = g.predecessors(m).filter(|&p| p != spec.input()).count();
         if out > 1 {
             splits += 1;
         }
@@ -134,9 +128,13 @@ pub fn infer_patterns(spec: &WorkflowSpec) -> PatternCounts {
 
     let module_degree = |m, outgoing: bool| -> usize {
         if outgoing {
-            g.successors(m).filter(|&t| t != spec.output() && t != m).count()
+            g.successors(m)
+                .filter(|&t| t != spec.output() && t != m)
+                .count()
         } else {
-            g.predecessors(m).filter(|&p| p != spec.input() && p != m).count()
+            g.predecessors(m)
+                .filter(|&p| p != spec.input() && p != m)
+                .count()
         }
     };
     for m in spec.module_ids() {

@@ -137,10 +137,7 @@ mod tests {
         ps.sort();
         assert_eq!(
             ps,
-            vec![
-                vec![n(0), n(1), n(2), n(4)],
-                vec![n(0), n(3), n(4)],
-            ]
+            vec![vec![n(0), n(1), n(2), n(4)], vec![n(0), n(3), n(4)],]
         );
     }
 

@@ -39,10 +39,8 @@ impl TransitiveClosure {
             let mut row = BitSet::new(n);
             // Within an SCC of size > 1 (or with a self-loop) every member
             // reaches every member.
-            let cyclic = members.len() > 1
-                || members
-                    .iter()
-                    .any(|&m| graph.successors(m).any(|s| s == m));
+            let cyclic =
+                members.len() > 1 || members.iter().any(|&m| graph.successors(m).any(|s| s == m));
             if cyclic {
                 for &m in members {
                     row.insert(m.index());

@@ -60,7 +60,11 @@ impl BitSet {
     /// # Panics
     /// Panics if `i >= len()`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "BitSet::insert: {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "BitSet::insert: {i} out of range {}",
+            self.len
+        );
         let (block, bit) = (i / BITS, i % BITS);
         let mask = 1u64 << bit;
         let was = self.blocks[block] & mask != 0;
@@ -70,7 +74,11 @@ impl BitSet {
 
     /// Removes `i`; returns `true` if it was present.
     pub fn remove(&mut self, i: usize) -> bool {
-        assert!(i < self.len, "BitSet::remove: {i} out of range {}", self.len);
+        assert!(
+            i < self.len,
+            "BitSet::remove: {i} out of range {}",
+            self.len
+        );
         let (block, bit) = (i / BITS, i % BITS);
         let mask = 1u64 << bit;
         let was = self.blocks[block] & mask != 0;

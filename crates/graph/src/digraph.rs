@@ -143,8 +143,14 @@ impl<N, E> Digraph<N, E> {
     /// # Panics
     /// Panics if either endpoint is not a node of this graph.
     pub fn add_edge(&mut self, source: NodeId, target: NodeId, weight: E) -> EdgeId {
-        assert!(source.index() < self.nodes.len(), "source {source:?} out of range");
-        assert!(target.index() < self.nodes.len(), "target {target:?} out of range");
+        assert!(
+            source.index() < self.nodes.len(),
+            "source {source:?} out of range"
+        );
+        assert!(
+            target.index() < self.nodes.len(),
+            "target {target:?} out of range"
+        );
         let id = EdgeId::from_index(self.edges.len());
         self.edges.push(EdgeData {
             weight,

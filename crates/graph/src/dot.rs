@@ -38,7 +38,9 @@ impl<N: std::fmt::Display, E> Default for DotStyle<'_, N, E> {
 
 /// Escapes a string for use inside a DOT double-quoted label.
 pub fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Renders the graph as a DOT digraph named `name`.

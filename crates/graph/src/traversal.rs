@@ -154,7 +154,9 @@ pub fn constrained_reachable_set<N, E>(
     queue.push_back(root);
     expanded.insert(root.index());
     while let Some(n) = queue.pop_front() {
-        let step = |m: NodeId, reached: &mut BitSet, expanded: &mut BitSet,
+        let step = |m: NodeId,
+                    reached: &mut BitSet,
+                    expanded: &mut BitSet,
                     queue: &mut VecDeque<NodeId>,
                     allow: &mut dyn FnMut(NodeId) -> bool| {
             reached.insert(m.index());
@@ -165,12 +167,24 @@ pub fn constrained_reachable_set<N, E>(
         match dir {
             Direction::Forward => {
                 for m in graph.successors(n) {
-                    step(m, &mut reached, &mut expanded, &mut queue, &mut allow_intermediate);
+                    step(
+                        m,
+                        &mut reached,
+                        &mut expanded,
+                        &mut queue,
+                        &mut allow_intermediate,
+                    );
                 }
             }
             Direction::Backward => {
                 for m in graph.predecessors(n) {
-                    step(m, &mut reached, &mut expanded, &mut queue, &mut allow_intermediate);
+                    step(
+                        m,
+                        &mut reached,
+                        &mut expanded,
+                        &mut queue,
+                        &mut allow_intermediate,
+                    );
                 }
             }
         }
@@ -251,9 +265,7 @@ mod tests {
         let g = g();
         // Block node 1 and 3 as intermediates: from 0 we still *reach* them
         // (they are endpoints of direct edges) but cannot go through them.
-        let r = constrained_reachable_set(&g, n(0), Direction::Forward, |m| {
-            m != n(1) && m != n(3)
-        });
+        let r = constrained_reachable_set(&g, n(0), Direction::Forward, |m| m != n(1) && m != n(3));
         assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 3]);
         // Block only node 1: 4 is still reachable via 3.
         let r = constrained_reachable_set(&g, n(0), Direction::Forward, |m| m != n(1));

@@ -21,7 +21,10 @@ fn graph(n: usize, edges: &[(usize, usize)]) -> Digraph<(), ()> {
 }
 
 fn arb_graph() -> impl Strategy<Value = Digraph<(), ()>> {
-    (2usize..12, proptest::collection::vec((0usize..12, 0usize..12), 0..40))
+    (
+        2usize..12,
+        proptest::collection::vec((0usize..12, 0usize..12), 0..40),
+    )
         .prop_map(|(n, edges)| graph(n, &edges))
 }
 

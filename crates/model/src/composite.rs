@@ -249,7 +249,13 @@ impl ViewRun {
 
     /// Finds an execution by its (possibly virtual) id.
     pub fn exec_by_id(&self, id: StepId) -> Option<&CompositeExecution> {
-        self.execs.iter().find(|e| e.id == id)
+        self.exec_index_by_id(id).map(|i| &self.execs[i as usize])
+    }
+
+    /// The position of the execution with (possibly virtual) id `id` — the
+    /// index [`Self::node_of_exec`] expects, found in one scan.
+    pub fn exec_index_by_id(&self, id: StepId) -> Option<u32> {
+        self.execs.iter().position(|e| e.id == id).map(|i| i as u32)
     }
 
     /// The data input to execution `i`: union of its incoming edges, sorted.
@@ -497,10 +503,7 @@ mod tests {
         let vr = ViewRun::new(&r, &v);
         assert_eq!(vr.execs().len(), 2);
         let e = vr.exec_of_step(StepId(2)).unwrap();
-        assert_eq!(
-            e.members,
-            vec![StepId(2), StepId(3), StepId(4), StepId(5)]
-        );
+        assert_eq!(e.members, vec![StepId(2), StepId(3), StepId(4), StepId(5)]);
         assert_eq!(vr.inputs_of(1), vec![DataId(2)]);
         assert_eq!(vr.outputs_of(1), vec![DataId(6)]);
         // The looping (d3, d4, d5) is invisible.
@@ -555,10 +558,7 @@ mod tests {
         assert!(vr.exec_by_id(StepId(1)).is_none());
         assert_eq!(vr.producer_node(DataId(1)), Some(vr.input()));
         let e = vr.exec_by_id(StepId(6)).unwrap();
-        assert_eq!(
-            vr.producer_node(DataId(6)),
-            Some(vr.node_of_exec(0))
-        );
+        assert_eq!(vr.producer_node(DataId(6)), Some(vr.node_of_exec(0)));
         assert_eq!(e.composite, CompositeId(0));
         assert!(vr.exec_at(vr.node_of_exec(0)).is_some());
         assert!(vr.exec_at(vr.input()).is_none());

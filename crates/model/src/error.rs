@@ -69,7 +69,11 @@ impl fmt::Display for ModelError {
             ModelError::RunHasCycle => write!(f, "workflow run graph contains a cycle"),
             ModelError::DuplicateStep(s) => write!(f, "duplicate step id S{s}"),
             ModelError::UnknownStep(s) => write!(f, "unknown step id S{s}"),
-            ModelError::DataProducedTwice { data, first, second } => write!(
+            ModelError::DataProducedTwice {
+                data,
+                first,
+                second,
+            } => write!(
                 f,
                 "data object d{data} produced by two steps: S{first} and S{second}"
             ),

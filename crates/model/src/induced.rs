@@ -193,12 +193,7 @@ mod tests {
             s.module("B").unwrap(),
             s.module("C").unwrap(),
         );
-        let v = UserView::new(
-            "v",
-            &s,
-            vec![CompositeModule::new("ABC", vec![a, b, c])],
-        )
-        .unwrap();
+        let v = UserView::new("v", &s, vec![CompositeModule::new("ABC", vec![a, b, c])]).unwrap();
         let ind = induced_spec(&s, &v);
         assert_eq!(ind.spec.graph().edge_count(), 2);
     }

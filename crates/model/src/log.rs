@@ -236,7 +236,9 @@ impl EventLog {
                 LogEvent::UserInput { data, user, time } => {
                     user_meta.insert(*data, (user.clone(), *time));
                 }
-                LogEvent::Param { step, key, value, .. } => {
+                LogEvent::Param {
+                    step, key, value, ..
+                } => {
                     params.push((*step, key.clone(), value.clone()));
                 }
                 LogEvent::Finalized { data, .. } => finals.push(*data),
@@ -348,10 +350,13 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e, LogEvent::UserInput { user, .. } if user == "joe")));
-        assert!(log
-            .events
-            .iter()
-            .any(|e| matches!(e, LogEvent::Finalized { data: DataId(5), .. })));
+        assert!(log.events.iter().any(|e| matches!(
+            e,
+            LogEvent::Finalized {
+                data: DataId(5),
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -483,10 +483,12 @@ impl<'a> RunBuilder<'a> {
         let data: Vec<DataId> = data.into_iter().map(DataId).collect();
         self.clock = self.clock.tick();
         for &d in &data {
-            self.user_input_meta.entry(d).or_insert_with(|| UserInputMeta {
-                user: self.default_user.clone(),
-                time: self.clock,
-            });
+            self.user_input_meta
+                .entry(d)
+                .or_insert_with(|| UserInputMeta {
+                    user: self.default_user.clone(),
+                    time: self.clock,
+                });
         }
         self.push_edge(NodeId::from_index(0), b, data);
         self

@@ -102,9 +102,7 @@ impl WorkflowSpec {
 
     /// Iterates over the module nodes in insertion order.
     pub fn module_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.graph
-            .node_ids()
-            .filter(move |&n| self.is_module(n))
+        self.graph.node_ids().filter(move |&n| self.is_module(n))
     }
 
     /// Number of modules (excluding input/output).
@@ -266,7 +264,8 @@ impl SpecBuilder {
     pub fn module(&mut self, label: impl Into<String>, kind: ModuleKind) -> NodeId {
         let label = label.into();
         if self.by_label.contains_key(&label) || label == "input" || label == "output" {
-            self.deferred.push(ModelError::DuplicateModule(label.clone()));
+            self.deferred
+                .push(ModelError::DuplicateModule(label.clone()));
         }
         let id = self.graph.add_node(SpecNode::Module {
             label: label.clone(),
@@ -293,7 +292,8 @@ impl SpecBuilder {
             _ => self.by_label.get(label).copied(),
         };
         if id.is_none() {
-            self.deferred.push(ModelError::UnknownModule(label.to_string()));
+            self.deferred
+                .push(ModelError::UnknownModule(label.to_string()));
         }
         id
     }
@@ -378,7 +378,10 @@ mod tests {
         b.analysis("A");
         b.formatting("B");
         b.analysis("C");
-        b.from_input("A").edge("A", "B").edge("B", "C").to_output("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .to_output("C");
         b.build().unwrap()
     }
 
@@ -423,7 +426,10 @@ mod tests {
         let mut b = SpecBuilder::new("bad");
         b.analysis("A");
         b.from_input("A").edge("A", "Z").to_output("A");
-        assert_eq!(b.build().unwrap_err(), ModelError::UnknownModule("Z".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            ModelError::UnknownModule("Z".into())
+        );
     }
 
     #[test]
@@ -452,10 +458,7 @@ mod tests {
         let mut b = SpecBuilder::new("bad");
         b.analysis("A");
         b.from_input("A").to_output("A").edge("A", "input");
-        assert!(matches!(
-            b.build(),
-            Err(ModelError::BadEndpointEdge(_))
-        ));
+        assert!(matches!(b.build(), Err(ModelError::BadEndpointEdge(_))));
 
         let mut b = SpecBuilder::new("bad2");
         b.analysis("A");

@@ -173,13 +173,9 @@ impl UserView {
     /// Property 1 (well-formedness): every composite contains at most one
     /// module from `relevant`.
     pub fn is_well_formed(&self, relevant: &[NodeId]) -> bool {
-        self.composites.iter().all(|c| {
-            c.members
-                .iter()
-                .filter(|m| relevant.contains(m))
-                .count()
-                <= 1
-        })
+        self.composites
+            .iter()
+            .all(|c| c.members.iter().filter(|m| relevant.contains(m)).count() <= 1)
     }
 
     /// Returns `true` if every composite of `self` is contained in some
@@ -208,7 +204,10 @@ mod tests {
         b.analysis("A");
         b.analysis("B");
         b.analysis("C");
-        b.from_input("A").edge("A", "B").edge("B", "C").to_output("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .to_output("C");
         b.build().unwrap()
     }
 
@@ -276,8 +275,7 @@ mod tests {
     fn uncovered_module_rejected() {
         let s = spec();
         let a = s.module("A").unwrap();
-        let err =
-            UserView::new("v", &s, vec![CompositeModule::new("X", vec![a])]).unwrap_err();
+        let err = UserView::new("v", &s, vec![CompositeModule::new("X", vec![a])]).unwrap_err();
         assert!(matches!(err, ModelError::NotAPartition(_)));
     }
 

@@ -28,7 +28,10 @@ fn arb_raw_spec() -> impl Strategy<Value = RawSpec> {
 
 fn build(raw: &RawSpec) -> Result<WorkflowSpec, ModelError> {
     let mut b = SpecBuilder::new("prop");
-    let mut ids = vec![zoom_graph::NodeId::from_index(0), zoom_graph::NodeId::from_index(1)];
+    let mut ids = vec![
+        zoom_graph::NodeId::from_index(0),
+        zoom_graph::NodeId::from_index(1),
+    ];
     for i in 0..raw.modules {
         ids.push(b.analysis(format!("M{}", i + 1)));
     }

@@ -31,13 +31,11 @@ fn main() {
                     );
                     println!("{}", spec.to_dot(&rel));
                     for c in min.composites() {
-                        let ls: Vec<_> =
-                            c.members.iter().map(|&m| spec.label(m)).collect();
+                        let ls: Vec<_> = c.members.iter().map(|&m| spec.label(m)).collect();
                         println!("  min part: {ls:?}");
                     }
                     for c in built.view.composites() {
-                        let ls: Vec<_> =
-                            c.members.iter().map(|&m| spec.label(m)).collect();
+                        let ls: Vec<_> = c.members.iter().map(|&m| spec.label(m)).collect();
                         println!("  builder part: {ls:?}");
                     }
                     found += 1;

@@ -111,10 +111,7 @@ pub fn relev_user_view_builder(spec: &WorkflowSpec, relevant: &[NodeId]) -> Resu
             continue;
         }
         let (rp, rs) = (ctx.rpred(m), ctx.rsucc(m));
-        if let Some(g) = nrc
-            .iter_mut()
-            .find(|g| g.rpred == *rp && g.rsucc == *rs)
-        {
+        if let Some(g) = nrc.iter_mut().find(|g| g.rpred == *rp && g.rsucc == *rs) {
             g.members.push(m);
         } else {
             nrc.push(Nrc {

@@ -144,10 +144,7 @@ mod tests {
         let bb = UserView::black_box(&ind.spec);
         let composed = compose(&s, &base, &ind, &bb).unwrap();
         assert_eq!(composed.size(), 1);
-        assert_eq!(
-            composed.members(CompositeId(0)).len(),
-            s.module_count()
-        );
+        assert_eq!(composed.members(CompositeId(0)).len(), s.module_count());
     }
 
     #[test]
@@ -250,6 +247,10 @@ mod tests {
         let sub_rel = vec![sub.module("M4").unwrap()];
         let refined = relev_user_view_builder(&sub, &sub_rel).unwrap();
         assert!(refined.view.size() >= 1);
-        assert!(crate::properties::is_good_view(&sub, &refined.view, &sub_rel));
+        assert!(crate::properties::is_good_view(
+            &sub,
+            &refined.view,
+            &sub_rel
+        ));
     }
 }

@@ -32,8 +32,7 @@ pub mod properties;
 pub use builder::{relev_user_view_builder, BuiltView};
 pub use compose::{compose, subworkflow};
 pub use interactive::InteractiveViewBuilder;
-pub use minimal::{is_minimal, mergeable_pair, merge_composites};
+pub use minimal::{is_minimal, merge_composites, mergeable_pair};
 pub use minimum::{minimum_view, DEFAULT_MAX_MODULES};
 pub use nrpath::NrContext;
 pub use properties::{check_view, is_good_view, Property, PropertyChecker, Violation};
-

@@ -20,11 +20,7 @@ pub fn merge_composites(
     for c in view.composite_ids() {
         if c == i {
             composites.push(CompositeModule::new(
-                format!(
-                    "{}+{}",
-                    view.composite_name(i),
-                    view.composite_name(j)
-                ),
+                format!("{}+{}", view.composite_name(i), view.composite_name(j)),
                 merged_members.clone(),
             ));
         } else if c != j {
@@ -100,12 +96,7 @@ mod tests {
     fn merge_composites_shapes() {
         let (s, _) = figure6();
         let admin = UserView::admin(&s);
-        let merged = merge_composites(
-            &s,
-            &admin,
-            CompositeId(0),
-            CompositeId(1),
-        );
+        let merged = merge_composites(&s, &admin, CompositeId(0), CompositeId(1));
         assert_eq!(merged.size(), admin.size() - 1);
         assert_eq!(merged.composites()[0].members.len(), 2);
     }

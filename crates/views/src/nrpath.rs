@@ -132,12 +132,18 @@ impl NrContext {
 
     /// `rpred(n)` as a sorted node list (for display and tests).
     pub fn rpred_nodes(&self, n: NodeId) -> Vec<NodeId> {
-        self.rpred[n.index()].iter().map(NodeId::from_index).collect()
+        self.rpred[n.index()]
+            .iter()
+            .map(NodeId::from_index)
+            .collect()
     }
 
     /// `rsucc(n)` as a sorted node list (for display and tests).
     pub fn rsucc_nodes(&self, n: NodeId) -> Vec<NodeId> {
-        self.rsucc[n.index()].iter().map(NodeId::from_index).collect()
+        self.rsucc[n.index()]
+            .iter()
+            .map(NodeId::from_index)
+            .collect()
     }
 
     /// Whether there is an nr-path from `r` to `n` (`r ∈ R ∪ {input}`).
@@ -250,7 +256,10 @@ mod tests {
         b.analysis("A");
         b.analysis("r");
         b.analysis("B");
-        b.from_input("A").edge("A", "r").edge("r", "B").to_output("B");
+        b.from_input("A")
+            .edge("A", "r")
+            .edge("r", "B")
+            .to_output("B");
         let s = b.build().unwrap();
         let rel = vec![s.module("r").unwrap()];
         let ctx = NrContext::of_spec(&s, &rel);
@@ -299,8 +308,7 @@ mod tests {
         let rp = ctx.rpred_of_set(&set);
         assert_eq!(rp.iter().collect::<Vec<_>>(), vec![s.input().index()]);
         let rs = ctx.rsucc_of_set(&set);
-        let mut expect: Vec<usize> =
-            vec![m("M3").index(), m("M6").index(), s.output().index()];
+        let mut expect: Vec<usize> = vec![m("M3").index(), m("M6").index(), s.output().index()];
         expect.sort();
         assert_eq!(rs.iter().collect::<Vec<_>>(), expect);
     }

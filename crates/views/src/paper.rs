@@ -165,9 +165,6 @@ mod tests {
         // (rpred, rsucc) — the grouping heuristic cannot find it.
         let (m5, m7) = (s.module("M5").unwrap(), s.module("M7").unwrap());
         assert_ne!(min.composite_of(m5), min.composite_of(m7));
-        assert_eq!(
-            built.view.composite_of(m5),
-            built.view.composite_of(m7)
-        );
+        assert_eq!(built.view.composite_of(m5), built.view.composite_of(m7));
     }
 }

@@ -168,11 +168,7 @@ impl<'a> PropertyChecker<'a> {
     }
 
     /// Checks Properties 2–3 only (callers that already know P1 holds).
-    pub fn check_dataflow(
-        &self,
-        view: &UserView,
-        induced: &InducedSpec,
-    ) -> Result<(), Violation> {
+    pub fn check_dataflow(&self, view: &UserView, induced: &InducedSpec) -> Result<(), Violation> {
         let spec = self.spec;
         // Map spec nodes into the induced graph.
         let map = |n: NodeId| -> NodeId {
@@ -322,10 +318,18 @@ mod tests {
         let checker = PropertyChecker::new(&s, &rel);
         let vs = checker.collect_violations(&view);
         // Figure 4's view violates BOTH Property 2 and Property 3.
-        assert!(vs.iter().any(|v| v.property == Property::PreservesDataflow), "{vs:?}");
-        assert!(vs.iter().any(|v| v.property == Property::CompleteDataflow), "{vs:?}");
+        assert!(
+            vs.iter().any(|v| v.property == Property::PreservesDataflow),
+            "{vs:?}"
+        );
+        assert!(
+            vs.iter().any(|v| v.property == Property::CompleteDataflow),
+            "{vs:?}"
+        );
         // A good view yields no violations.
-        let good = crate::builder::relev_user_view_builder(&s, &rel).unwrap().view;
+        let good = crate::builder::relev_user_view_builder(&s, &rel)
+            .unwrap()
+            .view;
         assert!(checker.collect_violations(&good).is_empty());
         // A doubly-relevant composite is reported under Property 1.
         let bb = UserView::black_box(&s);

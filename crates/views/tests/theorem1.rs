@@ -16,9 +16,21 @@ fn spec_from(seed: u64, size: usize, class: u8) -> WorkflowSpec {
     let mut rng = StdRng::seed_from_u64(seed);
     match class % 4 {
         0 => generate_random_spec("prop", size, &mut rng),
-        1 => generate_spec("prop", &SpecGenConfig::new(WorkflowClass::Linear, size), &mut rng),
-        2 => generate_spec("prop", &SpecGenConfig::new(WorkflowClass::Parallel, size), &mut rng),
-        _ => generate_spec("prop", &SpecGenConfig::new(WorkflowClass::Loop, size), &mut rng),
+        1 => generate_spec(
+            "prop",
+            &SpecGenConfig::new(WorkflowClass::Linear, size),
+            &mut rng,
+        ),
+        2 => generate_spec(
+            "prop",
+            &SpecGenConfig::new(WorkflowClass::Parallel, size),
+            &mut rng,
+        ),
+        _ => generate_spec(
+            "prop",
+            &SpecGenConfig::new(WorkflowClass::Loop, size),
+            &mut rng,
+        ),
     }
 }
 

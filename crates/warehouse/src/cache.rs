@@ -12,15 +12,20 @@
 use crate::fxhash::FxHashMap;
 use crate::schema::{RunId, ViewId};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use zoom_model::ViewRun;
 
 /// A concurrent `(run, view) → ViewRun` cache.
+///
+/// Hit/miss counters are lock-free atomics so that the batch query path —
+/// many threads hitting the cache at once — never serializes on counter
+/// bookkeeping.
 #[derive(Debug, Default)]
 pub struct ViewRunCache {
     map: RwLock<FxHashMap<(RunId, ViewId), Arc<ViewRun>>>,
-    hits: RwLock<u64>,
-    misses: RwLock<u64>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl ViewRunCache {
@@ -37,16 +42,15 @@ impl ViewRunCache {
         build: impl FnOnce() -> ViewRun,
     ) -> Arc<ViewRun> {
         if let Some(hit) = self.map.read().get(&key).cloned() {
-            *self.hits.write() += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
         // Build outside the lock; a racing builder costs duplicate work but
         // never blocks readers for the duration of materialization.
         let vr = Arc::new(build());
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let mut map = self.map.write();
-        let entry = map.entry(key).or_insert_with(|| vr.clone()).clone();
-        *self.misses.write() += 1;
-        entry
+        map.entry(key).or_insert_with(|| vr.clone()).clone()
     }
 
     /// Current number of cached view-runs.
@@ -61,7 +65,10 @@ impl ViewRunCache {
 
     /// `(hits, misses)` counters.
     pub fn counters(&self) -> (u64, u64) {
-        (*self.hits.read(), *self.misses.read())
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Drops every cached entry (e.g. after bulk loads, or for benchmarks

@@ -394,7 +394,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.get_len()?;
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -402,7 +405,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, CodecError> {
-        visitor.visit_seq(Counted { de: self, left: len })
+        visitor.visit_seq(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -416,7 +422,10 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, CodecError> {
         let len = self.get_len()?;
-        visitor.visit_map(Counted { de: self, left: len })
+        visitor.visit_map(Counted {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -441,10 +450,7 @@ impl<'de> de::Deserializer<'de> for &mut Decoder<'de> {
         Err(CodecError::Invalid("identifiers are not encoded"))
     }
 
-    fn deserialize_ignored_any<V: Visitor<'de>>(
-        self,
-        _visitor: V,
-    ) -> Result<V::Value, CodecError> {
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> Result<V::Value, CodecError> {
         Err(CodecError::Invalid("cannot skip fields in this format"))
     }
 
@@ -491,7 +497,10 @@ impl<'de> de::MapAccess<'de> for Counted<'_, 'de> {
         seed.deserialize(&mut *self.de).map(Some)
     }
 
-    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> Result<V::Value, CodecError> {
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, CodecError> {
         seed.deserialize(&mut *self.de)
     }
 
@@ -530,11 +539,18 @@ impl<'de> de::VariantAccess<'de> for VariantAccessImpl<'_, 'de> {
         Ok(())
     }
 
-    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> Result<T::Value, CodecError> {
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, CodecError> {
         seed.deserialize(self.de)
     }
 
-    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> Result<V::Value, CodecError> {
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, CodecError> {
         de::Deserializer::deserialize_tuple(self.de, len, visitor)
     }
 
@@ -593,7 +609,10 @@ mod tests {
                 Kind::Empty,
                 Kind::One(7),
                 Kind::Pair(1, "x".into()),
-                Kind::Fields { a: -9, b: Some(false) },
+                Kind::Fields {
+                    a: -9,
+                    b: Some(false),
+                },
             ],
             tup: (1, 2, "three".into()),
         }

@@ -1,0 +1,248 @@
+//! Per-run base-closure provenance index.
+//!
+//! The paper's winning strategy (Section V-B) computes provenance "at the
+//! finest granularity" once per run and then *projects* it per user view —
+//! that is what made view switches ≈13 ms. The [`ViewRunCache`] covers the
+//! projection half (materialized composite executions); this module covers
+//! the closure half: a view-independent reachability index over the raw run
+//! DAG, the embedded analog of the prototype's base-provenance temp table.
+//!
+//! [`ProvenanceIndex`] stores, per run-graph node, two [`BitSet`] rows —
+//! the backward closure (the node and everything its data transitively
+//! derived from) and the forward closure (the node and everything derived
+//! from it). Rows are built in one topological pass each, unioning
+//! predecessor (resp. successor) rows: `O(V·E/64)` words of work, instead
+//! of one `O(V+E)` BFS *per query*. Deep provenance at any view level then
+//! reduces to iterating the members of one precomputed row and projecting
+//! them through the view; the forward query reduces to unioning a handful
+//! of rows. The index never looks at views, so one copy per run serves
+//! every registered view, exactly like the paper's shared temp table.
+//!
+//! [`ProvenanceIndexCache`] is the run-keyed cache the [`crate::Warehouse`]
+//! holds next to its [`ViewRunCache`]; both are invalidated together.
+//!
+//! [`ViewRunCache`]: crate::cache::ViewRunCache
+
+use crate::fxhash::FxHashMap;
+use crate::schema::RunId;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use zoom_graph::algo::topo::topological_sort;
+use zoom_graph::{BitSet, NodeId};
+use zoom_model::WorkflowRun;
+
+/// Reachability rows over one run's raw (UAdmin-level) graph.
+///
+/// Both directions include the node itself, so a row *is* the visited set
+/// the recursive `CONNECT BY` query would produce starting from that node.
+#[derive(Clone, Debug)]
+pub struct ProvenanceIndex {
+    ancestors: Vec<BitSet>,
+    descendants: Vec<BitSet>,
+}
+
+impl ProvenanceIndex {
+    /// Builds both closure directions for `run` in two topological passes.
+    ///
+    /// # Panics
+    /// Panics if the run graph is cyclic, which validated runs never are.
+    pub fn build(run: &WorkflowRun) -> Self {
+        let g = run.graph();
+        let n = g.node_count();
+        let order = topological_sort(g).expect("validated workflow runs are acyclic");
+
+        // Placeholder rows are never unioned: topological order guarantees
+        // every predecessor's real row exists before its dependents read it.
+        let mut ancestors = vec![BitSet::new(0); n];
+        for &node in &order {
+            let mut row = BitSet::new(n);
+            row.insert(node.index());
+            for p in g.predecessors(node) {
+                row.union_with(&ancestors[p.index()]);
+            }
+            ancestors[node.index()] = row;
+        }
+
+        let mut descendants = vec![BitSet::new(0); n];
+        for &node in order.iter().rev() {
+            let mut row = BitSet::new(n);
+            row.insert(node.index());
+            for s in g.successors(node) {
+                row.union_with(&descendants[s.index()]);
+            }
+            descendants[node.index()] = row;
+        }
+
+        ProvenanceIndex {
+            ancestors,
+            descendants,
+        }
+    }
+
+    /// The backward closure of `n`: itself plus every node it transitively
+    /// depends on.
+    pub fn ancestors(&self, n: NodeId) -> &BitSet {
+        &self.ancestors[n.index()]
+    }
+
+    /// The forward closure of `n`: itself plus every node derived from it.
+    pub fn descendants(&self, n: NodeId) -> &BitSet {
+        &self.descendants[n.index()]
+    }
+
+    /// Number of indexed run-graph nodes.
+    pub fn node_count(&self) -> usize {
+        self.ancestors.len()
+    }
+
+    /// Approximate heap footprint of the rows, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        let n = self.ancestors.len();
+        2 * n * n.div_ceil(64) * std::mem::size_of::<u64>()
+    }
+}
+
+/// A concurrent `run → ProvenanceIndex` cache with lock-free counters.
+#[derive(Debug, Default)]
+pub struct ProvenanceIndexCache {
+    map: RwLock<FxHashMap<RunId, Arc<ProvenanceIndex>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    build_nanos: AtomicU64,
+}
+
+impl ProvenanceIndexCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the cached index for `run`, or builds and caches it.
+    pub fn get_or_build(
+        &self,
+        run: RunId,
+        build: impl FnOnce() -> ProvenanceIndex,
+    ) -> Arc<ProvenanceIndex> {
+        if let Some(hit) = self.map.read().get(&run).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        // Build outside the lock; a racing builder costs duplicate work but
+        // never blocks readers for the duration of the closure computation.
+        let started = Instant::now();
+        let idx = Arc::new(build());
+        self.build_nanos
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.write();
+        map.entry(run).or_insert_with(|| idx.clone()).clone()
+    }
+
+    /// Number of cached indexes.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Total nanoseconds spent building indexes (across misses).
+    pub fn build_nanos(&self) -> u64 {
+        self.build_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached index.
+    pub fn clear(&self) {
+        self.map.write().clear();
+    }
+
+    /// Drops the index for one run.
+    pub fn invalidate_run(&self, run: RunId) {
+        self.map.write().remove(&run);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::{RunBuilder, SpecBuilder};
+
+    /// input -> A -> B -> C -> output, A also feeds C directly.
+    fn diamondish() -> WorkflowRun {
+        let mut b = SpecBuilder::new("idx");
+        b.analysis("A");
+        b.analysis("B");
+        b.analysis("C");
+        b.from_input("A")
+            .edge("A", "B")
+            .edge("B", "C")
+            .edge("A", "C")
+            .to_output("C");
+        let s = b.build().unwrap();
+        let mut rb = RunBuilder::new(&s);
+        let s1 = rb.step(s.module("A").unwrap());
+        let s2 = rb.step(s.module("B").unwrap());
+        let s3 = rb.step(s.module("C").unwrap());
+        rb.input_edge(s1, [1])
+            .data_edge(s1, s2, [2])
+            .data_edge(s2, s3, [3])
+            .data_edge(s1, s3, [4])
+            .output_edge(s3, [5]);
+        rb.build().unwrap()
+    }
+
+    #[test]
+    fn rows_match_bfs_closures() {
+        let run = diamondish();
+        let g = run.graph();
+        let idx = ProvenanceIndex::build(&run);
+        assert_eq!(idx.node_count(), g.node_count());
+        for n in g.node_ids() {
+            let back = zoom_graph::reachable_set(g, n, zoom_graph::Direction::Backward);
+            let fwd = zoom_graph::reachable_set(g, n, zoom_graph::Direction::Forward);
+            assert_eq!(idx.ancestors(n), &back, "ancestors of {n:?}");
+            assert_eq!(idx.descendants(n), &fwd, "descendants of {n:?}");
+        }
+    }
+
+    #[test]
+    fn rows_contain_self() {
+        let run = diamondish();
+        let idx = ProvenanceIndex::build(&run);
+        for n in run.graph().node_ids() {
+            assert!(idx.ancestors(n).contains(n.index()));
+            assert!(idx.descendants(n).contains(n.index()));
+        }
+    }
+
+    #[test]
+    fn cache_counts_hits_misses_and_build_time() {
+        let run = diamondish();
+        let cache = ProvenanceIndexCache::new();
+        for _ in 0..3 {
+            let idx = cache.get_or_build(RunId(7), || ProvenanceIndex::build(&run));
+            assert_eq!(idx.node_count(), run.graph().node_count());
+        }
+        assert_eq!(cache.counters(), (2, 1));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.build_nanos() > 0);
+        cache.invalidate_run(RunId(7));
+        assert!(cache.is_empty());
+        cache.get_or_build(RunId(7), || ProvenanceIndex::build(&run));
+        assert_eq!(cache.counters(), (2, 2));
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -100,7 +100,11 @@ pub fn crc32(bytes: &[u8]) -> u32 {
             let mut c = i as u32;
             let mut k = 0;
             while k < 8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
                 k += 1;
             }
             t[i] = c;
@@ -173,7 +177,8 @@ impl JournaledWarehouse {
     pub fn open(path: &Path) -> Result<Self, JournalError> {
         let mut f = File::open(path)?;
         let mut header = [0u8; 8];
-        f.read_exact(&mut header).map_err(|_| JournalError::BadHeader)?;
+        f.read_exact(&mut header)
+            .map_err(|_| JournalError::BadHeader)?;
         if &header != MAGIC {
             return Err(JournalError::BadHeader);
         }
@@ -186,8 +191,8 @@ impl JournaledWarehouse {
         let mut records = 0usize;
         let mut valid_end = 0usize; // bytes of body covered by intact records
         while body.len() - offset >= 8 {
-            let len = u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4 bytes"))
-                as usize;
+            let len =
+                u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4 bytes")) as usize;
             let crc = u32::from_le_bytes(body[offset + 4..offset + 8].try_into().expect("4"));
             let start = offset + 8;
             if body.len() < start + len {
@@ -344,7 +349,10 @@ mod tests {
     fn crc32_known_vectors() {
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
     }
 
     #[test]

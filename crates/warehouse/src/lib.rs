@@ -16,6 +16,8 @@
 //! * [`query`] — recursive provenance queries over view-runs (the
 //!   `CONNECT BY` analog);
 //! * [`cache`] — the materialized view-run cache;
+//! * [`index`] — the per-run base-closure provenance index (the
+//!   base-provenance temp-table analog) and its run-keyed cache;
 //! * [`store`] — the [`Warehouse`] facade;
 //! * [`persist`] — binary snapshot save/load;
 //! * [`journal`] — an append-only, checksummed journal for incremental
@@ -26,6 +28,7 @@
 pub mod cache;
 pub mod codec;
 pub mod fxhash;
+pub mod index;
 pub mod journal;
 pub mod persist;
 pub mod query;
@@ -34,10 +37,12 @@ pub mod store;
 pub mod table;
 
 pub use cache::ViewRunCache;
+pub use index::{ProvenanceIndex, ProvenanceIndexCache};
+pub use journal::{JournalError, JournaledWarehouse};
 pub use query::{
-    data_between, deep_provenance, dependents_of, immediate_provenance, ImmediateProvenance,
+    data_between, deep_provenance, deep_provenance_bfs, deep_provenance_indexed, dependents_of,
+    dependents_of_bfs, dependents_of_indexed, immediate_provenance, ImmediateProvenance,
     ProvenanceResult, ProvenanceRow,
 };
-pub use journal::{JournaledWarehouse, JournalError};
 pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
 pub use store::{ImmediateAnswer, Result, Warehouse, WarehouseError};

@@ -82,7 +82,8 @@ pub fn save(warehouse: &Warehouse, path: &Path) -> Result<(), PersistError> {
 pub fn load(path: &Path) -> Result<Warehouse, PersistError> {
     let mut f = std::fs::File::open(path)?;
     let mut header = [0u8; 8];
-    f.read_exact(&mut header).map_err(|_| PersistError::BadHeader)?;
+    f.read_exact(&mut header)
+        .map_err(|_| PersistError::BadHeader)?;
     if &header != MAGIC {
         return Err(PersistError::BadHeader);
     }
@@ -147,7 +148,12 @@ mod tests {
 
         let s1 = w.stats();
         let mut s2 = w2.stats();
-        s2.cached_view_runs = s1.cached_view_runs; // caches are not persisted
+        // Caches (and their counters) are not persisted.
+        s2.cached_view_runs = s1.cached_view_runs;
+        s2.cached_indexes = s1.cached_indexes;
+        s2.index_hits = s1.index_hits;
+        s2.index_misses = s1.index_misses;
+        s2.index_build_nanos = s1.index_build_nanos;
         assert_eq!(s1, s2);
 
         // Queries still work and agree after reload.

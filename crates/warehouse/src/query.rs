@@ -15,7 +15,15 @@
 //!   paper's Figure 10 monotone — coarser views always return *fewer*
 //!   tuples — whereas naively recursing over full composite input sets
 //!   could drag in side-branch inputs that never fed the queried object.
+//!
+//! Each query comes in three forms sharing one projection kernel:
+//! a plain form computing the base closure with a per-query BFS, an
+//! `*_indexed` form reading the closure from a prebuilt
+//! [`ProvenanceIndex`] row (what the warehouse facade uses), and a
+//! `*_bfs` reference form — the original whole-graph-scan implementation
+//! kept verbatim as the oracle for the property tests.
 
+use crate::index::ProvenanceIndex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use zoom_graph::{BitSet, NodeId};
@@ -100,10 +108,64 @@ pub fn immediate_provenance(vr: &ViewRun, d: DataId) -> Option<ImmediateProvenan
     })
 }
 
+/// Projects a base backward closure (given as the visited-node set,
+/// including the producer of `d` itself) to the view level: visible closure
+/// data with their view-level producers, plus the composite executions the
+/// closure touches. Iterates *only* the closure members, never the whole
+/// graph, so warm indexed queries cost `O(answer)`, not `O(run)`.
+fn project_deep(run: &WorkflowRun, vr: &ViewRun, closure: &BitSet, d: DataId) -> ProvenanceResult {
+    let g = run.graph();
+    let exec_id_of_run_node = |node: NodeId| -> Option<StepId> {
+        let (sid, _) = run.step_at(node)?;
+        Some(
+            vr.exec_of_step(sid)
+                .expect("every step has an execution")
+                .id,
+        )
+    };
+    let mut rows: Vec<ProvenanceRow> = Vec::new();
+    let mut execs: Vec<StepId> = Vec::new();
+    rows.push(ProvenanceRow {
+        data: d,
+        producer: run.producer_node(d).and_then(exec_id_of_run_node),
+    });
+    for i in closure.iter() {
+        let n = NodeId::from_index(i);
+        if let Some(e) = exec_id_of_run_node(n) {
+            execs.push(e);
+        }
+        for edge in g.in_edges(n) {
+            let src = g.source(edge);
+            let src_id = exec_id_of_run_node(src);
+            for &x in g.edge(edge) {
+                if vr.is_visible(x) {
+                    rows.push(ProvenanceRow {
+                        data: x,
+                        producer: src_id,
+                    });
+                }
+            }
+        }
+    }
+    rows.sort();
+    rows.dedup();
+    execs.sort();
+    execs.dedup();
+    ProvenanceResult {
+        target: d,
+        rows,
+        execs,
+    }
+}
+
 /// Computes the deep provenance of `d` at this view level: the base-level
 /// recursive closure over `run`, projected to the view — hidden data
 /// dropped, steps replaced by their composite executions. Returns `None`
 /// if `d` is not visible at this view level (or absent from the run).
+///
+/// The closure is computed with a per-query backward BFS; use
+/// [`deep_provenance_indexed`] with a [`ProvenanceIndex`] to amortize it
+/// across queries and view switches.
 pub fn deep_provenance(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<ProvenanceResult> {
     vr.producer_node(d)?; // d itself must be visible at this view level
     let start = run.producer_node(d)?;
@@ -121,12 +183,50 @@ pub fn deep_provenance(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Pro
             }
         }
     }
+    Some(project_deep(run, vr, &visited, d))
+}
 
-    // Projection: visible closure data with their view-level producers, and
-    // the composite executions touched by the closure.
+/// [`deep_provenance`] answered from a prebuilt per-run index: the base
+/// closure is one precomputed bitset row, so the query reduces to the view
+/// projection. The index must have been built from this same `run`.
+pub fn deep_provenance_indexed(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    index: &ProvenanceIndex,
+    d: DataId,
+) -> Option<ProvenanceResult> {
+    vr.producer_node(d)?;
+    let start = run.producer_node(d)?;
+    Some(project_deep(run, vr, index.ancestors(start), d))
+}
+
+/// Reference implementation of [`deep_provenance`] — the original
+/// whole-graph-scan projection, kept as the oracle the property tests
+/// compare the indexed path against.
+pub fn deep_provenance_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<ProvenanceResult> {
+    vr.producer_node(d)?;
+    let start = run.producer_node(d)?;
+    let g = run.graph();
+
+    let mut visited = BitSet::new(g.node_count());
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    visited.insert(start.index());
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        for p in g.predecessors(n) {
+            if visited.insert(p.index()) {
+                queue.push_back(p);
+            }
+        }
+    }
+
     let exec_id_of_run_node = |node: NodeId| -> Option<StepId> {
         let (sid, _) = run.step_at(node)?;
-        Some(vr.exec_of_step(sid).expect("every step has an execution").id)
+        Some(
+            vr.exec_of_step(sid)
+                .expect("every step has an execution")
+                .id,
+        )
     };
     let mut rows: Vec<ProvenanceRow> = Vec::new();
     let mut execs: Vec<StepId> = Vec::new();
@@ -193,7 +293,52 @@ pub fn dependents_of(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<D
             }
         }
     }
-    // Collect visible data produced by visited steps.
+    Some(collect_dependents(run, vr, &visited, d))
+}
+
+/// [`dependents_of`] answered from a prebuilt per-run index: the forward
+/// closure is the union of the descendant rows of `d`'s consumers.
+pub fn dependents_of_indexed(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    index: &ProvenanceIndex,
+    d: DataId,
+) -> Option<Vec<DataId>> {
+    vr.producer_node(d)?;
+    let start = run.producer_node(d)?;
+    let g = run.graph();
+    let mut visited = BitSet::new(g.node_count());
+    for e in g.out_edges(start) {
+        if g.edge(e).contains(&d) {
+            visited.union_with(index.descendants(g.target(e)));
+        }
+    }
+    Some(collect_dependents(run, vr, &visited, d))
+}
+
+/// Reference implementation of [`dependents_of`] — the original
+/// whole-graph-scan collection, kept as the property-test oracle.
+pub fn dependents_of_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<DataId>> {
+    vr.producer_node(d)?;
+    let start = run.producer_node(d)?;
+    let g = run.graph();
+    let mut visited = BitSet::new(g.node_count());
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for e in g.out_edges(start) {
+        if g.edge(e).contains(&d) {
+            let t = g.target(e);
+            if visited.insert(t.index()) {
+                queue.push_back(t);
+            }
+        }
+    }
+    while let Some(n) = queue.pop_front() {
+        for s in g.successors(n) {
+            if visited.insert(s.index()) {
+                queue.push_back(s);
+            }
+        }
+    }
     let mut out: Vec<DataId> = Vec::new();
     for n in g.node_ids() {
         if !visited.contains(n.index()) || run.step_at(n).is_none() {
@@ -209,27 +354,35 @@ pub fn dependents_of(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<D
     Some(out)
 }
 
+/// Collects the visible data produced by the steps in the forward closure,
+/// iterating only the closure members.
+fn collect_dependents(run: &WorkflowRun, vr: &ViewRun, visited: &BitSet, d: DataId) -> Vec<DataId> {
+    let g = run.graph();
+    let mut out: Vec<DataId> = Vec::new();
+    for i in visited.iter() {
+        let n = NodeId::from_index(i);
+        if run.step_at(n).is_none() {
+            continue;
+        }
+        for e in g.out_edges(n) {
+            out.extend(g.edge(e).iter().copied().filter(|&x| vr.is_visible(x)));
+        }
+    }
+    out.sort();
+    out.dedup();
+    out.retain(|&x| x != d);
+    out
+}
+
 /// The data set passed between two (possibly virtual) executions — the
 /// prototype's "clicking on an edge between two steps" interaction
 /// (Section IV). `from`/`to` may also be the special `input`/`output`
 /// endpoints when `None`. Returns an empty set when no edge connects them.
-pub fn data_between(
-    vr: &ViewRun,
-    from: Option<StepId>,
-    to: Option<StepId>,
-) -> Option<Vec<DataId>> {
+pub fn data_between(vr: &ViewRun, from: Option<StepId>, to: Option<StepId>) -> Option<Vec<DataId>> {
     let resolve = |id: Option<StepId>, is_from: bool| -> Option<NodeId> {
         match id {
             None => Some(if is_from { vr.input() } else { vr.output() }),
-            Some(sid) => {
-                let e = vr.exec_by_id(sid)?;
-                let idx = vr
-                    .execs()
-                    .iter()
-                    .position(|x| x.id == e.id)
-                    .expect("exec listed") as u32;
-                Some(vr.node_of_exec(idx))
-            }
+            Some(sid) => Some(vr.node_of_exec(vr.exec_index_by_id(sid)?)),
         }
     };
     let a = resolve(from, true)?;
@@ -292,10 +445,19 @@ mod tests {
         assert_eq!(res.execs, vec![StepId(1), StepId(2), StepId(3)]);
         assert_eq!(res.tuples(), 5);
         // Producers recorded per row.
-        assert_eq!(res.rows[0], ProvenanceRow { data: DataId(1), producer: None });
+        assert_eq!(
+            res.rows[0],
+            ProvenanceRow {
+                data: DataId(1),
+                producer: None
+            }
+        );
         assert_eq!(
             res.rows[4],
-            ProvenanceRow { data: DataId(5), producer: Some(StepId(3)) }
+            ProvenanceRow {
+                data: DataId(5),
+                producer: Some(StepId(3))
+            }
         );
     }
 

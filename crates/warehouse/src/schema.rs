@@ -99,6 +99,14 @@ pub struct WarehouseStats {
     pub data_objects: usize,
     /// Materialized view-runs currently cached.
     pub cached_view_runs: usize,
+    /// Base-closure provenance indexes currently cached.
+    pub cached_indexes: usize,
+    /// Provenance-index cache hits since startup.
+    pub index_hits: u64,
+    /// Provenance-index cache misses (= index builds) since startup.
+    pub index_misses: u64,
+    /// Total nanoseconds spent building provenance indexes.
+    pub index_build_nanos: u64,
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 
 use crate::cache::ViewRunCache;
 use crate::fxhash::FxHashMap;
+use crate::index::{ProvenanceIndex, ProvenanceIndexCache};
 use crate::query::{self, ImmediateProvenance, ProvenanceResult};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
 use crate::table::Table;
@@ -61,7 +62,10 @@ impl fmt::Display for WarehouseError {
                 write!(f, "a specification named `{n}` is already registered")
             }
             WarehouseError::SpecMismatch { expected, got } => {
-                write!(f, "specification mismatch: expected `{expected}`, got `{got}`")
+                write!(
+                    f,
+                    "specification mismatch: expected `{expected}`, got `{got}`"
+                )
             }
             WarehouseError::DataNotFound(d) => write!(f, "data object {d} not found in run"),
             WarehouseError::DataNotVisible { data, view } => {
@@ -145,6 +149,7 @@ pub struct Warehouse {
     next_view: u32,
     next_run: u32,
     cache: ViewRunCache,
+    index: ProvenanceIndexCache,
 }
 
 impl Warehouse {
@@ -184,7 +189,13 @@ impl Warehouse {
         let id = ViewId(self.next_view);
         self.next_view += 1;
         self.views
-            .insert(id, ViewRow { spec: spec_id, view })
+            .insert(
+                id,
+                ViewRow {
+                    spec: spec_id,
+                    view,
+                },
+            )
             .expect("fresh view id");
         self.views_by_spec.entry(spec_id).or_default().push(id);
         Ok(id)
@@ -303,11 +314,9 @@ impl Warehouse {
                 got: format!("{}", view_row.spec),
             });
         }
-        Ok(self
-            .cache
-            .get_or_build((run_id, view_id), || {
-                ViewRun::new(&run_row.run, &view_row.view)
-            }))
+        Ok(self.cache.get_or_build((run_id, view_id), || {
+            ViewRun::new(&run_row.run, &view_row.view)
+        }))
     }
 
     /// Materializes the view-run *without* consulting or filling the cache —
@@ -330,7 +339,23 @@ impl Warehouse {
         Ok(ViewRun::new(&run_row.run, &view_row.view))
     }
 
+    /// The base-closure provenance index for `run` (cached, view-independent;
+    /// built on first use, shared by every view of the run).
+    pub fn provenance_index(&self, run_id: RunId) -> Result<Arc<ProvenanceIndex>> {
+        let run_row = self
+            .runs
+            .get(&run_id)
+            .ok_or(WarehouseError::RunNotFound(run_id))?;
+        Ok(self
+            .index
+            .get_or_build(run_id, || ProvenanceIndex::build(&run_row.run)))
+    }
+
     /// Deep provenance of `data` in `run` as seen through `view`.
+    ///
+    /// Answered from the per-run base-closure index: the first query on a
+    /// run builds the index, every later query — at *any* view level —
+    /// projects a precomputed closure row.
     pub fn deep_provenance(
         &self,
         run_id: RunId,
@@ -338,11 +363,55 @@ impl Warehouse {
         data: DataId,
     ) -> Result<ProvenanceResult> {
         let vr = self.view_run(run_id, view_id)?;
+        let index = self.provenance_index(run_id)?;
         let run = self.run(run_id)?;
-        match query::deep_provenance(run, &vr, data) {
+        match query::deep_provenance_indexed(run, &vr, &index, data) {
             Some(r) => Ok(r),
             None => Err(self.invisible_or_missing(run_id, view_id, data)),
         }
+    }
+
+    /// Deep provenance of many `(run, view, data)` triples at once.
+    ///
+    /// Independent queries fan out across threads; results come back in
+    /// input order. The view-run and index caches are concurrent, so
+    /// queries sharing a run or a view pair deduplicate work naturally —
+    /// one thread builds, the rest hit.
+    pub fn deep_provenance_many(
+        &self,
+        queries: &[(RunId, ViewId, DataId)],
+    ) -> Vec<Result<ProvenanceResult>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(queries.len());
+        if workers <= 1 {
+            return queries
+                .iter()
+                .map(|&(r, v, d)| self.deep_provenance(r, v, d))
+                .collect();
+        }
+        let chunk = queries.len().div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    s.spawn(move |_| {
+                        part.iter()
+                            .map(|&(r, v, d)| self.deep_provenance(r, v, d))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("batch query worker panicked"))
+                .collect()
+        })
+        .expect("batch query scope completes")
     }
 
     /// Immediate provenance of `data` in `run` as seen through `view`, with
@@ -369,7 +438,11 @@ impl Warehouse {
                     }
                 }
                 params.sort();
-                Ok(ImmediateAnswer::Produced { exec, inputs, params })
+                Ok(ImmediateAnswer::Produced {
+                    exec,
+                    inputs,
+                    params,
+                })
             }
             Some(ImmediateProvenance::UserInput) => Ok(ImmediateAnswer::UserInput {
                 meta: self.run(run_id)?.user_input_meta(data).cloned(),
@@ -387,8 +460,9 @@ impl Warehouse {
         data: DataId,
     ) -> Result<Vec<DataId>> {
         let vr = self.view_run(run_id, view_id)?;
+        let index = self.provenance_index(run_id)?;
         let run = self.run(run_id)?;
-        match query::dependents_of(run, &vr, data) {
+        match query::dependents_of_indexed(run, &vr, &index, data) {
             Some(v) => Ok(v),
             None => Err(self.invisible_or_missing(run_id, view_id, data)),
         }
@@ -439,17 +513,27 @@ impl Warehouse {
             steps: self.runs.scan().map(|r| r.run.step_count()).sum(),
             data_objects: self.runs.scan().map(|r| r.run.data_count()).sum(),
             cached_view_runs: self.cache.len(),
+            cached_indexes: self.index.len(),
+            index_hits: self.index.counters().0,
+            index_misses: self.index.counters().1,
+            index_build_nanos: self.index.build_nanos(),
         }
     }
 
-    /// Drops every materialized view-run.
+    /// Drops every materialized view-run and every provenance index.
     pub fn clear_cache(&self) {
         self.cache.clear();
+        self.index.clear();
     }
 
     /// `(hits, misses)` of the view-run cache.
     pub fn cache_counters(&self) -> (u64, u64) {
         self.cache.counters()
+    }
+
+    /// `(hits, misses)` of the provenance-index cache.
+    pub fn index_counters(&self) -> (u64, u64) {
+        self.index.counters()
     }
 
     /// Iterates over all rows (persistence support).
@@ -641,6 +725,68 @@ mod tests {
         assert!(w.view(ViewId(99)).is_err());
         assert!(w.run(RunId(99)).is_err());
         assert!(w.spec(SpecId(99)).is_err());
+    }
+
+    #[test]
+    fn view_switches_share_one_index() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let bb = w.register_view(sid, UserView::black_box(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+
+        // Repeatedly switching views over the same run must build the
+        // base-closure index exactly once (the paper's ≈13 ms view-switch
+        // property): every query after the first is an index hit.
+        for _ in 0..3 {
+            w.deep_provenance(rid, admin, DataId(3)).unwrap();
+            w.deep_provenance(rid, bb, DataId(3)).unwrap();
+        }
+        let (hits, misses) = w.index_counters();
+        assert_eq!(misses, 1, "index built more than once across view switches");
+        assert_eq!(hits, 5);
+
+        let stats = w.stats();
+        assert_eq!(stats.cached_indexes, 1);
+        assert_eq!(stats.index_misses, 1);
+        assert_eq!(stats.index_hits, 5);
+        assert!(stats.index_build_nanos > 0);
+
+        // clear_cache drops the index too; the next query rebuilds it.
+        w.clear_cache();
+        assert_eq!(w.stats().cached_indexes, 0);
+        w.deep_provenance(rid, admin, DataId(3)).unwrap();
+        assert_eq!(w.index_counters(), (5, 2));
+    }
+
+    #[test]
+    fn batch_matches_serial() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let bb = w.register_view(sid, UserView::black_box(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+
+        let queries = [
+            (rid, admin, DataId(3)),
+            (rid, bb, DataId(3)),
+            (rid, admin, DataId(2)),
+            (rid, bb, DataId(99)),         // missing
+            (rid, bb, DataId(2)),          // hidden
+            (RunId(42), admin, DataId(1)), // unknown run
+        ];
+        let batch = w.deep_provenance_many(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (res, &(r, v, d)) in batch.iter().zip(&queries) {
+            match (res, w.deep_provenance(r, v, d)) {
+                (Ok(a), Ok(b)) => assert_eq!(*a, b),
+                (Err(ea), Err(eb)) => assert_eq!(ea.to_string(), eb.to_string()),
+                (a, b) => panic!("batch {a:?} vs serial {b:?}"),
+            }
+        }
+        assert!(w.deep_provenance_many(&[]).is_empty());
     }
 
     #[test]

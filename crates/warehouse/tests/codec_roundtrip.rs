@@ -28,8 +28,7 @@ fn arb_tree() -> impl Strategy<Value = Tree> {
     ];
     leaf.prop_recursive(4, 32, 4, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b))),
             (".{0,8}", proptest::collection::vec(inner, 0..4))
                 .prop_map(|(name, children)| Tree::Tagged { name, children }),
         ]

@@ -62,8 +62,8 @@ fn main() {
                 1 => RunKind::Medium,
                 _ => RunKind::Large,
             };
-            let run = generate_run(&spec, &RunGenConfig::for_kind(kind), &mut rng)
-                .expect("valid run");
+            let run =
+                generate_run(&spec, &RunGenConfig::for_kind(kind), &mut rng).expect("valid run");
             zoom.load_run(sid, run).expect("loads");
             total_runs += 1;
         }
@@ -82,7 +82,12 @@ fn main() {
     let mut tuples_bio = 0usize;
     let mut tuples_bb = 0usize;
     for sid in (0..stats.specs as u32).map(zoom::core::SpecId) {
-        let spec_name = zoom.warehouse().spec(sid).expect("registered").name().to_string();
+        let spec_name = zoom
+            .warehouse()
+            .spec(sid)
+            .expect("registered")
+            .name()
+            .to_string();
         let bio = zoom
             .warehouse()
             .views_of_spec(sid)
@@ -95,7 +100,10 @@ fn main() {
             })
             .unwrap_or_else(|| panic!("UBio view registered for {spec_name}"));
         let admin = zoom.warehouse().find_view(sid, "UAdmin").expect("admin");
-        let bb = zoom.warehouse().find_view(sid, "UBlackBox").expect("blackbox");
+        let bb = zoom
+            .warehouse()
+            .find_view(sid, "UBlackBox")
+            .expect("blackbox");
         for &rid in zoom.warehouse().runs_of_spec(sid) {
             tuples_admin += zoom
                 .deep_provenance_of_final_output(rid, admin)
@@ -131,8 +139,8 @@ fn main() {
     let mut jpath = std::env::temp_dir();
     jpath.push("zoom-lab-warehouse.journal");
     {
-        let mut journal = zoom::warehouse::JournaledWarehouse::create(&jpath)
-            .expect("journal created");
+        let mut journal =
+            zoom::warehouse::JournaledWarehouse::create(&jpath).expect("journal created");
         let spec = zoom_gen::library::phylogenomic();
         let sid = journal.register_spec(spec.clone()).expect("registers");
         journal
@@ -149,7 +157,10 @@ fn main() {
     }
     let replayed = zoom::warehouse::JournaledWarehouse::open(&jpath).expect("replays");
     assert_eq!(replayed.warehouse().stats().runs, 1);
-    println!("journal replayed: {} records intact", replayed.record_count());
+    println!(
+        "journal replayed: {} records intact",
+        replayed.record_count()
+    );
     std::fs::remove_file(&jpath).ok();
 
     let reloaded = Zoom::load(&path).expect("snapshot loads");

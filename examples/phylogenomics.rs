@@ -43,7 +43,9 @@ fn main() {
     // --- 2. Register everything with ZOOM.
     let mut zoom = Zoom::new();
     let sid = zoom.register_workflow(spec.clone()).expect("fresh spec");
-    let joe = zoom.build_view(sid, &["M2", "M3", "M7"]).expect("good view");
+    let joe = zoom
+        .build_view(sid, &["M2", "M3", "M7"])
+        .expect("good view");
     let mary = zoom
         .build_view(sid, &["M2", "M3", "M5", "M7"])
         .expect("good view");
@@ -72,7 +74,11 @@ fn main() {
     let rid = *runs.last().expect("three runs");
     let mut session = QuerySession::new(&zoom, rid, admin);
     let res = session.focus_final_output().expect("final output visible");
-    println!("UAdmin   : {} tuples, {} executions", res.tuples(), res.exec_count());
+    println!(
+        "UAdmin   : {} tuples, {} executions",
+        res.tuples(),
+        res.exec_count()
+    );
     for (name, v) in [("Joe", joe), ("Mary", mary), ("UBlackBox", blackbox)] {
         let res = session.switch_view(v).expect("final output always visible");
         println!(

@@ -47,7 +47,11 @@ fn main() {
 
     // Challenge Query 1: the process that led to Atlas X Graphic (d21).
     println!("\nQ1 — everything that led to Atlas X Graphic (d21):");
-    for (who, v) in [("admin", admin), ("science", science), ("blackbox", blackbox)] {
+    for (who, v) in [
+        ("admin", admin),
+        ("science", science),
+        ("blackbox", blackbox),
+    ] {
         let res = zoom.deep_provenance(rid, v, DataId(21)).expect("visible");
         println!(
             "  {who:<9}: {} tuples, {} execution(s)",
@@ -63,7 +67,9 @@ fn main() {
         .warehouse()
         .view_run(rid, science)
         .expect("materialized");
-    let res = zoom.deep_provenance(rid, science, DataId(21)).expect("visible");
+    let res = zoom
+        .deep_provenance(rid, science, DataId(21))
+        .expect("visible");
     println!("\nthe science-level provenance graph of d21:");
     print!(
         "{}",

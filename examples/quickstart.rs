@@ -16,13 +16,19 @@ use zoom_gen::library::{figure2_run, phylogenomic};
 fn main() {
     // --- 1. The workflow specification (Figure 1).
     let spec = phylogenomic();
-    println!("Workflow `{}` with {} modules:", spec.name(), spec.module_count());
+    println!(
+        "Workflow `{}` with {} modules:",
+        spec.name(),
+        spec.module_count()
+    );
 
     // --- 2. Register it and build the two user views of the introduction.
     let mut zoom = Zoom::new();
     let sid = zoom.register_workflow(spec.clone()).expect("fresh spec");
     // Joe finds annotation checking, alignment, and tree building relevant.
-    let joe = zoom.build_view(sid, &["M2", "M3", "M7"]).expect("good view");
+    let joe = zoom
+        .build_view(sid, &["M2", "M3", "M7"])
+        .expect("good view");
     // Mary also cares about rectification (M5).
     let mary = zoom
         .build_view(sid, &["M2", "M3", "M5", "M7"])
@@ -46,7 +52,10 @@ fn main() {
         .map(|l| spec.module(l).expect("exists"))
         .collect();
     println!("\nFigure 1 with Joe's view overlaid (DOT):");
-    println!("{}", zoom::core::view_on_spec_to_dot(&spec, &joe_view, &rel));
+    println!(
+        "{}",
+        zoom::core::view_on_spec_to_dot(&spec, &joe_view, &rel)
+    );
 
     // --- 3. Load the Figure 2 run (steps S1..S10, data d1..d447).
     let run = figure2_run(&spec);

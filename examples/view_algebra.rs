@@ -9,9 +9,7 @@
 //! ```
 
 use zoom::model::{CompositeModule, UserView};
-use zoom::views::{
-    check_view, is_minimal, minimum_view, relev_user_view_builder, NrContext,
-};
+use zoom::views::{check_view, is_minimal, minimum_view, relev_user_view_builder, NrContext};
 use zoom_views::paper::{figure4, figure6, figure7};
 
 fn show_view(spec: &zoom::WorkflowSpec, view: &UserView) {
@@ -80,7 +78,10 @@ fn main() {
     println!("\n== Figure 7: minimal is not minimum ==");
     let (spec, relevant) = figure7();
     let built = relev_user_view_builder(&spec, &relevant).expect("builds");
-    println!("  the algorithm's (minimal) view, size {}:", built.view.size());
+    println!(
+        "  the algorithm's (minimal) view, size {}:",
+        built.view.size()
+    );
     show_view(&spec, &built.view);
     let min = minimum_view(&spec, &relevant, 9).expect("small enough to search");
     println!("  the minimum good view, size {}:", min.size());

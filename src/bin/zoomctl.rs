@@ -296,8 +296,14 @@ fn compare(
     let ra = resolve_run(&zoom, sid, run_a)?;
     let rb = resolve_run(&zoom, sid, run_b)?;
     let vid = resolve_view(&zoom, sid, view_name)?;
-    let vra = zoom.warehouse().view_run(ra, vid).map_err(|e| e.to_string())?;
-    let vrb = zoom.warehouse().view_run(rb, vid).map_err(|e| e.to_string())?;
+    let vra = zoom
+        .warehouse()
+        .view_run(ra, vid)
+        .map_err(|e| e.to_string())?;
+    let vrb = zoom
+        .warehouse()
+        .view_run(rb, vid)
+        .map_err(|e| e.to_string())?;
     let cmp = zoom::core::compare_view_runs(&vra, &vrb);
     let view = zoom.warehouse().view(vid).map_err(|e| e.to_string())?;
     out_raw!(
@@ -318,9 +324,7 @@ fn repl(path: &Path, name: &str, run_index: &str) -> Result<(), String> {
     let mut zoom = load(path)?;
     let sid = resolve_spec(&zoom, name)?;
     let rid = resolve_run(&zoom, sid, run_index)?;
-    let mut current = zoom
-        .admin_view(sid)
-        .map_err(|e| e.to_string())?;
+    let mut current = zoom.admin_view(sid).map_err(|e| e.to_string())?;
     let mut flags: Vec<String> = Vec::new();
     out!(
         "interactive session on `{name}` run {run_index} — commands: \
@@ -352,7 +356,11 @@ fn repl(path: &Path, name: &str, run_index: &str) -> Result<(), String> {
                 let spec = zoom.warehouse().spec(sid).map_err(|e| e.to_string())?;
                 for m in spec.module_ids() {
                     let label = spec.label(m);
-                    let marker = if flags.iter().any(|f| f == label) { "*" } else { " " };
+                    let marker = if flags.iter().any(|f| f == label) {
+                        "*"
+                    } else {
+                        " "
+                    };
                     out!(" {marker} {label} ({})", spec.kind(m));
                 }
             }
@@ -376,21 +384,13 @@ fn repl(path: &Path, name: &str, run_index: &str) -> Result<(), String> {
                     Ok(v) => {
                         current = v;
                         let view = zoom.warehouse().view(v).map_err(|e| e.to_string())?;
-                        out!(
-                            "rebuilt: {} (size {})",
-                            view.name(),
-                            view.size()
-                        );
+                        out!("rebuilt: {} (size {})", view.name(), view.size());
                     }
                     Err(e) => out!("cannot build view: {e}"),
                 }
             }
             ("tree", [d]) => {
-                let parsed = d
-                    .strip_prefix('d')
-                    .unwrap_or(d)
-                    .parse::<u64>()
-                    .map(DataId);
+                let parsed = d.strip_prefix('d').unwrap_or(d).parse::<u64>().map(DataId);
                 match parsed {
                     Err(_) => out!("`{d}` is not a data id"),
                     Ok(d) => match zoom.deep_provenance(rid, current, d) {
@@ -400,8 +400,7 @@ fn repl(path: &Path, name: &str, run_index: &str) -> Result<(), String> {
                                 .warehouse()
                                 .view_run(rid, current)
                                 .map_err(|e| e.to_string())?;
-                            let view =
-                                zoom.warehouse().view(current).map_err(|e| e.to_string())?;
+                            let view = zoom.warehouse().view(current).map_err(|e| e.to_string())?;
                             out_raw!("{}", zoom::core::provenance_to_text(&vr, view, &res));
                         }
                     },

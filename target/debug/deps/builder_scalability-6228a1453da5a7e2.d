@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/builder_scalability-6228a1453da5a7e2.d: crates/bench/benches/builder_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbuilder_scalability-6228a1453da5a7e2.rmeta: crates/bench/benches/builder_scalability.rs Cargo.toml
+
+crates/bench/benches/builder_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

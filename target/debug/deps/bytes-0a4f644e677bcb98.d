@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-0a4f644e677bcb98.d: vendored/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-0a4f644e677bcb98.rmeta: vendored/bytes/src/lib.rs Cargo.toml
+
+vendored/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

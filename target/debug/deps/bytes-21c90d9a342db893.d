@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-21c90d9a342db893.d: vendored/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-21c90d9a342db893: vendored/bytes/src/lib.rs
+
+vendored/bytes/src/lib.rs:

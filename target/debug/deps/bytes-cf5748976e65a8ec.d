@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-cf5748976e65a8ec.d: vendored/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-cf5748976e65a8ec.rlib: vendored/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-cf5748976e65a8ec.rmeta: vendored/bytes/src/lib.rs
+
+vendored/bytes/src/lib.rs:

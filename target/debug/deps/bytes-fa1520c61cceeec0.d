@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-fa1520c61cceeec0.d: vendored/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-fa1520c61cceeec0.rmeta: vendored/bytes/src/lib.rs Cargo.toml
+
+vendored/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

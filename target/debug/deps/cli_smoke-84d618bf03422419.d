@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli_smoke-84d618bf03422419.d: tests/cli_smoke.rs
+
+/root/repo/target/debug/deps/cli_smoke-84d618bf03422419: tests/cli_smoke.rs
+
+tests/cli_smoke.rs:
+
+# env-dep:CARGO_BIN_EXE_zoomctl=/root/repo/target/debug/zoomctl

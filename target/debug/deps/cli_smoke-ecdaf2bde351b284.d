@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli_smoke-ecdaf2bde351b284.d: tests/cli_smoke.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli_smoke-ecdaf2bde351b284.rmeta: tests/cli_smoke.rs Cargo.toml
+
+tests/cli_smoke.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_zoomctl=placeholder:zoomctl
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

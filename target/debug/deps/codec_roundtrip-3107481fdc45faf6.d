@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_roundtrip-3107481fdc45faf6.d: crates/warehouse/tests/codec_roundtrip.rs
+
+/root/repo/target/debug/deps/codec_roundtrip-3107481fdc45faf6: crates/warehouse/tests/codec_roundtrip.rs
+
+crates/warehouse/tests/codec_roundtrip.rs:

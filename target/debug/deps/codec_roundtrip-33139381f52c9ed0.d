@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codec_roundtrip-33139381f52c9ed0.d: crates/warehouse/tests/codec_roundtrip.rs
+
+/root/repo/target/debug/deps/codec_roundtrip-33139381f52c9ed0: crates/warehouse/tests/codec_roundtrip.rs
+
+crates/warehouse/tests/codec_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codec_roundtrip-8d70402f9e915483.d: crates/warehouse/tests/codec_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodec_roundtrip-8d70402f9e915483.rmeta: crates/warehouse/tests/codec_roundtrip.rs Cargo.toml
+
+crates/warehouse/tests/codec_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_queries-011449730427cae9.d: tests/concurrent_queries.rs
+
+/root/repo/target/debug/deps/concurrent_queries-011449730427cae9: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

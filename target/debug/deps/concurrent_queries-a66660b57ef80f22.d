@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrent_queries-a66660b57ef80f22.d: tests/concurrent_queries.rs
+
+/root/repo/target/debug/deps/concurrent_queries-a66660b57ef80f22: tests/concurrent_queries.rs
+
+tests/concurrent_queries.rs:

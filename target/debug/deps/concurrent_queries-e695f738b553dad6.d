@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrent_queries-e695f738b553dad6.d: tests/concurrent_queries.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrent_queries-e695f738b553dad6.rmeta: tests/concurrent_queries.rs Cargo.toml
+
+tests/concurrent_queries.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

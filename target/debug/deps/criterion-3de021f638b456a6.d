@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/criterion-3de021f638b456a6.d: vendored/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcriterion-3de021f638b456a6.rmeta: vendored/criterion/src/lib.rs Cargo.toml
+
+vendored/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

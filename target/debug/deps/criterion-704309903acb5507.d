@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-704309903acb5507.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-704309903acb5507: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-741dbfc8857a756b.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-741dbfc8857a756b.rlib: vendored/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-741dbfc8857a756b.rmeta: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

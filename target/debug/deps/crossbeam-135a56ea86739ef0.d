@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/crossbeam-135a56ea86739ef0.d: vendored/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-135a56ea86739ef0.rlib: vendored/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/libcrossbeam-135a56ea86739ef0.rmeta: vendored/crossbeam/src/lib.rs
+
+vendored/crossbeam/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossbeam-69dfaa4c0569f7af.d: vendored/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossbeam-69dfaa4c0569f7af.rmeta: vendored/crossbeam/src/lib.rs Cargo.toml
+
+vendored/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossbeam-c9b77c834850a1e5.d: vendored/crossbeam/src/lib.rs
+
+/root/repo/target/debug/deps/crossbeam-c9b77c834850a1e5: vendored/crossbeam/src/lib.rs
+
+vendored/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-5bd425f39665e2b4.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-5bd425f39665e2b4: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

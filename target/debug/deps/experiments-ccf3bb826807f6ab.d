@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-ccf3bb826807f6ab.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-ccf3bb826807f6ab: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gen_properties-7c58d47c738eac67.d: crates/gen/tests/gen_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgen_properties-7c58d47c738eac67.rmeta: crates/gen/tests/gen_properties.rs Cargo.toml
+
+crates/gen/tests/gen_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gen_properties-cd2556091e116fb6.d: crates/gen/tests/gen_properties.rs
+
+/root/repo/target/debug/deps/gen_properties-cd2556091e116fb6: crates/gen/tests/gen_properties.rs
+
+crates/gen/tests/gen_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_properties-aca9e48b5406debe.d: crates/graph/tests/graph_properties.rs
+
+/root/repo/target/debug/deps/graph_properties-aca9e48b5406debe: crates/graph/tests/graph_properties.rs
+
+crates/graph/tests/graph_properties.rs:

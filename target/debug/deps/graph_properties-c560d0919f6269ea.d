@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/graph_properties-c560d0919f6269ea.d: crates/graph/tests/graph_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgraph_properties-c560d0919f6269ea.rmeta: crates/graph/tests/graph_properties.rs Cargo.toml
+
+crates/graph/tests/graph_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/index_equivalence-7318f99de75557c7.d: tests/index_equivalence.rs
+
+/root/repo/target/debug/deps/index_equivalence-7318f99de75557c7: tests/index_equivalence.rs
+
+tests/index_equivalence.rs:

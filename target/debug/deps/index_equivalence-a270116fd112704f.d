@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/index_equivalence-a270116fd112704f.d: tests/index_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libindex_equivalence-a270116fd112704f.rmeta: tests/index_equivalence.rs Cargo.toml
+
+tests/index_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

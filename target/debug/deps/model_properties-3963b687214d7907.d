@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/model_properties-3963b687214d7907.d: crates/model/tests/model_properties.rs
+
+/root/repo/target/debug/deps/model_properties-3963b687214d7907: crates/model/tests/model_properties.rs
+
+crates/model/tests/model_properties.rs:

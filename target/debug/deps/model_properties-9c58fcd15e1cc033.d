@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/model_properties-9c58fcd15e1cc033.d: crates/model/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmodel_properties-9c58fcd15e1cc033.rmeta: crates/model/tests/model_properties.rs Cargo.toml
+
+crates/model/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

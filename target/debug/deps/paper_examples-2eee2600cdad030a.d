@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-2eee2600cdad030a.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-2eee2600cdad030a: tests/paper_examples.rs
+
+tests/paper_examples.rs:

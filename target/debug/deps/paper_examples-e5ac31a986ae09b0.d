@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_examples-e5ac31a986ae09b0.d: tests/paper_examples.rs
+
+/root/repo/target/debug/deps/paper_examples-e5ac31a986ae09b0: tests/paper_examples.rs
+
+tests/paper_examples.rs:

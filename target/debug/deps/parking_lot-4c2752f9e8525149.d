@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-4c2752f9e8525149.d: vendored/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-4c2752f9e8525149.rmeta: vendored/parking_lot/src/lib.rs Cargo.toml
+
+vendored/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

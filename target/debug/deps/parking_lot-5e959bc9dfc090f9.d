@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-5e959bc9dfc090f9.d: vendored/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-5e959bc9dfc090f9: vendored/parking_lot/src/lib.rs
+
+vendored/parking_lot/src/lib.rs:

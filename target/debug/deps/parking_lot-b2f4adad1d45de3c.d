@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-b2f4adad1d45de3c.d: vendored/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b2f4adad1d45de3c.rlib: vendored/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b2f4adad1d45de3c.rmeta: vendored/parking_lot/src/lib.rs
+
+vendored/parking_lot/src/lib.rs:

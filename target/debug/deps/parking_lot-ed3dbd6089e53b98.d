@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parking_lot-ed3dbd6089e53b98.d: vendored/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparking_lot-ed3dbd6089e53b98.rmeta: vendored/parking_lot/src/lib.rs Cargo.toml
+
+vendored/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-9fd7430e6ae19aad.d: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-9fd7430e6ae19aad.rlib: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/libproptest-9fd7430e6ae19aad.rmeta: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+vendored/proptest/src/lib.rs:
+vendored/proptest/src/strategy.rs:

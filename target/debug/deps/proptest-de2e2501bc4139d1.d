@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-de2e2501bc4139d1.d: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-de2e2501bc4139d1.rmeta: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs Cargo.toml
+
+vendored/proptest/src/lib.rs:
+vendored/proptest/src/strategy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/proptest-e8c0f0573633837c.d: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+/root/repo/target/debug/deps/proptest-e8c0f0573633837c: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+vendored/proptest/src/lib.rs:
+vendored/proptest/src/strategy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/provenance_index-cd79393ca6618869.d: crates/bench/benches/provenance_index.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprovenance_index-cd79393ca6618869.rmeta: crates/bench/benches/provenance_index.rs Cargo.toml
+
+crates/bench/benches/provenance_index.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provenance_invariants-eb4e48eb642340d4.d: tests/provenance_invariants.rs
+
+/root/repo/target/debug/deps/provenance_invariants-eb4e48eb642340d4: tests/provenance_invariants.rs
+
+tests/provenance_invariants.rs:

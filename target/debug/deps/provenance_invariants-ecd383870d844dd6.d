@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/provenance_invariants-ecd383870d844dd6.d: tests/provenance_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprovenance_invariants-ecd383870d844dd6.rmeta: tests/provenance_invariants.rs Cargo.toml
+
+tests/provenance_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provenance_invariants-fb0eebc1e70d9c07.d: tests/provenance_invariants.rs
+
+/root/repo/target/debug/deps/provenance_invariants-fb0eebc1e70d9c07: tests/provenance_invariants.rs
+
+tests/provenance_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/provenance_query-32cad9b1a1660b8f.d: crates/bench/benches/provenance_query.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprovenance_query-32cad9b1a1660b8f.rmeta: crates/bench/benches/provenance_query.rs Cargo.toml
+
+crates/bench/benches/provenance_query.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

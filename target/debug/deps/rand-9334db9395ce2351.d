@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9334db9395ce2351.d: vendored/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9334db9395ce2351.rlib: vendored/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9334db9395ce2351.rmeta: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-d9b11d8f3752a48c.d: vendored/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-d9b11d8f3752a48c.rmeta: vendored/rand/src/lib.rs Cargo.toml
+
+vendored/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

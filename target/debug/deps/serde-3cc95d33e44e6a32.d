@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/serde-3cc95d33e44e6a32.d: vendored/serde/src/lib.rs vendored/serde/src/de.rs vendored/serde/src/ser.rs vendored/serde/src/impls.rs
+
+/root/repo/target/debug/deps/serde-3cc95d33e44e6a32: vendored/serde/src/lib.rs vendored/serde/src/de.rs vendored/serde/src/ser.rs vendored/serde/src/impls.rs
+
+vendored/serde/src/lib.rs:
+vendored/serde/src/de.rs:
+vendored/serde/src/ser.rs:
+vendored/serde/src/impls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/theorem1-0b736d3d70a6e81b.d: crates/views/tests/theorem1.rs
+
+/root/repo/target/debug/deps/theorem1-0b736d3d70a6e81b: crates/views/tests/theorem1.rs
+
+crates/views/tests/theorem1.rs:

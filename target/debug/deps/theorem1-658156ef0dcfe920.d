@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/theorem1-658156ef0dcfe920.d: crates/views/tests/theorem1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtheorem1-658156ef0dcfe920.rmeta: crates/views/tests/theorem1.rs Cargo.toml
+
+crates/views/tests/theorem1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/view_switch-6491fb45144f0c07.d: crates/bench/benches/view_switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libview_switch-6491fb45144f0c07.rmeta: crates/bench/benches/view_switch.rs Cargo.toml
+
+crates/bench/benches/view_switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warehouse_e2e-1dcfd6126819a987.d: tests/warehouse_e2e.rs
+
+/root/repo/target/debug/deps/warehouse_e2e-1dcfd6126819a987: tests/warehouse_e2e.rs
+
+tests/warehouse_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warehouse_e2e-3c4067a42c2a4f0e.d: tests/warehouse_e2e.rs
+
+/root/repo/target/debug/deps/warehouse_e2e-3c4067a42c2a4f0e: tests/warehouse_e2e.rs
+
+tests/warehouse_e2e.rs:

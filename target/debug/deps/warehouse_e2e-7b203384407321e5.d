@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warehouse_e2e-7b203384407321e5.d: tests/warehouse_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarehouse_e2e-7b203384407321e5.rmeta: tests/warehouse_e2e.rs Cargo.toml
+
+tests/warehouse_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/warehouse_ops-1dec164772373c4e.d: crates/bench/benches/warehouse_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwarehouse_ops-1dec164772373c4e.rmeta: crates/bench/benches/warehouse_ops.rs Cargo.toml
+
+crates/bench/benches/warehouse_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

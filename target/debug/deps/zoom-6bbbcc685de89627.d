@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zoom-6bbbcc685de89627.d: src/lib.rs
+
+/root/repo/target/debug/deps/zoom-6bbbcc685de89627: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zoom-7985a64e44269eab.d: src/lib.rs
+
+/root/repo/target/debug/deps/zoom-7985a64e44269eab: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zoom-8bc4f57dd383c48a.d: src/lib.rs
+
+/root/repo/target/debug/deps/libzoom-8bc4f57dd383c48a.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libzoom-8bc4f57dd383c48a.rmeta: src/lib.rs
+
+src/lib.rs:

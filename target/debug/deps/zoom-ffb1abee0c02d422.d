@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zoom-ffb1abee0c02d422.d: src/lib.rs
+
+/root/repo/target/debug/deps/libzoom-ffb1abee0c02d422.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libzoom-ffb1abee0c02d422.rmeta: src/lib.rs
+
+src/lib.rs:

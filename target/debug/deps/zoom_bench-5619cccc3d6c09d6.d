@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/zoom_bench-5619cccc3d6c09d6.d: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoom_bench-5619cccc3d6c09d6.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/index_speedup.rs:
+crates/bench/src/experiments/open_problem.rs:
+crates/bench/src/experiments/optimality.rs:
+crates/bench/src/experiments/response.rs:
+crates/bench/src/experiments/scalability.rs:
+crates/bench/src/experiments/switching.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

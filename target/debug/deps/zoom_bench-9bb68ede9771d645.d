@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zoom_bench-9bb68ede9771d645.d: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/zoom_bench-9bb68ede9771d645: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/index_speedup.rs:
+crates/bench/src/experiments/open_problem.rs:
+crates/bench/src/experiments/optimality.rs:
+crates/bench/src/experiments/response.rs:
+crates/bench/src/experiments/scalability.rs:
+crates/bench/src/experiments/switching.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/workloads.rs:

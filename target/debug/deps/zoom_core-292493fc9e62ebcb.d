@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zoom_core-292493fc9e62ebcb.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoom_core-292493fc9e62ebcb.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/queries.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

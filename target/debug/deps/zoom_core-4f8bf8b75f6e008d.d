@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zoom_core-4f8bf8b75f6e008d.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libzoom_core-4f8bf8b75f6e008d.rlib: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libzoom_core-4f8bf8b75f6e008d.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/queries.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zoom_core-55000020b35e8c2a.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/zoom_core-55000020b35e8c2a: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/queries.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zoom_gen-27dde4b878aee088.d: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+/root/repo/target/debug/deps/zoom_gen-27dde4b878aee088: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/classes.rs:
+crates/gen/src/library.rs:
+crates/gen/src/rungen.rs:
+crates/gen/src/specgen.rs:
+crates/gen/src/stats.rs:

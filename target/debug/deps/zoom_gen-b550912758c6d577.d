@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/zoom_gen-b550912758c6d577.d: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+/root/repo/target/debug/deps/libzoom_gen-b550912758c6d577.rlib: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+/root/repo/target/debug/deps/libzoom_gen-b550912758c6d577.rmeta: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/classes.rs:
+crates/gen/src/library.rs:
+crates/gen/src/rungen.rs:
+crates/gen/src/specgen.rs:
+crates/gen/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zoom_gen-f8c8f90e78ada948.d: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoom_gen-f8c8f90e78ada948.rmeta: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs Cargo.toml
+
+crates/gen/src/lib.rs:
+crates/gen/src/classes.rs:
+crates/gen/src/library.rs:
+crates/gen/src/rungen.rs:
+crates/gen/src/specgen.rs:
+crates/gen/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zoom_graph-6981827c7764c9d1.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+/root/repo/target/debug/deps/zoom_graph-6981827c7764c9d1: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/traversal.rs:
+crates/graph/src/algo/cycles.rs:
+crates/graph/src/algo/paths.rs:
+crates/graph/src/algo/reach.rs:
+crates/graph/src/algo/scc.rs:
+crates/graph/src/algo/topo.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/zoom_graph-ce4097970dd2f66d.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+/root/repo/target/debug/deps/libzoom_graph-ce4097970dd2f66d.rlib: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+/root/repo/target/debug/deps/libzoom_graph-ce4097970dd2f66d.rmeta: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/traversal.rs:
+crates/graph/src/algo/cycles.rs:
+crates/graph/src/algo/paths.rs:
+crates/graph/src/algo/reach.rs:
+crates/graph/src/algo/scc.rs:
+crates/graph/src/algo/topo.rs:

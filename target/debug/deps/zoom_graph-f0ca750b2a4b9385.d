@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/zoom_graph-f0ca750b2a4b9385.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoom_graph-f0ca750b2a4b9385.rmeta: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/traversal.rs:
+crates/graph/src/algo/cycles.rs:
+crates/graph/src/algo/paths.rs:
+crates/graph/src/algo/reach.rs:
+crates/graph/src/algo/scc.rs:
+crates/graph/src/algo/topo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

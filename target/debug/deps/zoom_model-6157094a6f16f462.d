@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zoom_model-6157094a6f16f462.d: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+/root/repo/target/debug/deps/libzoom_model-6157094a6f16f462.rlib: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+/root/repo/target/debug/deps/libzoom_model-6157094a6f16f462.rmeta: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+crates/model/src/lib.rs:
+crates/model/src/composite.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/induced.rs:
+crates/model/src/log.rs:
+crates/model/src/run.rs:
+crates/model/src/spec.rs:
+crates/model/src/view.rs:

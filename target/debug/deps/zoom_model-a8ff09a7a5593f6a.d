@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/zoom_model-a8ff09a7a5593f6a.d: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoom_model-a8ff09a7a5593f6a.rmeta: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs Cargo.toml
+
+crates/model/src/lib.rs:
+crates/model/src/composite.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/induced.rs:
+crates/model/src/log.rs:
+crates/model/src/run.rs:
+crates/model/src/spec.rs:
+crates/model/src/view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

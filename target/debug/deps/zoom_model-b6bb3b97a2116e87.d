@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zoom_model-b6bb3b97a2116e87.d: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+/root/repo/target/debug/deps/zoom_model-b6bb3b97a2116e87: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+crates/model/src/lib.rs:
+crates/model/src/composite.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/induced.rs:
+crates/model/src/log.rs:
+crates/model/src/run.rs:
+crates/model/src/spec.rs:
+crates/model/src/view.rs:

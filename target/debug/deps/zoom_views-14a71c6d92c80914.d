@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/zoom_views-14a71c6d92c80914.d: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoom_views-14a71c6d92c80914.rmeta: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs Cargo.toml
+
+crates/views/src/lib.rs:
+crates/views/src/builder.rs:
+crates/views/src/compose.rs:
+crates/views/src/interactive.rs:
+crates/views/src/minimal.rs:
+crates/views/src/minimum.rs:
+crates/views/src/nrpath.rs:
+crates/views/src/paper.rs:
+crates/views/src/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zoom_views-253a6ab9db60eb2c.d: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+/root/repo/target/debug/deps/zoom_views-253a6ab9db60eb2c: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+crates/views/src/lib.rs:
+crates/views/src/builder.rs:
+crates/views/src/compose.rs:
+crates/views/src/interactive.rs:
+crates/views/src/minimal.rs:
+crates/views/src/minimum.rs:
+crates/views/src/nrpath.rs:
+crates/views/src/paper.rs:
+crates/views/src/properties.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zoom_views-bf0470942f9dc4f4.d: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+/root/repo/target/debug/deps/libzoom_views-bf0470942f9dc4f4.rlib: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+/root/repo/target/debug/deps/libzoom_views-bf0470942f9dc4f4.rmeta: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+crates/views/src/lib.rs:
+crates/views/src/builder.rs:
+crates/views/src/compose.rs:
+crates/views/src/interactive.rs:
+crates/views/src/minimal.rs:
+crates/views/src/minimum.rs:
+crates/views/src/nrpath.rs:
+crates/views/src/paper.rs:
+crates/views/src/properties.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zoom_warehouse-1a8225e31f4bd622.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+
+/root/repo/target/debug/deps/zoom_warehouse-1a8225e31f4bd622: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+
+crates/warehouse/src/lib.rs:
+crates/warehouse/src/cache.rs:
+crates/warehouse/src/codec.rs:
+crates/warehouse/src/fxhash.rs:
+crates/warehouse/src/journal.rs:
+crates/warehouse/src/persist.rs:
+crates/warehouse/src/query.rs:
+crates/warehouse/src/schema.rs:
+crates/warehouse/src/store.rs:
+crates/warehouse/src/table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zoomctl-0c297d8f27c7b67a.d: src/bin/zoomctl.rs
+
+/root/repo/target/debug/deps/zoomctl-0c297d8f27c7b67a: src/bin/zoomctl.rs
+
+src/bin/zoomctl.rs:

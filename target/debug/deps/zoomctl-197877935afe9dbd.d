@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zoomctl-197877935afe9dbd.d: src/bin/zoomctl.rs
+
+/root/repo/target/debug/deps/zoomctl-197877935afe9dbd: src/bin/zoomctl.rs
+
+src/bin/zoomctl.rs:

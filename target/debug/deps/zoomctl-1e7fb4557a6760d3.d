@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zoomctl-1e7fb4557a6760d3.d: src/bin/zoomctl.rs
+
+/root/repo/target/debug/deps/zoomctl-1e7fb4557a6760d3: src/bin/zoomctl.rs
+
+src/bin/zoomctl.rs:

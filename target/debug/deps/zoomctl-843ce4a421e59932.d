@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zoomctl-843ce4a421e59932.d: src/bin/zoomctl.rs
+
+/root/repo/target/debug/deps/zoomctl-843ce4a421e59932: src/bin/zoomctl.rs
+
+src/bin/zoomctl.rs:

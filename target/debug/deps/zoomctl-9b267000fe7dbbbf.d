@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zoomctl-9b267000fe7dbbbf.d: src/bin/zoomctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoomctl-9b267000fe7dbbbf.rmeta: src/bin/zoomctl.rs Cargo.toml
+
+src/bin/zoomctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/zoomctl-e6a2407d15147765.d: src/bin/zoomctl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoomctl-e6a2407d15147765.rmeta: src/bin/zoomctl.rs Cargo.toml
+
+src/bin/zoomctl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

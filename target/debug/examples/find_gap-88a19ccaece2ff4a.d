@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/find_gap-88a19ccaece2ff4a.d: crates/views/examples/find_gap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfind_gap-88a19ccaece2ff4a.rmeta: crates/views/examples/find_gap.rs Cargo.toml
+
+crates/views/examples/find_gap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

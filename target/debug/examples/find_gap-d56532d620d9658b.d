@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/find_gap-d56532d620d9658b.d: crates/views/examples/find_gap.rs
+
+/root/repo/target/debug/examples/find_gap-d56532d620d9658b: crates/views/examples/find_gap.rs
+
+crates/views/examples/find_gap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/lab_warehouse-24c677a834840771.d: examples/lab_warehouse.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblab_warehouse-24c677a834840771.rmeta: examples/lab_warehouse.rs Cargo.toml
+
+examples/lab_warehouse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

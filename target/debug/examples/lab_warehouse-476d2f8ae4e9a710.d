@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lab_warehouse-476d2f8ae4e9a710.d: examples/lab_warehouse.rs
+
+/root/repo/target/debug/examples/lab_warehouse-476d2f8ae4e9a710: examples/lab_warehouse.rs
+
+examples/lab_warehouse.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/lab_warehouse-48103c282022915e.d: examples/lab_warehouse.rs
+
+/root/repo/target/debug/examples/lab_warehouse-48103c282022915e: examples/lab_warehouse.rs
+
+examples/lab_warehouse.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/phylogenomics-496b15e755042699.d: examples/phylogenomics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libphylogenomics-496b15e755042699.rmeta: examples/phylogenomics.rs Cargo.toml
+
+examples/phylogenomics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phylogenomics-9e88e87e422e3847.d: examples/phylogenomics.rs
+
+/root/repo/target/debug/examples/phylogenomics-9e88e87e422e3847: examples/phylogenomics.rs
+
+examples/phylogenomics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/phylogenomics-f4b1c47a1b96fb6e.d: examples/phylogenomics.rs
+
+/root/repo/target/debug/examples/phylogenomics-f4b1c47a1b96fb6e: examples/phylogenomics.rs
+
+examples/phylogenomics.rs:

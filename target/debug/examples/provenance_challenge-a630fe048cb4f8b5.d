@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/provenance_challenge-a630fe048cb4f8b5.d: examples/provenance_challenge.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprovenance_challenge-a630fe048cb4f8b5.rmeta: examples/provenance_challenge.rs Cargo.toml
+
+examples/provenance_challenge.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provenance_challenge-a81969de3f475786.d: examples/provenance_challenge.rs
+
+/root/repo/target/debug/examples/provenance_challenge-a81969de3f475786: examples/provenance_challenge.rs
+
+examples/provenance_challenge.rs:

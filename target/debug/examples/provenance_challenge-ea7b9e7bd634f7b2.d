@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/provenance_challenge-ea7b9e7bd634f7b2.d: examples/provenance_challenge.rs
+
+/root/repo/target/debug/examples/provenance_challenge-ea7b9e7bd634f7b2: examples/provenance_challenge.rs
+
+examples/provenance_challenge.rs:

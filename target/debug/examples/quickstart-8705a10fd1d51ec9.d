@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8705a10fd1d51ec9.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8705a10fd1d51ec9: examples/quickstart.rs
+
+examples/quickstart.rs:

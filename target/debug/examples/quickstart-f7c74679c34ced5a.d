@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f7c74679c34ced5a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f7c74679c34ced5a: examples/quickstart.rs
+
+examples/quickstart.rs:

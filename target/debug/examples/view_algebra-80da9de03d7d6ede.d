@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_algebra-80da9de03d7d6ede.d: examples/view_algebra.rs
+
+/root/repo/target/debug/examples/view_algebra-80da9de03d7d6ede: examples/view_algebra.rs
+
+examples/view_algebra.rs:

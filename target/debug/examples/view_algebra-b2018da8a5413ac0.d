@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/view_algebra-b2018da8a5413ac0.d: examples/view_algebra.rs Cargo.toml
+
+/root/repo/target/debug/examples/libview_algebra-b2018da8a5413ac0.rmeta: examples/view_algebra.rs Cargo.toml
+
+examples/view_algebra.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/view_algebra-d1abf1a36bda4a82.d: examples/view_algebra.rs
+
+/root/repo/target/debug/examples/view_algebra-d1abf1a36bda4a82: examples/view_algebra.rs
+
+examples/view_algebra.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-147586c0bd502e0c.d: vendored/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-147586c0bd502e0c.rlib: vendored/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-147586c0bd502e0c.rmeta: vendored/bytes/src/lib.rs
+
+vendored/bytes/src/lib.rs:

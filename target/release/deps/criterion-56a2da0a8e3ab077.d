@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-56a2da0a8e3ab077.d: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-56a2da0a8e3ab077.rlib: vendored/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-56a2da0a8e3ab077.rmeta: vendored/criterion/src/lib.rs
+
+vendored/criterion/src/lib.rs:

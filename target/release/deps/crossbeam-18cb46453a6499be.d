@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/crossbeam-18cb46453a6499be.d: vendored/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-18cb46453a6499be.rlib: vendored/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/libcrossbeam-18cb46453a6499be.rmeta: vendored/crossbeam/src/lib.rs
+
+vendored/crossbeam/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/experiments-39c4e37479b4f0e9.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/release/deps/experiments-39c4e37479b4f0e9: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

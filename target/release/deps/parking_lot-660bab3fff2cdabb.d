@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-660bab3fff2cdabb.d: vendored/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-660bab3fff2cdabb.rlib: vendored/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-660bab3fff2cdabb.rmeta: vendored/parking_lot/src/lib.rs
+
+vendored/parking_lot/src/lib.rs:

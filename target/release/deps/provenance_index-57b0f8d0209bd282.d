@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/provenance_index-57b0f8d0209bd282.d: crates/bench/benches/provenance_index.rs
+
+/root/repo/target/release/deps/provenance_index-57b0f8d0209bd282: crates/bench/benches/provenance_index.rs
+
+crates/bench/benches/provenance_index.rs:

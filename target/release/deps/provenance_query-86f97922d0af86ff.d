@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/provenance_query-86f97922d0af86ff.d: crates/bench/benches/provenance_query.rs
+
+/root/repo/target/release/deps/provenance_query-86f97922d0af86ff: crates/bench/benches/provenance_query.rs
+
+crates/bench/benches/provenance_query.rs:

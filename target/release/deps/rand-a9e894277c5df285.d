@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-a9e894277c5df285.d: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a9e894277c5df285.rlib: vendored/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-a9e894277c5df285.rmeta: vendored/rand/src/lib.rs
+
+vendored/rand/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/serde-5206229ef9de510e.d: vendored/serde/src/lib.rs vendored/serde/src/de.rs vendored/serde/src/ser.rs vendored/serde/src/impls.rs
+
+/root/repo/target/release/deps/libserde-5206229ef9de510e.rlib: vendored/serde/src/lib.rs vendored/serde/src/de.rs vendored/serde/src/ser.rs vendored/serde/src/impls.rs
+
+/root/repo/target/release/deps/libserde-5206229ef9de510e.rmeta: vendored/serde/src/lib.rs vendored/serde/src/de.rs vendored/serde/src/ser.rs vendored/serde/src/impls.rs
+
+vendored/serde/src/lib.rs:
+vendored/serde/src/de.rs:
+vendored/serde/src/ser.rs:
+vendored/serde/src/impls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-1cfecca116f64717.d: vendored/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-1cfecca116f64717.so: vendored/serde_derive/src/lib.rs
+
+vendored/serde_derive/src/lib.rs:

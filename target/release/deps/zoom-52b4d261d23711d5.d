@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zoom-52b4d261d23711d5.d: src/lib.rs
+
+/root/repo/target/release/deps/libzoom-52b4d261d23711d5.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libzoom-52b4d261d23711d5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/zoom_bench-4d879098b359eb19.d: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libzoom_bench-4d879098b359eb19.rlib: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs
+
+/root/repo/target/release/deps/libzoom_bench-4d879098b359eb19.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments/fig10.rs crates/bench/src/experiments/fig11.rs crates/bench/src/experiments/index_speedup.rs crates/bench/src/experiments/open_problem.rs crates/bench/src/experiments/optimality.rs crates/bench/src/experiments/response.rs crates/bench/src/experiments/scalability.rs crates/bench/src/experiments/switching.rs crates/bench/src/experiments/table1.rs crates/bench/src/experiments/table2.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments/fig10.rs:
+crates/bench/src/experiments/fig11.rs:
+crates/bench/src/experiments/index_speedup.rs:
+crates/bench/src/experiments/open_problem.rs:
+crates/bench/src/experiments/optimality.rs:
+crates/bench/src/experiments/response.rs:
+crates/bench/src/experiments/scalability.rs:
+crates/bench/src/experiments/switching.rs:
+crates/bench/src/experiments/table1.rs:
+crates/bench/src/experiments/table2.rs:
+crates/bench/src/workloads.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zoom_core-b0fc0c63883d1ee8.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libzoom_core-b0fc0c63883d1ee8.rlib: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libzoom_core-b0fc0c63883d1ee8.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/queries.rs crates/core/src/render.rs crates/core/src/session.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/queries.rs:
+crates/core/src/render.rs:
+crates/core/src/session.rs:
+crates/core/src/system.rs:

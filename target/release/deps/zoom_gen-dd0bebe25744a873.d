@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zoom_gen-dd0bebe25744a873.d: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+/root/repo/target/release/deps/libzoom_gen-dd0bebe25744a873.rlib: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+/root/repo/target/release/deps/libzoom_gen-dd0bebe25744a873.rmeta: crates/gen/src/lib.rs crates/gen/src/classes.rs crates/gen/src/library.rs crates/gen/src/rungen.rs crates/gen/src/specgen.rs crates/gen/src/stats.rs
+
+crates/gen/src/lib.rs:
+crates/gen/src/classes.rs:
+crates/gen/src/library.rs:
+crates/gen/src/rungen.rs:
+crates/gen/src/specgen.rs:
+crates/gen/src/stats.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/zoom_graph-50fc6a662eaad411.d: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+/root/repo/target/release/deps/libzoom_graph-50fc6a662eaad411.rlib: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+/root/repo/target/release/deps/libzoom_graph-50fc6a662eaad411.rmeta: crates/graph/src/lib.rs crates/graph/src/bitset.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs crates/graph/src/traversal.rs crates/graph/src/algo/cycles.rs crates/graph/src/algo/paths.rs crates/graph/src/algo/reach.rs crates/graph/src/algo/scc.rs crates/graph/src/algo/topo.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/bitset.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+crates/graph/src/traversal.rs:
+crates/graph/src/algo/cycles.rs:
+crates/graph/src/algo/paths.rs:
+crates/graph/src/algo/reach.rs:
+crates/graph/src/algo/scc.rs:
+crates/graph/src/algo/topo.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zoom_model-231968e528097435.d: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+/root/repo/target/release/deps/libzoom_model-231968e528097435.rlib: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+/root/repo/target/release/deps/libzoom_model-231968e528097435.rmeta: crates/model/src/lib.rs crates/model/src/composite.rs crates/model/src/error.rs crates/model/src/ids.rs crates/model/src/induced.rs crates/model/src/log.rs crates/model/src/run.rs crates/model/src/spec.rs crates/model/src/view.rs
+
+crates/model/src/lib.rs:
+crates/model/src/composite.rs:
+crates/model/src/error.rs:
+crates/model/src/ids.rs:
+crates/model/src/induced.rs:
+crates/model/src/log.rs:
+crates/model/src/run.rs:
+crates/model/src/spec.rs:
+crates/model/src/view.rs:

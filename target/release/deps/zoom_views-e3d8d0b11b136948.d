@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zoom_views-e3d8d0b11b136948.d: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+/root/repo/target/release/deps/libzoom_views-e3d8d0b11b136948.rlib: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+/root/repo/target/release/deps/libzoom_views-e3d8d0b11b136948.rmeta: crates/views/src/lib.rs crates/views/src/builder.rs crates/views/src/compose.rs crates/views/src/interactive.rs crates/views/src/minimal.rs crates/views/src/minimum.rs crates/views/src/nrpath.rs crates/views/src/paper.rs crates/views/src/properties.rs
+
+crates/views/src/lib.rs:
+crates/views/src/builder.rs:
+crates/views/src/compose.rs:
+crates/views/src/interactive.rs:
+crates/views/src/minimal.rs:
+crates/views/src/minimum.rs:
+crates/views/src/nrpath.rs:
+crates/views/src/paper.rs:
+crates/views/src/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zoomctl-e74d8c1a8210c0be.d: src/bin/zoomctl.rs
+
+/root/repo/target/release/deps/zoomctl-e74d8c1a8210c0be: src/bin/zoomctl.rs
+
+src/bin/zoomctl.rs:

@@ -59,15 +59,8 @@ fn demo_inspect_query_render() {
     assert!(out.contains("101 input(s): d308..d408"), "{out}");
 
     // Register Mary's view from the CLI; the snapshot is updated in place.
-    let out = run_ok(zoomctl().args([
-        "build-view",
-        snap_s,
-        "phylogenomic",
-        "M2",
-        "M3",
-        "M5",
-        "M7",
-    ]));
+    let out =
+        run_ok(zoomctl().args(["build-view", snap_s, "phylogenomic", "M2", "M3", "M5", "M7"]));
     assert!(out.contains("size 5"), "{out}");
     let out = run_ok(zoomctl().args([
         "query",
@@ -80,14 +73,7 @@ fn demo_inspect_query_render() {
     assert!(out.contains("1 input(s): d411"), "{out}");
 
     // DOT rendering.
-    let out = run_ok(zoomctl().args([
-        "render",
-        snap_s,
-        "phylogenomic",
-        "0",
-        "UAdmin",
-        "d447",
-    ]));
+    let out = run_ok(zoomctl().args(["render", snap_s, "phylogenomic", "0", "UAdmin", "d447"]));
     assert!(out.starts_with("digraph"));
     assert!(out.contains("S10:M7"));
 

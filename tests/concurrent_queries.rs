@@ -42,9 +42,7 @@ fn parallel_view_switching_matches_serial_answers() {
                     let w = &corpus.workflows[wi];
                     for (ki, (_, runs)) in w.runs.iter().enumerate() {
                         let rid = runs[0];
-                        for (vi, view) in
-                            [w.admin, w.bio, w.black_box].into_iter().enumerate()
-                        {
+                        for (vi, view) in [w.admin, w.bio, w.black_box].into_iter().enumerate() {
                             let got = corpus
                                 .zoom
                                 .deep_provenance_of_final_output(rid, view)

@@ -1,0 +1,117 @@
+//! The base-closure index is an *optimization*, not a semantics change:
+//! on generated workloads across all workflow classes, the indexed query
+//! paths must return byte-identical answers to both the member-iterating
+//! BFS path and the original whole-graph-scan reference (`*_bfs`), at
+//! every view level — UAdmin, UBlackBox, and a built intermediate view.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zoom::model::{UserView, ViewRun, WorkflowRun, WorkflowSpec};
+use zoom::warehouse::{
+    deep_provenance, deep_provenance_bfs, deep_provenance_indexed, dependents_of,
+    dependents_of_bfs, dependents_of_indexed, ProvenanceIndex,
+};
+use zoom_gen::{generate_run, generate_spec, RunGenConfig, SpecGenConfig, WorkflowClass};
+use zoom_views::relev_user_view_builder;
+
+fn workload(seed: u64, class: u8, modules: usize) -> (WorkflowSpec, WorkflowRun) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class = match class % 3 {
+        0 => WorkflowClass::Linear,
+        1 => WorkflowClass::Parallel,
+        _ => WorkflowClass::Loop,
+    };
+    let spec = generate_spec("idx-prop", &SpecGenConfig::new(class, modules), &mut rng);
+    let cfg = RunGenConfig {
+        user_input: (1, 20),
+        data_per_step: (1, 4),
+        loop_iterations: (1, 6),
+        max_nodes: 300,
+        max_edges: 300,
+    };
+    let run = generate_run(&spec, &cfg, &mut rng).expect("valid run");
+    (spec, run)
+}
+
+/// A built intermediate view from a random relevant-module mask.
+fn mid_view(spec: &WorkflowSpec, mask: u64) -> UserView {
+    let relevant: Vec<_> = spec
+        .module_ids()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << (i % 64)) != 0)
+        .map(|(_, m)| m)
+        .collect();
+    relev_user_view_builder(spec, &relevant)
+        .expect("builds")
+        .view
+}
+
+/// Checks all three deep-provenance forms and all three dependents forms
+/// agree for every (sampled) data object of the run at one view level.
+fn assert_equivalent(run: &WorkflowRun, vr: &ViewRun, index: &ProvenanceIndex) {
+    let data = run.all_data();
+    for &d in data.iter().step_by((data.len() / 25).max(1)) {
+        let plain = deep_provenance(run, vr, d);
+        let indexed = deep_provenance_indexed(run, vr, index, d);
+        let oracle = deep_provenance_bfs(run, vr, d);
+        assert_eq!(indexed, oracle, "indexed deep provenance of {d} diverges");
+        assert_eq!(plain, oracle, "plain deep provenance of {d} diverges");
+
+        let plain = dependents_of(run, vr, d);
+        let indexed = dependents_of_indexed(run, vr, index, d);
+        let oracle = dependents_of_bfs(run, vr, d);
+        assert_eq!(indexed, oracle, "indexed dependents of {d} diverge");
+        assert_eq!(plain, oracle, "plain dependents of {d} diverge");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One index per run answers every view level exactly like the
+    /// per-query BFS and the original scan-everything reference.
+    #[test]
+    fn indexed_queries_match_bfs_oracles(
+        seed in any::<u64>(),
+        class in any::<u8>(),
+        modules in 3usize..15,
+        mask in any::<u64>(),
+    ) {
+        let (spec, run) = workload(seed, class, modules);
+        let index = ProvenanceIndex::build(&run);
+        prop_assert_eq!(index.node_count(), run.graph().node_count());
+
+        for view in [
+            UserView::admin(&spec),
+            UserView::black_box(&spec),
+            mid_view(&spec, mask),
+        ] {
+            let vr = ViewRun::new(&run, &view);
+            assert_equivalent(&run, &vr, &index);
+        }
+    }
+
+    /// Hidden data is rejected identically by all three forms (None from
+    /// each), so the facade's visible/missing error mapping is unaffected
+    /// by which path answers.
+    #[test]
+    fn invisibility_agrees_across_forms(
+        seed in any::<u64>(),
+        class in any::<u8>(),
+        modules in 3usize..12,
+    ) {
+        let (spec, run) = workload(seed, class, modules);
+        let index = ProvenanceIndex::build(&run);
+        let vr = ViewRun::new(&run, &UserView::black_box(&spec));
+        for &d in run.all_data().iter().take(40) {
+            let visible = vr.is_visible(d);
+            prop_assert_eq!(deep_provenance(&run, &vr, d).is_some(), visible);
+            prop_assert_eq!(deep_provenance_indexed(&run, &vr, &index, d).is_some(), visible);
+            prop_assert_eq!(deep_provenance_bfs(&run, &vr, d).is_some(), visible);
+            prop_assert_eq!(dependents_of(&run, &vr, d).is_some(), visible);
+            prop_assert_eq!(dependents_of_indexed(&run, &vr, &index, d).is_some(), visible);
+            prop_assert_eq!(dependents_of_bfs(&run, &vr, d).is_some(), visible);
+        }
+    }
+}

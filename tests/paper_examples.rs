@@ -60,12 +60,9 @@ fn marys_view_is_constructed_automatically() {
 /// Returns Joe's and Mary's views (built by the algorithm) and the spec.
 fn joe_and_mary() -> (zoom::WorkflowSpec, UserView, UserView) {
     let spec = phylogenomic();
-    let joe = relev_user_view_builder(
-        &spec,
-        &["M2", "M3", "M7"].map(|l| spec.module(l).unwrap()),
-    )
-    .unwrap()
-    .view;
+    let joe = relev_user_view_builder(&spec, &["M2", "M3", "M7"].map(|l| spec.module(l).unwrap()))
+        .unwrap()
+        .view;
     let mary = relev_user_view_builder(
         &spec,
         &["M2", "M3", "M5", "M7"].map(|l| spec.module(l).unwrap()),
@@ -265,9 +262,16 @@ fn induced_specifications_match_figure3() {
     let ij = zoom::model::induced_spec(&spec, &joe);
     assert_eq!(ij.spec.module_count(), 4);
     let m10 = ij.node(joe.composite_of(spec.module("M3").unwrap()));
-    assert!(ij.spec.graph().has_edge(m10, m10), "M10 carries a self-loop");
+    assert!(
+        ij.spec.graph().has_edge(m10, m10),
+        "M10 carries a self-loop"
+    );
     let ij_backs = zoom::graph::algo::cycles::back_edges(ij.spec.graph());
-    assert_eq!(ij_backs.len(), 1, "the self-loop is the only cycle Joe sees");
+    assert_eq!(
+        ij_backs.len(),
+        1,
+        "the self-loop is the only cycle Joe sees"
+    );
     assert_eq!(ij.spec.graph().endpoints(ij_backs[0]), (m10, m10));
 
     // Mary: the loop leaves M11 through M5, so she sees a genuine

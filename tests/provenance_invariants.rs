@@ -23,9 +23,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeSet, HashMap};
-use zoom::model::{
-    DataId, EventLog, Producer, UserView, ViewRun, WorkflowRun, WorkflowSpec,
-};
+use zoom::model::{DataId, EventLog, Producer, UserView, ViewRun, WorkflowRun, WorkflowSpec};
 use zoom_gen::{generate_run, generate_spec, RunGenConfig, SpecGenConfig, WorkflowClass};
 use zoom_views::relev_user_view_builder;
 
@@ -50,7 +48,11 @@ fn workload(seed: u64, class: u8, modules: usize) -> (WorkflowSpec, WorkflowRun)
 
 /// The textbook recursive provenance definition, memoized, straight off the
 /// run graph — independent of the ViewRun machinery.
-fn oracle_prov(run: &WorkflowRun, d: DataId, memo: &mut HashMap<DataId, BTreeSet<DataId>>) -> BTreeSet<DataId> {
+fn oracle_prov(
+    run: &WorkflowRun,
+    d: DataId,
+    memo: &mut HashMap<DataId, BTreeSet<DataId>>,
+) -> BTreeSet<DataId> {
     if let Some(hit) = memo.get(&d) {
         return hit.clone();
     }

@@ -207,7 +207,10 @@ fn journal_and_snapshot_agree() {
             z.warehouse().spec_by_name(name).expect("present"),
         );
         let (va, vb) = (
-            replayed.warehouse().find_view(sa, "UAdmin").expect("present"),
+            replayed
+                .warehouse()
+                .find_view(sa, "UAdmin")
+                .expect("present"),
             z.warehouse().find_view(sb, "UAdmin").expect("present"),
         );
         for (&ra, &rb) in replayed
@@ -216,12 +219,19 @@ fn journal_and_snapshot_agree() {
             .iter()
             .zip(z.warehouse().runs_of_spec(sb))
         {
-            let target = replayed.warehouse().run(ra).expect("loaded").final_outputs()[0];
+            let target = replayed
+                .warehouse()
+                .run(ra)
+                .expect("loaded")
+                .final_outputs()[0];
             let x = replayed
                 .warehouse()
                 .deep_provenance(ra, va, target)
                 .expect("visible");
-            let y = z.warehouse().deep_provenance(rb, vb, target).expect("visible");
+            let y = z
+                .warehouse()
+                .deep_provenance(rb, vb, target)
+                .expect("visible");
             assert_eq!(x.rows, y.rows);
         }
     }

@@ -1,0 +1,223 @@
+//! Minimal, offline re-implementation of the subset of the `bytes` crate API
+//! this workspace uses: `Buf` for little-endian reads off `&[u8]`, `BufMut`
+//! for little-endian writes into `BytesMut`, and a `Bytes`/`BytesMut` pair
+//! backed by a plain `Vec<u8>`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the handful of third-party APIs it consumes. This is a
+//! behavioural subset, not a performance clone: `Bytes` here is not
+//! reference-counted-slice magic, just an immutable byte buffer.
+
+use std::ops::Deref;
+
+/// Read access to a byte cursor. Implemented for `&[u8]`, advancing the
+/// slice as values are consumed. All `get_*` methods panic if the source has
+/// too few bytes remaining, matching the real crate's contract.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Consumes and returns the next `N` bytes.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    fn get_u8(&mut self) -> u8 {
+        u8::from_le_bytes(self.take_array())
+    }
+    fn get_i8(&mut self) -> i8 {
+        i8::from_le_bytes(self.take_array())
+    }
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_array())
+    }
+    fn get_i16_le(&mut self) -> i16 {
+        i16::from_le_bytes(self.take_array())
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_array())
+    }
+    fn get_i32_le(&mut self) -> i32 {
+        i32::from_le_bytes(self.take_array())
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_array())
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_array())
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_le_bytes(self.take_array())
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        assert!(self.len() >= N, "buffer underflow: {} < {}", self.len(), N);
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returned N bytes")
+    }
+}
+
+/// Write access to a growable byte buffer, little-endian.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i8(&mut self, v: i8) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i16_le(&mut self, v: i16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// A mutable, growable byte buffer.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut { buf: Vec::new() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Converts into an immutable `Bytes` without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes { buf: self.buf }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// An immutable byte buffer. Dereferences to `[u8]`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes {
+    buf: Vec<u8>,
+}
+
+impl Bytes {
+    pub fn new() -> Self {
+        Bytes { buf: Vec::new() }
+    }
+
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { buf: data.to_vec() }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(buf: Vec<u8>) -> Self {
+        Bytes { buf }
+    }
+}
+
+impl From<Bytes> for Vec<u8> {
+    fn from(b: Bytes) -> Self {
+        b.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_little_endian() {
+        let mut out = BytesMut::with_capacity(64);
+        out.put_u8(7);
+        out.put_i8(-7);
+        out.put_u16_le(0xBEEF);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(u64::MAX - 1);
+        out.put_i64_le(i64::MIN);
+        out.put_f64_le(3.25);
+        out.put_slice(b"tail");
+        let frozen = out.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_i8(), -7);
+        assert_eq!(cur.get_u16_le(), 0xBEEF);
+        assert_eq!(cur.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cur.get_u64_le(), u64::MAX - 1);
+        assert_eq!(cur.get_i64_le(), i64::MIN);
+        assert_eq!(cur.get_f64_le(), 3.25);
+        assert_eq!(cur, b"tail");
+        assert_eq!(cur.remaining(), 4);
+    }
+}

@@ -1,0 +1,276 @@
+//! Minimal, offline subset of the criterion API used by this workspace's
+//! benches: `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `benchmark_group` with `throughput`/`bench_function`/`bench_with_input`,
+//! `BenchmarkId`, and `black_box`.
+//!
+//! Measurement is a simple warmup + timed-batch loop printing mean
+//! nanoseconds per iteration. `--test` (as passed by the CI smoke step
+//! `cargo bench -- --test`) runs every benchmark body exactly once and
+//! skips measurement, so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Applies the subset of criterion CLI flags we understand: `--test`
+    /// switches to run-once smoke mode; `--bench` (added by cargo) is
+    /// ignored; the first bare argument is a substring filter.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" | "-n" | "--noplot" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with('-') => {}
+                s => {
+                    if self.filter.is_none() {
+                        self.filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if self.enabled(id) {
+            run_one(id, self.test_mode, &mut f);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    pub fn final_summary(&mut self) {
+        if self.test_mode {
+            eprintln!("criterion: smoke mode (--test) complete");
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.criterion.test_mode, &mut f);
+        }
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        if self.criterion.enabled(&full) {
+            run_one(&full, self.criterion.test_mode, &mut |b: &mut Bencher| {
+                f(b, input)
+            });
+        }
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// An identifier for a single benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(format!("{parameter}"))
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Declared throughput of a benchmark (accepted, not reported).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    test_mode: bool,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm up for ~50ms, then size batches to ~100ms of measurement.
+        let warm_until = Instant::now() + Duration::from_millis(50);
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_until {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.1 / per_iter.max(1e-9)) as u64).clamp(1, 10_000_000);
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.mean_ns = Some(total.as_nanos() as f64 / batch as f64);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, f: &mut F) {
+    let mut b = Bencher {
+        test_mode,
+        mean_ns: None,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{id}: ok (smoke)");
+    } else {
+        match b.mean_ns {
+            Some(ns) if ns >= 1_000_000.0 => {
+                println!("{id}: {:.3} ms/iter", ns / 1_000_000.0)
+            }
+            Some(ns) if ns >= 1_000.0 => println!("{id}: {:.3} us/iter", ns / 1_000.0),
+            Some(ns) => println!("{id}: {ns:.1} ns/iter"),
+            None => println!("{id}: (no iter call)"),
+        }
+    }
+}
+
+/// Bundles benchmark functions into a group callable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            let _ = $config;
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut calls = 0u32;
+        let mut b = Bencher {
+            test_mode: true,
+            mean_ns: None,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 32).0, "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+}

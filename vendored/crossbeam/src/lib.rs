@@ -1,0 +1,95 @@
+//! Minimal, offline re-implementation of the subset of `crossbeam` this
+//! workspace uses: `crossbeam::thread::scope` with scoped spawn/join. The
+//! implementation delegates to `std::thread::scope` (stable since 1.63) and
+//! only adapts the call shapes: crossbeam's `scope` returns a `Result`, and
+//! its spawn closures receive the scope as an argument so spawned threads
+//! can themselves spawn.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result type of [`scope`]: `Err` carries a captured panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A handle to a scope, passed both to the `scope` closure and to every
+    /// spawned closure (crossbeam's signature — spawned closures usually
+    /// ignore it with `|_|`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope so it can
+        /// spawn further threads.
+        pub fn spawn<F, T>(self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope in which threads borrowing from the environment can
+    /// be spawned; all spawned threads are joined before `scope` returns.
+    ///
+    /// Unlike crossbeam, a panic in an *unjoined* child propagates out of
+    /// the enclosing `std::thread::scope` instead of being folded into the
+    /// `Err` value — our callers join every handle, so the difference is
+    /// unobservable here.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_arg() {
+        let n = crate::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 21u32).join().unwrap() * 2);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

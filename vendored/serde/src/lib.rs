@@ -1,0 +1,23 @@
+//! Minimal, offline re-implementation of the subset of the serde data model
+//! this workspace uses.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! the serde trait surface its hand-written binary codec
+//! (`zoom-warehouse::codec`) and `#[derive(Serialize, Deserialize)]` types
+//! program against: the `ser`/`de` trait families, impls for the std types
+//! that appear in the model (integers, floats, `bool`, `char`, `String`,
+//! `Vec`, `Option`, `Box`, tuples, `HashMap`, `BTreeMap`, sets), and the
+//! derive macros re-exported from the companion `serde_derive` crate.
+//!
+//! Not a general serde: `deserialize_any`-style self-describing formats,
+//! `#[serde(...)]` attributes, and zero-copy `&str` fields are out of scope.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,726 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` without syn/quote, for the
+//! offline vendored serde in this workspace.
+//!
+//! Supports exactly the shapes the workspace uses:
+//! - structs with named fields, tuple structs, unit structs
+//! - enums with unit, newtype, tuple, and struct variants (no explicit
+//!   discriminants)
+//! - plain type parameters (`Digraph<N, E>`), no lifetimes, const params,
+//!   bounds, defaults, or `where` clauses
+//! - no `#[serde(...)]` attributes (attributes and doc comments are skipped)
+//!
+//! Enums are serialized positionally: variant index as `u32` plus the
+//! variant payload, matching `serialize_unit_variant` and friends in the
+//! serde data model. Structs serialize all fields in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny token model
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Literal(String),
+    Group(Delimiter, Vec<Tok>),
+}
+
+fn lex(ts: TokenStream) -> Vec<Tok> {
+    ts.into_iter()
+        .map(|tt| match tt {
+            TokenTree::Ident(i) => Tok::Ident(i.to_string()),
+            TokenTree::Punct(p) => Tok::Punct(p.as_char()),
+            TokenTree::Literal(l) => Tok::Literal(l.to_string()),
+            TokenTree::Group(g) => Tok::Group(g.delimiter(), lex(g.stream())),
+        })
+        .collect()
+}
+
+/// Renders tokens back to source text (valid for type positions).
+fn render(toks: &[Tok]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        match t {
+            Tok::Ident(i) => {
+                s.push(' ');
+                s.push_str(i);
+            }
+            Tok::Punct(c) => s.push(*c),
+            Tok::Literal(l) => {
+                s.push(' ');
+                s.push_str(l);
+            }
+            Tok::Group(d, inner) => {
+                let (open, close) = match d {
+                    Delimiter::Parenthesis => ('(', ')'),
+                    Delimiter::Brace => ('{', '}'),
+                    Delimiter::Bracket => ('[', ']'),
+                    Delimiter::None => (' ', ' '),
+                };
+                s.push(open);
+                s.push_str(&render(inner));
+                s.push(close);
+            }
+        }
+    }
+    s
+}
+
+/// Splits on commas at angle-bracket depth zero (groups are atomic tokens,
+/// so parens/braces/brackets need no tracking).
+fn split_commas(toks: &[Tok]) -> Vec<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for t in toks {
+        match t {
+            Tok::Punct('<') => {
+                depth += 1;
+                cur.push(t.clone());
+            }
+            Tok::Punct('>') => {
+                depth -= 1;
+                cur.push(t.clone());
+            }
+            Tok::Punct(',') if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Skips leading `#[...]` attributes (including doc comments).
+fn skip_attrs(toks: &[Tok]) -> &[Tok] {
+    let mut rest = toks;
+    while let [Tok::Punct('#'), Tok::Group(Delimiter::Bracket, _), tail @ ..] = rest {
+        rest = tail;
+    }
+    rest
+}
+
+/// Skips a leading visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_vis(toks: &[Tok]) -> &[Tok] {
+    match toks {
+        [Tok::Ident(kw), Tok::Group(Delimiter::Parenthesis, _), tail @ ..] if kw == "pub" => tail,
+        [Tok::Ident(kw), tail @ ..] if kw == "pub" => tail,
+        _ => toks,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Item model and parser
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names, in order.
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(Vec<String>),
+    NamedStruct(Vec<(String, String)>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(Vec<String>),
+    Named(Vec<(String, String)>),
+}
+
+fn parse(input: TokenStream) -> Item {
+    let toks = lex(input);
+    let mut rest: &[Tok] = skip_vis(skip_attrs(&toks));
+
+    let is_enum = match rest {
+        [Tok::Ident(kw), tail @ ..] if kw == "struct" || kw == "enum" => {
+            let e = kw == "enum";
+            rest = tail;
+            e
+        }
+        _ => panic!("derive(Serialize/Deserialize): expected `struct` or `enum`"),
+    };
+
+    let name = match rest {
+        [Tok::Ident(n), tail @ ..] => {
+            rest = tail;
+            n.clone()
+        }
+        _ => panic!("derive: expected item name"),
+    };
+
+    let mut generics = Vec::new();
+    if let [Tok::Punct('<'), tail @ ..] = rest {
+        let mut depth = 1i32;
+        let mut inner = Vec::new();
+        let mut i = 0;
+        for t in tail {
+            match t {
+                Tok::Punct('<') => depth += 1,
+                Tok::Punct('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            inner.push(t.clone());
+            i += 1;
+        }
+        rest = &tail[i + 1..];
+        for param in split_commas(&inner) {
+            match param.first() {
+                Some(Tok::Ident(p)) if p != "const" => generics.push(p.clone()),
+                Some(Tok::Punct('\'')) => {
+                    panic!("derive: lifetime parameters are not supported")
+                }
+                other => panic!("derive: unsupported generic parameter {other:?}"),
+            }
+        }
+    }
+
+    if matches!(rest.first(), Some(Tok::Ident(kw)) if kw == "where") {
+        panic!("derive: `where` clauses are not supported");
+    }
+
+    let kind = if is_enum {
+        let body = match rest {
+            [Tok::Group(Delimiter::Brace, body)] => body,
+            _ => panic!("derive: expected enum body"),
+        };
+        let mut variants = Vec::new();
+        for chunk in split_commas(body) {
+            let chunk = skip_attrs(&chunk);
+            if chunk.is_empty() {
+                continue;
+            }
+            let (vname, vrest) = match chunk {
+                [Tok::Ident(n), tail @ ..] => (n.clone(), tail),
+                _ => panic!("derive: expected variant name"),
+            };
+            let fields = match vrest {
+                [] => VariantFields::Unit,
+                [Tok::Group(Delimiter::Parenthesis, inner)] => {
+                    VariantFields::Tuple(parse_tuple_fields(inner))
+                }
+                [Tok::Group(Delimiter::Brace, inner)] => {
+                    VariantFields::Named(parse_named_fields(inner))
+                }
+                _ => panic!("derive: unsupported variant shape for {vname}"),
+            };
+            variants.push(Variant {
+                name: vname,
+                fields,
+            });
+        }
+        Kind::Enum(variants)
+    } else {
+        match rest {
+            [Tok::Group(Delimiter::Brace, body)] => Kind::NamedStruct(parse_named_fields(body)),
+            [Tok::Group(Delimiter::Parenthesis, body), Tok::Punct(';')]
+            | [Tok::Group(Delimiter::Parenthesis, body)] => {
+                Kind::TupleStruct(parse_tuple_fields(body))
+            }
+            [Tok::Punct(';')] | [] => Kind::UnitStruct,
+            _ => panic!("derive: unsupported struct body"),
+        }
+    };
+
+    Item {
+        name,
+        generics,
+        kind,
+    }
+}
+
+fn parse_named_fields(toks: &[Tok]) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for chunk in split_commas(toks) {
+        let chunk = skip_vis(skip_attrs(&chunk));
+        if chunk.is_empty() {
+            continue;
+        }
+        match chunk {
+            [Tok::Ident(fname), Tok::Punct(':'), ty @ ..] => {
+                out.push((fname.clone(), render(ty)));
+            }
+            _ => panic!("derive: unsupported named field {chunk:?}"),
+        }
+    }
+    out
+}
+
+fn parse_tuple_fields(toks: &[Tok]) -> Vec<String> {
+    split_commas(toks)
+        .iter()
+        .map(|chunk| render(skip_vis(skip_attrs(chunk))))
+        .filter(|ty| !ty.trim().is_empty())
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared codegen helpers
+// ---------------------------------------------------------------------------
+
+impl Item {
+    /// `<N, E>` (or empty).
+    fn ty_generics(&self) -> String {
+        if self.generics.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics.join(", "))
+        }
+    }
+
+    /// `<N: {bound}, E: {bound}>` (or empty), with an optional extra leading
+    /// parameter such as `'de`.
+    fn impl_generics(&self, lead: &str, bound: &str) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        if !lead.is_empty() {
+            parts.push(lead.to_string());
+        }
+        for p in &self.generics {
+            parts.push(format!("{p}: {bound}"));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", parts.join(", "))
+        }
+    }
+
+    /// A `PhantomData` carrier tuple for visitor structs: `(N, E,)` or `()`.
+    fn phantom_tuple(&self) -> String {
+        if self.generics.is_empty() {
+            "()".to_string()
+        } else {
+            format!("({},)", self.generics.join(", "))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut body = String::new();
+
+    match &item.kind {
+        Kind::UnitStruct => {
+            let _ = write!(
+                body,
+                "::serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"
+            );
+        }
+        Kind::TupleStruct(fields) => {
+            let _ = write!(
+                body,
+                "let mut __st = ::serde::Serializer::serialize_tuple_struct(__serializer, \
+                 \"{name}\", {}usize)?;",
+                fields.len()
+            );
+            for i in 0..fields.len() {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeTupleStruct::end(__st)");
+        }
+        Kind::NamedStruct(fields) => {
+            let _ = write!(
+                body,
+                "let mut __st = ::serde::Serializer::serialize_struct(__serializer, \
+                 \"{name}\", {}usize)?;",
+                fields.len()
+            );
+            for (fname, _) in fields {
+                let _ = write!(
+                    body,
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __st, \"{fname}\", \
+                     &self.{fname})?;"
+                );
+            }
+            body.push_str("::serde::ser::SerializeStruct::end(__st)");
+        }
+        Kind::Enum(variants) => {
+            body.push_str("match self {");
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} => ::serde::Serializer::serialize_unit_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    VariantFields::Tuple(tys) if tys.len() == 1 => {
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}(__f0) => \
+                             ::serde::Serializer::serialize_newtype_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),"
+                        );
+                    }
+                    VariantFields::Tuple(tys) => {
+                        let binders: Vec<String> =
+                            (0..tys.len()).map(|i| format!("__f{i}")).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname}({binds}) => {{ let mut __st = \
+                             ::serde::Serializer::serialize_tuple_variant(__serializer, \
+                             \"{name}\", {idx}u32, \"{vname}\", {len}usize)?;",
+                            binds = binders.join(", "),
+                            len = tys.len()
+                        );
+                        for b in &binders {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __st, {b})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeTupleVariant::end(__st) }");
+                    }
+                    VariantFields::Named(fields) => {
+                        let binders: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+                        let _ = write!(
+                            body,
+                            "{name}::{vname} {{ {binds} }} => {{ let mut __st = \
+                             ::serde::Serializer::serialize_struct_variant(__serializer, \
+                             \"{name}\", {idx}u32, \"{vname}\", {len}usize)?;",
+                            binds = binders.join(", "),
+                            len = fields.len()
+                        );
+                        for b in &binders {
+                            let _ = write!(
+                                body,
+                                "::serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __st, \"{b}\", {b})?;"
+                            );
+                        }
+                        body.push_str("::serde::ser::SerializeStructVariant::end(__st) }");
+                    }
+                }
+            }
+            body.push('}');
+        }
+    }
+
+    format!(
+        "#[automatically_derived]\n\
+         impl {impl_g} ::serde::Serialize for {name} {ty_g} {{\n\
+             fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) \
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        impl_g = item.impl_generics("", "::serde::Serialize"),
+        ty_g = item.ty_generics(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emits a `visit_seq` body that reads `fields` positionally and finishes
+/// with `construct` applied to the binders `__f0..`.
+fn seq_body(expect: &str, tys: &[String], construct: &dyn Fn(&[String]) -> String) -> String {
+    let mut s = String::new();
+    let binders: Vec<String> = (0..tys.len()).map(|i| format!("__f{i}")).collect();
+    for (i, (b, ty)) in binders.iter().zip(tys).enumerate() {
+        let _ = write!(
+            s,
+            "let {b}: {ty} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\
+                 ::core::option::Option::Some(__v) => __v,\
+                 ::core::option::Option::None => return ::core::result::Result::Err(\
+                     ::serde::de::Error::invalid_length({i}usize, \"{expect}\")),\
+             }};"
+        );
+    }
+    let _ = write!(s, "::core::result::Result::Ok({})", construct(&binders));
+    s
+}
+
+/// Emits one complete visitor struct + `Visitor` impl with the given
+/// `visit_*` methods, and an expression constructing it.
+struct VisitorGen<'a> {
+    item: &'a Item,
+    /// Suffix distinguishing multiple visitors in one fn body.
+    tag: String,
+    /// `type Value` of the visitor (includes generics).
+    value: String,
+    expecting: String,
+    methods: String,
+}
+
+impl VisitorGen<'_> {
+    fn emit(&self) -> (String, String) {
+        let vis_name = format!("__Visitor{}", self.tag);
+        let def = format!(
+            "struct {vis_name} {ty_g} (::core::marker::PhantomData<fn() -> {phantom}>);\n\
+             #[automatically_derived]\n\
+             impl {impl_g} ::serde::de::Visitor<'de> for {vis_name} {ty_g} {{\n\
+                 type Value = {value};\n\
+                 fn expecting(&self, __f: &mut ::core::fmt::Formatter) -> ::core::fmt::Result {{\n\
+                     __f.write_str(\"{expecting}\")\n\
+                 }}\n\
+                 {methods}\n\
+             }}",
+            ty_g = self.item.ty_generics(),
+            phantom = self.item.phantom_tuple(),
+            impl_g = self.item.impl_generics("'de", "::serde::Deserialize<'de>"),
+            value = self.value,
+            expecting = self.expecting,
+            methods = self.methods,
+        );
+        let construct = format!("{vis_name}(::core::marker::PhantomData)");
+        (def, construct)
+    }
+}
+
+#[allow(clippy::needless_late_init)]
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let ty_g = item.ty_generics();
+    let value = format!("{name} {ty_g}");
+    let mut defs = String::new();
+    let driver;
+
+    match &item.kind {
+        Kind::UnitStruct => {
+            let (def, construct) = VisitorGen {
+                item,
+                tag: String::new(),
+                value: value.clone(),
+                expecting: format!("unit struct {name}"),
+                methods: format!(
+                    "fn visit_unit<__E: ::serde::de::Error>(self) \
+                         -> ::core::result::Result<Self::Value, __E> {{\
+                         ::core::result::Result::Ok({name})\
+                     }}"
+                ),
+            }
+            .emit();
+            defs.push_str(&def);
+            driver = format!(
+                "::serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", \
+                 {construct})"
+            );
+        }
+        Kind::TupleStruct(tys) => {
+            let expect = format!("tuple struct {name}");
+            let body = seq_body(&expect, tys, &|binders| {
+                format!("{name}({})", binders.join(", "))
+            });
+            let (def, construct) = VisitorGen {
+                item,
+                tag: String::new(),
+                value: value.clone(),
+                expecting: expect,
+                methods: format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{ {body} }}"
+                ),
+            }
+            .emit();
+            defs.push_str(&def);
+            driver = format!(
+                "::serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", \
+                 {}usize, {construct})",
+                tys.len()
+            );
+        }
+        Kind::NamedStruct(fields) => {
+            let expect = format!("struct {name}");
+            let tys: Vec<String> = fields.iter().map(|(_, t)| t.clone()).collect();
+            let fnames: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+            let body = seq_body(&expect, &tys, &|binders| {
+                let inits: Vec<String> = fnames
+                    .iter()
+                    .zip(binders)
+                    .map(|(f, b)| format!("{f}: {b}"))
+                    .collect();
+                format!("{name} {{ {} }}", inits.join(", "))
+            });
+            let (def, construct) = VisitorGen {
+                item,
+                tag: String::new(),
+                value: value.clone(),
+                expecting: expect,
+                methods: format!(
+                    "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{ {body} }}"
+                ),
+            }
+            .emit();
+            defs.push_str(&def);
+            let field_names: Vec<String> = fnames.iter().map(|f| format!("\"{f}\"")).collect();
+            driver = format!(
+                "::serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", \
+                 &[{}], {construct})",
+                field_names.join(", ")
+            );
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ \
+                             ::serde::de::VariantAccess::unit_variant(__variant)?; \
+                             ::core::result::Result::Ok({name}::{vname}) }}"
+                        );
+                    }
+                    VariantFields::Tuple(tys) if tys.len() == 1 => {
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => ::core::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant(__variant)?)),"
+                        );
+                    }
+                    VariantFields::Tuple(tys) => {
+                        let expect = format!("tuple variant {name}::{vname}");
+                        let body = seq_body(&expect, tys, &|binders| {
+                            format!("{name}::{vname}({})", binders.join(", "))
+                        });
+                        let (def, construct) = VisitorGen {
+                            item,
+                            tag: format!("V{idx}"),
+                            value: value.clone(),
+                            expecting: expect,
+                            methods: format!(
+                                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, \
+                                     mut __seq: __A) \
+                                     -> ::core::result::Result<Self::Value, __A::Error> \
+                                     {{ {body} }}"
+                            ),
+                        }
+                        .emit();
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ {def} \
+                             ::serde::de::VariantAccess::tuple_variant(__variant, {len}usize, \
+                             {construct}) }}",
+                            len = tys.len()
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let expect = format!("struct variant {name}::{vname}");
+                        let tys: Vec<String> = fields.iter().map(|(_, t)| t.clone()).collect();
+                        let fnames: Vec<&str> = fields.iter().map(|(f, _)| f.as_str()).collect();
+                        let body = seq_body(&expect, &tys, &|binders| {
+                            let inits: Vec<String> = fnames
+                                .iter()
+                                .zip(binders)
+                                .map(|(f, b)| format!("{f}: {b}"))
+                                .collect();
+                            format!("{name}::{vname} {{ {} }}", inits.join(", "))
+                        });
+                        let (def, construct) = VisitorGen {
+                            item,
+                            tag: format!("V{idx}"),
+                            value: value.clone(),
+                            expecting: expect,
+                            methods: format!(
+                                "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, \
+                                     mut __seq: __A) \
+                                     -> ::core::result::Result<Self::Value, __A::Error> \
+                                     {{ {body} }}"
+                            ),
+                        }
+                        .emit();
+                        let field_names: Vec<String> =
+                            fnames.iter().map(|f| format!("\"{f}\"")).collect();
+                        let _ = write!(
+                            arms,
+                            "{idx}u32 => {{ {def} \
+                             ::serde::de::VariantAccess::struct_variant(__variant, \
+                             &[{}], {construct}) }}",
+                            field_names.join(", ")
+                        );
+                    }
+                }
+            }
+            let (def, construct) = VisitorGen {
+                item,
+                tag: String::new(),
+                value: value.clone(),
+                expecting: format!("enum {name}"),
+                methods: format!(
+                    "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                         -> ::core::result::Result<Self::Value, __A::Error> {{\
+                         let (__idx, __variant): (u32, __A::Variant) = \
+                             ::serde::de::EnumAccess::variant(__data)?;\
+                         match __idx {{\
+                             {arms}\
+                             _ => ::core::result::Result::Err(::serde::de::Error::custom(\
+                                 \"invalid variant index for enum {name}\")),\
+                         }}\
+                     }}"
+                ),
+            }
+            .emit();
+            defs.push_str(&def);
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            driver = format!(
+                "::serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", \
+                 &[{}], {construct})",
+                variant_names.join(", ")
+            );
+        }
+    }
+
+    format!(
+        "#[automatically_derived]\n\
+         impl {impl_g} ::serde::Deserialize<'de> for {name} {ty_g} {{\n\
+             fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {defs}\n\
+                 {driver}\n\
+             }}\n\
+         }}",
+        impl_g = item.impl_generics("'de", "::serde::Deserialize<'de>"),
+    )
+}
