@@ -65,7 +65,7 @@ impl<'a> QuerySession<'a> {
         let outs = self.zoom.final_outputs(self.run)?;
         let &d = outs
             .first()
-            .ok_or(zoom_warehouse::WarehouseError::DataNotFound(DataId(0)))?;
+            .ok_or(zoom_warehouse::WarehouseError::NoFinalOutputs(self.run))?;
         self.focus_data(d)
     }
 

@@ -7,88 +7,183 @@ use zoom_model::{DataId, EventLog, UserView, WorkflowRun, WorkflowSpec};
 use zoom_views::relev_user_view_builder;
 use zoom_warehouse::persist::PersistError;
 use zoom_warehouse::{
-    ImmediateAnswer, ProvenanceResult, Result, RunId, SpecId, ViewId, Warehouse, WarehouseError,
+    DurableError, DurableOptions, DurableWarehouse, ImmediateAnswer, ProvenanceResult, Result,
+    RunId, SpecId, ViewId, Warehouse, WarehouseError, WarehouseStats,
 };
+
+/// Maps a durable-store error back into the warehouse error space:
+/// warehouse-level rejections surface identically to the in-memory path;
+/// genuine durability failures (io, torn snapshots, bad manifests) come
+/// through as [`WarehouseError::Durability`].
+fn durability_err(e: DurableError) -> WarehouseError {
+    match e {
+        DurableError::Warehouse(we) => we,
+        other => WarehouseError::Durability(Box::new(other)),
+    }
+}
+
+/// The storage behind a [`Zoom`] system: a plain in-memory warehouse or a
+/// crash-safe [`DurableWarehouse`] directory.
+#[derive(Debug)]
+enum Backing {
+    Memory(Warehouse),
+    Durable(DurableWarehouse),
+}
 
 /// The ZOOM system: registration, view building, execution loading, and
 /// provenance querying behind one API.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Zoom {
-    warehouse: Warehouse,
+    backing: Backing,
+}
+
+impl Default for Zoom {
+    fn default() -> Self {
+        Zoom {
+            backing: Backing::Memory(Warehouse::new()),
+        }
+    }
 }
 
 impl Zoom {
-    /// A fresh system with an empty warehouse.
+    /// A fresh system with an empty in-memory warehouse.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Read access to the underlying warehouse.
-    pub fn warehouse(&self) -> &Warehouse {
-        &self.warehouse
+    /// Opens (or initializes) a crash-safe system in `dir`: every
+    /// registration and run load is journaled before it is acknowledged,
+    /// and the journal auto-compacts into snapshots. See
+    /// [`zoom_warehouse::durable`].
+    pub fn open_durable(dir: &Path) -> std::result::Result<Self, DurableError> {
+        Ok(Zoom {
+            backing: Backing::Durable(DurableWarehouse::open(dir)?),
+        })
     }
 
-    /// Mutable access to the underlying warehouse (bulk operations).
-    pub fn warehouse_mut(&mut self) -> &mut Warehouse {
-        &mut self.warehouse
+    /// [`Zoom::open_durable`] with explicit durability options.
+    pub fn open_durable_opts(
+        dir: &Path,
+        options: DurableOptions,
+    ) -> std::result::Result<Self, DurableError> {
+        Ok(Zoom {
+            backing: Backing::Durable(DurableWarehouse::open_opts(dir, options)?),
+        })
+    }
+
+    /// Whether this system is backed by a durable directory.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.backing, Backing::Durable(_))
+    }
+
+    /// Forces a compaction of the durable store (snapshot, fresh journal,
+    /// atomic manifest swing). Returns `false` (and does nothing) for
+    /// in-memory systems.
+    pub fn checkpoint(&mut self) -> Result<bool> {
+        match &mut self.backing {
+            Backing::Memory(_) => Ok(false),
+            Backing::Durable(dw) => {
+                dw.checkpoint().map_err(durability_err)?;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Warehouse statistics; durable systems fill in the journal and
+    /// compaction counters.
+    pub fn stats(&self) -> WarehouseStats {
+        match &self.backing {
+            Backing::Memory(w) => w.stats(),
+            Backing::Durable(dw) => dw.stats(),
+        }
+    }
+
+    /// Read access to the underlying warehouse.
+    pub fn warehouse(&self) -> &Warehouse {
+        match &self.backing {
+            Backing::Memory(w) => w,
+            Backing::Durable(dw) => dw.warehouse(),
+        }
+    }
+
+    /// Mutable access to the underlying warehouse, for bulk operations
+    /// that bypass the durability layer. `None` when the system is
+    /// durable: direct mutation would diverge memory from disk.
+    pub fn warehouse_mut(&mut self) -> Option<&mut Warehouse> {
+        match &mut self.backing {
+            Backing::Memory(w) => Some(w),
+            Backing::Durable(_) => None,
+        }
     }
 
     // ------------------------------------------------------------------
     // Registration
     // ------------------------------------------------------------------
 
-    /// Registers a workflow specification.
+    /// Registers a workflow specification (journaled when durable).
     pub fn register_workflow(&mut self, spec: WorkflowSpec) -> Result<SpecId> {
-        self.warehouse.register_spec(spec)
+        match &mut self.backing {
+            Backing::Memory(w) => w.register_spec(spec),
+            Backing::Durable(dw) => dw.register_spec(spec).map_err(durability_err),
+        }
     }
 
-    /// Registers an explicit user view.
+    /// Registers an explicit user view (journaled when durable).
     pub fn register_view(&mut self, spec: SpecId, view: UserView) -> Result<ViewId> {
-        self.warehouse.register_view(spec, view)
+        match &mut self.backing {
+            Backing::Memory(w) => w.register_view(spec, view),
+            Backing::Durable(dw) => dw.register_view(spec, view).map_err(durability_err),
+        }
     }
 
     /// Builds a *good* user view from relevant module labels with
     /// `RelevUserViewBuilder` and registers it. Re-registering the same
     /// relevant set returns the existing view.
     pub fn build_view(&mut self, spec_id: SpecId, relevant_labels: &[&str]) -> Result<ViewId> {
-        let spec = self.warehouse.spec(spec_id)?;
+        let spec = self.warehouse().spec(spec_id)?;
         let relevant: Vec<NodeId> = relevant_labels
             .iter()
             .map(|l| spec.module(l))
             .collect::<zoom_model::Result<_>>()?;
         let built = relev_user_view_builder(spec, &relevant)?;
-        if let Some(existing) = self.warehouse.find_view(spec_id, built.view.name()) {
+        if let Some(existing) = self.warehouse().find_view(spec_id, built.view.name()) {
             return Ok(existing);
         }
-        self.warehouse.register_view(spec_id, built.view)
+        self.register_view(spec_id, built.view)
     }
 
     /// The finest view (UAdmin), registered on first use.
     pub fn admin_view(&mut self, spec_id: SpecId) -> Result<ViewId> {
-        if let Some(v) = self.warehouse.find_view(spec_id, "UAdmin") {
+        if let Some(v) = self.warehouse().find_view(spec_id, "UAdmin") {
             return Ok(v);
         }
-        let view = UserView::admin(self.warehouse.spec(spec_id)?);
-        self.warehouse.register_view(spec_id, view)
+        let view = UserView::admin(self.warehouse().spec(spec_id)?);
+        self.register_view(spec_id, view)
     }
 
     /// The coarsest view (UBlackBox), registered on first use.
     pub fn black_box_view(&mut self, spec_id: SpecId) -> Result<ViewId> {
-        if let Some(v) = self.warehouse.find_view(spec_id, "UBlackBox") {
+        if let Some(v) = self.warehouse().find_view(spec_id, "UBlackBox") {
             return Ok(v);
         }
-        let view = UserView::black_box(self.warehouse.spec(spec_id)?);
-        self.warehouse.register_view(spec_id, view)
+        let view = UserView::black_box(self.warehouse().spec(spec_id)?);
+        self.register_view(spec_id, view)
     }
 
-    /// Loads a validated run.
+    /// Loads a validated run (journaled when durable).
     pub fn load_run(&mut self, spec: SpecId, run: WorkflowRun) -> Result<RunId> {
-        self.warehouse.load_run(spec, run)
+        match &mut self.backing {
+            Backing::Memory(w) => w.load_run(spec, run),
+            Backing::Durable(dw) => dw.load_run(spec, run).map_err(durability_err),
+        }
     }
 
-    /// Ingests a workflow-system event log.
+    /// Ingests a workflow-system event log (journaled when durable).
     pub fn load_log(&mut self, spec: SpecId, log: &EventLog) -> Result<RunId> {
-        self.warehouse.load_log(spec, log)
+        match &mut self.backing {
+            Backing::Memory(w) => w.load_log(spec, log),
+            Backing::Durable(dw) => dw.load_log(spec, log).map_err(durability_err),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -102,7 +197,7 @@ impl Zoom {
         view: ViewId,
         data: DataId,
     ) -> Result<ProvenanceResult> {
-        self.warehouse.deep_provenance(run, view, data)
+        self.warehouse().deep_provenance(run, view, data)
     }
 
     /// Deep provenance of many `(run, view, data)` triples at once,
@@ -111,7 +206,7 @@ impl Zoom {
         &self,
         queries: &[(RunId, ViewId, DataId)],
     ) -> Vec<Result<ProvenanceResult>> {
-        self.warehouse.deep_provenance_many(queries)
+        self.warehouse().deep_provenance_many(queries)
     }
 
     /// Immediate provenance of `data` through `view`.
@@ -121,13 +216,13 @@ impl Zoom {
         view: ViewId,
         data: DataId,
     ) -> Result<ImmediateAnswer> {
-        self.warehouse.immediate_provenance(run, view, data)
+        self.warehouse().immediate_provenance(run, view, data)
     }
 
     /// Canned forward query: the data objects that have `data` in their
     /// provenance.
     pub fn dependents_of(&self, run: RunId, view: ViewId, data: DataId) -> Result<Vec<DataId>> {
-        self.warehouse.dependents_of(run, view, data)
+        self.warehouse().dependents_of(run, view, data)
     }
 
     /// The data set passed between two executions (Section IV's edge-click
@@ -139,14 +234,14 @@ impl Zoom {
         from: Option<zoom_model::StepId>,
         to: Option<zoom_model::StepId>,
     ) -> Result<Vec<DataId>> {
-        self.warehouse.data_between(run, view, from, to)
+        self.warehouse().data_between(run, view, from, to)
     }
 
     /// The run's final outputs (data flowing to the output node) — the
     /// target of "the most expensive provenance query possible" used
     /// throughout Section V.
     pub fn final_outputs(&self, run: RunId) -> Result<Vec<DataId>> {
-        Ok(self.warehouse.run(run)?.final_outputs())
+        Ok(self.warehouse().run(run)?.final_outputs())
     }
 
     /// Deep provenance of the run's (first) final output through `view`.
@@ -156,9 +251,7 @@ impl Zoom {
         view: ViewId,
     ) -> Result<ProvenanceResult> {
         let outs = self.final_outputs(run)?;
-        let &target = outs
-            .first()
-            .ok_or(WarehouseError::DataNotFound(DataId(0)))?;
+        let &target = outs.first().ok_or(WarehouseError::NoFinalOutputs(run))?;
         self.deep_provenance(run, view, target)
     }
 
@@ -168,13 +261,13 @@ impl Zoom {
 
     /// Saves the warehouse snapshot to `path`.
     pub fn save(&self, path: &Path) -> std::result::Result<(), PersistError> {
-        zoom_warehouse::persist::save(&self.warehouse, path)
+        zoom_warehouse::persist::save(self.warehouse(), path)
     }
 
-    /// Loads a system from a warehouse snapshot.
+    /// Loads a system (in-memory) from a warehouse snapshot.
     pub fn load(path: &Path) -> std::result::Result<Self, PersistError> {
         Ok(Zoom {
-            warehouse: zoom_warehouse::persist::load(path)?,
+            backing: Backing::Memory(zoom_warehouse::persist::load(path)?),
         })
     }
 }
@@ -248,6 +341,55 @@ mod tests {
             ImmediateAnswer::Produced { exec, .. } => assert_eq!(exec, StepId(2)),
             o => panic!("unexpected {o:?}"),
         }
+    }
+
+    #[test]
+    fn durable_facade_survives_reopen() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("zoom-core-durable-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+
+        let s = spec();
+        let (sid, vid, rid) = {
+            let mut z = Zoom::open_durable(&dir).unwrap();
+            assert!(z.is_durable());
+            assert!(z.warehouse_mut().is_none(), "durable denies raw mutation");
+            let sid = z.register_workflow(s.clone()).unwrap();
+            let vid = z.build_view(sid, &["R"]).unwrap();
+            let rid = z.load_run(sid, run(&s)).unwrap();
+            assert_eq!(z.stats().journal_records, 3);
+            (sid, vid, rid)
+        };
+        // Reopen: same ids, same answers, journaled state intact.
+        let mut z = Zoom::open_durable(&dir).unwrap();
+        let st = z.stats();
+        assert_eq!((st.specs, st.views, st.runs), (1, 1, 1));
+        assert_eq!(st.journal_records, 3);
+        assert_eq!(z.build_view(sid, &["R"]).unwrap(), vid);
+        let res = z.deep_provenance_of_final_output(rid, vid).unwrap();
+        assert_eq!(res.tuples(), 2);
+
+        // Checkpoint compacts into a snapshot epoch.
+        assert!(z.checkpoint().unwrap());
+        let st = z.stats();
+        assert_eq!(st.epoch, 1);
+        assert_eq!(st.journal_records, 0);
+        assert_eq!(st.compactions, 1);
+        drop(z);
+        let z = Zoom::open_durable(&dir).unwrap();
+        assert_eq!(z.stats().epoch, 1);
+        let res = z.deep_provenance_of_final_output(rid, vid).unwrap();
+        assert_eq!(res.tuples(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memory_facade_checkpoint_is_a_no_op() {
+        let mut z = Zoom::new();
+        assert!(!z.is_durable());
+        assert!(!z.checkpoint().unwrap());
+        assert!(z.warehouse_mut().is_some());
+        assert_eq!(z.stats().epoch, 0);
     }
 
     #[test]

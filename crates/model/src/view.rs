@@ -170,6 +170,32 @@ impl UserView {
         (0..self.composites.len()).map(|i| CompositeId(i as u32))
     }
 
+    /// Re-validates a deserialized view against `spec`.
+    ///
+    /// Snapshot/journal bytes bypass [`UserView::new`], so a stored view
+    /// must be re-checked before it reaches query time: the composites must
+    /// partition `spec`'s modules, and the serialized member→composite
+    /// index must agree with the composites (a doctored index would
+    /// silently change visibility).
+    pub fn validate(&self, spec: &WorkflowSpec) -> Result<()> {
+        if self.spec_name != spec.name() {
+            return Err(ModelError::SpecMismatch(format!(
+                "view `{}` is of `{}`, spec is `{}`",
+                self.name,
+                self.spec_name,
+                spec.name()
+            )));
+        }
+        let rebuilt = UserView::new(self.name.clone(), spec, self.composites.clone())?;
+        if rebuilt.of_module != self.of_module {
+            return Err(ModelError::NotAPartition(format!(
+                "view `{}`: member index diverges from its composites",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
     /// Property 1 (well-formedness): every composite contains at most one
     /// module from `relevant`.
     pub fn is_well_formed(&self, relevant: &[NodeId]) -> bool {
@@ -319,6 +345,49 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, ModelError::DuplicateComposite("X".into()));
+    }
+
+    #[test]
+    fn validate_accepts_built_views_and_rejects_doctored_ones() {
+        let s = spec();
+        let admin = UserView::admin(&s);
+        admin.validate(&s).unwrap();
+        UserView::black_box(&s).validate(&s).unwrap();
+
+        // Same view against a different spec (name mismatch).
+        let mut b = SpecBuilder::new("other");
+        b.analysis("A");
+        b.from_input("A").to_output("A");
+        let other = b.build().unwrap();
+        assert!(matches!(
+            admin.validate(&other),
+            Err(ModelError::SpecMismatch(_))
+        ));
+
+        // A view built against a *different* spec that shares the name: the
+        // partition does not cover this spec's modules.
+        let mut b = SpecBuilder::new("s");
+        b.analysis("A");
+        b.from_input("A").to_output("A");
+        let impostor_spec = b.build().unwrap();
+        let impostor = UserView::admin(&impostor_spec);
+        assert_eq!(impostor.spec_name(), "s");
+        assert!(matches!(
+            impostor.validate(&s),
+            Err(ModelError::NotAPartition(_))
+        ));
+
+        // A doctored member index (as decoded bytes could carry) diverging
+        // from the composites.
+        let mut doctored = UserView::black_box(&s);
+        let a = s.module("A").unwrap();
+        let b_mod = s.module("B").unwrap();
+        let wrong = CompositeId(doctored.of_module[&b_mod].0 + 1);
+        doctored.of_module.insert(a, wrong);
+        assert!(matches!(
+            doctored.validate(&s),
+            Err(ModelError::NotAPartition(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,366 @@
+//! Storage abstraction for the durability layer.
+//!
+//! Every byte the warehouse puts on disk — snapshots ([`crate::persist`]),
+//! journals ([`crate::journal`]), and manifests ([`crate::durable`]) — goes
+//! through the [`StorageIo`] trait so that crash-safety can be *tested*:
+//! [`RealFs`] is the production implementation, [`FaultFs`] a test double
+//! that counts write-side operations and can be armed to fail (optionally
+//! tearing the write mid-buffer) at any chosen operation, after which every
+//! later write-side call fails too — the moral equivalent of the process
+//! dying at that sync point.
+//!
+//! The trait is deliberately path-level rather than handle-level: each call
+//! is one durability-relevant operation (one fault-injection point), and
+//! the journal's append rate is fsync-bound, so reopening the file per
+//! append is noise.
+
+use parking_lot::Mutex;
+use std::fmt;
+use std::io::{Result, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Filesystem operations the durability layer needs, in testable form.
+///
+/// Write-side methods (`write`, `append`, `rename`, `sync_dir`, `set_len`,
+/// `remove_file`, `create_dir_all`) are fault-injection points in
+/// [`FaultFs`]; read-side methods never fail by injection.
+pub trait StorageIo: Send + Sync + fmt::Debug {
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> Result<Vec<u8>>;
+    /// Creates (or truncates) `path` with `bytes` and fsyncs the file.
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<()>;
+    /// Appends `bytes` to `path` and fsyncs the data.
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<()>;
+    /// Renames `from` to `to` (atomic on POSIX filesystems).
+    fn rename(&self, from: &Path, to: &Path) -> Result<()>;
+    /// Fsyncs a directory, making renames/creations inside it durable.
+    fn sync_dir(&self, dir: &Path) -> Result<()>;
+    /// Truncates (or extends) `path` to `len` bytes and fsyncs.
+    fn set_len(&self, path: &Path, len: u64) -> Result<()>;
+    /// The file's current length in bytes.
+    fn len(&self, path: &Path) -> Result<u64>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> Result<()>;
+    /// Creates a directory and its ancestors.
+    fn create_dir_all(&self, path: &Path) -> Result<()>;
+    /// The file names (not paths) inside a directory.
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>>;
+}
+
+/// The production storage backend: plain `std::fs` with real fsyncs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RealFs;
+
+impl StorageIo for RealFs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+        f.write_all(bytes)?;
+        f.sync_data()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        // On POSIX a directory must itself be fsynced for renames/creates
+        // inside it to survive a crash; other platforms sync metadata with
+        // the file and cannot open directories.
+        #[cfg(unix)]
+        {
+            std::fs::File::open(dir)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Ok(())
+        }
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_all()
+    }
+
+    fn len(&self, path: &Path) -> Result<u64> {
+        Ok(std::fs::metadata(path)?.len())
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(path)? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+}
+
+#[derive(Debug)]
+struct FaultState {
+    /// Write-side ops allowed before tripping; `None` never trips
+    /// (counting mode).
+    budget: Option<u64>,
+    /// Bytes of a tripped `write`/`append` that still reach the disk
+    /// (models a torn write).
+    torn_bytes: usize,
+    /// Total write-side ops attempted.
+    ops: u64,
+    /// Once tripped, every later write-side op fails (the disk is "gone",
+    /// as after a crash).
+    tripped: bool,
+}
+
+/// A fault-injecting [`StorageIo`] for crash-recovery tests.
+///
+/// In counting mode ([`FaultFs::counting`]) it behaves like [`RealFs`] and
+/// tallies write-side operations. Armed with [`FaultFs::fail_after`]`(k, t)`
+/// it lets `k` write-side operations through, then fails the `k+1`-th and
+/// all later ones; a failing `write`/`append` first persists `t` bytes of
+/// its buffer, modelling a torn write. Sweeping `k` over the count observed
+/// in a fault-free run kills the store at every sync point.
+#[derive(Debug)]
+pub struct FaultFs {
+    inner: RealFs,
+    state: Mutex<FaultState>,
+}
+
+impl FaultFs {
+    /// A backend that never fails but counts write-side operations.
+    pub fn counting() -> Self {
+        FaultFs {
+            inner: RealFs,
+            state: Mutex::new(FaultState {
+                budget: None,
+                torn_bytes: 0,
+                ops: 0,
+                tripped: false,
+            }),
+        }
+    }
+
+    /// A backend that allows `budget` write-side operations, then fails
+    /// every later one, tearing failing writes after `torn_bytes` bytes.
+    pub fn fail_after(budget: u64, torn_bytes: usize) -> Self {
+        FaultFs {
+            inner: RealFs,
+            state: Mutex::new(FaultState {
+                budget: Some(budget),
+                torn_bytes,
+                ops: 0,
+                tripped: false,
+            }),
+        }
+    }
+
+    /// Write-side operations attempted so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// Whether the injected fault has fired.
+    pub fn tripped(&self) -> bool {
+        self.state.lock().tripped
+    }
+
+    /// Charges one write-side op; returns the torn-byte allowance if this
+    /// op must fail.
+    fn gate(&self) -> std::result::Result<(), usize> {
+        let mut st = self.state.lock();
+        st.ops += 1;
+        if st.tripped {
+            return Err(0);
+        }
+        if let Some(b) = st.budget {
+            if st.ops > b {
+                st.tripped = true;
+                return Err(st.torn_bytes);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn injected() -> std::io::Error {
+    std::io::Error::other("injected storage fault")
+}
+
+impl StorageIo for FaultFs {
+    fn read(&self, path: &Path) -> Result<Vec<u8>> {
+        self.inner.read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.write(path, bytes),
+            Err(torn) => {
+                let keep = torn.min(bytes.len());
+                let _ = self.inner.write(path, &bytes[..keep]);
+                Err(injected())
+            }
+        }
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> Result<()> {
+        match self.gate() {
+            Ok(()) => self.inner.append(path, bytes),
+            Err(torn) => {
+                let keep = torn.min(bytes.len());
+                if keep > 0 {
+                    let _ = self.inner.append(path, &bytes[..keep]);
+                }
+                Err(injected())
+            }
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> Result<()> {
+        self.gate().map_err(|_| injected())?;
+        self.inner.rename(from, to)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> Result<()> {
+        self.gate().map_err(|_| injected())?;
+        self.inner.sync_dir(dir)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> Result<()> {
+        self.gate().map_err(|_| injected())?;
+        self.inner.set_len(path, len)
+    }
+
+    fn len(&self, path: &Path) -> Result<u64> {
+        self.inner.len(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> Result<()> {
+        self.gate().map_err(|_| injected())?;
+        self.inner.remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> Result<()> {
+        self.gate().map_err(|_| injected())?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn list_dir(&self, path: &Path) -> Result<Vec<String>> {
+        self.inner.list_dir(path)
+    }
+}
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A sibling temp path for atomically replacing `target`, unique across
+/// processes (pid) and within a process (sequence counter): concurrent
+/// savers never collide, and a user file literally named `target.tmp` is
+/// never clobbered.
+pub(crate) fn unique_temp_path(target: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = target
+        .file_name()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "file".to_string());
+    target.with_file_name(format!(".{name}.{}.{seq}.tmp", std::process::id()))
+}
+
+/// Fsyncs the directory containing `path` (`.` when the path is bare).
+pub(crate) fn sync_parent(io: &dyn StorageIo, path: &Path) -> Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    io.sync_dir(parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("zoom-io-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn real_fs_roundtrip() {
+        let path = temp("roundtrip");
+        let fs = RealFs;
+        fs.write(&path, b"hello").unwrap();
+        assert!(fs.exists(&path));
+        assert_eq!(fs.len(&path).unwrap(), 5);
+        fs.append(&path, b" world").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"hello world");
+        fs.set_len(&path, 5).unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"hello");
+        let moved = temp("roundtrip-moved");
+        fs.rename(&path, &moved).unwrap();
+        assert!(!fs.exists(&path));
+        crate::io::sync_parent(&fs, &moved).unwrap();
+        fs.remove_file(&moved).unwrap();
+    }
+
+    #[test]
+    fn fault_fs_counts_then_fails() {
+        let path = temp("faults");
+        let counting = FaultFs::counting();
+        counting.write(&path, b"a").unwrap();
+        counting.append(&path, b"b").unwrap();
+        assert_eq!(counting.ops(), 2);
+        assert!(!counting.tripped());
+
+        // Budget 1: the write succeeds, the append fails and tears.
+        let faulty = FaultFs::fail_after(1, 1);
+        faulty.write(&path, b"xyz").unwrap();
+        assert!(faulty.append(&path, b"1234").is_err());
+        assert!(faulty.tripped());
+        // One torn byte of the append reached the disk.
+        assert_eq!(faulty.read(&path).unwrap(), b"xyz1");
+        // Every later write-side op fails too; reads still work.
+        assert!(faulty.append(&path, b"more").is_err());
+        assert!(faulty.rename(&path, &temp("faults2")).is_err());
+        assert_eq!(faulty.read(&path).unwrap(), b"xyz1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unique_temp_paths_differ() {
+        let t = Path::new("/tmp/some/file.zoom");
+        let a = unique_temp_path(t);
+        let b = unique_temp_path(t);
+        assert_ne!(a, b);
+        assert_eq!(a.parent(), t.parent());
+        assert!(a.file_name().unwrap().to_string_lossy().ends_with(".tmp"));
+        assert!(a.file_name().unwrap().to_string_lossy().starts_with('.'));
+    }
+}

@@ -12,13 +12,13 @@
 //! [payload: codec-encoded JournalRecord]`, after an 8-byte magic header.
 
 use crate::codec::{self, CodecError};
+use crate::io::{RealFs, StorageIo};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow};
 use crate::store::{Warehouse, WarehouseError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use zoom_model::{EventLog, UserView, WorkflowRun, WorkflowSpec};
 
 /// Magic bytes identifying a warehouse journal.
@@ -40,6 +40,14 @@ pub enum JournalError {
         /// Index of the corrupt record.
         record: usize,
     },
+    /// A journaled id does not match the id replay assigned — the journal
+    /// was written against a different base state (or doctored).
+    IdMismatch {
+        /// The id stored in the record.
+        expected: String,
+        /// The id replay assigned.
+        got: String,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -51,6 +59,12 @@ impl fmt::Display for JournalError {
             JournalError::BadHeader => write!(f, "not a warehouse journal (bad header)"),
             JournalError::Corrupt { record } => {
                 write!(f, "journal record {record} is corrupt (crc mismatch)")
+            }
+            JournalError::IdMismatch { expected, got } => {
+                write!(
+                    f,
+                    "journal replay id mismatch: record says {expected}, replay assigned {got}"
+                )
             }
         }
     }
@@ -82,12 +96,75 @@ impl From<zoom_model::ModelError> for JournalError {
     }
 }
 
-/// One durable mutation.
+/// One durable mutation. Shared with [`crate::durable`], which journals the
+/// same record kinds behind its manifest.
 #[derive(Serialize, Deserialize)]
-enum JournalRecord {
+pub(crate) enum JournalRecord {
+    /// A registered specification.
     Spec(SpecId, SpecRow),
+    /// A registered view.
     View(ViewId, ViewRow),
+    /// A loaded run.
     Run(RunId, RunRow),
+}
+
+/// Encodes one record as a wire frame: `[len][crc][payload]`.
+pub(crate) fn encode_frame(rec: &JournalRecord) -> Result<Vec<u8>, JournalError> {
+    let payload = codec::to_bytes(rec)?;
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    Ok(frame)
+}
+
+/// What a replay pass over a journal body found.
+pub(crate) struct ReplayOutcome {
+    /// Number of intact records applied.
+    pub records: usize,
+    /// Bytes of the body covered by intact records; anything past this is a
+    /// torn tail the caller should truncate away.
+    pub valid_end: usize,
+}
+
+/// Replays a journal body (everything after the magic header) into `w`.
+///
+/// A torn final record is dropped; corruption before the end is an error.
+/// With `check_ids`, every record's stored id must equal the id replay
+/// assigns — the guarantee that the journal really is a continuation of
+/// `w`'s current state.
+pub(crate) fn replay_body(
+    w: &mut Warehouse,
+    body: &[u8],
+    check_ids: bool,
+) -> Result<ReplayOutcome, JournalError> {
+    let mut offset = 0usize;
+    let mut records = 0usize;
+    let mut valid_end = 0usize;
+    while body.len() - offset >= 8 {
+        let len =
+            u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(body[offset + 4..offset + 8].try_into().expect("4"));
+        let start = offset + 8;
+        if body.len() < start + len {
+            break; // torn tail
+        }
+        let payload = &body[start..start + len];
+        if crc32(payload) != crc {
+            // A bad checksum at the very end is a torn write; earlier it
+            // is corruption.
+            if start + len == body.len() {
+                break;
+            }
+            return Err(JournalError::Corrupt { record: records });
+        }
+        let rec: JournalRecord = codec::from_bytes(payload)?;
+        apply(w, rec, check_ids)?;
+        records += 1;
+        offset = start + len;
+        valid_end = offset;
+    }
+    Ok(ReplayOutcome { records, valid_end })
 }
 
 /// CRC-32 (IEEE 802.3, reflected), table-driven; implemented here because
@@ -143,7 +220,7 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// ```
 pub struct JournaledWarehouse {
     inner: Warehouse,
-    file: File,
+    io: Arc<dyn StorageIo>,
     path: PathBuf,
     records: usize,
 }
@@ -160,12 +237,16 @@ impl fmt::Debug for JournaledWarehouse {
 impl JournaledWarehouse {
     /// Creates a fresh journal (truncating any existing file).
     pub fn create(path: &Path) -> Result<Self, JournalError> {
-        let mut file = File::create(path)?;
-        file.write_all(MAGIC)?;
-        file.sync_all()?;
+        Self::create_with(Arc::new(RealFs), path)
+    }
+
+    /// Creates a fresh journal on an explicit storage backend.
+    pub fn create_with(io: Arc<dyn StorageIo>, path: &Path) -> Result<Self, JournalError> {
+        io.write(path, MAGIC)?;
+        crate::io::sync_parent(&*io, path)?;
         Ok(JournaledWarehouse {
             inner: Warehouse::new(),
-            file,
+            io,
             path: path.to_path_buf(),
             records: 0,
         })
@@ -175,89 +256,69 @@ impl JournaledWarehouse {
     /// final record (crash during the last append) is dropped silently;
     /// corruption before the end is an error.
     pub fn open(path: &Path) -> Result<Self, JournalError> {
-        let mut f = File::open(path)?;
-        let mut header = [0u8; 8];
-        f.read_exact(&mut header)
-            .map_err(|_| JournalError::BadHeader)?;
-        if &header != MAGIC {
+        Self::open_with(Arc::new(RealFs), path)
+    }
+
+    /// Opens an existing journal on an explicit storage backend.
+    pub fn open_with(io: Arc<dyn StorageIo>, path: &Path) -> Result<Self, JournalError> {
+        let bytes = io.read(path)?;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
             return Err(JournalError::BadHeader);
         }
-        let mut body = Vec::new();
-        f.read_to_end(&mut body)?;
-        drop(f);
-
         let mut inner = Warehouse::new();
-        let mut offset = 0usize;
-        let mut records = 0usize;
-        let mut valid_end = 0usize; // bytes of body covered by intact records
-        while body.len() - offset >= 8 {
-            let len =
-                u32::from_le_bytes(body[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-            let crc = u32::from_le_bytes(body[offset + 4..offset + 8].try_into().expect("4"));
-            let start = offset + 8;
-            if body.len() < start + len {
-                break; // torn tail
-            }
-            let payload = &body[start..start + len];
-            if crc32(payload) != crc {
-                // A bad checksum at the very end is a torn write; earlier it
-                // is corruption.
-                if start + len == body.len() {
-                    break;
-                }
-                return Err(JournalError::Corrupt { record: records });
-            }
-            let rec: JournalRecord = codec::from_bytes(payload)?;
-            apply(&mut inner, rec)?;
-            records += 1;
-            offset = start + len;
-            valid_end = offset;
+        // A journal written from empty reassigns the same ids on replay, so
+        // id checking is free here and catches doctored records.
+        let outcome = replay_body(&mut inner, &bytes[MAGIC.len()..], true)?;
+        // Truncate away any torn tail so later appends extend intact data.
+        let keep = (MAGIC.len() + outcome.valid_end) as u64;
+        if keep < bytes.len() as u64 {
+            io.set_len(path, keep)?;
         }
-        // Reopen for appending, truncated to the last intact record.
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        file.set_len((MAGIC.len() + valid_end) as u64)?;
-        let mut file = file;
-        use std::io::Seek;
-        file.seek(std::io::SeekFrom::End(0))?;
         Ok(JournaledWarehouse {
             inner,
-            file,
+            io,
             path: path.to_path_buf(),
-            records,
+            records: outcome.records,
         })
     }
 
     fn append(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
-        let payload = codec::to_bytes(rec)?;
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
-        frame.extend_from_slice(&payload);
-        self.file.write_all(&frame)?;
-        self.file.sync_data()?;
+        let frame = encode_frame(rec)?;
+        self.io.append(&self.path, &frame)?;
         self.records += 1;
         Ok(())
     }
 
-    /// Registers a specification, durably.
+    /// Registers a specification, durably. If the append fails, the
+    /// in-memory registration is rolled back so memory never diverges from
+    /// disk.
     pub fn register_spec(&mut self, spec: WorkflowSpec) -> Result<SpecId, JournalError> {
         let row = SpecRow { spec };
         let id = self.inner.register_spec(row.spec.clone())?;
-        self.append(&JournalRecord::Spec(id, row))?;
+        if let Err(e) = self.append(&JournalRecord::Spec(id, row)) {
+            self.inner.rollback_spec(id);
+            return Err(e);
+        }
         Ok(id)
     }
 
-    /// Registers a view, durably.
+    /// Registers a view, durably (rolled back on a failed append).
     pub fn register_view(&mut self, spec: SpecId, view: UserView) -> Result<ViewId, JournalError> {
         let id = self.inner.register_view(spec, view.clone())?;
-        self.append(&JournalRecord::View(id, ViewRow { spec, view }))?;
+        if let Err(e) = self.append(&JournalRecord::View(id, ViewRow { spec, view })) {
+            self.inner.rollback_view(id);
+            return Err(e);
+        }
         Ok(id)
     }
 
-    /// Loads a run, durably.
+    /// Loads a run, durably (rolled back on a failed append).
     pub fn load_run(&mut self, spec: SpecId, run: WorkflowRun) -> Result<RunId, JournalError> {
         let id = self.inner.load_run(spec, run.clone())?;
-        self.append(&JournalRecord::Run(id, RunRow { spec, run }))?;
+        if let Err(e) = self.append(&JournalRecord::Run(id, RunRow { spec, run })) {
+            self.inner.rollback_run(id);
+            return Err(e);
+        }
         Ok(id)
     }
 
@@ -296,21 +357,37 @@ impl JournaledWarehouse {
     }
 }
 
-fn apply(w: &mut Warehouse, rec: JournalRecord) -> Result<(), WarehouseError> {
+fn check_id(
+    check: bool,
+    expected: impl fmt::Display,
+    got: impl fmt::Display,
+) -> Result<(), JournalError> {
+    let (expected, got) = (expected.to_string(), got.to_string());
+    if check && expected != got {
+        return Err(JournalError::IdMismatch { expected, got });
+    }
+    Ok(())
+}
+
+fn apply(w: &mut Warehouse, rec: JournalRecord, check_ids: bool) -> Result<(), JournalError> {
     match rec {
-        JournalRecord::Spec(_, row) => {
+        JournalRecord::Spec(id, row) => {
             // Journal bytes bypass the builders; re-validate.
             row.spec.validate().map_err(WarehouseError::Model)?;
-            w.register_spec(row.spec)?;
+            let got = w.register_spec(row.spec)?;
+            check_id(check_ids, id, got)?;
         }
-        JournalRecord::View(_, row) => {
-            w.register_view(row.spec, row.view)?;
+        JournalRecord::View(id, row) => {
+            // `register_view` re-validates the partition against the spec.
+            let got = w.register_view(row.spec, row.view)?;
+            check_id(check_ids, id, got)?;
         }
-        JournalRecord::Run(_, row) => {
+        JournalRecord::Run(id, row) => {
             row.run
                 .validate(w.spec(row.spec)?)
                 .map_err(WarehouseError::Model)?;
-            w.load_run(row.spec, row.run)?;
+            let got = w.load_run(row.spec, row.run)?;
+            check_id(check_ids, id, got)?;
         }
     }
     Ok(())

@@ -22,13 +22,19 @@
 //! * [`persist`] — binary snapshot save/load;
 //! * [`journal`] — an append-only, checksummed journal for incremental
 //!   durability (crash-tolerant replay, compaction into snapshots);
+//! * [`durable`] — the unified crash-safe store: snapshot + journal tail
+//!   behind an atomically-swung manifest, with auto-compaction and `fsck`;
+//! * [`io`] — the [`StorageIo`] abstraction ([`RealFs`] in production,
+//!   [`FaultFs`] for crash-recovery fault injection);
 //! * [`codec`] — the bincode-style serde format behind persistence;
 //! * [`fxhash`] — fast hashing for the integer-keyed indexes.
 
 pub mod cache;
 pub mod codec;
+pub mod durable;
 pub mod fxhash;
 pub mod index;
+pub mod io;
 pub mod journal;
 pub mod persist;
 pub mod query;
@@ -37,7 +43,9 @@ pub mod store;
 pub mod table;
 
 pub use cache::ViewRunCache;
+pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckReport};
 pub use index::{ProvenanceIndex, ProvenanceIndexCache};
+pub use io::{FaultFs, RealFs, StorageIo};
 pub use journal::{JournalError, JournaledWarehouse};
 pub use query::{
     data_between, deep_provenance, deep_provenance_bfs, deep_provenance_indexed, dependents_of,

@@ -7,12 +7,14 @@
 //! rebuilt lazily after load.
 
 use crate::codec::{self, CodecError};
+use crate::fxhash::FxHashMap;
+use crate::io::{RealFs, StorageIo};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow};
 use crate::store::Warehouse;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use std::io::{Read, Write};
 use std::path::Path;
+use zoom_model::{ModelError, WorkflowSpec};
 
 /// Magic bytes identifying a warehouse snapshot.
 pub const MAGIC: &[u8; 8] = b"ZOOMWH\x00\x01";
@@ -62,47 +64,69 @@ struct Snapshot {
     runs: Vec<(RunId, RunRow)>,
 }
 
-/// Saves the warehouse to `path` (atomic via a sibling temp file).
+/// Saves the warehouse to `path`, atomically and durably: the snapshot is
+/// written (and fsynced) under a unique sibling temp name, renamed over
+/// `path`, and the parent directory is fsynced so the rename itself
+/// survives a crash. Concurrent savers never collide on the temp file.
 pub fn save(warehouse: &Warehouse, path: &Path) -> Result<(), PersistError> {
+    save_with(&RealFs, warehouse, path)
+}
+
+/// [`save`] on an explicit storage backend.
+pub fn save_with(
+    io: &dyn StorageIo,
+    warehouse: &Warehouse,
+    path: &Path,
+) -> Result<(), PersistError> {
     let (specs, views, runs) = warehouse.export_rows();
     let snap = Snapshot { specs, views, runs };
     let body = codec::to_bytes(&snap)?;
-    let tmp = path.with_extension("tmp");
-    {
-        let mut f = std::fs::File::create(&tmp)?;
-        f.write_all(MAGIC)?;
-        f.write_all(&body)?;
-        f.sync_all()?;
+    let mut bytes = Vec::with_capacity(MAGIC.len() + body.len());
+    bytes.extend_from_slice(MAGIC);
+    bytes.extend_from_slice(&body);
+    let tmp = crate::io::unique_temp_path(path);
+    io.write(&tmp, &bytes)?;
+    if let Err(e) = io.rename(&tmp, path) {
+        let _ = io.remove_file(&tmp);
+        return Err(e.into());
     }
-    std::fs::rename(&tmp, path)?;
+    crate::io::sync_parent(io, path)?;
     Ok(())
 }
 
 /// Loads a warehouse from `path`.
 pub fn load(path: &Path) -> Result<Warehouse, PersistError> {
-    let mut f = std::fs::File::open(path)?;
-    let mut header = [0u8; 8];
-    f.read_exact(&mut header)
-        .map_err(|_| PersistError::BadHeader)?;
-    if &header != MAGIC {
+    load_with(&RealFs, path)
+}
+
+/// [`load`] from an explicit storage backend.
+pub fn load_with(io: &dyn StorageIo, path: &Path) -> Result<Warehouse, PersistError> {
+    let bytes = io.read(path)?;
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
         return Err(PersistError::BadHeader);
     }
-    let mut body = Vec::new();
-    f.read_to_end(&mut body)?;
-    let snap: Snapshot = codec::from_bytes(&body)?;
+    let snap: Snapshot = codec::from_bytes(&bytes[MAGIC.len()..])?;
     // Deserialization bypasses the builders, so re-validate the structural
     // invariants before trusting the data.
-    for (_, row) in &snap.specs {
+    let mut spec_of: FxHashMap<SpecId, &WorkflowSpec> = FxHashMap::default();
+    for (id, row) in &snap.specs {
         row.spec.validate().map_err(PersistError::Invalid)?;
+        spec_of.insert(*id, &row.spec);
+    }
+    let resolve = |id: SpecId| -> Result<&WorkflowSpec, PersistError> {
+        spec_of.get(&id).copied().ok_or_else(|| {
+            PersistError::Invalid(ModelError::SpecMismatch(format!("{id} not in snapshot")))
+        })
+    };
+    for (_, row) in &snap.views {
+        row.view
+            .validate(resolve(row.spec)?)
+            .map_err(PersistError::Invalid)?;
     }
     for (_, row) in &snap.runs {
-        let spec = snap
-            .specs
-            .iter()
-            .find(|(id, _)| *id == row.spec)
-            .map(|(_, s)| &s.spec)
-            .ok_or(PersistError::BadHeader)?;
-        row.run.validate(spec).map_err(PersistError::Invalid)?;
+        row.run
+            .validate(resolve(row.spec)?)
+            .map_err(PersistError::Invalid)?;
     }
     Ok(Warehouse::from_rows(snap.specs, snap.views, snap.runs))
 }
@@ -207,6 +231,45 @@ mod tests {
             Err(PersistError::BadHeader) | Err(PersistError::Invalid(_))
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn doctored_view_rejected_on_load() {
+        // A view that passes the registration-time name check but does not
+        // partition the stored spec: built against a different spec that
+        // shares the name. Such bytes must not reach query time.
+        let w = populated();
+        let (specs, mut views, runs) = w.export_rows();
+        let mut b = SpecBuilder::new("persist-spec");
+        b.analysis("A");
+        b.from_input("A").to_output("A");
+        let impostor_spec = b.build().unwrap();
+        views[0].1.view = UserView::admin(&impostor_spec);
+        let snap = Snapshot { specs, views, runs };
+        let body = codec::to_bytes(&snap).unwrap();
+        let path = temp_path("doctored-view");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&body);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load(&path), Err(PersistError::Invalid(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_does_not_clobber_tmp_siblings() {
+        // The old implementation wrote to `path.with_extension("tmp")`,
+        // destroying any real `.tmp` sibling and colliding across savers.
+        let w = populated();
+        let path = temp_path("tmp-sibling");
+        let sibling = path.with_extension("tmp");
+        std::fs::write(&sibling, b"user data, not ours").unwrap();
+        save(&w, &path).unwrap();
+        assert_eq!(std::fs::read(&sibling).unwrap(), b"user data, not ours");
+        // No stray temp files left behind.
+        load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&sibling).ok();
     }
 
     #[test]

@@ -107,6 +107,18 @@ pub struct WarehouseStats {
     pub index_misses: u64,
     /// Total nanoseconds spent building provenance indexes.
     pub index_build_nanos: u64,
+    /// Records in the current journal tail (durable stores only; 0 for
+    /// in-memory warehouses).
+    pub journal_records: u64,
+    /// Payload bytes in the current journal tail, excluding the magic
+    /// header (durable stores only).
+    pub journal_bytes: u64,
+    /// Compactions (checkpoints) performed since open (durable stores
+    /// only).
+    pub compactions: u64,
+    /// Current durability epoch — the generation number of the live
+    /// snapshot/journal pair (durable stores only).
+    pub epoch: u64,
 }
 
 #[cfg(test)]

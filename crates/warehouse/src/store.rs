@@ -49,6 +49,14 @@ pub enum WarehouseError {
         /// The view that hides it.
         view: String,
     },
+    /// The (possibly virtual) execution id does not exist in the run at
+    /// this view level.
+    ExecNotFound(zoom_model::StepId),
+    /// The run has no data flowing to its output node.
+    NoFinalOutputs(RunId),
+    /// Journaling the mutation to durable storage failed; the in-memory
+    /// change was rolled back.
+    Durability(Box<crate::durable::DurableError>),
 }
 
 impl fmt::Display for WarehouseError {
@@ -71,6 +79,13 @@ impl fmt::Display for WarehouseError {
             WarehouseError::DataNotVisible { data, view } => {
                 write!(f, "data object {data} is hidden at view level `{view}`")
             }
+            WarehouseError::ExecNotFound(s) => {
+                write!(f, "execution {s} not found in run at this view level")
+            }
+            WarehouseError::NoFinalOutputs(r) => {
+                write!(f, "{r} has no final outputs")
+            }
+            WarehouseError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
 }
@@ -177,7 +192,10 @@ impl Warehouse {
         Ok(id)
     }
 
-    /// Registers a user view of a registered specification.
+    /// Registers a user view of a registered specification. The view must
+    /// actually partition this spec's modules — a matching `spec_name`
+    /// alone (e.g. a view built against a stale spec of the same name) is
+    /// not enough.
     pub fn register_view(&mut self, spec_id: SpecId, view: UserView) -> Result<ViewId> {
         let spec = self.spec(spec_id)?;
         if spec.name() != view.spec_name() {
@@ -186,6 +204,7 @@ impl Warehouse {
                 got: view.spec_name().to_string(),
             });
         }
+        view.validate(spec).map_err(WarehouseError::Model)?;
         let id = ViewId(self.next_view);
         self.next_view += 1;
         self.views
@@ -479,9 +498,19 @@ impl Warehouse {
         to: Option<zoom_model::StepId>,
     ) -> Result<Vec<DataId>> {
         let vr = self.view_run(run_id, view_id)?;
-        query::data_between(&vr, from, to).ok_or({
-            WarehouseError::DataNotFound(DataId(0)) // unknown execution id
-        })
+        match query::data_between(&vr, from, to) {
+            Some(v) => Ok(v),
+            None => {
+                // `data_between` only fails when a named endpoint has no
+                // execution at this view level; report which one.
+                let missing = [from, to]
+                    .into_iter()
+                    .flatten()
+                    .find(|&s| vr.exec_index_by_id(s).is_none())
+                    .expect("an unknown execution endpoint exists");
+                Err(WarehouseError::ExecNotFound(missing))
+            }
+        }
     }
 
     fn invisible_or_missing(&self, run_id: RunId, view_id: ViewId, data: DataId) -> WarehouseError {
@@ -517,6 +546,12 @@ impl Warehouse {
             index_hits: self.index.counters().0,
             index_misses: self.index.counters().1,
             index_build_nanos: self.index.build_nanos(),
+            // Durability counters belong to the durable wrapper
+            // (`crate::durable::DurableWarehouse::stats` fills them in).
+            journal_records: 0,
+            journal_bytes: 0,
+            compactions: 0,
+            epoch: 0,
         }
     }
 
@@ -534,6 +569,47 @@ impl Warehouse {
     /// `(hits, misses)` of the provenance-index cache.
     pub fn index_counters(&self) -> (u64, u64) {
         self.index.counters()
+    }
+
+    // ------------------------------------------------------------------
+    // Rollback (durability support)
+    //
+    // When a journal append fails after the in-memory mutation succeeded,
+    // the durable stores undo the mutation so memory never claims state
+    // the disk does not have. Only the most recent mutation of each kind
+    // can be rolled back (ids are assigned sequentially and the failed
+    // mutation is by construction the newest).
+    // ------------------------------------------------------------------
+
+    /// Undoes the most recent [`Warehouse::register_spec`].
+    pub(crate) fn rollback_spec(&mut self, id: SpecId) {
+        if let Some(row) = self.specs.remove_last(&id) {
+            self.spec_by_name.remove(row.spec.name());
+            self.next_spec = id.0;
+        }
+    }
+
+    /// Undoes the most recent [`Warehouse::register_view`].
+    pub(crate) fn rollback_view(&mut self, id: ViewId) {
+        if let Some(row) = self.views.remove_last(&id) {
+            if let Some(v) = self.views_by_spec.get_mut(&row.spec) {
+                v.retain(|&x| x != id);
+            }
+            self.next_view = id.0;
+        }
+    }
+
+    /// Undoes the most recent [`Warehouse::load_run`], evicting any cache
+    /// rows keyed by the now-dead run id (which the next load will reuse).
+    pub(crate) fn rollback_run(&mut self, id: RunId) {
+        if let Some(row) = self.runs.remove_last(&id) {
+            if let Some(v) = self.runs_by_spec.get_mut(&row.spec) {
+                v.retain(|&x| x != id);
+            }
+            self.next_run = id.0;
+            self.cache.invalidate_run(id);
+            self.index.invalidate_run(id);
+        }
     }
 
     /// Iterates over all rows (persistence support).
@@ -758,6 +834,87 @@ mod tests {
         assert_eq!(w.stats().cached_indexes, 0);
         w.deep_provenance(rid, admin, DataId(3)).unwrap();
         assert_eq!(w.index_counters(), (5, 2));
+    }
+
+    #[test]
+    fn data_between_reports_the_unknown_execution() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+
+        // Known executions answer normally.
+        assert_eq!(
+            w.data_between(rid, admin, Some(StepId(1)), Some(StepId(2)))
+                .unwrap(),
+            vec![DataId(2)]
+        );
+        // Unknown endpoint surfaces as ExecNotFound naming the culprit,
+        // not the old bogus DataNotFound(d0).
+        match w
+            .data_between(rid, admin, Some(StepId(1)), Some(StepId(42)))
+            .unwrap_err()
+        {
+            WarehouseError::ExecNotFound(s) => assert_eq!(s, StepId(42)),
+            e => panic!("unexpected {e}"),
+        }
+        match w
+            .data_between(rid, admin, Some(StepId(99)), None)
+            .unwrap_err()
+        {
+            WarehouseError::ExecNotFound(s) => assert_eq!(s, StepId(99)),
+            e => panic!("unexpected {e}"),
+        }
+    }
+
+    #[test]
+    fn stale_view_of_same_named_spec_rejected() {
+        // A view whose spec_name matches but whose partition was built
+        // against a different (e.g. outdated) spec must be rejected at
+        // registration, not at query time.
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let mut b = SpecBuilder::new("wh-spec");
+        b.analysis("A");
+        b.from_input("A").to_output("A");
+        let stale = b.build().unwrap();
+        assert!(matches!(
+            w.register_view(sid, UserView::admin(&stale)).unwrap_err(),
+            WarehouseError::Model(_)
+        ));
+    }
+
+    #[test]
+    fn rollbacks_undo_the_latest_mutation() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let vid = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+        // Warm the caches so run rollback must evict them.
+        w.deep_provenance(rid, vid, DataId(3)).unwrap();
+        assert_eq!(w.stats().cached_indexes, 1);
+
+        w.rollback_run(rid);
+        assert_eq!(w.stats().runs, 0);
+        assert!(w.runs_of_spec(sid).is_empty());
+        assert_eq!(w.stats().cached_view_runs, 0);
+        assert_eq!(w.stats().cached_indexes, 0);
+
+        w.rollback_view(vid);
+        assert_eq!(w.stats().views, 0);
+        assert_eq!(w.find_view(sid, "UAdmin"), None);
+
+        w.rollback_spec(sid);
+        assert_eq!(w.stats().specs, 0);
+        assert_eq!(w.spec_by_name("wh-spec"), None);
+
+        // Ids are reusable: the replayed sequence assigns the same ids.
+        assert_eq!(w.register_spec(s.clone()).unwrap(), sid);
+        assert_eq!(w.register_view(sid, UserView::admin(&s)).unwrap(), vid);
+        assert_eq!(w.load_run(sid, run(&s)).unwrap(), rid);
     }
 
     #[test]

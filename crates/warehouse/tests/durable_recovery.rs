@@ -1,0 +1,333 @@
+//! Crash-recovery fault injection for the durable store.
+//!
+//! Two attack surfaces:
+//!
+//! 1. **Sync-point kills** — a counting run tallies every write-side
+//!    filesystem operation a full workload performs; the sweep then re-runs
+//!    the workload with the storage failing (stickily, with an optional
+//!    torn-byte prefix) at each operation in turn. After every kill the
+//!    directory must reopen cleanly and hold exactly the mutations that
+//!    were acknowledged before the fault.
+//! 2. **Torn tails** — the journal file is truncated at every byte offset;
+//!    `open` must never panic and must recover a prefix of the committed
+//!    mutations (whole records up to the cut).
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use zoom_model::{RunBuilder, SpecBuilder, UserView, WorkflowRun, WorkflowSpec};
+use zoom_warehouse::io::FaultFs;
+use zoom_warehouse::{durable, DurableOptions, DurableWarehouse, Warehouse};
+
+fn tempdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("zoom-recovery-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+fn spec(name: &str, modules: usize) -> WorkflowSpec {
+    let mut b = SpecBuilder::new(name);
+    let labels: Vec<String> = (0..modules).map(|i| format!("M{i}")).collect();
+    for l in &labels {
+        b.analysis(l);
+    }
+    b.from_input(&labels[0]);
+    for w in labels.windows(2) {
+        b.edge(&w[0], &w[1]);
+    }
+    b.to_output(labels.last().unwrap());
+    b.build().unwrap()
+}
+
+/// A linear run through `s`: d1 → M0 → d2 → M1 → … → d(n+1).
+fn run(s: &WorkflowSpec) -> WorkflowRun {
+    let mut rb = RunBuilder::new(s);
+    let steps: Vec<_> = (0..s.module_count())
+        .map(|i| rb.step(s.module(&format!("M{i}")).unwrap()))
+        .collect();
+    rb.input_edge(steps[0], [1]);
+    for (i, w) in steps.windows(2).enumerate() {
+        rb.data_edge(w[0], w[1], [i as u64 + 2]);
+    }
+    rb.output_edge(*steps.last().unwrap(), [s.module_count() as u64 + 1]);
+    rb.build().unwrap()
+}
+
+/// One workload mutation, replayable against a reference warehouse.
+/// Views and runs name their spec so the driver can resume mid-workload
+/// against a store that already holds earlier events.
+#[derive(Clone)]
+enum Event {
+    Spec(WorkflowSpec),
+    View(&'static str, UserView),
+    Run(&'static str, WorkflowRun),
+}
+
+/// The fixed workload: two workflows, views, three runs.
+fn workload() -> Vec<Event> {
+    let s1 = spec("wf-one", 3);
+    let s2 = spec("wf-two", 2);
+    vec![
+        Event::Spec(s1.clone()),
+        Event::View("wf-one", UserView::admin(&s1)),
+        Event::Run("wf-one", run(&s1)),
+        Event::Run("wf-one", run(&s1)),
+        Event::Spec(s2.clone()),
+        Event::View("wf-two", UserView::admin(&s2)),
+        Event::Run("wf-two", run(&s2)),
+    ]
+}
+
+/// Applies the workload to a faulted store, returning how many events were
+/// acknowledged (every mutation after the first failure also fails, so the
+/// acknowledged set is a prefix).
+fn drive(dw: &mut DurableWarehouse, events: &[Event]) -> usize {
+    let mut committed = 0;
+    for ev in events {
+        let ok = match ev {
+            Event::Spec(s) => dw.register_spec(s.clone()).is_ok(),
+            Event::View(name, v) => dw
+                .warehouse()
+                .spec_by_name(name)
+                .is_some_and(|sid| dw.register_view(sid, v.clone()).is_ok()),
+            Event::Run(name, r) => dw
+                .warehouse()
+                .spec_by_name(name)
+                .is_some_and(|sid| dw.load_run(sid, r.clone()).is_ok()),
+        };
+        if !ok {
+            break;
+        }
+        committed += 1;
+    }
+    committed
+}
+
+/// The expected state after the first `committed` events: an in-memory
+/// warehouse with the same mutation sequence (ids match because both start
+/// empty).
+fn reference(events: &[Event], committed: usize) -> Warehouse {
+    let mut w = Warehouse::new();
+    for ev in &events[..committed] {
+        match ev {
+            Event::Spec(s) => {
+                w.register_spec(s.clone()).unwrap();
+            }
+            Event::View(name, v) => {
+                let sid = w.spec_by_name(name).unwrap();
+                w.register_view(sid, v.clone()).unwrap();
+            }
+            Event::Run(name, r) => {
+                let sid = w.spec_by_name(name).unwrap();
+                w.load_run(sid, r.clone()).unwrap();
+            }
+        }
+    }
+    w
+}
+
+/// Recovered state must equal the reference exactly: same table sizes and
+/// the same deep-provenance answers for every run at its admin view.
+fn assert_state_matches(recovered: &Warehouse, expected: &Warehouse) {
+    let (rs, es) = (recovered.stats(), expected.stats());
+    assert_eq!(
+        (rs.specs, rs.views, rs.runs, rs.steps, rs.data_objects),
+        (es.specs, es.views, es.runs, es.steps, es.data_objects),
+        "recovered sizes diverge from committed state"
+    );
+    for name in ["wf-one", "wf-two"] {
+        let Some(sid) = expected.spec_by_name(name) else {
+            assert!(recovered.spec_by_name(name).is_none());
+            continue;
+        };
+        assert_eq!(recovered.spec_by_name(name), Some(sid));
+        let Some(vid) = expected.find_view(sid, "UAdmin") else {
+            continue;
+        };
+        assert_eq!(recovered.find_view(sid, "UAdmin"), Some(vid));
+        let runs = expected.runs_of_spec(sid).to_vec();
+        assert_eq!(recovered.runs_of_spec(sid), &runs[..]);
+        for rid in runs {
+            let out = expected.run(rid).unwrap().final_outputs()[0];
+            let want = expected.deep_provenance(rid, vid, out).unwrap();
+            let got = recovered.deep_provenance(rid, vid, out).unwrap();
+            assert_eq!(got, want, "{name}/{rid} provenance diverges");
+        }
+    }
+}
+
+/// Runs the full kill sweep for one option set: count ops fault-free, then
+/// kill at every op index with every torn-byte width.
+fn sweep(tag: &str, options: DurableOptions, torn_widths: &[usize]) {
+    let events = workload();
+
+    // Fault-free counting run: how many write-side ops does the full
+    // workload cost, and what does full success look like?
+    let dir = tempdir(&format!("{tag}-count"));
+    let counting = Arc::new(FaultFs::counting());
+    let mut dw = DurableWarehouse::open_with(counting.clone(), &dir, options).unwrap();
+    assert_eq!(drive(&mut dw, &events), events.len());
+    let total_ops = counting.ops();
+    drop(dw);
+    assert_state_matches(
+        DurableWarehouse::open(&dir).unwrap().warehouse(),
+        &reference(&events, events.len()),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(total_ops > 0);
+    for k in 0..total_ops {
+        for &torn in torn_widths {
+            let dir = tempdir(&format!("{tag}-k{k}-t{torn}"));
+            let faulty = Arc::new(FaultFs::fail_after(k, torn));
+            let committed = match DurableWarehouse::open_with(faulty.clone(), &dir, options) {
+                Ok(mut dw) => drive(&mut dw, &events),
+                // The store died while initializing: nothing was ever
+                // acknowledged.
+                Err(_) => 0,
+            };
+            assert!(faulty.tripped(), "k={k} torn={torn}: fault never fired");
+            // Recovery on healthy storage must succeed and must hold
+            // exactly the acknowledged prefix.
+            let recovered = DurableWarehouse::open(&dir)
+                .unwrap_or_else(|e| panic!("k={k} torn={torn}: recovery failed: {e}"));
+            assert_state_matches(recovered.warehouse(), &reference(&events, committed));
+            // And the directory is fully healthy afterwards: fsck is clean
+            // and the next workload run goes through untouched.
+            let report = durable::fsck(&dir)
+                .unwrap_or_else(|e| panic!("k={k} torn={torn}: fsck failed: {e}"));
+            assert_eq!(report.torn_bytes, 0, "k={k} torn={torn}");
+            assert!(report.strays.is_empty(), "k={k} torn={torn}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn kill_at_every_sync_point() {
+    sweep("plain", DurableOptions::default(), &[0, 1, 3]);
+}
+
+#[test]
+fn kill_at_every_sync_point_while_compacting() {
+    // A tiny threshold makes every mutation cross a compaction, so the
+    // sweep also kills inside snapshot writes, journal rotation, and the
+    // manifest swing.
+    let options = DurableOptions {
+        compact_threshold_bytes: 32,
+        auto_compact: true,
+    };
+    sweep("compact", options, &[0, 3]);
+}
+
+/// Truncating the journal at every byte offset: `open` must never fail and
+/// must recover exactly the records wholly before the cut.
+fn check_every_truncation(dir: &std::path::Path, events: &[Event], committed_full: usize) {
+    let manifest = std::fs::read(dir.join("MANIFEST")).unwrap();
+    assert!(!manifest.is_empty());
+    // Find the live journal through fsck rather than trusting a name.
+    let report = durable::fsck(dir).unwrap();
+    let wal_path = dir.join(&report.journal);
+    let full = std::fs::read(&wal_path).unwrap();
+    let magic = 8usize;
+
+    // Frame boundaries: offsets (from file start) at which a record ends.
+    let mut ends = vec![magic];
+    let mut off = magic;
+    while off + 8 <= full.len() {
+        let len = u32::from_le_bytes(full[off..off + 4].try_into().unwrap()) as usize;
+        if full.len() < off + 8 + len {
+            break;
+        }
+        off += 8 + len;
+        ends.push(off);
+    }
+    assert_eq!(off, full.len(), "workload journal has no torn tail");
+    let records_in_tail = ends.len() - 1;
+    // Events not in the tail are protected by the snapshot generation.
+    let snapshot_events = committed_full - records_in_tail;
+
+    for cut in magic..=full.len() {
+        std::fs::write(&wal_path, &full[..cut]).unwrap();
+        let recovered =
+            DurableWarehouse::open(dir).unwrap_or_else(|e| panic!("cut={cut}: open failed: {e}"));
+        let whole = ends.iter().filter(|&&e| e <= cut).count() - 1;
+        assert_state_matches(
+            recovered.warehouse(),
+            &reference(events, snapshot_events + whole),
+        );
+        drop(recovered);
+        // open() truncated the torn remainder; restore for the next cut.
+        std::fs::write(&wal_path, &full).unwrap();
+    }
+}
+
+#[test]
+fn truncation_at_every_byte_offset() {
+    let events = workload();
+    let dir = tempdir("truncate");
+    let options = DurableOptions {
+        auto_compact: false, // keep every record in the tail
+        ..DurableOptions::default()
+    };
+    let mut dw = DurableWarehouse::open_opts(&dir, options).unwrap();
+    assert_eq!(drive(&mut dw, &events), events.len());
+    drop(dw);
+    check_every_truncation(&dir, &events, events.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn truncation_behind_a_snapshot() {
+    // Checkpoint mid-workload: early events live in the snapshot, late ones
+    // in the tail. Cutting the tail must never disturb the snapshot state.
+    let events = workload();
+    let dir = tempdir("truncate-snap");
+    let options = DurableOptions {
+        auto_compact: false,
+        ..DurableOptions::default()
+    };
+    let mut dw = DurableWarehouse::open_opts(&dir, options).unwrap();
+    assert_eq!(drive(&mut dw, &events[..4]), 4);
+    dw.checkpoint().unwrap();
+    assert_eq!(drive(&mut dw, &events[4..]), events.len() - 4);
+    drop(dw);
+    check_every_truncation(&dir, &events, events.len());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random workload prefixes under random tail truncation: the recovered
+    /// store is always a valid prefix of what was committed.
+    #[test]
+    fn random_truncation_recovers_a_prefix(
+        committed in 1usize..8,
+        cut_back in 0usize..200,
+    ) {
+        let events = workload();
+        let committed = committed.min(events.len());
+        let dir = tempdir(&format!("prop-{committed}-{cut_back}"));
+        let options = DurableOptions { auto_compact: false, ..DurableOptions::default() };
+        let mut dw = DurableWarehouse::open_opts(&dir, options).unwrap();
+        prop_assert_eq!(drive(&mut dw, &events[..committed]), committed);
+        drop(dw);
+
+        let report = durable::fsck(&dir).unwrap();
+        let wal_path = dir.join(&report.journal);
+        let full = std::fs::read(&wal_path).unwrap();
+        let cut = full.len().saturating_sub(cut_back).max(8);
+        std::fs::write(&wal_path, &full[..cut]).unwrap();
+
+        let recovered = DurableWarehouse::open(&dir).unwrap();
+        let st = recovered.warehouse().stats();
+        // A prefix: never more state than committed, and whatever state
+        // there is matches the reference replay of that many events.
+        let got_events = st.specs + st.views + st.runs;
+        prop_assert!(got_events <= committed);
+        assert_state_matches(recovered.warehouse(), &reference(&events, got_events));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -88,6 +88,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             str_arg(args, 4, "view name")?,
             str_arg(args, 5, "data id")?,
         ),
+        "compact" => compact(dir_arg(args, 1)?),
+        "fsck" => fsck(dir_arg(args, 1)?),
         "help" | "--help" | "-h" => {
             out_raw!("{HELP}");
             Ok(())
@@ -115,12 +117,22 @@ usage:
       interactive session: flag/unflag modules, switch views, run queries
   zoomctl compare <snapshot> <workflow> <run#> <run#> <view>
       compare two runs at a view level (reproducibility check)
+  zoomctl compact <dir>
+      force a durable-store compaction (snapshot + fresh journal)
+  zoomctl fsck <dir>
+      verify a durable store: manifest, snapshot, journal, strays
 ";
 
 fn path_arg(args: &[String], i: usize) -> Result<&Path, String> {
     args.get(i)
         .map(Path::new)
         .ok_or_else(|| "missing snapshot path".to_string())
+}
+
+fn dir_arg(args: &[String], i: usize) -> Result<&Path, String> {
+    args.get(i)
+        .map(Path::new)
+        .ok_or_else(|| "missing durable directory path".to_string())
 }
 
 fn str_arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
@@ -428,6 +440,37 @@ fn print_prompt(zoom: &Zoom, current: zoom::core::ViewId) {
         .map(|v| v.name().to_string())
         .unwrap_or_else(|_| format!("{current}"));
     out!("[{name}]>");
+}
+
+/// Forces a compaction of a durable warehouse directory and reports the
+/// resulting generation.
+fn compact(dir: &Path) -> Result<(), String> {
+    if !dir.join(zoom::warehouse::durable::MANIFEST).exists() {
+        return Err(format!(
+            "`{}` is not a durable warehouse directory (no MANIFEST)",
+            dir.display()
+        ));
+    }
+    let mut zoom = Zoom::open_durable(dir).map_err(|e| e.to_string())?;
+    zoom.checkpoint().map_err(|e| e.to_string())?;
+    let s = zoom.stats();
+    out!("compacted {} to epoch {}", dir.display(), s.epoch);
+    out!("workflows    : {}", s.specs);
+    out!("views        : {}", s.views);
+    out!("runs         : {}", s.runs);
+    out!(
+        "journal tail : {} records, {} bytes",
+        s.journal_records,
+        s.journal_bytes
+    );
+    Ok(())
+}
+
+/// Verifies a durable warehouse directory without modifying it.
+fn fsck(dir: &Path) -> Result<(), String> {
+    let report = zoom::warehouse::fsck(dir).map_err(|e| e.to_string())?;
+    out!("{report}");
+    Ok(())
 }
 
 fn render(

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/durable_recovery-c7cd755bddaa96d5.d: crates/warehouse/tests/durable_recovery.rs
+
+/root/repo/target/debug/deps/durable_recovery-c7cd755bddaa96d5: crates/warehouse/tests/durable_recovery.rs
+
+crates/warehouse/tests/durable_recovery.rs:

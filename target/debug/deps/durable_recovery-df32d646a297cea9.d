@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/durable_recovery-df32d646a297cea9.d: crates/warehouse/tests/durable_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdurable_recovery-df32d646a297cea9.rmeta: crates/warehouse/tests/durable_recovery.rs Cargo.toml
+
+crates/warehouse/tests/durable_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

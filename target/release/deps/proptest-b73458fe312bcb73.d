@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/proptest-b73458fe312bcb73.d: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-b73458fe312bcb73.rlib: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+/root/repo/target/release/deps/libproptest-b73458fe312bcb73.rmeta: vendored/proptest/src/lib.rs vendored/proptest/src/strategy.rs
+
+vendored/proptest/src/lib.rs:
+vendored/proptest/src/strategy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/__tmp_mk_durable-2bc5e1bec0f1e73e.d: examples/__tmp_mk_durable.rs
+
+/root/repo/target/release/examples/__tmp_mk_durable-2bc5e1bec0f1e73e: examples/__tmp_mk_durable.rs
+
+examples/__tmp_mk_durable.rs:

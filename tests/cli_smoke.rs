@@ -112,6 +112,52 @@ fn repl_session_via_stdin() {
 }
 
 #[test]
+fn compact_and_fsck_durable_directory() {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("zoomctl-test-durable-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().expect("utf-8 path");
+
+    // Populate a durable store through the library API, as an embedding
+    // application would.
+    {
+        use zoom::gen::library::{figure2_run, phylogenomic};
+        let mut z = zoom::Zoom::open_durable(&dir).expect("durable open");
+        let spec = phylogenomic();
+        let sid = z.register_workflow(spec.clone()).expect("spec");
+        z.admin_view(sid).expect("view");
+        z.load_run(sid, figure2_run(&spec)).expect("run");
+    }
+
+    // fsck reports the journaled state without modifying it.
+    let out = run_ok(zoomctl().args(["fsck", dir_s]));
+    assert!(out.contains("epoch:           0"), "{out}");
+    assert!(out.contains("journal records: 3"), "{out}");
+    assert!(out.contains("1 specs, 1 views, 1 runs"), "{out}");
+    assert!(out.contains("torn bytes:      0"), "{out}");
+
+    // compact swings to a snapshot generation.
+    let out = run_ok(zoomctl().args(["compact", dir_s]));
+    assert!(out.contains("epoch 1"), "{out}");
+    assert!(out.contains("journal tail : 0 records"), "{out}");
+
+    let out = run_ok(zoomctl().args(["fsck", dir_s]));
+    assert!(out.contains("epoch:           1"), "{out}");
+    assert!(out.contains("snapshot:        snap-000001.zoomwh"), "{out}");
+    assert!(out.contains("strays:          (none)"), "{out}");
+
+    // compact on a non-durable path is a clean error.
+    let out = zoomctl()
+        .args(["compact", "/nonexistent-zoom-dir"])
+        .output()
+        .expect("spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no MANIFEST"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn errors_are_reported_cleanly() {
     let snap = temp_snapshot("errors");
     let snap_s = snap.to_str().expect("utf-8 path");
