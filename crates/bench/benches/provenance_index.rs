@@ -49,7 +49,7 @@ fn bench_indexed_vs_bfs(c: &mut Criterion) {
     let mut group = c.benchmark_group("deep_provenance_indexed_vs_bfs");
     for kind in RunKind::ALL {
         let (run, vr) = loop_run(kind);
-        let index = ProvenanceIndex::build(&run);
+        let index = ProvenanceIndex::build(&run).expect("generated runs are acyclic");
         let targets = [
             ("output", run.final_outputs()[0]),
             ("early", smallest_closure_output(&run, &index)),
@@ -58,14 +58,22 @@ fn bench_indexed_vs_bfs(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("bfs_{place}"), format!("{kind:?}")),
                 &target,
-                |b, &d| b.iter(|| black_box(deep_provenance_bfs(&run, &vr, d).expect("visible"))),
+                |b, &d| {
+                    b.iter(|| {
+                        black_box(deep_provenance_bfs(&run, &vr, d).unwrap().expect("visible"))
+                    })
+                },
             );
             group.bench_with_input(
                 BenchmarkId::new(format!("indexed_{place}"), format!("{kind:?}")),
                 &target,
                 |b, &d| {
                     b.iter(|| {
-                        black_box(deep_provenance_indexed(&run, &vr, &index, d).expect("visible"))
+                        black_box(
+                            deep_provenance_indexed(&run, &vr, &index, d)
+                                .unwrap()
+                                .expect("visible"),
+                        )
                     })
                 },
             );
@@ -96,7 +104,7 @@ fn bench_large_loop_run(c: &mut Criterion) {
     };
     let run = generate_run(&spec, &cfg, &mut rng).expect("valid");
     let vr = ViewRun::new(&run, &UserView::admin(&spec));
-    let index = ProvenanceIndex::build(&run);
+    let index = ProvenanceIndex::build(&run).expect("generated runs are acyclic");
     let target = smallest_closure_output(&run, &index);
     assert_eq!(
         deep_provenance_indexed(&run, &vr, &index, target),
@@ -106,10 +114,22 @@ fn bench_large_loop_run(c: &mut Criterion) {
     let mut group = c.benchmark_group("large_loop_run");
     group.throughput(Throughput::Elements(run.graph().node_count() as u64));
     group.bench_function("bfs", |b| {
-        b.iter(|| black_box(deep_provenance_bfs(&run, &vr, target).expect("visible")))
+        b.iter(|| {
+            black_box(
+                deep_provenance_bfs(&run, &vr, target)
+                    .unwrap()
+                    .expect("visible"),
+            )
+        })
     });
     group.bench_function("indexed", |b| {
-        b.iter(|| black_box(deep_provenance_indexed(&run, &vr, &index, target).expect("visible")))
+        b.iter(|| {
+            black_box(
+                deep_provenance_indexed(&run, &vr, &index, target)
+                    .unwrap()
+                    .expect("visible"),
+            )
+        })
     });
     group.finish();
 }

@@ -52,6 +52,7 @@ pub fn run(corpus: &Corpus, scale: Scale, seed: u64) -> Vec<Point> {
                             let vr = ViewRun::new(run, &view);
                             let target = run.final_outputs()[0];
                             let size = zoom_warehouse::deep_provenance(run, &vr, target)
+                                .expect("run is well-formed")
                                 .expect("final output visible")
                                 .tuples() as f64;
                             samples.push((w.class, *kind, percent, size));

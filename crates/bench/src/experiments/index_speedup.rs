@@ -110,7 +110,7 @@ pub fn deep_run(reps: u32) -> DeepRunResult {
     let run = generate_run(&spec, &cfg, &mut rng).expect("valid");
     let vr = ViewRun::new(&run, &UserView::admin(&spec));
     let started = Instant::now();
-    let index = ProvenanceIndex::build(&run);
+    let index = ProvenanceIndex::build(&run).expect("generated runs are acyclic");
     let build_nanos = started.elapsed().as_nanos() as f64;
     let target = run
         .all_data()
@@ -128,10 +128,14 @@ pub fn deep_run(reps: u32) -> DeepRunResult {
         "strategies disagree — timings would be meaningless"
     );
     let bfs_nanos = time_queries(reps, || {
-        deep_provenance_bfs(&run, &vr, target).expect("visible");
+        deep_provenance_bfs(&run, &vr, target)
+            .unwrap()
+            .expect("visible");
     });
     let indexed_nanos = time_queries(reps, || {
-        deep_provenance_indexed(&run, &vr, &index, target).expect("visible");
+        deep_provenance_indexed(&run, &vr, &index, target)
+            .unwrap()
+            .expect("visible");
     });
     DeepRunResult {
         nodes: run.graph().node_count(),
@@ -183,7 +187,7 @@ pub fn run(corpus: &Corpus, scale: Scale) -> Grid {
             let data = run.all_data();
 
             let started = Instant::now();
-            let index = ProvenanceIndex::build(run);
+            let index = ProvenanceIndex::build(run).expect("generated runs are acyclic");
             builds.push((ki, started.elapsed().as_nanos() as f64));
 
             for (vi, view) in [w.admin, w.bio, w.black_box].into_iter().enumerate() {
@@ -205,12 +209,14 @@ pub fn run(corpus: &Corpus, scale: Scale) -> Grid {
                 let per = targets.len() as f64;
                 let bfs = time_queries(reps, || {
                     for &d in &targets {
-                        deep_provenance_bfs(run, &vr, d).expect("visible");
+                        deep_provenance_bfs(run, &vr, d).unwrap().expect("visible");
                     }
                 }) / per;
                 let indexed = time_queries(reps, || {
                     for &d in &targets {
-                        deep_provenance_indexed(run, &vr, &index, d).expect("visible");
+                        deep_provenance_indexed(run, &vr, &index, d)
+                            .unwrap()
+                            .expect("visible");
                     }
                 }) / per;
 
@@ -230,10 +236,14 @@ pub fn run(corpus: &Corpus, scale: Scale) -> Grid {
                     .expect("runs have visible step outputs");
                 let early_reps = reps * 8;
                 let early_bfs = time_queries(early_reps, || {
-                    deep_provenance_bfs(run, &vr, early).expect("visible");
+                    deep_provenance_bfs(run, &vr, early)
+                        .unwrap()
+                        .expect("visible");
                 });
                 let early_indexed = time_queries(early_reps, || {
-                    deep_provenance_indexed(run, &vr, &index, early).expect("visible");
+                    deep_provenance_indexed(run, &vr, &index, early)
+                        .unwrap()
+                        .expect("visible");
                 });
                 samples.push((ki, vi, bfs, indexed, early_bfs, early_indexed));
             }

@@ -235,7 +235,9 @@ mod tests {
         let r = rb.build().unwrap();
         let v = UserView::admin(&s);
         let vr = ViewRun::new(&r, &v);
-        let res = zoom_warehouse::deep_provenance(&r, &vr, zoom_model::DataId(4)).unwrap();
+        let res = zoom_warehouse::deep_provenance(&r, &vr, zoom_model::DataId(4))
+            .unwrap()
+            .unwrap();
         (r, vr, v, res)
     }
 
@@ -300,7 +302,9 @@ mod tests {
     fn dot_of_partial_provenance_excludes_unrelated() {
         let (r, vr, v, _) = setup();
         // Provenance of d3 involves only S1.
-        let res = zoom_warehouse::deep_provenance(&r, &vr, zoom_model::DataId(3)).unwrap();
+        let res = zoom_warehouse::deep_provenance(&r, &vr, zoom_model::DataId(3))
+            .unwrap()
+            .unwrap();
         let dot = provenance_to_dot(&vr, &v, &res);
         assert!(dot.contains("S1:A"));
         assert!(!dot.contains("S2:B"));

@@ -7,8 +7,9 @@ use zoom_model::{DataId, EventLog, UserView, WorkflowRun, WorkflowSpec};
 use zoom_views::relev_user_view_builder;
 use zoom_warehouse::persist::PersistError;
 use zoom_warehouse::{
-    DurableError, DurableOptions, DurableWarehouse, ImmediateAnswer, ProvenanceResult, Result,
-    RunId, SpecId, ViewId, Warehouse, WarehouseError, WarehouseStats,
+    DurableError, DurableOptions, DurableWarehouse, ImmediateAnswer, MetricsSnapshot,
+    ProvenanceResult, Result, RunId, SlowQuery, SpecId, ViewId, Warehouse, WarehouseError,
+    WarehouseStats,
 };
 
 /// Maps a durable-store error back into the warehouse error space:
@@ -96,6 +97,30 @@ impl Zoom {
             Backing::Memory(w) => w.stats(),
             Backing::Durable(dw) => dw.stats(),
         }
+    }
+
+    /// A full observability snapshot: the [`WarehouseStats`] table
+    /// counters folded together with per-query-class latency histograms,
+    /// cache hit/miss/eviction counters, journal fsync latency,
+    /// checkpoint durations, batch fan-out, and the slow-query log.
+    /// Serializable, and rendered as JSON by
+    /// [`MetricsSnapshot::to_json`] (`zoomctl stats --json`).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.warehouse().metrics_with(self.stats())
+    }
+
+    /// Sets the slow-query threshold: successful queries at least this
+    /// slow are captured (with run/view/data context) in a bounded ring
+    /// buffer. 0 captures everything; `u64::MAX` disables the log.
+    pub fn set_slow_query_threshold_nanos(&self, nanos: u64) {
+        self.warehouse()
+            .metrics_registry()
+            .set_slow_threshold_nanos(nanos);
+    }
+
+    /// The captured slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.warehouse().metrics_registry().slow_queries()
     }
 
     /// Read access to the underlying warehouse.
@@ -381,6 +406,58 @@ mod tests {
         let res = z.deep_provenance_of_final_output(rid, vid).unwrap();
         assert_eq!(res.tuples(), 2);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_snapshot_through_facade() {
+        use zoom_warehouse::{QueryKind, ViewClass};
+        let mut z = Zoom::new();
+        let s = spec();
+        let sid = z.register_workflow(s.clone()).unwrap();
+        let admin = z.admin_view(sid).unwrap();
+        let rid = z.load_run(sid, run(&s)).unwrap();
+        z.set_slow_query_threshold_nanos(0); // capture every query
+
+        z.deep_provenance(rid, admin, DataId(3)).unwrap();
+        z.dependents_of(rid, admin, DataId(1)).unwrap();
+        z.query_batch(&[(rid, admin, DataId(3)), (rid, admin, DataId(2))]);
+        let _ = z.deep_provenance(rid, admin, DataId(99)); // missing → error
+
+        let m = z.metrics();
+        let deep_admin = m
+            .queries
+            .iter()
+            .find(|q| q.kind == QueryKind::Deep && q.view_class == ViewClass::Admin)
+            .unwrap();
+        assert_eq!(deep_admin.latency.count, 3); // 1 direct + 2 batched
+        let dep_admin = m
+            .queries
+            .iter()
+            .find(|q| q.kind == QueryKind::Dependents && q.view_class == ViewClass::Admin)
+            .unwrap();
+        assert_eq!(dep_admin.latency.count, 1);
+        assert_eq!(m.query_errors, 1);
+        assert_eq!(m.batch.batches, 1);
+        assert_eq!(m.batch.queries, 2);
+        assert_eq!(m.batch.max_fanout, 2);
+        assert_eq!(m.view_run_cache.misses, 1);
+        assert_eq!(m.index_cache.misses, 1);
+        assert_eq!(m.stats.view_run_misses, 1);
+        assert!(m.view_run_cache.hits >= 3);
+        // The slow log captured the successful queries with context.
+        let slow = z.slow_queries();
+        assert_eq!(slow.len(), 4);
+        assert!(slow.iter().all(|q| q.run == rid && q.view_name == "UAdmin"));
+        // And the JSON rendering carries the documented sections.
+        let json = m.to_json();
+        for key in [
+            "\"stats\"",
+            "\"queries\"",
+            "\"slow_queries\"",
+            "\"journal\"",
+        ] {
+            assert!(json.contains(key), "missing {key}");
+        }
     }
 
     #[test]

@@ -8,30 +8,97 @@
 //! query against a pair pays the composite-execution construction; every
 //! later query — and every view *switch* back to an already-seen view — is
 //! a cheap graph traversal.
+//!
+//! The cache is bounded: long sessions touching many `(run, view)` pairs
+//! evict least-recently-used entries — whole runs first, since a run the
+//! user has navigated away from is unlikely to be revisited view-by-view —
+//! instead of growing without limit.
 
 use crate::fxhash::FxHashMap;
+use crate::metrics::CacheMetrics;
 use crate::schema::{RunId, ViewId};
 use parking_lot::RwLock;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 use zoom_model::ViewRun;
 
-/// A concurrent `(run, view) → ViewRun` cache.
+/// Default entry cap (`(run, view)` pairs) before eviction kicks in.
+pub const DEFAULT_VIEW_RUN_CAPACITY: usize = 1024;
+
+#[derive(Debug)]
+struct CacheEntry {
+    vr: Arc<ViewRun>,
+    /// Logical timestamp of the last hit (a global tick, not wall clock),
+    /// updated under the read lock so hits never serialize.
+    last_used: AtomicU64,
+}
+
+/// A concurrent, bounded `(run, view) → ViewRun` cache.
 ///
-/// Hit/miss counters are lock-free atomics so that the batch query path —
-/// many threads hitting the cache at once — never serializes on counter
-/// bookkeeping.
-#[derive(Debug, Default)]
+/// Counters are lock-free atomics so that the batch query path — many
+/// threads hitting the cache at once — never serializes on bookkeeping.
+///
+/// **Counter accuracy.** `hits + misses` equals the number of
+/// `get_or_build` calls, even under races: a thread that builds an entry
+/// but loses the insert race returns the winner's entry and is counted as
+/// a *hit* plus one `race_lost_builds`; `misses` counts exactly the
+/// entries actually inserted.
+#[derive(Debug)]
 pub struct ViewRunCache {
-    map: RwLock<FxHashMap<(RunId, ViewId), Arc<ViewRun>>>,
+    map: RwLock<FxHashMap<(RunId, ViewId), CacheEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    race_lost_builds: AtomicU64,
+    evictions: AtomicU64,
+    build_nanos: AtomicU64,
+    tick: AtomicU64,
+    capacity: AtomicUsize,
+}
+
+impl Default for ViewRunCache {
+    fn default() -> Self {
+        ViewRunCache {
+            map: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            race_lost_builds: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+            tick: AtomicU64::new(0),
+            capacity: AtomicUsize::new(DEFAULT_VIEW_RUN_CAPACITY),
+        }
+    }
 }
 
 impl ViewRunCache {
-    /// An empty cache.
+    /// An empty cache with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache capped at `capacity` entries (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let c = Self::default();
+        c.capacity.store(capacity, Ordering::Relaxed);
+        c
+    }
+
+    /// Sets the entry cap (0 = unbounded). Takes effect on the next
+    /// insert; existing entries are not evicted eagerly.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+    }
+
+    /// The current entry cap (0 = unbounded).
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn touch(&self, entry: &CacheEntry) {
+        let t = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(t, Ordering::Relaxed);
     }
 
     /// Returns the cached view-run, or materializes it with `build` and
@@ -41,16 +108,80 @@ impl ViewRunCache {
         key: (RunId, ViewId),
         build: impl FnOnce() -> ViewRun,
     ) -> Arc<ViewRun> {
-        if let Some(hit) = self.map.read().get(&key).cloned() {
+        if let Some(entry) = self.map.read().get(&key) {
+            self.touch(entry);
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return entry.vr.clone();
         }
         // Build outside the lock; a racing builder costs duplicate work but
         // never blocks readers for the duration of materialization.
+        let start = Instant::now();
         let vr = Arc::new(build());
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let nanos = start.elapsed().as_nanos() as u64;
         let mut map = self.map.write();
-        map.entry(key).or_insert_with(|| vr.clone()).clone()
+        if let Some(existing) = map.get(&key) {
+            // Lost the insert race: the query is still answered from the
+            // cache, so count it as a hit — not a second miss — keeping
+            // hits + misses == queries.
+            self.touch(existing);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.race_lost_builds.fetch_add(1, Ordering::Relaxed);
+            return existing.vr.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.build_nanos.fetch_add(nanos, Ordering::Relaxed);
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap > 0 && map.len() >= cap {
+            self.evict_locked(&mut map, key.0);
+        }
+        let entry = CacheEntry {
+            vr: vr.clone(),
+            last_used: AtomicU64::new(0),
+        };
+        self.touch(&entry);
+        map.insert(key, entry);
+        vr
+    }
+
+    /// Evicts the least-recently-used *run* (the run whose most recent hit
+    /// is oldest), preferring a run other than `incoming` so an active
+    /// run's view set is not cannibalized; when `incoming` is the only run
+    /// cached, evicts its single oldest entry instead.
+    fn evict_locked(&self, map: &mut FxHashMap<(RunId, ViewId), CacheEntry>, incoming: RunId) {
+        let mut victim: Option<(RunId, u64)> = None;
+        let mut last_used_of_run: FxHashMap<RunId, u64> = FxHashMap::default();
+        for (&(run, _), entry) in map.iter() {
+            let t = entry.last_used.load(Ordering::Relaxed);
+            let slot = last_used_of_run.entry(run).or_insert(0);
+            *slot = (*slot).max(t);
+        }
+        for (&run, &t) in &last_used_of_run {
+            if run == incoming && last_used_of_run.len() > 1 {
+                continue;
+            }
+            if victim.is_none_or(|(_, best)| t < best) {
+                victim = Some((run, t));
+            }
+        }
+        let Some((victim_run, _)) = victim else {
+            return;
+        };
+        if victim_run == incoming {
+            // Only the incoming run is cached: shed its single oldest view.
+            if let Some(&oldest) = map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k)
+            {
+                map.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            let before = map.len();
+            map.retain(|&(r, _), _| r != victim_run);
+            self.evictions
+                .fetch_add((before - map.len()) as u64, Ordering::Relaxed);
+        }
     }
 
     /// Current number of cached view-runs.
@@ -69,6 +200,18 @@ impl ViewRunCache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// A full counter snapshot for the metrics layer.
+    pub fn metrics(&self) -> CacheMetrics {
+        CacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            race_lost_builds: self.race_lost_builds.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.len() as u64,
+            build_nanos: self.build_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every cached entry (e.g. after bulk loads, or for benchmarks
@@ -91,6 +234,7 @@ impl ViewRunCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Barrier;
     use zoom_model::{RunBuilder, SpecBuilder, UserView};
 
     fn a_view_run() -> ViewRun {
@@ -121,6 +265,9 @@ mod tests {
         assert_eq!(cache.len(), 1);
         let (hits, misses) = cache.counters();
         assert_eq!((hits, misses), (2, 1));
+        let m = cache.metrics();
+        assert_eq!(m.race_lost_builds, 0);
+        assert_eq!(m.entries, 1);
     }
 
     #[test]
@@ -138,5 +285,126 @@ mod tests {
         assert_eq!(cache.len(), 1);
         cache.clear();
         assert!(cache.is_empty());
+    }
+
+    /// Satellite 1: N threads hammer one key; exactly one build may win the
+    /// insert, every other call is a hit (race-lost or read-path), so
+    /// hits + misses == total queries and misses == 1.
+    #[test]
+    fn concurrent_one_key_counters_balance() {
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 50;
+        let cache = ViewRunCache::new();
+        let key = (RunId(7), ViewId(3));
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    // Align the first round so several threads miss the
+                    // read check together and race the insert.
+                    barrier.wait();
+                    for _ in 0..ROUNDS {
+                        let vr = cache.get_or_build(key, a_view_run);
+                        assert_eq!(vr.execs().len(), 1);
+                    }
+                });
+            }
+        });
+        let queries = (THREADS * ROUNDS) as u64;
+        let m = cache.metrics();
+        assert_eq!(
+            m.hits + m.misses,
+            queries,
+            "hits {} + misses {} must equal queries {}",
+            m.hits,
+            m.misses,
+            queries
+        );
+        assert_eq!(m.misses, 1, "exactly one insert wins for a single key");
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// Forces the insert race deterministically: both threads pass the
+    /// read-path check before either builds, so one build loses.
+    #[test]
+    fn race_lost_build_counts_as_hit() {
+        let cache = ViewRunCache::new();
+        let key = (RunId(1), ViewId(1));
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| {
+                    cache.get_or_build(key, || {
+                        barrier.wait();
+                        a_view_run()
+                    });
+                });
+            }
+        });
+        let m = cache.metrics();
+        assert_eq!(m.misses, 1);
+        assert_eq!(m.hits, 1);
+        assert_eq!(m.race_lost_builds, 1);
+        assert!(m.build_nanos > 0);
+    }
+
+    /// Satellite 4: the cap evicts whole runs, least-recently-used first,
+    /// and never the run currently being inserted into (unless it is the
+    /// only one cached).
+    #[test]
+    fn bounded_evicts_lru_run_first() {
+        let cache = ViewRunCache::with_capacity(4);
+        // Run 1 holds two views, run 2 holds two views. Cache is full.
+        for r in 1..=2 {
+            for v in 1..=2 {
+                cache.get_or_build((RunId(r), ViewId(v)), a_view_run);
+            }
+        }
+        assert_eq!(cache.len(), 4);
+        // Touch run 1 so run 2 becomes the LRU run.
+        cache.get_or_build((RunId(1), ViewId(1)), a_view_run);
+        // Inserting a third run evicts *all* of run 2.
+        cache.get_or_build((RunId(3), ViewId(1)), a_view_run);
+        let m = cache.metrics();
+        assert_eq!(m.evictions, 2);
+        assert_eq!(cache.len(), 3);
+        let map = cache.map.read();
+        assert!(map.keys().all(|&(r, _)| r != RunId(2)));
+        assert!(map.contains_key(&(RunId(1), ViewId(1))));
+        assert!(map.contains_key(&(RunId(3), ViewId(1))));
+    }
+
+    /// When the incoming run is the only run cached, eviction sheds its
+    /// single oldest view instead of wiping the whole run.
+    #[test]
+    fn bounded_single_run_evicts_oldest_view() {
+        let cache = ViewRunCache::with_capacity(2);
+        cache.get_or_build((RunId(1), ViewId(1)), a_view_run);
+        cache.get_or_build((RunId(1), ViewId(2)), a_view_run);
+        // View 1 is older; inserting view 3 evicts it only.
+        cache.get_or_build((RunId(1), ViewId(3)), a_view_run);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.metrics().evictions, 1);
+        let map = cache.map.read();
+        assert!(!map.contains_key(&(RunId(1), ViewId(1))));
+        assert!(map.contains_key(&(RunId(1), ViewId(2))));
+        assert!(map.contains_key(&(RunId(1), ViewId(3))));
+    }
+
+    #[test]
+    fn capacity_zero_is_unbounded() {
+        let cache = ViewRunCache::with_capacity(0);
+        for v in 1..=100 {
+            cache.get_or_build((RunId(1), ViewId(v)), a_view_run);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.metrics().evictions, 0);
+        cache.set_capacity(10);
+        assert_eq!(cache.capacity(), 10);
+        // Next insert enforces the (new) cap: run 1 is the LRU run and not
+        // the incoming run, so all 100 of its entries are shed at once.
+        cache.get_or_build((RunId(2), ViewId(1)), a_view_run);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.metrics().evictions, 100);
     }
 }

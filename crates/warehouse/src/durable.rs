@@ -351,7 +351,11 @@ impl DurableWarehouse {
 
     fn append(&mut self, rec: &JournalRecord) -> Result<(), DurableError> {
         let frame = journal::encode_frame(rec)?;
+        let started = std::time::Instant::now();
         self.io.append(&self.dir.join(&self.journal), &frame)?;
+        self.inner
+            .metrics_registry()
+            .record_journal_append(started.elapsed().as_nanos() as u64);
         self.journal_bytes += frame.len() as u64;
         self.journal_records += 1;
         Ok(())
@@ -423,6 +427,7 @@ impl DurableWarehouse {
     /// A crash before step 3 leaves the old generation live (new files are
     /// strays); after it, the new generation is live.
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
+        let started = std::time::Instant::now();
         let epoch = self.epoch + 1;
         let snap = snap_name(epoch);
         let wal = wal_name(epoch);
@@ -451,6 +456,9 @@ impl DurableWarehouse {
         self.journal_bytes = 0;
         self.journal_records = 0;
         self.compactions += 1;
+        self.inner
+            .metrics_registry()
+            .record_checkpoint(started.elapsed().as_nanos() as u64);
         Ok(())
     }
 

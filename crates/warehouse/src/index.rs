@@ -31,7 +31,7 @@ use std::sync::Arc;
 use std::time::Instant;
 use zoom_graph::algo::topo::topological_sort;
 use zoom_graph::{BitSet, NodeId};
-use zoom_model::WorkflowRun;
+use zoom_model::{ModelError, WorkflowRun};
 
 /// Reachability rows over one run's raw (UAdmin-level) graph.
 ///
@@ -46,12 +46,13 @@ pub struct ProvenanceIndex {
 impl ProvenanceIndex {
     /// Builds both closure directions for `run` in two topological passes.
     ///
-    /// # Panics
-    /// Panics if the run graph is cyclic, which validated runs never are.
-    pub fn build(run: &WorkflowRun) -> Self {
+    /// Returns [`ModelError::RunHasCycle`] if the run graph is cyclic.
+    /// Validated runs never are, but a hand-loaded or corrupted durable
+    /// log can hand us one, and building an index must not crash `open()`.
+    pub fn build(run: &WorkflowRun) -> Result<Self, ModelError> {
         let g = run.graph();
         let n = g.node_count();
-        let order = topological_sort(g).expect("validated workflow runs are acyclic");
+        let order = topological_sort(g).ok_or(ModelError::RunHasCycle)?;
 
         // Placeholder rows are never unioned: topological order guarantees
         // every predecessor's real row exists before its dependents read it.
@@ -75,10 +76,10 @@ impl ProvenanceIndex {
             descendants[node.index()] = row;
         }
 
-        ProvenanceIndex {
+        Ok(ProvenanceIndex {
             ancestors,
             descendants,
-        }
+        })
     }
 
     /// The backward closure of `n`: itself plus every node it transitively
@@ -105,11 +106,18 @@ impl ProvenanceIndex {
 }
 
 /// A concurrent `run → ProvenanceIndex` cache with lock-free counters.
+///
+/// Obeys the same counter-accuracy guarantee as
+/// [`crate::cache::ViewRunCache`]: `hits + misses` equals the number of
+/// successful `get_or_build` calls; a build that loses the insert race
+/// counts as a hit plus one `race_lost_builds`. A build that *fails*
+/// counts as neither (the query itself surfaces the error).
 #[derive(Debug, Default)]
 pub struct ProvenanceIndexCache {
     map: RwLock<FxHashMap<RunId, Arc<ProvenanceIndex>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    race_lost_builds: AtomicU64,
     build_nanos: AtomicU64,
 }
 
@@ -120,24 +128,33 @@ impl ProvenanceIndexCache {
     }
 
     /// Returns the cached index for `run`, or builds and caches it.
-    pub fn get_or_build(
+    /// Build failures are propagated and cache nothing.
+    pub fn get_or_build<E>(
         &self,
         run: RunId,
-        build: impl FnOnce() -> ProvenanceIndex,
-    ) -> Arc<ProvenanceIndex> {
+        build: impl FnOnce() -> Result<ProvenanceIndex, E>,
+    ) -> Result<Arc<ProvenanceIndex>, E> {
         if let Some(hit) = self.map.read().get(&run).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         // Build outside the lock; a racing builder costs duplicate work but
         // never blocks readers for the duration of the closure computation.
         let started = Instant::now();
-        let idx = Arc::new(build());
-        self.build_nanos
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = Arc::new(build()?);
+        let nanos = started.elapsed().as_nanos() as u64;
         let mut map = self.map.write();
-        map.entry(run).or_insert_with(|| idx.clone()).clone()
+        if let Some(existing) = map.get(&run).cloned() {
+            // Lost the insert race: answered from the cache, so a hit —
+            // keeping hits + misses == queries.
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.race_lost_builds.fetch_add(1, Ordering::Relaxed);
+            return Ok(existing);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.build_nanos.fetch_add(nanos, Ordering::Relaxed);
+        map.insert(run, idx.clone());
+        Ok(idx)
     }
 
     /// Number of cached indexes.
@@ -161,6 +178,20 @@ impl ProvenanceIndexCache {
     /// Total nanoseconds spent building indexes (across misses).
     pub fn build_nanos(&self) -> u64 {
         self.build_nanos.load(Ordering::Relaxed)
+    }
+
+    /// A full counter snapshot for the metrics layer (this cache is
+    /// unbounded — indexes are per-run and invalidated with the run — so
+    /// `evictions` is always 0).
+    pub fn metrics(&self) -> crate::metrics::CacheMetrics {
+        crate::metrics::CacheMetrics {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            race_lost_builds: self.race_lost_builds.load(Ordering::Relaxed),
+            evictions: 0,
+            entries: self.len() as u64,
+            build_nanos: self.build_nanos.load(Ordering::Relaxed),
+        }
     }
 
     /// Drops every cached index.
@@ -207,7 +238,7 @@ mod tests {
     fn rows_match_bfs_closures() {
         let run = diamondish();
         let g = run.graph();
-        let idx = ProvenanceIndex::build(&run);
+        let idx = ProvenanceIndex::build(&run).unwrap();
         assert_eq!(idx.node_count(), g.node_count());
         for n in g.node_ids() {
             let back = zoom_graph::reachable_set(g, n, zoom_graph::Direction::Backward);
@@ -220,7 +251,7 @@ mod tests {
     #[test]
     fn rows_contain_self() {
         let run = diamondish();
-        let idx = ProvenanceIndex::build(&run);
+        let idx = ProvenanceIndex::build(&run).unwrap();
         for n in run.graph().node_ids() {
             assert!(idx.ancestors(n).contains(n.index()));
             assert!(idx.descendants(n).contains(n.index()));
@@ -232,7 +263,9 @@ mod tests {
         let run = diamondish();
         let cache = ProvenanceIndexCache::new();
         for _ in 0..3 {
-            let idx = cache.get_or_build(RunId(7), || ProvenanceIndex::build(&run));
+            let idx = cache
+                .get_or_build(RunId(7), || ProvenanceIndex::build(&run))
+                .unwrap();
             assert_eq!(idx.node_count(), run.graph().node_count());
         }
         assert_eq!(cache.counters(), (2, 1));
@@ -240,9 +273,80 @@ mod tests {
         assert!(cache.build_nanos() > 0);
         cache.invalidate_run(RunId(7));
         assert!(cache.is_empty());
-        cache.get_or_build(RunId(7), || ProvenanceIndex::build(&run));
+        cache
+            .get_or_build(RunId(7), || ProvenanceIndex::build(&run))
+            .unwrap();
         assert_eq!(cache.counters(), (2, 2));
         cache.clear();
         assert!(cache.is_empty());
+        let m = cache.metrics();
+        assert_eq!((m.hits, m.misses, m.race_lost_builds), (2, 2, 0));
+        assert_eq!(m.entries, 0);
+    }
+
+    /// A failed build caches nothing and counts neither hit nor miss.
+    #[test]
+    fn failed_build_is_not_cached_or_counted() {
+        let cache = ProvenanceIndexCache::new();
+        let r: Result<Arc<ProvenanceIndex>, &str> = cache.get_or_build(RunId(1), || Err("cyclic"));
+        assert_eq!(r.unwrap_err(), "cyclic");
+        assert!(cache.is_empty());
+        assert_eq!(cache.counters(), (0, 0));
+    }
+
+    /// Satellite 3: a cyclic run graph — which every builder/validator
+    /// rejects, but a corrupted snapshot can smuggle past them via the
+    /// codec — yields `RunHasCycle` instead of a panic.
+    #[test]
+    fn cyclic_run_yields_error_not_panic() {
+        use serde::Serialize;
+        use std::collections::{BTreeMap, HashMap};
+        use zoom_graph::Digraph;
+        use zoom_model::{DataId, ModelError, RunNode, StepId, UserInputMeta};
+
+        // Mirror of WorkflowRun's serialized (positional) layout.
+        #[derive(Serialize)]
+        struct RawRun {
+            spec_name: String,
+            graph: Digraph<RunNode, Vec<DataId>>,
+            node_of_step: HashMap<StepId, NodeId>,
+            producer: HashMap<DataId, NodeId>,
+            user_input_meta: HashMap<DataId, UserInputMeta>,
+            params: HashMap<StepId, BTreeMap<String, String>>,
+        }
+
+        let mut g: Digraph<RunNode, Vec<DataId>> = Digraph::new();
+        let input = g.add_node(RunNode::Input);
+        let output = g.add_node(RunNode::Output);
+        let a = g.add_node(RunNode::Step {
+            id: StepId(1),
+            module: NodeId::from_index(2),
+        });
+        let b = g.add_node(RunNode::Step {
+            id: StepId(2),
+            module: NodeId::from_index(3),
+        });
+        g.add_edge(input, a, vec![DataId(1)]);
+        g.add_edge(a, b, vec![DataId(2)]);
+        g.add_edge(b, a, vec![DataId(3)]); // the cycle
+        g.add_edge(b, output, vec![DataId(4)]);
+        let raw = RawRun {
+            spec_name: "cyclic".into(),
+            graph: g,
+            node_of_step: HashMap::from([(StepId(1), a), (StepId(2), b)]),
+            producer: HashMap::from([
+                (DataId(1), input),
+                (DataId(2), a),
+                (DataId(3), b),
+                (DataId(4), b),
+            ]),
+            user_input_meta: HashMap::new(),
+            params: HashMap::new(),
+        };
+        let bytes = crate::codec::to_bytes(&raw).unwrap();
+        let run: WorkflowRun = crate::codec::from_bytes(&bytes).unwrap();
+
+        let err = ProvenanceIndex::build(&run).unwrap_err();
+        assert_eq!(err, ModelError::RunHasCycle);
     }
 }

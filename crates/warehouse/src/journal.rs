@@ -284,7 +284,11 @@ impl JournaledWarehouse {
 
     fn append(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
         let frame = encode_frame(rec)?;
+        let started = std::time::Instant::now();
         self.io.append(&self.path, &frame)?;
+        self.inner
+            .metrics_registry()
+            .record_journal_append(started.elapsed().as_nanos() as u64);
         self.records += 1;
         Ok(())
     }

@@ -18,6 +18,9 @@
 //! * [`cache`] — the materialized view-run cache;
 //! * [`index`] — the per-run base-closure provenance index (the
 //!   base-provenance temp-table analog) and its run-keyed cache;
+//! * [`metrics`] — the lock-free observability layer: per-query-class
+//!   latency histograms, cache/journal/compaction counters, and the
+//!   slow-query log, snapshotted as [`MetricsSnapshot`];
 //! * [`store`] — the [`Warehouse`] facade;
 //! * [`persist`] — binary snapshot save/load;
 //! * [`journal`] — an append-only, checksummed journal for incremental
@@ -36,6 +39,7 @@ pub mod fxhash;
 pub mod index;
 pub mod io;
 pub mod journal;
+pub mod metrics;
 pub mod persist;
 pub mod query;
 pub mod schema;
@@ -47,10 +51,14 @@ pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckRepo
 pub use index::{ProvenanceIndex, ProvenanceIndexCache};
 pub use io::{FaultFs, RealFs, StorageIo};
 pub use journal::{JournalError, JournaledWarehouse};
+pub use metrics::{
+    CacheMetrics, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, QueryKind,
+    SlowQuery, ViewClass,
+};
 pub use query::{
     data_between, deep_provenance, deep_provenance_bfs, deep_provenance_indexed, dependents_of,
     dependents_of_bfs, dependents_of_indexed, immediate_provenance, ImmediateProvenance,
-    ProvenanceResult, ProvenanceRow,
+    ProvenanceResult, ProvenanceRow, QueryError,
 };
 pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
 pub use store::{ImmediateAnswer, Result, Warehouse, WarehouseError};

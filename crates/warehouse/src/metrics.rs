@@ -1,0 +1,798 @@
+//! Lock-free runtime metrics for the provenance warehouse.
+//!
+//! The paper's evaluation (Section V, Figures 10–11) is built on per-query
+//! latency and the cost of view switches; serving provenance at production
+//! scale needs the same numbers available *at runtime*, not just in
+//! benchmark harnesses. This module is the warehouse's observability
+//! layer:
+//!
+//! * [`MetricsRegistry`] — atomic counters and fixed-bucket latency
+//!   histograms, shared by every hot path ([`crate::query`] through
+//!   [`crate::store::Warehouse`], the caches, the journal and the durable
+//!   store). Recording is wait-free (a handful of relaxed atomic adds);
+//!   the parallel batch path never serializes on bookkeeping.
+//! * [`LatencyHistogram`] — 16 power-of-two buckets from 1 µs to ≥16 ms,
+//!   plus count/sum/max, so mean *and* tail behaviour survive aggregation.
+//! * A **slow-query log** — a small ring buffer of the most recent queries
+//!   that crossed a configurable latency threshold, each with its
+//!   run/view/data context, so "why was that click slow?" is answerable
+//!   after the fact.
+//! * [`MetricsSnapshot`] — a serde-serializable point-in-time copy of
+//!   everything above, folded together with the existing
+//!   [`WarehouseStats`] table counters. [`MetricsSnapshot::to_json`]
+//!   renders it as JSON for `zoomctl stats --json`.
+//!
+//! ## Counter-accuracy guarantee
+//!
+//! For both caches, `hits + misses` equals the number of `get_or_build`
+//! calls, *including* under the parallel batch path: a thread that builds
+//! an entry but loses the insert race is counted as a **hit** (it returns
+//! the winner's entry) plus one `race_lost_builds`, and `misses` counts
+//! exactly the entries actually inserted. Hit-rate arithmetic therefore
+//! never over- or under-counts queries.
+
+use crate::schema::{RunId, ViewId, WarehouseStats};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets (15 bounded + 1 overflow).
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Upper bounds (exclusive, nanoseconds) of the bounded buckets: powers of
+/// two from 1 µs (2^10 ns) to ~16.8 ms (2^24 ns). The final bucket counts
+/// everything at or above the last bound.
+pub const BUCKET_BOUNDS_NANOS: [u64; HISTOGRAM_BUCKETS - 1] = [
+    1 << 10,
+    1 << 11,
+    1 << 12,
+    1 << 13,
+    1 << 14,
+    1 << 15,
+    1 << 16,
+    1 << 17,
+    1 << 18,
+    1 << 19,
+    1 << 20,
+    1 << 21,
+    1 << 22,
+    1 << 23,
+    1 << 24,
+];
+
+/// Capacity of the slow-query ring buffer.
+pub const SLOW_LOG_CAPACITY: usize = 64;
+
+/// Default slow-query threshold: 10 ms. Queries slower than this are
+/// captured in the ring buffer with their context.
+pub const DEFAULT_SLOW_THRESHOLD_NANOS: u64 = 10_000_000;
+
+#[inline]
+fn bucket_index(nanos: u64) -> usize {
+    // Bucket i covers [1024 << (i-1), 1024 << i); bucket 0 is < 1 µs and
+    // the last bucket absorbs the tail. Significant-bit arithmetic keeps
+    // the hot path branch-light.
+    ((64 - nanos.leading_zeros()) as usize)
+        .saturating_sub(10)
+        .min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// A fixed-bucket latency histogram with lock-free recording.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Wait-free: four relaxed atomic updates.
+    #[inline]
+    pub fn record(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the histogram.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_nanos: self.sum_nanos.load(Ordering::Relaxed),
+            max_nanos: self.max_nanos.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// Serializable copy of a [`LatencyHistogram`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub sum_nanos: u64,
+    /// Largest single observation, nanoseconds.
+    pub max_nanos: u64,
+    /// Per-bucket counts; bucket `i` covers latencies below
+    /// [`BUCKET_BOUNDS_NANOS`]`[i]`, the last bucket the overflow tail.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The provenance query families the warehouse serves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QueryKind {
+    /// Deep (recursive backward) provenance.
+    Deep,
+    /// Immediate provenance.
+    Immediate,
+    /// The canned forward query (dependents).
+    Dependents,
+    /// The edge-click query (data between two executions).
+    Between,
+}
+
+impl QueryKind {
+    /// All kinds, in display order.
+    pub const ALL: [QueryKind; 4] = [
+        QueryKind::Deep,
+        QueryKind::Immediate,
+        QueryKind::Dependents,
+        QueryKind::Between,
+    ];
+
+    /// Stable lower-case name (used as a JSON key fragment).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Deep => "deep",
+            QueryKind::Immediate => "immediate",
+            QueryKind::Dependents => "dependents",
+            QueryKind::Between => "between",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            QueryKind::Deep => 0,
+            QueryKind::Immediate => 1,
+            QueryKind::Dependents => 2,
+            QueryKind::Between => 3,
+        }
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The coarse class of the user view a query ran against — the dimension
+/// the paper's Figure 10 varies (finest, intermediate, coarsest).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ViewClass {
+    /// The finest view, `UAdmin`.
+    Admin,
+    /// The coarsest view, `UBlackBox`.
+    BlackBox,
+    /// Any user-built view in between.
+    Custom,
+}
+
+impl ViewClass {
+    /// All classes, in display order.
+    pub const ALL: [ViewClass; 3] = [ViewClass::Admin, ViewClass::BlackBox, ViewClass::Custom];
+
+    /// Classifies a view by its registered name.
+    pub fn of_view_name(name: &str) -> ViewClass {
+        match name {
+            "UAdmin" => ViewClass::Admin,
+            "UBlackBox" => ViewClass::BlackBox,
+            _ => ViewClass::Custom,
+        }
+    }
+
+    /// Stable lower-case name (used as a JSON key fragment).
+    pub fn name(self) -> &'static str {
+        match self {
+            ViewClass::Admin => "admin",
+            ViewClass::BlackBox => "black_box",
+            ViewClass::Custom => "custom",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            ViewClass::Admin => 0,
+            ViewClass::BlackBox => 1,
+            ViewClass::Custom => 2,
+        }
+    }
+}
+
+impl fmt::Display for ViewClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One captured slow query, with enough context to reproduce it.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowQuery {
+    /// Monotone sequence number (total slow queries observed so far).
+    pub seq: u64,
+    /// The query family.
+    pub kind: QueryKind,
+    /// The run queried.
+    pub run: RunId,
+    /// The view queried through.
+    pub view: ViewId,
+    /// The view's registered name.
+    pub view_name: String,
+    /// The queried data object, if the query form has one.
+    pub data: Option<u64>,
+    /// Wall-clock duration, nanoseconds.
+    pub nanos: u64,
+}
+
+/// The lock-free metrics registry every warehouse owns.
+///
+/// All recording methods take `&self` and cost a few relaxed atomic
+/// operations; the only lock is around the slow-query ring buffer, taken
+/// only for queries that actually crossed the threshold.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    /// Query latency, per kind × view class.
+    query_hist: [[LatencyHistogram; 3]; 4],
+    /// Queries that returned an error (not visible, missing, corrupt).
+    query_errors: AtomicU64,
+    /// Batch calls served.
+    batches: AtomicU64,
+    /// Individual queries inside batches.
+    batch_queries: AtomicU64,
+    /// Largest single batch seen.
+    max_batch_fanout: AtomicU64,
+    /// Journal appends (each one is an fsync).
+    journal_appends: AtomicU64,
+    /// Journal append+fsync latency.
+    journal_append_hist: LatencyHistogram,
+    /// Checkpoint/compaction duration.
+    checkpoint_hist: LatencyHistogram,
+    /// View-switch latency (an interactive session changing views).
+    view_switch_hist: LatencyHistogram,
+    slow_threshold_nanos: AtomicU64,
+    slow_seq: AtomicU64,
+    slow_log: Mutex<VecDeque<SlowQuery>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry {
+            query_hist: Default::default(),
+            query_errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
+            max_batch_fanout: AtomicU64::new(0),
+            journal_appends: AtomicU64::new(0),
+            journal_append_hist: LatencyHistogram::new(),
+            checkpoint_hist: LatencyHistogram::new(),
+            view_switch_hist: LatencyHistogram::new(),
+            slow_threshold_nanos: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NANOS),
+            slow_seq: AtomicU64::new(0),
+            slow_log: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+        }
+    }
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with the default slow-query threshold.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a successful query: latency histogram plus, if over the
+    /// threshold, a slow-log entry carrying the query's context.
+    #[allow(clippy::too_many_arguments)] // one flat call per query keeps the hot path allocation-free
+    pub fn record_query(
+        &self,
+        kind: QueryKind,
+        class: ViewClass,
+        run: RunId,
+        view: ViewId,
+        view_name: &str,
+        data: Option<u64>,
+        nanos: u64,
+    ) {
+        self.query_hist[kind.index()][class.index()].record(nanos);
+        if nanos >= self.slow_threshold_nanos.load(Ordering::Relaxed) {
+            let seq = self.slow_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            let entry = SlowQuery {
+                seq,
+                kind,
+                run,
+                view,
+                view_name: view_name.to_string(),
+                data,
+                nanos,
+            };
+            let mut log = self.slow_log.lock();
+            if log.len() == SLOW_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(entry);
+        }
+    }
+
+    /// Records a query that ended in an error.
+    pub fn record_query_error(&self) {
+        self.query_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one batch call fanning out `queries` individual queries.
+    pub fn record_batch(&self, queries: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batch_queries
+            .fetch_add(queries as u64, Ordering::Relaxed);
+        self.max_batch_fanout
+            .fetch_max(queries as u64, Ordering::Relaxed);
+    }
+
+    /// Records one journal append (including its fsync) taking `nanos`.
+    pub fn record_journal_append(&self, nanos: u64) {
+        self.journal_appends.fetch_add(1, Ordering::Relaxed);
+        self.journal_append_hist.record(nanos);
+    }
+
+    /// Records one checkpoint/compaction taking `nanos`.
+    pub fn record_checkpoint(&self, nanos: u64) {
+        self.checkpoint_hist.record(nanos);
+    }
+
+    /// Records one view switch taking `nanos`.
+    pub fn record_view_switch(&self, nanos: u64) {
+        self.view_switch_hist.record(nanos);
+    }
+
+    /// Sets the slow-query threshold in nanoseconds (0 captures every
+    /// query; `u64::MAX` disables the log).
+    pub fn set_slow_threshold_nanos(&self, nanos: u64) {
+        self.slow_threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The current slow-query threshold in nanoseconds.
+    pub fn slow_threshold_nanos(&self) -> u64 {
+        self.slow_threshold_nanos.load(Ordering::Relaxed)
+    }
+
+    /// The captured slow queries, oldest first.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.slow_log.lock().iter().cloned().collect()
+    }
+
+    /// Drops every captured slow query (the sequence counter keeps going).
+    pub fn clear_slow_log(&self) {
+        self.slow_log.lock().clear();
+    }
+
+    /// Snapshots the registry-owned parts (the caller folds in table and
+    /// cache counters).
+    pub(crate) fn snapshot_into(
+        &self,
+        stats: WarehouseStats,
+        view_run_cache: CacheMetrics,
+        index_cache: CacheMetrics,
+    ) -> MetricsSnapshot {
+        let mut queries = Vec::with_capacity(12);
+        for kind in QueryKind::ALL {
+            for class in ViewClass::ALL {
+                queries.push(QueryLatency {
+                    kind,
+                    view_class: class,
+                    latency: self.query_hist[kind.index()][class.index()].snapshot(),
+                });
+            }
+        }
+        MetricsSnapshot {
+            stats,
+            queries,
+            query_errors: self.query_errors.load(Ordering::Relaxed),
+            view_run_cache,
+            index_cache,
+            batch: BatchMetrics {
+                batches: self.batches.load(Ordering::Relaxed),
+                queries: self.batch_queries.load(Ordering::Relaxed),
+                max_fanout: self.max_batch_fanout.load(Ordering::Relaxed),
+            },
+            journal: JournalMetrics {
+                appends: self.journal_appends.load(Ordering::Relaxed),
+                append_latency: self.journal_append_hist.snapshot(),
+                checkpoint_latency: self.checkpoint_hist.snapshot(),
+            },
+            view_switch: self.view_switch_hist.snapshot(),
+            slow_query_threshold_nanos: self.slow_threshold_nanos.load(Ordering::Relaxed),
+            slow_queries: self.slow_queries(),
+        }
+    }
+}
+
+/// Latency of one query family at one view class.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryLatency {
+    /// The query family.
+    pub kind: QueryKind,
+    /// The view class queried through.
+    pub view_class: ViewClass,
+    /// The latency distribution.
+    pub latency: HistogramSnapshot,
+}
+
+/// Counters of one materialization cache (view-run or provenance-index).
+///
+/// Obeys the counter-accuracy guarantee: `hits + misses` equals the
+/// number of cache queries; `race_lost_builds` counts builds whose result
+/// was discarded because another thread inserted first (those queries are
+/// part of `hits`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheMetrics {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that built and inserted a new entry.
+    pub misses: u64,
+    /// Builds discarded after losing the insert race.
+    pub race_lost_builds: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Total nanoseconds spent building inserted entries.
+    pub build_nanos: u64,
+}
+
+/// Batch-query fan-out counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchMetrics {
+    /// Batch calls served.
+    pub batches: u64,
+    /// Individual queries across all batches.
+    pub queries: u64,
+    /// Largest single batch.
+    pub max_fanout: u64,
+}
+
+/// Journal and compaction timing.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalMetrics {
+    /// Appends performed (each is an fsync).
+    pub appends: u64,
+    /// Append+fsync latency.
+    pub append_latency: HistogramSnapshot,
+    /// Checkpoint/compaction duration.
+    pub checkpoint_latency: HistogramSnapshot,
+}
+
+/// A point-in-time copy of every warehouse metric, including the classic
+/// [`WarehouseStats`] table counters.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Table sizes, index counters, and durability counters.
+    pub stats: WarehouseStats,
+    /// Query latency per kind × view class (all 12 combinations, in
+    /// [`QueryKind::ALL`] × [`ViewClass::ALL`] order).
+    pub queries: Vec<QueryLatency>,
+    /// Queries that returned an error.
+    pub query_errors: u64,
+    /// The materialized view-run cache.
+    pub view_run_cache: CacheMetrics,
+    /// The base-closure provenance-index cache.
+    pub index_cache: CacheMetrics,
+    /// Batch fan-out counters.
+    pub batch: BatchMetrics,
+    /// Journal append and checkpoint timing.
+    pub journal: JournalMetrics,
+    /// View-switch latency.
+    pub view_switch: HistogramSnapshot,
+    /// Current slow-query threshold, nanoseconds.
+    pub slow_query_threshold_nanos: u64,
+    /// The captured slow queries, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(u64::to_string).collect();
+    format!(
+        "{{\"count\":{},\"sum_nanos\":{},\"max_nanos\":{},\"mean_nanos\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum_nanos,
+        h.max_nanos,
+        h.mean_nanos(),
+        buckets.join(",")
+    )
+}
+
+fn cache_json(c: &CacheMetrics) -> String {
+    format!(
+        "{{\"hits\":{},\"misses\":{},\"race_lost_builds\":{},\"evictions\":{},\"entries\":{},\"build_nanos\":{}}}",
+        c.hits, c.misses, c.race_lost_builds, c.evictions, c.entries, c.build_nanos
+    )
+}
+
+/// Renders one slow query as a JSON object.
+pub fn slow_query_json(q: &SlowQuery) -> String {
+    format!(
+        "{{\"seq\":{},\"kind\":\"{}\",\"run\":{},\"view\":{},\"view_name\":\"{}\",\"data\":{},\"nanos\":{}}}",
+        q.seq,
+        q.kind,
+        q.run.0,
+        q.view.0,
+        json_escape(&q.view_name),
+        q.data.map_or("null".to_string(), |d| d.to_string()),
+        q.nanos
+    )
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as a JSON document (the `zoomctl stats --json`
+    /// format, documented in DESIGN.md §11). Hand-rolled because no JSON
+    /// serializer crate is in the workspace's dependency budget.
+    pub fn to_json(&self) -> String {
+        let s = &self.stats;
+        let stats = format!(
+            "{{\"specs\":{},\"views\":{},\"runs\":{},\"steps\":{},\"data_objects\":{},\
+             \"cached_view_runs\":{},\"cached_indexes\":{},\"index_hits\":{},\"index_misses\":{},\
+             \"index_build_nanos\":{},\"view_run_hits\":{},\"view_run_misses\":{},\
+             \"view_run_evictions\":{},\"journal_records\":{},\"journal_bytes\":{},\
+             \"compactions\":{},\"epoch\":{}}}",
+            s.specs,
+            s.views,
+            s.runs,
+            s.steps,
+            s.data_objects,
+            s.cached_view_runs,
+            s.cached_indexes,
+            s.index_hits,
+            s.index_misses,
+            s.index_build_nanos,
+            s.view_run_hits,
+            s.view_run_misses,
+            s.view_run_evictions,
+            s.journal_records,
+            s.journal_bytes,
+            s.compactions,
+            s.epoch
+        );
+        let queries: Vec<String> = self
+            .queries
+            .iter()
+            .map(|q| {
+                format!(
+                    "{{\"kind\":\"{}\",\"view_class\":\"{}\",\"latency\":{}}}",
+                    q.kind,
+                    q.view_class,
+                    hist_json(&q.latency)
+                )
+            })
+            .collect();
+        let slow: Vec<String> = self.slow_queries.iter().map(slow_query_json).collect();
+        format!(
+            "{{\"stats\":{},\"queries\":[{}],\"query_errors\":{},\"view_run_cache\":{},\
+             \"index_cache\":{},\"batch\":{{\"batches\":{},\"queries\":{},\"max_fanout\":{}}},\
+             \"journal\":{{\"appends\":{},\"append_latency\":{},\"checkpoint_latency\":{}}},\
+             \"view_switch\":{},\"slow_query_threshold_nanos\":{},\"slow_queries\":[{}]}}",
+            stats,
+            queries.join(","),
+            self.query_errors,
+            cache_json(&self.view_run_cache),
+            cache_json(&self.index_cache),
+            self.batch.batches,
+            self.batch.queries,
+            self.batch.max_fanout,
+            self.journal.appends,
+            hist_json(&self.journal.append_latency),
+            hist_json(&self.journal.checkpoint_latency),
+            hist_json(&self.view_switch),
+            self.slow_query_threshold_nanos,
+            slow.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1023), 0);
+        assert_eq!(bucket_index(1024), 1);
+        assert_eq!(bucket_index(2047), 1);
+        assert_eq!(bucket_index(2048), 2);
+        assert_eq!(bucket_index(1 << 24), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every bounded bucket's lower edge maps to its own index.
+        for (i, &b) in BUCKET_BOUNDS_NANOS.iter().enumerate() {
+            assert_eq!(bucket_index(b - 1), i, "below bound {b}");
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = LatencyHistogram::new();
+        h.record(500); // bucket 0
+        h.record(1500); // bucket 1
+        h.record(3_000_000); // bucket 12 (2^21..2^22)
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.sum_nanos, 3_002_000);
+        assert_eq!(s.max_nanos, 3_000_000);
+        assert_eq!(s.mean_nanos(), 1_000_666);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 3);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+    }
+
+    #[test]
+    fn slow_log_threshold_and_ring() {
+        let m = MetricsRegistry::new();
+        m.set_slow_threshold_nanos(1000);
+        // Below threshold: recorded in the histogram, not in the log.
+        m.record_query(
+            QueryKind::Deep,
+            ViewClass::Admin,
+            RunId(1),
+            ViewId(1),
+            "UAdmin",
+            Some(3),
+            999,
+        );
+        assert!(m.slow_queries().is_empty());
+        // At/above threshold: captured with context.
+        m.record_query(
+            QueryKind::Deep,
+            ViewClass::Custom,
+            RunId(1),
+            ViewId(2),
+            "UV(M2)",
+            Some(5),
+            1000,
+        );
+        let slow = m.slow_queries();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].view_name, "UV(M2)");
+        assert_eq!(slow[0].data, Some(5));
+        assert_eq!(slow[0].seq, 1);
+
+        // The ring keeps only the newest SLOW_LOG_CAPACITY entries.
+        for i in 0..(SLOW_LOG_CAPACITY as u64 + 10) {
+            m.record_query(
+                QueryKind::Dependents,
+                ViewClass::BlackBox,
+                RunId(2),
+                ViewId(3),
+                "UBlackBox",
+                Some(i),
+                5000,
+            );
+        }
+        let slow = m.slow_queries();
+        assert_eq!(slow.len(), SLOW_LOG_CAPACITY);
+        // Oldest entries (including the UV(M2) one) fell off the front.
+        assert!(slow.iter().all(|q| q.view_name == "UBlackBox"));
+        // Sequence numbers stay monotone across the wrap.
+        assert!(slow.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        m.clear_slow_log();
+        assert!(m.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn batch_and_journal_counters() {
+        let m = MetricsRegistry::new();
+        m.record_batch(10);
+        m.record_batch(3);
+        m.record_journal_append(2000);
+        m.record_checkpoint(4000);
+        m.record_view_switch(1000);
+        m.record_query_error();
+        let snap = m.snapshot_into(
+            WarehouseStats::default(),
+            CacheMetrics::default(),
+            CacheMetrics::default(),
+        );
+        assert_eq!(snap.batch.batches, 2);
+        assert_eq!(snap.batch.queries, 13);
+        assert_eq!(snap.batch.max_fanout, 10);
+        assert_eq!(snap.journal.appends, 1);
+        assert_eq!(snap.journal.append_latency.count, 1);
+        assert_eq!(snap.journal.checkpoint_latency.count, 1);
+        assert_eq!(snap.view_switch.count, 1);
+        assert_eq!(snap.query_errors, 1);
+        assert_eq!(snap.queries.len(), 12);
+    }
+
+    #[test]
+    fn json_has_documented_keys_and_escapes() {
+        let m = MetricsRegistry::new();
+        m.set_slow_threshold_nanos(0);
+        m.record_query(
+            QueryKind::Deep,
+            ViewClass::Custom,
+            RunId(0),
+            ViewId(4),
+            "UV(\"weird\\name\")",
+            None,
+            77,
+        );
+        let snap = m.snapshot_into(
+            WarehouseStats::default(),
+            CacheMetrics::default(),
+            CacheMetrics::default(),
+        );
+        let json = snap.to_json();
+        for key in [
+            "\"stats\"",
+            "\"specs\"",
+            "\"queries\"",
+            "\"query_errors\"",
+            "\"view_run_cache\"",
+            "\"index_cache\"",
+            "\"race_lost_builds\"",
+            "\"evictions\"",
+            "\"batch\"",
+            "\"max_fanout\"",
+            "\"journal\"",
+            "\"append_latency\"",
+            "\"checkpoint_latency\"",
+            "\"view_switch\"",
+            "\"slow_query_threshold_nanos\"",
+            "\"slow_queries\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // The weird view name is escaped, and the absent data id is null.
+        assert!(json.contains("UV(\\\"weird\\\\name\\\")"), "{json}");
+        assert!(json.contains("\"data\":null"), "{json}");
+    }
+}

@@ -26,8 +26,48 @@
 use crate::index::ProvenanceIndex;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
 use zoom_graph::{BitSet, NodeId};
 use zoom_model::{DataId, StepId, ViewRun, WorkflowRun};
+
+/// A structural inconsistency detected while answering a query — the
+/// [`ViewRun`] does not belong to the run being queried (or was
+/// hand-loaded corrupt). Formerly these aborted the process via
+/// `expect`; a serving system must refuse the query instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueryError {
+    /// The producer node of `data` in the view-run is neither the input
+    /// endpoint nor an execution node.
+    ProducerNotAnExec {
+        /// The queried data object.
+        data: DataId,
+    },
+    /// A step in the run's closure has no execution in the view-run —
+    /// the view-run was materialized from a different run.
+    StepWithoutExec {
+        /// The orphaned step.
+        step: StepId,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::ProducerNotAnExec { data } => write!(
+                f,
+                "producer of data object {} is neither the input endpoint nor an execution",
+                data.0
+            ),
+            QueryError::StepWithoutExec { step } => write!(
+                f,
+                "step {} has no execution in the view-run (view-run built from a different run?)",
+                step.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
 
 /// One row of a provenance answer: a visible data object and its producer.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -89,23 +129,28 @@ pub enum ImmediateProvenance {
     UserInput,
 }
 
-/// Computes the immediate provenance of `d` at this view level, or `None`
-/// if `d` is not visible (it was passed strictly inside a composite
-/// execution).
-pub fn immediate_provenance(vr: &ViewRun, d: DataId) -> Option<ImmediateProvenance> {
-    let producer = vr.producer_node(d)?;
+/// Computes the immediate provenance of `d` at this view level.
+/// `Ok(None)` means `d` is not visible (it was passed strictly inside a
+/// composite execution); an error means the view-run is structurally
+/// inconsistent.
+pub fn immediate_provenance(
+    vr: &ViewRun,
+    d: DataId,
+) -> Result<Option<ImmediateProvenance>, QueryError> {
+    let Some(producer) = vr.producer_node(d) else {
+        return Ok(None);
+    };
     if producer == vr.input() {
-        return Some(ImmediateProvenance::UserInput);
+        return Ok(Some(ImmediateProvenance::UserInput));
     }
-    let exec = vr.exec_at(producer).expect("producer is input or an exec");
     let idx = match vr.graph().node(producer) {
         zoom_model::ViewRunNode::Exec(i) => *i,
-        _ => unreachable!("checked above"),
+        _ => return Err(QueryError::ProducerNotAnExec { data: d }),
     };
-    Some(ImmediateProvenance::Produced {
-        exec: exec.id,
+    Ok(Some(ImmediateProvenance::Produced {
+        exec: vr.execs()[idx as usize].id,
         inputs: vr.inputs_of(idx),
-    })
+    }))
 }
 
 /// Projects a base backward closure (given as the visited-node set,
@@ -113,30 +158,39 @@ pub fn immediate_provenance(vr: &ViewRun, d: DataId) -> Option<ImmediateProvenan
 /// data with their view-level producers, plus the composite executions the
 /// closure touches. Iterates *only* the closure members, never the whole
 /// graph, so warm indexed queries cost `O(answer)`, not `O(run)`.
-fn project_deep(run: &WorkflowRun, vr: &ViewRun, closure: &BitSet, d: DataId) -> ProvenanceResult {
+fn project_deep(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    closure: &BitSet,
+    d: DataId,
+) -> Result<ProvenanceResult, QueryError> {
     let g = run.graph();
-    let exec_id_of_run_node = |node: NodeId| -> Option<StepId> {
-        let (sid, _) = run.step_at(node)?;
-        Some(
-            vr.exec_of_step(sid)
-                .expect("every step has an execution")
-                .id,
-        )
+    let exec_id_of_run_node = |node: NodeId| -> Result<Option<StepId>, QueryError> {
+        let Some((sid, _)) = run.step_at(node) else {
+            return Ok(None);
+        };
+        match vr.exec_of_step(sid) {
+            Some(e) => Ok(Some(e.id)),
+            None => Err(QueryError::StepWithoutExec { step: sid }),
+        }
     };
     let mut rows: Vec<ProvenanceRow> = Vec::new();
     let mut execs: Vec<StepId> = Vec::new();
     rows.push(ProvenanceRow {
         data: d,
-        producer: run.producer_node(d).and_then(exec_id_of_run_node),
+        producer: match run.producer_node(d) {
+            Some(n) => exec_id_of_run_node(n)?,
+            None => None,
+        },
     });
     for i in closure.iter() {
         let n = NodeId::from_index(i);
-        if let Some(e) = exec_id_of_run_node(n) {
+        if let Some(e) = exec_id_of_run_node(n)? {
             execs.push(e);
         }
         for edge in g.in_edges(n) {
             let src = g.source(edge);
-            let src_id = exec_id_of_run_node(src);
+            let src_id = exec_id_of_run_node(src)?;
             for &x in g.edge(edge) {
                 if vr.is_visible(x) {
                     rows.push(ProvenanceRow {
@@ -151,24 +205,31 @@ fn project_deep(run: &WorkflowRun, vr: &ViewRun, closure: &BitSet, d: DataId) ->
     rows.dedup();
     execs.sort();
     execs.dedup();
-    ProvenanceResult {
+    Ok(ProvenanceResult {
         target: d,
         rows,
         execs,
-    }
+    })
 }
 
 /// Computes the deep provenance of `d` at this view level: the base-level
 /// recursive closure over `run`, projected to the view — hidden data
-/// dropped, steps replaced by their composite executions. Returns `None`
-/// if `d` is not visible at this view level (or absent from the run).
+/// dropped, steps replaced by their composite executions. `Ok(None)` means
+/// `d` is not visible at this view level (or absent from the run); an
+/// error means the view-run does not match the run.
 ///
 /// The closure is computed with a per-query backward BFS; use
 /// [`deep_provenance_indexed`] with a [`ProvenanceIndex`] to amortize it
 /// across queries and view switches.
-pub fn deep_provenance(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<ProvenanceResult> {
-    vr.producer_node(d)?; // d itself must be visible at this view level
-    let start = run.producer_node(d)?;
+pub fn deep_provenance(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    d: DataId,
+) -> Result<Option<ProvenanceResult>, QueryError> {
+    // d itself must be visible at this view level and present in the run.
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
     let g = run.graph();
 
     // Base closure: backward BFS over the *raw* run graph (UAdmin level).
@@ -183,7 +244,7 @@ pub fn deep_provenance(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Pro
             }
         }
     }
-    Some(project_deep(run, vr, &visited, d))
+    project_deep(run, vr, &visited, d).map(Some)
 }
 
 /// [`deep_provenance`] answered from a prebuilt per-run index: the base
@@ -194,18 +255,24 @@ pub fn deep_provenance_indexed(
     vr: &ViewRun,
     index: &ProvenanceIndex,
     d: DataId,
-) -> Option<ProvenanceResult> {
-    vr.producer_node(d)?;
-    let start = run.producer_node(d)?;
-    Some(project_deep(run, vr, index.ancestors(start), d))
+) -> Result<Option<ProvenanceResult>, QueryError> {
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
+    project_deep(run, vr, index.ancestors(start), d).map(Some)
 }
 
 /// Reference implementation of [`deep_provenance`] — the original
 /// whole-graph-scan projection, kept as the oracle the property tests
 /// compare the indexed path against.
-pub fn deep_provenance_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<ProvenanceResult> {
-    vr.producer_node(d)?;
-    let start = run.producer_node(d)?;
+pub fn deep_provenance_bfs(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    d: DataId,
+) -> Result<Option<ProvenanceResult>, QueryError> {
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
     let g = run.graph();
 
     let mut visited = BitSet::new(g.node_count());
@@ -220,30 +287,31 @@ pub fn deep_provenance_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option
         }
     }
 
-    let exec_id_of_run_node = |node: NodeId| -> Option<StepId> {
-        let (sid, _) = run.step_at(node)?;
-        Some(
-            vr.exec_of_step(sid)
-                .expect("every step has an execution")
-                .id,
-        )
+    let exec_id_of_run_node = |node: NodeId| -> Result<Option<StepId>, QueryError> {
+        let Some((sid, _)) = run.step_at(node) else {
+            return Ok(None);
+        };
+        match vr.exec_of_step(sid) {
+            Some(e) => Ok(Some(e.id)),
+            None => Err(QueryError::StepWithoutExec { step: sid }),
+        }
     };
     let mut rows: Vec<ProvenanceRow> = Vec::new();
     let mut execs: Vec<StepId> = Vec::new();
     rows.push(ProvenanceRow {
         data: d,
-        producer: exec_id_of_run_node(start),
+        producer: exec_id_of_run_node(start)?,
     });
     for n in g.node_ids() {
         if !visited.contains(n.index()) {
             continue;
         }
-        if let Some(e) = exec_id_of_run_node(n) {
+        if let Some(e) = exec_id_of_run_node(n)? {
             execs.push(e);
         }
         for edge in g.in_edges(n) {
             let src = g.source(edge);
-            let src_id = exec_id_of_run_node(src);
+            let src_id = exec_id_of_run_node(src)?;
             for &x in g.edge(edge) {
                 if vr.is_visible(x) {
                     rows.push(ProvenanceRow {
@@ -258,11 +326,11 @@ pub fn deep_provenance_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option
     rows.dedup();
     execs.sort();
     execs.dedup();
-    Some(ProvenanceResult {
+    Ok(Some(ProvenanceResult {
         target: d,
         rows,
         execs,
-    })
+    }))
 }
 
 /// The canned forward query of Section IV ("Return the data objects which
@@ -438,7 +506,7 @@ mod tests {
     fn deep_provenance_at_admin_level() {
         let (s, r) = setup();
         let vr = ViewRun::new(&r, &UserView::admin(&s));
-        let res = deep_provenance(&r, &vr, DataId(5)).unwrap();
+        let res = deep_provenance(&r, &vr, DataId(5)).unwrap().unwrap();
         assert_eq!(res.target, DataId(5));
         // All data d1..d5, all three steps.
         assert_eq!(res.data_ids(), (1..=5).map(DataId).collect::<Vec<_>>());
@@ -465,7 +533,7 @@ mod tests {
     fn deep_provenance_of_intermediate() {
         let (s, r) = setup();
         let vr = ViewRun::new(&r, &UserView::admin(&s));
-        let res = deep_provenance(&r, &vr, DataId(3)).unwrap();
+        let res = deep_provenance(&r, &vr, DataId(3)).unwrap().unwrap();
         assert_eq!(res.data_ids(), vec![DataId(1), DataId(2), DataId(3)]);
         assert_eq!(res.execs, vec![StepId(1), StepId(2)]);
     }
@@ -475,8 +543,8 @@ mod tests {
         let (s, r) = setup();
         let vr = ViewRun::new(&r, &UserView::black_box(&s));
         // Intermediates are invisible.
-        assert!(deep_provenance(&r, &vr, DataId(3)).is_none());
-        let res = deep_provenance(&r, &vr, DataId(5)).unwrap();
+        assert!(deep_provenance(&r, &vr, DataId(3)).unwrap().is_none());
+        let res = deep_provenance(&r, &vr, DataId(5)).unwrap().unwrap();
         assert_eq!(res.data_ids(), vec![DataId(1), DataId(5)]);
         assert_eq!(res.execs.len(), 1);
     }
@@ -485,7 +553,7 @@ mod tests {
     fn immediate_provenance_variants() {
         let (s, r) = setup();
         let vr = ViewRun::new(&r, &UserView::admin(&s));
-        match immediate_provenance(&vr, DataId(5)).unwrap() {
+        match immediate_provenance(&vr, DataId(5)).unwrap().unwrap() {
             ImmediateProvenance::Produced { exec, inputs } => {
                 assert_eq!(exec, StepId(3));
                 assert_eq!(inputs, vec![DataId(3), DataId(4)]);
@@ -493,10 +561,10 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         assert_eq!(
-            immediate_provenance(&vr, DataId(1)).unwrap(),
+            immediate_provenance(&vr, DataId(1)).unwrap().unwrap(),
             ImmediateProvenance::UserInput
         );
-        assert!(immediate_provenance(&vr, DataId(99)).is_none());
+        assert!(immediate_provenance(&vr, DataId(99)).unwrap().is_none());
     }
 
     #[test]
@@ -550,11 +618,40 @@ mod tests {
         assert!(data_between(&vr, Some(StepId(42)), None).is_none());
     }
 
+    /// Satellite 2: a view-run materialized from a *different* run — the
+    /// realistic hand-loaded corruption — yields a typed error from every
+    /// deep form instead of aborting the process.
+    #[test]
+    fn mismatched_view_run_errors_instead_of_panicking() {
+        let (_, r) = setup();
+        // A one-step spec/run whose admin view knows only StepId(1).
+        let mut b = SpecBuilder::new("tiny");
+        b.analysis("X");
+        b.from_input("X").to_output("X");
+        let tiny = b.build().unwrap();
+        let mut rb = RunBuilder::new(&tiny);
+        let s1 = rb.step(tiny.module("X").unwrap());
+        rb.input_edge(s1, [1]).output_edge(s1, [5]);
+        let tiny_run = rb.build().unwrap();
+        let vr = ViewRun::new(&tiny_run, &UserView::admin(&tiny));
+
+        // Querying the 3-step run through the 1-step view-run reaches
+        // steps 2 and 3, which have no execution in `vr`.
+        let err = deep_provenance(&r, &vr, DataId(5)).unwrap_err();
+        assert!(matches!(err, QueryError::StepWithoutExec { .. }));
+        let err = deep_provenance_bfs(&r, &vr, DataId(5)).unwrap_err();
+        assert!(matches!(err, QueryError::StepWithoutExec { .. }));
+        let index = crate::index::ProvenanceIndex::build(&r).unwrap();
+        let err = deep_provenance_indexed(&r, &vr, &index, DataId(5)).unwrap_err();
+        assert!(matches!(err, QueryError::StepWithoutExec { .. }));
+        assert!(err.to_string().contains("no execution in the view-run"));
+    }
+
     #[test]
     fn deep_provenance_of_user_input_is_trivial() {
         let (s, r) = setup();
         let vr = ViewRun::new(&r, &UserView::admin(&s));
-        let res = deep_provenance(&r, &vr, DataId(1)).unwrap();
+        let res = deep_provenance(&r, &vr, DataId(1)).unwrap().unwrap();
         assert_eq!(res.tuples(), 1);
         assert!(res.execs.is_empty());
         assert_eq!(res.rows[0].producer, None);

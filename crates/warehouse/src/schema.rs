@@ -107,6 +107,12 @@ pub struct WarehouseStats {
     pub index_misses: u64,
     /// Total nanoseconds spent building provenance indexes.
     pub index_build_nanos: u64,
+    /// View-run cache hits since startup.
+    pub view_run_hits: u64,
+    /// View-run cache misses (= materializations inserted) since startup.
+    pub view_run_misses: u64,
+    /// View-run cache entries evicted by the capacity bound.
+    pub view_run_evictions: u64,
     /// Records in the current journal tail (durable stores only; 0 for
     /// in-memory warehouses).
     pub journal_records: u64,

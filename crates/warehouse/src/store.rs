@@ -11,11 +11,13 @@
 use crate::cache::ViewRunCache;
 use crate::fxhash::FxHashMap;
 use crate::index::{ProvenanceIndex, ProvenanceIndexCache};
-use crate::query::{self, ImmediateProvenance, ProvenanceResult};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot, QueryKind, ViewClass};
+use crate::query::{self, ImmediateProvenance, ProvenanceResult, QueryError};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
 use crate::table::Table;
 use std::fmt;
 use std::sync::Arc;
+use std::time::Instant;
 use zoom_model::{
     DataId, EventLog, ModelError, UserInputMeta, UserView, ViewRun, WorkflowRun, WorkflowSpec,
 };
@@ -54,6 +56,10 @@ pub enum WarehouseError {
     ExecNotFound(zoom_model::StepId),
     /// The run has no data flowing to its output node.
     NoFinalOutputs(RunId),
+    /// The view-run is structurally inconsistent with the run it claims to
+    /// materialize (hand-loaded or corrupted state). The query is refused
+    /// instead of aborting the process.
+    CorruptViewRun(QueryError),
     /// Journaling the mutation to durable storage failed; the in-memory
     /// change was rolled back.
     Durability(Box<crate::durable::DurableError>),
@@ -85,6 +91,7 @@ impl fmt::Display for WarehouseError {
             WarehouseError::NoFinalOutputs(r) => {
                 write!(f, "{r} has no final outputs")
             }
+            WarehouseError::CorruptViewRun(e) => write!(f, "corrupt view-run: {e}"),
             WarehouseError::Durability(e) => write!(f, "durability error: {e}"),
         }
     }
@@ -165,6 +172,7 @@ pub struct Warehouse {
     next_run: u32,
     cache: ViewRunCache,
     index: ProvenanceIndexCache,
+    metrics: MetricsRegistry,
 }
 
 impl Warehouse {
@@ -228,6 +236,13 @@ impl Warehouse {
                 expected: spec.name().to_string(),
                 got: run.spec_name().to_string(),
             });
+        }
+        // Builders and validators reject cycles, but a hand-deserialized
+        // run (corrupted snapshot, crafted bytes) can smuggle one past
+        // them; rejecting here means a bad run can never reach the index
+        // builder — and a bad durable log can never crash `open()`.
+        if !zoom_graph::algo::topo::is_acyclic(run.graph()) {
+            return Err(WarehouseError::Model(ModelError::RunHasCycle));
         }
         let id = RunId(self.next_run);
         self.next_run += 1;
@@ -365,9 +380,46 @@ impl Warehouse {
             .runs
             .get(&run_id)
             .ok_or(WarehouseError::RunNotFound(run_id))?;
-        Ok(self
-            .index
-            .get_or_build(run_id, || ProvenanceIndex::build(&run_row.run)))
+        self.index
+            .get_or_build(run_id, || ProvenanceIndex::build(&run_row.run))
+            .map_err(WarehouseError::Model)
+    }
+
+    /// `(view class, view name)` for query metrics; unknown views classify
+    /// as custom (the query will error out anyway).
+    fn query_context(&self, view_id: ViewId) -> (ViewClass, &str) {
+        match self.views.get(&view_id) {
+            Some(r) => (ViewClass::of_view_name(r.view.name()), r.view.name()),
+            None => (ViewClass::Custom, ""),
+        }
+    }
+
+    /// Records one finished facade query: errors bump the error counter;
+    /// successes land in the per-(kind, view class) histogram and, past
+    /// the threshold, the slow-query log.
+    fn record_query(
+        &self,
+        kind: QueryKind,
+        run: RunId,
+        view: ViewId,
+        data: Option<DataId>,
+        started: Instant,
+        failed: bool,
+    ) {
+        if failed {
+            self.metrics.record_query_error();
+            return;
+        }
+        let (class, name) = self.query_context(view);
+        self.metrics.record_query(
+            kind,
+            class,
+            run,
+            view,
+            name,
+            data.map(|d| d.0),
+            started.elapsed().as_nanos() as u64,
+        );
     }
 
     /// Deep provenance of `data` in `run` as seen through `view`.
@@ -381,12 +433,32 @@ impl Warehouse {
         view_id: ViewId,
         data: DataId,
     ) -> Result<ProvenanceResult> {
+        let started = Instant::now();
+        let res = self.deep_provenance_inner(run_id, view_id, data);
+        self.record_query(
+            QueryKind::Deep,
+            run_id,
+            view_id,
+            Some(data),
+            started,
+            res.is_err(),
+        );
+        res
+    }
+
+    fn deep_provenance_inner(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+    ) -> Result<ProvenanceResult> {
         let vr = self.view_run(run_id, view_id)?;
         let index = self.provenance_index(run_id)?;
         let run = self.run(run_id)?;
         match query::deep_provenance_indexed(run, &vr, &index, data) {
-            Some(r) => Ok(r),
-            None => Err(self.invisible_or_missing(run_id, view_id, data)),
+            Ok(Some(r)) => Ok(r),
+            Ok(None) => Err(self.invisible_or_missing(run_id, view_id, data)),
+            Err(e) => Err(WarehouseError::CorruptViewRun(e)),
         }
     }
 
@@ -403,6 +475,7 @@ impl Warehouse {
         if queries.is_empty() {
             return Vec::new();
         }
+        self.metrics.record_batch(queries.len());
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
@@ -441,9 +514,28 @@ impl Warehouse {
         view_id: ViewId,
         data: DataId,
     ) -> Result<ImmediateAnswer> {
+        let started = Instant::now();
+        let res = self.immediate_provenance_inner(run_id, view_id, data);
+        self.record_query(
+            QueryKind::Immediate,
+            run_id,
+            view_id,
+            Some(data),
+            started,
+            res.is_err(),
+        );
+        res
+    }
+
+    fn immediate_provenance_inner(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+    ) -> Result<ImmediateAnswer> {
         let vr = self.view_run(run_id, view_id)?;
         match query::immediate_provenance(&vr, data) {
-            Some(ImmediateProvenance::Produced { exec, inputs }) => {
+            Ok(Some(ImmediateProvenance::Produced { exec, inputs })) => {
                 // Gather the member steps' parameters from the run.
                 let run = self.run(run_id)?;
                 let members = vr
@@ -463,16 +555,36 @@ impl Warehouse {
                     params,
                 })
             }
-            Some(ImmediateProvenance::UserInput) => Ok(ImmediateAnswer::UserInput {
+            Ok(Some(ImmediateProvenance::UserInput)) => Ok(ImmediateAnswer::UserInput {
                 meta: self.run(run_id)?.user_input_meta(data).cloned(),
             }),
-            None => Err(self.invisible_or_missing(run_id, view_id, data)),
+            Ok(None) => Err(self.invisible_or_missing(run_id, view_id, data)),
+            Err(e) => Err(WarehouseError::CorruptViewRun(e)),
         }
     }
 
     /// The canned forward query: data objects that have `data` in their
     /// provenance, at this view level.
     pub fn dependents_of(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+    ) -> Result<Vec<DataId>> {
+        let started = Instant::now();
+        let res = self.dependents_of_inner(run_id, view_id, data);
+        self.record_query(
+            QueryKind::Dependents,
+            run_id,
+            view_id,
+            Some(data),
+            started,
+            res.is_err(),
+        );
+        res
+    }
+
+    fn dependents_of_inner(
         &self,
         run_id: RunId,
         view_id: ViewId,
@@ -491,6 +603,26 @@ impl Warehouse {
     /// prototype's edge-click interaction. `None` endpoints denote the
     /// run's input/output nodes.
     pub fn data_between(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        from: Option<zoom_model::StepId>,
+        to: Option<zoom_model::StepId>,
+    ) -> Result<Vec<DataId>> {
+        let started = Instant::now();
+        let res = self.data_between_inner(run_id, view_id, from, to);
+        self.record_query(
+            QueryKind::Between,
+            run_id,
+            view_id,
+            None,
+            started,
+            res.is_err(),
+        );
+        res
+    }
+
+    fn data_between_inner(
         &self,
         run_id: RunId,
         view_id: ViewId,
@@ -546,6 +678,9 @@ impl Warehouse {
             index_hits: self.index.counters().0,
             index_misses: self.index.counters().1,
             index_build_nanos: self.index.build_nanos(),
+            view_run_hits: self.cache.counters().0,
+            view_run_misses: self.cache.counters().1,
+            view_run_evictions: self.cache.metrics().evictions,
             // Durability counters belong to the durable wrapper
             // (`crate::durable::DurableWarehouse::stats` fills them in).
             journal_records: 0,
@@ -559,6 +694,28 @@ impl Warehouse {
     pub fn clear_cache(&self) {
         self.cache.clear();
         self.index.clear();
+    }
+
+    /// The metrics registry shared by every warehouse hot path.
+    pub fn metrics_registry(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// A full metrics snapshot (in-memory backing: journal counters zero).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics_with(self.stats())
+    }
+
+    /// A full metrics snapshot folded over the given table stats — the
+    /// durable wrapper passes its journal-aware [`WarehouseStats`] here.
+    pub fn metrics_with(&self, stats: WarehouseStats) -> MetricsSnapshot {
+        self.metrics
+            .snapshot_into(stats, self.cache.metrics(), self.index.metrics())
+    }
+
+    /// Caps the view-run cache at `capacity` entries (0 = unbounded).
+    pub fn set_view_run_cache_capacity(&self, capacity: usize) {
+        self.cache.set_capacity(capacity);
     }
 
     /// `(hits, misses)` of the view-run cache.

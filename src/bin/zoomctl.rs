@@ -53,7 +53,8 @@ fn dispatch(args: &[String]) -> Result<(), String> {
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "demo" => demo(path_arg(args, 1)?),
-        "stats" => stats(path_arg(args, 1)?),
+        "stats" => stats(path_arg(args, 1)?, args.iter().any(|a| a == "--json")),
+        "slowlog" => slowlog(path_arg(args, 1)?, &args[2..]),
         "specs" => specs(path_arg(args, 1)?),
         "views" => views(path_arg(args, 1)?, str_arg(args, 2, "workflow name")?),
         "runs" => runs(path_arg(args, 1)?, str_arg(args, 2, "workflow name")?),
@@ -103,7 +104,11 @@ zoomctl — ZOOM*UserViews provenance warehouse CLI
 
 usage:
   zoomctl demo <snapshot>                              create a demo warehouse
-  zoomctl stats <snapshot>                             warehouse sizes
+  zoomctl stats <snapshot> [--json]                    warehouse sizes
+      --json adds live metrics: query latency histograms, cache
+      hit/miss/eviction counters, journal fsync latency, slow queries
+  zoomctl slowlog <snapshot> [--threshold-nanos N] [--json]
+      audit-sweep every run/view and print the slow-query ring buffer
   zoomctl specs <snapshot>                             list workflows
   zoomctl views <snapshot> <workflow>                  list its views
   zoomctl runs <snapshot> <workflow>                   list its runs
@@ -189,14 +194,94 @@ fn demo(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
-fn stats(path: &Path) -> Result<(), String> {
+fn stats(path: &Path, json: bool) -> Result<(), String> {
     let zoom = load(path)?;
+    if json {
+        out!("{}", zoom.metrics().to_json());
+        return Ok(());
+    }
     let s = zoom.warehouse().stats();
     out!("workflows    : {}", s.specs);
     out!("views        : {}", s.views);
     out!("runs         : {}", s.runs);
     out!("steps        : {}", s.steps);
     out!("data objects : {}", s.data_objects);
+    Ok(())
+}
+
+/// Sweeps deep provenance of every run's final outputs through every view
+/// of its workflow, then prints the slow-query ring buffer. With the
+/// default threshold of 0 every query lands in the log (newest last), so
+/// the sweep doubles as a per-view latency audit of the snapshot.
+fn slowlog(path: &Path, rest: &[String]) -> Result<(), String> {
+    let mut threshold: u64 = 0;
+    let mut json = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--json" => json = true,
+            "--threshold-nanos" => {
+                i += 1;
+                threshold = rest
+                    .get(i)
+                    .ok_or("missing value for --threshold-nanos")?
+                    .parse()
+                    .map_err(|_| "--threshold-nanos takes a nanosecond count".to_string())?;
+            }
+            other => return Err(format!("unknown slowlog option `{other}`")),
+        }
+        i += 1;
+    }
+    let zoom = load(path)?;
+    zoom.set_slow_query_threshold_nanos(threshold);
+    let wh = zoom.warehouse();
+    let specs = wh.stats().specs as u32;
+    for si in 0..specs {
+        let sid = SpecId(si);
+        for &rid in wh.runs_of_spec(sid) {
+            let finals = zoom.final_outputs(rid).map_err(|e| e.to_string())?;
+            for &vid in wh.views_of_spec(sid) {
+                for &d in &finals {
+                    // Hidden-at-this-view answers are part of the audit, not
+                    // failures.
+                    let _ = zoom.deep_provenance(rid, vid, d);
+                }
+            }
+        }
+    }
+    let slow = zoom.slow_queries();
+    if json {
+        let rows: Vec<String> = slow
+            .iter()
+            .map(zoom::warehouse::metrics::slow_query_json)
+            .collect();
+        out!("[{}]", rows.join(","));
+        return Ok(());
+    }
+    if slow.is_empty() {
+        out!("no queries above {threshold} ns");
+        return Ok(());
+    }
+    out!(
+        "{:>5} {:>10} {:<24} {:>6} {:>8} {:>12}",
+        "seq",
+        "kind",
+        "view",
+        "run",
+        "data",
+        "nanos"
+    );
+    for q in &slow {
+        out!(
+            "{:>5} {:>10} {:<24} {:>6} {:>8} {:>12}",
+            q.seq,
+            q.kind.name(),
+            q.view_name,
+            q.run.0,
+            q.data.map_or("-".to_string(), |d| format!("d{d}")),
+            q.nanos
+        );
+    }
     Ok(())
 }
 

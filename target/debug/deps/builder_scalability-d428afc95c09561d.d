@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/builder_scalability-d428afc95c09561d.d: crates/bench/benches/builder_scalability.rs
+
+/root/repo/target/debug/deps/builder_scalability-d428afc95c09561d: crates/bench/benches/builder_scalability.rs
+
+crates/bench/benches/builder_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-8c5bceacd1509f9b.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-8c5bceacd1509f9b: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/graph_algos-35152a98215f8ede.d: crates/bench/benches/graph_algos.rs
+
+/root/repo/target/debug/deps/graph_algos-35152a98215f8ede: crates/bench/benches/graph_algos.rs
+
+crates/bench/benches/graph_algos.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/instrumentation_overhead-4c6d83146b109afb.d: crates/bench/benches/instrumentation_overhead.rs
+
+/root/repo/target/debug/deps/instrumentation_overhead-4c6d83146b109afb: crates/bench/benches/instrumentation_overhead.rs
+
+crates/bench/benches/instrumentation_overhead.rs:

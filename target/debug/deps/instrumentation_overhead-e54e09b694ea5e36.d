@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/instrumentation_overhead-e54e09b694ea5e36.d: crates/bench/benches/instrumentation_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinstrumentation_overhead-e54e09b694ea5e36.rmeta: crates/bench/benches/instrumentation_overhead.rs Cargo.toml
+
+crates/bench/benches/instrumentation_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

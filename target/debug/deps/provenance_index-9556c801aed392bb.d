@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provenance_index-9556c801aed392bb.d: crates/bench/benches/provenance_index.rs
+
+/root/repo/target/debug/deps/provenance_index-9556c801aed392bb: crates/bench/benches/provenance_index.rs
+
+crates/bench/benches/provenance_index.rs:

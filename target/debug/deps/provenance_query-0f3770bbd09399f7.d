@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/provenance_query-0f3770bbd09399f7.d: crates/bench/benches/provenance_query.rs
+
+/root/repo/target/debug/deps/provenance_query-0f3770bbd09399f7: crates/bench/benches/provenance_query.rs
+
+crates/bench/benches/provenance_query.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/view_switch-64361e0a57604fe5.d: crates/bench/benches/view_switch.rs
+
+/root/repo/target/debug/deps/view_switch-64361e0a57604fe5: crates/bench/benches/view_switch.rs
+
+crates/bench/benches/view_switch.rs:

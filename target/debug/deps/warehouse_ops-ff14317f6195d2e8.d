@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/warehouse_ops-ff14317f6195d2e8.d: crates/bench/benches/warehouse_ops.rs
+
+/root/repo/target/debug/deps/warehouse_ops-ff14317f6195d2e8: crates/bench/benches/warehouse_ops.rs
+
+crates/bench/benches/warehouse_ops.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/zoom_warehouse-111469290a1eb4c1.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+/root/repo/target/debug/deps/zoom_warehouse-111469290a1eb4c1.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
 
-/root/repo/target/debug/deps/libzoom_warehouse-111469290a1eb4c1.rlib: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+/root/repo/target/debug/deps/libzoom_warehouse-111469290a1eb4c1.rlib: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
 
-/root/repo/target/debug/deps/libzoom_warehouse-111469290a1eb4c1.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+/root/repo/target/debug/deps/libzoom_warehouse-111469290a1eb4c1.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
 
 crates/warehouse/src/lib.rs:
 crates/warehouse/src/cache.rs:
@@ -12,6 +12,7 @@ crates/warehouse/src/fxhash.rs:
 crates/warehouse/src/index.rs:
 crates/warehouse/src/io.rs:
 crates/warehouse/src/journal.rs:
+crates/warehouse/src/metrics.rs:
 crates/warehouse/src/persist.rs:
 crates/warehouse/src/query.rs:
 crates/warehouse/src/schema.rs:

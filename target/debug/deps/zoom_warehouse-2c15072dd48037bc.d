@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/zoom_warehouse-2c15072dd48037bc.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/zoom_warehouse-2c15072dd48037bc.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libzoom_warehouse-2c15072dd48037bc.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libzoom_warehouse-2c15072dd48037bc.rmeta: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs Cargo.toml
 
 crates/warehouse/src/lib.rs:
 crates/warehouse/src/cache.rs:
@@ -10,6 +10,7 @@ crates/warehouse/src/fxhash.rs:
 crates/warehouse/src/index.rs:
 crates/warehouse/src/io.rs:
 crates/warehouse/src/journal.rs:
+crates/warehouse/src/metrics.rs:
 crates/warehouse/src/persist.rs:
 crates/warehouse/src/query.rs:
 crates/warehouse/src/schema.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/zoom_warehouse-3718892e1ae4951f.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+/root/repo/target/debug/deps/zoom_warehouse-3718892e1ae4951f.d: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
 
-/root/repo/target/debug/deps/zoom_warehouse-3718892e1ae4951f: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
+/root/repo/target/debug/deps/zoom_warehouse-3718892e1ae4951f: crates/warehouse/src/lib.rs crates/warehouse/src/cache.rs crates/warehouse/src/codec.rs crates/warehouse/src/durable.rs crates/warehouse/src/fxhash.rs crates/warehouse/src/index.rs crates/warehouse/src/io.rs crates/warehouse/src/journal.rs crates/warehouse/src/metrics.rs crates/warehouse/src/persist.rs crates/warehouse/src/query.rs crates/warehouse/src/schema.rs crates/warehouse/src/store.rs crates/warehouse/src/table.rs
 
 crates/warehouse/src/lib.rs:
 crates/warehouse/src/cache.rs:
@@ -10,6 +10,7 @@ crates/warehouse/src/fxhash.rs:
 crates/warehouse/src/index.rs:
 crates/warehouse/src/io.rs:
 crates/warehouse/src/journal.rs:
+crates/warehouse/src/metrics.rs:
 crates/warehouse/src/persist.rs:
 crates/warehouse/src/query.rs:
 crates/warehouse/src/schema.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zoomctl_json-2fc2493161ef4f25.d: tests/zoomctl_json.rs
+
+/root/repo/target/debug/deps/zoomctl_json-2fc2493161ef4f25: tests/zoomctl_json.rs
+
+tests/zoomctl_json.rs:
+
+# env-dep:CARGO_BIN_EXE_zoomctl=/root/repo/target/debug/zoomctl

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zoomctl_json-a3d6d8cf028b3608.d: tests/zoomctl_json.rs Cargo.toml
+
+/root/repo/target/debug/deps/libzoomctl_json-a3d6d8cf028b3608.rmeta: tests/zoomctl_json.rs Cargo.toml
+
+tests/zoomctl_json.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_zoomctl=placeholder:zoomctl
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/instrumentation_overhead-caeaf8a463fbbf6b.d: crates/bench/benches/instrumentation_overhead.rs
+
+/root/repo/target/release/deps/instrumentation_overhead-caeaf8a463fbbf6b: crates/bench/benches/instrumentation_overhead.rs
+
+crates/bench/benches/instrumentation_overhead.rs:

@@ -79,7 +79,7 @@ proptest! {
         mask in any::<u64>(),
     ) {
         let (spec, run) = workload(seed, class, modules);
-        let index = ProvenanceIndex::build(&run);
+        let index = ProvenanceIndex::build(&run).expect("generated runs are acyclic");
         prop_assert_eq!(index.node_count(), run.graph().node_count());
 
         for view in [
@@ -102,13 +102,13 @@ proptest! {
         modules in 3usize..12,
     ) {
         let (spec, run) = workload(seed, class, modules);
-        let index = ProvenanceIndex::build(&run);
+        let index = ProvenanceIndex::build(&run).expect("generated runs are acyclic");
         let vr = ViewRun::new(&run, &UserView::black_box(&spec));
         for &d in run.all_data().iter().take(40) {
             let visible = vr.is_visible(d);
-            prop_assert_eq!(deep_provenance(&run, &vr, d).is_some(), visible);
-            prop_assert_eq!(deep_provenance_indexed(&run, &vr, &index, d).is_some(), visible);
-            prop_assert_eq!(deep_provenance_bfs(&run, &vr, d).is_some(), visible);
+            prop_assert_eq!(deep_provenance(&run, &vr, d).unwrap().is_some(), visible);
+            prop_assert_eq!(deep_provenance_indexed(&run, &vr, &index, d).unwrap().is_some(), visible);
+            prop_assert_eq!(deep_provenance_bfs(&run, &vr, d).unwrap().is_some(), visible);
             prop_assert_eq!(dependents_of(&run, &vr, d).is_some(), visible);
             prop_assert_eq!(dependents_of_indexed(&run, &vr, &index, d).is_some(), visible);
             prop_assert_eq!(dependents_of_bfs(&run, &vr, d).is_some(), visible);

@@ -82,6 +82,7 @@ proptest! {
         let mut memo = HashMap::new();
         for &d in run.all_data().iter().take(40) {
             let got: BTreeSet<DataId> = zoom::warehouse::deep_provenance(&run, &vr, d)
+                .expect("run is well-formed")
                 .expect("all data visible under UAdmin")
                 .data_ids()
                 .into_iter()
@@ -114,6 +115,7 @@ proptest! {
         let target = run.final_outputs()[0];
         let size = |v: &UserView| {
             zoom::warehouse::deep_provenance(&run, &ViewRun::new(&run, v), target)
+                .expect("run is well-formed")
                 .expect("final outputs visible at every level")
                 .tuples()
         };
@@ -150,6 +152,7 @@ proptest! {
                     continue;
                 }
                 let prov_x: Vec<DataId> = zoom::warehouse::deep_provenance(&run, &vr, x)
+                    .expect("run is well-formed")
                     .expect("visible")
                     .data_ids();
                 prop_assert_eq!(
@@ -228,11 +231,13 @@ proptest! {
         prop_assume!(!run.final_outputs().is_empty());
         let target = run.final_outputs()[0];
         let admin: BTreeSet<DataId> = zoom::warehouse::deep_provenance(&run, &vr_admin, target)
+            .expect("run is well-formed")
             .expect("visible")
             .data_ids()
             .into_iter()
             .collect();
         let at_view: BTreeSet<DataId> = zoom::warehouse::deep_provenance(&run, &vr, target)
+            .expect("run is well-formed")
             .expect("final output visible")
             .data_ids()
             .into_iter()
@@ -260,8 +265,12 @@ proptest! {
         let admin = UserView::admin(&spec);
         let (va, vb) = (ViewRun::new(&run, &admin), ViewRun::new(&back, &admin));
         for &d in run.final_outputs().iter().take(3) {
-            let a = zoom::warehouse::deep_provenance(&run, &va, d).expect("visible");
-            let b = zoom::warehouse::deep_provenance(&back, &vb, d).expect("visible");
+            let a = zoom::warehouse::deep_provenance(&run, &va, d)
+                .expect("well-formed")
+                .expect("visible");
+            let b = zoom::warehouse::deep_provenance(&back, &vb, d)
+                .expect("well-formed")
+                .expect("visible");
             prop_assert_eq!(a.rows, b.rows);
         }
     }

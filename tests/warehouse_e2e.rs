@@ -59,7 +59,9 @@ fn cache_is_transparent() {
         .expect("valid");
     let target = corpus.zoom.final_outputs(rid).expect("loaded")[0];
     let run = corpus.zoom.warehouse().run(rid).expect("loaded");
-    let uncached = zoom::warehouse::deep_provenance(run, &vr, target).expect("visible");
+    let uncached = zoom::warehouse::deep_provenance(run, &vr, target)
+        .expect("well-formed")
+        .expect("visible");
     assert_eq!(cached.rows, uncached.rows);
     assert_eq!(cached.execs, uncached.execs);
 

@@ -1,0 +1,230 @@
+//! Golden test for the observability surface of `zoomctl`: `stats --json`
+//! must emit well-formed JSON carrying every documented counter key, and
+//! `slowlog --json` must emit a JSON array of slow-query records. The
+//! parser below is a minimal structural validator (the workspace carries
+//! no JSON dependency by design), so a malformed emitter fails loudly
+//! here rather than in a user's `jq` pipeline.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn zoomctl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_zoomctl"))
+}
+
+fn temp_snapshot(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("zoomctl-json-{name}-{}", std::process::id()));
+    p
+}
+
+fn run_ok(cmd: &mut Command) -> String {
+    let out = cmd.output().expect("zoomctl spawns");
+    assert!(
+        out.status.success(),
+        "zoomctl failed: {}\n{}",
+        String::from_utf8_lossy(&out.stderr),
+        String::from_utf8_lossy(&out.stdout)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// Validates one JSON value starting at `i`, returning the index one past
+/// its end. Panics (with context) on malformed input — good enough to
+/// prove the hand-rolled emitter balances its braces, quotes its strings,
+/// and separates its elements.
+fn check_value(s: &[u8], mut i: usize) -> usize {
+    while s[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    match s[i] {
+        b'{' => {
+            i += 1;
+            loop {
+                while s[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if s[i] == b'}' {
+                    return i + 1;
+                }
+                assert_eq!(s[i] as char, '"', "object key must be a string at {i}");
+                i = check_value(s, i); // key
+                while s[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                assert_eq!(s[i] as char, ':', "missing colon at {i}");
+                i = check_value(s, i + 1); // value
+                while s[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                match s[i] {
+                    b',' => i += 1,
+                    b'}' => return i + 1,
+                    c => panic!("expected , or }} at {i}, got {}", c as char),
+                }
+            }
+        }
+        b'[' => {
+            i += 1;
+            loop {
+                while s[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                if s[i] == b']' {
+                    return i + 1;
+                }
+                i = check_value(s, i);
+                while s[i].is_ascii_whitespace() {
+                    i += 1;
+                }
+                match s[i] {
+                    b',' => i += 1,
+                    b']' => return i + 1,
+                    c => panic!("expected , or ] at {i}, got {}", c as char),
+                }
+            }
+        }
+        b'"' => {
+            i += 1;
+            while s[i] != b'"' {
+                if s[i] == b'\\' {
+                    i += 1;
+                }
+                i += 1;
+            }
+            i + 1
+        }
+        b'n' => {
+            assert_eq!(&s[i..i + 4], b"null");
+            i + 4
+        }
+        b't' => {
+            assert_eq!(&s[i..i + 4], b"true");
+            i + 4
+        }
+        b'f' => {
+            assert_eq!(&s[i..i + 5], b"false");
+            i + 5
+        }
+        c if c == b'-' || c.is_ascii_digit() => {
+            while i < s.len()
+                && (s[i].is_ascii_digit() || matches!(s[i], b'-' | b'+' | b'.' | b'e' | b'E'))
+            {
+                i += 1;
+            }
+            i
+        }
+        c => panic!("unexpected byte `{}` at {i}", c as char),
+    }
+}
+
+fn assert_well_formed(json: &str) {
+    let bytes = json.as_bytes();
+    let end = check_value(bytes, 0);
+    assert!(
+        json[end..].trim().is_empty(),
+        "trailing garbage after JSON value: {:?}",
+        &json[end..]
+    );
+}
+
+/// The documented top-level and nested keys of the `stats --json` payload
+/// (DESIGN.md §11). Renaming any of these is a breaking change to the
+/// observability surface and must update both the docs and this list.
+const DOCUMENTED_KEYS: &[&str] = &[
+    // stats sub-object (WarehouseStats)
+    "\"stats\"",
+    "\"specs\"",
+    "\"views\"",
+    "\"runs\"",
+    "\"steps\"",
+    "\"data_objects\"",
+    "\"cached_view_runs\"",
+    "\"view_run_hits\"",
+    "\"view_run_misses\"",
+    "\"view_run_evictions\"",
+    "\"index_hits\"",
+    "\"index_misses\"",
+    // per-class query latency
+    "\"queries\"",
+    "\"kind\"",
+    "\"view_class\"",
+    "\"count\"",
+    "\"sum_nanos\"",
+    "\"max_nanos\"",
+    "\"mean_nanos\"",
+    "\"buckets\"",
+    "\"query_errors\"",
+    // caches
+    "\"view_run_cache\"",
+    "\"index_cache\"",
+    "\"hits\"",
+    "\"misses\"",
+    "\"race_lost_builds\"",
+    "\"evictions\"",
+    "\"entries\"",
+    "\"build_nanos\"",
+    // batch fan-out
+    "\"batch\"",
+    "\"batches\"",
+    "\"max_fanout\"",
+    // durability
+    "\"journal\"",
+    "\"appends\"",
+    "\"append_latency\"",
+    "\"checkpoint_latency\"",
+    // interactivity + slow log
+    "\"view_switch\"",
+    "\"slow_query_threshold_nanos\"",
+    "\"slow_queries\"",
+];
+
+#[test]
+fn stats_json_is_well_formed_and_carries_documented_keys() {
+    let snap = temp_snapshot("stats");
+    let snap_s = snap.to_str().expect("utf-8 path");
+    run_ok(zoomctl().args(["demo", snap_s]));
+
+    let json = run_ok(zoomctl().args(["stats", snap_s, "--json"]));
+    assert_well_formed(&json);
+    for key in DOCUMENTED_KEYS {
+        assert!(json.contains(key), "stats --json is missing {key}\n{json}");
+    }
+    // The plain-text rendering must be unchanged by the flag's existence.
+    let text = run_ok(zoomctl().args(["stats", snap_s]));
+    assert!(text.contains("data objects : 447"), "{text}");
+
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn slowlog_json_is_an_array_of_query_records() {
+    let snap = temp_snapshot("slowlog");
+    let snap_s = snap.to_str().expect("utf-8 path");
+    run_ok(zoomctl().args(["demo", snap_s]));
+
+    // Threshold 0 captures the audit sweep's every query: the demo
+    // warehouse has 1 run and 3 views, so exactly 3 records.
+    let json = run_ok(zoomctl().args(["slowlog", snap_s, "--json"]));
+    assert_well_formed(&json);
+    for key in ["\"seq\"", "\"kind\"", "\"view\"", "\"run\"", "\"nanos\""] {
+        assert!(
+            json.contains(key),
+            "slowlog --json is missing {key}\n{json}"
+        );
+    }
+    assert_eq!(json.matches("\"seq\"").count(), 3, "{json}");
+
+    // A sky-high threshold yields an empty, still-valid array.
+    let json = run_ok(zoomctl().args([
+        "slowlog",
+        snap_s,
+        "--threshold-nanos",
+        "999999999999",
+        "--json",
+    ]));
+    assert_well_formed(&json);
+    assert_eq!(json.trim(), "[]");
+
+    let _ = std::fs::remove_file(&snap);
+}
