@@ -21,6 +21,8 @@ pub struct QuerySession<'a> {
     run: RunId,
     view: ViewId,
     focus: Option<DataId>,
+    /// Per-query time budget; `None` defers to the system default.
+    deadline: Option<Duration>,
     /// Wall-clock cost of the queries issued so far (for the interactivity
     /// experiments).
     history: Vec<(ViewId, Duration)>,
@@ -34,8 +36,22 @@ impl<'a> QuerySession<'a> {
             run,
             view,
             focus: None,
+            deadline: None,
             history: Vec::new(),
         }
+    }
+
+    /// Sets (or clears) this session's per-query time budget. Queries that
+    /// exceed it return [`zoom_warehouse::WarehouseError::DeadlineExceeded`]
+    /// instead of running unboundedly — an interactive session would rather
+    /// re-ask at a coarser view than hang.
+    pub fn set_deadline(&mut self, budget: Option<Duration>) {
+        self.deadline = budget;
+    }
+
+    /// The session's per-query time budget, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
     }
 
     /// The session's run.
@@ -91,7 +107,12 @@ impl<'a> QuerySession<'a> {
             .focus
             .ok_or(zoom_warehouse::WarehouseError::DataNotFound(DataId(0)))?;
         let start = std::time::Instant::now();
-        let res = self.zoom.deep_provenance(self.run, self.view, data);
+        let res = match self.deadline {
+            Some(budget) => self
+                .zoom
+                .deep_provenance_within(self.run, self.view, data, budget),
+            None => self.zoom.deep_provenance(self.run, self.view, data),
+        };
         self.history.push((self.view, start.elapsed()));
         res
     }

@@ -7,7 +7,7 @@ use zoom_model::{DataId, EventLog, UserView, WorkflowRun, WorkflowSpec};
 use zoom_views::relev_user_view_builder;
 use zoom_warehouse::persist::PersistError;
 use zoom_warehouse::{
-    DurableError, DurableOptions, DurableWarehouse, ImmediateAnswer, MetricsSnapshot,
+    DurableError, DurableOptions, DurableWarehouse, HealthReport, ImmediateAnswer, MetricsSnapshot,
     ProvenanceResult, Result, RunId, SlowQuery, SpecId, ViewId, Warehouse, WarehouseError,
     WarehouseStats,
 };
@@ -27,8 +27,8 @@ fn durability_err(e: DurableError) -> WarehouseError {
 /// crash-safe [`DurableWarehouse`] directory.
 #[derive(Debug)]
 enum Backing {
-    Memory(Warehouse),
-    Durable(DurableWarehouse),
+    Memory(Box<Warehouse>),
+    Durable(Box<DurableWarehouse>),
 }
 
 /// The ZOOM system: registration, view building, execution loading, and
@@ -41,7 +41,7 @@ pub struct Zoom {
 impl Default for Zoom {
     fn default() -> Self {
         Zoom {
-            backing: Backing::Memory(Warehouse::new()),
+            backing: Backing::Memory(Box::new(Warehouse::new())),
         }
     }
 }
@@ -58,7 +58,7 @@ impl Zoom {
     /// [`zoom_warehouse::durable`].
     pub fn open_durable(dir: &Path) -> std::result::Result<Self, DurableError> {
         Ok(Zoom {
-            backing: Backing::Durable(DurableWarehouse::open(dir)?),
+            backing: Backing::Durable(Box::new(DurableWarehouse::open(dir)?)),
         })
     }
 
@@ -68,7 +68,7 @@ impl Zoom {
         options: DurableOptions,
     ) -> std::result::Result<Self, DurableError> {
         Ok(Zoom {
-            backing: Backing::Durable(DurableWarehouse::open_opts(dir, options)?),
+            backing: Backing::Durable(Box::new(DurableWarehouse::open_opts(dir, options)?)),
         })
     }
 
@@ -121,6 +121,51 @@ impl Zoom {
     /// The captured slow queries, oldest first.
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.warehouse().metrics_registry().slow_queries()
+    }
+
+    /// A point-in-time health report: write-availability, circuit-breaker
+    /// state, and the lifetime resilience counters. In-memory systems are
+    /// always healthy and writable; durable systems report the breaker.
+    pub fn health(&self) -> HealthReport {
+        match &self.backing {
+            Backing::Memory(_) => HealthReport::in_memory(),
+            Backing::Durable(dw) => dw.health(),
+        }
+    }
+
+    /// Sets the default per-query time budget. `None` removes the limit.
+    /// Queries exceeding the budget return
+    /// [`WarehouseError::DeadlineExceeded`].
+    pub fn set_default_deadline(&self, budget: Option<std::time::Duration>) {
+        self.warehouse().set_default_deadline(budget);
+    }
+
+    /// The current default per-query time budget, if any.
+    pub fn default_deadline(&self) -> Option<std::time::Duration> {
+        self.warehouse().default_deadline()
+    }
+
+    /// Cancels every in-flight query cooperatively: each returns
+    /// [`WarehouseError::Cancelled`] at its next deadline check. Queries
+    /// issued after this call run normally.
+    pub fn cancel_queries(&self) {
+        self.warehouse().cancel_queries();
+    }
+
+    /// Bounds concurrent facade queries (admission control). Queries past
+    /// `max_in_flight` wait in a queue of at most `max_queue`; beyond that
+    /// they are shed with [`WarehouseError::Overloaded`].
+    pub fn set_admission_limits(&mut self, max_in_flight: usize, max_queue: usize) {
+        match &mut self.backing {
+            Backing::Memory(w) => w.set_admission_limits(max_in_flight, max_queue),
+            Backing::Durable(dw) => dw.set_admission_limits(max_in_flight, max_queue),
+        }
+    }
+
+    /// Caps worker threads used by batch query fan-out (0 = hardware
+    /// parallelism).
+    pub fn set_max_batch_workers(&self, workers: usize) {
+        self.warehouse().set_max_batch_workers(workers);
     }
 
     /// Read access to the underlying warehouse.
@@ -225,6 +270,21 @@ impl Zoom {
         self.warehouse().deep_provenance(run, view, data)
     }
 
+    /// Deep provenance of `data` through `view` under an explicit time
+    /// budget, overriding the system-wide default deadline. Returns
+    /// [`WarehouseError::DeadlineExceeded`] when the budget runs out.
+    pub fn deep_provenance_within(
+        &self,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+        budget: std::time::Duration,
+    ) -> Result<ProvenanceResult> {
+        let mut deadline = zoom_warehouse::Deadline::after(budget);
+        self.warehouse()
+            .deep_provenance_with_deadline(run, view, data, &mut deadline)
+    }
+
     /// Deep provenance of many `(run, view, data)` triples at once,
     /// fanned out across threads; results come back in input order.
     pub fn query_batch(
@@ -292,7 +352,7 @@ impl Zoom {
     /// Loads a system (in-memory) from a warehouse snapshot.
     pub fn load(path: &Path) -> std::result::Result<Self, PersistError> {
         Ok(Zoom {
-            backing: Backing::Memory(zoom_warehouse::persist::load(path)?),
+            backing: Backing::Memory(Box::new(zoom_warehouse::persist::load(path)?)),
         })
     }
 }

@@ -28,6 +28,7 @@
 use crate::io::{RealFs, StorageIo};
 use crate::journal::{self, JournalError, JournalRecord, ReplayOutcome};
 use crate::persist::{self, PersistError};
+use crate::resilience::{CircuitBreaker, HealthReport, RetryPolicy};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
 use crate::store::{Warehouse, WarehouseError};
 use serde::{Deserialize, Serialize};
@@ -123,6 +124,12 @@ pub struct DurableOptions {
     /// threshold. With `false`, only explicit [`DurableWarehouse::checkpoint`]
     /// calls compact.
     pub auto_compact: bool,
+    /// Retry policy applied to transient journal-append and checkpoint IO
+    /// failures. [`RetryPolicy::none`] disables retrying.
+    pub retry: RetryPolicy,
+    /// Consecutive *permanent* journal-append failures that trip the write
+    /// circuit breaker into degraded read-only mode (clamped to at least 1).
+    pub breaker_threshold: u32,
 }
 
 impl Default for DurableOptions {
@@ -130,6 +137,8 @@ impl Default for DurableOptions {
         DurableOptions {
             compact_threshold_bytes: 1 << 20, // 1 MiB
             auto_compact: true,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
         }
     }
 }
@@ -169,6 +178,38 @@ fn decode_manifest(bytes: &[u8]) -> Result<Manifest, DurableError> {
         return Err(DurableError::BadManifest("crc mismatch".into()));
     }
     crate::codec::from_bytes(payload).map_err(|e| DurableError::Persist(e.into()))
+}
+
+/// Runs one durable IO step under `retry`, retrying transient filesystem
+/// errors (wherever they surface in the [`DurableError`] tree) with
+/// backoff. The original error is preserved on exhaustion.
+fn retry_step<T>(
+    retry: RetryPolicy,
+    registry: &crate::metrics::MetricsRegistry,
+    mut op: impl FnMut() -> Result<T, DurableError>,
+) -> Result<T, DurableError> {
+    let mut stash: Option<DurableError> = None;
+    retry
+        .run(
+            || registry.record_io_retry(),
+            || match op() {
+                Ok(v) => Ok(v),
+                Err(err) => {
+                    let kind = match &err {
+                        DurableError::Io(e) => Some(e.kind()),
+                        DurableError::Persist(PersistError::Io(e)) => Some(e.kind()),
+                        _ => None,
+                    };
+                    stash = Some(err);
+                    // Non-IO failures surface as a permanent kind so the
+                    // policy never retries them.
+                    Err(std::io::Error::from(
+                        kind.unwrap_or(std::io::ErrorKind::Other),
+                    ))
+                }
+            },
+        )
+        .map_err(|e| stash.take().unwrap_or(DurableError::Io(e)))
 }
 
 /// Writes the manifest atomically: unique temp file, fsync, rename over
@@ -218,6 +259,7 @@ pub struct DurableWarehouse {
     journal_records: u64,
     compactions: u64,
     failed_compactions: u64,
+    breaker: CircuitBreaker,
     options: DurableOptions,
 }
 
@@ -287,6 +329,7 @@ impl DurableWarehouse {
                 journal_records: 0,
                 compactions: 0,
                 failed_compactions: 0,
+                breaker: CircuitBreaker::new(options.breaker_threshold),
                 options,
             };
             dw.clean_strays();
@@ -324,6 +367,7 @@ impl DurableWarehouse {
             journal_records: records as u64,
             compactions: 0,
             failed_compactions: 0,
+            breaker: CircuitBreaker::new(options.breaker_threshold),
             options,
         };
         dw.clean_strays();
@@ -349,16 +393,43 @@ impl DurableWarehouse {
         }
     }
 
+    /// Rejects the mutation up front when the breaker is open: degraded
+    /// read-only mode fails writes fast, before the in-memory mutation,
+    /// so there is nothing to roll back.
+    fn check_writable(&mut self) -> Result<(), DurableError> {
+        if self.breaker.is_open() {
+            self.inner
+                .metrics_registry()
+                .record_degraded_write_rejected();
+            return Err(DurableError::Warehouse(WarehouseError::Degraded));
+        }
+        Ok(())
+    }
+
     fn append(&mut self, rec: &JournalRecord) -> Result<(), DurableError> {
         let frame = journal::encode_frame(rec)?;
         let started = std::time::Instant::now();
-        self.io.append(&self.dir.join(&self.journal), &frame)?;
-        self.inner
-            .metrics_registry()
-            .record_journal_append(started.elapsed().as_nanos() as u64);
-        self.journal_bytes += frame.len() as u64;
-        self.journal_records += 1;
-        Ok(())
+        let path = self.dir.join(&self.journal);
+        let registry = self.inner.metrics_registry();
+        let outcome = self.options.retry.run(
+            || registry.record_io_retry(),
+            || self.io.append(&path, &frame),
+        );
+        match outcome {
+            Ok(()) => {
+                self.breaker.record_success();
+                registry.record_journal_append(started.elapsed().as_nanos() as u64);
+                self.journal_bytes += frame.len() as u64;
+                self.journal_records += 1;
+                Ok(())
+            }
+            Err(e) => {
+                if self.breaker.record_failure() {
+                    registry.record_breaker_trip();
+                }
+                Err(e.into())
+            }
+        }
     }
 
     /// Compacts after a committed mutation if the tail outgrew the
@@ -376,6 +447,7 @@ impl DurableWarehouse {
     /// Registers a specification, durably. On append failure the in-memory
     /// registration is rolled back so memory never diverges from disk.
     pub fn register_spec(&mut self, spec: WorkflowSpec) -> Result<SpecId, DurableError> {
+        self.check_writable()?;
         let row = SpecRow { spec };
         let id = self.inner.register_spec(row.spec.clone())?;
         if let Err(e) = self.append(&JournalRecord::Spec(id, row)) {
@@ -388,6 +460,7 @@ impl DurableWarehouse {
 
     /// Registers a view, durably (rolled back on a failed append).
     pub fn register_view(&mut self, spec: SpecId, view: UserView) -> Result<ViewId, DurableError> {
+        self.check_writable()?;
         let id = self.inner.register_view(spec, view.clone())?;
         if let Err(e) = self.append(&JournalRecord::View(id, ViewRow { spec, view })) {
             self.inner.rollback_view(id);
@@ -399,6 +472,7 @@ impl DurableWarehouse {
 
     /// Loads a run, durably (rolled back on a failed append).
     pub fn load_run(&mut self, spec: SpecId, run: WorkflowRun) -> Result<RunId, DurableError> {
+        self.check_writable()?;
         let id = self.inner.load_run(spec, run.clone())?;
         if let Err(e) = self.append(&JournalRecord::Run(id, RunRow { spec, run })) {
             self.inner.rollback_run(id);
@@ -426,23 +500,30 @@ impl DurableWarehouse {
     ///
     /// A crash before step 3 leaves the old generation live (new files are
     /// strays); after it, the new generation is live.
+    ///
+    /// When the write breaker is open, a checkpoint doubles as the
+    /// half-open probe: success rewrites the snapshot from memory — disk
+    /// provably matches memory again — so the breaker closes and the store
+    /// leaves degraded mode; failure re-opens it.
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
         let started = std::time::Instant::now();
+        let probing = self.breaker.is_open();
+        if probing {
+            self.breaker.begin_probe();
+        }
         let epoch = self.epoch + 1;
         let snap = snap_name(epoch);
         let wal = wal_name(epoch);
-        persist::save_with(&*self.io, &self.inner, &self.dir.join(&snap))?;
-        self.io.write(&self.dir.join(&wal), journal::MAGIC)?;
-        self.io.sync_dir(&self.dir)?;
-        write_manifest(
-            &*self.io,
-            &self.dir,
-            &Manifest {
-                epoch,
-                snapshot: Some(snap.clone()),
-                journal: wal.clone(),
-            },
-        )?;
+        if let Err(e) = self.write_generation(&snap, &wal, epoch) {
+            if probing {
+                // The probe failed: back to open, not a fresh trip.
+                self.breaker.record_failure();
+            }
+            return Err(e);
+        }
+        if self.breaker.record_success() {
+            self.inner.metrics_registry().record_breaker_recovery();
+        }
         // Committed. The old generation is now garbage.
         let _ = self.io.remove_file(&self.dir.join(&self.journal));
         if let Some(old) = &self.snapshot {
@@ -462,9 +543,45 @@ impl DurableWarehouse {
         Ok(())
     }
 
+    /// The checkpoint's IO sequence up to and including the manifest swing
+    /// (the commit point), each step retried on transient errors.
+    fn write_generation(&self, snap: &str, wal: &str, epoch: u64) -> Result<(), DurableError> {
+        let retry = self.options.retry;
+        let registry = self.inner.metrics_registry();
+        retry_step(retry, registry, || {
+            persist::save_with(&*self.io, &self.inner, &self.dir.join(snap)).map_err(Into::into)
+        })?;
+        retry_step(retry, registry, || {
+            self.io
+                .write(&self.dir.join(wal), journal::MAGIC)
+                .map_err(Into::into)
+        })?;
+        retry_step(retry, registry, || {
+            self.io.sync_dir(&self.dir).map_err(Into::into)
+        })?;
+        retry_step(retry, registry, || {
+            write_manifest(
+                &*self.io,
+                &self.dir,
+                &Manifest {
+                    epoch,
+                    snapshot: Some(snap.to_string()),
+                    journal: wal.to_string(),
+                },
+            )
+        })
+    }
+
     /// Read access to the recovered/live warehouse.
     pub fn warehouse(&self) -> &Warehouse {
         &self.inner
+    }
+
+    /// Rebuilds the inner warehouse's admission control with new limits
+    /// (the one configuration mutation that is safe on a durable store —
+    /// it touches no journaled state).
+    pub fn set_admission_limits(&mut self, max_in_flight: usize, max_queue: usize) {
+        self.inner.set_admission_limits(max_in_flight, max_queue);
     }
 
     /// The durable directory.
@@ -495,7 +612,30 @@ impl DurableWarehouse {
         s.journal_bytes = self.journal_bytes;
         s.compactions = self.compactions;
         s.epoch = self.epoch;
+        s.degraded = self.breaker.is_open();
         s
+    }
+
+    /// Whether the write circuit breaker has the store in degraded
+    /// read-only mode (mutations fail fast; queries keep serving).
+    pub fn degraded(&self) -> bool {
+        self.breaker.is_open()
+    }
+
+    /// A point-in-time health report: breaker state plus the lifetime
+    /// resilience counters from the metrics registry.
+    pub fn health(&self) -> HealthReport {
+        let registry = self.inner.metrics_registry();
+        HealthReport {
+            writable: !self.breaker.is_open(),
+            breaker: self.breaker.state(),
+            consecutive_failures: self.breaker.consecutive_failures(),
+            breaker_trips: registry.breaker_trips(),
+            breaker_recoveries: registry.breaker_recoveries(),
+            io_retries: registry.io_retries(),
+            degraded_writes_rejected: registry.degraded_writes_rejected(),
+            durable: true,
+        }
     }
 }
 
@@ -702,6 +842,7 @@ mod tests {
             DurableOptions {
                 compact_threshold_bytes: 64, // any spec record exceeds this
                 auto_compact: true,
+                ..DurableOptions::default()
             },
         )
         .unwrap();

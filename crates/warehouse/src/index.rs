@@ -24,14 +24,43 @@
 //! [`ViewRunCache`]: crate::cache::ViewRunCache
 
 use crate::fxhash::FxHashMap;
+use crate::resilience::{Deadline, Interrupt};
 use crate::schema::RunId;
 use parking_lot::RwLock;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use zoom_graph::algo::topo::topological_sort;
 use zoom_graph::{BitSet, NodeId};
 use zoom_model::{ModelError, WorkflowRun};
+
+/// Why a deadline-aware index build failed: either the run is structurally
+/// bad (cyclic) or the build was interrupted by its [`Deadline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexBuildError {
+    /// The run graph is cyclic ([`ModelError::RunHasCycle`]).
+    Cycle,
+    /// The deadline passed or the build was cancelled mid-pass.
+    Interrupted(Interrupt),
+}
+
+impl fmt::Display for IndexBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IndexBuildError::Cycle => write!(f, "run graph has a cycle"),
+            IndexBuildError::Interrupted(i) => i.fmt(f),
+        }
+    }
+}
+
+impl From<Interrupt> for IndexBuildError {
+    fn from(i: Interrupt) -> Self {
+        IndexBuildError::Interrupted(i)
+    }
+}
+
+impl std::error::Error for IndexBuildError {}
 
 /// Reachability rows over one run's raw (UAdmin-level) graph.
 ///
@@ -50,14 +79,28 @@ impl ProvenanceIndex {
     /// Validated runs never are, but a hand-loaded or corrupted durable
     /// log can hand us one, and building an index must not crash `open()`.
     pub fn build(run: &WorkflowRun) -> Result<Self, ModelError> {
+        Self::build_deadline(run, &mut Deadline::unlimited()).map_err(|e| match e {
+            IndexBuildError::Cycle => ModelError::RunHasCycle,
+            IndexBuildError::Interrupted(_) => unreachable!("unlimited deadline never interrupts"),
+        })
+    }
+
+    /// [`ProvenanceIndex::build`] under an execution budget: both
+    /// topological passes poll `deadline` per node, so an adversarially
+    /// large run cannot pin a core unbounded while its index materializes.
+    pub fn build_deadline(
+        run: &WorkflowRun,
+        deadline: &mut Deadline,
+    ) -> Result<Self, IndexBuildError> {
         let g = run.graph();
         let n = g.node_count();
-        let order = topological_sort(g).ok_or(ModelError::RunHasCycle)?;
+        let order = topological_sort(g).ok_or(IndexBuildError::Cycle)?;
 
         // Placeholder rows are never unioned: topological order guarantees
         // every predecessor's real row exists before its dependents read it.
         let mut ancestors = vec![BitSet::new(0); n];
         for &node in &order {
+            deadline.tick()?;
             let mut row = BitSet::new(n);
             row.insert(node.index());
             for p in g.predecessors(node) {
@@ -68,6 +111,7 @@ impl ProvenanceIndex {
 
         let mut descendants = vec![BitSet::new(0); n];
         for &node in order.iter().rev() {
+            deadline.tick()?;
             let mut row = BitSet::new(n);
             row.insert(node.index());
             for s in g.successors(node) {

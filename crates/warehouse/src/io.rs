@@ -135,6 +135,24 @@ struct FaultState {
     /// Once tripped, every later write-side op fails (the disk is "gone",
     /// as after a crash).
     tripped: bool,
+    /// Armed failure count: the next `armed` write-side ops fail, then
+    /// storage heals itself (fail-N-times-then-succeed, for retry tests).
+    armed: u64,
+    /// Whether armed failures are transient (`ErrorKind::Interrupted`,
+    /// retryable) or permanent (`ErrorKind::Other`, crash-style).
+    armed_transient: bool,
+    /// Injected latency added to every write-side op (tail-latency mode).
+    latency: std::time::Duration,
+}
+
+/// How an armed fault should fail the op.
+enum GateOutcome {
+    /// A crash-style sticky fault: the op fails permanently, tearing
+    /// `write`/`append` after this many bytes.
+    Permanent(usize),
+    /// A transient fault: the op fails with a retryable error kind and
+    /// leaves no bytes behind.
+    Transient,
 }
 
 /// A fault-injecting [`StorageIo`] for crash-recovery tests.
@@ -161,6 +179,9 @@ impl FaultFs {
                 torn_bytes: 0,
                 ops: 0,
                 tripped: false,
+                armed: 0,
+                armed_transient: false,
+                latency: std::time::Duration::ZERO,
             }),
         }
     }
@@ -168,15 +189,38 @@ impl FaultFs {
     /// A backend that allows `budget` write-side operations, then fails
     /// every later one, tearing failing writes after `torn_bytes` bytes.
     pub fn fail_after(budget: u64, torn_bytes: usize) -> Self {
-        FaultFs {
-            inner: RealFs,
-            state: Mutex::new(FaultState {
-                budget: Some(budget),
-                torn_bytes,
-                ops: 0,
-                tripped: false,
-            }),
-        }
+        let fs = FaultFs::counting();
+        fs.state.lock().budget = Some(budget);
+        fs.state.lock().torn_bytes = torn_bytes;
+        fs
+    }
+
+    /// Arms the next `count` write-side operations to fail, after which
+    /// storage heals itself. `transient` selects the error class: `true`
+    /// fails with `ErrorKind::Interrupted` (retryable, nothing written),
+    /// `false` with `ErrorKind::Other` (permanent, crash-style). Unlike
+    /// [`FaultFs::fail_after`], the fault is not sticky — op `count + 1`
+    /// succeeds — which is exactly the shape retry policies must absorb
+    /// and circuit breakers must trip on.
+    pub fn arm_failures(&self, count: u64, transient: bool) {
+        let mut st = self.state.lock();
+        st.armed = count;
+        st.armed_transient = transient;
+    }
+
+    /// Clears every armed or tripped fault: storage behaves like
+    /// [`RealFs`] again. Models the disk coming back after an outage.
+    pub fn heal(&self) {
+        let mut st = self.state.lock();
+        st.budget = None;
+        st.tripped = false;
+        st.armed = 0;
+    }
+
+    /// Adds `latency` of sleep to every write-side operation, modelling a
+    /// slow or saturated disk for deadline/tail-latency tests.
+    pub fn set_write_latency(&self, latency: std::time::Duration) {
+        self.state.lock().latency = latency;
     }
 
     /// Write-side operations attempted so far.
@@ -189,19 +233,35 @@ impl FaultFs {
         self.state.lock().tripped
     }
 
-    /// Charges one write-side op; returns the torn-byte allowance if this
-    /// op must fail.
-    fn gate(&self) -> std::result::Result<(), usize> {
-        let mut st = self.state.lock();
-        st.ops += 1;
-        if st.tripped {
-            return Err(0);
-        }
-        if let Some(b) = st.budget {
-            if st.ops > b {
-                st.tripped = true;
-                return Err(st.torn_bytes);
+    /// Charges one write-side op; on failure says how (permanently with a
+    /// torn-byte allowance, or transiently).
+    fn gate(&self) -> std::result::Result<(), GateOutcome> {
+        let latency = {
+            let mut st = self.state.lock();
+            st.ops += 1;
+            if st.tripped {
+                return Err(GateOutcome::Permanent(0));
             }
+            if st.armed > 0 {
+                // Armed faults are not sticky: they do not trip the
+                // backend, they just fail this op and count down.
+                st.armed -= 1;
+                return Err(if st.armed_transient {
+                    GateOutcome::Transient
+                } else {
+                    GateOutcome::Permanent(st.torn_bytes)
+                });
+            }
+            if let Some(b) = st.budget {
+                if st.ops > b {
+                    st.tripped = true;
+                    return Err(GateOutcome::Permanent(st.torn_bytes));
+                }
+            }
+            st.latency
+        };
+        if !latency.is_zero() {
+            std::thread::sleep(latency);
         }
         Ok(())
     }
@@ -209,6 +269,20 @@ impl FaultFs {
 
 fn injected() -> std::io::Error {
     std::io::Error::other("injected storage fault")
+}
+
+fn injected_transient() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::Interrupted,
+        "injected transient storage fault",
+    )
+}
+
+fn fault_error(outcome: GateOutcome) -> std::io::Error {
+    match outcome {
+        GateOutcome::Transient => injected_transient(),
+        GateOutcome::Permanent(_) => injected(),
+    }
 }
 
 impl StorageIo for FaultFs {
@@ -219,7 +293,8 @@ impl StorageIo for FaultFs {
     fn write(&self, path: &Path, bytes: &[u8]) -> Result<()> {
         match self.gate() {
             Ok(()) => self.inner.write(path, bytes),
-            Err(torn) => {
+            Err(GateOutcome::Transient) => Err(injected_transient()),
+            Err(GateOutcome::Permanent(torn)) => {
                 let keep = torn.min(bytes.len());
                 let _ = self.inner.write(path, &bytes[..keep]);
                 Err(injected())
@@ -230,7 +305,8 @@ impl StorageIo for FaultFs {
     fn append(&self, path: &Path, bytes: &[u8]) -> Result<()> {
         match self.gate() {
             Ok(()) => self.inner.append(path, bytes),
-            Err(torn) => {
+            Err(GateOutcome::Transient) => Err(injected_transient()),
+            Err(GateOutcome::Permanent(torn)) => {
                 let keep = torn.min(bytes.len());
                 if keep > 0 {
                     let _ = self.inner.append(path, &bytes[..keep]);
@@ -241,17 +317,17 @@ impl StorageIo for FaultFs {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> Result<()> {
-        self.gate().map_err(|_| injected())?;
+        self.gate().map_err(fault_error)?;
         self.inner.rename(from, to)
     }
 
     fn sync_dir(&self, dir: &Path) -> Result<()> {
-        self.gate().map_err(|_| injected())?;
+        self.gate().map_err(fault_error)?;
         self.inner.sync_dir(dir)
     }
 
     fn set_len(&self, path: &Path, len: u64) -> Result<()> {
-        self.gate().map_err(|_| injected())?;
+        self.gate().map_err(fault_error)?;
         self.inner.set_len(path, len)
     }
 
@@ -264,12 +340,12 @@ impl StorageIo for FaultFs {
     }
 
     fn remove_file(&self, path: &Path) -> Result<()> {
-        self.gate().map_err(|_| injected())?;
+        self.gate().map_err(fault_error)?;
         self.inner.remove_file(path)
     }
 
     fn create_dir_all(&self, path: &Path) -> Result<()> {
-        self.gate().map_err(|_| injected())?;
+        self.gate().map_err(fault_error)?;
         self.inner.create_dir_all(path)
     }
 
@@ -350,6 +426,47 @@ mod tests {
         assert!(faulty.append(&path, b"more").is_err());
         assert!(faulty.rename(&path, &temp("faults2")).is_err());
         assert_eq!(faulty.read(&path).unwrap(), b"xyz1");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn armed_faults_heal_after_count() {
+        let path = temp("armed");
+        let fs = FaultFs::counting();
+        fs.write(&path, b"seed").unwrap();
+
+        // Two transient failures, then success; nothing torn onto disk.
+        fs.arm_failures(2, true);
+        for _ in 0..2 {
+            let err = fs.append(&path, b"x").unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::Interrupted);
+        }
+        fs.append(&path, b"x").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"seedx");
+        assert!(!fs.tripped(), "armed faults are not sticky");
+
+        // Permanent armed failures report a non-retryable kind.
+        fs.arm_failures(1, false);
+        let err = fs.append(&path, b"y").unwrap_err();
+        assert_ne!(err.kind(), std::io::ErrorKind::Interrupted);
+        fs.append(&path, b"y").unwrap();
+
+        // heal() clears an armed batch midway.
+        fs.arm_failures(100, true);
+        assert!(fs.append(&path, b"z").is_err());
+        fs.heal();
+        fs.append(&path, b"z").unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_latency_is_injected() {
+        let path = temp("latency");
+        let fs = FaultFs::counting();
+        fs.set_write_latency(std::time::Duration::from_millis(5));
+        let started = std::time::Instant::now();
+        fs.write(&path, b"slow").unwrap();
+        assert!(started.elapsed() >= std::time::Duration::from_millis(5));
         std::fs::remove_file(&path).ok();
     }
 

@@ -285,10 +285,12 @@ impl JournaledWarehouse {
     fn append(&mut self, rec: &JournalRecord) -> Result<(), JournalError> {
         let frame = encode_frame(rec)?;
         let started = std::time::Instant::now();
-        self.io.append(&self.path, &frame)?;
-        self.inner
-            .metrics_registry()
-            .record_journal_append(started.elapsed().as_nanos() as u64);
+        let registry = self.inner.metrics_registry();
+        crate::resilience::RetryPolicy::default().run(
+            || registry.record_io_retry(),
+            || self.io.append(&self.path, &frame),
+        )?;
+        registry.record_journal_append(started.elapsed().as_nanos() as u64);
         self.records += 1;
         Ok(())
     }

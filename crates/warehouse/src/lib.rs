@@ -29,6 +29,9 @@
 //!   behind an atomically-swung manifest, with auto-compaction and `fsck`;
 //! * [`io`] — the [`StorageIo`] abstraction ([`RealFs`] in production,
 //!   [`FaultFs`] for crash-recovery fault injection);
+//! * [`resilience`] — deadlines + cooperative cancellation, admission
+//!   control, transient-IO retry with backoff, and the write circuit
+//!   breaker behind the durable store's degraded read-only mode;
 //! * [`codec`] — the bincode-style serde format behind persistence;
 //! * [`fxhash`] — fast hashing for the integer-keyed indexes.
 
@@ -42,23 +45,30 @@ pub mod journal;
 pub mod metrics;
 pub mod persist;
 pub mod query;
+pub mod resilience;
 pub mod schema;
 pub mod store;
 pub mod table;
 
 pub use cache::ViewRunCache;
 pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckReport};
-pub use index::{ProvenanceIndex, ProvenanceIndexCache};
+pub use index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache};
 pub use io::{FaultFs, RealFs, StorageIo};
 pub use journal::{JournalError, JournaledWarehouse};
 pub use metrics::{
     CacheMetrics, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, QueryKind,
-    SlowQuery, ViewClass,
+    ResilienceMetrics, SlowQuery, ViewClass,
 };
 pub use query::{
-    data_between, deep_provenance, deep_provenance_bfs, deep_provenance_indexed, dependents_of,
-    dependents_of_bfs, dependents_of_indexed, immediate_provenance, ImmediateProvenance,
-    ProvenanceResult, ProvenanceRow, QueryError,
+    data_between, deep_provenance, deep_provenance_bfs, deep_provenance_deadline,
+    deep_provenance_indexed, deep_provenance_indexed_deadline, dependents_of, dependents_of_bfs,
+    dependents_of_deadline, dependents_of_indexed, dependents_of_indexed_deadline,
+    immediate_provenance, ImmediateProvenance, ProvenanceResult, ProvenanceRow, QueryError,
+    QueryFailure,
+};
+pub use resilience::{
+    AdmissionControl, AdmissionPermit, BreakerState, CancelToken, CircuitBreaker, Deadline,
+    HealthReport, Interrupt, RetryPolicy,
 };
 pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
 pub use store::{ImmediateAnswer, Result, Warehouse, WarehouseError};

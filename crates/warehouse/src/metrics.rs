@@ -288,6 +288,24 @@ pub struct MetricsRegistry {
     slow_threshold_nanos: AtomicU64,
     slow_seq: AtomicU64,
     slow_log: Mutex<VecDeque<SlowQuery>>,
+    /// Queries that asked for admission (admitted + shed).
+    admission_attempts: AtomicU64,
+    /// Queries admitted (immediately or after queueing).
+    admission_admitted: AtomicU64,
+    /// Queries shed because both slots and queue were full.
+    admission_shed: AtomicU64,
+    /// Queries interrupted by their deadline.
+    deadline_exceeded: AtomicU64,
+    /// Queries interrupted by a cancel token.
+    cancelled: AtomicU64,
+    /// Transient storage-IO retries performed by the backoff policy.
+    io_retries: AtomicU64,
+    /// Write circuit-breaker trips (Closed→Open).
+    breaker_trips: AtomicU64,
+    /// Write circuit-breaker recoveries (probe closed it again).
+    breaker_recoveries: AtomicU64,
+    /// Mutations rejected while the store was degraded (breaker open).
+    degraded_writes_rejected: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -305,6 +323,15 @@ impl Default for MetricsRegistry {
             slow_threshold_nanos: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NANOS),
             slow_seq: AtomicU64::new(0),
             slow_log: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+            admission_attempts: AtomicU64::new(0),
+            admission_admitted: AtomicU64::new(0),
+            admission_shed: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            io_retries: AtomicU64::new(0),
+            breaker_trips: AtomicU64::new(0),
+            breaker_recoveries: AtomicU64::new(0),
+            degraded_writes_rejected: AtomicU64::new(0),
         }
     }
 }
@@ -378,6 +405,69 @@ impl MetricsRegistry {
         self.view_switch_hist.record(nanos);
     }
 
+    /// Records one admission-control decision. The accounting invariant
+    /// `attempts == admitted + shed` holds by construction: every call
+    /// bumps `attempts` and exactly one of the other two.
+    pub fn record_admission(&self, admitted: bool) {
+        self.admission_attempts.fetch_add(1, Ordering::Relaxed);
+        if admitted {
+            self.admission_admitted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.admission_shed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a query interrupted by its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a query interrupted by a cancel token.
+    pub fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one transient storage-IO retry.
+    pub fn record_io_retry(&self) {
+        self.io_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Transient storage-IO retries performed so far.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries.load(Ordering::Relaxed)
+    }
+
+    /// Records the write breaker tripping Closed→Open.
+    pub fn record_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Breaker trips so far.
+    pub fn breaker_trips(&self) -> u64 {
+        self.breaker_trips.load(Ordering::Relaxed)
+    }
+
+    /// Records the write breaker closing again after a probe.
+    pub fn record_breaker_recovery(&self) {
+        self.breaker_recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Breaker recoveries so far.
+    pub fn breaker_recoveries(&self) -> u64 {
+        self.breaker_recoveries.load(Ordering::Relaxed)
+    }
+
+    /// Records a mutation rejected while the store was degraded.
+    pub fn record_degraded_write_rejected(&self) {
+        self.degraded_writes_rejected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mutations rejected while degraded so far.
+    pub fn degraded_writes_rejected(&self) -> u64 {
+        self.degraded_writes_rejected.load(Ordering::Relaxed)
+    }
+
     /// Sets the slow-query threshold in nanoseconds (0 captures every
     /// query; `u64::MAX` disables the log).
     pub fn set_slow_threshold_nanos(&self, nanos: u64) {
@@ -436,6 +526,17 @@ impl MetricsRegistry {
             view_switch: self.view_switch_hist.snapshot(),
             slow_query_threshold_nanos: self.slow_threshold_nanos.load(Ordering::Relaxed),
             slow_queries: self.slow_queries(),
+            resilience: ResilienceMetrics {
+                attempts: self.admission_attempts.load(Ordering::Relaxed),
+                admitted: self.admission_admitted.load(Ordering::Relaxed),
+                shed: self.admission_shed.load(Ordering::Relaxed),
+                deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+                cancelled: self.cancelled.load(Ordering::Relaxed),
+                io_retries: self.io_retries.load(Ordering::Relaxed),
+                breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+                breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
+                degraded_writes_rejected: self.degraded_writes_rejected.load(Ordering::Relaxed),
+            },
         }
     }
 }
@@ -495,6 +596,35 @@ pub struct JournalMetrics {
     pub checkpoint_latency: HistogramSnapshot,
 }
 
+/// Resilience counters: admission control, deadline interruptions,
+/// transient-IO retries, and the write circuit breaker.
+///
+/// Obeys the same accounting guarantee as the caches:
+/// `attempts == admitted + shed`, exactly, including under concurrency —
+/// every admission decision bumps `attempts` and exactly one of the
+/// other two.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilienceMetrics {
+    /// Queries that asked for admission.
+    pub attempts: u64,
+    /// Queries admitted (immediately or after queueing).
+    pub admitted: u64,
+    /// Queries shed with `Overloaded`.
+    pub shed: u64,
+    /// Queries interrupted by their deadline.
+    pub deadline_exceeded: u64,
+    /// Queries interrupted by a cancel token.
+    pub cancelled: u64,
+    /// Transient storage-IO retries performed.
+    pub io_retries: u64,
+    /// Write circuit-breaker trips (Closed→Open).
+    pub breaker_trips: u64,
+    /// Write circuit-breaker recoveries.
+    pub breaker_recoveries: u64,
+    /// Mutations rejected while degraded.
+    pub degraded_writes_rejected: u64,
+}
+
 /// A point-in-time copy of every warehouse metric, including the classic
 /// [`WarehouseStats`] table counters.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -520,6 +650,8 @@ pub struct MetricsSnapshot {
     pub slow_query_threshold_nanos: u64,
     /// The captured slow queries, oldest first.
     pub slow_queries: Vec<SlowQuery>,
+    /// Admission, deadline, retry, and breaker counters.
+    pub resilience: ResilienceMetrics,
 }
 
 fn json_escape(s: &str) -> String {
@@ -582,7 +714,7 @@ impl MetricsSnapshot {
              \"cached_view_runs\":{},\"cached_indexes\":{},\"index_hits\":{},\"index_misses\":{},\
              \"index_build_nanos\":{},\"view_run_hits\":{},\"view_run_misses\":{},\
              \"view_run_evictions\":{},\"journal_records\":{},\"journal_bytes\":{},\
-             \"compactions\":{},\"epoch\":{}}}",
+             \"compactions\":{},\"epoch\":{},\"degraded\":{}}}",
             s.specs,
             s.views,
             s.runs,
@@ -599,7 +731,23 @@ impl MetricsSnapshot {
             s.journal_records,
             s.journal_bytes,
             s.compactions,
-            s.epoch
+            s.epoch,
+            s.degraded
+        );
+        let r = &self.resilience;
+        let resilience = format!(
+            "{{\"attempts\":{},\"admitted\":{},\"shed\":{},\"deadline_exceeded\":{},\
+             \"cancelled\":{},\"io_retries\":{},\"breaker_trips\":{},\
+             \"breaker_recoveries\":{},\"degraded_writes_rejected\":{}}}",
+            r.attempts,
+            r.admitted,
+            r.shed,
+            r.deadline_exceeded,
+            r.cancelled,
+            r.io_retries,
+            r.breaker_trips,
+            r.breaker_recoveries,
+            r.degraded_writes_rejected
         );
         let queries: Vec<String> = self
             .queries
@@ -618,7 +766,8 @@ impl MetricsSnapshot {
             "{{\"stats\":{},\"queries\":[{}],\"query_errors\":{},\"view_run_cache\":{},\
              \"index_cache\":{},\"batch\":{{\"batches\":{},\"queries\":{},\"max_fanout\":{}}},\
              \"journal\":{{\"appends\":{},\"append_latency\":{},\"checkpoint_latency\":{}}},\
-             \"view_switch\":{},\"slow_query_threshold_nanos\":{},\"slow_queries\":[{}]}}",
+             \"view_switch\":{},\"resilience\":{},\"slow_query_threshold_nanos\":{},\
+             \"slow_queries\":[{}]}}",
             stats,
             queries.join(","),
             self.query_errors,
@@ -631,6 +780,7 @@ impl MetricsSnapshot {
             hist_json(&self.journal.append_latency),
             hist_json(&self.journal.checkpoint_latency),
             hist_json(&self.view_switch),
+            resilience,
             self.slow_query_threshold_nanos,
             slow.join(",")
         )
@@ -753,6 +903,36 @@ mod tests {
     }
 
     #[test]
+    fn admission_accounting_invariant() {
+        let m = MetricsRegistry::new();
+        m.record_admission(true);
+        m.record_admission(true);
+        m.record_admission(false);
+        m.record_deadline_exceeded();
+        m.record_cancelled();
+        m.record_io_retry();
+        m.record_breaker_trip();
+        m.record_breaker_recovery();
+        m.record_degraded_write_rejected();
+        let snap = m.snapshot_into(
+            WarehouseStats::default(),
+            CacheMetrics::default(),
+            CacheMetrics::default(),
+        );
+        let r = snap.resilience;
+        assert_eq!(r.attempts, r.admitted + r.shed);
+        assert_eq!((r.admitted, r.shed), (2, 1));
+        assert_eq!((r.deadline_exceeded, r.cancelled), (1, 1));
+        assert_eq!(
+            (r.io_retries, r.breaker_trips, r.breaker_recoveries),
+            (1, 1, 1)
+        );
+        assert_eq!(r.degraded_writes_rejected, 1);
+        assert_eq!(m.io_retries(), 1);
+        assert_eq!(m.degraded_writes_rejected(), 1);
+    }
+
+    #[test]
     fn json_has_documented_keys_and_escapes() {
         let m = MetricsRegistry::new();
         m.set_slow_threshold_nanos(0);
@@ -786,6 +966,11 @@ mod tests {
             "\"append_latency\"",
             "\"checkpoint_latency\"",
             "\"view_switch\"",
+            "\"resilience\"",
+            "\"shed\"",
+            "\"io_retries\"",
+            "\"breaker_trips\"",
+            "\"degraded\"",
             "\"slow_query_threshold_nanos\"",
             "\"slow_queries\"",
         ] {

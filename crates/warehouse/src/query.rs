@@ -24,6 +24,7 @@
 //! kept verbatim as the oracle for the property tests.
 
 use crate::index::ProvenanceIndex;
+use crate::resilience::{Deadline, Interrupt};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
@@ -68,6 +69,49 @@ impl fmt::Display for QueryError {
 }
 
 impl std::error::Error for QueryError {}
+
+/// Why a deadline-aware deep query did not produce an answer: either the
+/// view-run is structurally inconsistent ([`QueryError`]) or the traversal
+/// was interrupted by its [`Deadline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryFailure {
+    /// A structural inconsistency (the non-resilient failure mode).
+    Corrupt(QueryError),
+    /// The deadline passed or the query was cancelled mid-traversal.
+    Interrupted(Interrupt),
+}
+
+impl From<QueryError> for QueryFailure {
+    fn from(e: QueryError) -> Self {
+        QueryFailure::Corrupt(e)
+    }
+}
+
+impl From<Interrupt> for QueryFailure {
+    fn from(i: Interrupt) -> Self {
+        QueryFailure::Interrupted(i)
+    }
+}
+
+impl fmt::Display for QueryFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryFailure::Corrupt(e) => e.fmt(f),
+            QueryFailure::Interrupted(i) => i.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for QueryFailure {}
+
+/// Unwraps a [`QueryFailure`] from a traversal run under
+/// [`Deadline::unlimited`], where interruption is impossible.
+fn corrupt_only(f: QueryFailure) -> QueryError {
+    match f {
+        QueryFailure::Corrupt(e) => e,
+        QueryFailure::Interrupted(_) => unreachable!("unlimited deadline never interrupts"),
+    }
+}
 
 /// One row of a provenance answer: a visible data object and its producer.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
@@ -158,12 +202,14 @@ pub fn immediate_provenance(
 /// data with their view-level producers, plus the composite executions the
 /// closure touches. Iterates *only* the closure members, never the whole
 /// graph, so warm indexed queries cost `O(answer)`, not `O(run)`.
+/// Checks `deadline` every [`crate::resilience::CHECK_STRIDE`] members.
 fn project_deep(
     run: &WorkflowRun,
     vr: &ViewRun,
     closure: &BitSet,
     d: DataId,
-) -> Result<ProvenanceResult, QueryError> {
+    deadline: &mut Deadline,
+) -> Result<ProvenanceResult, QueryFailure> {
     let g = run.graph();
     let exec_id_of_run_node = |node: NodeId| -> Result<Option<StepId>, QueryError> {
         let Some((sid, _)) = run.step_at(node) else {
@@ -184,6 +230,7 @@ fn project_deep(
         },
     });
     for i in closure.iter() {
+        deadline.tick()?;
         let n = NodeId::from_index(i);
         if let Some(e) = exec_id_of_run_node(n)? {
             execs.push(e);
@@ -226,6 +273,20 @@ pub fn deep_provenance(
     vr: &ViewRun,
     d: DataId,
 ) -> Result<Option<ProvenanceResult>, QueryError> {
+    deep_provenance_deadline(run, vr, d, &mut Deadline::unlimited()).map_err(corrupt_only)
+}
+
+/// [`deep_provenance`] under an execution budget: the backward BFS and the
+/// view projection both poll `deadline` every
+/// [`crate::resilience::CHECK_STRIDE`] visited nodes, unwinding with
+/// [`QueryFailure::Interrupted`] instead of running unbounded on an
+/// adversarial run.
+pub fn deep_provenance_deadline(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Option<ProvenanceResult>, QueryFailure> {
     // d itself must be visible at this view level and present in the run.
     let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
         return Ok(None);
@@ -238,13 +299,14 @@ pub fn deep_provenance(
     visited.insert(start.index());
     queue.push_back(start);
     while let Some(n) = queue.pop_front() {
+        deadline.tick()?;
         for p in g.predecessors(n) {
             if visited.insert(p.index()) {
                 queue.push_back(p);
             }
         }
     }
-    project_deep(run, vr, &visited, d).map(Some)
+    project_deep(run, vr, &visited, d, deadline).map(Some)
 }
 
 /// [`deep_provenance`] answered from a prebuilt per-run index: the base
@@ -256,10 +318,23 @@ pub fn deep_provenance_indexed(
     index: &ProvenanceIndex,
     d: DataId,
 ) -> Result<Option<ProvenanceResult>, QueryError> {
+    deep_provenance_indexed_deadline(run, vr, index, d, &mut Deadline::unlimited())
+        .map_err(corrupt_only)
+}
+
+/// [`deep_provenance_indexed`] under an execution budget; the projection
+/// loop polls `deadline` per closure member.
+pub fn deep_provenance_indexed_deadline(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    index: &ProvenanceIndex,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Option<ProvenanceResult>, QueryFailure> {
     let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
         return Ok(None);
     };
-    project_deep(run, vr, index.ancestors(start), d).map(Some)
+    project_deep(run, vr, index.ancestors(start), d, deadline).map(Some)
 }
 
 /// Reference implementation of [`deep_provenance`] — the original
@@ -338,8 +413,23 @@ pub fn deep_provenance_bfs(
 /// forward closure of `d` over `run`, projected to view-visible data,
 /// excluding `d` itself, sorted. Returns `None` if `d` is not visible.
 pub fn dependents_of(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<DataId>> {
-    vr.producer_node(d)?;
-    let start = run.producer_node(d)?;
+    match dependents_of_deadline(run, vr, d, &mut Deadline::unlimited()) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unlimited deadline never interrupts"),
+    }
+}
+
+/// [`dependents_of`] under an execution budget: the forward BFS and the
+/// collection loop poll `deadline` per visited node.
+pub fn dependents_of_deadline(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Option<Vec<DataId>>, Interrupt> {
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
     let g = run.graph();
     // d flows along out-edges of its producer that carry it; every node
     // reachable from a consumer of d depends on d (step-granularity
@@ -355,13 +445,14 @@ pub fn dependents_of(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<D
         }
     }
     while let Some(n) = queue.pop_front() {
+        deadline.tick()?;
         for s in g.successors(n) {
             if visited.insert(s.index()) {
                 queue.push_back(s);
             }
         }
     }
-    Some(collect_dependents(run, vr, &visited, d))
+    collect_dependents(run, vr, &visited, d, deadline).map(Some)
 }
 
 /// [`dependents_of`] answered from a prebuilt per-run index: the forward
@@ -372,8 +463,24 @@ pub fn dependents_of_indexed(
     index: &ProvenanceIndex,
     d: DataId,
 ) -> Option<Vec<DataId>> {
-    vr.producer_node(d)?;
-    let start = run.producer_node(d)?;
+    match dependents_of_indexed_deadline(run, vr, index, d, &mut Deadline::unlimited()) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unlimited deadline never interrupts"),
+    }
+}
+
+/// [`dependents_of_indexed`] under an execution budget; the collection
+/// loop polls `deadline` per closure member.
+pub fn dependents_of_indexed_deadline(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    index: &ProvenanceIndex,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Option<Vec<DataId>>, Interrupt> {
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
     let g = run.graph();
     let mut visited = BitSet::new(g.node_count());
     for e in g.out_edges(start) {
@@ -381,7 +488,7 @@ pub fn dependents_of_indexed(
             visited.union_with(index.descendants(g.target(e)));
         }
     }
-    Some(collect_dependents(run, vr, &visited, d))
+    collect_dependents(run, vr, &visited, d, deadline).map(Some)
 }
 
 /// Reference implementation of [`dependents_of`] — the original
@@ -423,11 +530,18 @@ pub fn dependents_of_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<V
 }
 
 /// Collects the visible data produced by the steps in the forward closure,
-/// iterating only the closure members.
-fn collect_dependents(run: &WorkflowRun, vr: &ViewRun, visited: &BitSet, d: DataId) -> Vec<DataId> {
+/// iterating only the closure members (deadline polled per member).
+fn collect_dependents(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    visited: &BitSet,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Vec<DataId>, Interrupt> {
     let g = run.graph();
     let mut out: Vec<DataId> = Vec::new();
     for i in visited.iter() {
+        deadline.tick()?;
         let n = NodeId::from_index(i);
         if run.step_at(n).is_none() {
             continue;
@@ -439,7 +553,7 @@ fn collect_dependents(run: &WorkflowRun, vr: &ViewRun, visited: &BitSet, d: Data
     out.sort();
     out.dedup();
     out.retain(|&x| x != d);
-    out
+    Ok(out)
 }
 
 /// The data set passed between two (possibly virtual) executions — the
@@ -645,6 +759,57 @@ mod tests {
         let err = deep_provenance_indexed(&r, &vr, &index, DataId(5)).unwrap_err();
         assert!(matches!(err, QueryError::StepWithoutExec { .. }));
         assert!(err.to_string().contains("no execution in the view-run"));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_deep_query() {
+        use crate::resilience::{CancelToken, Deadline, Interrupt};
+        let (s, r) = setup();
+        let vr = ViewRun::new(&r, &UserView::admin(&s));
+        // An already-expired cutoff: the traversal must unwind with
+        // DeadlineExceeded, deterministically (no timing dependence).
+        let mut dead = Deadline::at(std::time::Instant::now());
+        let mut interrupted = false;
+        // The 3-step run is smaller than one stride, so loop until a tick
+        // lands on the stride boundary.
+        for _ in 0..crate::resilience::CHECK_STRIDE {
+            match deep_provenance_deadline(&r, &vr, DataId(5), &mut dead) {
+                Err(QueryFailure::Interrupted(Interrupt::DeadlineExceeded)) => {
+                    interrupted = true;
+                    break;
+                }
+                Ok(Some(_)) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(interrupted, "expired deadline never fired within a stride");
+
+        // A raised cancel token fires on the very first check.
+        let token = CancelToken::new();
+        token.cancel();
+        let mut cancelled = Deadline::unlimited().with_token(token);
+        let mut saw_cancel = false;
+        for _ in 0..crate::resilience::CHECK_STRIDE {
+            if let Err(QueryFailure::Interrupted(Interrupt::Cancelled)) =
+                deep_provenance_deadline(&r, &vr, DataId(5), &mut cancelled)
+            {
+                saw_cancel = true;
+                break;
+            }
+        }
+        assert!(saw_cancel);
+
+        // Unlimited deadlines leave every form's answer unchanged.
+        assert_eq!(
+            deep_provenance_deadline(&r, &vr, DataId(5), &mut Deadline::unlimited())
+                .unwrap()
+                .unwrap(),
+            deep_provenance(&r, &vr, DataId(5)).unwrap().unwrap()
+        );
+        assert_eq!(
+            dependents_of_deadline(&r, &vr, DataId(2), &mut Deadline::unlimited()).unwrap(),
+            dependents_of(&r, &vr, DataId(2))
+        );
     }
 
     #[test]

@@ -125,6 +125,10 @@ pub struct WarehouseStats {
     /// Current durability epoch — the generation number of the live
     /// snapshot/journal pair (durable stores only).
     pub epoch: u64,
+    /// Whether the store is in degraded read-only mode: the write circuit
+    /// breaker tripped, mutations fail fast, queries keep serving from
+    /// memory (durable stores only; always `false` in-memory).
+    pub degraded: bool,
 }
 
 #[cfg(test)]

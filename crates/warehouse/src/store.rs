@@ -10,14 +10,17 @@
 
 use crate::cache::ViewRunCache;
 use crate::fxhash::FxHashMap;
-use crate::index::{ProvenanceIndex, ProvenanceIndexCache};
+use crate::index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache};
 use crate::metrics::{MetricsRegistry, MetricsSnapshot, QueryKind, ViewClass};
-use crate::query::{self, ImmediateProvenance, ProvenanceResult, QueryError};
+use crate::query::{self, ImmediateProvenance, ProvenanceResult, QueryError, QueryFailure};
+use crate::resilience::{AdmissionControl, CancelToken, Deadline, Interrupt};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
 use crate::table::Table;
+use parking_lot::RwLock;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use zoom_model::{
     DataId, EventLog, ModelError, UserInputMeta, UserView, ViewRun, WorkflowRun, WorkflowSpec,
 };
@@ -63,6 +66,18 @@ pub enum WarehouseError {
     /// Journaling the mutation to durable storage failed; the in-memory
     /// change was rolled back.
     Durability(Box<crate::durable::DurableError>),
+    /// The query's deadline passed mid-traversal; the traversal unwound
+    /// cooperatively instead of running unbounded.
+    DeadlineExceeded,
+    /// The query was cancelled via [`CancelToken`] mid-traversal.
+    Cancelled,
+    /// Admission control shed the query: the in-flight limit and the wait
+    /// queue were both full. Retry later or at lower concurrency.
+    Overloaded,
+    /// The store is in degraded read-only mode (the write circuit breaker
+    /// is open after consecutive permanent storage failures): mutations
+    /// fail fast, queries keep serving from memory.
+    Degraded,
 }
 
 impl fmt::Display for WarehouseError {
@@ -93,6 +108,15 @@ impl fmt::Display for WarehouseError {
             }
             WarehouseError::CorruptViewRun(e) => write!(f, "corrupt view-run: {e}"),
             WarehouseError::Durability(e) => write!(f, "durability error: {e}"),
+            WarehouseError::DeadlineExceeded => write!(f, "query deadline exceeded"),
+            WarehouseError::Cancelled => write!(f, "query cancelled"),
+            WarehouseError::Overloaded => {
+                write!(f, "warehouse overloaded: query shed by admission control")
+            }
+            WarehouseError::Degraded => write!(
+                f,
+                "store is in degraded read-only mode: mutations rejected until storage recovers"
+            ),
         }
     }
 }
@@ -159,7 +183,7 @@ pub(crate) type ExportedRows = (
 /// let prov = wh.deep_provenance(rid, vid, DataId(2)).unwrap();
 /// assert_eq!(prov.tuples(), 2); // d1 and d2
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Warehouse {
     specs: Table<SpecId, SpecRow>,
     spec_by_name: FxHashMap<String, SpecId>,
@@ -173,12 +197,113 @@ pub struct Warehouse {
     cache: ViewRunCache,
     index: ProvenanceIndexCache,
     metrics: MetricsRegistry,
+    /// Bounds concurrent facade queries; past the bound + queue, sheds
+    /// with [`WarehouseError::Overloaded`].
+    admission: Arc<AdmissionControl>,
+    /// Default per-query deadline in nanoseconds; 0 means unlimited.
+    default_deadline_nanos: AtomicU64,
+    /// The token in-flight queries poll; [`Warehouse::cancel_queries`]
+    /// raises it and installs a fresh one for later queries.
+    cancel: RwLock<CancelToken>,
+    /// Cap on batch fan-out worker threads; 0 means "hardware parallelism".
+    max_batch_workers: AtomicUsize,
+}
+
+/// Default admission bound: plenty for an embedded store while still
+/// giving a saturated deployment a shed point instead of a pile-up.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 64;
+
+/// Default admission queue depth.
+pub const DEFAULT_MAX_QUEUE: usize = 1024;
+
+impl Default for Warehouse {
+    fn default() -> Self {
+        Warehouse {
+            specs: Table::default(),
+            spec_by_name: FxHashMap::default(),
+            views: Table::default(),
+            views_by_spec: FxHashMap::default(),
+            runs: Table::default(),
+            runs_by_spec: FxHashMap::default(),
+            next_spec: 0,
+            next_view: 0,
+            next_run: 0,
+            cache: ViewRunCache::default(),
+            index: ProvenanceIndexCache::default(),
+            metrics: MetricsRegistry::default(),
+            admission: Arc::new(AdmissionControl::new(
+                DEFAULT_MAX_IN_FLIGHT,
+                DEFAULT_MAX_QUEUE,
+            )),
+            default_deadline_nanos: AtomicU64::new(0),
+            cancel: RwLock::new(CancelToken::new()),
+            max_batch_workers: AtomicUsize::new(0),
+        }
+    }
 }
 
 impl Warehouse {
     /// An empty warehouse.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Resilience configuration
+    // ------------------------------------------------------------------
+
+    /// Replaces the admission limits: at most `max_in_flight` concurrent
+    /// facade queries, up to `max_queue` more waiting, the rest shed with
+    /// [`WarehouseError::Overloaded`]. Queries already holding a permit
+    /// from the old configuration finish undisturbed.
+    pub fn set_admission_limits(&mut self, max_in_flight: usize, max_queue: usize) {
+        self.admission = Arc::new(AdmissionControl::new(max_in_flight, max_queue));
+    }
+
+    /// The admission controller gating facade queries (shared so tests
+    /// and embedding layers can hold permits to provoke shedding).
+    pub fn admission(&self) -> &Arc<AdmissionControl> {
+        &self.admission
+    }
+
+    /// Sets the default per-query deadline; `None` (the initial state)
+    /// means unlimited. Applies to queries started after the call.
+    pub fn set_default_deadline(&self, budget: Option<Duration>) {
+        let nanos = budget.map_or(0, |d| d.as_nanos().clamp(1, u64::MAX as u128) as u64);
+        self.default_deadline_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// The default per-query deadline, if one is configured.
+    pub fn default_deadline(&self) -> Option<Duration> {
+        match self.default_deadline_nanos.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(Duration::from_nanos(n)),
+        }
+    }
+
+    /// Cancels every in-flight query (they unwind with
+    /// [`WarehouseError::Cancelled`] at their next stride check) and
+    /// installs a fresh token for queries started afterwards.
+    pub fn cancel_queries(&self) {
+        let mut slot = self.cancel.write();
+        slot.cancel();
+        *slot = CancelToken::new();
+    }
+
+    /// The deadline a facade query started right now runs under: the
+    /// default budget (if any) plus the current cancel token.
+    pub fn current_deadline(&self) -> Deadline {
+        let base = match self.default_deadline() {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::unlimited(),
+        };
+        base.with_token(self.cancel.read().clone())
+    }
+
+    /// Caps the batch fan-out worker count; 0 restores the default
+    /// (hardware parallelism).
+    pub fn set_max_batch_workers(&self, workers: usize) {
+        self.max_batch_workers.store(workers, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -376,13 +501,61 @@ impl Warehouse {
     /// The base-closure provenance index for `run` (cached, view-independent;
     /// built on first use, shared by every view of the run).
     pub fn provenance_index(&self, run_id: RunId) -> Result<Arc<ProvenanceIndex>> {
+        self.provenance_index_deadline(run_id, &mut Deadline::unlimited())
+    }
+
+    /// [`Warehouse::provenance_index`] under an execution budget: a cold
+    /// build polls `deadline` per node, so one adversarially large run
+    /// cannot pin the querying thread unbounded while its index
+    /// materializes. An interrupted build caches nothing.
+    pub fn provenance_index_deadline(
+        &self,
+        run_id: RunId,
+        deadline: &mut Deadline,
+    ) -> Result<Arc<ProvenanceIndex>> {
         let run_row = self
             .runs
             .get(&run_id)
             .ok_or(WarehouseError::RunNotFound(run_id))?;
         self.index
-            .get_or_build(run_id, || ProvenanceIndex::build(&run_row.run))
-            .map_err(WarehouseError::Model)
+            .get_or_build(run_id, || {
+                ProvenanceIndex::build_deadline(&run_row.run, deadline)
+            })
+            .map_err(|e| match e {
+                IndexBuildError::Cycle => WarehouseError::Model(ModelError::RunHasCycle),
+                IndexBuildError::Interrupted(i) => self.interrupt_error(i),
+            })
+    }
+
+    /// Maps a traversal interruption to its typed error, bumping the
+    /// matching counter.
+    fn interrupt_error(&self, i: Interrupt) -> WarehouseError {
+        match i {
+            Interrupt::DeadlineExceeded => {
+                self.metrics.record_deadline_exceeded();
+                WarehouseError::DeadlineExceeded
+            }
+            Interrupt::Cancelled => {
+                self.metrics.record_cancelled();
+                WarehouseError::Cancelled
+            }
+        }
+    }
+
+    /// Acquires an admission slot (recording the decision), or the typed
+    /// shed error. Holding the returned permit is what bounds in-flight
+    /// facade queries.
+    fn admit(&self) -> Result<crate::resilience::AdmissionPermit> {
+        match self.admission.admit() {
+            Some(permit) => {
+                self.metrics.record_admission(true);
+                Ok(permit)
+            }
+            None => {
+                self.metrics.record_admission(false);
+                Err(WarehouseError::Overloaded)
+            }
+        }
     }
 
     /// `(view class, view name)` for query metrics; unknown views classify
@@ -433,8 +606,34 @@ impl Warehouse {
         view_id: ViewId,
         data: DataId,
     ) -> Result<ProvenanceResult> {
+        self.deep_provenance_with_deadline(run_id, view_id, data, &mut self.current_deadline())
+    }
+
+    /// [`Warehouse::deep_provenance`] under an explicit per-call deadline
+    /// (overriding the store default). Subject to admission control like
+    /// every facade query.
+    pub fn deep_provenance_with_deadline(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+        deadline: &mut Deadline,
+    ) -> Result<ProvenanceResult> {
+        let _permit = self.admit()?;
+        self.deep_provenance_recorded(run_id, view_id, data, deadline)
+    }
+
+    /// The timed-and-recorded query body, *without* admission — the batch
+    /// path runs many of these under one batch-level permit.
+    fn deep_provenance_recorded(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+        deadline: &mut Deadline,
+    ) -> Result<ProvenanceResult> {
         let started = Instant::now();
-        let res = self.deep_provenance_inner(run_id, view_id, data);
+        let res = self.deep_provenance_inner(run_id, view_id, data, deadline);
         self.record_query(
             QueryKind::Deep,
             run_id,
@@ -451,23 +650,33 @@ impl Warehouse {
         run_id: RunId,
         view_id: ViewId,
         data: DataId,
+        deadline: &mut Deadline,
     ) -> Result<ProvenanceResult> {
         let vr = self.view_run(run_id, view_id)?;
-        let index = self.provenance_index(run_id)?;
+        let index = self.provenance_index_deadline(run_id, deadline)?;
         let run = self.run(run_id)?;
-        match query::deep_provenance_indexed(run, &vr, &index, data) {
+        match query::deep_provenance_indexed_deadline(run, &vr, &index, data, deadline) {
             Ok(Some(r)) => Ok(r),
             Ok(None) => Err(self.invisible_or_missing(run_id, view_id, data)),
-            Err(e) => Err(WarehouseError::CorruptViewRun(e)),
+            Err(QueryFailure::Corrupt(e)) => Err(WarehouseError::CorruptViewRun(e)),
+            Err(QueryFailure::Interrupted(i)) => Err(self.interrupt_error(i)),
         }
     }
 
     /// Deep provenance of many `(run, view, data)` triples at once.
     ///
-    /// Independent queries fan out across threads; results come back in
-    /// input order. The view-run and index caches are concurrent, so
-    /// queries sharing a run or a view pair deduplicate work naturally —
-    /// one thread builds, the rest hit.
+    /// Independent queries fan out across a capped worker pool pulling
+    /// from an atomic-index work queue — no fixed chunking, so one
+    /// pathological query cannot strand a chunk of light ones behind it
+    /// (work-stealing by construction). Results come back in input order.
+    /// The view-run and index caches are concurrent, so queries sharing a
+    /// run or a view pair deduplicate work naturally — one thread builds,
+    /// the rest hit.
+    ///
+    /// The whole batch consumes **one** admission slot: sub-queries never
+    /// re-enter admission (a batch nesting into the queue it fills would
+    /// deadlock). When shed, every slot reports
+    /// [`WarehouseError::Overloaded`].
     pub fn deep_provenance_many(
         &self,
         queries: &[(RunId, ViewId, DataId)],
@@ -475,32 +684,67 @@ impl Warehouse {
         if queries.is_empty() {
             return Vec::new();
         }
+        let _permit = match self.admit() {
+            Ok(p) => p,
+            Err(_) => {
+                return queries
+                    .iter()
+                    .map(|_| Err(WarehouseError::Overloaded))
+                    .collect();
+            }
+        };
         self.metrics.record_batch(queries.len());
+        let cap = match self.max_batch_workers.load(Ordering::Relaxed) {
+            0 => usize::MAX,
+            n => n,
+        };
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
-            .min(queries.len());
+            .min(queries.len())
+            .min(cap);
+        let base_deadline = self.current_deadline();
         if workers <= 1 {
+            let mut deadline = base_deadline;
             return queries
                 .iter()
-                .map(|&(r, v, d)| self.deep_provenance(r, v, d))
+                .map(|&(r, v, d)| self.deep_provenance_recorded(r, v, d, &mut deadline))
                 .collect();
         }
-        let chunk = queries.len().div_ceil(workers);
+        // Work-stealing fan-out: workers pull the next unclaimed input
+        // index; a heavy query occupies one worker while the rest drain
+        // the remainder. Each worker tags results with their input index
+        // so the merge restores input order exactly.
+        let next = AtomicUsize::new(0);
         crossbeam::thread::scope(|s| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|part| {
+            let next = &next;
+            let base_deadline = &base_deadline;
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
                     s.spawn(move |_| {
-                        part.iter()
-                            .map(|&(r, v, d)| self.deep_provenance(r, v, d))
-                            .collect::<Vec<_>>()
+                        let mut deadline = base_deadline.clone();
+                        let mut out: Vec<(usize, Result<ProvenanceResult>)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(r, v, d)) = queries.get(i) else {
+                                break;
+                            };
+                            out.push((i, self.deep_provenance_recorded(r, v, d, &mut deadline)));
+                        }
+                        out
                     })
                 })
                 .collect();
-            handles
+            let mut merged: Vec<Option<Result<ProvenanceResult>>> =
+                (0..queries.len()).map(|_| None).collect();
+            for h in handles {
+                for (i, res) in h.join().expect("batch query worker panicked") {
+                    merged[i] = Some(res);
+                }
+            }
+            merged
                 .into_iter()
-                .flat_map(|h| h.join().expect("batch query worker panicked"))
+                .map(|slot| slot.expect("every batch index claimed exactly once"))
                 .collect()
         })
         .expect("batch query scope completes")
@@ -514,6 +758,7 @@ impl Warehouse {
         view_id: ViewId,
         data: DataId,
     ) -> Result<ImmediateAnswer> {
+        let _permit = self.admit()?;
         let started = Instant::now();
         let res = self.immediate_provenance_inner(run_id, view_id, data);
         self.record_query(
@@ -571,8 +816,21 @@ impl Warehouse {
         view_id: ViewId,
         data: DataId,
     ) -> Result<Vec<DataId>> {
+        self.dependents_of_with_deadline(run_id, view_id, data, &mut self.current_deadline())
+    }
+
+    /// [`Warehouse::dependents_of`] under an explicit per-call deadline
+    /// (overriding the store default).
+    pub fn dependents_of_with_deadline(
+        &self,
+        run_id: RunId,
+        view_id: ViewId,
+        data: DataId,
+        deadline: &mut Deadline,
+    ) -> Result<Vec<DataId>> {
+        let _permit = self.admit()?;
         let started = Instant::now();
-        let res = self.dependents_of_inner(run_id, view_id, data);
+        let res = self.dependents_of_inner(run_id, view_id, data, deadline);
         self.record_query(
             QueryKind::Dependents,
             run_id,
@@ -589,13 +847,15 @@ impl Warehouse {
         run_id: RunId,
         view_id: ViewId,
         data: DataId,
+        deadline: &mut Deadline,
     ) -> Result<Vec<DataId>> {
         let vr = self.view_run(run_id, view_id)?;
-        let index = self.provenance_index(run_id)?;
+        let index = self.provenance_index_deadline(run_id, deadline)?;
         let run = self.run(run_id)?;
-        match query::dependents_of_indexed(run, &vr, &index, data) {
-            Some(v) => Ok(v),
-            None => Err(self.invisible_or_missing(run_id, view_id, data)),
+        match query::dependents_of_indexed_deadline(run, &vr, &index, data, deadline) {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(self.invisible_or_missing(run_id, view_id, data)),
+            Err(i) => Err(self.interrupt_error(i)),
         }
     }
 
@@ -609,6 +869,7 @@ impl Warehouse {
         from: Option<zoom_model::StepId>,
         to: Option<zoom_model::StepId>,
     ) -> Result<Vec<DataId>> {
+        let _permit = self.admit()?;
         let started = Instant::now();
         let res = self.data_between_inner(run_id, view_id, from, to);
         self.record_query(
@@ -687,6 +948,7 @@ impl Warehouse {
             journal_bytes: 0,
             compactions: 0,
             epoch: 0,
+            degraded: false,
         }
     }
 
@@ -1101,6 +1363,43 @@ mod tests {
             }
         }
         assert!(w.deep_provenance_many(&[]).is_empty());
+    }
+
+    #[test]
+    fn batch_preserves_input_order_under_skew() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+        w.set_max_batch_workers(4);
+
+        // Alternate instant failures (unknown run) with real deep queries
+        // on a batch much larger than the worker pool, so fast workers
+        // steal far ahead of slow ones. Each slot must still hold the
+        // answer to *its* input.
+        let queries: Vec<_> = (0..64u32)
+            .map(|i| {
+                if i % 2 == 0 {
+                    (RunId(1000 + i), admin, DataId(1))
+                } else {
+                    (rid, admin, DataId(3))
+                }
+            })
+            .collect();
+        let expected = w.deep_provenance(rid, admin, DataId(3)).unwrap();
+        let batch = w.deep_provenance_many(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for (i, res) in batch.iter().enumerate() {
+            if i % 2 == 0 {
+                assert!(
+                    matches!(res, Err(WarehouseError::RunNotFound(r)) if *r == RunId(1000 + i as u32)),
+                    "slot {i} lost its input: {res:?}"
+                );
+            } else {
+                assert_eq!(res.as_ref().unwrap(), &expected, "slot {i} out of order");
+            }
+        }
     }
 
     #[test]

@@ -217,6 +217,7 @@ fn kill_at_every_sync_point_while_compacting() {
     let options = DurableOptions {
         compact_threshold_bytes: 32,
         auto_compact: true,
+        ..DurableOptions::default()
     };
     sweep("compact", options, &[0, 3]);
 }

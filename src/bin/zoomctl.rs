@@ -91,6 +91,7 @@ fn dispatch(args: &[String]) -> Result<(), String> {
         ),
         "compact" => compact(dir_arg(args, 1)?),
         "fsck" => fsck(dir_arg(args, 1)?),
+        "health" => health(path_arg(args, 1)?, args.iter().any(|a| a == "--json")),
         "help" | "--help" | "-h" => {
             out_raw!("{HELP}");
             Ok(())
@@ -126,6 +127,9 @@ usage:
       force a durable-store compaction (snapshot + fresh journal)
   zoomctl fsck <dir>
       verify a durable store: manifest, snapshot, journal, strays
+  zoomctl health <snapshot|dir> [--json]
+      write-availability and circuit-breaker state: degraded stores
+      report open breakers, retry counts, and rejected writes
 ";
 
 fn path_arg(args: &[String], i: usize) -> Result<&Path, String> {
@@ -438,7 +442,12 @@ fn repl(path: &Path, name: &str, run_index: &str) -> Result<(), String> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let cmd = parts.next().expect("nonempty");
+        let Some(cmd) = parts.next() else {
+            // `trim` + the emptiness check above make this unreachable, but
+            // a prompt beats a panic if that invariant ever shifts.
+            print_prompt(&zoom, current);
+            continue;
+        };
         let rest: Vec<&str> = parts.collect();
         match (cmd, rest.as_slice()) {
             ("quit" | "exit", _) => break,
@@ -548,6 +557,33 @@ fn compact(dir: &Path) -> Result<(), String> {
         s.journal_records,
         s.journal_bytes
     );
+    Ok(())
+}
+
+/// Reports write-availability and breaker state. Accepts either a durable
+/// directory (opened read-through, breaker state live) or a snapshot file
+/// (in-memory: always healthy).
+fn health(target: &Path, json: bool) -> Result<(), String> {
+    let zoom = if target.join(zoom::warehouse::durable::MANIFEST).exists() {
+        Zoom::open_durable(target).map_err(|e| e.to_string())?
+    } else {
+        load(target)?
+    };
+    let h = zoom.health();
+    if json {
+        out!("{}", h.to_json());
+        return Ok(());
+    }
+    let status = if h.writable { "ok" } else { "degraded" };
+    out!("status            : {status}");
+    out!("writable          : {}", h.writable);
+    out!("durable           : {}", h.durable);
+    out!("breaker           : {}", h.breaker);
+    out!("consec. failures  : {}", h.consecutive_failures);
+    out!("breaker trips     : {}", h.breaker_trips);
+    out!("breaker recoveries: {}", h.breaker_recoveries);
+    out!("io retries        : {}", h.io_retries);
+    out!("writes rejected   : {}", h.degraded_writes_rejected);
     Ok(())
 }
 

@@ -1,0 +1,319 @@
+//! Chaos suite for the resilience layer: transient storage faults under
+//! concurrent queries, circuit-breaker degradation and recovery, deadline
+//! bounds on pathological queries, and the admission-control accounting
+//! invariants.
+//!
+//! Companion to `crates/warehouse/tests/durable_recovery.rs` (which kills
+//! the store at every sync point): here the storage *misbehaves but
+//! survives*, and the store must absorb it — retry transients, trip the
+//! breaker on persistent failures, keep answering queries throughout, and
+//! never lose an acknowledged write.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+use zoom::model::{RunBuilder, SpecBuilder, UserView, WorkflowRun, WorkflowSpec};
+use zoom::warehouse::io::FaultFs;
+use zoom::warehouse::{
+    BreakerState, DurableError, DurableOptions, DurableWarehouse, RetryPolicy, Warehouse,
+    WarehouseError,
+};
+use zoom::{DataId, Zoom};
+use zoom_gen::{generate_run, generate_spec, RunGenConfig, SpecGenConfig, WorkflowClass};
+
+fn tempdir(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("zoom-chaos-{name}-{}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    p
+}
+
+/// A linear three-module spec, unique by name.
+fn spec(name: &str) -> WorkflowSpec {
+    let mut b = SpecBuilder::new(name);
+    b.analysis("M0");
+    b.analysis("M1");
+    b.analysis("M2");
+    b.from_input("M0").edge("M0", "M1").edge("M1", "M2");
+    b.to_output("M2");
+    b.build().unwrap()
+}
+
+/// A linear run through `s`: d1 → M0 → d2 → M1 → d3 → M2 → d4.
+fn run(s: &WorkflowSpec) -> WorkflowRun {
+    let mut rb = RunBuilder::new(s);
+    let steps: Vec<_> = (0..3)
+        .map(|i| rb.step(s.module(&format!("M{i}")).unwrap()))
+        .collect();
+    rb.input_edge(steps[0], [1]);
+    rb.data_edge(steps[0], steps[1], [2]);
+    rb.data_edge(steps[1], steps[2], [3]);
+    rb.output_edge(steps[2], [4]);
+    rb.build().unwrap()
+}
+
+fn no_compact() -> DurableOptions {
+    DurableOptions {
+        compact_threshold_bytes: u64::MAX,
+        auto_compact: false,
+        ..DurableOptions::default()
+    }
+}
+
+/// Every mutation hits one injected transient fault (plus write latency to
+/// widen race windows) while reader threads hammer queries; the default
+/// retry policy must absorb every fault, no acknowledged write may be lost
+/// across a reopen, and the retry counter must account for every fault.
+#[test]
+fn transient_faults_absorbed_under_concurrent_queries() {
+    let dir = tempdir("transient");
+    let faulty = Arc::new(FaultFs::counting());
+    let mut dw = DurableWarehouse::open_with(faulty.clone(), &dir, no_compact()).unwrap();
+
+    // A known-good run for the readers to query throughout.
+    let s0 = spec("chaos-base");
+    let sid = dw.register_spec(s0.clone()).unwrap();
+    let vid = dw.register_view(sid, UserView::admin(&s0)).unwrap();
+    let rid = dw.load_run(sid, run(&s0)).unwrap();
+
+    faulty.set_write_latency(Duration::from_millis(1));
+    const WRITES: u64 = 20;
+    let shared = RwLock::new(dw);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..WRITES {
+                // One transient fault armed per mutation: the first append
+                // attempt fails, the retry succeeds.
+                faulty.arm_failures(1, true);
+                let name = format!("chaos-t{i}");
+                shared.write().unwrap().register_spec(spec(&name)).unwrap();
+            }
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..4 {
+            scope.spawn(|| {
+                while !done.load(Ordering::Acquire) {
+                    let g = shared.read().unwrap();
+                    let res = g.warehouse().deep_provenance(rid, vid, DataId(4)).unwrap();
+                    assert_eq!(res.tuples(), 4);
+                }
+            });
+        }
+    });
+
+    let dw = shared.into_inner().unwrap();
+    let m = dw.warehouse().metrics_with(dw.stats());
+    assert!(
+        m.resilience.io_retries >= WRITES,
+        "every armed fault should cost one retry: {} < {WRITES}",
+        m.resilience.io_retries
+    );
+    assert_eq!(m.resilience.breaker_trips, 0, "transients must not trip");
+    assert!(!dw.degraded());
+    drop(dw);
+
+    // Nothing acknowledged may be missing after recovery.
+    let recovered = DurableWarehouse::open(&dir).unwrap();
+    assert_eq!(recovered.stats().specs as u64, WRITES + 1);
+    for i in 0..WRITES {
+        let name = format!("chaos-t{i}");
+        assert!(
+            recovered.warehouse().spec_by_name(&name).is_some(),
+            "acknowledged `{name}` lost"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Persistent append failures trip the breaker into degraded read-only
+/// mode: mutations fail fast without touching storage, queries keep
+/// serving from memory, and a successful checkpoint (the half-open probe)
+/// restores write availability.
+#[test]
+fn breaker_trips_degrades_and_recovers_via_checkpoint() {
+    let dir = tempdir("breaker");
+    let faulty = Arc::new(FaultFs::counting());
+    let options = DurableOptions {
+        retry: RetryPolicy::none(),
+        breaker_threshold: 2,
+        ..no_compact()
+    };
+    let mut dw = DurableWarehouse::open_with(faulty.clone(), &dir, options).unwrap();
+    let s0 = spec("breaker-base");
+    let sid = dw.register_spec(s0.clone()).unwrap();
+    let vid = dw.register_view(sid, UserView::admin(&s0)).unwrap();
+    let rid = dw.load_run(sid, run(&s0)).unwrap();
+
+    // Two consecutive permanent failures = the threshold.
+    faulty.arm_failures(2, false);
+    assert!(dw.register_spec(spec("lost-1")).is_err());
+    assert!(!dw.degraded(), "one failure is below the threshold");
+    assert!(dw.register_spec(spec("lost-2")).is_err());
+    assert!(dw.degraded(), "threshold reached: breaker open");
+    assert!(dw.stats().degraded);
+    let h = dw.health();
+    assert!(!h.writable);
+    assert_eq!(h.breaker, BreakerState::Open);
+
+    // Degraded writes fail fast — no storage op is even attempted.
+    let ops_before = faulty.ops();
+    let err = dw.register_spec(spec("rejected")).unwrap_err();
+    assert!(
+        matches!(err, DurableError::Warehouse(WarehouseError::Degraded)),
+        "expected Degraded, got {err:?}"
+    );
+    assert_eq!(faulty.ops(), ops_before, "fail-fast must not touch storage");
+
+    // Queries still serve from memory while degraded.
+    let res = dw.warehouse().deep_provenance(rid, vid, DataId(4)).unwrap();
+    assert_eq!(res.tuples(), 4);
+
+    // Storage heals; the next checkpoint is the half-open probe.
+    faulty.heal();
+    dw.checkpoint().unwrap();
+    assert!(!dw.degraded(), "successful probe closes the breaker");
+    assert!(dw.health().writable);
+    let after = dw.register_spec(spec("post-recovery")).unwrap();
+    assert_ne!(after, sid);
+
+    let m = dw.warehouse().metrics_with(dw.stats());
+    assert_eq!(m.resilience.breaker_trips, 1);
+    assert_eq!(m.resilience.breaker_recoveries, 1);
+    assert!(m.resilience.degraded_writes_rejected >= 1);
+    drop(dw);
+
+    // Acknowledged survives; rejected and failed writes are simply absent.
+    let recovered = DurableWarehouse::open(&dir).unwrap();
+    let w = recovered.warehouse();
+    assert!(w.spec_by_name("breaker-base").is_some());
+    assert!(w.spec_by_name("post-recovery").is_some());
+    for lost in ["lost-1", "lost-2", "rejected"] {
+        assert!(w.spec_by_name(lost).is_none(), "`{lost}` was never acked");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Builds a loop-heavy dense run large enough that deep provenance does
+/// real work (thousands of closure members).
+fn pathological_zoom() -> (Zoom, zoom::core::RunId, zoom::core::ViewId, DataId) {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let spec = generate_spec(
+        "pathological",
+        &SpecGenConfig::new(WorkflowClass::Loop, 40),
+        &mut rng,
+    );
+    let cfg = RunGenConfig {
+        user_input: (50, 100),
+        data_per_step: (5, 10),
+        loop_iterations: (30, 60),
+        max_nodes: 20_000,
+        max_edges: 40_000,
+    };
+    let run = generate_run(&spec, &cfg, &mut rng).expect("valid run");
+    let mut z = Zoom::new();
+    let sid = z.register_workflow(spec).unwrap();
+    let vid = z.admin_view(sid).unwrap();
+    let rid = z.load_run(sid, run).unwrap();
+    let target = z.final_outputs(rid).unwrap()[0];
+    (z, rid, vid, target)
+}
+
+/// An already-expired deadline interrupts a pathological query
+/// deterministically, and a mid-flight expiry surfaces within twice the
+/// budget (plus scheduler slack): the cooperative checks bound overshoot
+/// to one check stride, not the whole traversal.
+#[test]
+fn deadlines_bound_pathological_queries() {
+    let (z, rid, vid, target) = pathological_zoom();
+
+    // Baseline: unbounded answer exists and takes measurable work.
+    let t0 = Instant::now();
+    let full = z.deep_provenance(rid, vid, target).unwrap();
+    let unbounded = t0.elapsed();
+    assert!(full.tuples() > 64, "run too small to exercise the stride");
+
+    // Deterministic: an expired budget must interrupt, promptly.
+    z.warehouse().clear_cache();
+    let t0 = Instant::now();
+    let err = z
+        .deep_provenance_within(rid, vid, target, Duration::ZERO)
+        .unwrap_err();
+    assert!(
+        matches!(err, WarehouseError::DeadlineExceeded),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(
+        t0.elapsed() < unbounded.max(Duration::from_millis(1)) + Duration::from_millis(250),
+        "expired deadline should abort almost immediately"
+    );
+    assert!(z.metrics().resilience.deadline_exceeded >= 1);
+
+    // Timing: a budget a quarter of the measured cost should expire
+    // mid-traversal and surface within ~2× the budget. The added slack
+    // absorbs scheduler noise on loaded CI machines; the real overshoot
+    // is one 64-node check stride.
+    let budget = (unbounded / 4).max(Duration::from_micros(100));
+    z.warehouse().clear_cache();
+    let t0 = Instant::now();
+    let res = z.deep_provenance_within(rid, vid, target, budget);
+    let elapsed = t0.elapsed();
+    match res {
+        Err(WarehouseError::DeadlineExceeded) => {
+            assert!(
+                elapsed <= budget * 2 + Duration::from_millis(50),
+                "query overshot its deadline: {elapsed:?} vs budget {budget:?}"
+            );
+        }
+        // A warm machine may finish inside the budget; that is a valid
+        // outcome — the deterministic case above already proved expiry.
+        Ok(r) => assert_eq!(r.tuples(), full.tuples()),
+        Err(other) => panic!("unexpected error: {other:?}"),
+    }
+
+    // The default-deadline knob routes every facade query through the
+    // same bound.
+    z.set_default_deadline(Some(Duration::ZERO));
+    z.warehouse().clear_cache();
+    assert!(matches!(
+        z.deep_provenance(rid, vid, target),
+        Err(WarehouseError::DeadlineExceeded)
+    ));
+    z.set_default_deadline(None);
+    assert!(z.deep_provenance(rid, vid, target).is_ok());
+}
+
+/// Admission control sheds deterministically when the store is saturated,
+/// and the counters balance: every attempt is either admitted or shed.
+#[test]
+fn admission_sheds_when_saturated_and_accounts_exactly() {
+    let mut w = Warehouse::new();
+    let s = spec("admission");
+    let sid = w.register_spec(s.clone()).unwrap();
+    let vid = w.register_view(sid, UserView::admin(&s)).unwrap();
+    let rid = w.load_run(sid, run(&s)).unwrap();
+
+    // One slot, no queue: holding the only permit makes the next query
+    // shed immediately.
+    w.set_admission_limits(1, 0);
+    let permit = w.admission().clone().admit().expect("slot free");
+    let err = w.deep_provenance(rid, vid, DataId(4)).unwrap_err();
+    assert!(
+        matches!(err, WarehouseError::Overloaded),
+        "expected Overloaded, got {err:?}"
+    );
+    drop(permit);
+    w.deep_provenance(rid, vid, DataId(4)).unwrap();
+
+    let m = w.metrics_with(w.stats());
+    assert_eq!(
+        m.resilience.attempts,
+        m.resilience.admitted + m.resilience.shed,
+        "every admission attempt must be admitted or shed"
+    );
+    assert!(m.resilience.shed >= 1);
+    assert!(m.resilience.admitted >= 1);
+}

@@ -177,6 +177,18 @@ const DOCUMENTED_KEYS: &[&str] = &[
     "\"view_switch\"",
     "\"slow_query_threshold_nanos\"",
     "\"slow_queries\"",
+    // resilience (DESIGN.md §12)
+    "\"degraded\"",
+    "\"resilience\"",
+    "\"attempts\"",
+    "\"admitted\"",
+    "\"shed\"",
+    "\"deadline_exceeded\"",
+    "\"cancelled\"",
+    "\"io_retries\"",
+    "\"breaker_trips\"",
+    "\"breaker_recoveries\"",
+    "\"degraded_writes_rejected\"",
 ];
 
 #[test]
@@ -193,6 +205,37 @@ fn stats_json_is_well_formed_and_carries_documented_keys() {
     // The plain-text rendering must be unchanged by the flag's existence.
     let text = run_ok(zoomctl().args(["stats", snap_s]));
     assert!(text.contains("data objects : 447"), "{text}");
+
+    let _ = std::fs::remove_file(&snap);
+}
+
+#[test]
+fn health_json_is_well_formed_for_snapshots() {
+    let snap = temp_snapshot("health");
+    let snap_s = snap.to_str().expect("utf-8 path");
+    run_ok(zoomctl().args(["demo", snap_s]));
+
+    let json = run_ok(zoomctl().args(["health", snap_s, "--json"]));
+    assert_well_formed(&json);
+    for key in [
+        "\"status\"",
+        "\"writable\"",
+        "\"durable\"",
+        "\"breaker\"",
+        "\"consecutive_failures\"",
+        "\"breaker_trips\"",
+        "\"breaker_recoveries\"",
+        "\"io_retries\"",
+        "\"degraded_writes_rejected\"",
+    ] {
+        assert!(json.contains(key), "health --json is missing {key}\n{json}");
+    }
+    // A snapshot-backed store is always healthy and never durable.
+    assert!(json.contains("\"status\":\"ok\""), "{json}");
+    assert!(json.contains("\"durable\":false"), "{json}");
+
+    let text = run_ok(zoomctl().args(["health", snap_s]));
+    assert!(text.contains("status            : ok"), "{text}");
 
     let _ = std::fs::remove_file(&snap);
 }
