@@ -2,8 +2,11 @@
 //!
 //! ```sh
 //! experiments [all|table1|table2|scalability|optimality|fig10|response_time|view_switch|fig11|
-//!              index_speedup] [--scale paper|quick] [--seed N]
+//!              index_speedup|index_scaling] [--scale paper|quick] [--seed N]
 //! ```
+//!
+//! `index_scaling` additionally writes the `BENCH_<date>.json` scorecard to
+//! the current directory.
 
 use zoom_bench::experiments::*;
 use zoom_bench::{build_corpus, Scale};
@@ -113,6 +116,17 @@ fn main() {
             "index_speedup",
             index_speedup::report(corpus.as_ref().expect("corpus built"), scale),
         ),
+        "index_scaling" => {
+            let entries = index_speedup::scaling(scale);
+            section("index_scaling", index_speedup::scaling_report(&entries));
+            let date = index_speedup::today_stamp();
+            let path = format!("BENCH_{date}.json");
+            let json = index_speedup::scaling_json(&entries, scale, &date);
+            match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
         other => die(&format!("unknown experiment `{other}`")),
     };
 
@@ -127,6 +141,7 @@ fn main() {
             "view_switch",
             "fig11",
             "index_speedup",
+            "index_scaling",
             "open_problem",
         ] {
             run_one(name, &mut corpus);

@@ -12,8 +12,10 @@
 //!   [`experiments::scalability`], [`experiments::optimality`],
 //!   [`experiments::fig10`], [`experiments::response`],
 //!   [`experiments::switching`], [`experiments::fig11`],
-//!   [`experiments::index_speedup`] (BFS vs. base-closure index), plus the
-//!   beyond-the-paper [`experiments::open_problem`] gap study.
+//!   [`experiments::index_speedup`] (BFS vs. bitset base-closure index vs.
+//!   interval labels, including the adversarial-shape scaling sweep behind
+//!   the `BENCH_<date>.json` scorecard), plus the beyond-the-paper
+//!   [`experiments::open_problem`] gap study.
 //!
 //! The `experiments` binary drives them:
 //!

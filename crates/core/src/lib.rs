@@ -50,6 +50,6 @@ pub use session::QuerySession;
 pub use system::Zoom;
 
 pub use zoom_warehouse::{
-    BreakerState, HealthReport, ImmediateAnswer, ProvenanceResult, ProvenanceRow, Result, RunId,
-    SpecId, ViewId, Warehouse, WarehouseError,
+    BreakerState, HealthReport, ImmediateAnswer, IndexBackend, ProvenanceResult, ProvenanceRow,
+    Result, RunId, SpecId, ViewId, Warehouse, WarehouseError,
 };

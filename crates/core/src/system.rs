@@ -7,9 +7,9 @@ use zoom_model::{DataId, EventLog, UserView, WorkflowRun, WorkflowSpec};
 use zoom_views::relev_user_view_builder;
 use zoom_warehouse::persist::PersistError;
 use zoom_warehouse::{
-    DurableError, DurableOptions, DurableWarehouse, HealthReport, ImmediateAnswer, MetricsSnapshot,
-    ProvenanceResult, Result, RunId, SlowQuery, SpecId, ViewId, Warehouse, WarehouseError,
-    WarehouseStats,
+    DurableError, DurableOptions, DurableWarehouse, HealthReport, ImmediateAnswer, IndexBackend,
+    MetricsSnapshot, ProvenanceResult, Result, RunId, SlowQuery, SpecId, ViewId, Warehouse,
+    WarehouseError, WarehouseStats,
 };
 
 /// Maps a durable-store error back into the warehouse error space:
@@ -166,6 +166,25 @@ impl Zoom {
     /// parallelism).
     pub fn set_max_batch_workers(&self, workers: usize) {
         self.warehouse().set_max_batch_workers(workers);
+    }
+
+    /// Forces every provenance query onto one reachability backend
+    /// (`IndexBackend::{Labels, Bitset, Bfs}`); `None` restores the
+    /// automatic node-count policy.
+    pub fn set_index_backend(&self, backend: Option<IndexBackend>) {
+        self.warehouse().set_index_backend(backend);
+    }
+
+    /// The forced reachability backend, or `None` under the automatic
+    /// policy.
+    pub fn index_backend(&self) -> Option<IndexBackend> {
+        self.warehouse().index_backend()
+    }
+
+    /// Sets the run size (graph nodes) at which the automatic policy
+    /// switches from bitset rows to interval labels.
+    pub fn set_labels_threshold(&self, nodes: usize) {
+        self.warehouse().set_labels_threshold(nodes);
     }
 
     /// Read access to the underlying warehouse.

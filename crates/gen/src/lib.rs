@@ -15,14 +15,18 @@
 //! * [`library`] — the curated "Class 1" library of realistic workflows,
 //!   headlined by the paper's Figure 1 phylogenomic workflow and its exact
 //!   Figure 2 run (`S1..S10`, `d1..d447`);
-//! * [`stats`] — pattern/size statistics extraction over specs and runs.
+//! * [`stats`] — pattern/size statistics extraction over specs and runs;
+//! * [`adversarial`] — deterministic extreme shapes (deep chains, wide
+//!   fan-outs, diamond lattices) for the reachability-index scaling sweep.
 
+pub mod adversarial;
 pub mod classes;
 pub mod library;
 pub mod rungen;
 pub mod specgen;
 pub mod stats;
 
+pub use adversarial::{deep_chain, diamond_lattice, wide_fanout};
 pub use classes::{Pattern, WorkflowClass};
 pub use rungen::{generate_run, RunGenConfig, RunKind};
 pub use specgen::{generate_random_spec, generate_spec, SpecGenConfig};

@@ -1,0 +1,425 @@
+//! Interval primitives for tree-cover reachability labeling.
+//!
+//! The labeling scheme (Agrawal–Borgida–Jagadish tree cover, the family
+//! Bao & Davidson's workflow-view labels build on) assigns every DAG node
+//! a *post-order interval* over a spanning forest: a node's subtree
+//! occupies a contiguous post-order range, so "is `v` a tree-descendant
+//! of `u`" is one range check. Non-tree reachability is carried by extra
+//! intervals per node (the "exception" labels), kept as an
+//! [`IntervalSet`]. This module provides the two building blocks the
+//! warehouse's label index composes:
+//!
+//! * [`IntervalSet`] — a sorted, disjoint, maximally-merged set of closed
+//!   `u32` intervals with `O(log k)` membership and linear-time union;
+//! * [`spanning_forest_postorder`] — one pass choosing a spanning forest
+//!   of the graph (first in-neighbor as parent) and numbering it in
+//!   post-order, returning the per-node interval `[low, post]` that
+//!   covers exactly the node's tree-descendants.
+
+use crate::digraph::{Digraph, NodeId};
+use crate::traversal::Direction;
+use serde::{Deserialize, Serialize};
+
+/// A sorted, disjoint, maximally-merged set of closed intervals over
+/// `u32` points.
+///
+/// Invariant: intervals are sorted by start, pairwise disjoint, and
+/// non-adjacent (`next.start > cur.end + 1`), so the representation of a
+/// point set is canonical and `len()` is the minimal interval count.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntervalSet {
+    ivs: Vec<(u32, u32)>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The set containing exactly `[lo, hi]` (callers must pass
+    /// `lo <= hi`).
+    pub fn of(lo: u32, hi: u32) -> Self {
+        debug_assert!(lo <= hi);
+        IntervalSet {
+            ivs: vec![(lo, hi)],
+        }
+    }
+
+    /// Builds a set from arbitrary (possibly overlapping, unsorted)
+    /// closed intervals.
+    pub fn from_intervals(mut ivs: Vec<(u32, u32)>) -> Self {
+        ivs.sort_unstable();
+        let mut out: Vec<(u32, u32)> = Vec::with_capacity(ivs.len());
+        for (a, b) in ivs {
+            debug_assert!(a <= b);
+            match out.last_mut() {
+                // Merge overlapping *and* adjacent intervals so the
+                // canonical-form invariant holds.
+                Some(last) if a <= last.1.saturating_add(1) => last.1 = last.1.max(b),
+                _ => out.push((a, b)),
+            }
+        }
+        IntervalSet { ivs: out }
+    }
+
+    /// Number of intervals (the label size this scheme's memory is
+    /// measured in).
+    pub fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Total number of points covered.
+    pub fn covered(&self) -> u64 {
+        self.ivs
+            .iter()
+            .map(|&(a, b)| u64::from(b) - u64::from(a) + 1)
+            .sum()
+    }
+
+    /// Whether `x` lies in some interval — `O(log len)`.
+    pub fn contains(&self, x: u32) -> bool {
+        let i = self.ivs.partition_point(|&(a, _)| a <= x);
+        i > 0 && self.ivs[i - 1].1 >= x
+    }
+
+    /// Inserts the single point `x`, merging with neighbors to keep the
+    /// canonical form. Amortized `O(1)` when `x` extends the last
+    /// interval (the incremental-append hot path), `O(len)` otherwise.
+    pub fn insert(&mut self, x: u32) {
+        match self.ivs.last_mut() {
+            // Fast path: appending at or past the end.
+            Some(last) if x > last.1 => {
+                if x == last.1 + 1 {
+                    last.1 = x;
+                } else {
+                    self.ivs.push((x, x));
+                }
+                return;
+            }
+            None => {
+                self.ivs.push((x, x));
+                return;
+            }
+            _ => {}
+        }
+        if self.contains(x) {
+            return;
+        }
+        let i = self.ivs.partition_point(|&(a, _)| a <= x);
+        // x falls strictly between ivs[i-1] and ivs[i].
+        let joins_left = i > 0 && self.ivs[i - 1].1 + 1 == x;
+        let joins_right = i < self.ivs.len() && x + 1 == self.ivs[i].0;
+        match (joins_left, joins_right) {
+            (true, true) => {
+                self.ivs[i - 1].1 = self.ivs[i].1;
+                self.ivs.remove(i);
+            }
+            (true, false) => self.ivs[i - 1].1 = x,
+            (false, true) => self.ivs[i].0 = x,
+            (false, false) => self.ivs.insert(i, (x, x)),
+        }
+    }
+
+    /// Unions `other` into `self` — a linear-time sorted merge.
+    pub fn union_with(&mut self, other: &IntervalSet) {
+        if other.is_empty() {
+            return;
+        }
+        if self.is_empty() {
+            self.ivs = other.ivs.clone();
+            return;
+        }
+        // Fast path for the incremental-append workload: every interval
+        // of `other` starts past our end, so it splices on directly.
+        if other.ivs[0].0 > self.ivs.last().expect("non-empty").1 + 1 {
+            self.ivs.extend_from_slice(&other.ivs);
+            return;
+        }
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ivs.len() + other.ivs.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.ivs.len() || j < other.ivs.len() {
+            let take_self =
+                j >= other.ivs.len() || (i < self.ivs.len() && self.ivs[i].0 <= other.ivs[j].0);
+            let (a, b) = if take_self {
+                i += 1;
+                self.ivs[i - 1]
+            } else {
+                j += 1;
+                other.ivs[j - 1]
+            };
+            match merged.last_mut() {
+                Some(last) if a <= last.1.saturating_add(1) => last.1 = last.1.max(b),
+                _ => merged.push((a, b)),
+            }
+        }
+        self.ivs = merged;
+    }
+
+    /// Iterates the intervals in ascending order.
+    pub fn intervals(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ivs.iter().copied()
+    }
+
+    /// Iterates every covered point in ascending order.
+    pub fn points(&self) -> impl Iterator<Item = u32> + '_ {
+        self.ivs.iter().flat_map(|&(a, b)| a..=b)
+    }
+
+    /// Heap bytes held by the interval vector.
+    pub fn heap_bytes(&self) -> usize {
+        self.ivs.capacity() * std::mem::size_of::<(u32, u32)>()
+    }
+}
+
+impl FromIterator<(u32, u32)> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = (u32, u32)>>(iter: T) -> Self {
+        IntervalSet::from_intervals(iter.into_iter().collect())
+    }
+}
+
+/// A post-order numbering of a spanning forest of the graph, plus the
+/// per-node subtree interval.
+///
+/// For direction [`Direction::Forward`], tree edges follow graph edges
+/// (each node's parent is its first predecessor); for
+/// [`Direction::Backward`] the graph is treated reversed (parent = first
+/// successor). Post-order assigns a node its number *after* its whole
+/// subtree, so the subtree of `v` covers exactly the contiguous range
+/// `[low[v], post[v]]`.
+#[derive(Clone, Debug)]
+pub struct PostOrder {
+    /// `post[v]` — the post-order number of node `v`.
+    pub post: Vec<u32>,
+    /// `node_of_post[p]` — the node numbered `p` (the inverse of `post`).
+    pub node_of_post: Vec<u32>,
+    /// `low[v]` — the smallest post number in `v`'s subtree;
+    /// `[low[v], post[v]]` is `v`'s tree-cover interval.
+    pub low: Vec<u32>,
+}
+
+impl PostOrder {
+    /// The tree-cover interval of node index `v`.
+    pub fn interval(&self, v: usize) -> (u32, u32) {
+        (self.low[v], self.post[v])
+    }
+}
+
+/// Chooses a spanning forest of `g` (first in-neighbor with respect to
+/// `dir` as parent) and numbers it in post-order.
+///
+/// Intended for DAGs; on a cyclic graph the pass still terminates and
+/// covers every node (nodes on parent-pointer cycles are re-rooted), but
+/// the intervals are only meaningful for acyclic inputs.
+pub fn spanning_forest_postorder<N, E>(g: &Digraph<N, E>, dir: Direction) -> PostOrder {
+    let n = g.node_count();
+    let parent_of = |v: NodeId| -> Option<NodeId> {
+        match dir {
+            Direction::Forward => g.predecessors(v).next(),
+            Direction::Backward => g.successors(v).next(),
+        }
+    };
+    // Children lists of the chosen forest.
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut is_root = vec![true; n];
+    for v in g.node_ids() {
+        if let Some(p) = parent_of(v) {
+            if p != v {
+                children[p.index()].push(v.index() as u32);
+                is_root[v.index()] = false;
+            }
+        }
+    }
+
+    let mut post = vec![0u32; n];
+    let mut low = vec![0u32; n];
+    let mut node_of_post = vec![0u32; n];
+    let mut visited = vec![false; n];
+    let mut counter: u32 = 0;
+    // (node, next-child cursor) — an explicit stack keeps 1M-node chains
+    // from overflowing the thread stack.
+    let mut stack: Vec<(u32, u32)> = Vec::new();
+
+    let mut dfs =
+        |root: usize, visited: &mut Vec<bool>, counter: &mut u32, stack: &mut Vec<(u32, u32)>| {
+            if visited[root] {
+                return;
+            }
+            visited[root] = true;
+            low[root] = *counter;
+            stack.push((root as u32, 0));
+            while let Some(&mut (v, ref mut cursor)) = stack.last_mut() {
+                let v = v as usize;
+                if let Some(&c) = children[v].get(*cursor as usize) {
+                    *cursor += 1;
+                    let c = c as usize;
+                    if !visited[c] {
+                        visited[c] = true;
+                        low[c] = *counter;
+                        stack.push((c as u32, 0));
+                    }
+                } else {
+                    post[v] = *counter;
+                    node_of_post[*counter as usize] = v as u32;
+                    *counter += 1;
+                    stack.pop();
+                }
+            }
+        };
+
+    for (v, _) in is_root.iter().enumerate().filter(|(_, r)| **r) {
+        dfs(v, &mut visited, &mut counter, &mut stack);
+    }
+    // Cyclic graphs can leave parent-pointer cycles unreached from any
+    // root; re-root them so the numbering is total.
+    for v in 0..n {
+        if !visited[v] {
+            dfs(v, &mut visited, &mut counter, &mut stack);
+        }
+    }
+    debug_assert_eq!(counter as usize, n);
+    PostOrder {
+        post,
+        node_of_post,
+        low,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_set_canonical_form() {
+        let s = IntervalSet::from_intervals(vec![(5, 7), (1, 2), (3, 4), (9, 9)]);
+        // (1,2)+(3,4)+(5,7) are adjacent — one interval.
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![(1, 7), (9, 9)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.covered(), 8);
+        for x in 1..=7 {
+            assert!(s.contains(x));
+        }
+        assert!(!s.contains(0));
+        assert!(!s.contains(8));
+        assert!(s.contains(9));
+        assert!(!s.contains(10));
+        assert_eq!(s.points().collect::<Vec<_>>(), vec![1, 2, 3, 4, 5, 6, 7, 9]);
+    }
+
+    #[test]
+    fn insert_merges_with_neighbors() {
+        let mut s = IntervalSet::new();
+        for x in [5, 3, 1, 7] {
+            s.insert(x);
+        }
+        assert_eq!(
+            s.intervals().collect::<Vec<_>>(),
+            vec![(1, 1), (3, 3), (5, 5), (7, 7)]
+        );
+        s.insert(4); // bridges (3,3) and (5,5)
+        assert_eq!(
+            s.intervals().collect::<Vec<_>>(),
+            vec![(1, 1), (3, 5), (7, 7)]
+        );
+        s.insert(2); // joins left-adjacent
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![(1, 5), (7, 7)]);
+        s.insert(6); // bridges everything
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![(1, 7)]);
+        s.insert(4); // already present: no-op
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![(1, 7)]);
+        s.insert(9); // append fast path
+        s.insert(10); // extend fast path
+        assert_eq!(s.intervals().collect::<Vec<_>>(), vec![(1, 7), (9, 10)]);
+    }
+
+    #[test]
+    fn union_is_exact() {
+        let mut a = IntervalSet::from_intervals(vec![(0, 3), (10, 12)]);
+        let b = IntervalSet::from_intervals(vec![(4, 5), (11, 20), (30, 31)]);
+        a.union_with(&b);
+        assert_eq!(
+            a.intervals().collect::<Vec<_>>(),
+            vec![(0, 5), (10, 20), (30, 31)]
+        );
+        // Union with empty is identity, both ways.
+        let mut e = IntervalSet::new();
+        e.union_with(&a);
+        assert_eq!(e, a);
+        a.union_with(&IntervalSet::new());
+        assert_eq!(e, a);
+    }
+
+    #[test]
+    fn postorder_intervals_cover_subtrees() {
+        // 0 -> 1 -> 2, 0 -> 3; plus a non-tree edge 3 -> 2.
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let n0 = g.add_node(());
+        let n1 = g.add_node(());
+        let n2 = g.add_node(());
+        let n3 = g.add_node(());
+        g.add_edge(n0, n1, ());
+        g.add_edge(n1, n2, ());
+        g.add_edge(n0, n3, ());
+        g.add_edge(n3, n2, ());
+
+        let po = spanning_forest_postorder(&g, Direction::Forward);
+        // Every node appears exactly once.
+        let mut seen: Vec<u32> = po.post.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+        // node_of_post inverts post.
+        for v in 0..4 {
+            assert_eq!(po.node_of_post[po.post[v] as usize] as usize, v);
+        }
+        // The root's interval covers everything; each node's interval
+        // contains its own post number.
+        assert_eq!(po.interval(n0.index()), (0, 3));
+        for v in 0..4 {
+            let (lo, hi) = po.interval(v);
+            assert!(lo <= po.post[v] && po.post[v] <= hi);
+        }
+        // 2's tree parent is 1 (first predecessor), so 3's subtree is
+        // just itself.
+        assert_eq!(po.interval(n3.index()).0, po.interval(n3.index()).1);
+    }
+
+    #[test]
+    fn backward_postorder_uses_reversed_edges() {
+        // Chain 0 -> 1 -> 2: backward forest roots at 0 (no successors
+        // reversed = no predecessors in the reversed graph at node 2).
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let n0 = g.add_node(());
+        let n1 = g.add_node(());
+        let n2 = g.add_node(());
+        g.add_edge(n0, n1, ());
+        g.add_edge(n1, n2, ());
+        let po = spanning_forest_postorder(&g, Direction::Backward);
+        // In the reversed graph the chain is 2 -> 1 -> 0, so node 2's
+        // subtree covers all three.
+        assert_eq!(po.interval(n2.index()), (0, 2));
+        assert_eq!(po.post[n0.index()], 0);
+        let mut seen = po.post.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn postorder_total_on_cycles() {
+        // 0 -> 1 -> 0 plus isolated 2: the pass must still number all.
+        let mut g: Digraph<(), ()> = Digraph::new();
+        let n0 = g.add_node(());
+        let n1 = g.add_node(());
+        let _n2 = g.add_node(());
+        g.add_edge(n0, n1, ());
+        g.add_edge(n1, n0, ());
+        let po = spanning_forest_postorder(&g, Direction::Forward);
+        let mut seen = po.post.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`algo::paths`] — "every node on an input→output path" well-formedness,
 //!   simple-path enumeration;
 //! * [`algo::cycles`] — back edges and elementary cycles (loop unrolling);
+//! * [`labels`] — interval sets + spanning-forest post-order, the raw
+//!   material of the warehouse's tree-cover reachability labels;
 //! * [`dot`] — GraphViz rendering.
 //!
 //! The crate is dependency-free apart from `serde` (graphs are persisted in
@@ -29,6 +31,7 @@
 pub mod bitset;
 pub mod digraph;
 pub mod dot;
+pub mod labels;
 pub mod traversal;
 
 pub mod algo {
@@ -42,4 +45,5 @@ pub mod algo {
 
 pub use bitset::BitSet;
 pub use digraph::{Digraph, EdgeId, NodeId};
+pub use labels::{spanning_forest_postorder, IntervalSet, PostOrder};
 pub use traversal::{constrained_reachable_set, reachable_set, Bfs, Dfs, Direction};

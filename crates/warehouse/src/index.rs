@@ -149,35 +149,54 @@ impl ProvenanceIndex {
     }
 }
 
-/// A concurrent `run → ProvenanceIndex` cache with lock-free counters.
+/// The bitset index's run-keyed cache (see [`RunKeyedCache`]).
+pub type ProvenanceIndexCache = RunKeyedCache<ProvenanceIndex>;
+
+/// A concurrent `run → T` cache with lock-free counters, shared by the
+/// bitset [`ProvenanceIndex`] and the interval
+/// [`LabelIndex`](crate::labels::LabelIndex).
 ///
 /// Obeys the same counter-accuracy guarantee as
 /// [`crate::cache::ViewRunCache`]: `hits + misses` equals the number of
 /// successful `get_or_build` calls; a build that loses the insert race
 /// counts as a hit plus one `race_lost_builds`. A build that *fails*
 /// counts as neither (the query itself surfaces the error).
-#[derive(Debug, Default)]
-pub struct ProvenanceIndexCache {
-    map: RwLock<FxHashMap<RunId, Arc<ProvenanceIndex>>>,
+#[derive(Debug)]
+pub struct RunKeyedCache<T> {
+    map: RwLock<FxHashMap<RunId, Arc<T>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     race_lost_builds: AtomicU64,
     build_nanos: AtomicU64,
 }
 
-impl ProvenanceIndexCache {
+// Manual impl: `derive(Default)` would demand `T: Default`, which the
+// cached values never need (they are always built through the closure).
+impl<T> Default for RunKeyedCache<T> {
+    fn default() -> Self {
+        RunKeyedCache {
+            map: RwLock::default(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            race_lost_builds: AtomicU64::new(0),
+            build_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> RunKeyedCache<T> {
     /// An empty cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns the cached index for `run`, or builds and caches it.
+    /// Returns the cached value for `run`, or builds and caches it.
     /// Build failures are propagated and cache nothing.
     pub fn get_or_build<E>(
         &self,
         run: RunId,
-        build: impl FnOnce() -> Result<ProvenanceIndex, E>,
-    ) -> Result<Arc<ProvenanceIndex>, E> {
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
         if let Some(hit) = self.map.read().get(&run).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
@@ -201,9 +220,16 @@ impl ProvenanceIndexCache {
         Ok(idx)
     }
 
-    /// Number of cached indexes.
+    /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.map.read().len()
+    }
+
+    /// Folds over every cached value — the metrics layer's hook for
+    /// bytes-resident gauges and label-size histograms. Holds the read
+    /// lock for the duration, so callbacks must stay cheap.
+    pub fn fold_entries<B>(&self, init: B, mut f: impl FnMut(B, &T) -> B) -> B {
+        self.map.read().values().fold(init, |acc, v| f(acc, v))
     }
 
     /// Whether the cache is empty.

@@ -18,6 +18,9 @@
 //! * [`cache`] — the materialized view-run cache;
 //! * [`index`] — the per-run base-closure provenance index (the
 //!   base-provenance temp-table analog) and its run-keyed cache;
+//! * [`labels`] — tree-cover interval reachability labels, the
+//!   `O(n · avg_labels)`-memory default index above the node-count
+//!   threshold, with incremental append;
 //! * [`metrics`] — the lock-free observability layer: per-query-class
 //!   latency histograms, cache/journal/compaction counters, and the
 //!   slow-query log, snapshotted as [`MetricsSnapshot`];
@@ -42,6 +45,7 @@ pub mod fxhash;
 pub mod index;
 pub mod io;
 pub mod journal;
+pub mod labels;
 pub mod metrics;
 pub mod persist;
 pub mod query;
@@ -52,23 +56,27 @@ pub mod table;
 
 pub use cache::ViewRunCache;
 pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckReport};
-pub use index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache};
+pub use index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache, RunKeyedCache};
 pub use io::{FaultFs, RealFs, StorageIo};
 pub use journal::{JournalError, JournaledWarehouse};
+pub use labels::{LabelIndex, UpdateOutcome, FRAGMENTATION_FACTOR};
 pub use metrics::{
-    CacheMetrics, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot, QueryKind,
-    ResilienceMetrics, SlowQuery, ViewClass,
+    CacheMetrics, HistogramSnapshot, IndexMetrics, LatencyHistogram, MetricsRegistry,
+    MetricsSnapshot, QueryKind, ResilienceMetrics, SlowQuery, ViewClass,
 };
 pub use query::{
     data_between, deep_provenance, deep_provenance_bfs, deep_provenance_deadline,
-    deep_provenance_indexed, deep_provenance_indexed_deadline, dependents_of, dependents_of_bfs,
-    dependents_of_deadline, dependents_of_indexed, dependents_of_indexed_deadline,
-    immediate_provenance, ImmediateProvenance, ProvenanceResult, ProvenanceRow, QueryError,
-    QueryFailure,
+    deep_provenance_indexed, deep_provenance_indexed_deadline, deep_provenance_labeled,
+    deep_provenance_labeled_deadline, dependents_of, dependents_of_bfs, dependents_of_deadline,
+    dependents_of_indexed, dependents_of_indexed_deadline, dependents_of_labeled,
+    dependents_of_labeled_deadline, immediate_provenance, ImmediateProvenance, ProvenanceResult,
+    ProvenanceRow, QueryError, QueryFailure,
 };
 pub use resilience::{
     AdmissionControl, AdmissionPermit, BreakerState, CancelToken, CircuitBreaker, Deadline,
     HealthReport, Interrupt, RetryPolicy,
 };
 pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
-pub use store::{ImmediateAnswer, Result, Warehouse, WarehouseError};
+pub use store::{
+    ImmediateAnswer, IndexBackend, Result, Warehouse, WarehouseError, DEFAULT_LABELS_THRESHOLD,
+};

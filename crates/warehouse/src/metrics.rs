@@ -496,6 +496,7 @@ impl MetricsRegistry {
         stats: WarehouseStats,
         view_run_cache: CacheMetrics,
         index_cache: CacheMetrics,
+        index: IndexMetrics,
     ) -> MetricsSnapshot {
         let mut queries = Vec::with_capacity(12);
         for kind in QueryKind::ALL {
@@ -513,6 +514,7 @@ impl MetricsRegistry {
             query_errors: self.query_errors.load(Ordering::Relaxed),
             view_run_cache,
             index_cache,
+            index,
             batch: BatchMetrics {
                 batches: self.batches.load(Ordering::Relaxed),
                 queries: self.batch_queries.load(Ordering::Relaxed),
@@ -572,6 +574,29 @@ pub struct CacheMetrics {
     pub entries: u64,
     /// Total nanoseconds spent building inserted entries.
     pub build_nanos: u64,
+}
+
+/// Gauges over the resident reachability indexes: which backend policy
+/// is in force, how many bytes each index cache holds, and how the
+/// interval labels are distributed (DESIGN.md §13).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IndexMetrics {
+    /// Backend policy: a fixed backend's name, or `"auto"`.
+    pub backend: String,
+    /// Bytes resident across every cached bitset index (`O(n²/64)` each).
+    pub bitset_bytes: u64,
+    /// Bytes resident across every cached label index
+    /// (`O(n · avg_labels)` each).
+    pub label_bytes: u64,
+    /// Total intervals across every cached label index.
+    pub label_intervals: u64,
+    /// Power-of-two histogram of per-node label sizes: bucket 0 counts
+    /// empty labels, bucket `i ≥ 1` labels of `[2^(i-1), 2^i)` intervals,
+    /// the last bucket the tail.
+    pub label_count_hist: [u64; 16],
+    /// The label-index cache's counters (the bitset cache's counters are
+    /// [`MetricsSnapshot::index_cache`]).
+    pub label_cache: CacheMetrics,
 }
 
 /// Batch-query fan-out counters.
@@ -640,6 +665,9 @@ pub struct MetricsSnapshot {
     pub view_run_cache: CacheMetrics,
     /// The base-closure provenance-index cache.
     pub index_cache: CacheMetrics,
+    /// Reachability-index gauges: backend policy, resident bytes per
+    /// index family, and the label-size distribution.
+    pub index: IndexMetrics,
     /// Batch fan-out counters.
     pub batch: BatchMetrics,
     /// Journal append and checkpoint timing.
@@ -762,9 +790,22 @@ impl MetricsSnapshot {
             })
             .collect();
         let slow: Vec<String> = self.slow_queries.iter().map(slow_query_json).collect();
+        let ix = &self.index;
+        let hist: Vec<String> = ix.label_count_hist.iter().map(u64::to_string).collect();
+        let index = format!(
+            "{{\"backend\":\"{}\",\"bitset_bytes\":{},\"label_bytes\":{},\
+             \"label_intervals\":{},\"label_count_hist\":[{}],\"label_cache\":{}}}",
+            json_escape(&ix.backend),
+            ix.bitset_bytes,
+            ix.label_bytes,
+            ix.label_intervals,
+            hist.join(","),
+            cache_json(&ix.label_cache)
+        );
         format!(
             "{{\"stats\":{},\"queries\":[{}],\"query_errors\":{},\"view_run_cache\":{},\
-             \"index_cache\":{},\"batch\":{{\"batches\":{},\"queries\":{},\"max_fanout\":{}}},\
+             \"index_cache\":{},\"index\":{},\
+             \"batch\":{{\"batches\":{},\"queries\":{},\"max_fanout\":{}}},\
              \"journal\":{{\"appends\":{},\"append_latency\":{},\"checkpoint_latency\":{}}},\
              \"view_switch\":{},\"resilience\":{},\"slow_query_threshold_nanos\":{},\
              \"slow_queries\":[{}]}}",
@@ -773,6 +814,7 @@ impl MetricsSnapshot {
             self.query_errors,
             cache_json(&self.view_run_cache),
             cache_json(&self.index_cache),
+            index,
             self.batch.batches,
             self.batch.queries,
             self.batch.max_fanout,
@@ -890,6 +932,7 @@ mod tests {
             WarehouseStats::default(),
             CacheMetrics::default(),
             CacheMetrics::default(),
+            IndexMetrics::default(),
         );
         assert_eq!(snap.batch.batches, 2);
         assert_eq!(snap.batch.queries, 13);
@@ -918,6 +961,7 @@ mod tests {
             WarehouseStats::default(),
             CacheMetrics::default(),
             CacheMetrics::default(),
+            IndexMetrics::default(),
         );
         let r = snap.resilience;
         assert_eq!(r.attempts, r.admitted + r.shed);
@@ -949,6 +993,7 @@ mod tests {
             WarehouseStats::default(),
             CacheMetrics::default(),
             CacheMetrics::default(),
+            IndexMetrics::default(),
         );
         let json = snap.to_json();
         for key in [
@@ -958,6 +1003,13 @@ mod tests {
             "\"query_errors\"",
             "\"view_run_cache\"",
             "\"index_cache\"",
+            "\"index\"",
+            "\"backend\"",
+            "\"bitset_bytes\"",
+            "\"label_bytes\"",
+            "\"label_intervals\"",
+            "\"label_count_hist\"",
+            "\"label_cache\"",
             "\"race_lost_builds\"",
             "\"evictions\"",
             "\"batch\"",

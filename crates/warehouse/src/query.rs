@@ -24,11 +24,12 @@
 //! kept verbatim as the oracle for the property tests.
 
 use crate::index::ProvenanceIndex;
+use crate::labels::LabelIndex;
 use crate::resilience::{Deadline, Interrupt};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::fmt;
-use zoom_graph::{BitSet, NodeId};
+use zoom_graph::{BitSet, IntervalSet, NodeId};
 use zoom_model::{DataId, StepId, ViewRun, WorkflowRun};
 
 /// A structural inconsistency detected while answering a query — the
@@ -210,6 +211,20 @@ fn project_deep(
     d: DataId,
     deadline: &mut Deadline,
 ) -> Result<ProvenanceResult, QueryFailure> {
+    project_deep_members(run, vr, closure.iter(), d, deadline)
+}
+
+/// [`project_deep`] over any closure-member enumeration — the bitset rows
+/// iterate their set bits, the label index walks its intervals through the
+/// post-order permutation. Member order is irrelevant: rows and execs are
+/// sorted and deduplicated before returning.
+fn project_deep_members(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    members: impl IntoIterator<Item = usize>,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<ProvenanceResult, QueryFailure> {
     let g = run.graph();
     let exec_id_of_run_node = |node: NodeId| -> Result<Option<StepId>, QueryError> {
         let Some((sid, _)) = run.step_at(node) else {
@@ -229,7 +244,7 @@ fn project_deep(
             None => None,
         },
     });
-    for i in closure.iter() {
+    for i in members {
         deadline.tick()?;
         let n = NodeId::from_index(i);
         if let Some(e) = exec_id_of_run_node(n)? {
@@ -335,6 +350,36 @@ pub fn deep_provenance_indexed_deadline(
         return Ok(None);
     };
     project_deep(run, vr, index.ancestors(start), d, deadline).map(Some)
+}
+
+/// [`deep_provenance`] answered from a prebuilt [`LabelIndex`]: the base
+/// closure is enumerated straight out of the producer's ancestor label —
+/// every subtree whose post-order interval proves non-membership is
+/// skipped without being visited — so the query is `O(answer)` with
+/// `O(n · avg_labels)` index memory instead of the bitset's `O(n²/64)`.
+pub fn deep_provenance_labeled(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    labels: &LabelIndex,
+    d: DataId,
+) -> Result<Option<ProvenanceResult>, QueryError> {
+    deep_provenance_labeled_deadline(run, vr, labels, d, &mut Deadline::unlimited())
+        .map_err(corrupt_only)
+}
+
+/// [`deep_provenance_labeled`] under an execution budget; the projection
+/// loop polls `deadline` per closure member.
+pub fn deep_provenance_labeled_deadline(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    labels: &LabelIndex,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Option<ProvenanceResult>, QueryFailure> {
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
+    project_deep_members(run, vr, labels.ancestors_of(start), d, deadline).map(Some)
 }
 
 /// Reference implementation of [`deep_provenance`] — the original
@@ -491,6 +536,44 @@ pub fn dependents_of_indexed_deadline(
     collect_dependents(run, vr, &visited, d, deadline).map(Some)
 }
 
+/// [`dependents_of`] answered from a prebuilt [`LabelIndex`]: the forward
+/// closure is the interval union of the descendant labels of `d`'s
+/// consumers — deduplication is free, the union is already a canonical
+/// point set — enumerated through the post-order permutation.
+pub fn dependents_of_labeled(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    labels: &LabelIndex,
+    d: DataId,
+) -> Option<Vec<DataId>> {
+    match dependents_of_labeled_deadline(run, vr, labels, d, &mut Deadline::unlimited()) {
+        Ok(out) => out,
+        Err(_) => unreachable!("unlimited deadline never interrupts"),
+    }
+}
+
+/// [`dependents_of_labeled`] under an execution budget; the collection
+/// loop polls `deadline` per closure member.
+pub fn dependents_of_labeled_deadline(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    labels: &LabelIndex,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Option<Vec<DataId>>, Interrupt> {
+    let (Some(_), Some(start)) = (vr.producer_node(d), run.producer_node(d)) else {
+        return Ok(None);
+    };
+    let g = run.graph();
+    let mut closure = IntervalSet::new();
+    for e in g.out_edges(start) {
+        if g.edge(e).contains(&d) {
+            closure.union_with(labels.desc_label(g.target(e)));
+        }
+    }
+    collect_dependents_members(run, vr, labels.descendants_within(&closure), d, deadline).map(Some)
+}
+
 /// Reference implementation of [`dependents_of`] — the original
 /// whole-graph-scan collection, kept as the property-test oracle.
 pub fn dependents_of_bfs(run: &WorkflowRun, vr: &ViewRun, d: DataId) -> Option<Vec<DataId>> {
@@ -538,9 +621,21 @@ fn collect_dependents(
     d: DataId,
     deadline: &mut Deadline,
 ) -> Result<Vec<DataId>, Interrupt> {
+    collect_dependents_members(run, vr, visited.iter(), d, deadline)
+}
+
+/// [`collect_dependents`] over any closure-member enumeration (see
+/// [`project_deep_members`] for why order does not matter).
+fn collect_dependents_members(
+    run: &WorkflowRun,
+    vr: &ViewRun,
+    members: impl IntoIterator<Item = usize>,
+    d: DataId,
+    deadline: &mut Deadline,
+) -> Result<Vec<DataId>, Interrupt> {
     let g = run.graph();
     let mut out: Vec<DataId> = Vec::new();
-    for i in visited.iter() {
+    for i in members {
         deadline.tick()?;
         let n = NodeId::from_index(i);
         if run.step_at(n).is_none() {

@@ -10,15 +10,16 @@
 
 use crate::cache::ViewRunCache;
 use crate::fxhash::FxHashMap;
-use crate::index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache};
-use crate::metrics::{MetricsRegistry, MetricsSnapshot, QueryKind, ViewClass};
+use crate::index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache, RunKeyedCache};
+use crate::labels::LabelIndex;
+use crate::metrics::{IndexMetrics, MetricsRegistry, MetricsSnapshot, QueryKind, ViewClass};
 use crate::query::{self, ImmediateProvenance, ProvenanceResult, QueryError, QueryFailure};
 use crate::resilience::{AdmissionControl, CancelToken, Deadline, Interrupt};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zoom_model::{
@@ -161,6 +162,69 @@ pub(crate) type ExportedRows = (
     Vec<(RunId, RunRow)>,
 );
 
+/// Which reachability strategy answers deep/forward provenance.
+///
+/// The default policy is *automatic*: runs at or above the labels
+/// threshold (see [`Warehouse::set_labels_threshold`]) use [`Labels`]
+/// (`O(n · avg_labels)` memory), smaller runs use [`Bitset`] (fastest
+/// constant factors, `O(n²/64)` memory). [`Bfs`] runs a per-query
+/// traversal with no index at all — the always-correct fallback and the
+/// baseline the scorecard compares against.
+///
+/// [`Labels`]: IndexBackend::Labels
+/// [`Bitset`]: IndexBackend::Bitset
+/// [`Bfs`]: IndexBackend::Bfs
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IndexBackend {
+    /// Tree-cover interval labels ([`crate::labels::LabelIndex`]).
+    Labels,
+    /// Dense closure rows ([`ProvenanceIndex`]).
+    Bitset,
+    /// Per-query BFS, no index.
+    Bfs,
+}
+
+impl IndexBackend {
+    /// Stable lowercase name, as reported by `stats --json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexBackend::Labels => "labels",
+            IndexBackend::Bitset => "bitset",
+            IndexBackend::Bfs => "bfs",
+        }
+    }
+
+    fn to_u8(self) -> u8 {
+        match self {
+            IndexBackend::Labels => 1,
+            IndexBackend::Bitset => 2,
+            IndexBackend::Bfs => 3,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(IndexBackend::Labels),
+            2 => Some(IndexBackend::Bitset),
+            3 => Some(IndexBackend::Bfs),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for IndexBackend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Runs with at least this many graph nodes default to the labels
+/// backend; below it the bitset rows are small enough that their better
+/// constant factors win. At 4096 nodes the bitset pair costs ~4 MiB per
+/// run and doubles per doubling of n — labels stay near two intervals
+/// per node on workflow shapes.
+pub const DEFAULT_LABELS_THRESHOLD: usize = 4096;
+
 /// The embedded provenance warehouse.
 ///
 /// ```
@@ -196,6 +260,11 @@ pub struct Warehouse {
     next_run: u32,
     cache: ViewRunCache,
     index: ProvenanceIndexCache,
+    labels: RunKeyedCache<LabelIndex>,
+    /// Forced backend (`IndexBackend::to_u8`); 0 means automatic.
+    index_backend: AtomicU8,
+    /// Node count at which the automatic policy switches to labels.
+    labels_threshold: AtomicUsize,
     metrics: MetricsRegistry,
     /// Bounds concurrent facade queries; past the bound + queue, sheds
     /// with [`WarehouseError::Overloaded`].
@@ -230,6 +299,9 @@ impl Default for Warehouse {
             next_run: 0,
             cache: ViewRunCache::default(),
             index: ProvenanceIndexCache::default(),
+            labels: RunKeyedCache::default(),
+            index_backend: AtomicU8::new(0),
+            labels_threshold: AtomicUsize::new(DEFAULT_LABELS_THRESHOLD),
             metrics: MetricsRegistry::default(),
             admission: Arc::new(AdmissionControl::new(
                 DEFAULT_MAX_IN_FLIGHT,
@@ -304,6 +376,55 @@ impl Warehouse {
     /// (hardware parallelism).
     pub fn set_max_batch_workers(&self, workers: usize) {
         self.max_batch_workers.store(workers, Ordering::Relaxed);
+    }
+
+    // ------------------------------------------------------------------
+    // Index backend selection
+    // ------------------------------------------------------------------
+
+    /// Forces every provenance query onto one [`IndexBackend`]; `None`
+    /// restores the automatic node-count policy. Applies to queries
+    /// started after the call (already-cached indexes stay cached).
+    pub fn set_index_backend(&self, backend: Option<IndexBackend>) {
+        self.index_backend
+            .store(backend.map_or(0, IndexBackend::to_u8), Ordering::Relaxed);
+    }
+
+    /// The forced backend, or `None` when the automatic policy decides.
+    pub fn index_backend(&self) -> Option<IndexBackend> {
+        IndexBackend::from_u8(self.index_backend.load(Ordering::Relaxed))
+    }
+
+    /// Sets the node count at which the automatic policy prefers labels
+    /// over bitset rows (see [`DEFAULT_LABELS_THRESHOLD`]).
+    pub fn set_labels_threshold(&self, nodes: usize) {
+        self.labels_threshold.store(nodes, Ordering::Relaxed);
+    }
+
+    /// The automatic policy's labels threshold.
+    pub fn labels_threshold(&self) -> usize {
+        self.labels_threshold.load(Ordering::Relaxed)
+    }
+
+    /// The backend a query over a run of `node_count` graph nodes uses
+    /// right now: the forced backend if set, otherwise labels at or above
+    /// the threshold and bitset below it.
+    pub fn backend_for(&self, node_count: usize) -> IndexBackend {
+        self.index_backend().unwrap_or_else(|| {
+            if node_count >= self.labels_threshold() {
+                IndexBackend::Labels
+            } else {
+                IndexBackend::Bitset
+            }
+        })
+    }
+
+    /// Human-readable backend policy for the observability surface:
+    /// a fixed backend's name, or `"auto"` when the node-count policy
+    /// decides per run.
+    pub fn backend_policy(&self) -> String {
+        self.index_backend()
+            .map_or_else(|| "auto".to_string(), |b| b.name().to_string())
     }
 
     // ------------------------------------------------------------------
@@ -527,6 +648,35 @@ impl Warehouse {
             })
     }
 
+    /// The interval-label reachability index for `run` (cached,
+    /// view-independent, built on first use — the labels-backend analog
+    /// of [`Warehouse::provenance_index`]).
+    pub fn label_index(&self, run_id: RunId) -> Result<Arc<LabelIndex>> {
+        self.label_index_deadline(run_id, &mut Deadline::unlimited())
+    }
+
+    /// [`Warehouse::label_index`] under an execution budget: both label
+    /// passes poll `deadline` per node. An interrupted build caches
+    /// nothing.
+    pub fn label_index_deadline(
+        &self,
+        run_id: RunId,
+        deadline: &mut Deadline,
+    ) -> Result<Arc<LabelIndex>> {
+        let run_row = self
+            .runs
+            .get(&run_id)
+            .ok_or(WarehouseError::RunNotFound(run_id))?;
+        self.labels
+            .get_or_build(run_id, || {
+                LabelIndex::build_deadline(&run_row.run, deadline)
+            })
+            .map_err(|e| match e {
+                IndexBuildError::Cycle => WarehouseError::Model(ModelError::RunHasCycle),
+                IndexBuildError::Interrupted(i) => self.interrupt_error(i),
+            })
+    }
+
     /// Maps a traversal interruption to its typed error, bumping the
     /// matching counter.
     fn interrupt_error(&self, i: Interrupt) -> WarehouseError {
@@ -653,9 +803,19 @@ impl Warehouse {
         deadline: &mut Deadline,
     ) -> Result<ProvenanceResult> {
         let vr = self.view_run(run_id, view_id)?;
-        let index = self.provenance_index_deadline(run_id, deadline)?;
         let run = self.run(run_id)?;
-        match query::deep_provenance_indexed_deadline(run, &vr, &index, data, deadline) {
+        let res = match self.backend_for(run.graph().node_count()) {
+            IndexBackend::Labels => {
+                let labels = self.label_index_deadline(run_id, deadline)?;
+                query::deep_provenance_labeled_deadline(run, &vr, &labels, data, deadline)
+            }
+            IndexBackend::Bitset => {
+                let index = self.provenance_index_deadline(run_id, deadline)?;
+                query::deep_provenance_indexed_deadline(run, &vr, &index, data, deadline)
+            }
+            IndexBackend::Bfs => query::deep_provenance_deadline(run, &vr, data, deadline),
+        };
+        match res {
             Ok(Some(r)) => Ok(r),
             Ok(None) => Err(self.invisible_or_missing(run_id, view_id, data)),
             Err(QueryFailure::Corrupt(e)) => Err(WarehouseError::CorruptViewRun(e)),
@@ -850,9 +1010,19 @@ impl Warehouse {
         deadline: &mut Deadline,
     ) -> Result<Vec<DataId>> {
         let vr = self.view_run(run_id, view_id)?;
-        let index = self.provenance_index_deadline(run_id, deadline)?;
         let run = self.run(run_id)?;
-        match query::dependents_of_indexed_deadline(run, &vr, &index, data, deadline) {
+        let res = match self.backend_for(run.graph().node_count()) {
+            IndexBackend::Labels => {
+                let labels = self.label_index_deadline(run_id, deadline)?;
+                query::dependents_of_labeled_deadline(run, &vr, &labels, data, deadline)
+            }
+            IndexBackend::Bitset => {
+                let index = self.provenance_index_deadline(run_id, deadline)?;
+                query::dependents_of_indexed_deadline(run, &vr, &index, data, deadline)
+            }
+            IndexBackend::Bfs => query::dependents_of_deadline(run, &vr, data, deadline),
+        };
+        match res {
             Ok(Some(v)) => Ok(v),
             Ok(None) => Err(self.invisible_or_missing(run_id, view_id, data)),
             Err(i) => Err(self.interrupt_error(i)),
@@ -952,10 +1122,12 @@ impl Warehouse {
         }
     }
 
-    /// Drops every materialized view-run and every provenance index.
+    /// Drops every materialized view-run and every provenance index
+    /// (bitset and labels alike).
     pub fn clear_cache(&self) {
         self.cache.clear();
         self.index.clear();
+        self.labels.clear();
     }
 
     /// The metrics registry shared by every warehouse hot path.
@@ -971,8 +1143,41 @@ impl Warehouse {
     /// A full metrics snapshot folded over the given table stats — the
     /// durable wrapper passes its journal-aware [`WarehouseStats`] here.
     pub fn metrics_with(&self, stats: WarehouseStats) -> MetricsSnapshot {
-        self.metrics
-            .snapshot_into(stats, self.cache.metrics(), self.index.metrics())
+        self.metrics.snapshot_into(
+            stats,
+            self.cache.metrics(),
+            self.index.metrics(),
+            self.index_metrics(),
+        )
+    }
+
+    /// Gauges over the resident reachability indexes: backend policy,
+    /// bytes held by each cache, and the label-size distribution.
+    pub fn index_metrics(&self) -> IndexMetrics {
+        let bitset_bytes = self
+            .index
+            .fold_entries(0u64, |acc, i| acc + i.memory_bytes() as u64);
+        let (label_bytes, label_intervals, label_count_hist) = self.labels.fold_entries(
+            (0u64, 0u64, [0u64; 16]),
+            |(bytes, intervals, mut hist), l| {
+                for (i, b) in l.label_count_histogram().iter().enumerate() {
+                    hist[i] += b;
+                }
+                (
+                    bytes + l.memory_bytes() as u64,
+                    intervals + l.interval_count(),
+                    hist,
+                )
+            },
+        );
+        IndexMetrics {
+            backend: self.backend_policy(),
+            bitset_bytes,
+            label_bytes,
+            label_intervals,
+            label_count_hist,
+            label_cache: self.labels.metrics(),
+        }
     }
 
     /// Caps the view-run cache at `capacity` entries (0 = unbounded).
@@ -988,6 +1193,11 @@ impl Warehouse {
     /// `(hits, misses)` of the provenance-index cache.
     pub fn index_counters(&self) -> (u64, u64) {
         self.index.counters()
+    }
+
+    /// `(hits, misses)` of the label-index cache.
+    pub fn label_index_counters(&self) -> (u64, u64) {
+        self.labels.counters()
     }
 
     // ------------------------------------------------------------------
@@ -1028,6 +1238,7 @@ impl Warehouse {
             self.next_run = id.0;
             self.cache.invalidate_run(id);
             self.index.invalidate_run(id);
+            self.labels.invalidate_run(id);
         }
     }
 
@@ -1131,6 +1342,71 @@ mod tests {
         assert_eq!(stats.steps, 2);
         assert_eq!(stats.data_objects, 3);
         assert_eq!(stats.cached_view_runs, 2);
+    }
+
+    #[test]
+    fn backend_selector_dispatches_and_answers_agree() {
+        let mut w = Warehouse::new();
+        let s = spec();
+        let sid = w.register_spec(s.clone()).unwrap();
+        let admin = w.register_view(sid, UserView::admin(&s)).unwrap();
+        let rid = w.load_run(sid, run(&s)).unwrap();
+
+        // Automatic policy: a 4-node run graph sits far below the
+        // threshold, so the bitset backend answers.
+        assert_eq!(w.index_backend(), None);
+        assert_eq!(w.backend_for(4), IndexBackend::Bitset);
+        assert_eq!(w.backend_policy(), "auto");
+        let baseline = w.deep_provenance(rid, admin, DataId(3)).unwrap();
+        let dep_baseline = w.dependents_of(rid, admin, DataId(1)).unwrap();
+        assert_eq!(w.index_counters().1, 1, "bitset index built once");
+        assert_eq!(w.label_index_counters(), (0, 0), "labels untouched");
+
+        // Dropping the threshold flips the same run onto labels.
+        w.set_labels_threshold(1);
+        assert_eq!(w.backend_for(4), IndexBackend::Labels);
+        assert_eq!(w.deep_provenance(rid, admin, DataId(3)).unwrap(), baseline);
+        assert_eq!(
+            w.dependents_of(rid, admin, DataId(1)).unwrap(),
+            dep_baseline
+        );
+        assert_eq!(w.label_index_counters().1, 1, "label index built once");
+
+        // Forcing each backend overrides the policy; every answer agrees.
+        for backend in [
+            IndexBackend::Bfs,
+            IndexBackend::Bitset,
+            IndexBackend::Labels,
+        ] {
+            w.set_index_backend(Some(backend));
+            assert_eq!(w.index_backend(), Some(backend));
+            assert_eq!(w.backend_policy(), backend.name());
+            assert_eq!(w.backend_for(1_000_000), backend);
+            assert_eq!(w.deep_provenance(rid, admin, DataId(3)).unwrap(), baseline);
+            assert_eq!(
+                w.dependents_of(rid, admin, DataId(1)).unwrap(),
+                dep_baseline
+            );
+        }
+        w.set_index_backend(None);
+        assert_eq!(w.index_backend(), None);
+
+        // The gauges see both resident indexes.
+        let ix = w.index_metrics();
+        assert!(ix.bitset_bytes > 0);
+        assert!(ix.label_bytes > 0);
+        assert!(ix.label_intervals >= 8, "4 nodes × 2 directions ≥ 8");
+        assert_eq!(ix.backend, "auto");
+        assert_eq!(
+            ix.label_count_hist.iter().sum::<u64>(),
+            8,
+            "one histogram entry per node per direction"
+        );
+
+        // clear_cache drops the label cache too.
+        w.clear_cache();
+        assert_eq!(w.index_metrics().label_bytes, 0);
+        assert_eq!(w.index_metrics().bitset_bytes, 0);
     }
 
     #[test]

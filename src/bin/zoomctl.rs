@@ -210,6 +210,11 @@ fn stats(path: &Path, json: bool) -> Result<(), String> {
     out!("runs         : {}", s.runs);
     out!("steps        : {}", s.steps);
     out!("data objects : {}", s.data_objects);
+    out!(
+        "index        : {} (labels at >= {} nodes)",
+        zoom.warehouse().backend_policy(),
+        zoom.warehouse().labels_threshold()
+    );
     Ok(())
 }
 

@@ -164,6 +164,14 @@ const DOCUMENTED_KEYS: &[&str] = &[
     "\"evictions\"",
     "\"entries\"",
     "\"build_nanos\"",
+    // reachability index backends (DESIGN.md §13)
+    "\"index\"",
+    "\"backend\"",
+    "\"bitset_bytes\"",
+    "\"label_bytes\"",
+    "\"label_intervals\"",
+    "\"label_count_hist\"",
+    "\"label_cache\"",
     // batch fan-out
     "\"batch\"",
     "\"batches\"",
