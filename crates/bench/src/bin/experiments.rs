@@ -2,11 +2,11 @@
 //!
 //! ```sh
 //! experiments [all|table1|table2|scalability|optimality|fig10|response_time|view_switch|fig11|
-//!              index_speedup|index_scaling] [--scale paper|quick] [--seed N]
+//!              index_speedup|index_scaling|replay_throughput] [--scale paper|quick] [--seed N]
 //! ```
 //!
-//! `index_scaling` additionally writes the `BENCH_<date>.json` scorecard to
-//! the current directory.
+//! `index_scaling` and `replay_throughput` additionally write (or append
+//! to) the `BENCH_<date>.json` scorecard in the current directory.
 
 use zoom_bench::experiments::*;
 use zoom_bench::{build_corpus, Scale};
@@ -127,6 +127,18 @@ fn main() {
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
         }
+        "replay_throughput" => {
+            section("replay_throughput", replay::report(scale, seed));
+            let date = index_speedup::today_stamp();
+            let path = format!("BENCH_{date}.json");
+            let b = replay::run(scale, seed);
+            let obj = replay::scorecard_json(&b, scale, &date);
+            let existing = std::fs::read_to_string(&path).unwrap_or_default();
+            match std::fs::write(&path, replay::append_scorecard(&existing, &obj)) {
+                Ok(()) => eprintln!("appended to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
         other => die(&format!("unknown experiment `{other}`")),
     };
 
@@ -142,6 +154,7 @@ fn main() {
             "fig11",
             "index_speedup",
             "index_scaling",
+            "replay_throughput",
             "open_problem",
         ] {
             run_one(name, &mut corpus);

@@ -14,7 +14,9 @@
 //!   [`experiments::switching`], [`experiments::fig11`],
 //!   [`experiments::index_speedup`] (BFS vs. bitset base-closure index vs.
 //!   interval labels, including the adversarial-shape scaling sweep behind
-//!   the `BENCH_<date>.json` scorecard), plus the beyond-the-paper
+//!   the `BENCH_<date>.json` scorecard), [`experiments::replay`] (the
+//!   trace capture/replay throughput load generator, the scorecard's
+//!   second entry), plus the beyond-the-paper
 //!   [`experiments::open_problem`] gap study.
 //!
 //! The `experiments` binary drives them:
@@ -30,6 +32,7 @@ pub mod experiments {
     pub mod index_speedup;
     pub mod open_problem;
     pub mod optimality;
+    pub mod replay;
     pub mod response;
     pub mod scalability;
     pub mod switching;

@@ -47,9 +47,10 @@ pub use queries::{
 };
 pub use render::{provenance_to_dot, provenance_to_text, view_on_spec_to_dot};
 pub use session::QuerySession;
-pub use system::Zoom;
+pub use system::{StreamHandle, Zoom};
 
 pub use zoom_warehouse::{
     BreakerState, HealthReport, ImmediateAnswer, IndexBackend, ProvenanceResult, ProvenanceRow,
-    Result, RunId, SpecId, ViewId, Warehouse, WarehouseError,
+    PushOutcome, ReplayOptions, ReplayReport, Result, RunId, SpecId, StreamError, TraceError,
+    TraceOp, TraceRecorder, TraceReplayer, TraceTarget, ViewId, Warehouse, WarehouseError,
 };

@@ -3,13 +3,14 @@
 
 use std::path::Path;
 use zoom_graph::NodeId;
-use zoom_model::{DataId, EventLog, UserView, WorkflowRun, WorkflowSpec};
+use zoom_model::{DataId, EventLog, LogEvent, UserView, WorkflowRun, WorkflowSpec};
 use zoom_views::relev_user_view_builder;
+use zoom_warehouse::metrics::MetricsRegistry;
 use zoom_warehouse::persist::PersistError;
 use zoom_warehouse::{
     DurableError, DurableOptions, DurableWarehouse, HealthReport, ImmediateAnswer, IndexBackend,
-    MetricsSnapshot, ProvenanceResult, Result, RunId, SlowQuery, SpecId, ViewId, Warehouse,
-    WarehouseError, WarehouseStats,
+    MetricsSnapshot, ProvenanceResult, PushOutcome, Result, RunId, SlowQuery, SpecId, StreamError,
+    TraceOp, TraceTarget, ViewId, Warehouse, WarehouseError, WarehouseStats,
 };
 
 /// Maps a durable-store error back into the warehouse error space:
@@ -276,6 +277,60 @@ impl Zoom {
     }
 
     // ------------------------------------------------------------------
+    // Streaming ingestion
+    // ------------------------------------------------------------------
+
+    /// Opens a streaming run against a registered spec and returns a
+    /// handle for pushing events. The run is queryable immediately: every
+    /// committed step answers deep/forward provenance mid-run, and
+    /// [`StreamHandle::seal`] turns the prefix into a complete run.
+    /// Journaled event-by-event when durable.
+    pub fn begin_stream(&mut self, spec: SpecId) -> Result<StreamHandle<'_>> {
+        let run = match &mut self.backing {
+            Backing::Memory(w) => w.begin_stream(spec)?,
+            Backing::Durable(dw) => dw.begin_stream(spec).map_err(durability_err)?,
+        };
+        Ok(StreamHandle { zoom: self, run })
+    }
+
+    /// Re-attaches to a live stream (e.g. after recovering a durable
+    /// store that crashed mid-run). Errors if the run is not streaming.
+    pub fn resume_stream(&mut self, run: RunId) -> Result<StreamHandle<'_>> {
+        if !self.warehouse().is_streaming(run) {
+            self.warehouse().run(run)?; // surface RunNotFound first
+            return Err(WarehouseError::Stream(StreamError::SealedStream));
+        }
+        Ok(StreamHandle { zoom: self, run })
+    }
+
+    /// Pushes one event into a live stream (journaled when durable).
+    /// Handle-free variant of [`StreamHandle::push_event`].
+    pub fn stream_push(&mut self, run: RunId, event: &LogEvent) -> Result<PushOutcome> {
+        match &mut self.backing {
+            Backing::Memory(w) => w.stream_push(run, event),
+            Backing::Durable(dw) => dw.stream_push(run, event).map_err(durability_err),
+        }
+    }
+
+    /// Seals a live stream into a complete run (journaled when durable).
+    pub fn stream_seal(&mut self, run: RunId) -> Result<()> {
+        match &mut self.backing {
+            Backing::Memory(w) => w.stream_seal(run),
+            Backing::Durable(dw) => dw.stream_seal(run).map_err(durability_err),
+        }
+    }
+
+    /// Number of live (unsealed) streams.
+    pub fn active_streams(&self) -> usize {
+        self.warehouse().active_streams()
+    }
+
+    /// Whether `run` is a live stream.
+    pub fn is_streaming(&self, run: RunId) -> bool {
+        self.warehouse().is_streaming(run)
+    }
+
+    // ------------------------------------------------------------------
     // Queries
     // ------------------------------------------------------------------
 
@@ -373,6 +428,60 @@ impl Zoom {
         Ok(Zoom {
             backing: Backing::Memory(Box::new(zoom_warehouse::persist::load(path)?)),
         })
+    }
+}
+
+/// A borrow of a [`Zoom`] system scoped to one live streaming run.
+///
+/// Obtained from [`Zoom::begin_stream`] / [`Zoom::resume_stream`]. Events
+/// pushed through the handle commit steps into the run's queryable prefix
+/// as their provenance closes; [`StreamHandle::seal`] completes the run.
+#[derive(Debug)]
+pub struct StreamHandle<'a> {
+    zoom: &'a mut Zoom,
+    run: RunId,
+}
+
+impl StreamHandle<'_> {
+    /// The streaming run's id (valid for queries right away).
+    pub fn run_id(&self) -> RunId {
+        self.run
+    }
+
+    /// Pushes one event. `Committed` lists the steps that entered the
+    /// queryable prefix because of this event; `Buffered` means the event
+    /// was accepted (and journaled, when durable) but its step still waits
+    /// on upstream producers.
+    pub fn push_event(&mut self, event: &LogEvent) -> Result<PushOutcome> {
+        self.zoom.stream_push(self.run, event)
+    }
+
+    /// Seals the stream: every started step must have committed and at
+    /// least one output been finalized. Consumes the handle and returns
+    /// the (now complete) run's id.
+    pub fn seal(self) -> Result<RunId> {
+        self.zoom.stream_seal(self.run)?;
+        Ok(self.run)
+    }
+
+    /// Read access to the system, for querying mid-stream.
+    pub fn zoom(&self) -> &Zoom {
+        self.zoom
+    }
+}
+
+impl TraceTarget for Zoom {
+    fn apply_trace_op(&mut self, op: &TraceOp) -> u64 {
+        // Delegate to the backing store's own impl so mutations take the
+        // journaled path on durable systems and digests stay canonical.
+        match &mut self.backing {
+            Backing::Memory(w) => w.apply_trace_op(op),
+            Backing::Durable(dw) => dw.apply_trace_op(op),
+        }
+    }
+
+    fn replay_metrics(&self) -> Option<&MetricsRegistry> {
+        Some(self.warehouse().metrics_registry())
     }
 }
 
@@ -537,6 +646,74 @@ mod tests {
         ] {
             assert!(json.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn streaming_through_facade() {
+        let mut z = Zoom::new();
+        let s = spec();
+        let sid = z.register_workflow(s.clone()).unwrap();
+        let admin = z.admin_view(sid).unwrap();
+        let log = EventLog::from_run(&run(&s), &s);
+
+        let mut h = z.begin_stream(sid).unwrap();
+        let rid = h.run_id();
+        let mut committed = 0usize;
+        for ev in &log.events {
+            if let PushOutcome::Committed(steps) = h.push_event(ev).unwrap() {
+                committed += steps.len();
+            }
+        }
+        assert_eq!(committed, 2);
+        // Queryable before the seal: the committed prefix answers deep
+        // provenance of d2. The final output d3 only joins the graph when
+        // the seal attaches it to the output node.
+        let res = h.zoom().deep_provenance(rid, admin, DataId(2)).unwrap();
+        assert_eq!(res.tuples(), 2);
+        assert!(h.zoom().deep_provenance(rid, admin, DataId(3)).is_err());
+        assert_eq!(h.seal().unwrap(), rid);
+        assert!(!z.is_streaming(rid));
+        assert_eq!(z.active_streams(), 0);
+        let res = z.deep_provenance_of_final_output(rid, admin).unwrap();
+        assert_eq!(res.tuples(), 3);
+        let m = z.metrics();
+        assert_eq!(m.stream.streams_started, 1);
+        assert_eq!(m.stream.streams_sealed, 1);
+        assert_eq!(m.stream.steps_committed, 2);
+
+        // Resume only works on live streams.
+        assert!(z.resume_stream(rid).is_err());
+        let h2 = z.begin_stream(sid).unwrap();
+        let rid2 = h2.run_id();
+        assert!(z.resume_stream(rid2).is_ok());
+    }
+
+    #[test]
+    fn trace_roundtrip_through_facade() {
+        use zoom_warehouse::{ReplayOptions, TraceRecorder, TraceReplayer};
+        let s = spec();
+        let log = EventLog::from_run(&run(&s), &s);
+
+        let mut z = Zoom::new();
+        let mut rec = TraceRecorder::default();
+        rec.record(&mut z, TraceOp::RegisterSpec(s.clone()));
+        rec.record(&mut z, TraceOp::RegisterView(sid0(), UserView::admin(&s)));
+        rec.record(&mut z, TraceOp::BeginStream(sid0()));
+        for ev in &log.events {
+            rec.record(&mut z, TraceOp::PushEvent(RunId(0), ev.clone()));
+        }
+        rec.record(&mut z, TraceOp::SealStream(RunId(0)));
+        rec.record(&mut z, TraceOp::DeepProvenance(RunId(0), ViewId(0), DataId(3)));
+
+        let replayer = TraceReplayer::from_bytes(&rec.to_bytes()).unwrap();
+        let mut fresh = Zoom::new();
+        let report = replayer.replay(&mut fresh, &ReplayOptions::default());
+        assert!(report.is_clean(), "mismatches: {:?}", report.mismatches);
+        assert_eq!(fresh.metrics().replay.sessions, 1);
+    }
+
+    fn sid0() -> SpecId {
+        SpecId(0)
     }
 
     #[test]

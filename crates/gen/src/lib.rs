@@ -17,7 +17,9 @@
 //!   Figure 2 run (`S1..S10`, `d1..d447`);
 //! * [`stats`] — pattern/size statistics extraction over specs and runs;
 //! * [`adversarial`] — deterministic extreme shapes (deep chains, wide
-//!   fan-outs, diamond lattices) for the reachability-index scaling sweep.
+//!   fan-outs, diamond lattices) for the reachability-index scaling sweep;
+//! * [`streamlog`] — causally valid random interleavings of a run's event
+//!   log, the arrival orders the streaming-ingestion tests replay.
 
 pub mod adversarial;
 pub mod classes;
@@ -25,6 +27,7 @@ pub mod library;
 pub mod rungen;
 pub mod specgen;
 pub mod stats;
+pub mod streamlog;
 
 pub use adversarial::{deep_chain, diamond_lattice, wide_fanout};
 pub use classes::{Pattern, WorkflowClass};
@@ -34,6 +37,7 @@ pub use stats::{
     infer_loop_iterations, infer_patterns, run_stats, spec_stats, PatternCounts, RunStats,
     SpecStats, Summary,
 };
+pub use streamlog::interleaved_log;
 
 use rand::Rng;
 use zoom_model::WorkflowSpec;

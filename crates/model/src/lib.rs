@@ -32,6 +32,6 @@ pub use error::{ModelError, Result};
 pub use ids::{CompositeId, DataId, StepId, Timestamp};
 pub use induced::{induced_spec, InducedSpec};
 pub use log::{EventLog, LogEvent};
-pub use run::{Producer, RunBuilder, RunNode, UserInputMeta, WorkflowRun};
+pub use run::{Producer, RunBuilder, RunNode, StepAppend, UserInputMeta, WorkflowRun};
 pub use spec::{ModuleKind, SpecBuilder, SpecNode, WorkflowSpec};
 pub use view::{CompositeModule, UserView};

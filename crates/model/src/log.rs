@@ -188,6 +188,19 @@ impl EventLog {
     /// and read by `B`; objects read but never written are user inputs;
     /// `Finalized` objects flow to the run's output node.
     pub fn to_run(&self, spec: &WorkflowSpec) -> Result<WorkflowRun> {
+        self.reconstruct(spec, false)
+    }
+
+    /// Reconstructs a streaming *prefix* run from this log: like
+    /// [`EventLog::to_run`], but `Finalized` events are ignored (the stream
+    /// has not sealed yet) and the resulting run satisfies only the prefix
+    /// invariants ([`RunBuilder::build_prefix`]). This is the batch oracle
+    /// the differential streaming tests compare against.
+    pub fn to_run_prefix(&self, spec: &WorkflowSpec) -> Result<WorkflowRun> {
+        self.reconstruct(spec, true)
+    }
+
+    fn reconstruct(&self, spec: &WorkflowSpec, prefix: bool) -> Result<WorkflowRun> {
         if spec.name() != self.spec_name {
             return Err(ModelError::SpecMismatch(format!(
                 "log is for spec `{}`, got `{}`",
@@ -241,7 +254,11 @@ impl EventLog {
                 } => {
                     params.push((*step, key.clone(), value.clone()));
                 }
-                LogEvent::Finalized { data, .. } => finals.push(*data),
+                LogEvent::Finalized { data, .. } => {
+                    if !prefix {
+                        finals.push(*data);
+                    }
+                }
                 LogEvent::StepFinished { .. } => {}
             }
         }
@@ -266,13 +283,15 @@ impl EventLog {
                     }
                     None => {
                         // Read but never written: user input. Restore the
-                        // recorded metadata when available.
-                        if let Some(&d0) = ds.first() {
-                            if let Some((user, _)) = user_meta.get(&DataId(d0)) {
-                                rb.user(user.clone());
+                        // recorded who/when — the streaming ingestor keeps
+                        // the log's own metadata, and batch reconstruction
+                        // must agree with it exactly.
+                        rb.input_edge(step, ds.iter().copied());
+                        for &d in &ds {
+                            if let Some((user, time)) = user_meta.get(&DataId(d)) {
+                                rb.input_meta(d, user.clone(), *time);
                             }
                         }
-                        rb.input_edge(step, ds);
                     }
                 }
             }
@@ -290,7 +309,11 @@ impl EventLog {
             rb.output_edge(p, ds);
         }
 
-        rb.build()
+        if prefix {
+            rb.build_prefix()
+        } else {
+            rb.build()
+        }
     }
 
     /// Number of events.

@@ -52,6 +52,25 @@ pub enum Producer {
     UserInput,
 }
 
+/// One committed step of a streaming ingestion, ready to be appended to a
+/// prefix run: the step's identity plus its inputs grouped by producer
+/// (`None` = user input) — exactly the grouping [`crate::EventLog::to_run`]
+/// derives for batch logs, so a streamed prefix and a batch-loaded prefix
+/// are structurally identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepAppend {
+    /// The step id.
+    pub id: StepId,
+    /// The module (a specification node) the step executes.
+    pub module: NodeId,
+    /// Inputs grouped by producing step (`None` = user input).
+    pub inputs: Vec<(Option<StepId>, Vec<DataId>)>,
+    /// Parameters recorded for the step.
+    pub params: BTreeMap<String, String>,
+    /// Metadata for user-input data first read by this step.
+    pub user_meta: Vec<(DataId, UserInputMeta)>,
+}
+
 /// A validated workflow run.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct WorkflowRun {
@@ -213,9 +232,187 @@ impl WorkflowRun {
         Ok(v)
     }
 
+    /// Whether this run is a streaming *prefix*: no data has reached the
+    /// output node yet. Complete runs always have final outputs, so an
+    /// untouched output node is the structural signature of a run still
+    /// being ingested (see [`WorkflowRun::empty_prefix`]).
+    pub fn is_prefix(&self) -> bool {
+        self.graph.in_edges(self.output()).next().is_none()
+    }
+
+    /// An empty streaming prefix of `spec`: input and output nodes only.
+    /// Steps arrive through [`WorkflowRun::append_step`] and the run is
+    /// completed by [`WorkflowRun::add_final_outputs`].
+    pub fn empty_prefix(spec: &WorkflowSpec) -> Self {
+        let mut graph = Digraph::new();
+        graph.add_node(RunNode::Input);
+        graph.add_node(RunNode::Output);
+        WorkflowRun {
+            spec_name: spec.name().to_string(),
+            graph,
+            node_of_step: HashMap::new(),
+            producer: HashMap::new(),
+            user_input_meta: HashMap::new(),
+            params: HashMap::new(),
+        }
+    }
+
+    /// Appends one committed step to a prefix run, in place.
+    ///
+    /// The step's node is added *after* every existing node and only edges
+    /// *into* it are created, so incremental reachability indexes can
+    /// extend rather than rebuild ([`append_node`]'s pure-extension
+    /// contract: every endpoint of a new edge precedes the new node).
+    /// Every referenced producer must already be present — streaming
+    /// ingestion guarantees this by committing a step only after all of
+    /// its producers.
+    ///
+    /// [`append_node`]: https://en.wikipedia.org/wiki/Reachability
+    pub fn append_step(&mut self, spec: &WorkflowSpec, step: &StepAppend) -> Result<()> {
+        if self.node_of_step.contains_key(&step.id) {
+            return Err(ModelError::DuplicateStep(step.id.0));
+        }
+        if !spec.is_module(step.module) {
+            return Err(ModelError::SpecMismatch(format!(
+                "step {} executes a non-module node",
+                step.id
+            )));
+        }
+        // Validate every group before mutating anything, so a rejected
+        // append leaves the prefix untouched.
+        for (producer, data) in &step.inputs {
+            if data.is_empty() {
+                return Err(ModelError::EmptyDataEdge {
+                    from: format!("{producer:?}"),
+                    to: format!("{}", step.id),
+                });
+            }
+            let (src, spec_src) = match producer {
+                None => (self.input(), spec.input()),
+                Some(p) => {
+                    let n = self.node_of_step(*p)?;
+                    match self.graph.node(n) {
+                        RunNode::Step { module, .. } => (n, *module),
+                        _ => unreachable!("node_of_step always returns a step node"),
+                    }
+                }
+            };
+            if !spec.graph().has_edge(spec_src, step.module) {
+                return Err(ModelError::SpecMismatch(format!(
+                    "run edge {} -> {} has no specification edge",
+                    self.graph.node(src),
+                    step.id
+                )));
+            }
+            for &d in data {
+                if let Some(&prev) = self.producer.get(&d) {
+                    if prev != src {
+                        let step_of = |n: NodeId| match self.graph.node(n) {
+                            RunNode::Step { id, .. } => id.0,
+                            _ => 0,
+                        };
+                        return Err(ModelError::DataProducedTwice {
+                            data: d.0,
+                            first: step_of(prev),
+                            second: step_of(src),
+                        });
+                    }
+                }
+            }
+        }
+        let node = self.graph.add_node(RunNode::Step {
+            id: step.id,
+            module: step.module,
+        });
+        self.node_of_step.insert(step.id, node);
+        for (producer, data) in &step.inputs {
+            let src = match producer {
+                None => self.input(),
+                Some(p) => self.node_of_step[p],
+            };
+            let mut ds = data.clone();
+            ds.sort();
+            ds.dedup();
+            for &d in &ds {
+                self.producer.entry(d).or_insert(src);
+            }
+            self.graph.add_edge(src, node, ds);
+        }
+        for (d, meta) in &step.user_meta {
+            self.user_input_meta
+                .entry(*d)
+                .or_insert_with(|| meta.clone());
+        }
+        if !step.params.is_empty() {
+            self.params
+                .entry(step.id)
+                .or_default()
+                .extend(step.params.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        Ok(())
+    }
+
+    /// Completes a prefix run: adds the final-output edges (grouped by
+    /// producing step) into the output node. After this the run is a
+    /// complete run and [`WorkflowRun::validate`] applies the full
+    /// every-node-on-an-input-output-path invariant again.
+    pub fn add_final_outputs(
+        &mut self,
+        spec: &WorkflowSpec,
+        finals: &[(StepId, Vec<DataId>)],
+    ) -> Result<()> {
+        for (p, data) in finals {
+            if data.is_empty() {
+                return Err(ModelError::EmptyDataEdge {
+                    from: format!("{p}"),
+                    to: "output".to_string(),
+                });
+            }
+            let n = self.node_of_step(*p)?;
+            let module = match self.graph.node(n) {
+                RunNode::Step { module, .. } => *module,
+                _ => unreachable!("node_of_step always returns a step node"),
+            };
+            if !spec.graph().has_edge(module, spec.output()) {
+                return Err(ModelError::SpecMismatch(format!(
+                    "final outputs of {p} have no specification edge to output"
+                )));
+            }
+            for &d in data {
+                if let Some(&src) = self.producer.get(&d) {
+                    if src != n {
+                        let step_of = |m: NodeId| match self.graph.node(m) {
+                            RunNode::Step { id, .. } => id.0,
+                            _ => 0,
+                        };
+                        return Err(ModelError::DataProducedTwice {
+                            data: d.0,
+                            first: step_of(src),
+                            second: p.0,
+                        });
+                    }
+                }
+            }
+        }
+        let output = self.output();
+        for (p, data) in finals {
+            let n = self.node_of_step[p];
+            let mut ds = data.clone();
+            ds.sort();
+            ds.dedup();
+            for &d in &ds {
+                self.producer.entry(d).or_insert(n);
+            }
+            self.graph.add_edge(n, output, ds);
+        }
+        Ok(())
+    }
+
     /// Re-validates the structural invariants against `spec` — used when a
     /// run arrives from untrusted bytes (snapshot/journal deserialization)
-    /// rather than through [`RunBuilder`].
+    /// rather than through [`RunBuilder`]. Streaming prefixes (runs whose
+    /// output node is still untouched) relax the path invariant to
+    /// reachable-from-input; everything else is checked identically.
     pub fn validate(&self, spec: &WorkflowSpec) -> Result<()> {
         if spec.name() != self.spec_name {
             return Err(ModelError::SpecMismatch(format!(
@@ -227,7 +424,23 @@ impl WorkflowRun {
         if !is_acyclic(&self.graph) {
             return Err(ModelError::RunHasCycle);
         }
-        if !all_nodes_on_paths(&self.graph, self.input(), self.output()) {
+        if self.is_prefix() {
+            // Committed streaming steps always hang off the input node
+            // through their (already committed) producers; the output node
+            // is legitimately unreachable until the stream seals.
+            let reach =
+                zoom_graph::reachable_set(&self.graph, self.input(), zoom_graph::Direction::Forward);
+            let output = self.output();
+            if self
+                .graph
+                .node_ids()
+                .any(|n| n != output && !reach.contains(n.index()))
+            {
+                return Err(ModelError::NotOnInputOutputPath(
+                    "prefix run node".to_string(),
+                ));
+            }
+        } else if !all_nodes_on_paths(&self.graph, self.input(), self.output()) {
             return Err(ModelError::NotOnInputOutputPath("run node".to_string()));
         }
         // Step index consistency and module existence.
@@ -494,6 +707,26 @@ impl<'a> RunBuilder<'a> {
         self
     }
 
+    /// Overrides the recorded metadata of one user-input object. Log
+    /// reconstruction uses this to restore the log's who/when — the actual
+    /// provenance of user-input data — in place of the builder's own
+    /// default user and logical clock.
+    pub fn input_meta(
+        &mut self,
+        data: u64,
+        user: impl Into<String>,
+        time: Timestamp,
+    ) -> &mut Self {
+        self.user_input_meta.insert(
+            DataId(data),
+            UserInputMeta {
+                user: user.into(),
+                time,
+            },
+        );
+        self
+    }
+
     /// Records final outputs flowing from `from` to the run's output node.
     pub fn output_edge(&mut self, from: StepId, data: impl IntoIterator<Item = u64>) -> &mut Self {
         let Some(a) = self.step_node(from) else {
@@ -506,6 +739,18 @@ impl<'a> RunBuilder<'a> {
 
     /// Validates and finalizes the run.
     pub fn build(self) -> Result<WorkflowRun> {
+        self.finish(false)
+    }
+
+    /// Validates and finalizes a streaming *prefix*: final outputs may be
+    /// absent and nodes only need to be reachable from the input node
+    /// (the seal will connect them to the output). All other invariants —
+    /// acyclicity, unique producers, spec conformance — hold unchanged.
+    pub fn build_prefix(self) -> Result<WorkflowRun> {
+        self.finish(true)
+    }
+
+    fn finish(self, prefix: bool) -> Result<WorkflowRun> {
         if let Some(e) = self.deferred.into_iter().next() {
             return Err(e);
         }
@@ -516,7 +761,18 @@ impl<'a> RunBuilder<'a> {
         if !is_acyclic(&graph) {
             return Err(ModelError::RunHasCycle);
         }
-        if !all_nodes_on_paths(&graph, input, output) {
+        if prefix {
+            let reach = zoom_graph::reachable_set(&graph, input, zoom_graph::Direction::Forward);
+            if let Some(bad) = graph
+                .node_ids()
+                .find(|&n| n != output && !reach.contains(n.index()))
+            {
+                return Err(ModelError::NotOnInputOutputPath(format!(
+                    "{:?}",
+                    graph.node(bad)
+                )));
+            }
+        } else if !all_nodes_on_paths(&graph, input, output) {
             let on = zoom_graph::algo::paths::nodes_on_paths(&graph, input, output);
             let bad = graph
                 .node_ids()

@@ -31,11 +31,12 @@ use crate::persist::{self, PersistError};
 use crate::resilience::{CircuitBreaker, HealthReport, RetryPolicy};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
 use crate::store::{Warehouse, WarehouseError};
+use crate::stream::{PushOutcome, StreamError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use zoom_model::{EventLog, UserView, WorkflowRun, WorkflowSpec};
+use zoom_model::{EventLog, LogEvent, UserView, WorkflowRun, WorkflowSpec};
 
 /// Magic bytes identifying a warehouse manifest.
 pub const MANIFEST_MAGIC: &[u8; 8] = b"ZOOMWM\x00\x01";
@@ -434,8 +435,13 @@ impl DurableWarehouse {
 
     /// Compacts after a committed mutation if the tail outgrew the
     /// threshold. The mutation is already durable, so a failed compaction
-    /// is counted but never surfaced as the mutation's error.
+    /// is counted but never surfaced as the mutation's error. Deferred
+    /// while streams are active (see [`DurableWarehouse::checkpoint`]) —
+    /// the tail keeps growing and compaction resumes after the last seal.
     fn maybe_compact(&mut self) {
+        if self.inner.active_streams() > 0 {
+            return;
+        }
         if self.options.auto_compact
             && self.journal_bytes > self.options.compact_threshold_bytes
             && self.checkpoint().is_err()
@@ -488,6 +494,51 @@ impl DurableWarehouse {
         self.load_run(spec, run)
     }
 
+    /// Opens a streaming run, durably (rolled back on a failed append).
+    ///
+    /// While any stream is live, auto-compaction is deferred and explicit
+    /// checkpoints are rejected: a snapshot carries only committed rows,
+    /// so the journal tail from `StreamBegin` onward *is* the stream's
+    /// durable state.
+    pub fn begin_stream(&mut self, spec: SpecId) -> Result<RunId, DurableError> {
+        self.check_writable()?;
+        let id = self.inner.begin_stream(spec)?;
+        if let Err(e) = self.append(&JournalRecord::StreamBegin(id, spec)) {
+            self.inner.rollback_stream(id);
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Pushes one streaming event, durably. The order is
+    /// validate-then-journal-then-apply: `stream_accept` is read-only,
+    /// so a failed append changes nothing and needs no rollback, and by
+    /// the time memory moves the event is already on disk — an
+    /// acknowledged event survives any crash.
+    pub fn stream_push(
+        &mut self,
+        run: RunId,
+        event: &LogEvent,
+    ) -> Result<PushOutcome, DurableError> {
+        self.check_writable()?;
+        let commit = self.inner.stream_accept(run, event)?;
+        self.append(&JournalRecord::StreamEvent(run, event.clone()))?;
+        Ok(self.inner.stream_apply(run, commit))
+    }
+
+    /// Seals a streaming run, durably (same accept/journal/apply order as
+    /// [`DurableWarehouse::stream_push`]). Sealing the last live stream
+    /// re-enables compaction, which may trigger immediately if the tail
+    /// outgrew the threshold during the stream.
+    pub fn stream_seal(&mut self, run: RunId) -> Result<(), DurableError> {
+        self.check_writable()?;
+        let commit = self.inner.stream_seal_check(run)?;
+        self.append(&JournalRecord::StreamSeal(run))?;
+        self.inner.stream_seal_apply(run, commit);
+        self.maybe_compact();
+        Ok(())
+    }
+
     /// Compacts now: snapshot the full state as epoch `e+1`, start an
     /// empty journal, and atomically swing the manifest.
     ///
@@ -506,6 +557,15 @@ impl DurableWarehouse {
     /// provably matches memory again — so the breaker closes and the store
     /// leaves degraded mode; failure re-opens it.
     pub fn checkpoint(&mut self) -> Result<(), DurableError> {
+        // A snapshot cannot carry mid-stream ingestor state; compacting
+        // now would strand every live stream's buffered events. Callers
+        // seal (or the streams finish) first.
+        let active = self.inner.active_streams();
+        if active > 0 {
+            return Err(DurableError::Warehouse(WarehouseError::Stream(
+                StreamError::ActiveStreams(active),
+            )));
+        }
         let started = std::time::Instant::now();
         let probing = self.breaker.is_open();
         if probing {
@@ -990,6 +1050,95 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("epoch:           1"), "{text}");
         assert!(text.contains("1 specs, 1 views, 1 runs"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_survives_mid_run_reopen() {
+        let dir = tempdir("stream-reopen");
+        let s = spec();
+        let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+        let log = {
+            let mut rb = RunBuilder::new(&s);
+            let s1 = rb.step(a);
+            let s2 = rb.step(b);
+            rb.input_edge(s1, [1])
+                .data_edge(s1, s2, [2])
+                .output_edge(s2, [3]);
+            EventLog::from_run(&rb.build().unwrap(), &s)
+        };
+        // Push only the first half of the log, then "crash".
+        let half = log.events.len() / 2;
+        let rid;
+        {
+            let mut dw = DurableWarehouse::open(&dir).unwrap();
+            let sid = dw.register_spec(s.clone()).unwrap();
+            dw.register_view(sid, UserView::admin(&s)).unwrap();
+            rid = dw.begin_stream(sid).unwrap();
+            for ev in &log.events[..half] {
+                dw.stream_push(rid, ev).unwrap();
+            }
+            assert!(dw.warehouse().is_streaming(rid));
+        }
+        // Recovery replays StreamBegin + the acknowledged events: the
+        // stream is still live and accepts the rest, then seals.
+        let mut dw = DurableWarehouse::open(&dir).unwrap();
+        assert!(dw.warehouse().is_streaming(rid));
+        // Mid-stream, a checkpoint is refused.
+        match dw.checkpoint().unwrap_err() {
+            DurableError::Warehouse(WarehouseError::Stream(StreamError::ActiveStreams(1))) => {}
+            e => panic!("unexpected {e}"),
+        }
+        for ev in &log.events[half..] {
+            dw.stream_push(rid, ev).unwrap();
+        }
+        dw.stream_seal(rid).unwrap();
+        assert!(!dw.warehouse().is_streaming(rid));
+        // Sealed: checkpoint works again, and the run answers queries
+        // across one more reopen.
+        dw.checkpoint().unwrap();
+        drop(dw);
+        let dw = DurableWarehouse::open(&dir).unwrap();
+        let w = dw.warehouse();
+        let sid = w.spec_by_name("d").unwrap();
+        let vid = w.find_view(sid, "UAdmin").unwrap();
+        assert_eq!(w.deep_provenance(rid, vid, DataId(3)).unwrap().tuples(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_events_are_durable_once_acknowledged() {
+        let dir = tempdir("stream-acked");
+        let s = spec();
+        let rid;
+        let mut acked = 0usize;
+        {
+            let mut dw = DurableWarehouse::open(&dir).unwrap();
+            let sid = dw.register_spec(s.clone()).unwrap();
+            rid = dw.begin_stream(sid).unwrap();
+            let (a, b) = (s.module("A").unwrap(), s.module("B").unwrap());
+            let log = {
+                let mut rb = RunBuilder::new(&s);
+                let s1 = rb.step(a);
+                let s2 = rb.step(b);
+                rb.input_edge(s1, [1])
+                    .data_edge(s1, s2, [2])
+                    .output_edge(s2, [3]);
+                EventLog::from_run(&rb.build().unwrap(), &s)
+            };
+            for ev in &log.events {
+                dw.stream_push(rid, ev).unwrap();
+                acked += 1;
+            }
+        }
+        // Every acknowledged event is in the journal tail; fsck sees the
+        // records (1 spec + 1 begin + acked events) with no torn bytes.
+        let report = fsck(&dir).unwrap();
+        assert_eq!(report.journal_records, 2 + acked);
+        assert_eq!(report.torn_bytes, 0);
+        let dw = DurableWarehouse::open(&dir).unwrap();
+        assert_eq!(dw.warehouse().stats().runs, 1);
+        assert!(dw.warehouse().is_streaming(rid));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -220,6 +220,35 @@ impl<T> RunKeyedCache<T> {
         Ok(idx)
     }
 
+    /// Mutates the cached value for `run` in place, if one is resident —
+    /// the streaming hook that lets a label index *extend* instead of
+    /// being dropped and rebuilt. Copy-on-write: concurrent readers
+    /// holding the old `Arc` keep a consistent pre-update snapshot
+    /// (`Arc::make_mut` clones only when the entry is shared). Returns
+    /// `Ok(None)` when nothing is cached; on a closure error the entry is
+    /// evicted (a half-updated index must never be served) and the error
+    /// propagates.
+    pub fn update_entry<R, E>(
+        &self,
+        run: RunId,
+        update: impl FnOnce(&mut T) -> Result<R, E>,
+    ) -> Result<Option<R>, E>
+    where
+        T: Clone,
+    {
+        let mut map = self.map.write();
+        let Some(entry) = map.get_mut(&run) else {
+            return Ok(None);
+        };
+        match update(Arc::make_mut(entry)) {
+            Ok(r) => Ok(Some(r)),
+            Err(e) => {
+                map.remove(&run);
+                Err(e)
+            }
+        }
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.map.read().len()

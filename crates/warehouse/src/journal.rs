@@ -15,11 +15,12 @@ use crate::codec::{self, CodecError};
 use crate::io::{RealFs, StorageIo};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow};
 use crate::store::{Warehouse, WarehouseError};
+use crate::stream::{PushOutcome, StreamError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
-use zoom_model::{EventLog, UserView, WorkflowRun, WorkflowSpec};
+use zoom_model::{EventLog, LogEvent, UserView, WorkflowRun, WorkflowSpec};
 
 /// Magic bytes identifying a warehouse journal.
 pub const MAGIC: &[u8; 8] = b"ZOOMWJ\x00\x01";
@@ -106,6 +107,18 @@ pub(crate) enum JournalRecord {
     View(ViewId, ViewRow),
     /// A loaded run.
     Run(RunId, RunRow),
+    // Streaming records follow. New variants go at the END of the enum:
+    // the codec encodes variants by index, so reordering would silently
+    // misread old journals.
+    /// A streaming run was opened against a spec.
+    StreamBegin(RunId, SpecId),
+    /// One accepted streaming event. Journaled event-at-a-time — not
+    /// batched — so every acknowledged event is durable before `apply`
+    /// mutates memory, and recovery replays exactly the acknowledged
+    /// prefix.
+    StreamEvent(RunId, LogEvent),
+    /// A streaming run was sealed into a complete run.
+    StreamSeal(RunId),
 }
 
 /// Encodes one record as a wire frame: `[len][crc][payload]`.
@@ -334,6 +347,39 @@ impl JournaledWarehouse {
         self.load_run(spec, run)
     }
 
+    /// Opens a streaming run, durably (rolled back on a failed append).
+    pub fn begin_stream(&mut self, spec: SpecId) -> Result<RunId, JournalError> {
+        let id = self.inner.begin_stream(spec)?;
+        if let Err(e) = self.append(&JournalRecord::StreamBegin(id, spec)) {
+            self.inner.rollback_stream(id);
+            return Err(e);
+        }
+        Ok(id)
+    }
+
+    /// Pushes one streaming event, durably. Validation (`stream_accept`)
+    /// is read-only, the journal append happens before the in-memory
+    /// apply, and the apply is infallible — so an acknowledged event is
+    /// always on disk, and a failed append changes nothing.
+    pub fn stream_push(
+        &mut self,
+        run: RunId,
+        event: &LogEvent,
+    ) -> Result<PushOutcome, JournalError> {
+        let commit = self.inner.stream_accept(run, event)?;
+        self.append(&JournalRecord::StreamEvent(run, event.clone()))?;
+        Ok(self.inner.stream_apply(run, commit))
+    }
+
+    /// Seals a streaming run, durably (same accept/journal/apply order as
+    /// [`JournaledWarehouse::stream_push`]).
+    pub fn stream_seal(&mut self, run: RunId) -> Result<(), JournalError> {
+        let commit = self.inner.stream_seal_check(run)?;
+        self.append(&JournalRecord::StreamSeal(run))?;
+        self.inner.stream_seal_apply(run, commit);
+        Ok(())
+    }
+
     /// Read access to the replayed/ live warehouse.
     pub fn warehouse(&self) -> &Warehouse {
         &self.inner
@@ -351,7 +397,17 @@ impl JournaledWarehouse {
 
     /// Compacts the journal into a snapshot file and starts a fresh journal
     /// containing the same state (snapshot + empty tail).
+    ///
+    /// Rejected while streams are active: snapshots carry only committed
+    /// rows, not mid-stream ingestor state, so compacting now would strand
+    /// the open streams' buffered events.
     pub fn compact_into_snapshot(&self, snapshot: &Path) -> Result<(), JournalError> {
+        let active = self.inner.active_streams();
+        if active > 0 {
+            return Err(JournalError::Warehouse(WarehouseError::Stream(
+                StreamError::ActiveStreams(active),
+            )));
+        }
         crate::persist::save(&self.inner, snapshot).map_err(|e| match e {
             crate::persist::PersistError::Io(e) => JournalError::Io(e),
             crate::persist::PersistError::Codec(e) => JournalError::Codec(e),
@@ -394,6 +450,18 @@ fn apply(w: &mut Warehouse, rec: JournalRecord, check_ids: bool) -> Result<(), J
                 .map_err(WarehouseError::Model)?;
             let got = w.load_run(row.spec, row.run)?;
             check_id(check_ids, id, got)?;
+        }
+        JournalRecord::StreamBegin(id, spec) => {
+            let got = w.begin_stream(spec)?;
+            check_id(check_ids, id, got)?;
+        }
+        JournalRecord::StreamEvent(run, ev) => {
+            // The event was validated before it was journaled; replaying
+            // it through the same accept path re-validates for free.
+            w.stream_push(run, &ev)?;
+        }
+        JournalRecord::StreamSeal(run) => {
+            w.stream_seal(run)?;
         }
     }
     Ok(())

@@ -25,6 +25,10 @@
 //!   latency histograms, cache/journal/compaction counters, and the
 //!   slow-query log, snapshotted as [`MetricsSnapshot`];
 //! * [`store`] — the [`Warehouse`] facade;
+//! * [`stream`] — streaming ingestion: event-at-a-time run reconstruction
+//!   with a committed, queryable prefix mid-run;
+//! * [`trace`] — deterministic capture/replay of facade traffic (logical
+//!   clocks + result digests) for regression diffing and load generation;
 //! * [`persist`] — binary snapshot save/load;
 //! * [`journal`] — an append-only, checksummed journal for incremental
 //!   durability (crash-tolerant replay, compaction into snapshots);
@@ -52,7 +56,9 @@ pub mod query;
 pub mod resilience;
 pub mod schema;
 pub mod store;
+pub mod stream;
 pub mod table;
+pub mod trace;
 
 pub use cache::ViewRunCache;
 pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckReport};
@@ -62,7 +68,8 @@ pub use journal::{JournalError, JournaledWarehouse};
 pub use labels::{LabelIndex, UpdateOutcome, FRAGMENTATION_FACTOR};
 pub use metrics::{
     CacheMetrics, HistogramSnapshot, IndexMetrics, LatencyHistogram, MetricsRegistry,
-    MetricsSnapshot, QueryKind, ResilienceMetrics, SlowQuery, ViewClass,
+    MetricsSnapshot, QueryKind, ReplayMetrics, ResilienceMetrics, SlowQuery, StreamMetrics,
+    ViewClass,
 };
 pub use query::{
     data_between, deep_provenance, deep_provenance_bfs, deep_provenance_deadline,
@@ -79,4 +86,9 @@ pub use resilience::{
 pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
 pub use store::{
     ImmediateAnswer, IndexBackend, Result, Warehouse, WarehouseError, DEFAULT_LABELS_THRESHOLD,
+};
+pub use stream::{PushOutcome, RunIngestor, SealCommit, StreamCommit, StreamError};
+pub use trace::{
+    ReplayOptions, ReplayReport, TraceError, TraceHeader, TraceOp, TraceRecorder, TraceReplayer,
+    TraceTarget,
 };

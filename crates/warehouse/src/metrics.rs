@@ -306,6 +306,26 @@ pub struct MetricsRegistry {
     breaker_recoveries: AtomicU64,
     /// Mutations rejected while the store was degraded (breaker open).
     degraded_writes_rejected: AtomicU64,
+    /// Streaming ingestions opened.
+    streams_started: AtomicU64,
+    /// Stream events accepted and applied.
+    stream_events: AtomicU64,
+    /// Stream events rejected with a typed `StreamError`.
+    stream_events_rejected: AtomicU64,
+    /// Steps committed into streaming prefixes.
+    stream_steps_committed: AtomicU64,
+    /// Streams sealed into complete runs.
+    streams_sealed: AtomicU64,
+    /// Label indexes extended in place by a streaming commit.
+    label_appends: AtomicU64,
+    /// Label indexes rebuilt (fragmentation fallback) by a streaming commit.
+    label_rebuilds: AtomicU64,
+    /// Trace replay sessions run against this warehouse.
+    replay_sessions: AtomicU64,
+    /// Trace operations re-executed by replays.
+    replay_ops: AtomicU64,
+    /// Replayed operations whose result digest diverged from the recording.
+    replay_mismatches: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -332,6 +352,16 @@ impl Default for MetricsRegistry {
             breaker_trips: AtomicU64::new(0),
             breaker_recoveries: AtomicU64::new(0),
             degraded_writes_rejected: AtomicU64::new(0),
+            streams_started: AtomicU64::new(0),
+            stream_events: AtomicU64::new(0),
+            stream_events_rejected: AtomicU64::new(0),
+            stream_steps_committed: AtomicU64::new(0),
+            streams_sealed: AtomicU64::new(0),
+            label_appends: AtomicU64::new(0),
+            label_rebuilds: AtomicU64::new(0),
+            replay_sessions: AtomicU64::new(0),
+            replay_ops: AtomicU64::new(0),
+            replay_mismatches: AtomicU64::new(0),
         }
     }
 }
@@ -468,6 +498,65 @@ impl MetricsRegistry {
         self.degraded_writes_rejected.load(Ordering::Relaxed)
     }
 
+    /// Records a streaming ingestion opening.
+    pub fn record_stream_started(&self) {
+        self.streams_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stream event accepted and applied.
+    pub fn record_stream_event(&self) {
+        self.stream_events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one stream event (or seal) rejected with a typed error.
+    pub fn record_stream_rejected(&self) {
+        self.stream_events_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` steps committed into a streaming prefix.
+    pub fn record_steps_committed(&self, n: u64) {
+        self.stream_steps_committed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a stream sealing into a complete run.
+    pub fn record_stream_sealed(&self) {
+        self.streams_sealed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a label index extended in place by a streaming commit.
+    pub fn record_label_append(&self) {
+        self.label_appends.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a label index rebuilt (fragmentation fallback) mid-stream.
+    pub fn record_label_rebuild(&self) {
+        self.label_rebuilds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Label-index in-place extensions so far.
+    pub fn label_appends(&self) -> u64 {
+        self.label_appends.load(Ordering::Relaxed)
+    }
+
+    /// Label-index mid-stream rebuilds so far.
+    pub fn label_rebuilds(&self) -> u64 {
+        self.label_rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Records a trace replay session starting.
+    pub fn record_replay_session(&self) {
+        self.replay_sessions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one replayed trace operation; `mismatch` flags a digest
+    /// that diverged from the recording.
+    pub fn record_replay_op(&self, mismatch: bool) {
+        self.replay_ops.fetch_add(1, Ordering::Relaxed);
+        if mismatch {
+            self.replay_mismatches.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Sets the slow-query threshold in nanoseconds (0 captures every
     /// query; `u64::MAX` disables the log).
     pub fn set_slow_threshold_nanos(&self, nanos: u64) {
@@ -538,6 +627,20 @@ impl MetricsRegistry {
                 breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
                 breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
                 degraded_writes_rejected: self.degraded_writes_rejected.load(Ordering::Relaxed),
+            },
+            stream: StreamMetrics {
+                streams_started: self.streams_started.load(Ordering::Relaxed),
+                events: self.stream_events.load(Ordering::Relaxed),
+                events_rejected: self.stream_events_rejected.load(Ordering::Relaxed),
+                steps_committed: self.stream_steps_committed.load(Ordering::Relaxed),
+                streams_sealed: self.streams_sealed.load(Ordering::Relaxed),
+                label_appends: self.label_appends.load(Ordering::Relaxed),
+                label_rebuilds: self.label_rebuilds.load(Ordering::Relaxed),
+            },
+            replay: ReplayMetrics {
+                sessions: self.replay_sessions.load(Ordering::Relaxed),
+                ops: self.replay_ops.load(Ordering::Relaxed),
+                mismatches: self.replay_mismatches.load(Ordering::Relaxed),
             },
         }
     }
@@ -650,6 +753,38 @@ pub struct ResilienceMetrics {
     pub degraded_writes_rejected: u64,
 }
 
+/// Streaming-ingestion counters: how many streams opened/sealed, how the
+/// label index absorbed commits (in-place appends vs fragmentation
+/// rebuilds), and the rejection count the monotonicity validation produces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamMetrics {
+    /// Streaming ingestions opened.
+    pub streams_started: u64,
+    /// Events accepted and applied.
+    pub events: u64,
+    /// Events (or seals) rejected with a typed `StreamError`.
+    pub events_rejected: u64,
+    /// Steps committed into streaming prefixes.
+    pub steps_committed: u64,
+    /// Streams sealed into complete runs.
+    pub streams_sealed: u64,
+    /// Label indexes extended in place by a commit.
+    pub label_appends: u64,
+    /// Label indexes rebuilt (fragmentation fallback) by a commit.
+    pub label_rebuilds: u64,
+}
+
+/// Trace replay counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplayMetrics {
+    /// Replay sessions run against this warehouse.
+    pub sessions: u64,
+    /// Trace operations re-executed.
+    pub ops: u64,
+    /// Operations whose result digest diverged from the recording.
+    pub mismatches: u64,
+}
+
 /// A point-in-time copy of every warehouse metric, including the classic
 /// [`WarehouseStats`] table counters.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -680,6 +815,10 @@ pub struct MetricsSnapshot {
     pub slow_queries: Vec<SlowQuery>,
     /// Admission, deadline, retry, and breaker counters.
     pub resilience: ResilienceMetrics,
+    /// Streaming-ingestion counters.
+    pub stream: StreamMetrics,
+    /// Trace replay counters.
+    pub replay: ReplayMetrics,
 }
 
 fn json_escape(s: &str) -> String {
@@ -777,6 +916,24 @@ impl MetricsSnapshot {
             r.breaker_recoveries,
             r.degraded_writes_rejected
         );
+        let st = &self.stream;
+        let stream = format!(
+            "{{\"streams_started\":{},\"events\":{},\"events_rejected\":{},\
+             \"steps_committed\":{},\"streams_sealed\":{},\"label_appends\":{},\
+             \"label_rebuilds\":{}}}",
+            st.streams_started,
+            st.events,
+            st.events_rejected,
+            st.steps_committed,
+            st.streams_sealed,
+            st.label_appends,
+            st.label_rebuilds
+        );
+        let rp = &self.replay;
+        let replay = format!(
+            "{{\"sessions\":{},\"ops\":{},\"mismatches\":{}}}",
+            rp.sessions, rp.ops, rp.mismatches
+        );
         let queries: Vec<String> = self
             .queries
             .iter()
@@ -807,7 +964,8 @@ impl MetricsSnapshot {
              \"index_cache\":{},\"index\":{},\
              \"batch\":{{\"batches\":{},\"queries\":{},\"max_fanout\":{}}},\
              \"journal\":{{\"appends\":{},\"append_latency\":{},\"checkpoint_latency\":{}}},\
-             \"view_switch\":{},\"resilience\":{},\"slow_query_threshold_nanos\":{},\
+             \"view_switch\":{},\"resilience\":{},\"stream\":{},\"replay\":{},\
+             \"slow_query_threshold_nanos\":{},\
              \"slow_queries\":[{}]}}",
             stats,
             queries.join(","),
@@ -823,6 +981,8 @@ impl MetricsSnapshot {
             hist_json(&self.journal.checkpoint_latency),
             hist_json(&self.view_switch),
             resilience,
+            stream,
+            replay,
             self.slow_query_threshold_nanos,
             slow.join(",")
         )
@@ -1023,6 +1183,15 @@ mod tests {
             "\"io_retries\"",
             "\"breaker_trips\"",
             "\"degraded\"",
+            "\"stream\"",
+            "\"streams_started\"",
+            "\"events_rejected\"",
+            "\"steps_committed\"",
+            "\"streams_sealed\"",
+            "\"label_appends\"",
+            "\"label_rebuilds\"",
+            "\"replay\"",
+            "\"mismatches\"",
             "\"slow_query_threshold_nanos\"",
             "\"slow_queries\"",
         ] {

@@ -16,6 +16,7 @@ use crate::metrics::{IndexMetrics, MetricsRegistry, MetricsSnapshot, QueryKind, 
 use crate::query::{self, ImmediateProvenance, ProvenanceResult, QueryError, QueryFailure};
 use crate::resilience::{AdmissionControl, CancelToken, Deadline, Interrupt};
 use crate::schema::{RunId, RunRow, SpecId, SpecRow, ViewId, ViewRow, WarehouseStats};
+use crate::stream::{PushOutcome, RunIngestor, SealCommit, StreamCommit, StreamError};
 use crate::table::Table;
 use parking_lot::RwLock;
 use std::fmt;
@@ -23,7 +24,8 @@ use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zoom_model::{
-    DataId, EventLog, ModelError, UserInputMeta, UserView, ViewRun, WorkflowRun, WorkflowSpec,
+    DataId, EventLog, LogEvent, ModelError, UserInputMeta, UserView, ViewRun, WorkflowRun,
+    WorkflowSpec,
 };
 
 /// Errors from warehouse operations.
@@ -79,6 +81,9 @@ pub enum WarehouseError {
     /// is open after consecutive permanent storage failures): mutations
     /// fail fast, queries keep serving from memory.
     Degraded,
+    /// A streaming-ingestion event or seal was rejected; the stream and
+    /// its committed prefix are unchanged.
+    Stream(crate::stream::StreamError),
 }
 
 impl fmt::Display for WarehouseError {
@@ -118,6 +123,7 @@ impl fmt::Display for WarehouseError {
                 f,
                 "store is in degraded read-only mode: mutations rejected until storage recovers"
             ),
+            WarehouseError::Stream(e) => write!(f, "stream error: {e}"),
         }
     }
 }
@@ -127,6 +133,12 @@ impl std::error::Error for WarehouseError {}
 impl From<ModelError> for WarehouseError {
     fn from(e: ModelError) -> Self {
         WarehouseError::Model(e)
+    }
+}
+
+impl From<crate::stream::StreamError> for WarehouseError {
+    fn from(e: crate::stream::StreamError) -> Self {
+        WarehouseError::Stream(e)
     }
 }
 
@@ -255,6 +267,9 @@ pub struct Warehouse {
     views_by_spec: FxHashMap<SpecId, Vec<ViewId>>,
     runs: Table<RunId, RunRow>,
     runs_by_spec: FxHashMap<SpecId, Vec<RunId>>,
+    /// Live streaming ingestions, keyed by the prefix run they grow.
+    /// Entries are removed on seal, so membership means "still streaming".
+    streams: FxHashMap<RunId, RunIngestor>,
     next_spec: u32,
     next_view: u32,
     next_run: u32,
@@ -294,6 +309,7 @@ impl Default for Warehouse {
             views_by_spec: FxHashMap::default(),
             runs: Table::default(),
             runs_by_spec: FxHashMap::default(),
+            streams: FxHashMap::default(),
             next_spec: 0,
             next_view: 0,
             next_run: 0,
@@ -505,6 +521,155 @@ impl Warehouse {
         let spec = self.spec(spec_id)?;
         let run = log.to_run(spec)?;
         self.load_run(spec_id, run)
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming ingestion (ROADMAP item 3: provenance queryable mid-run)
+    // ------------------------------------------------------------------
+
+    /// Opens a streaming ingestion of `spec_id`: allocates a run whose
+    /// committed prefix grows with every applied event and is immediately
+    /// queryable through every view. Events arrive via
+    /// [`Warehouse::stream_push`]; [`Warehouse::stream_seal`] completes
+    /// the run.
+    pub fn begin_stream(&mut self, spec_id: SpecId) -> Result<RunId> {
+        let spec = self.spec(spec_id)?;
+        let run = WorkflowRun::empty_prefix(spec);
+        let id = RunId(self.next_run);
+        self.next_run += 1;
+        self.runs
+            .insert(id, RunRow { spec: spec_id, run })
+            .expect("fresh run id");
+        self.runs_by_spec.entry(spec_id).or_default().push(id);
+        self.streams.insert(id, RunIngestor::new());
+        self.metrics.record_stream_started();
+        Ok(id)
+    }
+
+    /// Read-only validation of one stream event: a typed rejection, or a
+    /// [`StreamCommit`] that [`Warehouse::stream_apply`] is then guaranteed
+    /// to apply without failing. The durable wrapper journals the event
+    /// between the two calls, so nothing unjournaled ever mutates state.
+    pub fn stream_accept(&self, run_id: RunId, event: &LogEvent) -> Result<StreamCommit> {
+        let ing = self.live_stream(run_id)?;
+        let spec_id = self.run_spec(run_id)?;
+        let spec = self.spec(spec_id)?;
+        let res = ing.accept(spec, event);
+        if res.is_err() {
+            self.metrics.record_stream_rejected();
+        }
+        Ok(res?)
+    }
+
+    /// Applies a validated event: commits any newly completed steps into
+    /// the prefix run and maintains every derived structure — view-run
+    /// cache rows for the run are invalidated, the bitset closure is
+    /// dropped (it has no incremental form), and a cached label index is
+    /// *extended in place* via `LabelIndex::update_to` (commit order makes
+    /// every append a pure extension).
+    pub fn stream_apply(&mut self, run_id: RunId, commit: StreamCommit) -> PushOutcome {
+        let row = self.runs.get_mut(&run_id).expect("stream run exists");
+        let spec = &self
+            .specs
+            .get(&row.spec)
+            .expect("stream run's spec exists")
+            .spec;
+        let ing = self.streams.get_mut(&run_id).expect("stream is live");
+        let outcome = ing.apply(spec, &mut row.run, commit);
+        self.metrics.record_stream_event();
+        if let PushOutcome::Committed(steps) = &outcome {
+            self.metrics.record_steps_committed(steps.len() as u64);
+            self.refresh_run_indexes(run_id);
+        }
+        outcome
+    }
+
+    /// Validates + applies one stream event (the in-memory push path; the
+    /// durable wrapper journals between the two halves).
+    pub fn stream_push(&mut self, run_id: RunId, event: &LogEvent) -> Result<PushOutcome> {
+        let commit = self.stream_accept(run_id, event)?;
+        Ok(self.stream_apply(run_id, commit))
+    }
+
+    /// Read-only seal validation: every step committed and at least one
+    /// final output recorded.
+    pub fn stream_seal_check(&self, run_id: RunId) -> Result<SealCommit> {
+        let ing = self.live_stream(run_id)?;
+        let res = ing.seal_check();
+        if res.is_err() {
+            self.metrics.record_stream_rejected();
+        }
+        Ok(res?)
+    }
+
+    /// Applies a validated seal: connects final outputs to the run's
+    /// output node (the prefix becomes a complete run) and retires the
+    /// ingestor — the run now behaves exactly like a batch-loaded one.
+    pub fn stream_seal_apply(&mut self, run_id: RunId, commit: SealCommit) {
+        let row = self.runs.get_mut(&run_id).expect("stream run exists");
+        let spec = &self
+            .specs
+            .get(&row.spec)
+            .expect("stream run's spec exists")
+            .spec;
+        let mut ing = self.streams.remove(&run_id).expect("stream is live");
+        ing.apply_seal(spec, &mut row.run, commit);
+        self.metrics.record_stream_sealed();
+        self.refresh_run_indexes(run_id);
+    }
+
+    /// Validates + applies a seal (in-memory path).
+    pub fn stream_seal(&mut self, run_id: RunId) -> Result<()> {
+        let commit = self.stream_seal_check(run_id)?;
+        self.stream_seal_apply(run_id, commit);
+        Ok(())
+    }
+
+    /// Number of live (unsealed) streams.
+    pub fn active_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Whether `run` is a live (unsealed) stream.
+    pub fn is_streaming(&self, run_id: RunId) -> bool {
+        self.streams.contains_key(&run_id)
+    }
+
+    /// The ingestor of a live stream, or the typed error.
+    fn live_stream(&self, run_id: RunId) -> Result<&RunIngestor> {
+        if !self.runs.contains(&run_id) {
+            return Err(WarehouseError::RunNotFound(run_id));
+        }
+        self.streams
+            .get(&run_id)
+            .ok_or(WarehouseError::Stream(StreamError::SealedStream))
+    }
+
+    /// Re-aligns the derived per-run structures after the run graph grew:
+    /// materialized view-runs and the bitset closure are stale (dropped,
+    /// rebuilt on next use); a resident label index is extended in place —
+    /// the whole point of commit ordering — falling back to a rebuild only
+    /// when fragmentation demands it.
+    fn refresh_run_indexes(&mut self, run_id: RunId) {
+        self.cache.invalidate_run(run_id);
+        self.index.invalidate_run(run_id);
+        let row = self.runs.get(&run_id).expect("stream run exists");
+        let updated = self.labels.update_entry(run_id, |idx| {
+            idx.update_to(row.run.graph(), &mut Deadline::unlimited())
+        });
+        match updated {
+            Ok(Some(crate::labels::UpdateOutcome::Appended(_))) => {
+                self.metrics.record_label_append();
+            }
+            Ok(Some(crate::labels::UpdateOutcome::Rebuilt)) => {
+                self.metrics.record_label_rebuild();
+            }
+            Ok(Some(crate::labels::UpdateOutcome::Fresh) | None) => {}
+            // An update failure (unbounded deadline ⇒ only a cycle could
+            // land here, and committed prefixes are acyclic by
+            // construction) evicted the entry; queries rebuild lazily.
+            Err(_) => {}
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1240,6 +1405,12 @@ impl Warehouse {
             self.index.invalidate_run(id);
             self.labels.invalidate_run(id);
         }
+    }
+
+    /// Undoes the most recent [`Warehouse::begin_stream`].
+    pub(crate) fn rollback_stream(&mut self, id: RunId) {
+        self.streams.remove(&id);
+        self.rollback_run(id);
     }
 
     /// Iterates over all rows (persistence support).

@@ -1,0 +1,914 @@
+//! Streaming ingestion: reconstructing a run *while it executes*.
+//!
+//! The paper treats a run as a finished event log, but its motivating
+//! scenario — a biologist watching a workflow execute and asking "where did
+//! this data item come from?" mid-run — needs provenance that is queryable
+//! while steps are still appending. A [`RunIngestor`] accepts
+//! [`LogEvent`]s one at a time, validates them against the specification
+//! and the stream's own history (monotone timestamps, unique producers,
+//! write-before-read), and commits steps into a growing *prefix run*
+//! (`WorkflowRun::append_step`) the moment they — and every step producing
+//! their inputs — have finished.
+//!
+//! The accept/apply split mirrors the durable write path: [`RunIngestor::accept`]
+//! is read-only validation that either rejects the event with a typed
+//! [`StreamError`] or yields a [`StreamCommit`]; the caller may then journal
+//! the event, after which [`RunIngestor::apply`] is infallible. An event is
+//! therefore never journaled unless it will apply, and never applied
+//! half-way.
+//!
+//! Commit order is the key invariant: a step enters the committed prefix
+//! only after all steps that produced its inputs, so every append adds a
+//! node whose in-neighbors already exist — exactly the pure-extension
+//! contract `LabelIndex::append_node` needs to extend the interval index
+//! without a rebuild.
+
+use crate::fxhash::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
+use zoom_model::ids::{DataId, StepId, Timestamp};
+use zoom_model::{LogEvent, StepAppend, UserInputMeta, WorkflowRun, WorkflowSpec};
+
+/// Why an event (or a seal) was rejected. Rejection leaves the ingestor and
+/// the prefix run exactly as they were — a bad log cannot corrupt a stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StreamError {
+    /// `StepStarted` named a module label the specification does not have.
+    UnknownModule(String),
+    /// `StepStarted` reused a step id already started in this stream.
+    DuplicateStep(StepId),
+    /// An event referenced a step that was never started.
+    UnknownStep(StepId),
+    /// An event referenced a step that already finished.
+    StepAlreadyFinished(StepId),
+    /// The event's timestamp went backwards.
+    NonMonotonicTime {
+        /// The stream clock (largest timestamp seen so far).
+        last: Timestamp,
+        /// The offending event's timestamp.
+        got: Timestamp,
+    },
+    /// Two different steps wrote the same data object.
+    DataProducedTwice {
+        /// The object.
+        data: DataId,
+        /// The step that wrote it first.
+        first: StepId,
+        /// The conflicting writer.
+        second: StepId,
+    },
+    /// A step wrote a data object that an earlier `Read` already classified
+    /// as a user input (read before any writer existed). Admitting the
+    /// write would silently re-parent the object's provenance.
+    WriteAfterRead {
+        /// The object.
+        data: DataId,
+        /// The step that read it as a user input.
+        step: StepId,
+    },
+    /// A step finished without reading anything, so it would be unreachable
+    /// from the run's input node.
+    NoInputs(StepId),
+    /// A run edge the event stream implies has no specification edge.
+    SpecMismatch(String),
+    /// `Finalized` named a data object no step has written.
+    UnwrittenFinal(DataId),
+    /// Seal was requested while steps were still open or uncommitted.
+    UnfinishedSteps(usize),
+    /// Seal was requested but no data object was ever `Finalized`.
+    NoFinalOutputs,
+    /// The stream was already sealed (or the operation requires a live
+    /// stream on this run).
+    SealedStream,
+    /// The operation requires all streams to be sealed first (e.g. a
+    /// checkpoint cannot snapshot in-flight ingestor state).
+    ActiveStreams(usize),
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnknownModule(m) => write!(f, "unknown module `{m}` in stream"),
+            StreamError::DuplicateStep(s) => write!(f, "step {s} already started"),
+            StreamError::UnknownStep(s) => write!(f, "step {s} was never started"),
+            StreamError::StepAlreadyFinished(s) => write!(f, "step {s} already finished"),
+            StreamError::NonMonotonicTime { last, got } => {
+                write!(f, "event time {:?} precedes stream clock {:?}", got, last)
+            }
+            StreamError::DataProducedTwice {
+                data,
+                first,
+                second,
+            } => write!(f, "{data} written by both {first} and {second}"),
+            StreamError::WriteAfterRead { data, step } => {
+                write!(f, "{data} was read as a user input by {step} before being written")
+            }
+            StreamError::NoInputs(s) => write!(f, "step {s} finished without reading any data"),
+            StreamError::SpecMismatch(m) => write!(f, "spec mismatch: {m}"),
+            StreamError::UnwrittenFinal(d) => write!(f, "finalized object {d} was never written"),
+            StreamError::UnfinishedSteps(n) => {
+                write!(f, "cannot seal: {n} step(s) still open or uncommitted")
+            }
+            StreamError::NoFinalOutputs => write!(f, "cannot seal: no finalized outputs"),
+            StreamError::SealedStream => write!(f, "stream already sealed"),
+            StreamError::ActiveStreams(n) => write!(f, "{n} stream(s) still active"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// A step that has started but not yet finished.
+#[derive(Clone, Debug)]
+struct PendingStep {
+    module: zoom_graph::NodeId,
+    reads: Vec<DataId>,
+    params: BTreeMap<String, String>,
+}
+
+/// A finished step waiting for its producers to commit.
+#[derive(Clone, Debug)]
+struct FinishedStep {
+    pending: PendingStep,
+    waiting: usize,
+}
+
+/// What a validated event will do when applied. Produced by
+/// [`RunIngestor::accept`], consumed by [`RunIngestor::apply`].
+#[derive(Clone, Debug)]
+pub struct StreamCommit {
+    event: LogEvent,
+    commits: Vec<StepAppend>,
+}
+
+impl StreamCommit {
+    /// The steps this event commits into the prefix (producers first).
+    pub fn steps(&self) -> impl Iterator<Item = StepId> + '_ {
+        self.commits.iter().map(|s| s.id)
+    }
+
+    /// The validated event.
+    pub fn event(&self) -> &LogEvent {
+        &self.event
+    }
+}
+
+/// What applying one event did to the committed prefix.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The event was recorded but committed no new step (e.g. a `Read` of
+    /// an open step, or a `StepFinished` still waiting on a producer).
+    Buffered,
+    /// These steps (producers first) joined the committed prefix and are
+    /// now visible to every query.
+    Committed(Vec<StepId>),
+}
+
+/// The final-output groups a seal will append. Produced by
+/// [`RunIngestor::seal_check`], consumed by [`RunIngestor::apply_seal`].
+#[derive(Clone, Debug)]
+pub struct SealCommit {
+    finals: Vec<(StepId, Vec<DataId>)>,
+}
+
+/// Incremental event-log-to-run reconstruction for one stream.
+///
+/// All bookkeeping lives here; the prefix [`WorkflowRun`] itself is owned by
+/// the warehouse row and mutated only through [`RunIngestor::apply`] /
+/// [`RunIngestor::apply_seal`].
+#[derive(Clone, Debug, Default)]
+pub struct RunIngestor {
+    /// Largest timestamp accepted so far (events may tie, never regress).
+    clock: Timestamp,
+    /// Producer of each written data object.
+    writer: FxHashMap<DataId, StepId>,
+    /// Recorded `UserInput` metadata (first event wins).
+    user_meta: FxHashMap<DataId, UserInputMeta>,
+    /// Data classified as user input by a `Read` that found no writer,
+    /// mapped to the step that first read it.
+    user_read: FxHashMap<DataId, StepId>,
+    /// Started, not yet finished.
+    open: FxHashMap<StepId, PendingStep>,
+    /// Finished, waiting on `waiting` uncommitted producers.
+    finished: FxHashMap<StepId, FinishedStep>,
+    /// Producer -> finished steps waiting on it.
+    dependents: FxHashMap<StepId, Vec<StepId>>,
+    /// Steps already appended to the prefix run.
+    committed: FxHashSet<StepId>,
+    /// Module of every started step (survives commit, for spec checks).
+    module_of: FxHashMap<StepId, zoom_graph::NodeId>,
+    /// `Finalized` objects, in arrival order, deduplicated.
+    finals: Vec<DataId>,
+    /// Events accepted (for stats).
+    events: u64,
+    sealed: bool,
+}
+
+impl RunIngestor {
+    /// A fresh ingestor for an empty prefix run.
+    pub fn new() -> Self {
+        RunIngestor::default()
+    }
+
+    /// Number of events accepted so far.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Steps started but not yet committed (open + finished-waiting).
+    pub fn uncommitted_steps(&self) -> usize {
+        self.open.len() + self.finished.len()
+    }
+
+    /// Steps already in the committed prefix.
+    pub fn committed_steps(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Whether the stream has sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Validates `event` against the specification and the stream history.
+    /// Read-only: on success the returned [`StreamCommit`] must be passed to
+    /// [`RunIngestor::apply`] (possibly after journaling the event) to take
+    /// effect; on failure nothing changed.
+    pub fn accept(
+        &self,
+        spec: &WorkflowSpec,
+        event: &LogEvent,
+    ) -> Result<StreamCommit, StreamError> {
+        if self.sealed {
+            return Err(StreamError::SealedStream);
+        }
+        let t = event.time();
+        if t < self.clock {
+            return Err(StreamError::NonMonotonicTime {
+                last: self.clock,
+                got: t,
+            });
+        }
+        let mut commits = Vec::new();
+        match event {
+            LogEvent::UserInput { .. } => {}
+            LogEvent::StepStarted { step, module, .. } => {
+                if self.module_of.contains_key(step) {
+                    return Err(StreamError::DuplicateStep(*step));
+                }
+                spec.node_by_label(module)
+                    .filter(|&n| spec.is_module(n))
+                    .ok_or_else(|| StreamError::UnknownModule(module.clone()))?;
+            }
+            LogEvent::Param { step, .. } | LogEvent::Read { step, .. } => {
+                self.require_open(*step)?;
+            }
+            LogEvent::Wrote { step, data, .. } => {
+                self.require_open(*step)?;
+                if let Some(&first) = self.writer.get(data) {
+                    if first != *step {
+                        return Err(StreamError::DataProducedTwice {
+                            data: *data,
+                            first,
+                            second: *step,
+                        });
+                    }
+                } else if let Some(&reader) = self.user_read.get(data) {
+                    return Err(StreamError::WriteAfterRead {
+                        data: *data,
+                        step: reader,
+                    });
+                }
+            }
+            LogEvent::StepFinished { step, .. } => {
+                let pending = self.open.get(step).ok_or_else(|| {
+                    if self.module_of.contains_key(step) {
+                        StreamError::StepAlreadyFinished(*step)
+                    } else {
+                        StreamError::UnknownStep(*step)
+                    }
+                })?;
+                if pending.reads.is_empty() {
+                    return Err(StreamError::NoInputs(*step));
+                }
+                commits = self.simulate_cascade(spec, *step, pending)?;
+            }
+            LogEvent::Finalized { data, .. } => {
+                let Some(writer) = self.writer.get(data) else {
+                    return Err(StreamError::UnwrittenFinal(*data));
+                };
+                // The writer's module must feed the spec's output, just as
+                // the batch path rejects an `output_edge` from a
+                // non-terminal module.
+                let module = *self.module_of.get(writer).expect("writer was started");
+                if !spec.graph().has_edge(module, spec.output()) {
+                    return Err(StreamError::SpecMismatch(format!(
+                        "finalized {data:?} is produced by a module with no edge to Output"
+                    )));
+                }
+            }
+        }
+        Ok(StreamCommit {
+            event: event.clone(),
+            commits,
+        })
+    }
+
+    /// Applies a validated event: updates the stream bookkeeping and appends
+    /// any newly committed steps to `run`. Infallible by construction —
+    /// every failure mode was rejected by [`RunIngestor::accept`].
+    pub fn apply(
+        &mut self,
+        spec: &WorkflowSpec,
+        run: &mut WorkflowRun,
+        commit: StreamCommit,
+    ) -> PushOutcome {
+        let StreamCommit { event, commits } = commit;
+        self.clock = event.time();
+        self.events += 1;
+        match event {
+            LogEvent::UserInput { data, user, time } => {
+                self.user_meta
+                    .entry(data)
+                    .or_insert(UserInputMeta { user, time });
+            }
+            LogEvent::StepStarted { step, module, .. } => {
+                let m = spec
+                    .node_by_label(&module)
+                    .expect("accept resolved the module");
+                self.module_of.insert(step, m);
+                self.open.insert(
+                    step,
+                    PendingStep {
+                        module: m,
+                        reads: Vec::new(),
+                        params: BTreeMap::new(),
+                    },
+                );
+            }
+            LogEvent::Param {
+                step, key, value, ..
+            } => {
+                let p = self.open.get_mut(&step).expect("accept required open");
+                p.params.insert(key, value);
+            }
+            LogEvent::Read { step, data, .. } => {
+                let p = self.open.get_mut(&step).expect("accept required open");
+                if !p.reads.contains(&data) {
+                    p.reads.push(data);
+                }
+                if !self.writer.contains_key(&data) {
+                    self.user_read.entry(data).or_insert(step);
+                }
+            }
+            LogEvent::Wrote { step, data, .. } => {
+                self.writer.insert(data, step);
+            }
+            LogEvent::StepFinished { step, .. } => {
+                let pending = self.open.remove(&step).expect("accept required open");
+                let waiting = self.register_finished(step, pending);
+                if waiting > 0 {
+                    debug_assert!(commits.is_empty());
+                    return PushOutcome::Buffered;
+                }
+                let ids: Vec<StepId> = commits.iter().map(|s| s.id).collect();
+                for sa in &commits {
+                    run.append_step(spec, sa)
+                        .expect("accept validated the append");
+                    self.finished.remove(&sa.id);
+                    self.committed.insert(sa.id);
+                    for dep in self.dependents.remove(&sa.id).unwrap_or_default() {
+                        let f = self
+                            .finished
+                            .get_mut(&dep)
+                            .expect("dependents are finished steps");
+                        f.waiting -= 1;
+                    }
+                }
+                return PushOutcome::Committed(ids);
+            }
+            LogEvent::Finalized { data, .. } => {
+                if !self.finals.contains(&data) {
+                    self.finals.push(data);
+                }
+            }
+        }
+        PushOutcome::Buffered
+    }
+
+    /// Validates a seal request: every started step must have committed and
+    /// at least one object must be finalized. Read-only, like `accept`.
+    pub fn seal_check(&self) -> Result<SealCommit, StreamError> {
+        if self.sealed {
+            return Err(StreamError::SealedStream);
+        }
+        let unfinished = self.uncommitted_steps();
+        if unfinished > 0 {
+            return Err(StreamError::UnfinishedSteps(unfinished));
+        }
+        if self.finals.is_empty() {
+            return Err(StreamError::NoFinalOutputs);
+        }
+        let mut by_producer: BTreeMap<StepId, Vec<DataId>> = BTreeMap::new();
+        for &d in &self.finals {
+            let p = *self.writer.get(&d).expect("accept required a writer");
+            by_producer.entry(p).or_default().push(d);
+        }
+        Ok(SealCommit {
+            finals: by_producer.into_iter().collect(),
+        })
+    }
+
+    /// Applies a validated seal: connects the final outputs to the run's
+    /// output node, turning the prefix into a complete run.
+    pub fn apply_seal(&mut self, spec: &WorkflowSpec, run: &mut WorkflowRun, commit: SealCommit) {
+        run.add_final_outputs(spec, &commit.finals)
+            .expect("seal_check validated the finals");
+        self.sealed = true;
+    }
+
+    fn require_open(&self, step: StepId) -> Result<(), StreamError> {
+        if self.open.contains_key(&step) {
+            Ok(())
+        } else if self.module_of.contains_key(&step) {
+            Err(StreamError::StepAlreadyFinished(step))
+        } else {
+            Err(StreamError::UnknownStep(step))
+        }
+    }
+
+    /// Read-only cascade simulation for a `StepFinished { step }` event:
+    /// if every producer of `step`'s reads has committed, `step` commits,
+    /// which may unblock finished dependents, transitively. Returns the
+    /// committing steps' appends in producers-first order (empty when the
+    /// step must wait).
+    fn simulate_cascade(
+        &self,
+        spec: &WorkflowSpec,
+        step: StepId,
+        pending: &PendingStep,
+    ) -> Result<Vec<StepAppend>, StreamError> {
+        if self.producers_waiting(pending) > 0 {
+            return Ok(Vec::new());
+        }
+        let mut appends = vec![self.build_append(spec, step, pending)?];
+        let mut newly: FxHashSet<StepId> = FxHashSet::default();
+        newly.insert(step);
+        let mut waiting_now: FxHashMap<StepId, usize> = FxHashMap::default();
+        let mut i = 0;
+        while i < appends.len() {
+            let c = appends[i].id;
+            i += 1;
+            for dep in self.dependents.get(&c).map(Vec::as_slice).unwrap_or(&[]) {
+                if newly.contains(dep) {
+                    continue;
+                }
+                let f = &self.finished[dep];
+                let w = *waiting_now.get(dep).unwrap_or(&f.waiting);
+                debug_assert!(w > 0);
+                if w == 1 {
+                    newly.insert(*dep);
+                    appends.push(self.build_append(spec, *dep, &f.pending)?);
+                } else {
+                    waiting_now.insert(*dep, w - 1);
+                }
+            }
+        }
+        Ok(appends)
+    }
+
+    /// How many distinct uncommitted producers `pending`'s reads depend on.
+    fn producers_waiting(&self, pending: &PendingStep) -> usize {
+        let mut producers: FxHashSet<StepId> = FxHashSet::default();
+        for d in &pending.reads {
+            if let Some(&p) = self.writer.get(d) {
+                if !self.committed.contains(&p) {
+                    producers.insert(p);
+                }
+            }
+        }
+        producers.len()
+    }
+
+    /// Moves a just-finished step into the waiting set, registering it with
+    /// every uncommitted producer. Returns the waiting count (0 = commits
+    /// now; the caller handles the cascade).
+    fn register_finished(&mut self, step: StepId, pending: PendingStep) -> usize {
+        let mut producers: FxHashSet<StepId> = FxHashSet::default();
+        for d in &pending.reads {
+            if let Some(&p) = self.writer.get(d) {
+                if !self.committed.contains(&p) {
+                    producers.insert(p);
+                }
+            }
+        }
+        let waiting = producers.len();
+        for p in &producers {
+            self.dependents.entry(*p).or_default().push(step);
+        }
+        self.finished.insert(step, FinishedStep { pending, waiting });
+        waiting
+    }
+
+    /// Builds the [`StepAppend`] for a committing step, checking the
+    /// specification edges the run edges will need.
+    fn build_append(
+        &self,
+        spec: &WorkflowSpec,
+        step: StepId,
+        pending: &PendingStep,
+    ) -> Result<StepAppend, StreamError> {
+        let mut by_producer: BTreeMap<Option<StepId>, Vec<DataId>> = BTreeMap::new();
+        for &d in &pending.reads {
+            by_producer
+                .entry(self.writer.get(&d).copied())
+                .or_default()
+                .push(d);
+        }
+        let mut inputs = Vec::with_capacity(by_producer.len());
+        let mut user_meta = Vec::new();
+        for (producer, ds) in by_producer {
+            let spec_src = match producer {
+                None => {
+                    for &d in &ds {
+                        let meta = self.user_meta.get(&d).cloned().unwrap_or(UserInputMeta {
+                            user: "user".to_string(),
+                            time: self.clock,
+                        });
+                        user_meta.push((d, meta));
+                    }
+                    spec.input()
+                }
+                Some(p) => *self.module_of.get(&p).expect("writers were started"),
+            };
+            if !spec.graph().has_edge(spec_src, pending.module) {
+                return Err(StreamError::SpecMismatch(format!(
+                    "run edge into {step} has no specification edge {} -> {}",
+                    spec.label(spec_src),
+                    spec.label(pending.module)
+                )));
+            }
+            inputs.push((producer, ds));
+        }
+        Ok(StepAppend {
+            id: step,
+            module: pending.module,
+            inputs,
+            params: pending.params.clone(),
+            user_meta,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zoom_model::spec::SpecBuilder;
+    use zoom_model::EventLog;
+
+    /// input -> A -> B -> output
+    fn spec() -> WorkflowSpec {
+        let mut b = SpecBuilder::new("s");
+        b.analysis("A");
+        b.analysis("B");
+        b.from_input("A").edge("A", "B").to_output("B");
+        b.build().unwrap()
+    }
+
+    struct Harness {
+        spec: WorkflowSpec,
+        run: WorkflowRun,
+        ing: RunIngestor,
+        t: u64,
+    }
+
+    impl Harness {
+        fn new() -> Self {
+            let spec = spec();
+            let run = WorkflowRun::empty_prefix(&spec);
+            Harness {
+                spec,
+                run,
+                ing: RunIngestor::new(),
+                t: 0,
+            }
+        }
+
+        fn tick(&mut self) -> Timestamp {
+            self.t += 1;
+            Timestamp(self.t)
+        }
+
+        fn push(&mut self, ev: LogEvent) -> Result<PushOutcome, StreamError> {
+            let c = self.ing.accept(&self.spec, &ev)?;
+            Ok(self.ing.apply(&self.spec, &mut self.run, c))
+        }
+
+        fn started(&mut self, s: u32, m: &str) -> Result<PushOutcome, StreamError> {
+            let time = self.tick();
+            self.push(LogEvent::StepStarted {
+                step: StepId(s),
+                module: m.into(),
+                time,
+            })
+        }
+
+        fn read(&mut self, s: u32, d: u64) -> Result<PushOutcome, StreamError> {
+            let time = self.tick();
+            self.push(LogEvent::Read {
+                step: StepId(s),
+                data: DataId(d),
+                time,
+            })
+        }
+
+        fn wrote(&mut self, s: u32, d: u64) -> Result<PushOutcome, StreamError> {
+            let time = self.tick();
+            self.push(LogEvent::Wrote {
+                step: StepId(s),
+                data: DataId(d),
+                time,
+            })
+        }
+
+        fn finished(&mut self, s: u32) -> Result<PushOutcome, StreamError> {
+            let time = self.tick();
+            self.push(LogEvent::StepFinished {
+                step: StepId(s),
+                time,
+            })
+        }
+
+        fn finalized(&mut self, d: u64) -> Result<PushOutcome, StreamError> {
+            let time = self.tick();
+            self.push(LogEvent::Finalized {
+                data: DataId(d),
+                time,
+            })
+        }
+
+        fn seal(&mut self) -> Result<(), StreamError> {
+            let c = self.ing.seal_check()?;
+            self.ing.apply_seal(&self.spec, &mut self.run, c);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn happy_path_streams_to_complete_run() {
+        let mut h = Harness::new();
+        let time = h.tick();
+        h.push(LogEvent::UserInput {
+            data: DataId(1),
+            user: "joe".into(),
+            time,
+        })
+        .unwrap();
+        h.started(1, "A").unwrap();
+        h.read(1, 1).unwrap();
+        h.wrote(1, 2).unwrap();
+        assert_eq!(
+            h.finished(1).unwrap(),
+            PushOutcome::Committed(vec![StepId(1)])
+        );
+        assert!(h.run.is_prefix());
+        assert_eq!(h.run.step_count(), 1);
+        h.started(2, "B").unwrap();
+        h.read(2, 2).unwrap();
+        h.wrote(2, 3).unwrap();
+        assert_eq!(
+            h.finished(2).unwrap(),
+            PushOutcome::Committed(vec![StepId(2)])
+        );
+        h.finalized(3).unwrap();
+        h.seal().unwrap();
+        assert!(!h.run.is_prefix());
+        h.run.validate(&h.spec).unwrap();
+        assert_eq!(h.run.final_outputs(), vec![DataId(3)]);
+        assert_eq!(
+            h.run.user_input_meta(DataId(1)).map(|m| m.user.as_str()),
+            Some("joe")
+        );
+    }
+
+    #[test]
+    fn consumer_finishing_first_commits_with_producer() {
+        // B finishes before A (its producer): B buffers, then A's finish
+        // commits both, producer first.
+        let mut h = Harness::new();
+        h.started(1, "A").unwrap();
+        h.read(1, 1).unwrap();
+        h.wrote(1, 2).unwrap();
+        h.started(2, "B").unwrap();
+        h.read(2, 2).unwrap();
+        h.wrote(2, 3).unwrap();
+        assert_eq!(h.finished(2).unwrap(), PushOutcome::Buffered);
+        assert_eq!(h.ing.uncommitted_steps(), 2);
+        assert_eq!(
+            h.finished(1).unwrap(),
+            PushOutcome::Committed(vec![StepId(1), StepId(2)])
+        );
+        assert_eq!(h.ing.committed_steps(), 2);
+        assert_eq!(h.run.inputs_of(StepId(2)).unwrap(), vec![DataId(2)]);
+    }
+
+    #[test]
+    fn rejects_unknown_module() {
+        let mut h = Harness::new();
+        assert_eq!(
+            h.started(1, "ZZZ").unwrap_err(),
+            StreamError::UnknownModule("ZZZ".into())
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_step() {
+        let mut h = Harness::new();
+        h.started(1, "A").unwrap();
+        assert_eq!(
+            h.started(1, "A").unwrap_err(),
+            StreamError::DuplicateStep(StepId(1))
+        );
+        // Still duplicate after it finished and committed.
+        h.read(1, 1).unwrap();
+        h.finished(1).unwrap();
+        assert_eq!(
+            h.started(1, "A").unwrap_err(),
+            StreamError::DuplicateStep(StepId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_events_for_unknown_or_finished_steps() {
+        let mut h = Harness::new();
+        assert_eq!(h.read(9, 1).unwrap_err(), StreamError::UnknownStep(StepId(9)));
+        assert_eq!(
+            h.finished(9).unwrap_err(),
+            StreamError::UnknownStep(StepId(9))
+        );
+        h.started(1, "A").unwrap();
+        h.read(1, 1).unwrap();
+        h.finished(1).unwrap();
+        assert_eq!(
+            h.read(1, 2).unwrap_err(),
+            StreamError::StepAlreadyFinished(StepId(1))
+        );
+        assert_eq!(
+            h.finished(1).unwrap_err(),
+            StreamError::StepAlreadyFinished(StepId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_time_regression() {
+        let mut h = Harness::new();
+        h.started(1, "A").unwrap();
+        let err = h
+            .push(LogEvent::Read {
+                step: StepId(1),
+                data: DataId(1),
+                time: Timestamp(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, StreamError::NonMonotonicTime { .. }));
+        // Equal timestamps are allowed.
+        h.push(LogEvent::Read {
+            step: StepId(1),
+            data: DataId(1),
+            time: Timestamp(h.t),
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_double_write() {
+        let mut h = Harness::new();
+        h.started(1, "A").unwrap();
+        h.started(2, "A").unwrap();
+        h.wrote(1, 7).unwrap();
+        assert_eq!(
+            h.wrote(2, 7).unwrap_err(),
+            StreamError::DataProducedTwice {
+                data: DataId(7),
+                first: StepId(1),
+                second: StepId(2),
+            }
+        );
+        // Re-write by the same step is idempotent.
+        h.wrote(1, 7).unwrap();
+    }
+
+    #[test]
+    fn rejects_write_after_user_classified_read() {
+        let mut h = Harness::new();
+        h.started(1, "A").unwrap();
+        h.read(1, 5).unwrap(); // no writer: 5 is a user input now
+        h.started(2, "A").unwrap();
+        assert_eq!(
+            h.wrote(2, 5).unwrap_err(),
+            StreamError::WriteAfterRead {
+                data: DataId(5),
+                step: StepId(1),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_step_without_reads() {
+        let mut h = Harness::new();
+        h.started(1, "A").unwrap();
+        assert_eq!(
+            h.finished(1).unwrap_err(),
+            StreamError::NoInputs(StepId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_spec_violating_edge() {
+        // B -> A is not a specification edge (spec is input->A->B->output).
+        let mut h = Harness::new();
+        h.started(1, "B").unwrap();
+        h.read(1, 1).unwrap();
+        let err = h.finished(1).unwrap_err();
+        assert!(matches!(err, StreamError::SpecMismatch(_)), "{err:?}");
+        // The rejection left the step open, not corrupted.
+        assert_eq!(h.ing.uncommitted_steps(), 1);
+        assert_eq!(h.run.step_count(), 0);
+    }
+
+    #[test]
+    fn rejects_unwritten_final_and_premature_seal() {
+        let mut h = Harness::new();
+        assert_eq!(
+            h.finalized(9).unwrap_err(),
+            StreamError::UnwrittenFinal(DataId(9))
+        );
+        h.started(1, "A").unwrap();
+        h.read(1, 1).unwrap();
+        h.wrote(1, 2).unwrap();
+        assert_eq!(h.seal().unwrap_err(), StreamError::UnfinishedSteps(1));
+        h.finished(1).unwrap();
+        assert_eq!(h.seal().unwrap_err(), StreamError::NoFinalOutputs);
+        // Data 2 comes from module A, which does not feed Output.
+        let err = h.finalized(2).unwrap_err();
+        assert!(matches!(err, StreamError::SpecMismatch(_)), "{err:?}");
+        h.started(2, "B").unwrap();
+        h.read(2, 2).unwrap();
+        h.wrote(2, 3).unwrap();
+        h.finished(2).unwrap();
+        h.finalized(3).unwrap();
+        h.seal().unwrap();
+        assert_eq!(h.seal().unwrap_err(), StreamError::SealedStream);
+        // No events after seal.
+        assert_eq!(h.started(3, "B").unwrap_err(), StreamError::SealedStream);
+    }
+
+    #[test]
+    fn streamed_run_equals_batch_reconstruction() {
+        // Stream a from_run log event-by-event; the sealed run must match
+        // the batch to_run reconstruction exactly.
+        let spec = spec();
+        let (a, b) = (spec.module("A").unwrap(), spec.module("B").unwrap());
+        let mut rb = zoom_model::RunBuilder::new(&spec);
+        rb.user("joe");
+        let s1 = rb.step(a);
+        let s2 = rb.step(b);
+        rb.param(s1, "k", "v")
+            .input_edge(s1, [1, 2])
+            .data_edge(s1, s2, [3])
+            .output_edge(s2, [4]);
+        let run = rb.build().unwrap();
+        let log = EventLog::from_run(&run, &spec);
+
+        let batch = log.to_run(&spec).unwrap();
+        let mut streamed = WorkflowRun::empty_prefix(&spec);
+        let mut ing = RunIngestor::new();
+        for ev in &log.events {
+            let c = ing.accept(&spec, ev).unwrap();
+            ing.apply(&spec, &mut streamed, c);
+        }
+        let sc = ing.seal_check().unwrap();
+        ing.apply_seal(&spec, &mut streamed, sc);
+
+        streamed.validate(&spec).unwrap();
+        assert_eq!(streamed.step_count(), batch.step_count());
+        assert_eq!(streamed.all_data(), batch.all_data());
+        assert_eq!(streamed.user_inputs(), batch.user_inputs());
+        assert_eq!(streamed.final_outputs(), batch.final_outputs());
+        for (sid, m) in batch.steps() {
+            assert_eq!(streamed.module_of(sid).unwrap(), m);
+            assert_eq!(
+                streamed.inputs_of(sid).unwrap(),
+                batch.inputs_of(sid).unwrap()
+            );
+            assert_eq!(
+                streamed.outputs_of(sid).unwrap(),
+                batch.outputs_of(sid).unwrap()
+            );
+        }
+        assert_eq!(streamed.params_of(s1)["k"], "v");
+        assert_eq!(
+            streamed.user_input_meta(DataId(1)).map(|m| m.user.clone()),
+            batch.user_input_meta(DataId(1)).map(|m| m.user.clone())
+        );
+    }
+}

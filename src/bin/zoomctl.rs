@@ -34,8 +34,11 @@ macro_rules! out_raw {
         let _ = write!(std::io::stdout(), $($arg)*);
     }};
 }
-use zoom::core::{execute_canned, CannedQuery, RunId, SpecId, ViewId};
-use zoom::model::DataId;
+use zoom::core::{
+    execute_canned, CannedQuery, PushOutcome, ReplayOptions, RunId, SpecId, TraceOp,
+    TraceRecorder, TraceReplayer, ViewId,
+};
+use zoom::model::{DataId, LogEvent, StepId, Timestamp, UserView};
 use zoom::Zoom;
 
 fn main() -> ExitCode {
@@ -89,6 +92,13 @@ fn dispatch(args: &[String]) -> Result<(), String> {
             str_arg(args, 4, "view name")?,
             str_arg(args, 5, "data id")?,
         ),
+        "ingest" => ingest(
+            path_arg(args, 1)?,
+            str_arg(args, 2, "workflow name")?,
+            &args[3..],
+        ),
+        "replay" => replay(path_arg(args, 1)?, &args[2..]),
+        "record-demo" => record_demo(path_arg(args, 1)?),
         "compact" => compact(dir_arg(args, 1)?),
         "fsck" => fsck(dir_arg(args, 1)?),
         "health" => health(path_arg(args, 1)?, args.iter().any(|a| a == "--json")),
@@ -123,6 +133,21 @@ usage:
       interactive session: flag/unflag modules, switch views, run queries
   zoomctl compare <snapshot> <workflow> <run#> <run#> <view>
       compare two runs at a view level (reproducibility check)
+  zoomctl ingest <snapshot|dir> <workflow> [events-file|-] [--follow] [--seal]
+      stream run events into the warehouse one at a time; the run is
+      queryable mid-stream. Line protocol (times auto-ticked):
+        user-input <d> <user> | step-started <s> <module>
+        param <s> <key> <value> | read <s> <d> | wrote <s> <d>
+        step-finished <s> | finalized <d> | seal
+      --follow tails the file until a `seal` line arrives;
+      --seal seals at end of input even without a `seal` line.
+      Durable directories journal every event as it is acknowledged.
+  zoomctl replay <trace> [--check] [--speed N] [--json]
+      re-execute a recorded trace against a fresh warehouse, diffing
+      result digests op by op. --check exits 2 on any mismatch;
+      --speed 1 paces to recorded (virtual) time, 0 = flat out.
+  zoomctl record-demo <trace>
+      deterministically record the golden demo trace artifact
   zoomctl compact <dir>
       force a durable-store compaction (snapshot + fresh journal)
   zoomctl fsck <dir>
@@ -539,6 +564,304 @@ fn print_prompt(zoom: &Zoom, current: zoom::core::ViewId) {
         .map(|v| v.name().to_string())
         .unwrap_or_else(|_| format!("{current}"));
     out!("[{name}]>");
+}
+
+fn parse_data_id(s: &str) -> Result<DataId, String> {
+    s.strip_prefix('d')
+        .unwrap_or(s)
+        .parse::<u64>()
+        .map(DataId)
+        .map_err(|_| format!("`{s}` is not a data id"))
+}
+
+fn parse_step_id(s: &str) -> Result<StepId, String> {
+    s.strip_prefix('s')
+        .unwrap_or(s)
+        .parse::<u32>()
+        .map(StepId)
+        .map_err(|_| format!("`{s}` is not a step id"))
+}
+
+/// Parses one ingest-protocol line into an event (`Ok(None)` = `seal`).
+/// Times are auto-ticked: the stream's own ordering is the clock.
+fn parse_ingest_line(line: &str, time: Timestamp) -> Result<Option<LogEvent>, String> {
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let ev = match parts.as_slice() {
+        ["seal"] => return Ok(None),
+        ["user-input", d, user] => LogEvent::UserInput {
+            data: parse_data_id(d)?,
+            user: (*user).to_string(),
+            time,
+        },
+        ["step-started", s, module] => LogEvent::StepStarted {
+            step: parse_step_id(s)?,
+            module: (*module).to_string(),
+            time,
+        },
+        ["param", s, key, value] => LogEvent::Param {
+            step: parse_step_id(s)?,
+            key: (*key).to_string(),
+            value: (*value).to_string(),
+            time,
+        },
+        ["read", s, d] => LogEvent::Read {
+            step: parse_step_id(s)?,
+            data: parse_data_id(d)?,
+            time,
+        },
+        ["wrote", s, d] => LogEvent::Wrote {
+            step: parse_step_id(s)?,
+            data: parse_data_id(d)?,
+            time,
+        },
+        ["step-finished", s] => LogEvent::StepFinished {
+            step: parse_step_id(s)?,
+            time,
+        },
+        ["finalized", d] => LogEvent::Finalized {
+            data: parse_data_id(d)?,
+            time,
+        },
+        _ => return Err(format!("unparseable ingest line: `{line}`")),
+    };
+    Ok(Some(ev))
+}
+
+/// Streams run events into a warehouse one at a time. The run commits
+/// step-by-step as provenance closes, answering queries mid-stream; a
+/// `seal` line (or `--seal`) completes it. Snapshot targets are saved at
+/// the end; durable directories journal every acknowledged event as it
+/// arrives, so a crash mid-stream loses nothing.
+fn ingest(target: &Path, workflow: &str, rest: &[String]) -> Result<(), String> {
+    let mut source: Option<&str> = None;
+    let mut follow = false;
+    let mut seal_at_end = false;
+    for a in rest {
+        match a.as_str() {
+            "--follow" => follow = true,
+            "--seal" => seal_at_end = true,
+            other if source.is_none() => source = Some(other),
+            other => return Err(format!("unexpected ingest argument `{other}`")),
+        }
+    }
+    let source = source.unwrap_or("-");
+    let durable = target.join(zoom::warehouse::durable::MANIFEST).exists();
+    let mut zoom = if durable {
+        Zoom::open_durable(target).map_err(|e| e.to_string())?
+    } else {
+        load(target)?
+    };
+    let sid = resolve_spec(&zoom, workflow)?;
+    let mut handle = zoom.begin_stream(sid).map_err(|e| e.to_string())?;
+    let rid = handle.run_id();
+    out!("streaming run {rid} on `{workflow}`");
+
+    let mut tick = 0u64;
+    let mut events = 0usize;
+    let mut committed = 0usize;
+    let mut sealed = false;
+    let mut push_line = |handle: &mut zoom::core::StreamHandle<'_>,
+                         line: &str|
+     -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(false);
+        }
+        tick += 1;
+        let Some(ev) = parse_ingest_line(line, Timestamp(tick))? else {
+            return Ok(true); // seal requested
+        };
+        match handle.push_event(&ev).map_err(|e| e.to_string())? {
+            PushOutcome::Buffered => {}
+            PushOutcome::Committed(steps) => {
+                committed += steps.len();
+                let ids: Vec<String> = steps.iter().map(|s| format!("{s}")).collect();
+                out!("committed {}", ids.join(", "));
+            }
+        }
+        events += 1;
+        Ok(false)
+    };
+
+    if source == "-" {
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if push_line(&mut handle, &line)? {
+                sealed = true;
+                break;
+            }
+        }
+    } else {
+        // File source: process complete lines only; with --follow, poll
+        // for growth until a `seal` line lands.
+        let path = Path::new(source);
+        let mut offset = 0usize;
+        'outer: loop {
+            let content = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+            let new = &content[offset.min(content.len())..];
+            let complete = new.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            for line in new[..complete].lines() {
+                if push_line(&mut handle, line)? {
+                    sealed = true;
+                    break 'outer;
+                }
+            }
+            offset += complete;
+            if !follow {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
+    if sealed || seal_at_end {
+        handle.seal().map_err(|e| format!("seal failed: {e}"))?;
+        sealed = true;
+    } else {
+        drop(handle);
+    }
+    out!(
+        "ingested {events} events, {committed} steps committed, run {rid} {}",
+        if sealed { "sealed" } else { "left open" }
+    );
+    if durable {
+        out!("every acknowledged event is journaled in {}", target.display());
+    } else {
+        if !sealed {
+            out!("note: snapshots persist only the committed prefix, not the open stream");
+        }
+        zoom.save(target).map_err(|e| e.to_string())?;
+        out!("snapshot updated: {}", target.display());
+    }
+    Ok(())
+}
+
+/// Re-executes a recorded trace against a fresh in-memory warehouse,
+/// diffing every operation's result digest against the recording.
+fn replay(trace: &Path, rest: &[String]) -> Result<(), String> {
+    let mut check = false;
+    let mut json = false;
+    let mut speed = 0.0f64;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--speed" => {
+                i += 1;
+                speed = rest
+                    .get(i)
+                    .ok_or("missing value for --speed")?
+                    .parse()
+                    .map_err(|_| "--speed takes a number (0 = flat out)".to_string())?;
+            }
+            other => return Err(format!("unknown replay option `{other}`")),
+        }
+        i += 1;
+    }
+    let bytes =
+        std::fs::read(trace).map_err(|e| format!("cannot read `{}`: {e}", trace.display()))?;
+    let replayer = TraceReplayer::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let mut zoom = Zoom::new();
+    let report = replayer.replay(&mut zoom, &ReplayOptions { speed });
+    if json {
+        out!(
+            "{{\"ops\":{},\"mismatches\":{},\"digest\":\"{:016x}\",\"recorded_nanos\":{},\"elapsed_nanos\":{},\"speedup\":{:.2}}}",
+            report.ops,
+            report.mismatches.len(),
+            report.digest,
+            report.recorded_nanos,
+            report.elapsed_nanos,
+            report.speedup()
+        );
+    } else {
+        out!("ops          : {}", report.ops);
+        out!("mismatches   : {}", report.mismatches.len());
+        out!("digest       : {:016x}", report.digest);
+        out!(
+            "recorded     : {:.3} ms (virtual)",
+            report.recorded_nanos as f64 / 1e6
+        );
+        out!(
+            "elapsed      : {:.3} ms ({:.1}x recorded speed)",
+            report.elapsed_nanos as f64 / 1e6,
+            report.speedup()
+        );
+        for m in report.mismatches.iter().take(10) {
+            out!(
+                "  op {} (clock {}, {}): expected {:016x}, got {:016x}",
+                m.index,
+                m.clock,
+                m.op,
+                m.expected,
+                m.got
+            );
+        }
+    }
+    if check && !report.is_clean() {
+        return Err(format!(
+            "replay diverged: {} digest mismatches",
+            report.mismatches.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Deterministically records the golden demo trace: the phylogenomic
+/// workflow loaded batch-wise and streamed event-by-event with provenance
+/// queries interleaved mid-stream. No wall-clock input — two invocations
+/// produce byte-identical artifacts.
+fn record_demo(trace: &Path) -> Result<(), String> {
+    use zoom_gen::library::{figure2_run, phylogenomic};
+    let spec = phylogenomic();
+    let run = figure2_run(&spec);
+    let log = zoom::model::EventLog::from_run(&run, &spec);
+    let finals = run.final_outputs();
+
+    let mut zoom = Zoom::new();
+    let mut rec = TraceRecorder::default();
+    rec.record(&mut zoom, TraceOp::RegisterSpec(spec.clone()));
+    rec.record(&mut zoom, TraceOp::RegisterView(SpecId(0), UserView::admin(&spec)));
+    rec.record(
+        &mut zoom,
+        TraceOp::RegisterView(SpecId(0), UserView::black_box(&spec)),
+    );
+    // Run 0: batch load. Run 1: the same log streamed, with deep-provenance
+    // probes interleaved (some of which answer, some of which reject — both
+    // digests are part of the recording).
+    rec.record(&mut zoom, TraceOp::LoadLog(SpecId(0), log.clone()));
+    rec.record(&mut zoom, TraceOp::BeginStream(SpecId(0)));
+    for (i, ev) in log.events.iter().enumerate() {
+        rec.record(&mut zoom, TraceOp::PushEvent(RunId(1), ev.clone()));
+        if i % 7 == 0 {
+            if let LogEvent::Read { data, .. } | LogEvent::Wrote { data, .. } = ev {
+                rec.record(&mut zoom, TraceOp::DeepProvenance(RunId(1), ViewId(0), *data));
+            }
+        }
+    }
+    rec.record(&mut zoom, TraceOp::SealStream(RunId(1)));
+    for rid in [RunId(0), RunId(1)] {
+        for vid in [ViewId(0), ViewId(1)] {
+            for &d in finals.iter().take(2) {
+                rec.record(&mut zoom, TraceOp::DeepProvenance(rid, vid, d));
+                rec.record(&mut zoom, TraceOp::ImmediateProvenance(rid, vid, d));
+            }
+            rec.record(&mut zoom, TraceOp::DependentsOf(rid, vid, DataId(1)));
+        }
+    }
+    let bytes = rec.to_bytes();
+    std::fs::write(trace, &bytes)
+        .map_err(|e| format!("cannot write `{}`: {e}", trace.display()))?;
+    out!(
+        "recorded {} ops ({} bytes) to {}",
+        rec.len(),
+        bytes.len(),
+        trace.display()
+    );
+    Ok(())
 }
 
 /// Forces a compaction of a durable warehouse directory and reports the

@@ -317,3 +317,87 @@ fn admission_sheds_when_saturated_and_accounts_exactly() {
     assert!(m.resilience.shed >= 1);
     assert!(m.resilience.admitted >= 1);
 }
+
+/// Chaos under replay: a recorded ingestion trace is re-executed against a
+/// durable warehouse whose storage injects one transient fault before
+/// every operation. The retry layer must absorb every fault, every per-op
+/// digest must match both the recording and a clean in-memory replay, and
+/// a reopen must find every acknowledged event — the capture/replay
+/// harness is only trustworthy if determinism survives misbehaving
+/// storage.
+#[test]
+fn replayed_trace_survives_transient_faults_without_divergence() {
+    use zoom::model::EventLog;
+    use zoom::warehouse::{
+        ReplayOptions, RunId, SpecId, TraceOp, TraceRecorder, TraceReplayer, TraceTarget, ViewId,
+    };
+
+    // Record an all-success session: three streamed runs of the linear
+    // spec with a post-seal query battery each. (No failing ops: their
+    // digests embed the error type's rendering, which differs between the
+    // in-memory and durable targets.)
+    let s = spec("chaos-replay");
+    let log = EventLog::from_run(&run(&s), &s);
+    let mut mem = Warehouse::new();
+    let mut rec = TraceRecorder::default();
+    rec.record(&mut mem, TraceOp::RegisterSpec(s.clone()));
+    rec.record(&mut mem, TraceOp::RegisterView(SpecId(0), UserView::admin(&s)));
+    for r in 0..3u32 {
+        let rid = RunId(r);
+        rec.record(&mut mem, TraceOp::BeginStream(SpecId(0)));
+        for ev in &log.events {
+            rec.record(&mut mem, TraceOp::PushEvent(rid, ev.clone()));
+        }
+        rec.record(&mut mem, TraceOp::SealStream(rid));
+        rec.record(&mut mem, TraceOp::DeepProvenance(rid, ViewId(0), DataId(4)));
+        rec.record(&mut mem, TraceOp::DependentsOf(rid, ViewId(0), DataId(1)));
+        rec.record(&mut mem, TraceOp::ImmediateProvenance(rid, ViewId(0), DataId(2)));
+    }
+    let bytes = rec.to_bytes();
+    let replayer = TraceReplayer::from_bytes(&bytes).unwrap();
+
+    // The clean oracle: an in-memory replay reproduces every digest.
+    let mut clean = Warehouse::new();
+    let clean_report = replayer.replay(&mut clean, &ReplayOptions::default());
+    assert!(clean_report.is_clean(), "{:?}", clean_report.mismatches);
+
+    // The chaos run: one transient fault armed before every single op.
+    let dir = tempdir("replay-chaos");
+    let faulty = Arc::new(FaultFs::counting());
+    let mut dw = DurableWarehouse::open_with(faulty.clone(), &dir, no_compact()).unwrap();
+    for r in replayer.records() {
+        faulty.arm_failures(1, true);
+        let got = dw.apply_trace_op(&r.op);
+        assert_eq!(
+            got, r.digest,
+            "op {} diverged under transient faults",
+            r.op.name()
+        );
+    }
+    let events = log.len() as u64;
+    let m = dw.warehouse().metrics_with(dw.stats());
+    assert!(
+        m.resilience.io_retries >= 3 * events,
+        "each journaled push should have absorbed its armed fault: {} retries",
+        m.resilience.io_retries
+    );
+    assert_eq!(m.resilience.breaker_trips, 0, "transients must not trip");
+    assert_eq!(m.stream.streams_sealed, 3);
+    drop(dw);
+
+    // Zero lost acknowledged events: the reopened store holds all three
+    // sealed runs and answers exactly like the in-memory oracle.
+    let recovered = DurableWarehouse::open(&dir).unwrap();
+    assert_eq!(recovered.stats().runs, 3);
+    assert_eq!(recovered.warehouse().active_streams(), 0);
+    for r in 0..3u32 {
+        let a = recovered
+            .warehouse()
+            .deep_provenance(RunId(r), ViewId(0), DataId(4))
+            .unwrap();
+        let b = clean.deep_provenance(RunId(r), ViewId(0), DataId(4)).unwrap();
+        assert_eq!(a, b, "run {r} diverged after recovery");
+        assert_eq!(a.tuples(), 4);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,348 @@
+//! Differential battery for streaming ingestion: a run streamed one event
+//! at a time must be indistinguishable — at *every committed prefix*, not
+//! just at seal — from the same prefix batch-loaded into a fresh
+//! warehouse, across all three index backends, at every view level, for
+//! every query form. And concurrent readers must never observe a
+//! half-applied step: each answer corresponds to some committed prefix.
+//!
+//! Companion to `tests/index_equivalence.rs` (backends agree on static
+//! runs); here the run is *growing*, so the label index's incremental
+//! `update_to` appends, the per-commit cache invalidation, and the prefix
+//! semantics of the model all sit in the differential loop.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::RwLock;
+use zoom::model::{
+    DataId, EventLog, LogEvent, StepId, UserView, WorkflowRun, WorkflowSpec,
+};
+use zoom::warehouse::{
+    IndexBackend, PushOutcome, RunId, ViewId, Warehouse, WarehouseError,
+};
+use zoom_gen::{
+    deep_chain, generate_run, generate_spec, interleaved_log, RunGenConfig, SpecGenConfig,
+    WorkflowClass,
+};
+
+const BACKENDS: [IndexBackend; 3] = [IndexBackend::Labels, IndexBackend::Bitset, IndexBackend::Bfs];
+
+fn workload(seed: u64, class: u8, modules: usize) -> (WorkflowSpec, WorkflowRun) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let class = match class % 3 {
+        0 => WorkflowClass::Linear,
+        1 => WorkflowClass::Parallel,
+        _ => WorkflowClass::Loop,
+    };
+    let spec = generate_spec("stream-prop", &SpecGenConfig::new(class, modules), &mut rng);
+    let cfg = RunGenConfig {
+        user_input: (1, 10),
+        data_per_step: (1, 3),
+        loop_iterations: (1, 5),
+        max_nodes: 160,
+        max_edges: 160,
+    };
+    let run = generate_run(&spec, &cfg, &mut rng).expect("valid run");
+    (spec, run)
+}
+
+/// A fresh warehouse holding `spec`, the UAdmin/UBlackBox pair, and one
+/// run loaded from `events` (prefix semantics unless `complete`).
+fn batch_warehouse(
+    spec: &WorkflowSpec,
+    events: &[LogEvent],
+    backend: IndexBackend,
+    complete: bool,
+) -> (Warehouse, RunId, [ViewId; 2]) {
+    let mut w = Warehouse::new();
+    w.set_index_backend(Some(backend));
+    let sid = w.register_spec(spec.clone()).unwrap();
+    let admin = w.register_view(sid, UserView::admin(spec)).unwrap();
+    let bb = w.register_view(sid, UserView::black_box(spec)).unwrap();
+    let log = EventLog {
+        spec_name: spec.name().to_string(),
+        events: events.to_vec(),
+    };
+    let run = if complete {
+        log.to_run(spec).expect("complete log reconstructs")
+    } else {
+        log.to_run_prefix(spec).expect("prefix log reconstructs")
+    };
+    let rid = w.load_run(sid, run).unwrap();
+    (w, rid, [admin, bb])
+}
+
+/// The batch-side event subset for a committed prefix: user inputs plus
+/// every event of a committed step. (Data written by a still-open step is
+/// not yet in the streamed run graph, and neither is it here.)
+fn committed_subset(events: &[LogEvent], committed: &BTreeSet<StepId>) -> Vec<LogEvent> {
+    events
+        .iter()
+        .filter(|ev| match ev {
+            LogEvent::UserInput { .. } => true,
+            LogEvent::Finalized { .. } => false,
+            LogEvent::Param { step, .. }
+            | LogEvent::StepStarted { step, .. }
+            | LogEvent::Read { step, .. }
+            | LogEvent::Wrote { step, .. }
+            | LogEvent::StepFinished { step, .. } => committed.contains(step),
+        })
+        .cloned()
+        .collect()
+}
+
+/// Demands the streamed warehouse and the batch warehouse agree — deep,
+/// immediate, and forward provenance, both views, sampled data objects,
+/// plus one id that exists in neither (the error must match too).
+fn assert_warehouses_agree(
+    streamed: &Warehouse,
+    srid: RunId,
+    sviews: [ViewId; 2],
+    batch: &Warehouse,
+    brid: RunId,
+    bviews: [ViewId; 2],
+) {
+    let sdata: Vec<DataId> = streamed.run(srid).unwrap().all_data().to_vec();
+    let bdata: Vec<DataId> = batch.run(brid).unwrap().all_data().to_vec();
+    assert_eq!(sdata, bdata, "committed data sets diverge");
+
+    let mut targets: Vec<DataId> = bdata
+        .iter()
+        .copied()
+        .step_by((bdata.len() / 15).max(1))
+        .collect();
+    targets.push(DataId(u64::MAX)); // present in neither: errors must agree
+    for (sv, bv) in sviews.into_iter().zip(bviews) {
+        for &d in &targets {
+            assert_eq!(
+                format!("{:?}", streamed.deep_provenance(srid, sv, d)),
+                format!("{:?}", batch.deep_provenance(brid, bv, d)),
+                "deep provenance of {d} diverges (view {sv})"
+            );
+            assert_eq!(
+                format!("{:?}", streamed.immediate_provenance(srid, sv, d)),
+                format!("{:?}", batch.immediate_provenance(brid, bv, d)),
+                "immediate provenance of {d} diverges (view {sv})"
+            );
+            assert_eq!(
+                format!("{:?}", streamed.dependents_of(srid, sv, d)),
+                format!("{:?}", batch.dependents_of(brid, bv, d)),
+                "dependents of {d} diverge (view {sv})"
+            );
+        }
+    }
+}
+
+/// Streams `log` into a warehouse on `backend`, comparing against a fresh
+/// batch load of the committed prefix at each sampled cut and after seal.
+fn differential_stream(spec: &WorkflowSpec, log: &EventLog, backend: IndexBackend) {
+    let mut w = Warehouse::new();
+    w.set_index_backend(Some(backend));
+    let sid = w.register_spec(spec.clone()).unwrap();
+    let admin = w.register_view(sid, UserView::admin(spec)).unwrap();
+    let bb = w.register_view(sid, UserView::black_box(spec)).unwrap();
+    let rid = w.begin_stream(sid).unwrap();
+
+    let n = log.len();
+    let cuts: BTreeSet<usize> = [n / 4, n / 2, (3 * n) / 4].into_iter().collect();
+    let mut committed: BTreeSet<StepId> = BTreeSet::new();
+    for (i, ev) in log.events.iter().enumerate() {
+        match w.stream_push(rid, ev).expect("valid logs stream cleanly") {
+            PushOutcome::Buffered => {}
+            PushOutcome::Committed(steps) => committed.extend(steps),
+        }
+        if cuts.contains(&(i + 1)) {
+            let subset = committed_subset(&log.events[..=i], &committed);
+            let (bw, brid, bviews) = batch_warehouse(spec, &subset, backend, false);
+            assert_warehouses_agree(&w, rid, [admin, bb], &bw, brid, bviews);
+        }
+    }
+    w.stream_seal(rid).expect("complete logs seal");
+    assert!(!w.is_streaming(rid));
+    assert_eq!(
+        committed.len(),
+        w.run(rid).unwrap().step_count(),
+        "every step must commit before seal"
+    );
+
+    let (bw, brid, bviews) = batch_warehouse(spec, &log.events, backend, true);
+    assert_warehouses_agree(&w, rid, [admin, bb], &bw, brid, bviews);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole differential: generated workloads of every class,
+    /// causally shuffled arrival orders, all three backends, prefix cuts
+    /// at ¼ / ½ / ¾ and the sealed run.
+    #[test]
+    fn streamed_equals_batch_at_every_prefix(
+        seed in any::<u64>(),
+        class in any::<u8>(),
+        modules in 3usize..10,
+        shuffle_seed in any::<u64>(),
+    ) {
+        let (spec, run) = workload(seed, class, modules);
+        let mut rng = StdRng::seed_from_u64(shuffle_seed);
+        let log = interleaved_log(&spec, &run, &mut rng);
+        for backend in BACKENDS {
+            differential_stream(&spec, &log, backend);
+        }
+    }
+}
+
+/// The deterministic adversarial shapes stream to the same answers as
+/// their batch loads on every backend — including the single-step chain.
+#[test]
+fn adversarial_shapes_stream_equal() {
+    let shapes = [
+        deep_chain(1),
+        deep_chain(96),
+        zoom_gen::wide_fanout(48),
+        zoom_gen::diamond_lattice(10, 6),
+    ];
+    for (spec, run) in &shapes {
+        let log = EventLog::from_run(run, spec);
+        for backend in BACKENDS {
+            differential_stream(spec, &log, backend);
+        }
+    }
+}
+
+/// Release-mode CI smoke: a 100k-step adversarial chain streamed event by
+/// event through the label backend — the index grows by incremental
+/// appends, and spot queries mid-stream and at seal match a batch load.
+/// Debug builds run a 2k-step miniature so `cargo test` stays quick.
+#[test]
+fn adversarial_chain_streams_at_scale() {
+    const RELEASE: bool = !cfg!(debug_assertions);
+    let steps: usize = if RELEASE { 100_000 } else { 2_000 };
+    let (spec, run) = deep_chain(steps);
+    let log = EventLog::from_run(&run, &spec);
+
+    let mut w = Warehouse::new();
+    w.set_index_backend(Some(IndexBackend::Labels));
+    let sid = w.register_spec(spec.clone()).unwrap();
+    let admin = w.register_view(sid, UserView::admin(&spec)).unwrap();
+    let rid = w.begin_stream(sid).unwrap();
+
+    let mut committed = 0usize;
+    let probe_every = steps / 4;
+    for ev in &log.events {
+        if let PushOutcome::Committed(steps) = w.stream_push(rid, ev).expect("chain streams") {
+            committed += steps.len();
+            // Materialize the label index on the first commit, then keep
+            // probing so the per-commit `update_to` path stays exercised
+            // (a cold cache would just rebuild at the end).
+            if committed == 1 || committed % probe_every == 0 {
+                // Step k's output only joins the graph when step k+1
+                // consumes it (or at seal), so a k-commit prefix holds
+                // d1..dk and d1's dependents are the k-1 objects d2..dk.
+                let deps = w.dependents_of(rid, admin, DataId(1)).unwrap();
+                assert_eq!(deps.len(), committed - 1, "chain prefix of {committed} commits");
+            }
+        }
+    }
+    w.stream_seal(rid).unwrap();
+    assert_eq!(committed, steps);
+
+    let m = w.metrics();
+    assert!(
+        m.stream.label_appends > 0,
+        "streaming a chain must extend the label index incrementally"
+    );
+
+    // Spot-check the sealed stream against a batch load.
+    let (bw, brid, bviews) = batch_warehouse(&spec, &log.events, IndexBackend::Labels, true);
+    let last = DataId(1 + steps as u64);
+    for d in [DataId(1), DataId(2), DataId(1 + (steps as u64) / 2), last] {
+        assert_eq!(
+            format!("{:?}", w.deep_provenance(rid, admin, d)),
+            format!("{:?}", bw.deep_provenance(brid, bviews[0], d)),
+        );
+    }
+    assert_eq!(
+        w.dependents_of(rid, admin, DataId(1)).unwrap().len(),
+        bw.dependents_of(brid, bviews[0], DataId(1)).unwrap().len(),
+    );
+}
+
+/// Snapshot consistency: 16 reader threads hammer forward provenance on a
+/// chain while a writer streams it in, under a tight admission semaphore.
+/// Every answer a reader sees must be a *contiguous* chain prefix — a gap
+/// would mean a half-applied step was visible. Shed queries
+/// (`Overloaded`) and not-yet-committed targets (`DataNotFound`) are the
+/// only tolerated failures.
+#[test]
+fn concurrent_readers_never_observe_half_applied_steps() {
+    const STEPS: usize = 400;
+    let (spec, run) = deep_chain(STEPS);
+    let log = EventLog::from_run(&run, &spec);
+
+    let mut w = Warehouse::new();
+    w.set_index_backend(Some(IndexBackend::Labels));
+    w.set_admission_limits(8, 8);
+    let sid = w.register_spec(spec.clone()).unwrap();
+    let admin = w.register_view(sid, UserView::admin(&spec)).unwrap();
+    let rid = w.begin_stream(sid).unwrap();
+
+    let shared = RwLock::new(w);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for ev in &log.events {
+                shared
+                    .write()
+                    .unwrap()
+                    .stream_push(rid, ev)
+                    .expect("chain streams");
+            }
+            shared.write().unwrap().stream_seal(rid).expect("seals");
+            done.store(true, Ordering::Release);
+        });
+        for _ in 0..16 {
+            scope.spawn(|| {
+                let mut observed = 0usize;
+                while !done.load(Ordering::Acquire) {
+                    let g = shared.read().unwrap();
+                    match g.dependents_of(rid, admin, DataId(1)) {
+                        Ok(deps) => {
+                            // d1's dependents on a k-step committed chain
+                            // prefix are exactly {d2 .. d(k+1)}: contiguous,
+                            // ascending, and never shrinking.
+                            for (i, d) in deps.iter().enumerate() {
+                                assert_eq!(
+                                    d.0,
+                                    2 + i as u64,
+                                    "torn prefix observed: {deps:?}"
+                                );
+                            }
+                            assert!(
+                                deps.len() >= observed,
+                                "prefix shrank: {} then {}",
+                                observed,
+                                deps.len()
+                            );
+                            observed = deps.len();
+                        }
+                        Err(WarehouseError::Overloaded) => {}
+                        Err(WarehouseError::DataNotFound(_)) => {}
+                        Err(other) => panic!("unexpected query failure: {other:?}"),
+                    }
+                }
+            });
+        }
+    });
+
+    let w = shared.into_inner().unwrap();
+    assert_eq!(
+        w.dependents_of(rid, admin, DataId(1)).unwrap().len(),
+        STEPS,
+        "sealed chain must expose every step's output"
+    );
+    let m = w.metrics();
+    assert_eq!(m.stream.streams_sealed, 1);
+    assert_eq!(m.stream.steps_committed, STEPS as u64);
+}
