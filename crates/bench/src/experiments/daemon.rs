@@ -1,0 +1,261 @@
+//! Daemon throughput — the wire-protocol half of the benchmark story.
+//!
+//! Where `replay_throughput` measures the warehouse replaying a recorded
+//! ingestion session *in process*, this experiment stands up a real
+//! `zoomd` [`Daemon`] on a loopback socket and pushes the **same
+//! workload** through the framed wire protocol:
+//!
+//! 1. **Replay over the wire.** The identical recorded trace
+//!    ([`super::replay::recorded_trace`]) replays through a [`RemoteZoom`]
+//!    against the fresh daemon. Because the daemon allocates ids in the
+//!    exact single-warehouse sequence, the replay must be digest-clean —
+//!    that is the correctness gate, not just a speed number.
+//! 2. **Session soak.** Worker threads multiplex logical sessions over a
+//!    handful of TCP connections until the daemon holds ≥ the target
+//!    concurrent session count (≥ 100 000 at Paper scale).
+//! 3. **Query storm.** With every session still open, a client fires a
+//!    deep-provenance battery at the replayed run and measures queries
+//!    per second — the session table must be dead weight, not drag.
+//!
+//! Results append to the `BENCH_<date>.json` scorecard next to the
+//! in-process replay entry, so the wire tax is one subtraction away.
+
+use crate::workloads::Scale;
+use std::fmt::Write as _;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+use zoom_core::{Daemon, DaemonConfig, RemoteZoom};
+use zoom_warehouse::{ReplayOptions, RunId, TraceReplayer, ViewId};
+
+/// Worker threads (and therefore TCP connections) used for the soak.
+const SOAK_WORKERS: usize = 8;
+
+/// Every measurement the scorecard needs from one daemon session.
+#[derive(Clone, Debug)]
+pub struct DaemonBench {
+    /// Warehouse shards the daemon ran with.
+    pub shards: usize,
+    /// Ops in the replayed trace.
+    pub trace_ops: usize,
+    /// Wall-clock nanos replaying the trace over the wire.
+    pub replay_nanos: u64,
+    /// Chained session digest of the wire replay.
+    pub replay_digest: u64,
+    /// Recorded-digest mismatches in the wire replay (0 when clean).
+    pub replay_mismatches: usize,
+    /// Concurrent logical sessions the soak aimed for.
+    pub sessions_target: usize,
+    /// Sessions the daemon actually held at peak (its own gauge).
+    pub sessions_peak: u64,
+    /// Wall-clock nanos to open every soak session.
+    pub open_nanos: u64,
+    /// Queries fired while every session was open.
+    pub queries: usize,
+    /// Wall-clock nanos for the query storm.
+    pub query_nanos: u64,
+}
+
+impl DaemonBench {
+    /// The wire replay reproduced every recorded per-op digest.
+    pub fn is_clean(&self) -> bool {
+        self.replay_mismatches == 0
+    }
+
+    /// Session opens per wall-clock second during the soak.
+    pub fn opens_per_sec(&self) -> f64 {
+        self.sessions_target as f64 * 1e9 / (self.open_nanos as f64).max(1.0)
+    }
+
+    /// Queries per wall-clock second with the session table at peak.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.queries as f64 * 1e9 / (self.query_nanos as f64).max(1.0)
+    }
+
+    /// The scorecard acceptance verdict: digest-clean wire replay AND the
+    /// daemon held the full target of concurrent sessions.
+    pub fn pass(&self) -> bool {
+        self.is_clean() && self.sessions_peak >= self.sessions_target as u64
+    }
+}
+
+fn session_target(scale: Scale) -> usize {
+    match scale {
+        // The ISSUE bar: ≥ 100k concurrent sessions. Aim past it.
+        Scale::Paper => 120_000,
+        Scale::Quick => 2_000,
+    }
+}
+
+fn query_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 10_000,
+        Scale::Quick => 1_000,
+    }
+}
+
+/// Runs the full daemon benchmark: wire replay, session soak, query storm.
+pub fn run(scale: Scale, seed: u64) -> DaemonBench {
+    let (bytes, _events) = super::replay::recorded_trace(scale, seed);
+    let replayer = TraceReplayer::from_bytes(&bytes).expect("recorder output parses");
+
+    let daemon = Daemon::spawn("127.0.0.1:0", DaemonConfig::default())
+        .expect("daemon binds a loopback port");
+    let mut rz = RemoteZoom::connect(daemon.addr(), "bench").expect("client connects");
+
+    // 1. Replay the recorded session through the wire protocol.
+    let started = Instant::now();
+    let report = replayer.replay(&mut rz, &ReplayOptions::default());
+    let replay_nanos = started.elapsed().as_nanos() as u64;
+
+    // 2. Session soak: SOAK_WORKERS connections each multiplex an equal
+    // slice of the target. Two barriers fence the measurement: all-open,
+    // then release (dropping a connection closes its sessions).
+    let target = session_target(scale);
+    let per_worker = target / SOAK_WORKERS;
+    let barrier = Arc::new(Barrier::new(SOAK_WORKERS + 1));
+    let addr = daemon.addr().to_string();
+    let started = Instant::now();
+    let workers: Vec<_> = (0..SOAK_WORKERS)
+        .map(|w| {
+            let barrier = Arc::clone(&barrier);
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut rz = RemoteZoom::connect(addr.as_str(), &format!("soak-{w}"))
+                    .expect("soak client connects");
+                for _ in 0..per_worker {
+                    rz.open_session().expect("session opens under quota");
+                }
+                barrier.wait(); // all sessions open — measurement window
+                barrier.wait(); // release: dropping rz closes them
+            })
+        })
+        .collect();
+    barrier.wait();
+    let open_nanos = started.elapsed().as_nanos() as u64;
+    let sessions_peak = daemon.session_count();
+
+    // 3. Query storm against the replayed run while every session is open.
+    let finals = rz.final_outputs(RunId(0)).expect("replayed run is sealed");
+    let queries = query_count(scale);
+    let started = Instant::now();
+    for i in 0..queries {
+        let d = finals[i % finals.len()];
+        rz.deep_provenance(RunId(0), ViewId(0), d)
+            .expect("query against replayed run");
+    }
+    let query_nanos = started.elapsed().as_nanos() as u64;
+
+    barrier.wait();
+    for w in workers {
+        w.join().expect("soak worker exits cleanly");
+    }
+
+    DaemonBench {
+        shards: daemon.shard_count(),
+        trace_ops: report.ops,
+        replay_nanos,
+        replay_digest: report.digest,
+        replay_mismatches: report.mismatches.len(),
+        sessions_target: target,
+        sessions_peak,
+        open_nanos,
+        queries,
+        query_nanos,
+    }
+}
+
+/// Renders the human half of the result.
+pub fn report(scale: Scale, seed: u64) -> String {
+    let b = run(scale, seed);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "DAEMON THROUGHPUT — zoomd on loopback, {} shard(s) \
+         (scale: {scale:?}, seed {seed})",
+        b.shards
+    );
+    let _ = writeln!(
+        out,
+        "  wire replay: {} ops in {:.1} ms, digest {:016x} ({})",
+        b.trace_ops,
+        b.replay_nanos as f64 / 1e6,
+        b.replay_digest,
+        if b.is_clean() { "clean" } else { "MISMATCHED" },
+    );
+    let _ = writeln!(
+        out,
+        "  session soak: {} open at peak (target {}) over {} connections, \
+         {:.0} opens/s",
+        b.sessions_peak,
+        b.sessions_target,
+        SOAK_WORKERS,
+        b.opens_per_sec(),
+    );
+    let _ = writeln!(
+        out,
+        "  query storm: {} deep queries at peak load, {:.0} queries/s — {}",
+        b.queries,
+        b.queries_per_sec(),
+        if b.pass() { "PASS" } else { "FAIL" },
+    );
+    out
+}
+
+/// Renders the scorecard object appended to `BENCH_<date>.json`.
+pub fn scorecard_json(b: &DaemonBench, scale: Scale, date: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": \"daemon_throughput\",");
+    let _ = writeln!(out, "  \"date\": \"{date}\",");
+    let _ = writeln!(
+        out,
+        "  \"scale\": \"{}\",",
+        format!("{scale:?}").to_lowercase()
+    );
+    let _ = writeln!(out, "  \"shards\": {},", b.shards);
+    let _ = writeln!(out, "  \"trace_ops\": {},", b.trace_ops);
+    let _ = writeln!(out, "  \"replay_nanos\": {},", b.replay_nanos);
+    let _ = writeln!(
+        out,
+        "  \"replay_digest\": \"{:016x}\",\n  \"replay_clean\": {},",
+        b.replay_digest,
+        b.is_clean()
+    );
+    let _ = writeln!(out, "  \"sessions_target\": {},", b.sessions_target);
+    let _ = writeln!(out, "  \"sessions_peak\": {},", b.sessions_peak);
+    let _ = writeln!(out, "  \"opens_per_sec\": {:.0},", b.opens_per_sec());
+    let _ = writeln!(out, "  \"queries\": {},", b.queries);
+    let _ = writeln!(out, "  \"queries_per_sec\": {:.0},", b.queries_per_sec());
+    let _ = writeln!(
+        out,
+        "  \"acceptance\": {{\"sessions_bar\": 100000, \"pass\": {}}}",
+        b.pass()
+    );
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_holds_the_bar() {
+        let b = run(Scale::Quick, 2008);
+        assert!(
+            b.is_clean(),
+            "{} wire-replay mismatches",
+            b.replay_mismatches
+        );
+        assert!(
+            b.sessions_peak >= b.sessions_target as u64,
+            "peak {} below target {}",
+            b.sessions_peak,
+            b.sessions_target
+        );
+        assert!(b.queries_per_sec() > 0.0);
+        assert!(b.pass());
+        let json = scorecard_json(&b, Scale::Quick, "2026-01-01");
+        assert!(json.contains("\"experiment\": \"daemon_throughput\""));
+        assert!(json.contains("\"replay_clean\": true"));
+    }
+}

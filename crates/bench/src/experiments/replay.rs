@@ -75,11 +75,11 @@ impl ReplayBench {
     }
 }
 
-/// Records the ingestion session and replays it twice.
-///
-/// `seed` drives both the synthetic run and the causal shuffle of its
-/// event log, so the whole benchmark is reproducible end to end.
-pub fn run(scale: Scale, seed: u64) -> ReplayBench {
+/// Generates the benchmark session and records it into trace bytes,
+/// returning `(trace, stream_events)`. Shared with the `daemon_throughput`
+/// experiment, which replays the *same* session over the wire so the two
+/// scorecard entries measure the same workload through different paths.
+pub fn recorded_trace(scale: Scale, seed: u64) -> (Vec<u8>, usize) {
     let mut rng = StdRng::seed_from_u64(seed);
     let spec = generate_spec(
         "replay-bench",
@@ -104,7 +104,16 @@ pub fn run(scale: Scale, seed: u64) -> ReplayBench {
     };
     let run = generate_run(&spec, &cfg, &mut rng).expect("valid");
     let log = interleaved_log(&spec, &run, &mut rng);
-    let bytes = record_session(&spec, &log);
+    let events = log.len();
+    (record_session(&spec, &log), events)
+}
+
+/// Records the ingestion session and replays it twice.
+///
+/// `seed` drives both the synthetic run and the causal shuffle of its
+/// event log, so the whole benchmark is reproducible end to end.
+pub fn run(scale: Scale, seed: u64) -> ReplayBench {
+    let (bytes, events) = recorded_trace(scale, seed);
 
     let replayer = TraceReplayer::from_bytes(&bytes).expect("recorder output parses");
     let mut reports = Vec::with_capacity(2);
@@ -116,7 +125,6 @@ pub fn run(scale: Scale, seed: u64) -> ReplayBench {
         reports.push((report, elapsed));
     }
 
-    let events = log.len();
     ReplayBench {
         events,
         ops: reports[0].0.ops,
@@ -140,7 +148,10 @@ fn record_session(spec: &zoom_model::WorkflowSpec, log: &EventLog) -> Vec<u8> {
     let mut rec = TraceRecorder::default();
     rec.record(&mut wh, TraceOp::RegisterSpec(spec.clone()));
     rec.record(&mut wh, TraceOp::RegisterView(sid, UserView::admin(spec)));
-    rec.record(&mut wh, TraceOp::RegisterView(sid, UserView::black_box(spec)));
+    rec.record(
+        &mut wh,
+        TraceOp::RegisterView(sid, UserView::black_box(spec)),
+    );
     rec.record(&mut wh, TraceOp::BeginStream(sid));
     for (i, ev) in log.events.iter().enumerate() {
         rec.record(&mut wh, TraceOp::PushEvent(rid, ev.clone()));
@@ -162,7 +173,7 @@ fn record_session(spec: &zoom_model::WorkflowSpec, log: &EventLog) -> Vec<u8> {
             rec.record(&mut wh, TraceOp::DependentsOf(rid, view, d));
         }
     }
-    rec.to_bytes()
+    rec.to_bytes().expect("bench trace under frame cap")
 }
 
 /// Renders the human half of the result.
@@ -196,11 +207,7 @@ pub fn report(scale: Scale, seed: u64) -> String {
         } else {
             "NON-DETERMINISTIC"
         },
-        if b.is_clean() {
-            "clean"
-        } else {
-            "MISMATCHED"
-        },
+        if b.is_clean() { "clean" } else { "MISMATCHED" },
     );
     let _ = writeln!(
         out,

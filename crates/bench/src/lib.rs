@@ -27,6 +27,7 @@
 
 pub mod experiments {
     //! One module per reproduced table/figure.
+    pub mod daemon;
     pub mod fig10;
     pub mod fig11;
     pub mod index_speedup;

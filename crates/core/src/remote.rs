@@ -1,0 +1,487 @@
+//! [`RemoteZoom`]: the client half of the `zoomd` wire protocol — the
+//! [`crate::Zoom`] facade surface over a TCP connection.
+//!
+//! A `RemoteZoom` is one socket carrying one logical session (opened at
+//! connect time); every facade call is one request/response round trip.
+//! Because the daemon allocates spec/view/run ids in exactly the sequence
+//! a single in-process warehouse would, and renders errors with the same
+//! `Display` strings, a recorded trace replays against a fresh daemon
+//! digest-for-digest — `RemoteZoom` implements [`TraceTarget`], so
+//! `zoomctl replay --connect` and the `daemon_throughput` bench drive the
+//! daemon with the identical golden artifact the in-process path uses.
+
+use crate::queries::{CannedQuery, QueryAnswer};
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use zoom_model::{DataId, EventLog, LogEvent, StepId, UserView, WorkflowSpec};
+use zoom_warehouse::wire::{self, BatchItem, Request, Response, WireError};
+use zoom_warehouse::{
+    trace, HealthReport, ImmediateAnswer, MetricsSnapshot, ProvenanceResult, PushOutcome, RunId,
+    ShardRouter, SlowQuery, SpecId, TraceOp, TraceTarget, ViewId, WarehouseStats,
+};
+
+/// A failure of a remote facade call.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// The transport or framing layer failed (connection lost, corrupt
+    /// frame, codec mismatch).
+    Wire(WireError),
+    /// The daemon answered an error. The payload is the server-side
+    /// error's `Display` rendering, shown verbatim — for warehouse
+    /// rejections it is byte-identical to what the equivalent in-process
+    /// call would render, which is what keeps replay digests aligned.
+    Server(String),
+    /// The daemon answered something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RemoteError::Wire(e) => write!(f, "transport: {e}"),
+            RemoteError::Server(m) => write!(f, "{m}"),
+            RemoteError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {}
+
+impl From<WireError> for RemoteError {
+    fn from(e: WireError) -> Self {
+        RemoteError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for RemoteError {
+    fn from(e: std::io::Error) -> Self {
+        RemoteError::Wire(WireError::Io(e))
+    }
+}
+
+/// Shorthand for remote call results.
+pub type RemoteResult<T> = std::result::Result<T, RemoteError>;
+
+fn unexpected(resp: Response) -> RemoteError {
+    match resp {
+        Response::Error { message } => RemoteError::Server(message),
+        other => RemoteError::Protocol(format!("unexpected response: {other:?}")),
+    }
+}
+
+/// The `Zoom` facade over a `zoomd` connection.
+pub struct RemoteZoom {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session: u64,
+}
+
+impl RemoteZoom {
+    /// Connects, names the tenant, and opens this client's logical
+    /// session.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> RemoteResult<RemoteZoom> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut rz = RemoteZoom {
+            reader,
+            writer: BufWriter::new(stream),
+            session: 0,
+        };
+        match rz.call(&Request::Hello {
+            tenant: tenant.to_string(),
+        })? {
+            Response::Ok => {}
+            other => return Err(unexpected(other)),
+        }
+        rz.session = rz.open_session()?;
+        Ok(rz)
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, req: &Request) -> RemoteResult<Response> {
+        wire::write_message(&mut self.writer, req)?;
+        self.writer.flush().map_err(WireError::Io)?;
+        match wire::read_message::<Response>(&mut self.reader)? {
+            Some(resp) => Ok(resp),
+            None => Err(RemoteError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+        }
+    }
+
+    fn call_ok(&mut self, req: &Request) -> RemoteResult<()> {
+        match self.call(req)? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    fn call_data(&mut self, req: &Request) -> RemoteResult<Vec<DataId>> {
+        match self.call(req)? {
+            Response::Data { ids } => Ok(ids),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// This connection's primary logical session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> RemoteResult<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Opens an *additional* logical session on this connection (the
+    /// multiplexing primitive the session-soak paths use).
+    pub fn open_session(&mut self) -> RemoteResult<u64> {
+        match self.call(&Request::OpenSession)? {
+            Response::Session { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Closes a logical session opened with [`Self::open_session`].
+    pub fn close_session(&mut self, session: u64) -> RemoteResult<()> {
+        self.call_ok(&Request::CloseSession { session })
+    }
+
+    /// Open logical sessions daemon-wide.
+    pub fn session_count(&mut self) -> RemoteResult<u64> {
+        match self.call(&Request::SessionCount)? {
+            Response::Count { n } => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `Zoom::register_workflow` against the daemon.
+    pub fn register_workflow(&mut self, spec: WorkflowSpec) -> RemoteResult<SpecId> {
+        match self.call(&Request::RegisterSpec { spec })? {
+            Response::Spec { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `Zoom::register_view` against the daemon.
+    pub fn register_view(&mut self, spec: SpecId, view: UserView) -> RemoteResult<ViewId> {
+        match self.call(&Request::RegisterView { spec, view })? {
+            Response::View { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `Zoom::build_view` (good view from relevant module labels),
+    /// constructed server-side.
+    pub fn build_view(&mut self, spec: SpecId, relevant: &[&str]) -> RemoteResult<ViewId> {
+        let req = Request::BuildView {
+            spec,
+            relevant: relevant.iter().map(|s| s.to_string()).collect(),
+        };
+        match self.call(&req)? {
+            Response::View { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Registers (or finds) the admin view of `spec` server-side.
+    pub fn admin_view(&mut self, spec: SpecId) -> RemoteResult<ViewId> {
+        match self.call(&Request::AdminView { spec })? {
+            Response::View { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `Zoom::load_log` against the daemon; the returned id is global.
+    pub fn load_log(&mut self, spec: SpecId, log: &EventLog) -> RemoteResult<RunId> {
+        let req = Request::LoadLog {
+            session: self.session,
+            spec,
+            log: log.clone(),
+        };
+        match self.call(&req)? {
+            Response::Run { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `Zoom::begin_stream` against the daemon.
+    pub fn begin_stream(&mut self, spec: SpecId) -> RemoteResult<RunId> {
+        let req = Request::BeginStream {
+            session: self.session,
+            spec,
+        };
+        match self.call(&req)? {
+            Response::Run { id } => Ok(id),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Pushes one event into an open stream.
+    pub fn stream_push(&mut self, run: RunId, event: &LogEvent) -> RemoteResult<PushOutcome> {
+        let req = Request::StreamPush {
+            session: self.session,
+            run,
+            event: event.clone(),
+        };
+        match self.call(&req)? {
+            Response::Push { outcome } => Ok(outcome),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Seals an open stream.
+    pub fn stream_seal(&mut self, run: RunId) -> RemoteResult<()> {
+        self.call_ok(&Request::StreamSeal {
+            session: self.session,
+            run,
+        })
+    }
+
+    /// Deep provenance of `data` at `view` over `run`.
+    pub fn deep_provenance(
+        &mut self,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> RemoteResult<ProvenanceResult> {
+        let req = Request::DeepProvenance {
+            session: self.session,
+            run,
+            view,
+            data,
+        };
+        match self.call(&req)? {
+            Response::Provenance { result } => Ok(result),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Batched deep provenance; answers in input order.
+    pub fn query_batch(
+        &mut self,
+        queries: &[(RunId, ViewId, DataId)],
+    ) -> RemoteResult<Vec<RemoteResult<ProvenanceResult>>> {
+        let req = Request::QueryBatch {
+            session: self.session,
+            queries: queries.to_vec(),
+        };
+        match self.call(&req)? {
+            Response::Batch { results } => Ok(results
+                .into_iter()
+                .map(|item| match item {
+                    BatchItem::Ok(p) => Ok(p),
+                    BatchItem::Err(m) => Err(RemoteError::Server(m)),
+                })
+                .collect()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Immediate provenance of `data` at `view` over `run`.
+    pub fn immediate_provenance(
+        &mut self,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> RemoteResult<ImmediateAnswer> {
+        let req = Request::ImmediateProvenance {
+            session: self.session,
+            run,
+            view,
+            data,
+        };
+        match self.call(&req)? {
+            Response::Immediate { answer } => Ok(answer),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Forward provenance (dependents) of `data`.
+    pub fn dependents_of(
+        &mut self,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> RemoteResult<Vec<DataId>> {
+        self.call_data(&Request::DependentsOf {
+            session: self.session,
+            run,
+            view,
+            data,
+        })
+    }
+
+    /// Data passed between two executions (`None` = input/output node).
+    pub fn data_between(
+        &mut self,
+        run: RunId,
+        view: ViewId,
+        from: Option<StepId>,
+        to: Option<StepId>,
+    ) -> RemoteResult<Vec<DataId>> {
+        self.call_data(&Request::DataBetween {
+            session: self.session,
+            run,
+            view,
+            from,
+            to,
+        })
+    }
+
+    /// The run's final outputs.
+    pub fn final_outputs(&mut self, run: RunId) -> RemoteResult<Vec<DataId>> {
+        self.call_data(&Request::FinalOutputs {
+            session: self.session,
+            run,
+        })
+    }
+
+    /// Every data object visible at `view` over `run`.
+    pub fn visible_data(&mut self, run: RunId, view: ViewId) -> RemoteResult<Vec<DataId>> {
+        self.call_data(&Request::VisibleData {
+            session: self.session,
+            run,
+            view,
+        })
+    }
+
+    /// Per-shard table counters, shard order.
+    pub fn stats_per_shard(&mut self) -> RemoteResult<Vec<WarehouseStats>> {
+        match self.call(&Request::Stats)? {
+            Response::StatsAll { shards } => Ok(shards),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Daemon-wide aggregate stats (per-run counters summed across
+    /// shards; broadcast tables carried over).
+    pub fn stats(&mut self) -> RemoteResult<WarehouseStats> {
+        Ok(ShardRouter::aggregate_stats(&self.stats_per_shard()?))
+    }
+
+    /// Per-shard observability snapshots, shard order.
+    pub fn metrics_per_shard(&mut self) -> RemoteResult<Vec<MetricsSnapshot>> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsAll { shards } => Ok(shards),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Per-shard health reports, shard order.
+    pub fn health_per_shard(&mut self) -> RemoteResult<Vec<HealthReport>> {
+        match self.call(&Request::Health)? {
+            Response::HealthAll { shards } => Ok(shards),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// The slow-query log across shards, optionally (re)setting the
+    /// capture threshold first.
+    pub fn slow_queries(&mut self, threshold_nanos: Option<u64>) -> RemoteResult<Vec<SlowQuery>> {
+        match self.call(&Request::SlowLog { threshold_nanos })? {
+            Response::SlowLogAll { queries } => Ok(queries),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Checkpoints every durable shard.
+    pub fn checkpoint(&mut self) -> RemoteResult<()> {
+        self.call_ok(&Request::Checkpoint)
+    }
+
+    /// Resolves a workflow (and optionally one of its views) by name and
+    /// lists the workflow's runs in load order.
+    pub fn resolve(
+        &mut self,
+        workflow: &str,
+        view: Option<&str>,
+    ) -> RemoteResult<(SpecId, Option<ViewId>, Vec<RunId>)> {
+        let req = Request::Resolve {
+            workflow: workflow.to_string(),
+            view: view.map(str::to_string),
+        };
+        match self.call(&req)? {
+            Response::Resolved { spec, view, runs } => Ok((spec, view, runs)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Asks the daemon to exit.
+    pub fn shutdown(&mut self) -> RemoteResult<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+}
+
+/// Executes a canned query form against the daemon (the `--connect`
+/// analog of [`crate::queries::execute`]).
+pub fn execute_canned_remote(
+    rz: &mut RemoteZoom,
+    run: RunId,
+    view: ViewId,
+    q: &CannedQuery,
+) -> RemoteResult<QueryAnswer> {
+    Ok(match q {
+        CannedQuery::Deep(d) => QueryAnswer::Provenance(rz.deep_provenance(run, view, *d)?),
+        CannedQuery::Immediate(d) => {
+            QueryAnswer::Immediate(rz.immediate_provenance(run, view, *d)?)
+        }
+        CannedQuery::Dependents(d) => QueryAnswer::Data(rz.dependents_of(run, view, *d)?),
+        CannedQuery::Between(a, b) => QueryAnswer::Data(rz.data_between(run, view, *a, *b)?),
+        CannedQuery::FinalOutputs => QueryAnswer::Data(rz.final_outputs(run)?),
+        CannedQuery::VisibleData => QueryAnswer::Data(rz.visible_data(run, view)?),
+    })
+}
+
+impl TraceTarget for RemoteZoom {
+    /// Replays one trace op over the wire and digests the canonical
+    /// rendering of whatever came back. Server-side warehouse errors
+    /// arrive as their in-process `Display` strings, so digests agree
+    /// with a local replay; transport failures render distinctly (and so
+    /// correctly report as mismatches).
+    fn apply_trace_op(&mut self, op: &TraceOp) -> u64 {
+        use trace::{
+            digest_str, render_deep, render_deps, render_err, render_id, render_immediate,
+            render_push, render_sealed,
+        };
+        fn render<T>(r: RemoteResult<T>, ok: impl FnOnce(T) -> String) -> String {
+            match r {
+                Ok(v) => ok(v),
+                Err(e) => render_err(&e.to_string()),
+            }
+        }
+        let rendering = match op {
+            TraceOp::RegisterSpec(spec) => {
+                render(self.register_workflow(spec.clone()), render_id)
+            }
+            TraceOp::RegisterView(sid, view) => {
+                render(self.register_view(*sid, view.clone()), render_id)
+            }
+            TraceOp::LoadLog(sid, log) => render(self.load_log(*sid, log), render_id),
+            TraceOp::BeginStream(sid) => render(self.begin_stream(*sid), render_id),
+            TraceOp::PushEvent(run, ev) => render(self.stream_push(*run, ev), render_push),
+            TraceOp::SealStream(run) => render(self.stream_seal(*run), |()| render_sealed()),
+            TraceOp::DeepProvenance(run, view, data) => {
+                render(self.deep_provenance(*run, *view, *data), |p| {
+                    render_deep(&p)
+                })
+            }
+            TraceOp::ImmediateProvenance(run, view, data) => render(
+                self.immediate_provenance(*run, *view, *data),
+                render_immediate,
+            ),
+            TraceOp::DependentsOf(run, view, data) => {
+                render(self.dependents_of(*run, *view, *data), render_deps)
+            }
+        };
+        digest_str(&rendering)
+    }
+}

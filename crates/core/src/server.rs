@@ -1,0 +1,477 @@
+//! The `zoomd` daemon: a multi-tenant provenance server over the wire
+//! protocol of [`zoom_warehouse::wire`].
+//!
+//! One [`Daemon`] owns a [`ShardRouter`] (runs hash-partitioned across N
+//! independent warehouse shards) and a TCP accept loop. Each connection
+//! gets its own handler thread, but connections are *multiplexed*: a
+//! client opens any number of logical sessions (`OpenSession`) and tags
+//! every request with a session id, so tens of thousands of concurrent
+//! sessions ride on a handful of sockets without an async runtime.
+//!
+//! Isolation guarantees, in order of the blast radius they contain:
+//!
+//! * **Framing**: a connection that sends garbage (bad magic, bad CRC, a
+//!   hostile length prefix, a mid-frame hangup) gets one error reply at
+//!   most and is dropped. Its tenant's sessions are released; nobody
+//!   else notices.
+//! * **Decoding**: a well-framed payload that fails to decode as a
+//!   [`Request`] answers an error on that frame only — the connection
+//!   survives, because frame boundaries are still trustworthy.
+//! * **Execution**: every shard-touching request runs under
+//!   `catch_unwind`. A panic answers an error on that request, aborts the
+//!   panicking session's in-flight stream (rolling its committed prefix
+//!   back out of memory shards), and leaves the shard lock poisoned —
+//!   which the router's poison-tolerant locks then ignore, because shard
+//!   mutations validate before they mutate.
+//! * **Tenancy**: sessions and in-flight requests are capped per tenant
+//!   ([`TenantQuotaTable`]) *before* per-shard admission control runs, so
+//!   a flooding tenant sheds its own traffic first.
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use zoom_model::UserView;
+use zoom_warehouse::wire::{self, BatchItem, Request, Response, ShardRouter};
+use zoom_warehouse::{codec, fxhash::FxHashMap};
+use zoom_warehouse::{Result as WhResult, TenantQuotaTable, TenantQuotas, ViewId, WarehouseError};
+
+/// How a [`Daemon`] is stood up.
+#[derive(Clone, Debug, Default)]
+pub struct DaemonConfig {
+    /// Number of warehouse shards; `0` means one per available core.
+    pub shards: usize,
+    /// Durable root directory (shards live in `dir/shard-<i>`), or `None`
+    /// for in-memory shards.
+    pub dir: Option<PathBuf>,
+    /// Per-tenant limits.
+    pub quotas: TenantQuotas,
+}
+
+impl DaemonConfig {
+    /// The effective shard count (resolves `0` to the core count).
+    pub fn effective_shards(&self) -> usize {
+        if self.shards > 0 {
+            self.shards
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// See [`wire::lock`]-style rationale: a handler thread that panicked
+/// while holding the session table must not take the table down for every
+/// other connection. Insert/remove on a `FxHashMap` can't leave it
+/// half-mutated in a way later readers would misread.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct ServerState {
+    router: ShardRouter,
+    quotas: TenantQuotaTable,
+    /// Logical session id → owning tenant.
+    sessions: Mutex<FxHashMap<u64, String>>,
+    next_session: AtomicU64,
+    stopping: AtomicBool,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    fn open_session(&self, tenant: &str) -> Option<u64> {
+        if !self.quotas.open_session(tenant) {
+            return None;
+        }
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        lock(&self.sessions).insert(id, tenant.to_string());
+        Some(id)
+    }
+
+    fn drop_session(&self, id: u64) {
+        if let Some(tenant) = lock(&self.sessions).remove(&id) {
+            self.quotas.close_session(&tenant);
+        }
+    }
+
+    fn session_count(&self) -> u64 {
+        lock(&self.sessions).len() as u64
+    }
+
+    fn begin_shutdown(&self) {
+        self.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop; the no-op connection is dropped there.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running daemon: the accept loop plus its shared state. Usable both
+/// from the `zoomd` binary and in-process from tests and benches.
+pub struct Daemon {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port), builds
+    /// the shard router per `config`, and starts accepting connections.
+    pub fn spawn(addr: &str, config: DaemonConfig) -> std::io::Result<Daemon> {
+        let shards = config.effective_shards();
+        let router = match &config.dir {
+            None => ShardRouter::in_memory(shards),
+            Some(dir) => ShardRouter::open_durable(dir, shards)
+                .map_err(|e| std::io::Error::other(format!("cannot open shards: {e}")))?,
+        };
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServerState {
+            router,
+            quotas: TenantQuotaTable::new(config.quotas),
+            sessions: Mutex::new(FxHashMap::default()),
+            next_session: AtomicU64::new(1),
+            stopping: AtomicBool::new(false),
+            addr: listener.local_addr()?,
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("zoomd-accept".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_state.stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(sock) = conn else { continue };
+                    let conn_state = Arc::clone(&accept_state);
+                    let _ = std::thread::Builder::new()
+                        .name("zoomd-conn".to_string())
+                        .spawn(move || handle_conn(&conn_state, sock));
+                }
+            })?;
+        Ok(Daemon {
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// The shard count the daemon is serving with.
+    pub fn shard_count(&self) -> usize {
+        self.state.router.shard_count()
+    }
+
+    /// Open logical sessions across every tenant, right now.
+    pub fn session_count(&self) -> u64 {
+        self.state.session_count()
+    }
+
+    /// Blocks until the daemon stops (a client sent `Shutdown`).
+    pub fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stops accepting and returns once the accept loop has exited.
+    /// Connections already open finish their current request streams on
+    /// their own threads.
+    pub fn shutdown(&mut self) {
+        self.state.begin_shutdown();
+        self.join();
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Connection-scoped state: the tenant it bills to and the sessions it
+/// opened (released on disconnect, however rude).
+struct ConnState {
+    tenant: String,
+    sessions: Vec<u64>,
+}
+
+fn handle_conn(state: &Arc<ServerState>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut conn = ConnState {
+        tenant: "anon".to_string(),
+        sessions: Vec::new(),
+    };
+    loop {
+        // Read the frame and decode the payload in two steps: a framing
+        // error means the byte stream can no longer be trusted (drop the
+        // connection), while a decode error inside a valid frame leaves
+        // frame boundaries intact (answer it and keep serving).
+        let payload = match wire::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(e) => {
+                let _ = wire::write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: format!("malformed frame: {e}"),
+                    },
+                );
+                let _ = writer.flush();
+                break;
+            }
+        };
+        let req: Request = match codec::from_bytes(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                let resp = Response::Error {
+                    message: format!("malformed request: {e}"),
+                };
+                if wire::write_message(&mut writer, &resp).is_err() || writer.flush().is_err() {
+                    break;
+                }
+                continue;
+            }
+        };
+        let resp = dispatch(state, &mut conn, &req);
+        let bye = matches!(resp, Response::Bye);
+        if wire::write_message(&mut writer, &resp).is_err() || writer.flush().is_err() {
+            break;
+        }
+        if bye {
+            state.begin_shutdown();
+            break;
+        }
+    }
+    for sid in conn.sessions.drain(..) {
+        state.drop_session(sid);
+    }
+}
+
+fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Response {
+    // Control-plane requests: no shard access, no admission needed.
+    match req {
+        Request::Ping => return Response::Pong,
+        Request::Hello { tenant } => {
+            conn.tenant = tenant.clone();
+            return Response::Ok;
+        }
+        Request::OpenSession => {
+            return match state.open_session(&conn.tenant) {
+                Some(id) => {
+                    conn.sessions.push(id);
+                    Response::Session { id }
+                }
+                None => Response::Error {
+                    message: format!("tenant `{}` is at its session cap", conn.tenant),
+                },
+            };
+        }
+        Request::CloseSession { session } => {
+            state.drop_session(*session);
+            conn.sessions.retain(|s| s != session);
+            return Response::Ok;
+        }
+        Request::SessionCount => {
+            return Response::Count {
+                n: state.session_count(),
+            };
+        }
+        Request::Shutdown => return Response::Bye,
+        _ => {}
+    }
+
+    // Everything past here touches shards: per-tenant admission first
+    // (the flooding tenant sheds before it can queue on a shard), then
+    // per-shard admission inside the warehouse itself.
+    let _permit = match state.quotas.admit(&conn.tenant) {
+        Some(p) => p,
+        None => {
+            return Response::Error {
+                message: format!("tenant `{}` overloaded: request shed by quota", conn.tenant),
+            }
+        }
+    };
+
+    // A panic inside one request must answer *that* request with an
+    // error, not take the connection thread (and with it every other
+    // logical session multiplexed on it) down.
+    match catch_unwind(AssertUnwindSafe(|| execute(state, req))) {
+        Ok(resp) => resp,
+        Err(_) => {
+            if let Request::StreamPush { run, .. } | Request::StreamSeal { run, .. } = req {
+                state.router.abort_stream(*run);
+            }
+            Response::Error {
+                message: "internal error: request aborted".to_string(),
+            }
+        }
+    }
+}
+
+fn err(e: WarehouseError) -> Response {
+    Response::Error {
+        message: e.to_string(),
+    }
+}
+
+fn ok_or<T>(r: WhResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
+    match r {
+        Ok(v) => ok(v),
+        Err(e) => err(e),
+    }
+}
+
+/// Registers `view` under `spec` unless a view of the same name already
+/// exists (mirrors `Zoom::build_view`'s idempotence).
+fn register_named_view(
+    router: &ShardRouter,
+    spec: zoom_warehouse::SpecId,
+    view: UserView,
+) -> WhResult<ViewId> {
+    if let Some(existing) = router.find_view(spec, view.name()) {
+        return Ok(existing);
+    }
+    router.register_view(spec, &view)
+}
+
+fn execute(state: &Arc<ServerState>, req: &Request) -> Response {
+    let router = &state.router;
+    match req {
+        Request::RegisterSpec { spec } => {
+            ok_or(router.register_spec(spec), |id| Response::Spec { id })
+        }
+        Request::RegisterView { spec, view } => ok_or(router.register_view(*spec, view), |id| {
+            Response::View { id }
+        }),
+        Request::BuildView { spec, relevant } => {
+            let built = (|| {
+                let ws = router.spec(*spec)?;
+                let nodes: Vec<_> = relevant
+                    .iter()
+                    .map(|l| ws.module(l))
+                    .collect::<zoom_model::Result<_>>()?;
+                let built = zoom_views::relev_user_view_builder(&ws, &nodes)?;
+                register_named_view(router, *spec, built.view)
+            })();
+            ok_or(built, |id| Response::View { id })
+        }
+        Request::AdminView { spec } => {
+            let built = router
+                .spec(*spec)
+                .and_then(|ws| register_named_view(router, *spec, UserView::admin(&ws)));
+            ok_or(built, |id| Response::View { id })
+        }
+        Request::LoadLog { spec, log, .. } => {
+            ok_or(router.load_log(*spec, log), |id| Response::Run { id })
+        }
+        Request::BeginStream { spec, .. } => {
+            ok_or(router.begin_stream(*spec), |id| Response::Run { id })
+        }
+        Request::StreamPush { run, event, .. } => ok_or(router.stream_push(*run, event), |o| {
+            Response::Push { outcome: o }
+        }),
+        Request::StreamSeal { run, .. } => ok_or(router.stream_seal(*run), |()| Response::Ok),
+        Request::DeepProvenance {
+            run, view, data, ..
+        } => ok_or(router.deep_provenance(*run, *view, *data), |result| {
+            Response::Provenance { result }
+        }),
+        Request::QueryBatch { queries, .. } => Response::Batch {
+            results: router
+                .query_batch(queries)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(p) => BatchItem::Ok(p),
+                    Err(e) => BatchItem::Err(e.to_string()),
+                })
+                .collect(),
+        },
+        Request::ImmediateProvenance {
+            run, view, data, ..
+        } => ok_or(router.immediate_provenance(*run, *view, *data), |answer| {
+            Response::Immediate { answer }
+        }),
+        Request::DependentsOf {
+            run, view, data, ..
+        } => ok_or(router.dependents_of(*run, *view, *data), |ids| {
+            Response::Data { ids }
+        }),
+        Request::DataBetween {
+            run,
+            view,
+            from,
+            to,
+            ..
+        } => ok_or(router.data_between(*run, *view, *from, *to), |ids| {
+            Response::Data { ids }
+        }),
+        Request::FinalOutputs { run, .. } => {
+            ok_or(router.final_outputs(*run), |ids| Response::Data { ids })
+        }
+        Request::VisibleData { run, view, .. } => ok_or(router.visible_data(*run, *view), |ids| {
+            Response::Data { ids }
+        }),
+        Request::Stats => Response::StatsAll {
+            shards: router.stats(),
+        },
+        Request::Metrics => Response::MetricsAll {
+            shards: router.metrics(),
+        },
+        Request::Health => Response::HealthAll {
+            shards: router.health(),
+        },
+        Request::SlowLog { threshold_nanos } => {
+            if let Some(n) = threshold_nanos {
+                router.set_slow_query_threshold_nanos(*n);
+            }
+            Response::SlowLogAll {
+                queries: router.slow_queries(),
+            }
+        }
+        Request::Checkpoint => ok_or(router.checkpoint(), |()| Response::Ok),
+        Request::Resolve { workflow, view } => {
+            let Some(spec) = router.spec_by_name(workflow) else {
+                return Response::Error {
+                    message: format!("no workflow named `{workflow}`"),
+                };
+            };
+            let view_id = match view {
+                None => None,
+                Some(name) => match router.find_view(spec, name) {
+                    Some(v) => Some(v),
+                    None => {
+                        return Response::Error {
+                            message: format!("no view named `{name}` for this workflow"),
+                        }
+                    }
+                },
+            };
+            Response::Resolved {
+                spec,
+                view: view_id,
+                runs: router.runs_of_spec(spec),
+            }
+        }
+        // Control-plane requests are answered in `dispatch` before
+        // admission; reaching here would be a routing bug, not a client
+        // error — answer it as one anyway rather than panicking.
+        Request::Ping
+        | Request::Hello { .. }
+        | Request::OpenSession
+        | Request::CloseSession { .. }
+        | Request::SessionCount
+        | Request::Shutdown => Response::Error {
+            message: "control request routed to the data plane".to_string(),
+        },
+    }
+}

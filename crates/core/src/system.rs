@@ -703,9 +703,12 @@ mod tests {
             rec.record(&mut z, TraceOp::PushEvent(RunId(0), ev.clone()));
         }
         rec.record(&mut z, TraceOp::SealStream(RunId(0)));
-        rec.record(&mut z, TraceOp::DeepProvenance(RunId(0), ViewId(0), DataId(3)));
+        rec.record(
+            &mut z,
+            TraceOp::DeepProvenance(RunId(0), ViewId(0), DataId(3)),
+        );
 
-        let replayer = TraceReplayer::from_bytes(&rec.to_bytes()).unwrap();
+        let replayer = TraceReplayer::from_bytes(&rec.to_bytes().unwrap()).unwrap();
         let mut fresh = Zoom::new();
         let report = replayer.replay(&mut fresh, &ReplayOptions::default());
         assert!(report.is_clean(), "mismatches: {:?}", report.mismatches);

@@ -207,7 +207,10 @@ mod tests {
                         written.insert(*data);
                     }
                     LogEvent::Read { data, .. } => {
-                        assert!(written.contains(data), "seed {seed}: read before write at {i}");
+                        assert!(
+                            written.contains(data),
+                            "seed {seed}: read before write at {i}"
+                        );
                     }
                     LogEvent::StepFinished { .. } => finished += 1,
                     LogEvent::Finalized { .. } => {

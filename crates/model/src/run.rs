@@ -428,8 +428,11 @@ impl WorkflowRun {
             // Committed streaming steps always hang off the input node
             // through their (already committed) producers; the output node
             // is legitimately unreachable until the stream seals.
-            let reach =
-                zoom_graph::reachable_set(&self.graph, self.input(), zoom_graph::Direction::Forward);
+            let reach = zoom_graph::reachable_set(
+                &self.graph,
+                self.input(),
+                zoom_graph::Direction::Forward,
+            );
             let output = self.output();
             if self
                 .graph
@@ -711,12 +714,7 @@ impl<'a> RunBuilder<'a> {
     /// reconstruction uses this to restore the log's who/when — the actual
     /// provenance of user-input data — in place of the builder's own
     /// default user and logical clock.
-    pub fn input_meta(
-        &mut self,
-        data: u64,
-        user: impl Into<String>,
-        time: Timestamp,
-    ) -> &mut Self {
+    pub fn input_meta(&mut self, data: u64, user: impl Into<String>, time: Timestamp) -> &mut Self {
         self.user_input_meta.insert(
             DataId(data),
             UserInputMeta {

@@ -39,6 +39,9 @@
 //! * [`resilience`] — deadlines + cooperative cancellation, admission
 //!   control, transient-IO retry with backoff, and the write circuit
 //!   breaker behind the durable store's degraded read-only mode;
+//! * [`wire`] — the `zoomd` wire layer: capped checksummed frames over
+//!   the codec, request/response messages, the run-sharding router, and
+//!   the per-tenant quota table;
 //! * [`codec`] — the bincode-style serde format behind persistence;
 //! * [`fxhash`] — fast hashing for the integer-keyed indexes.
 
@@ -59,6 +62,7 @@ pub mod store;
 pub mod stream;
 pub mod table;
 pub mod trace;
+pub mod wire;
 
 pub use cache::ViewRunCache;
 pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckReport};
@@ -91,4 +95,8 @@ pub use stream::{PushOutcome, RunIngestor, SealCommit, StreamCommit, StreamError
 pub use trace::{
     ReplayOptions, ReplayReport, TraceError, TraceHeader, TraceOp, TraceRecorder, TraceReplayer,
     TraceTarget,
+};
+pub use wire::{
+    BatchItem, Request, Response, ShardBacking, ShardRouter, TenantQuotaTable, TenantQuotas,
+    WireError, MAX_FRAME_BYTES,
 };

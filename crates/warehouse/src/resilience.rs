@@ -345,7 +345,7 @@ impl RetryPolicy {
 
 /// Breaker states. `Open` is the degraded read-only mode: mutations fail
 /// fast with `Degraded` while queries keep serving from memory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum BreakerState {
     /// Healthy: writes flow to storage.
     Closed,
@@ -463,7 +463,7 @@ impl CircuitBreaker {
 
 /// A point-in-time health summary of a store, the payload behind
 /// `Zoom::health()` and `zoomctl health --json`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HealthReport {
     /// `true` when the store can accept mutations.
     pub writable: bool,

@@ -84,6 +84,11 @@ pub enum WarehouseError {
     /// A streaming-ingestion event or seal was rejected; the stream and
     /// its committed prefix are unchanged.
     Stream(crate::stream::StreamError),
+    /// A batch worker thread panicked mid-query. The batch's other slots
+    /// still answer; only the panicked worker's claimed queries fail —
+    /// a panic in one query must not abort the process (or, under
+    /// `zoomd`, one tenant's connection thread).
+    WorkerPanicked,
 }
 
 impl fmt::Display for WarehouseError {
@@ -124,6 +129,9 @@ impl fmt::Display for WarehouseError {
                 "store is in degraded read-only mode: mutations rejected until storage recovers"
             ),
             WarehouseError::Stream(e) => write!(f, "stream error: {e}"),
+            WarehouseError::WorkerPanicked => {
+                write!(f, "batch query worker panicked; slot abandoned")
+            }
         }
     }
 }
@@ -146,7 +154,7 @@ impl From<crate::stream::StreamError> for WarehouseError {
 pub type Result<T> = std::result::Result<T, WarehouseError>;
 
 /// The immediate-provenance answer with user-input metadata resolved.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ImmediateAnswer {
     /// Produced by a (possibly virtual) execution.
     Produced {
@@ -1063,16 +1071,27 @@ impl Warehouse {
             let mut merged: Vec<Option<Result<ProvenanceResult>>> =
                 (0..queries.len()).map(|_| None).collect();
             for h in handles {
-                for (i, res) in h.join().expect("batch query worker panicked") {
-                    merged[i] = Some(res);
+                // A worker that panicked mid-query loses its claimed
+                // slots; they are reported as failed below instead of
+                // re-panicking here, which would poison every concurrent
+                // caller sharing this warehouse behind a lock.
+                if let Ok(results) = h.join() {
+                    for (i, res) in results {
+                        merged[i] = Some(res);
+                    }
                 }
             }
             merged
                 .into_iter()
-                .map(|slot| slot.expect("every batch index claimed exactly once"))
+                .map(|slot| slot.unwrap_or(Err(WarehouseError::WorkerPanicked)))
                 .collect()
         })
-        .expect("batch query scope completes")
+        .unwrap_or_else(|_| {
+            queries
+                .iter()
+                .map(|_| Err(WarehouseError::WorkerPanicked))
+                .collect()
+        })
     }
 
     /// Immediate provenance of `data` in `run` as seen through `view`, with

@@ -100,7 +100,10 @@ impl std::fmt::Display for StreamError {
                 second,
             } => write!(f, "{data} written by both {first} and {second}"),
             StreamError::WriteAfterRead { data, step } => {
-                write!(f, "{data} was read as a user input by {step} before being written")
+                write!(
+                    f,
+                    "{data} was read as a user input by {step} before being written"
+                )
             }
             StreamError::NoInputs(s) => write!(f, "step {s} finished without reading any data"),
             StreamError::SpecMismatch(m) => write!(f, "spec mismatch: {m}"),
@@ -153,7 +156,7 @@ impl StreamCommit {
 }
 
 /// What applying one event did to the committed prefix.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum PushOutcome {
     /// The event was recorded but committed no new step (e.g. a `Read` of
     /// an open step, or a `StepFinished` still waiting on a producer).
@@ -505,7 +508,8 @@ impl RunIngestor {
         for p in &producers {
             self.dependents.entry(*p).or_default().push(step);
         }
-        self.finished.insert(step, FinishedStep { pending, waiting });
+        self.finished
+            .insert(step, FinishedStep { pending, waiting });
         waiting
     }
 
@@ -740,7 +744,10 @@ mod tests {
     #[test]
     fn rejects_events_for_unknown_or_finished_steps() {
         let mut h = Harness::new();
-        assert_eq!(h.read(9, 1).unwrap_err(), StreamError::UnknownStep(StepId(9)));
+        assert_eq!(
+            h.read(9, 1).unwrap_err(),
+            StreamError::UnknownStep(StepId(9))
+        );
         assert_eq!(
             h.finished(9).unwrap_err(),
             StreamError::UnknownStep(StepId(9))
@@ -816,10 +823,7 @@ mod tests {
     fn rejects_step_without_reads() {
         let mut h = Harness::new();
         h.started(1, "A").unwrap();
-        assert_eq!(
-            h.finished(1).unwrap_err(),
-            StreamError::NoInputs(StepId(1))
-        );
+        assert_eq!(h.finished(1).unwrap_err(), StreamError::NoInputs(StepId(1)));
     }
 
     #[test]

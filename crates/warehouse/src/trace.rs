@@ -51,6 +51,15 @@ pub enum TraceError {
     },
     /// A frame payload failed to decode.
     Codec(CodecError),
+    /// A frame payload exceeded [`crate::wire::MAX_FRAME_BYTES`] — on
+    /// write, the payload was refused instead of silently truncating its
+    /// length to `u32` (which would emit a trace that passes per-frame
+    /// CRC but decodes garbage); on read, the declared length was
+    /// rejected before allocating.
+    FrameTooLarge {
+        /// The offending payload (or declared) length in bytes.
+        len: u64,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -59,6 +68,11 @@ impl fmt::Display for TraceError {
             TraceError::BadHeader => write!(f, "not a trace artifact (bad magic)"),
             TraceError::Corrupt { frame } => write!(f, "trace frame {frame} corrupt or truncated"),
             TraceError::Codec(e) => write!(f, "trace codec error: {e}"),
+            TraceError::FrameTooLarge { len } => write!(
+                f,
+                "trace frame of {len} bytes exceeds cap of {} bytes",
+                crate::wire::MAX_FRAME_BYTES
+            ),
         }
     }
 }
@@ -144,8 +158,51 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-fn digest_str(s: &str) -> u64 {
+/// FNV-1a digest of a canonical result rendering — the digest every
+/// [`TraceTarget`] records per operation. Public so out-of-process
+/// targets (the `zoomd` client) can reproduce digests bit-for-bit from
+/// wire-returned results.
+pub fn digest_str(s: &str) -> u64 {
     fnv1a(s.as_bytes())
+}
+
+/// Canonical rendering of an error result: `err:` + display.
+pub fn render_err(msg: &str) -> String {
+    format!("err:{msg}")
+}
+
+/// Canonical rendering of an id-returning mutation result.
+pub fn render_id(id: impl fmt::Display) -> String {
+    id.to_string()
+}
+
+/// Canonical rendering of a seal result.
+pub fn render_sealed() -> String {
+    "sealed".to_string()
+}
+
+/// Canonical rendering of a deep-provenance result.
+pub fn render_deep(p: &crate::query::ProvenanceResult) -> String {
+    let rows: Vec<String> = p
+        .rows
+        .iter()
+        .map(|row| {
+            format!(
+                "{}<-{}",
+                row.data.0,
+                row.producer.map_or("u".to_string(), |s| s.0.to_string())
+            )
+        })
+        .collect();
+    let execs: Vec<String> = p.execs.iter().map(|s| s.0.to_string()).collect();
+    format!("deep:{};{};{}", p.target.0, rows.join(","), execs.join(","))
+}
+
+/// Canonical rendering of a dependents result (re-sorted here).
+pub fn render_deps(mut deps: Vec<DataId>) -> String {
+    deps.sort();
+    let ds: Vec<String> = deps.iter().map(|x| x.0.to_string()).collect();
+    format!("deps:{}", ds.join(","))
 }
 
 fn render_result<T, E: fmt::Display>(res: Result<T, E>, ok: impl Fn(T) -> String) -> String {
@@ -155,7 +212,8 @@ fn render_result<T, E: fmt::Display>(res: Result<T, E>, ok: impl Fn(T) -> String
     }
 }
 
-fn render_push(outcome: PushOutcome) -> String {
+/// Canonical rendering of a stream-push outcome.
+pub fn render_push(outcome: PushOutcome) -> String {
     match outcome {
         PushOutcome::Buffered => "buffered".to_string(),
         PushOutcome::Committed(steps) => {
@@ -165,7 +223,8 @@ fn render_push(outcome: PushOutcome) -> String {
     }
 }
 
-fn render_immediate(ans: ImmediateAnswer) -> String {
+/// Canonical rendering of an immediate-provenance answer.
+pub fn render_immediate(ans: ImmediateAnswer) -> String {
     match ans {
         ImmediateAnswer::Produced {
             exec,
@@ -177,7 +236,12 @@ fn render_immediate(ans: ImmediateAnswer) -> String {
                 .iter()
                 .map(|(s, k, v)| format!("{}={}:{}", s.0, k, v))
                 .collect();
-            format!("produced:{};in={};p={}", exec.0, ins.join(","), ps.join(";"))
+            format!(
+                "produced:{};in={};p={}",
+                exec.0,
+                ins.join(","),
+                ps.join(";")
+            )
         }
         ImmediateAnswer::UserInput { meta } => match meta {
             Some(m) => format!("user:{}@{}", m.user, m.time.0),
@@ -191,36 +255,22 @@ fn render_immediate(ans: ImmediateAnswer) -> String {
 /// against any other.
 fn query_digest(w: &Warehouse, op: &TraceOp) -> u64 {
     match op {
-        TraceOp::DeepProvenance(r, v, d) => digest_str(&render_result(
-            w.deep_provenance(*r, *v, *d),
-            |p| {
-                let rows: Vec<String> = p
-                    .rows
-                    .iter()
-                    .map(|row| {
-                        format!(
-                            "{}<-{}",
-                            row.data.0,
-                            row.producer.map_or("u".to_string(), |s| s.0.to_string())
-                        )
-                    })
-                    .collect();
-                let execs: Vec<String> = p.execs.iter().map(|s| s.0.to_string()).collect();
-                format!("deep:{};{};{}", p.target.0, rows.join(","), execs.join(","))
-            },
-        )),
+        TraceOp::DeepProvenance(r, v, d) => {
+            digest_str(&render_result(w.deep_provenance(*r, *v, *d), |p| {
+                render_deep(&p)
+            }))
+        }
         TraceOp::ImmediateProvenance(r, v, d) => digest_str(&render_result(
             w.immediate_provenance(*r, *v, *d),
             render_immediate,
         )),
         TraceOp::DependentsOf(r, v, d) => {
-            digest_str(&render_result(w.dependents_of(*r, *v, *d), |mut deps| {
-                deps.sort();
-                let ds: Vec<String> = deps.iter().map(|x| x.0.to_string()).collect();
-                format!("deps:{}", ds.join(","))
-            }))
+            digest_str(&render_result(w.dependents_of(*r, *v, *d), render_deps))
         }
-        _ => unreachable!("query_digest is only called for query ops"),
+        // Non-query ops never route here from the impls in this file, but
+        // a stable error digest beats a process abort if a future caller
+        // (or a hostile byte stream reaching a refactored dispatch) does.
+        other => digest_str(&render_err(&format!("not a query op: {}", other.name()))),
     }
 }
 
@@ -241,16 +291,19 @@ pub trait TraceTarget {
 impl TraceTarget for Warehouse {
     fn apply_trace_op(&mut self, op: &TraceOp) -> u64 {
         match op {
-            TraceOp::RegisterSpec(spec) => digest_str(&render_result(
-                self.register_spec(spec.clone()),
-                |id| id.to_string(),
-            )),
+            TraceOp::RegisterSpec(spec) => {
+                digest_str(&render_result(self.register_spec(spec.clone()), |id| {
+                    id.to_string()
+                }))
+            }
             TraceOp::RegisterView(sid, view) => digest_str(&render_result(
                 self.register_view(*sid, view.clone()),
                 |id| id.to_string(),
             )),
             TraceOp::LoadLog(sid, log) => {
-                digest_str(&render_result(self.load_log(*sid, log), |id| id.to_string()))
+                digest_str(&render_result(self.load_log(*sid, log), |id| {
+                    id.to_string()
+                }))
             }
             TraceOp::BeginStream(sid) => {
                 digest_str(&render_result(self.begin_stream(*sid), |id| id.to_string()))
@@ -273,16 +326,19 @@ impl TraceTarget for Warehouse {
 impl TraceTarget for DurableWarehouse {
     fn apply_trace_op(&mut self, op: &TraceOp) -> u64 {
         match op {
-            TraceOp::RegisterSpec(spec) => digest_str(&render_result(
-                self.register_spec(spec.clone()),
-                |id| id.to_string(),
-            )),
+            TraceOp::RegisterSpec(spec) => {
+                digest_str(&render_result(self.register_spec(spec.clone()), |id| {
+                    id.to_string()
+                }))
+            }
             TraceOp::RegisterView(sid, view) => digest_str(&render_result(
                 self.register_view(*sid, view.clone()),
                 |id| id.to_string(),
             )),
             TraceOp::LoadLog(sid, log) => {
-                digest_str(&render_result(self.load_log(*sid, log), |id| id.to_string()))
+                digest_str(&render_result(self.load_log(*sid, log), |id| {
+                    id.to_string()
+                }))
             }
             TraceOp::BeginStream(sid) => {
                 digest_str(&render_result(self.begin_stream(*sid), |id| id.to_string()))
@@ -302,10 +358,19 @@ impl TraceTarget for DurableWarehouse {
     }
 }
 
-fn push_frame(out: &mut Vec<u8>, payload: &[u8]) {
+fn push_frame(out: &mut Vec<u8>, payload: &[u8]) -> Result<(), TraceError> {
+    // Never truncate the length to u32: a >4 GiB payload would otherwise
+    // emit a frame whose CRC covers the full payload but whose length
+    // prefix wraps, producing an artifact that decodes garbage.
+    if payload.len() as u64 > crate::wire::MAX_FRAME_BYTES as u64 {
+        return Err(TraceError::FrameTooLarge {
+            len: payload.len() as u64,
+        });
+    }
     out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out.extend_from_slice(payload);
+    Ok(())
 }
 
 /// Records facade operations into a trace artifact.
@@ -356,17 +421,19 @@ impl TraceRecorder {
     }
 
     /// Serializes the trace artifact: magic, header frame, one frame per
-    /// record, each `[len][crc32][payload]`.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// record, each `[len][crc32][payload]`. Fails with
+    /// [`TraceError::FrameTooLarge`] if any single record exceeds the
+    /// frame cap — never silently truncates.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, TraceError> {
         let mut out = Vec::with_capacity(64 * (self.records.len() + 1));
         out.extend_from_slice(MAGIC);
-        let header = codec::to_bytes(&self.header).expect("header encodes");
-        push_frame(&mut out, &header);
+        let header = codec::to_bytes(&self.header)?;
+        push_frame(&mut out, &header)?;
         for rec in &self.records {
-            let payload = codec::to_bytes(rec).expect("trace records encode");
-            push_frame(&mut out, &payload);
+            let payload = codec::to_bytes(rec)?;
+            push_frame(&mut out, &payload)?;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -451,6 +518,11 @@ impl TraceReplayer {
             }
             let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
             let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+            if len as u64 > crate::wire::MAX_FRAME_BYTES as u64 {
+                // Reject a hostile declared length before touching that
+                // many bytes (streaming readers would otherwise allocate).
+                return Err(TraceError::FrameTooLarge { len: len as u64 });
+            }
             if rest.len() < 8 + len {
                 return Err(TraceError::Corrupt { frame });
             }
@@ -612,7 +684,7 @@ mod tests {
     #[test]
     fn roundtrip_and_clean_replay() {
         let (rec, _) = record_demo();
-        let bytes = rec.to_bytes();
+        let bytes = rec.to_bytes().unwrap();
         let replayer = TraceReplayer::from_bytes(&bytes).unwrap();
         assert_eq!(replayer.ops(), rec.len());
 
@@ -638,7 +710,7 @@ mod tests {
     #[test]
     fn mismatch_detected_against_diverged_state() {
         let (rec, _) = record_demo();
-        let bytes = rec.to_bytes();
+        let bytes = rec.to_bytes().unwrap();
         let replayer = TraceReplayer::from_bytes(&bytes).unwrap();
         // A warehouse that already has a spec shifts every id: digests of
         // the id-returning mutations diverge.
@@ -649,13 +721,16 @@ mod tests {
         skewed.register_spec(other.build().unwrap()).unwrap();
         let report = replayer.replay(&mut skewed, &ReplayOptions::default());
         assert!(!report.is_clean());
-        assert_eq!(skewed.metrics().replay.mismatches as usize, report.mismatches.len());
+        assert_eq!(
+            skewed.metrics().replay.mismatches as usize,
+            report.mismatches.len()
+        );
     }
 
     #[test]
     fn corrupt_frames_rejected() {
         let (rec, _) = record_demo();
-        let mut bytes = rec.to_bytes();
+        let mut bytes = rec.to_bytes().unwrap();
         assert!(matches!(
             TraceReplayer::from_bytes(b"NOTATRACE"),
             Err(TraceError::BadHeader)
@@ -695,7 +770,7 @@ mod tests {
                 },
             ),
         );
-        let replayer = TraceReplayer::from_bytes(&rec.to_bytes()).unwrap();
+        let replayer = TraceReplayer::from_bytes(&rec.to_bytes().unwrap()).unwrap();
         let mut fresh = Warehouse::new();
         let report = replayer.replay(&mut fresh, &ReplayOptions::default());
         assert!(report.is_clean(), "mismatches: {:?}", report.mismatches);

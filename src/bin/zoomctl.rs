@@ -35,8 +35,8 @@ macro_rules! out_raw {
     }};
 }
 use zoom::core::{
-    execute_canned, CannedQuery, PushOutcome, ReplayOptions, RunId, SpecId, TraceOp,
-    TraceRecorder, TraceReplayer, ViewId,
+    execute_canned, CannedQuery, PushOutcome, ReplayOptions, RunId, SpecId, TraceOp, TraceRecorder,
+    TraceReplayer, ViewId,
 };
 use zoom::model::{DataId, LogEvent, StepId, Timestamp, UserView};
 use zoom::Zoom;
@@ -52,7 +52,32 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(args: &[String]) -> Result<(), String> {
+fn dispatch(raw: &[String]) -> Result<(), String> {
+    // `--connect <addr>` (plus optional `--tenant <name>`) may appear
+    // anywhere; strip both before positional parsing so every subcommand
+    // keeps its local shape minus the snapshot path.
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut connect: Option<String> = None;
+    let mut tenant = "zoomctl".to_string();
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--connect" => {
+                i += 1;
+                connect = Some(raw.get(i).ok_or("missing address for --connect")?.clone());
+            }
+            "--tenant" => {
+                i += 1;
+                tenant = raw.get(i).ok_or("missing name for --tenant")?.clone();
+            }
+            other => args.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if let Some(addr) = connect {
+        return dispatch_remote(&addr, &tenant, &args);
+    }
+    let args = &args[..];
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     match cmd {
         "demo" => demo(path_arg(args, 1)?),
@@ -155,6 +180,22 @@ usage:
   zoomctl health <snapshot|dir> [--json]
       write-availability and circuit-breaker state: degraded stores
       report open breakers, retry counts, and rejected writes
+
+daemon mode — add `--connect HOST:PORT` (and optionally `--tenant NAME`)
+to run against a live zoomd instead of a snapshot; the snapshot path
+argument is dropped:
+  zoomctl --connect A ping                             liveness probe
+  zoomctl --connect A demo                             load the demo workload
+  zoomctl --connect A stats [--json]                   aggregate across shards
+  zoomctl --connect A slowlog [--threshold-nanos N] [--json]
+  zoomctl --connect A health [--json]                  per-shard health
+  zoomctl --connect A build-view <workflow> <module>...
+  zoomctl --connect A query <workflow> <run#> <view> <query>
+  zoomctl --connect A ingest <workflow> [events-file|-] [--follow] [--seal]
+  zoomctl --connect A replay <trace> [--check] [--speed N] [--json]
+  zoomctl --connect A soak <sessions>                  open/close N sessions
+  zoomctl --connect A compact                          checkpoint durable shards
+  zoomctl --connect A shutdown                         stop the daemon
 ";
 
 fn path_arg(args: &[String], i: usize) -> Result<&Path, String> {
@@ -660,28 +701,27 @@ fn ingest(target: &Path, workflow: &str, rest: &[String]) -> Result<(), String> 
     let mut events = 0usize;
     let mut committed = 0usize;
     let mut sealed = false;
-    let mut push_line = |handle: &mut zoom::core::StreamHandle<'_>,
-                         line: &str|
-     -> Result<bool, String> {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            return Ok(false);
-        }
-        tick += 1;
-        let Some(ev) = parse_ingest_line(line, Timestamp(tick))? else {
-            return Ok(true); // seal requested
-        };
-        match handle.push_event(&ev).map_err(|e| e.to_string())? {
-            PushOutcome::Buffered => {}
-            PushOutcome::Committed(steps) => {
-                committed += steps.len();
-                let ids: Vec<String> = steps.iter().map(|s| format!("{s}")).collect();
-                out!("committed {}", ids.join(", "));
+    let mut push_line =
+        |handle: &mut zoom::core::StreamHandle<'_>, line: &str| -> Result<bool, String> {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return Ok(false);
             }
-        }
-        events += 1;
-        Ok(false)
-    };
+            tick += 1;
+            let Some(ev) = parse_ingest_line(line, Timestamp(tick))? else {
+                return Ok(true); // seal requested
+            };
+            match handle.push_event(&ev).map_err(|e| e.to_string())? {
+                PushOutcome::Buffered => {}
+                PushOutcome::Committed(steps) => {
+                    committed += steps.len();
+                    let ids: Vec<String> = steps.iter().map(|s| format!("{s}")).collect();
+                    out!("committed {}", ids.join(", "));
+                }
+            }
+            events += 1;
+            Ok(false)
+        };
 
     if source == "-" {
         use std::io::BufRead;
@@ -721,14 +761,17 @@ fn ingest(target: &Path, workflow: &str, rest: &[String]) -> Result<(), String> 
         handle.seal().map_err(|e| format!("seal failed: {e}"))?;
         sealed = true;
     } else {
-        drop(handle);
+        let _ = handle; // release the warehouse borrow without sealing
     }
     out!(
         "ingested {events} events, {committed} steps committed, run {rid} {}",
         if sealed { "sealed" } else { "left open" }
     );
     if durable {
-        out!("every acknowledged event is journaled in {}", target.display());
+        out!(
+            "every acknowledged event is journaled in {}",
+            target.display()
+        );
     } else {
         if !sealed {
             out!("note: snapshots persist only the committed prefix, not the open stream");
@@ -824,7 +867,10 @@ fn record_demo(trace: &Path) -> Result<(), String> {
     let mut zoom = Zoom::new();
     let mut rec = TraceRecorder::default();
     rec.record(&mut zoom, TraceOp::RegisterSpec(spec.clone()));
-    rec.record(&mut zoom, TraceOp::RegisterView(SpecId(0), UserView::admin(&spec)));
+    rec.record(
+        &mut zoom,
+        TraceOp::RegisterView(SpecId(0), UserView::admin(&spec)),
+    );
     rec.record(
         &mut zoom,
         TraceOp::RegisterView(SpecId(0), UserView::black_box(&spec)),
@@ -838,7 +884,10 @@ fn record_demo(trace: &Path) -> Result<(), String> {
         rec.record(&mut zoom, TraceOp::PushEvent(RunId(1), ev.clone()));
         if i % 7 == 0 {
             if let LogEvent::Read { data, .. } | LogEvent::Wrote { data, .. } = ev {
-                rec.record(&mut zoom, TraceOp::DeepProvenance(RunId(1), ViewId(0), *data));
+                rec.record(
+                    &mut zoom,
+                    TraceOp::DeepProvenance(RunId(1), ViewId(0), *data),
+                );
             }
         }
     }
@@ -852,7 +901,9 @@ fn record_demo(trace: &Path) -> Result<(), String> {
             rec.record(&mut zoom, TraceOp::DependentsOf(rid, vid, DataId(1)));
         }
     }
-    let bytes = rec.to_bytes();
+    let bytes = rec
+        .to_bytes()
+        .map_err(|e| format!("cannot encode trace: {e}"))?;
     std::fs::write(trace, &bytes)
         .map_err(|e| format!("cannot write `{}`: {e}", trace.display()))?;
     out!(
@@ -948,5 +999,440 @@ fn render(
         .map_err(|e| e.to_string())?;
     let view = zoom.warehouse().view(vid).map_err(|e| e.to_string())?;
     out_raw!("{}", zoom::core::provenance_to_dot(&vr, view, &res));
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode (`--connect`)
+// ---------------------------------------------------------------------------
+
+/// Escapes a string for interpolation into hand-rolled JSON output. Any
+/// name that flows from user input into a JSON document must pass through
+/// here — a workflow or tenant named with `"` or `\` must not produce an
+/// invalid document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn rerr(e: zoom::core::RemoteError) -> String {
+    e.to_string()
+}
+
+fn dispatch_remote(addr: &str, tenant: &str, args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    if matches!(cmd, "help" | "--help" | "-h") {
+        out_raw!("{HELP}");
+        return Ok(());
+    }
+    let mut rz = zoom::core::RemoteZoom::connect(addr, tenant)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    match cmd {
+        "ping" => {
+            rz.ping().map_err(rerr)?;
+            out!("pong from {addr}");
+            Ok(())
+        }
+        "demo" => remote_demo(&mut rz, addr),
+        "stats" => remote_stats(&mut rz, addr, tenant, args.iter().any(|a| a == "--json")),
+        "slowlog" => remote_slowlog(&mut rz, &args[1..]),
+        "health" => remote_health(&mut rz, args.iter().any(|a| a == "--json")),
+        "build-view" => remote_build_view(&mut rz, str_arg(args, 1, "workflow name")?, &args[2..]),
+        "query" => remote_query(
+            &mut rz,
+            str_arg(args, 1, "workflow name")?,
+            str_arg(args, 2, "run index")?,
+            str_arg(args, 3, "view name")?,
+            str_arg(args, 4, "query text")?,
+        ),
+        "ingest" => remote_ingest(&mut rz, str_arg(args, 1, "workflow name")?, &args[2..]),
+        "replay" => remote_replay(&mut rz, path_arg(args, 1)?, &args[2..]),
+        "soak" => remote_soak(&mut rz, str_arg(args, 1, "session count")?),
+        "compact" => {
+            rz.checkpoint().map_err(rerr)?;
+            out!("checkpointed every durable shard on {addr}");
+            Ok(())
+        }
+        "shutdown" => {
+            rz.shutdown().map_err(rerr)?;
+            out!("daemon at {addr} stopped");
+            Ok(())
+        }
+        other => Err(format!(
+            "command `{other}` is not supported over --connect (see `zoomctl help`)"
+        )),
+    }
+}
+
+/// Loads the same demo workload `zoomctl demo` builds locally: the
+/// phylogenomic workflow, three views, and the Figure 2 run.
+fn remote_demo(rz: &mut zoom::core::RemoteZoom, addr: &str) -> Result<(), String> {
+    use zoom_gen::library::{figure2_run, phylogenomic};
+    let spec = phylogenomic();
+    let sid = rz.register_workflow(spec.clone()).map_err(rerr)?;
+    rz.admin_view(sid).map_err(rerr)?;
+    rz.register_view(sid, UserView::black_box(&spec))
+        .map_err(rerr)?;
+    rz.build_view(sid, &["M2", "M3", "M7"]).map_err(rerr)?;
+    let run = figure2_run(&spec);
+    let log = zoom::model::EventLog::from_run(&run, &spec);
+    let rid = rz.load_log(sid, &log).map_err(rerr)?;
+    out!("demo loaded on {addr} (workflow `phylogenomic`, {rid}, 3 views)");
+    Ok(())
+}
+
+fn remote_stats(
+    rz: &mut zoom::core::RemoteZoom,
+    addr: &str,
+    tenant: &str,
+    json: bool,
+) -> Result<(), String> {
+    let shards = rz.stats_per_shard().map_err(rerr)?;
+    let sessions = rz.session_count().map_err(rerr)?;
+    let agg = zoom::warehouse::ShardRouter::aggregate_stats(&shards);
+    if json {
+        let per_shard: Vec<String> = rz
+            .metrics_per_shard()
+            .map_err(rerr)?
+            .iter()
+            .map(|m| m.to_json())
+            .collect();
+        out!(
+            "{{\"addr\":\"{}\",\"tenant\":\"{}\",\"shards\":{},\"sessions\":{},\
+             \"aggregate\":{},\"per_shard\":[{}]}}",
+            json_escape(addr),
+            json_escape(tenant),
+            shards.len(),
+            sessions,
+            stats_json(&agg),
+            per_shard.join(",")
+        );
+        return Ok(());
+    }
+    out!("shards       : {}", shards.len());
+    out!("sessions     : {sessions}");
+    out!("workflows    : {}", agg.specs);
+    out!("views        : {}", agg.views);
+    out!("runs         : {}", agg.runs);
+    out!("steps        : {}", agg.steps);
+    out!("data objects : {}", agg.data_objects);
+    if agg.degraded {
+        out!("degraded     : true (at least one shard is read-only)");
+    }
+    Ok(())
+}
+
+/// Hand-rolled JSON for one stats block (all-numeric; string fields in
+/// the surrounding document go through [`json_escape`]).
+fn stats_json(s: &zoom::warehouse::WarehouseStats) -> String {
+    format!(
+        "{{\"specs\":{},\"views\":{},\"runs\":{},\"steps\":{},\"data_objects\":{},\
+         \"journal_records\":{},\"journal_bytes\":{},\"compactions\":{},\"epoch\":{},\
+         \"degraded\":{}}}",
+        s.specs,
+        s.views,
+        s.runs,
+        s.steps,
+        s.data_objects,
+        s.journal_records,
+        s.journal_bytes,
+        s.compactions,
+        s.epoch,
+        s.degraded
+    )
+}
+
+fn remote_slowlog(rz: &mut zoom::core::RemoteZoom, rest: &[String]) -> Result<(), String> {
+    let mut threshold: Option<u64> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--json" => json = true,
+            "--threshold-nanos" => {
+                i += 1;
+                threshold = Some(
+                    rest.get(i)
+                        .ok_or("missing value for --threshold-nanos")?
+                        .parse()
+                        .map_err(|_| "--threshold-nanos takes a nanosecond count".to_string())?,
+                );
+            }
+            other => return Err(format!("unknown slowlog option `{other}`")),
+        }
+        i += 1;
+    }
+    let slow = rz.slow_queries(threshold).map_err(rerr)?;
+    if json {
+        let rows: Vec<String> = slow
+            .iter()
+            .map(zoom::warehouse::metrics::slow_query_json)
+            .collect();
+        out!("[{}]", rows.join(","));
+        return Ok(());
+    }
+    if slow.is_empty() {
+        out!("no captured slow queries");
+        return Ok(());
+    }
+    for q in &slow {
+        out!(
+            "{:>5} {:>10} {:<24} {:>6} {:>8} {:>12}",
+            q.seq,
+            q.kind.name(),
+            q.view_name,
+            q.run.0,
+            q.data.map_or("-".to_string(), |d| format!("d{d}")),
+            q.nanos
+        );
+    }
+    Ok(())
+}
+
+fn remote_health(rz: &mut zoom::core::RemoteZoom, json: bool) -> Result<(), String> {
+    let shards = rz.health_per_shard().map_err(rerr)?;
+    if json {
+        let rows: Vec<String> = shards.iter().map(|h| h.to_json()).collect();
+        out!("[{}]", rows.join(","));
+        return Ok(());
+    }
+    for (i, h) in shards.iter().enumerate() {
+        let status = if h.writable { "ok" } else { "degraded" };
+        out!(
+            "shard {i:<3} {status:<9} durable={} breaker={} trips={} retries={}",
+            h.durable,
+            h.breaker,
+            h.breaker_trips,
+            h.io_retries
+        );
+    }
+    Ok(())
+}
+
+fn remote_build_view(
+    rz: &mut zoom::core::RemoteZoom,
+    workflow: &str,
+    labels: &[String],
+) -> Result<(), String> {
+    if labels.is_empty() {
+        return Err("give at least one relevant module label".to_string());
+    }
+    let (sid, _, _) = rz.resolve(workflow, None).map_err(rerr)?;
+    let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+    let vid = rz.build_view(sid, &refs).map_err(rerr)?;
+    out!("registered {vid} on the daemon");
+    Ok(())
+}
+
+fn remote_query(
+    rz: &mut zoom::core::RemoteZoom,
+    workflow: &str,
+    run_index: &str,
+    view_name: &str,
+    text: &str,
+) -> Result<(), String> {
+    let (_, vid, runs) = rz.resolve(workflow, Some(view_name)).map_err(rerr)?;
+    let vid = vid.ok_or("view did not resolve")?;
+    let i: usize = run_index
+        .parse()
+        .map_err(|_| format!("`{run_index}` is not a run index"))?;
+    let rid = *runs
+        .get(i)
+        .ok_or_else(|| format!("run index {i} out of range"))?;
+    let q = CannedQuery::parse(text).map_err(|e| e.to_string())?;
+    let answer = zoom::core::execute_canned_remote(rz, rid, vid, &q).map_err(rerr)?;
+    out!("{answer}");
+    Ok(())
+}
+
+/// Streams run events into the daemon one at a time — the daemon-side
+/// analog of `ingest`: the run is queryable (by any client) mid-stream.
+fn remote_ingest(
+    rz: &mut zoom::core::RemoteZoom,
+    workflow: &str,
+    rest: &[String],
+) -> Result<(), String> {
+    let mut source: Option<&str> = None;
+    let mut follow = false;
+    let mut seal_at_end = false;
+    for a in rest {
+        match a.as_str() {
+            "--follow" => follow = true,
+            "--seal" => seal_at_end = true,
+            other if source.is_none() => source = Some(other),
+            other => return Err(format!("unexpected ingest argument `{other}`")),
+        }
+    }
+    let source = source.unwrap_or("-");
+    let (sid, _, _) = rz.resolve(workflow, None).map_err(rerr)?;
+    let rid = rz.begin_stream(sid).map_err(rerr)?;
+    out!("streaming {rid} on `{workflow}`");
+
+    let mut tick = 0u64;
+    let mut events = 0usize;
+    let mut committed = 0usize;
+    let mut sealed = false;
+    let mut push_line = |rz: &mut zoom::core::RemoteZoom, line: &str| -> Result<bool, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(false);
+        }
+        tick += 1;
+        let Some(ev) = parse_ingest_line(line, Timestamp(tick))? else {
+            return Ok(true);
+        };
+        match rz.stream_push(rid, &ev).map_err(rerr)? {
+            PushOutcome::Buffered => {}
+            PushOutcome::Committed(steps) => {
+                committed += steps.len();
+                let ids: Vec<String> = steps.iter().map(|s| format!("{s}")).collect();
+                out!("committed {}", ids.join(", "));
+            }
+        }
+        events += 1;
+        Ok(false)
+    };
+
+    if source == "-" {
+        use std::io::BufRead;
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.map_err(|e| e.to_string())?;
+            if push_line(rz, &line)? {
+                sealed = true;
+                break;
+            }
+        }
+    } else {
+        let path = Path::new(source);
+        let mut offset = 0usize;
+        'outer: loop {
+            let content = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read `{source}`: {e}"))?;
+            let new = &content[offset.min(content.len())..];
+            let complete = new.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            for line in new[..complete].lines() {
+                if push_line(rz, line)? {
+                    sealed = true;
+                    break 'outer;
+                }
+            }
+            offset += complete;
+            if !follow {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        }
+    }
+
+    if sealed || seal_at_end {
+        rz.stream_seal(rid)
+            .map_err(|e| format!("seal failed: {e}"))?;
+        sealed = true;
+    }
+    out!(
+        "ingested {events} events, {committed} steps committed, {rid} {}",
+        if sealed { "sealed" } else { "left open" }
+    );
+    Ok(())
+}
+
+/// Re-executes a recorded trace against the daemon, digest-diffing every
+/// operation exactly like the local `replay` — a fresh daemon allocates
+/// the same id sequences, so a clean trace replays clean over the wire.
+fn remote_replay(
+    rz: &mut zoom::core::RemoteZoom,
+    trace: &Path,
+    rest: &[String],
+) -> Result<(), String> {
+    let mut check = false;
+    let mut json = false;
+    let mut speed = 0.0f64;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--check" => check = true,
+            "--json" => json = true,
+            "--speed" => {
+                i += 1;
+                speed = rest
+                    .get(i)
+                    .ok_or("missing value for --speed")?
+                    .parse()
+                    .map_err(|_| "--speed takes a number (0 = flat out)".to_string())?;
+            }
+            other => return Err(format!("unknown replay option `{other}`")),
+        }
+        i += 1;
+    }
+    let bytes =
+        std::fs::read(trace).map_err(|e| format!("cannot read `{}`: {e}", trace.display()))?;
+    let replayer = TraceReplayer::from_bytes(&bytes).map_err(|e| e.to_string())?;
+    let report = replayer.replay(rz, &ReplayOptions { speed });
+    if json {
+        out!(
+            "{{\"ops\":{},\"mismatches\":{},\"digest\":\"{:016x}\",\"recorded_nanos\":{},\"elapsed_nanos\":{},\"speedup\":{:.2}}}",
+            report.ops,
+            report.mismatches.len(),
+            report.digest,
+            report.recorded_nanos,
+            report.elapsed_nanos,
+            report.speedup()
+        );
+    } else {
+        out!("ops          : {}", report.ops);
+        out!("mismatches   : {}", report.mismatches.len());
+        out!("digest       : {:016x}", report.digest);
+        for m in report.mismatches.iter().take(10) {
+            out!(
+                "  op {} (clock {}, {}): expected {:016x}, got {:016x}",
+                m.index,
+                m.clock,
+                m.op,
+                m.expected,
+                m.got
+            );
+        }
+    }
+    if check && !report.is_clean() {
+        return Err(format!(
+            "replay diverged: {} digest mismatches",
+            report.mismatches.len()
+        ));
+    }
+    Ok(())
+}
+
+/// Opens N logical sessions over this one connection, reads the daemon's
+/// session gauge at the peak, then closes them all — the CI concurrency
+/// smoke (`soak 1000`).
+fn remote_soak(rz: &mut zoom::core::RemoteZoom, count: &str) -> Result<(), String> {
+    let n: usize = count
+        .parse()
+        .map_err(|_| format!("`{count}` is not a session count"))?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(rz.open_session().map_err(rerr)?);
+    }
+    let peak = rz.session_count().map_err(rerr)?;
+    for id in ids {
+        rz.close_session(id).map_err(rerr)?;
+    }
+    let after = rz.session_count().map_err(rerr)?;
+    out!("soak: opened {n} sessions, daemon peak {peak}, {after} left after close");
+    if (peak as usize) < n {
+        return Err(format!("daemon peak {peak} below requested {n} sessions"));
+    }
     Ok(())
 }

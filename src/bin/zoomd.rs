@@ -1,0 +1,97 @@
+//! `zoomd` — the sharded multi-tenant provenance daemon.
+//!
+//! Serves the ZOOM provenance warehouse over the framed wire protocol of
+//! `zoom_warehouse::wire`, hash-partitioning runs across N independent
+//! warehouse shards:
+//!
+//! ```sh
+//! zoomd --shards 8 --addr 127.0.0.1:7333 &          # in-memory shards
+//! zoomd --dir /var/lib/zoomd --shards 8 &           # durable shards
+//! zoomctl --connect 127.0.0.1:7333 demo
+//! zoomctl --connect 127.0.0.1:7333 query phylogenomic 0 UAdmin "deep d15"
+//! zoomctl --connect 127.0.0.1:7333 shutdown
+//! ```
+//!
+//! The daemon prints `listening on <addr>` once the socket is bound (so
+//! scripts binding port 0 can scrape the ephemeral port) and exits when a
+//! client sends `Shutdown`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use zoom::core::{Daemon, DaemonConfig};
+use zoom::warehouse::TenantQuotas;
+
+const HELP: &str = "\
+zoomd — ZOOM*UserViews provenance daemon
+
+usage:
+  zoomd [--addr HOST:PORT] [--shards N] [--dir PATH]
+        [--max-sessions N] [--max-in-flight N] [--max-queue N]
+
+  --addr HOST:PORT   bind address (default 127.0.0.1:7333; port 0 = ephemeral)
+  --shards N         warehouse shards (default: one per core)
+  --dir PATH         durable shards under PATH/shard-<i> (default: in-memory)
+  --max-sessions N   per-tenant open-session cap
+  --max-in-flight N  per-tenant in-flight request cap
+  --max-queue N      per-tenant queued-request cap (past it, requests shed)
+
+Stop it with `zoomctl --connect <addr> shutdown`.
+";
+
+fn main() -> ExitCode {
+    match run(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("zoomd: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7333".to_string();
+    let mut config = DaemonConfig::default();
+    let mut quotas = TenantQuotas::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        match flag {
+            "--help" | "-h" | "help" => {
+                print!("{HELP}");
+                return Ok(());
+            }
+            "--addr" | "--shards" | "--dir" | "--max-sessions" | "--max-in-flight"
+            | "--max-queue" => {
+                i += 1;
+                let val = args
+                    .get(i)
+                    .ok_or_else(|| format!("missing value for {flag}"))?;
+                let parse_n = |what: &str| -> Result<usize, String> {
+                    val.parse::<usize>()
+                        .map_err(|_| format!("{flag} takes {what}, got `{val}`"))
+                };
+                match flag {
+                    "--addr" => addr = val.clone(),
+                    "--shards" => config.shards = parse_n("a shard count")?,
+                    "--dir" => config.dir = Some(PathBuf::from(val)),
+                    "--max-sessions" => quotas.max_sessions = parse_n("a session cap")?,
+                    "--max-in-flight" => quotas.max_in_flight = parse_n("a request cap")?,
+                    "--max-queue" => quotas.max_queue = parse_n("a queue length")?,
+                    _ => unreachable!("outer match gated the flag set"),
+                }
+            }
+            other => return Err(format!("unknown option `{other}` (see `zoomd --help`)")),
+        }
+        i += 1;
+    }
+    config.quotas = quotas;
+    let mut daemon = Daemon::spawn(&addr, config).map_err(|e| e.to_string())?;
+    // Scripts parse this line; keep its shape stable.
+    println!(
+        "listening on {} ({} shard(s))",
+        daemon.addr(),
+        daemon.shard_count()
+    );
+    daemon.join();
+    Ok(())
+}

@@ -341,7 +341,10 @@ fn replayed_trace_survives_transient_faults_without_divergence() {
     let mut mem = Warehouse::new();
     let mut rec = TraceRecorder::default();
     rec.record(&mut mem, TraceOp::RegisterSpec(s.clone()));
-    rec.record(&mut mem, TraceOp::RegisterView(SpecId(0), UserView::admin(&s)));
+    rec.record(
+        &mut mem,
+        TraceOp::RegisterView(SpecId(0), UserView::admin(&s)),
+    );
     for r in 0..3u32 {
         let rid = RunId(r);
         rec.record(&mut mem, TraceOp::BeginStream(SpecId(0)));
@@ -351,9 +354,12 @@ fn replayed_trace_survives_transient_faults_without_divergence() {
         rec.record(&mut mem, TraceOp::SealStream(rid));
         rec.record(&mut mem, TraceOp::DeepProvenance(rid, ViewId(0), DataId(4)));
         rec.record(&mut mem, TraceOp::DependentsOf(rid, ViewId(0), DataId(1)));
-        rec.record(&mut mem, TraceOp::ImmediateProvenance(rid, ViewId(0), DataId(2)));
+        rec.record(
+            &mut mem,
+            TraceOp::ImmediateProvenance(rid, ViewId(0), DataId(2)),
+        );
     }
-    let bytes = rec.to_bytes();
+    let bytes = rec.to_bytes().unwrap();
     let replayer = TraceReplayer::from_bytes(&bytes).unwrap();
 
     // The clean oracle: an in-memory replay reproduces every digest.
@@ -369,7 +375,8 @@ fn replayed_trace_survives_transient_faults_without_divergence() {
         faulty.arm_failures(1, true);
         let got = dw.apply_trace_op(&r.op);
         assert_eq!(
-            got, r.digest,
+            got,
+            r.digest,
             "op {} diverged under transient faults",
             r.op.name()
         );
@@ -395,7 +402,9 @@ fn replayed_trace_survives_transient_faults_without_divergence() {
             .warehouse()
             .deep_provenance(RunId(r), ViewId(0), DataId(4))
             .unwrap();
-        let b = clean.deep_provenance(RunId(r), ViewId(0), DataId(4)).unwrap();
+        let b = clean
+            .deep_provenance(RunId(r), ViewId(0), DataId(4))
+            .unwrap();
         assert_eq!(a, b, "run {r} diverged after recovery");
         assert_eq!(a.tuples(), 4);
     }

@@ -16,18 +16,18 @@ use rand::SeedableRng;
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::RwLock;
-use zoom::model::{
-    DataId, EventLog, LogEvent, StepId, UserView, WorkflowRun, WorkflowSpec,
-};
-use zoom::warehouse::{
-    IndexBackend, PushOutcome, RunId, ViewId, Warehouse, WarehouseError,
-};
+use zoom::model::{DataId, EventLog, LogEvent, StepId, UserView, WorkflowRun, WorkflowSpec};
+use zoom::warehouse::{IndexBackend, PushOutcome, RunId, ViewId, Warehouse, WarehouseError};
 use zoom_gen::{
     deep_chain, generate_run, generate_spec, interleaved_log, RunGenConfig, SpecGenConfig,
     WorkflowClass,
 };
 
-const BACKENDS: [IndexBackend; 3] = [IndexBackend::Labels, IndexBackend::Bitset, IndexBackend::Bfs];
+const BACKENDS: [IndexBackend; 3] = [
+    IndexBackend::Labels,
+    IndexBackend::Bitset,
+    IndexBackend::Bfs,
+];
 
 fn workload(seed: u64, class: u8, modules: usize) -> (WorkflowSpec, WorkflowRun) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -236,12 +236,16 @@ fn adversarial_chain_streams_at_scale() {
             // Materialize the label index on the first commit, then keep
             // probing so the per-commit `update_to` path stays exercised
             // (a cold cache would just rebuild at the end).
-            if committed == 1 || committed % probe_every == 0 {
+            if committed == 1 || committed.is_multiple_of(probe_every) {
                 // Step k's output only joins the graph when step k+1
                 // consumes it (or at seal), so a k-commit prefix holds
                 // d1..dk and d1's dependents are the k-1 objects d2..dk.
                 let deps = w.dependents_of(rid, admin, DataId(1)).unwrap();
-                assert_eq!(deps.len(), committed - 1, "chain prefix of {committed} commits");
+                assert_eq!(
+                    deps.len(),
+                    committed - 1,
+                    "chain prefix of {committed} commits"
+                );
             }
         }
     }
@@ -313,11 +317,7 @@ fn concurrent_readers_never_observe_half_applied_steps() {
                             // prefix are exactly {d2 .. d(k+1)}: contiguous,
                             // ascending, and never shrinking.
                             for (i, d) in deps.iter().enumerate() {
-                                assert_eq!(
-                                    d.0,
-                                    2 + i as u64,
-                                    "torn prefix observed: {deps:?}"
-                                );
+                                assert_eq!(d.0, 2 + i as u64, "torn prefix observed: {deps:?}");
                             }
                             assert!(
                                 deps.len() >= observed,

@@ -248,6 +248,49 @@ fn health_json_is_well_formed_for_snapshots() {
     let _ = std::fs::remove_file(&snap);
 }
 
+/// A tenant name full of JSON metacharacters must come out of
+/// `stats --json` correctly escaped — this is the regression test for the
+/// unescaped string interpolation in zoomctl's hand-rolled emitter.
+#[test]
+fn hostile_tenant_name_is_escaped_in_remote_stats_json() {
+    use std::io::BufRead;
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_zoomd"))
+        .args(["--addr", "127.0.0.1:0", "--shards", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("zoomd spawns");
+    let addr = {
+        let stdout = daemon.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("zoomd announces its address");
+        // "listening on 127.0.0.1:PORT (N shard(s))"
+        line.split_whitespace()
+            .nth(2)
+            .expect("address in announce line")
+            .to_string()
+    };
+
+    let hostile = "evil\"tenant\\name\twith\nnewline";
+    let json = run_ok(zoomctl().args(["--connect", &addr, "--tenant", hostile, "stats", "--json"]));
+    assert_well_formed(&json);
+    assert!(
+        json.contains(r#""tenant":"evil\"tenant\\name\twith\nnewline""#),
+        "hostile tenant not escaped:\n{json}"
+    );
+    // The raw metacharacters must never appear inside the emitted string.
+    assert!(
+        !json.contains("evil\"tenant"),
+        "unescaped quote leaked:\n{json}"
+    );
+
+    run_ok(zoomctl().args(["--connect", &addr, "shutdown"]));
+    let status = daemon.wait().expect("zoomd exits after shutdown");
+    assert!(status.success(), "zoomd exited with {status}");
+}
+
 #[test]
 fn slowlog_json_is_an_array_of_query_records() {
     let snap = temp_snapshot("slowlog");
