@@ -412,9 +412,13 @@ impl RemoteZoom {
         }
     }
 
-    /// Asks the daemon to exit.
-    pub fn shutdown(&mut self) -> RemoteResult<()> {
-        match self.call(&Request::Shutdown)? {
+    /// Asks the daemon to exit. `token` must match the daemon's admin
+    /// token when one is configured; a tokenless daemon honours shutdown
+    /// only from loopback peers.
+    pub fn shutdown(&mut self, token: Option<&str>) -> RemoteResult<()> {
+        match self.call(&Request::Shutdown {
+            token: token.map(str::to_string),
+        })? {
             Response::Bye => Ok(()),
             other => Err(unexpected(other)),
         }
@@ -459,9 +463,7 @@ impl TraceTarget for RemoteZoom {
             }
         }
         let rendering = match op {
-            TraceOp::RegisterSpec(spec) => {
-                render(self.register_workflow(spec.clone()), render_id)
-            }
+            TraceOp::RegisterSpec(spec) => render(self.register_workflow(spec.clone()), render_id),
             TraceOp::RegisterView(sid, view) => {
                 render(self.register_view(*sid, view.clone()), render_id)
             }

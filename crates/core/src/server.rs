@@ -25,7 +25,11 @@
 //!   mutations validate before they mutate.
 //! * **Tenancy**: sessions and in-flight requests are capped per tenant
 //!   ([`TenantQuotaTable`]) *before* per-shard admission control runs, so
-//!   a flooding tenant sheds its own traffic first.
+//!   a flooding tenant sheds its own traffic first. Sessions can only be
+//!   closed by the connection that opened them (ids are guessable), the
+//!   quota table itself is bounded against tenant-name churn, and
+//!   `Shutdown` is honoured only with the configured admin token (or,
+//!   tokenless, from loopback peers).
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -49,6 +53,11 @@ pub struct DaemonConfig {
     pub dir: Option<PathBuf>,
     /// Per-tenant limits.
     pub quotas: TenantQuotas,
+    /// Admin token gating [`Request::Shutdown`]. With `Some`, only
+    /// clients presenting the token may stop the daemon; with `None`,
+    /// shutdown is honoured only from loopback peers — never from a
+    /// remote data connection.
+    pub admin_token: Option<String>,
 }
 
 impl DaemonConfig {
@@ -80,6 +89,7 @@ struct ServerState {
     next_session: AtomicU64,
     stopping: AtomicBool,
     addr: SocketAddr,
+    admin_token: Option<String>,
 }
 
 impl ServerState {
@@ -134,6 +144,7 @@ impl Daemon {
             next_session: AtomicU64::new(1),
             stopping: AtomicBool::new(false),
             addr: listener.local_addr()?,
+            admin_token: config.admin_token,
         });
         let accept_state = Arc::clone(&state);
         let accept = std::thread::Builder::new()
@@ -193,15 +204,21 @@ impl Drop for Daemon {
     }
 }
 
-/// Connection-scoped state: the tenant it bills to and the sessions it
-/// opened (released on disconnect, however rude).
+/// Connection-scoped state: the tenant it bills to, the sessions it
+/// opened (released on disconnect, however rude), and whether the peer
+/// is loopback (what tokenless `Shutdown` is gated on).
 struct ConnState {
     tenant: String,
     sessions: Vec<u64>,
+    is_local: bool,
 }
 
 fn handle_conn(state: &Arc<ServerState>, stream: TcpStream) {
     let _ = stream.set_nodelay(true);
+    let is_local = stream
+        .peer_addr()
+        .map(|a| a.ip().is_loopback())
+        .unwrap_or(false);
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -210,6 +227,7 @@ fn handle_conn(state: &Arc<ServerState>, stream: TcpStream) {
     let mut conn = ConnState {
         tenant: "anon".to_string(),
         sessions: Vec::new(),
+        is_local,
     };
     loop {
         // Read the frame and decode the payload in two steps: a framing
@@ -262,6 +280,17 @@ fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Re
     match req {
         Request::Ping => return Response::Pong,
         Request::Hello { tenant } => {
+            // Tenant names key the quota table; an unbounded name is an
+            // unbounded allocation per hostile Hello.
+            if tenant.len() > wire::MAX_TENANT_NAME_BYTES {
+                return Response::Error {
+                    message: format!(
+                        "tenant name of {} bytes exceeds the {}-byte cap",
+                        tenant.len(),
+                        wire::MAX_TENANT_NAME_BYTES
+                    ),
+                };
+            }
             conn.tenant = tenant.clone();
             return Response::Ok;
         }
@@ -277,8 +306,17 @@ fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Re
             };
         }
         Request::CloseSession { session } => {
+            // Session ids are sequential and guessable: only sessions
+            // this connection opened may be closed, or any client could
+            // close other tenants' sessions and corrupt their quota
+            // accounting.
+            let Some(pos) = conn.sessions.iter().position(|s| s == session) else {
+                return Response::Error {
+                    message: format!("session {session} was not opened on this connection"),
+                };
+            };
+            conn.sessions.swap_remove(pos);
             state.drop_session(*session);
-            conn.sessions.retain(|s| s != session);
             return Response::Ok;
         }
         Request::SessionCount => {
@@ -286,7 +324,22 @@ fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Re
                 n: state.session_count(),
             };
         }
-        Request::Shutdown => return Response::Bye,
+        Request::Shutdown { token } => {
+            // Stopping the daemon stops every tenant: honour it only for
+            // the configured admin token, or — when none is configured —
+            // for loopback peers (the operator's own machine).
+            let authorized = match &state.admin_token {
+                Some(required) => token.as_deref() == Some(required.as_str()),
+                None => conn.is_local,
+            };
+            return if authorized {
+                Response::Bye
+            } else {
+                Response::Error {
+                    message: "shutdown refused: admin token required".to_string(),
+                }
+            };
+        }
         _ => {}
     }
 
@@ -332,16 +385,14 @@ fn ok_or<T>(r: WhResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
 }
 
 /// Registers `view` under `spec` unless a view of the same name already
-/// exists (mirrors `Zoom::build_view`'s idempotence).
+/// exists (mirrors `Zoom::build_view`'s idempotence). The find and the
+/// register happen atomically under the router's registration lock.
 fn register_named_view(
     router: &ShardRouter,
     spec: zoom_warehouse::SpecId,
     view: UserView,
 ) -> WhResult<ViewId> {
-    if let Some(existing) = router.find_view(spec, view.name()) {
-        return Ok(existing);
-    }
-    router.register_view(spec, &view)
+    router.register_view_if_absent(spec, &view)
 }
 
 fn execute(state: &Arc<ServerState>, req: &Request) -> Response {
@@ -470,7 +521,7 @@ fn execute(state: &Arc<ServerState>, req: &Request) -> Response {
         | Request::OpenSession
         | Request::CloseSession { .. }
         | Request::SessionCount
-        | Request::Shutdown => Response::Error {
+        | Request::Shutdown { .. } => Response::Error {
             message: "control request routed to the data plane".to_string(),
         },
     }

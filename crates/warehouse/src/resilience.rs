@@ -216,6 +216,14 @@ impl AdmissionControl {
         self.available.notify_one();
     }
 
+    /// Current holders plus queued waiters — zero means the control is
+    /// idle (no permit outstanding, nobody blocked), which is what makes
+    /// an owning table entry safe to evict.
+    pub fn load(&self) -> usize {
+        let state = self.state.lock().expect("admission lock poisoned");
+        state.in_flight + state.waiting
+    }
+
     /// The configured concurrency bound.
     pub fn max_in_flight(&self) -> usize {
         self.max_in_flight

@@ -26,7 +26,12 @@
 //! [`TenantQuotaTable`] layers a per-tenant session cap and a per-tenant
 //! admission semaphore (the PR 5 [`AdmissionControl`]) *above* the
 //! per-shard one, so one tenant flooding the daemon sheds its own traffic
-//! before it can starve another tenant's shard time.
+//! before it can starve another tenant's shard time. The table itself is
+//! bounded against hostile tenant churn: names are capped at
+//! [`MAX_TENANT_NAME_BYTES`], the table holds at most
+//! [`TenantQuotas::max_tenants`] entries, and idle entries (no open
+//! sessions, no in-flight or queued requests) are evicted to make room
+//! before a new tenant is refused.
 
 use crate::codec::{self, CodecError};
 use crate::durable::{DurableError, DurableWarehouse};
@@ -50,6 +55,10 @@ use zoom_model::{DataId, EventLog, LogEvent, StepId, UserView, WorkflowSpec};
 /// Hard cap on one wire/trace frame payload, enforced on write (no silent
 /// truncation) and on read (no attacker-sized allocation): 64 MiB.
 pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Hard cap on a tenant name (`Hello`); names are attacker-chosen, so
+/// anything that stores one must bound it first.
+pub const MAX_TENANT_NAME_BYTES: usize = 256;
 
 /// Errors from the framed wire layer.
 #[derive(Debug)]
@@ -183,7 +192,10 @@ pub enum Request {
     },
     /// Opens a logical session; the reply carries its id.
     OpenSession,
-    /// Closes a logical session.
+    /// Closes a logical session. Only sessions opened on the *same*
+    /// connection may be closed — session ids are guessable, so closing
+    /// by id alone would let one tenant corrupt another's quota
+    /// accounting.
     CloseSession {
         /// The session to close.
         session: u64,
@@ -338,8 +350,14 @@ pub enum Request {
     },
     /// Total open logical sessions across every tenant (daemon gauge).
     SessionCount,
-    /// Asks the daemon to exit after replying.
-    Shutdown,
+    /// Asks the daemon to exit after replying. Honoured only for clients
+    /// presenting the daemon's admin token — or, when no token is
+    /// configured, for loopback peers — so a remote tenant cannot stop
+    /// the daemon for everyone else.
+    Shutdown {
+        /// The admin token, when the daemon requires one.
+        token: Option<String>,
+    },
 }
 
 /// One batched-query slot: `Result` flattened for the wire.
@@ -463,6 +481,12 @@ pub struct TenantQuotas {
     /// Maximum queued requests per tenant beyond the in-flight limit;
     /// past it, requests are shed with an overload error.
     pub max_queue: usize,
+    /// Maximum distinct tenants tracked at once. Tenant names arrive
+    /// attacker-chosen over the wire, so the table must not grow without
+    /// bound: when full, idle entries (no sessions, nothing in flight)
+    /// are evicted first, and if every entry is busy the new tenant is
+    /// refused.
+    pub max_tenants: usize,
 }
 
 impl Default for TenantQuotas {
@@ -471,6 +495,7 @@ impl Default for TenantQuotas {
             max_sessions: 1 << 20,
             max_in_flight: 256,
             max_queue: 4096,
+            max_tenants: 4096,
         }
     }
 }
@@ -502,10 +527,30 @@ impl TenantQuotaTable {
         self.quotas
     }
 
-    fn state(&self, tenant: &str) -> Arc<TenantState> {
+    /// The tenant's state, creating it if the table has room. `None`
+    /// means the tenant must be refused: its name is oversized, or the
+    /// table is at [`TenantQuotas::max_tenants`] and every tracked
+    /// tenant is busy (idle entries are evicted to make room first).
+    fn state(&self, tenant: &str) -> Option<Arc<TenantState>> {
         let mut map = lock(&self.tenants);
         if let Some(s) = map.get(tenant) {
-            return Arc::clone(s);
+            return Some(Arc::clone(s));
+        }
+        if tenant.len() > MAX_TENANT_NAME_BYTES {
+            return None;
+        }
+        if map.len() >= self.quotas.max_tenants {
+            // Evict idle tenants: no open sessions, nobody between a
+            // table lookup and an admit (the map holds the only Arc),
+            // and no permit outstanding or waiter queued.
+            map.retain(|_, s| {
+                s.sessions.load(Ordering::Relaxed) > 0
+                    || Arc::strong_count(s) > 1
+                    || s.admission.load() > 0
+            });
+            if map.len() >= self.quotas.max_tenants {
+                return None;
+            }
         }
         let s = Arc::new(TenantState {
             admission: Arc::new(AdmissionControl::new(
@@ -515,13 +560,21 @@ impl TenantQuotaTable {
             sessions: AtomicUsize::new(0),
         });
         map.insert(tenant.to_string(), Arc::clone(&s));
-        s
+        Some(s)
+    }
+
+    /// Distinct tenants currently tracked.
+    pub fn tenant_count(&self) -> usize {
+        lock(&self.tenants).len()
     }
 
     /// Reserves one session slot; `false` means the tenant is at its
-    /// session cap and the open must be refused.
+    /// session cap (or refused outright by the table bound) and the open
+    /// must be refused.
     pub fn open_session(&self, tenant: &str) -> bool {
-        let s = self.state(tenant);
+        let Some(s) = self.state(tenant) else {
+            return false;
+        };
         let mut cur = s.sessions.load(Ordering::Relaxed);
         loop {
             if cur >= self.quotas.max_sessions {
@@ -541,7 +594,9 @@ impl TenantQuotaTable {
 
     /// Releases one session slot.
     pub fn close_session(&self, tenant: &str) {
-        let s = self.state(tenant);
+        let Some(s) = lock(&self.tenants).get(tenant).map(Arc::clone) else {
+            return;
+        };
         let mut cur = s.sessions.load(Ordering::Relaxed);
         while cur > 0 {
             match s.sessions.compare_exchange_weak(
@@ -558,14 +613,17 @@ impl TenantQuotaTable {
 
     /// Open sessions currently charged to `tenant`.
     pub fn session_count(&self, tenant: &str) -> usize {
-        self.state(tenant).sessions.load(Ordering::Relaxed)
+        lock(&self.tenants)
+            .get(tenant)
+            .map(|s| s.sessions.load(Ordering::Relaxed))
+            .unwrap_or(0)
     }
 
     /// Admits one request for `tenant`, blocking in the tenant's bounded
-    /// queue; `None` means the tenant's queue is full and the request is
-    /// shed.
+    /// queue; `None` means the request is shed — the tenant's queue is
+    /// full, or the tenant itself was refused by the table bound.
     pub fn admit(&self, tenant: &str) -> Option<AdmissionPermit> {
-        let s = self.state(tenant);
+        let s = self.state(tenant)?;
         s.admission.admit()
     }
 }
@@ -673,12 +731,22 @@ impl ShardBacking {
 #[derive(Debug)]
 pub struct ShardRouter {
     shards: Vec<Mutex<ShardBacking>>,
+    /// Serializes spec/view broadcasts across shards. Registration locks
+    /// shards one at a time; without an outer lock, two concurrent
+    /// registrations could interleave (shard 0 sees A then B, shard 1
+    /// sees B then A) and commit divergent ids before the mismatch check
+    /// could catch it.
+    registration: Mutex<()>,
     /// Next global run id; held across the owning shard's mutation so a
     /// failed load consumes no id (exactly like a single warehouse).
     alloc: Mutex<u32>,
     /// Global run id → (shard index, shard-local run id).
     runs: RwLock<crate::fxhash::FxHashMap<u32, (usize, RunId)>>,
 }
+
+/// Name of the file at a durable root that pins the shard count the
+/// directory was created with.
+const SHARD_MANIFEST: &str = "SHARDS";
 
 impl ShardRouter {
     /// N in-memory shards.
@@ -688,6 +756,7 @@ impl ShardRouter {
             shards: (0..shards)
                 .map(|_| Mutex::new(ShardBacking::Memory(Box::new(Warehouse::new()))))
                 .collect(),
+            registration: Mutex::new(()),
             alloc: Mutex::new(0),
             runs: RwLock::new(crate::fxhash::FxHashMap::default()),
         }
@@ -697,8 +766,49 @@ impl ShardRouter {
     /// directory recovers every shard, then rebuilds the global run map by
     /// replaying the allocation order (global ids are dense, and the
     /// owning shard of each global id is a pure function of the id).
+    ///
+    /// The shard count is pinned at creation in a `SHARDS` manifest at
+    /// the root: the run→shard mapping is a function of N, so reopening
+    /// with a different N would silently drop the runs on unopened
+    /// shards and remap every surviving global id — that is refused with
+    /// a [`DurableError::BadManifest`] instead.
     pub fn open_durable(dir: &Path, shards: usize) -> Result<Self, DurableError> {
         let n = shards.max(1);
+        std::fs::create_dir_all(dir)?;
+        let manifest = dir.join(SHARD_MANIFEST);
+        match std::fs::read_to_string(&manifest) {
+            Ok(raw) => {
+                let stored: usize = raw.trim().parse().map_err(|_| {
+                    DurableError::BadManifest(format!(
+                        "shard manifest `{}` holds `{}`, not a shard count",
+                        manifest.display(),
+                        raw.trim()
+                    ))
+                })?;
+                if stored != n {
+                    return Err(DurableError::BadManifest(format!(
+                        "directory was created with {stored} shard(s) but reopened \
+                         with {n}; the run→shard mapping is fixed at creation, so \
+                         reopen with --shards {stored}"
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                // No manifest: a fresh directory, or one from before the
+                // manifest existed. Refuse if a shard directory beyond N
+                // is present (its runs would silently vanish; shard dirs
+                // are created densely, so checking `shard-<n>` suffices),
+                // then pin the count for every later open.
+                if dir.join(format!("shard-{n}")).is_dir() {
+                    return Err(DurableError::BadManifest(format!(
+                        "directory holds shard-{n} but only {n} shard(s) were \
+                         requested; reopening would drop its runs"
+                    )));
+                }
+                std::fs::write(&manifest, format!("{n}\n"))?;
+            }
+            Err(e) => return Err(DurableError::Io(e)),
+        }
         let mut backings = Vec::with_capacity(n);
         for i in 0..n {
             let sub = dir.join(format!("shard-{i}"));
@@ -709,6 +819,7 @@ impl ShardRouter {
         }
         let router = ShardRouter {
             shards: backings,
+            registration: Mutex::new(()),
             alloc: Mutex::new(0),
             runs: RwLock::new(crate::fxhash::FxHashMap::default()),
         };
@@ -812,9 +923,11 @@ impl ShardRouter {
     }
 
     /// Registers a specification on every shard; all shards assign the
-    /// same id. A divergent id (only possible if shard state was mutated
-    /// behind the router's back) is surfaced as corruption.
+    /// same id. The registration lock serializes broadcasts, so a
+    /// divergent id (only possible if shard state was mutated behind the
+    /// router's back) is surfaced as corruption.
     pub fn register_spec(&self, spec: &WorkflowSpec) -> WhResult<SpecId> {
+        let _reg = lock(&self.registration);
         let mut agreed: Option<SpecId> = None;
         for (i, shard) in self.shards.iter().enumerate() {
             let id = lock(shard).register_spec(spec.clone())?;
@@ -834,6 +947,29 @@ impl ShardRouter {
 
     /// Registers a view on every shard; all shards assign the same id.
     pub fn register_view(&self, spec: SpecId, view: &UserView) -> WhResult<ViewId> {
+        let _reg = lock(&self.registration);
+        self.broadcast_view(spec, view)
+    }
+
+    /// Finds an already-registered view of the same name under `spec`, or
+    /// registers `view` on every shard — atomically under the
+    /// registration lock, so two concurrent callers cannot both miss the
+    /// lookup and register the view twice (or interleave with another
+    /// registration and commit divergent ids).
+    pub fn register_view_if_absent(&self, spec: SpecId, view: &UserView) -> WhResult<ViewId> {
+        let _reg = lock(&self.registration);
+        if let Some(existing) = lock(&self.shards[0])
+            .warehouse()
+            .find_view(spec, view.name())
+        {
+            return Ok(existing);
+        }
+        self.broadcast_view(spec, view)
+    }
+
+    /// The broadcast loop shared by the `register_view*` entry points;
+    /// callers must hold the registration lock.
+    fn broadcast_view(&self, spec: SpecId, view: &UserView) -> WhResult<ViewId> {
         let mut agreed: Option<ViewId> = None;
         for (i, shard) in self.shards.iter().enumerate() {
             let id = lock(shard).register_view(spec, view.clone())?;
@@ -1002,8 +1138,7 @@ impl ShardRouter {
         // Group indices per shard, translating run ids; unknown runs
         // answer immediately.
         type Routed = (usize, (RunId, ViewId, DataId));
-        let mut per_shard: Vec<Vec<Routed>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut per_shard: Vec<Vec<Routed>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (i, &(run, view, data)) in queries.iter().enumerate() {
             match self.resolve(run) {
                 Ok((sh, local)) => per_shard[sh].push((i, (local, view, data))),
@@ -1321,6 +1456,7 @@ mod tests {
             max_sessions: 2,
             max_in_flight: 1,
             max_queue: 0,
+            ..TenantQuotas::default()
         });
         assert!(table.open_session("t1"));
         assert!(table.open_session("t1"));
@@ -1336,6 +1472,108 @@ mod tests {
         assert!(table.admit("t1").is_none(), "queue full: shed");
         drop(p1);
         assert!(table.admit("t1").is_some());
+    }
+
+    #[test]
+    fn quota_table_is_bounded_against_tenant_churn() {
+        let table = TenantQuotaTable::new(TenantQuotas {
+            max_tenants: 4,
+            ..TenantQuotas::default()
+        });
+        // Oversized names are refused outright.
+        let huge = "t".repeat(MAX_TENANT_NAME_BYTES + 1);
+        assert!(!table.open_session(&huge));
+        assert!(table.admit(&huge).is_none());
+        assert_eq!(table.tenant_count(), 0);
+
+        // Churning tenants never grows the table past the cap: idle
+        // entries are evicted to make room.
+        for i in 0..100 {
+            let name = format!("churn-{i}");
+            assert!(table.open_session(&name), "churned tenant {i} refused");
+            table.close_session(&name);
+        }
+        assert!(table.tenant_count() <= 4, "table grew without bound");
+
+        // Busy tenants (open sessions) are never evicted; once the table
+        // is full of them, new tenants are refused.
+        for i in 0..4 {
+            assert!(table.open_session(&format!("busy-{i}")));
+        }
+        assert!(!table.open_session("one-too-many"));
+        assert_eq!(table.session_count("busy-0"), 1);
+        // Releasing one makes room again.
+        table.close_session("busy-0");
+        assert!(table.open_session("newcomer"));
+    }
+
+    #[test]
+    fn concurrent_registrations_agree_across_shards() {
+        let router = Arc::new(ShardRouter::in_memory(4));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let router = Arc::clone(&router);
+                std::thread::spawn(move || router.register_spec(&spec(&format!("conc-{t}"))))
+            })
+            .collect();
+        let mut ids: Vec<SpecId> = threads
+            .into_iter()
+            .map(|h| h.join().unwrap().expect("registration succeeds"))
+            .collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            8,
+            "concurrent registrations assigned duplicate ids"
+        );
+        // Every shard resolves every name to the id the caller was told.
+        for t in 0..8 {
+            let name = format!("conc-{t}");
+            let sid = router.spec_by_name(&name).unwrap();
+            let ws = router.spec(sid).unwrap();
+            assert_eq!(ws.name(), name);
+        }
+    }
+
+    #[test]
+    fn register_view_if_absent_is_idempotent() {
+        let router = ShardRouter::in_memory(3);
+        let s = spec("idem");
+        let sid = router.register_spec(&s).unwrap();
+        let admin = zoom_model::UserView::admin(&s);
+        let first = router.register_view_if_absent(sid, &admin).unwrap();
+        let second = router.register_view_if_absent(sid, &admin).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn durable_router_rejects_shard_count_changes() {
+        let dir = std::env::temp_dir().join(format!("zoomd-shards-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let router = ShardRouter::open_durable(&dir, 3).unwrap();
+            let sid = router.register_spec(&spec("pinned")).unwrap();
+            router.load_log(sid, &log_of(&spec("pinned"))).unwrap();
+        }
+        let err = ShardRouter::open_durable(&dir, 1).unwrap_err();
+        assert!(
+            err.to_string().contains("created with 3 shard(s)"),
+            "expected a shard-count mismatch error, got: {err}"
+        );
+        // The stored count still opens fine.
+        let reopened = ShardRouter::open_durable(&dir, 3).unwrap();
+        assert_eq!(reopened.run_count(), 1);
+        drop(reopened);
+        // A legacy directory (no manifest) with shard dirs beyond the
+        // requested count is refused rather than silently dropping runs.
+        std::fs::remove_file(dir.join(SHARD_MANIFEST)).unwrap();
+        let err = ShardRouter::open_durable(&dir, 2).unwrap_err();
+        assert!(
+            err.to_string().contains("shard-2"),
+            "expected the extra shard dir to be reported, got: {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

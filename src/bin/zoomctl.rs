@@ -195,7 +195,7 @@ argument is dropped:
   zoomctl --connect A replay <trace> [--check] [--speed N] [--json]
   zoomctl --connect A soak <sessions>                  open/close N sessions
   zoomctl --connect A compact                          checkpoint durable shards
-  zoomctl --connect A shutdown                         stop the daemon
+  zoomctl --connect A shutdown [--admin-token TOK]     stop the daemon
 ";
 
 fn path_arg(args: &[String], i: usize) -> Result<&Path, String> {
@@ -1065,7 +1065,12 @@ fn dispatch_remote(addr: &str, tenant: &str, args: &[String]) -> Result<(), Stri
             Ok(())
         }
         "shutdown" => {
-            rz.shutdown().map_err(rerr)?;
+            let token = args
+                .iter()
+                .position(|a| a == "--admin-token")
+                .map(|i| str_arg(args, i + 1, "admin token"))
+                .transpose()?;
+            rz.shutdown(token).map_err(rerr)?;
             out!("daemon at {addr} stopped");
             Ok(())
         }

@@ -25,17 +25,20 @@ const HELP: &str = "\
 zoomd — ZOOM*UserViews provenance daemon
 
 usage:
-  zoomd [--addr HOST:PORT] [--shards N] [--dir PATH]
+  zoomd [--addr HOST:PORT] [--shards N] [--dir PATH] [--admin-token TOK]
         [--max-sessions N] [--max-in-flight N] [--max-queue N]
 
   --addr HOST:PORT   bind address (default 127.0.0.1:7333; port 0 = ephemeral)
-  --shards N         warehouse shards (default: one per core)
+  --shards N         warehouse shards (default: one per core; pinned at
+                     creation for durable dirs — reopen with the same N)
   --dir PATH         durable shards under PATH/shard-<i> (default: in-memory)
+  --admin-token TOK  require TOK for remote shutdown; without it, shutdown
+                     is honoured only from loopback clients
   --max-sessions N   per-tenant open-session cap
   --max-in-flight N  per-tenant in-flight request cap
   --max-queue N      per-tenant queued-request cap (past it, requests shed)
 
-Stop it with `zoomctl --connect <addr> shutdown`.
+Stop it with `zoomctl --connect <addr> shutdown [--admin-token TOK]`.
 ";
 
 fn main() -> ExitCode {
@@ -60,8 +63,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 print!("{HELP}");
                 return Ok(());
             }
-            "--addr" | "--shards" | "--dir" | "--max-sessions" | "--max-in-flight"
-            | "--max-queue" => {
+            "--addr" | "--shards" | "--dir" | "--admin-token" | "--max-sessions"
+            | "--max-in-flight" | "--max-queue" => {
                 i += 1;
                 let val = args
                     .get(i)
@@ -74,6 +77,7 @@ fn run(args: &[String]) -> Result<(), String> {
                     "--addr" => addr = val.clone(),
                     "--shards" => config.shards = parse_n("a shard count")?,
                     "--dir" => config.dir = Some(PathBuf::from(val)),
+                    "--admin-token" => config.admin_token = Some(val.clone()),
                     "--max-sessions" => quotas.max_sessions = parse_n("a session cap")?,
                     "--max-in-flight" => quotas.max_in_flight = parse_n("a request cap")?,
                     "--max-queue" => quotas.max_queue = parse_n("a queue length")?,

@@ -208,6 +208,7 @@ fn tenant_session_cap_is_enforced_per_tenant() {
                 max_sessions: 3,
                 ..TenantQuotas::default()
             },
+            ..DaemonConfig::default()
         },
     )
     .unwrap();
@@ -227,6 +228,98 @@ fn tenant_session_cap_is_enforced_per_tenant() {
 }
 
 #[test]
+fn closing_foreign_sessions_is_refused() {
+    let daemon = spawn_memory(2);
+    let a = RemoteZoom::connect(daemon.addr(), "alice").unwrap();
+    let mut b = RemoteZoom::connect(daemon.addr(), "mallory").unwrap();
+    let alices = a.session();
+
+    // Session ids are guessable; guessing must not be enough to close
+    // someone else's session (that would corrupt alice's quota books).
+    let refused = b.close_session(alices).unwrap_err();
+    assert!(
+        refused
+            .to_string()
+            .contains("not opened on this connection"),
+        "expected ownership refusal, got: {refused}"
+    );
+    assert_eq!(daemon.session_count(), 2, "alice's session survived");
+
+    // Closing your own session still works.
+    let own = b.open_session().unwrap();
+    b.close_session(own).unwrap();
+    assert_eq!(daemon.session_count(), 2);
+}
+
+#[test]
+fn shutdown_requires_the_admin_token_when_configured() {
+    let daemon = Daemon::spawn(
+        "127.0.0.1:0",
+        DaemonConfig {
+            shards: 1,
+            admin_token: Some("s3cret".to_string()),
+            ..DaemonConfig::default()
+        },
+    )
+    .unwrap();
+    let mut rz = RemoteZoom::connect(daemon.addr(), "anon").unwrap();
+    // No token / wrong token: refused, daemon stays up (even loopback —
+    // a configured token always wins).
+    for bad in [None, Some("wrong")] {
+        let refused = rz.shutdown(bad).unwrap_err();
+        assert!(
+            refused.to_string().contains("admin token"),
+            "expected token refusal, got: {refused}"
+        );
+    }
+    rz.ping().unwrap();
+    // The right token stops it.
+    rz.shutdown(Some("s3cret")).unwrap();
+}
+
+#[test]
+fn tokenless_shutdown_is_honoured_from_loopback() {
+    let daemon = spawn_memory(1);
+    let mut rz = RemoteZoom::connect(daemon.addr(), "local").unwrap();
+    rz.shutdown(None).unwrap();
+}
+
+#[test]
+fn oversized_tenant_names_are_refused() {
+    let daemon = spawn_memory(1);
+    let huge = "t".repeat(zoom::warehouse::wire::MAX_TENANT_NAME_BYTES + 1);
+    let refused = match RemoteZoom::connect(daemon.addr(), &huge) {
+        Ok(_) => panic!("oversized tenant name accepted"),
+        Err(e) => e,
+    };
+    assert!(
+        refused.to_string().contains("byte cap"),
+        "expected name-cap refusal, got: {refused}"
+    );
+}
+
+#[test]
+fn durable_daemon_refuses_a_changed_shard_count() {
+    let dir = std::env::temp_dir().join(format!("zoomd-e2e-shards-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = |shards| DaemonConfig {
+        shards,
+        dir: Some(dir.clone()),
+        ..DaemonConfig::default()
+    };
+    drop(Daemon::spawn("127.0.0.1:0", config(3)).unwrap());
+    let err = match Daemon::spawn("127.0.0.1:0", config(2)) {
+        Ok(_) => panic!("changed shard count accepted"),
+        Err(e) => e,
+    };
+    assert!(
+        err.to_string().contains("created with 3 shard(s)"),
+        "expected shard-count refusal, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn durable_daemon_survives_restart_with_same_ids() {
     let dir = std::env::temp_dir().join(format!("zoomd-e2e-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -236,7 +329,7 @@ fn durable_daemon_survives_restart_with_same_ids() {
     let config = || DaemonConfig {
         shards: 3,
         dir: Some(dir.clone()),
-        quotas: TenantQuotas::default(),
+        ..DaemonConfig::default()
     };
     let (sid, vid, rid, finals) = {
         let daemon = Daemon::spawn("127.0.0.1:0", config()).unwrap();
