@@ -1,6 +1,6 @@
 //! Shared evaluation workloads (Section V-A): workflow corpora per class,
-//! run batteries per kind, and the three view families (UAdmin, UBio,
-//! UBlackBox).
+//! run batteries per kind, and the four view families (UAdmin, UBio,
+//! UBlackBox, UPrivate — see [`zoom_gen::ViewScenario`]).
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -76,6 +76,10 @@ pub struct LoadedWorkflow {
     pub bio: ViewId,
     /// UBlackBox view id.
     pub black_box: ViewId,
+    /// UPrivate view id (coarsest view concealing the protected module).
+    pub private: ViewId,
+    /// The label of the module UPrivate conceals.
+    pub concealed: String,
     /// Runs per kind, in [`RunKind::ALL`] order.
     pub runs: Vec<(RunKind, Vec<RunId>)>,
 }
@@ -96,6 +100,17 @@ pub fn bio_relevant(spec: &WorkflowSpec) -> Vec<NodeId> {
     spec.module_ids()
         .filter(|&m| spec.kind(m) == ModuleKind::Analysis)
         .collect()
+}
+
+/// The module UPrivate conceals: the first analysis module (the
+/// "proprietary" step of the privacy scenario), falling back to the first
+/// module for all-formatting workflows. Deterministic, so the corpus is
+/// reproducible across seeds.
+pub fn private_hidden(spec: &WorkflowSpec) -> NodeId {
+    spec.module_ids()
+        .find(|&m| spec.kind(m) == ModuleKind::Analysis)
+        .or_else(|| spec.module_ids().next())
+        .expect("corpus specs have at least one module")
 }
 
 /// Builds the full corpus: per class, `workflows_per_class` specs, three
@@ -119,6 +134,10 @@ pub fn build_corpus(scale: Scale, seed: u64) -> Corpus {
                 .collect();
             let bio_refs: Vec<&str> = bio_labels.iter().map(String::as_str).collect();
             let bio = zoom.build_view(spec_id, &bio_refs).expect("good view");
+            let concealed = spec.label(private_hidden(&spec)).to_string();
+            let private = zoom
+                .private_view(spec_id, &[concealed.as_str()])
+                .expect("corpus specs have >1 module, so concealment is satisfiable");
 
             let mut runs = Vec::new();
             for kind in RunKind::ALL {
@@ -138,6 +157,8 @@ pub fn build_corpus(scale: Scale, seed: u64) -> Corpus {
                 admin,
                 bio,
                 black_box,
+                private,
+                concealed,
                 runs,
             });
         }
@@ -186,11 +207,19 @@ mod tests {
         assert_eq!(corpus.workflows.len(), 16); // 4 classes x 4 workflows
         let stats = corpus.zoom.warehouse().stats();
         assert_eq!(stats.specs, 16);
-        assert_eq!(stats.views, 16 * 3);
+        assert_eq!(stats.views, 16 * 4); // UAdmin, UBio, UBlackBox, UPrivate
         assert_eq!(stats.runs, 16 * 3 * 3); // 3 kinds x 3 runs
         for w in &corpus.workflows {
             assert_eq!(w.runs.len(), 3);
             assert!(corpus.zoom.warehouse().view(w.bio).is_ok());
+            // The privacy view conceals the protected module: no composite
+            // is the singleton {concealed}.
+            let pv = corpus.zoom.warehouse().view(w.private).unwrap();
+            let hidden = w.spec.module(&w.concealed).unwrap();
+            assert!(pv
+                .composites()
+                .iter()
+                .all(|c| c.members.as_slice() != [hidden]));
         }
     }
 

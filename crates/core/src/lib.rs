@@ -56,5 +56,6 @@ pub use system::{StreamHandle, Zoom};
 pub use zoom_warehouse::{
     BreakerState, HealthReport, ImmediateAnswer, IndexBackend, ProvenanceResult, ProvenanceRow,
     PushOutcome, ReplayOptions, ReplayReport, Result, RunId, SpecId, StreamError, TraceError,
-    TraceOp, TraceRecorder, TraceReplayer, TraceTarget, ViewId, Warehouse, WarehouseError,
+    TraceOp, TraceRecorder, TraceReplayer, TraceTarget, ViewId, VisibilityPolicy, Warehouse,
+    WarehouseError,
 };

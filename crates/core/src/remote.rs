@@ -18,7 +18,7 @@ use zoom_model::{DataId, EventLog, LogEvent, StepId, UserView, WorkflowSpec};
 use zoom_warehouse::wire::{self, BatchItem, Request, Response, WireError};
 use zoom_warehouse::{
     trace, HealthReport, ImmediateAnswer, MetricsSnapshot, ProvenanceResult, PushOutcome, RunId,
-    ShardRouter, SlowQuery, SpecId, TraceOp, TraceTarget, ViewId, WarehouseStats,
+    ShardRouter, SlowQuery, SpecId, TraceOp, TraceTarget, ViewId, VisibilityPolicy, WarehouseStats,
 };
 
 /// A failure of a remote facade call.
@@ -365,9 +365,23 @@ impl RemoteZoom {
         Ok(ShardRouter::aggregate_stats(&self.stats_per_shard()?))
     }
 
-    /// Per-shard observability snapshots, shard order.
+    /// Per-shard observability snapshots, shard order. Non-admin callers
+    /// (no matching `token`, non-loopback on a tokenless daemon) get the
+    /// embedded slow-query ring filtered to their own tenant.
     pub fn metrics_per_shard(&mut self) -> RemoteResult<Vec<MetricsSnapshot>> {
-        match self.call(&Request::Metrics)? {
+        self.metrics_per_shard_admin(None)
+    }
+
+    /// [`Self::metrics_per_shard`] presenting an admin token for the
+    /// unfiltered cross-tenant slow-query ring.
+    pub fn metrics_per_shard_admin(
+        &mut self,
+        token: Option<&str>,
+    ) -> RemoteResult<Vec<MetricsSnapshot>> {
+        let req = Request::Metrics {
+            token: token.map(str::to_string),
+        };
+        match self.call(&req)? {
             Response::MetricsAll { shards } => Ok(shards),
             other => Err(unexpected(other)),
         }
@@ -382,9 +396,25 @@ impl RemoteZoom {
     }
 
     /// The slow-query log across shards, optionally (re)setting the
-    /// capture threshold first.
+    /// capture threshold first. Admin callers (matching `token`, or
+    /// loopback on a tokenless daemon) see the full cross-tenant ring;
+    /// everyone else gets their own tenant's entries and the threshold
+    /// is left untouched.
     pub fn slow_queries(&mut self, threshold_nanos: Option<u64>) -> RemoteResult<Vec<SlowQuery>> {
-        match self.call(&Request::SlowLog { threshold_nanos })? {
+        self.slow_queries_admin(threshold_nanos, None)
+    }
+
+    /// [`Self::slow_queries`] presenting an admin token.
+    pub fn slow_queries_admin(
+        &mut self,
+        threshold_nanos: Option<u64>,
+        token: Option<&str>,
+    ) -> RemoteResult<Vec<SlowQuery>> {
+        let req = Request::SlowLog {
+            threshold_nanos,
+            token: token.map(str::to_string),
+        };
+        match self.call(&req)? {
             Response::SlowLogAll { queries } => Ok(queries),
             other => Err(unexpected(other)),
         }
@@ -408,6 +438,38 @@ impl RemoteZoom {
         };
         match self.call(&req)? {
             Response::Resolved { spec, view, runs } => Ok((spec, view, runs)),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Installs (or with `None`, clears) `tenant`'s visibility policy.
+    /// Admin-gated with the same rule as [`Self::shutdown`].
+    pub fn set_policy(
+        &mut self,
+        tenant: &str,
+        policy: Option<VisibilityPolicy>,
+        token: Option<&str>,
+    ) -> RemoteResult<()> {
+        self.call_ok(&Request::PolicySet {
+            tenant: tenant.to_string(),
+            policy,
+            token: token.map(str::to_string),
+        })
+    }
+
+    /// Reads `tenant`'s installed visibility policy. Reading one's own
+    /// policy needs no token; reading another tenant's requires admin.
+    pub fn policy(
+        &mut self,
+        tenant: &str,
+        token: Option<&str>,
+    ) -> RemoteResult<Option<VisibilityPolicy>> {
+        let req = Request::PolicyGet {
+            tenant: tenant.to_string(),
+            token: token.map(str::to_string),
+        };
+        match self.call(&req)? {
+            Response::Policy { policy } => Ok(policy),
             other => Err(unexpected(other)),
         }
     }

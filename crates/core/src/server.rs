@@ -328,11 +328,7 @@ fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Re
             // Stopping the daemon stops every tenant: honour it only for
             // the configured admin token, or — when none is configured —
             // for loopback peers (the operator's own machine).
-            let authorized = match &state.admin_token {
-                Some(required) => token.as_deref() == Some(required.as_str()),
-                None => conn.is_local,
-            };
-            return if authorized {
+            return if is_admin(state, conn, token) {
                 Response::Bye
             } else {
                 Response::Error {
@@ -358,7 +354,13 @@ fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Re
     // A panic inside one request must answer *that* request with an
     // error, not take the connection thread (and with it every other
     // logical session multiplexed on it) down.
-    match catch_unwind(AssertUnwindSafe(|| execute(state, req))) {
+    //
+    // Tag the handler thread with the requesting tenant for the duration
+    // of the request, so shard-side observability (the slow-query ring)
+    // records which tenant each entry belongs to and the ring can be
+    // filtered per tenant on the way out.
+    let _tag = zoom_warehouse::metrics::tag_tenant(Some(&conn.tenant));
+    match catch_unwind(AssertUnwindSafe(|| execute(state, conn, req))) {
         Ok(resp) => resp,
         Err(_) => {
             if let Request::StreamPush { run, .. } | Request::StreamSeal { run, .. } = req {
@@ -371,10 +373,141 @@ fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Re
     }
 }
 
+/// The shared admin rule: the configured token when one exists, else
+/// loopback peers only. Gates `Shutdown`, the cross-tenant slow-query
+/// ring, and policy administration.
+fn is_admin(state: &ServerState, conn: &ConnState, token: &Option<String>) -> bool {
+    match &state.admin_token {
+        Some(required) => token.as_deref() == Some(required.as_str()),
+        None => conn.is_local,
+    }
+}
+
 fn err(e: WarehouseError) -> Response {
     Response::Error {
         message: e.to_string(),
     }
+}
+
+/// What visibility enforcement decided for one `(run, view)` query.
+enum Enforced {
+    /// Execute, against this (possibly substituted) view.
+    Allow(ViewId),
+    /// Refuse; the payload is byte-identical to the error the same
+    /// request would render if the run did not exist at all.
+    Deny(String),
+}
+
+/// Enforcement for a view-addressed query: resolves the run's spec, then
+/// asks the policy table for a decision. A run the router cannot resolve
+/// passes through so the natural `RunNotFound` path renders downstream;
+/// internal policy errors fail *closed* (deny as absence) — an error
+/// reply here would itself confirm the run exists.
+fn enforce_view(
+    state: &ServerState,
+    tenant: &str,
+    run: zoom_warehouse::RunId,
+    view: ViewId,
+) -> Enforced {
+    let router = &state.router;
+    let policies = router.policies();
+    if policies.is_empty() {
+        return Enforced::Allow(view);
+    }
+    let Ok(spec) = router.spec_of_run(run) else {
+        return Enforced::Allow(view);
+    };
+    let sink = router.policy_sink();
+    let absent = || WarehouseError::RunNotFound(run).to_string();
+    match policies.spec_denied(tenant, spec, router, &sink) {
+        Ok(true) | Err(_) => return Enforced::Deny(absent()),
+        Ok(false) => {}
+    }
+    match policies.view_decision(tenant, spec, view, router, &sink) {
+        Ok(zoom_warehouse::Decision::Pass) => Enforced::Allow(view),
+        Ok(zoom_warehouse::Decision::Substitute(v)) => Enforced::Allow(v),
+        Ok(zoom_warehouse::Decision::Deny) | Err(_) => Enforced::Deny(absent()),
+    }
+}
+
+/// Enforcement for a run-addressed (viewless) request: denied specs
+/// render as the run being absent.
+fn enforce_run(state: &ServerState, tenant: &str, run: zoom_warehouse::RunId) -> Option<String> {
+    let router = &state.router;
+    let policies = router.policies();
+    if policies.is_empty() {
+        return None;
+    }
+    let Ok(spec) = router.spec_of_run(run) else {
+        return None;
+    };
+    match policies.spec_denied(tenant, spec, router, &router.policy_sink()) {
+        Ok(false) => None,
+        Ok(true) | Err(_) => Some(WarehouseError::RunNotFound(run).to_string()),
+    }
+}
+
+/// Enforcement for a spec-addressed request (ingest, view building):
+/// denied specs render as the spec being absent.
+fn enforce_spec(state: &ServerState, tenant: &str, spec: zoom_warehouse::SpecId) -> Option<String> {
+    let router = &state.router;
+    let policies = router.policies();
+    if policies.is_empty() {
+        return None;
+    }
+    match policies.spec_denied(tenant, spec, router, &router.policy_sink()) {
+        Ok(false) => None,
+        Ok(true) | Err(_) => Some(WarehouseError::SpecNotFound(spec).to_string()),
+    }
+}
+
+/// Post-registration enforcement for requests that *return* a view id:
+/// a restricted tenant gets the effective (meet) id back, so the id it
+/// holds is already safe to query with, and never finer than its policy
+/// allows.
+fn effective_view_id(
+    state: &ServerState,
+    tenant: &str,
+    spec: zoom_warehouse::SpecId,
+    id: ViewId,
+) -> ViewId {
+    let router = &state.router;
+    let policies = router.policies();
+    if policies.is_empty() {
+        return id;
+    }
+    match policies.view_decision(tenant, spec, id, router, &router.policy_sink()) {
+        Ok(zoom_warehouse::Decision::Substitute(v)) => v,
+        _ => id,
+    }
+}
+
+/// Renders hidden-data answers as absence for restricted tenants
+/// (mirror of `Zoom::conceal_data_errors`): a `DataNotVisible` from a
+/// query run under a policy concealing modules in this workflow becomes
+/// `DataNotFound`, so a datum internal to a concealed composite is
+/// indistinguishable from one that never existed. Internal policy errors
+/// keep the laundered rendering (fail closed).
+fn conceal_data_errors<T>(
+    state: &ServerState,
+    tenant: &str,
+    run: zoom_warehouse::RunId,
+    res: WhResult<T>,
+) -> WhResult<T> {
+    let Err(WarehouseError::DataNotVisible { data, view }) = res else {
+        return res;
+    };
+    let router = &state.router;
+    let policies = router.policies();
+    if !policies.is_empty() {
+        if let Ok(spec) = router.spec_of_run(run) {
+            match policies.spec_restricted(tenant, spec, router, &router.policy_sink()) {
+                Ok(true) | Err(_) => return Err(WarehouseError::DataNotFound(data)),
+                Ok(false) => {}
+            }
+        }
+    }
+    Err(WarehouseError::DataNotVisible { data, view })
 }
 
 fn ok_or<T>(r: WhResult<T>, ok: impl FnOnce(T) -> Response) -> Response {
@@ -395,16 +528,25 @@ fn register_named_view(
     router.register_view_if_absent(spec, &view)
 }
 
-fn execute(state: &Arc<ServerState>, req: &Request) -> Response {
+fn execute(state: &Arc<ServerState>, conn: &ConnState, req: &Request) -> Response {
     let router = &state.router;
+    let tenant = conn.tenant.as_str();
     match req {
         Request::RegisterSpec { spec } => {
             ok_or(router.register_spec(spec), |id| Response::Spec { id })
         }
-        Request::RegisterView { spec, view } => ok_or(router.register_view(*spec, view), |id| {
-            Response::View { id }
-        }),
+        Request::RegisterView { spec, view } => {
+            if let Some(msg) = enforce_spec(state, tenant, *spec) {
+                return Response::Error { message: msg };
+            }
+            ok_or(router.register_view(*spec, view), |id| Response::View {
+                id: effective_view_id(state, tenant, *spec, id),
+            })
+        }
         Request::BuildView { spec, relevant } => {
+            if let Some(msg) = enforce_spec(state, tenant, *spec) {
+                return Response::Error { message: msg };
+            }
             let built = (|| {
                 let ws = router.spec(*spec)?;
                 let nodes: Vec<_> = relevant
@@ -414,92 +556,197 @@ fn execute(state: &Arc<ServerState>, req: &Request) -> Response {
                 let built = zoom_views::relev_user_view_builder(&ws, &nodes)?;
                 register_named_view(router, *spec, built.view)
             })();
-            ok_or(built, |id| Response::View { id })
+            ok_or(built, |id| Response::View {
+                id: effective_view_id(state, tenant, *spec, id),
+            })
         }
         Request::AdminView { spec } => {
+            if let Some(msg) = enforce_spec(state, tenant, *spec) {
+                return Response::Error { message: msg };
+            }
             let built = router
                 .spec(*spec)
                 .and_then(|ws| register_named_view(router, *spec, UserView::admin(&ws)));
-            ok_or(built, |id| Response::View { id })
+            ok_or(built, |id| Response::View {
+                id: effective_view_id(state, tenant, *spec, id),
+            })
         }
         Request::LoadLog { spec, log, .. } => {
+            if let Some(msg) = enforce_spec(state, tenant, *spec) {
+                return Response::Error { message: msg };
+            }
             ok_or(router.load_log(*spec, log), |id| Response::Run { id })
         }
         Request::BeginStream { spec, .. } => {
+            if let Some(msg) = enforce_spec(state, tenant, *spec) {
+                return Response::Error { message: msg };
+            }
             ok_or(router.begin_stream(*spec), |id| Response::Run { id })
         }
-        Request::StreamPush { run, event, .. } => ok_or(router.stream_push(*run, event), |o| {
-            Response::Push { outcome: o }
-        }),
-        Request::StreamSeal { run, .. } => ok_or(router.stream_seal(*run), |()| Response::Ok),
+        Request::StreamPush { run, event, .. } => {
+            if let Some(msg) = enforce_run(state, tenant, *run) {
+                return Response::Error { message: msg };
+            }
+            ok_or(router.stream_push(*run, event), |o| Response::Push {
+                outcome: o,
+            })
+        }
+        Request::StreamSeal { run, .. } => {
+            if let Some(msg) = enforce_run(state, tenant, *run) {
+                return Response::Error { message: msg };
+            }
+            ok_or(router.stream_seal(*run), |()| Response::Ok)
+        }
         Request::DeepProvenance {
             run, view, data, ..
-        } => ok_or(router.deep_provenance(*run, *view, *data), |result| {
-            Response::Provenance { result }
-        }),
-        Request::QueryBatch { queries, .. } => Response::Batch {
-            results: router
-                .query_batch(queries)
-                .into_iter()
-                .map(|r| match r {
+        } => match enforce_view(state, tenant, *run, *view) {
+            Enforced::Deny(message) => Response::Error { message },
+            Enforced::Allow(view) => ok_or(
+                conceal_data_errors(
+                    state,
+                    tenant,
+                    *run,
+                    router.deep_provenance(*run, view, *data),
+                ),
+                |result| Response::Provenance { result },
+            ),
+        },
+        Request::QueryBatch { queries, .. } => {
+            // Per-triple enforcement: allowed queries keep their input
+            // slot and run through the batch path with their (possibly
+            // substituted) views; denied ones answer in place with the
+            // same bytes an absent run would.
+            let mut slots: Vec<Option<BatchItem>> = (0..queries.len()).map(|_| None).collect();
+            let mut routed: Vec<(usize, (zoom_warehouse::RunId, ViewId, zoom_model::DataId))> =
+                Vec::new();
+            for (i, &(run, view, data)) in queries.iter().enumerate() {
+                match enforce_view(state, tenant, run, view) {
+                    Enforced::Allow(v) => routed.push((i, (run, v, data))),
+                    Enforced::Deny(msg) => slots[i] = Some(BatchItem::Err(msg)),
+                }
+            }
+            let triples: Vec<_> = routed.iter().map(|&(_, t)| t).collect();
+            for ((i, (run, _, _)), ans) in routed.iter().zip(router.query_batch(&triples)) {
+                slots[*i] = Some(match conceal_data_errors(state, tenant, *run, ans) {
                     Ok(p) => BatchItem::Ok(p),
                     Err(e) => BatchItem::Err(e.to_string()),
-                })
-                .collect(),
-        },
+                });
+            }
+            Response::Batch {
+                results: slots
+                    .into_iter()
+                    .map(|s| s.expect("every batch slot answered"))
+                    .collect(),
+            }
+        }
         Request::ImmediateProvenance {
             run, view, data, ..
-        } => ok_or(router.immediate_provenance(*run, *view, *data), |answer| {
-            Response::Immediate { answer }
-        }),
+        } => match enforce_view(state, tenant, *run, *view) {
+            Enforced::Deny(message) => Response::Error { message },
+            Enforced::Allow(view) => ok_or(
+                conceal_data_errors(
+                    state,
+                    tenant,
+                    *run,
+                    router.immediate_provenance(*run, view, *data),
+                ),
+                |answer| Response::Immediate { answer },
+            ),
+        },
         Request::DependentsOf {
             run, view, data, ..
-        } => ok_or(router.dependents_of(*run, *view, *data), |ids| {
-            Response::Data { ids }
-        }),
+        } => match enforce_view(state, tenant, *run, *view) {
+            Enforced::Deny(message) => Response::Error { message },
+            Enforced::Allow(view) => ok_or(
+                conceal_data_errors(state, tenant, *run, router.dependents_of(*run, view, *data)),
+                |ids| Response::Data { ids },
+            ),
+        },
         Request::DataBetween {
             run,
             view,
             from,
             to,
             ..
-        } => ok_or(router.data_between(*run, *view, *from, *to), |ids| {
-            Response::Data { ids }
-        }),
+        } => match enforce_view(state, tenant, *run, *view) {
+            Enforced::Deny(message) => Response::Error { message },
+            Enforced::Allow(view) => ok_or(
+                conceal_data_errors(
+                    state,
+                    tenant,
+                    *run,
+                    router.data_between(*run, view, *from, *to),
+                ),
+                |ids| Response::Data { ids },
+            ),
+        },
         Request::FinalOutputs { run, .. } => {
+            if let Some(msg) = enforce_run(state, tenant, *run) {
+                return Response::Error { message: msg };
+            }
             ok_or(router.final_outputs(*run), |ids| Response::Data { ids })
         }
-        Request::VisibleData { run, view, .. } => ok_or(router.visible_data(*run, *view), |ids| {
-            Response::Data { ids }
-        }),
+        Request::VisibleData { run, view, .. } => match enforce_view(state, tenant, *run, *view) {
+            Enforced::Deny(message) => Response::Error { message },
+            Enforced::Allow(view) => ok_or(router.visible_data(*run, view), |ids| Response::Data {
+                ids,
+            }),
+        },
         Request::Stats => Response::StatsAll {
             shards: router.stats(),
         },
-        Request::Metrics => Response::MetricsAll {
-            shards: router.metrics(),
-        },
+        Request::Metrics { token } => {
+            let mut shards = router.metrics();
+            if !is_admin(state, conn, token) {
+                // Snapshots embed the slow-query ring, which names other
+                // tenants' query targets: non-admin callers get their own
+                // entries only.
+                for snap in &mut shards {
+                    snap.slow_queries
+                        .retain(|q| q.tenant.as_deref() == Some(tenant));
+                }
+            }
+            Response::MetricsAll { shards }
+        }
         Request::Health => Response::HealthAll {
             shards: router.health(),
         },
-        Request::SlowLog { threshold_nanos } => {
-            if let Some(n) = threshold_nanos {
-                router.set_slow_query_threshold_nanos(*n);
-            }
-            Response::SlowLogAll {
-                queries: router.slow_queries(),
+        Request::SlowLog {
+            threshold_nanos,
+            token,
+        } => {
+            if is_admin(state, conn, token) {
+                if let Some(n) = threshold_nanos {
+                    router.set_slow_query_threshold_nanos(*n);
+                }
+                Response::SlowLogAll {
+                    queries: router.slow_queries(),
+                }
+            } else {
+                // Non-admin: own entries only, and no retuning the
+                // daemon-wide capture threshold.
+                Response::SlowLogAll {
+                    queries: router.slow_queries_of_tenant(tenant),
+                }
             }
         }
         Request::Checkpoint => ok_or(router.checkpoint(), |()| Response::Ok),
         Request::Resolve { workflow, view } => {
-            let Some(spec) = router.spec_by_name(workflow) else {
-                return Response::Error {
-                    message: format!("no workflow named `{workflow}`"),
-                };
+            // A workflow this tenant's policy hides must resolve with
+            // the *same bytes* as one that does not exist — otherwise
+            // `Resolve` is an existence oracle over hidden names.
+            let spec = match router.spec_by_name(workflow) {
+                Some(s) if enforce_spec(state, tenant, s).is_none() => s,
+                _ => {
+                    return Response::Error {
+                        message: format!("no workflow named `{workflow}`"),
+                    }
+                }
             };
             let view_id = match view {
                 None => None,
                 Some(name) => match router.find_view(spec, name) {
-                    Some(v) => Some(v),
+                    Some(v) => Some(effective_view_id(state, tenant, spec, v)),
                     None => {
                         return Response::Error {
                             message: format!("no view named `{name}` for this workflow"),
@@ -511,6 +758,40 @@ fn execute(state: &Arc<ServerState>, req: &Request) -> Response {
                 spec,
                 view: view_id,
                 runs: router.runs_of_spec(spec),
+            }
+        }
+        Request::PolicySet {
+            tenant: subject,
+            policy,
+            token,
+        } => {
+            // Installing a policy rewrites what `subject` can see;
+            // clearing one widens it. Both are administration.
+            if !is_admin(state, conn, token) {
+                return Response::Error {
+                    message: "policy set refused: admin token required".to_string(),
+                };
+            }
+            ok_or(
+                router
+                    .policies()
+                    .install(subject, policy.clone(), router, &router.policy_sink()),
+                |()| Response::Ok,
+            )
+        }
+        Request::PolicyGet {
+            tenant: subject,
+            token,
+        } => {
+            // A tenant may always read its own policy; anyone else's
+            // requires admin (the policy lists hidden names).
+            if subject != tenant && !is_admin(state, conn, token) {
+                return Response::Error {
+                    message: "policy get refused: admin token required".to_string(),
+                };
+            }
+            Response::Policy {
+                policy: router.policies().get(subject).map(|p| (*p).clone()),
             }
         }
         // Control-plane requests are answered in `dispatch` before

@@ -21,6 +21,11 @@ pub struct QuerySession<'a> {
     run: RunId,
     view: ViewId,
     focus: Option<DataId>,
+    /// The tenant the session's queries execute as, when opened with
+    /// [`QuerySession::open_as`]: every query goes through the facade's
+    /// tenant-scoped path, so the tenant's visibility policy (DESIGN.md
+    /// §16) is enforced on each answer — including after view switches.
+    tenant: Option<String>,
     /// Per-query time budget; `None` defers to the system default.
     deadline: Option<Duration>,
     /// Wall-clock cost of the queries issued so far (for the interactivity
@@ -36,9 +41,24 @@ impl<'a> QuerySession<'a> {
             run,
             view,
             focus: None,
+            tenant: None,
             deadline: None,
             history: Vec::new(),
         }
+    }
+
+    /// Opens a session whose queries execute as `tenant`, with the
+    /// tenant's visibility policy enforced on every answer.
+    pub fn open_as(zoom: &'a Zoom, tenant: &str, run: RunId, view: ViewId) -> Self {
+        QuerySession {
+            tenant: Some(tenant.to_string()),
+            ..QuerySession::new(zoom, run, view)
+        }
+    }
+
+    /// The tenant this session executes as, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// Sets (or clears) this session's per-query time budget. Queries that
@@ -78,7 +98,10 @@ impl<'a> QuerySession<'a> {
 
     /// Focuses the run's final output.
     pub fn focus_final_output(&mut self) -> Result<ProvenanceResult> {
-        let outs = self.zoom.final_outputs(self.run)?;
+        let outs = match &self.tenant {
+            Some(t) => self.zoom.final_outputs_as(t, self.run)?,
+            None => self.zoom.final_outputs(self.run)?,
+        };
         let &d = outs
             .first()
             .ok_or(zoom_warehouse::WarehouseError::NoFinalOutputs(self.run))?;
@@ -107,11 +130,23 @@ impl<'a> QuerySession<'a> {
             .focus
             .ok_or(zoom_warehouse::WarehouseError::DataNotFound(DataId(0)))?;
         let start = std::time::Instant::now();
+        // Tenant-scoped sessions resolve the effective view first, so a
+        // policy substitution applies to deadline-bounded queries too.
+        let view = match &self.tenant {
+            Some(t) => match self.zoom.effective_view(t, self.run, self.view) {
+                Ok(v) => v,
+                Err(e) => {
+                    self.history.push((self.view, start.elapsed()));
+                    return Err(e);
+                }
+            },
+            None => self.view,
+        };
         let res = match self.deadline {
             Some(budget) => self
                 .zoom
-                .deep_provenance_within(self.run, self.view, data, budget),
-            None => self.zoom.deep_provenance(self.run, self.view, data),
+                .deep_provenance_within(self.run, view, data, budget),
+            None => self.zoom.deep_provenance(self.run, view, data),
         };
         self.history.push((self.view, start.elapsed()));
         res

@@ -1,16 +1,19 @@
 //! The ZOOM system facade (Section IV, Figure 8): one object wiring the
 //! provenance warehouse, the view builder, and the query layer together.
 
+use std::cell::RefCell;
 use std::path::Path;
 use zoom_graph::NodeId;
 use zoom_model::{DataId, EventLog, LogEvent, UserView, WorkflowRun, WorkflowSpec};
 use zoom_views::relev_user_view_builder;
 use zoom_warehouse::metrics::MetricsRegistry;
 use zoom_warehouse::persist::PersistError;
+use zoom_warehouse::privacy::{Decision, PolicyMetricsSink, PolicyTable, ViewRegistry};
 use zoom_warehouse::{
     DurableError, DurableOptions, DurableWarehouse, HealthReport, ImmediateAnswer, IndexBackend,
-    MetricsSnapshot, ProvenanceResult, PushOutcome, Result, RunId, SlowQuery, SpecId, StreamError,
-    TraceOp, TraceTarget, ViewId, Warehouse, WarehouseError, WarehouseStats,
+    MetricsSnapshot, ProvenanceResult, PushOutcome, ReadRegistrar, Result, RunId, SlowQuery,
+    SpecId, StreamError, TraceOp, TraceTarget, ViewId, VisibilityPolicy, Warehouse, WarehouseError,
+    WarehouseStats,
 };
 
 /// Maps a durable-store error back into the warehouse error space:
@@ -37,13 +40,84 @@ enum Backing {
 #[derive(Debug)]
 pub struct Zoom {
     backing: Backing,
+    /// Per-tenant visibility policies (DESIGN.md §16). The plain query
+    /// methods are the embedder's own (admin) surface and never consult
+    /// this; the `*_as` tenant-scoped variants enforce it. Policies are
+    /// compiled eagerly at every registration point, so tenant-scoped
+    /// queries only ever hit the compiled caches.
+    policies: PolicyTable,
 }
 
 impl Default for Zoom {
     fn default() -> Self {
         Zoom {
             backing: Backing::Memory(Box::new(Warehouse::new())),
+            policies: PolicyTable::new(),
         }
+    }
+}
+
+/// [`ViewRegistry`] + [`PolicyMetricsSink`] over an exclusively-borrowed
+/// [`Zoom`]: view registration takes the facade's own (journaled, when
+/// durable) path, and enforcement counters land in the warehouse's
+/// metrics registry. The `RefCell` threads the single `&mut` through the
+/// registry trait's `&self` methods — sound because the policy compiler
+/// never re-enters the registrar.
+struct ZoomRegistrar<'a>(RefCell<&'a mut Zoom>);
+
+impl ViewRegistry for ZoomRegistrar<'_> {
+    fn spec_of(&self, id: SpecId) -> Result<WorkflowSpec> {
+        self.0.borrow().warehouse().spec(id).cloned()
+    }
+    fn view_of(&self, id: ViewId) -> Result<UserView> {
+        self.0.borrow().warehouse().view(id).cloned()
+    }
+    fn find_view_id(&self, spec: SpecId, name: &str) -> Option<ViewId> {
+        self.0.borrow().warehouse().find_view(spec, name)
+    }
+    fn register_view_if_absent(&self, spec: SpecId, view: &UserView) -> Result<ViewId> {
+        let mut z = self.0.borrow_mut();
+        if let Some(existing) = z.warehouse().find_view(spec, view.name()) {
+            return Ok(existing);
+        }
+        z.register_view_raw(spec, view.clone())
+    }
+    fn spec_ids(&self) -> Vec<SpecId> {
+        self.0.borrow().warehouse().spec_ids()
+    }
+    fn view_ids_of(&self, spec: SpecId) -> Vec<ViewId> {
+        self.0.borrow().warehouse().views_of_spec(spec).to_vec()
+    }
+}
+
+impl PolicyMetricsSink for ZoomRegistrar<'_> {
+    fn policy_substitution(&self) {
+        self.0
+            .borrow()
+            .warehouse()
+            .metrics_registry()
+            .record_policy_substitution();
+    }
+    fn policy_denial(&self) {
+        self.0
+            .borrow()
+            .warehouse()
+            .metrics_registry()
+            .record_policy_denial();
+    }
+    fn policy_cache_hit(&self) {
+        self.0
+            .borrow()
+            .warehouse()
+            .metrics_registry()
+            .record_policy_cache_hit();
+    }
+    fn policy_compilation(&self) {
+        self.0
+            .borrow()
+            .warehouse()
+            .metrics_registry()
+            .record_policy_compilation();
     }
 }
 
@@ -60,6 +134,7 @@ impl Zoom {
     pub fn open_durable(dir: &Path) -> std::result::Result<Self, DurableError> {
         Ok(Zoom {
             backing: Backing::Durable(Box::new(DurableWarehouse::open(dir)?)),
+            policies: PolicyTable::new(),
         })
     }
 
@@ -70,6 +145,7 @@ impl Zoom {
     ) -> std::result::Result<Self, DurableError> {
         Ok(Zoom {
             backing: Backing::Durable(Box::new(DurableWarehouse::open_opts(dir, options)?)),
+            policies: PolicyTable::new(),
         })
     }
 
@@ -212,18 +288,30 @@ impl Zoom {
 
     /// Registers a workflow specification (journaled when durable).
     pub fn register_workflow(&mut self, spec: WorkflowSpec) -> Result<SpecId> {
-        match &mut self.backing {
+        let id = match &mut self.backing {
             Backing::Memory(w) => w.register_spec(spec),
             Backing::Durable(dw) => dw.register_spec(spec).map_err(durability_err),
+        }?;
+        self.refresh_policies()?;
+        Ok(id)
+    }
+
+    /// The registration path without the policy refresh — what the
+    /// policy compiler itself registers privacy views through (refreshing
+    /// from inside the refresh would recurse before the compiled cache is
+    /// written).
+    fn register_view_raw(&mut self, spec: SpecId, view: UserView) -> Result<ViewId> {
+        match &mut self.backing {
+            Backing::Memory(w) => w.register_view(spec, view),
+            Backing::Durable(dw) => dw.register_view(spec, view).map_err(durability_err),
         }
     }
 
     /// Registers an explicit user view (journaled when durable).
     pub fn register_view(&mut self, spec: SpecId, view: UserView) -> Result<ViewId> {
-        match &mut self.backing {
-            Backing::Memory(w) => w.register_view(spec, view),
-            Backing::Durable(dw) => dw.register_view(spec, view).map_err(durability_err),
-        }
+        let id = self.register_view_raw(spec, view)?;
+        self.refresh_policies()?;
+        Ok(id)
     }
 
     /// Builds a *good* user view from relevant module labels with
@@ -258,6 +346,247 @@ impl Zoom {
         }
         let view = UserView::black_box(self.warehouse().spec(spec_id)?);
         self.register_view(spec_id, view)
+    }
+
+    /// The coarsest view that conceals the given modules — every hidden
+    /// module ends up inside a composite with at least one other module,
+    /// so no query at this view can single it out. Registered on first
+    /// use; re-requesting the same hidden set returns the existing view.
+    /// Errors with [`WarehouseError::PolicyUnsatisfiable`] when the spec
+    /// has nothing to absorb the hidden module into (≤ 1 module).
+    pub fn private_view(&mut self, spec_id: SpecId, hidden_labels: &[&str]) -> Result<ViewId> {
+        let spec = self.warehouse().spec(spec_id)?;
+        let hidden: Vec<NodeId> = hidden_labels
+            .iter()
+            .map(|l| spec.module(l))
+            .collect::<zoom_model::Result<_>>()?;
+        let view = zoom_warehouse::conceal(spec, &hidden)?;
+        if let Some(existing) = self.warehouse().find_view(spec_id, view.name()) {
+            return Ok(existing);
+        }
+        self.register_view(spec_id, view)
+    }
+
+    // ------------------------------------------------------------------
+    // Per-tenant visibility policies (DESIGN.md §16)
+    // ------------------------------------------------------------------
+
+    /// Installs (or with `None`/an empty policy, clears) `tenant`'s
+    /// visibility policy, then eagerly compiles every installed policy
+    /// against every registered spec — an unsatisfiable policy fails
+    /// *here*, at administration time, with
+    /// [`WarehouseError::PolicyUnsatisfiable`].
+    pub fn set_policy(&mut self, tenant: &str, policy: Option<VisibilityPolicy>) -> Result<()> {
+        let table = std::mem::take(&mut self.policies);
+        let result = {
+            let reg = ZoomRegistrar(RefCell::new(self));
+            table
+                .install(tenant, policy, &reg, &reg)
+                .and_then(|()| table.compile_all(&reg, &reg))
+        };
+        self.policies = table;
+        result
+    }
+
+    /// The installed policy for `tenant`, if any.
+    pub fn policy(&self, tenant: &str) -> Option<VisibilityPolicy> {
+        self.policies.get(tenant).map(|p| (*p).clone())
+    }
+
+    /// Re-compiles every installed policy against the current spec/view
+    /// tables (no-op when no policies are installed). Called after each
+    /// registration so tenant-scoped queries never need to register
+    /// through a shared borrow.
+    fn refresh_policies(&mut self) -> Result<()> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let table = std::mem::take(&mut self.policies);
+        let result = {
+            let reg = ZoomRegistrar(RefCell::new(self));
+            table.compile_all(&reg, &reg)
+        };
+        self.policies = table;
+        result
+    }
+
+    /// The view a query by `tenant` against `(run, view)` actually
+    /// executes with: unchanged for unrestricted tenants (one atomic load
+    /// when no policies exist at all), the compiled privacy/meet view for
+    /// restricted ones, and `Err(RunNotFound)` — byte-identical to the
+    /// run being absent — when the policy denies the run's workflow
+    /// outright. Internal policy errors fail *closed* for the same
+    /// reason: a distinct error would confirm the run exists.
+    pub fn effective_view(&self, tenant: &str, run: RunId, view: ViewId) -> Result<ViewId> {
+        if self.policies.is_empty() {
+            return Ok(view);
+        }
+        let wh = self.warehouse();
+        let Ok(spec) = wh.run_spec(run) else {
+            return Ok(view); // natural RunNotFound renders downstream
+        };
+        let reg = ReadRegistrar::new(wh);
+        let sink = wh.metrics_registry();
+        match self.policies.spec_denied(tenant, spec, &reg, sink) {
+            Ok(false) => {}
+            Ok(true) | Err(_) => return Err(WarehouseError::RunNotFound(run)),
+        }
+        match self.policies.view_decision(tenant, spec, view, &reg, sink) {
+            Ok(Decision::Pass) => Ok(view),
+            Ok(Decision::Substitute(v)) => Ok(v),
+            Ok(Decision::Deny) | Err(_) => Err(WarehouseError::RunNotFound(run)),
+        }
+    }
+
+    /// Renders hidden-data answers as absence for restricted tenants: a
+    /// [`WarehouseError::DataNotVisible`] from a query `tenant` ran under
+    /// a policy that conceals modules in `run`'s workflow becomes
+    /// [`WarehouseError::DataNotFound`]. Without this, probing a data id
+    /// internal to a concealed composite answers "exists but hidden" —
+    /// an existence oracle distinguishing two runs that differ only
+    /// inside hidden modules. Internal policy errors keep the laundered
+    /// rendering (fail closed).
+    fn conceal_data_errors<T>(&self, tenant: &str, run: RunId, res: Result<T>) -> Result<T> {
+        let Err(WarehouseError::DataNotVisible { data, view }) = res else {
+            return res;
+        };
+        if !self.policies.is_empty() {
+            let wh = self.warehouse();
+            if let Ok(spec) = wh.run_spec(run) {
+                let reg = ReadRegistrar::new(wh);
+                match self
+                    .policies
+                    .spec_restricted(tenant, spec, &reg, wh.metrics_registry())
+                {
+                    Ok(true) | Err(_) => return Err(WarehouseError::DataNotFound(data)),
+                    Ok(false) => {}
+                }
+            }
+        }
+        Err(WarehouseError::DataNotVisible { data, view })
+    }
+
+    /// Gate for run-addressed (viewless) tenant queries: `Err(RunNotFound)`
+    /// when `tenant`'s policy hides the run's workflow.
+    fn run_gate(&self, tenant: &str, run: RunId) -> Result<()> {
+        if self.policies.is_empty() {
+            return Ok(());
+        }
+        let wh = self.warehouse();
+        let Ok(spec) = wh.run_spec(run) else {
+            return Ok(());
+        };
+        let reg = ReadRegistrar::new(wh);
+        match self
+            .policies
+            .spec_denied(tenant, spec, &reg, wh.metrics_registry())
+        {
+            Ok(false) => Ok(()),
+            Ok(true) | Err(_) => Err(WarehouseError::RunNotFound(run)),
+        }
+    }
+
+    /// [`Zoom::deep_provenance`] as `tenant`, with the tenant's policy
+    /// enforced by view substitution before the query runs.
+    pub fn deep_provenance_as(
+        &self,
+        tenant: &str,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> Result<ProvenanceResult> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        let view = self.effective_view(tenant, run, view)?;
+        let res = self.warehouse().deep_provenance(run, view, data);
+        self.conceal_data_errors(tenant, run, res)
+    }
+
+    /// [`Zoom::immediate_provenance`] as `tenant`.
+    pub fn immediate_provenance_as(
+        &self,
+        tenant: &str,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> Result<ImmediateAnswer> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        let view = self.effective_view(tenant, run, view)?;
+        let res = self.warehouse().immediate_provenance(run, view, data);
+        self.conceal_data_errors(tenant, run, res)
+    }
+
+    /// [`Zoom::dependents_of`] as `tenant`.
+    pub fn dependents_of_as(
+        &self,
+        tenant: &str,
+        run: RunId,
+        view: ViewId,
+        data: DataId,
+    ) -> Result<Vec<DataId>> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        let view = self.effective_view(tenant, run, view)?;
+        let res = self.warehouse().dependents_of(run, view, data);
+        self.conceal_data_errors(tenant, run, res)
+    }
+
+    /// [`Zoom::data_between`] as `tenant`.
+    pub fn data_between_as(
+        &self,
+        tenant: &str,
+        run: RunId,
+        view: ViewId,
+        from: Option<zoom_model::StepId>,
+        to: Option<zoom_model::StepId>,
+    ) -> Result<Vec<DataId>> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        let view = self.effective_view(tenant, run, view)?;
+        let res = self.warehouse().data_between(run, view, from, to);
+        self.conceal_data_errors(tenant, run, res)
+    }
+
+    /// [`Zoom::final_outputs`] as `tenant`.
+    pub fn final_outputs_as(&self, tenant: &str, run: RunId) -> Result<Vec<DataId>> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        self.run_gate(tenant, run)?;
+        self.final_outputs(run)
+    }
+
+    /// [`Zoom::visible_data`] as `tenant`.
+    pub fn visible_data_as(&self, tenant: &str, run: RunId, view: ViewId) -> Result<Vec<DataId>> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        let view = self.effective_view(tenant, run, view)?;
+        self.visible_data(run, view)
+    }
+
+    /// [`Zoom::query_batch`] as `tenant`: each triple is enforced
+    /// independently; denied slots answer in place with the same error an
+    /// absent run would produce.
+    pub fn query_batch_as(
+        &self,
+        tenant: &str,
+        queries: &[(RunId, ViewId, DataId)],
+    ) -> Vec<Result<ProvenanceResult>> {
+        let _tag = zoom_warehouse::metrics::tag_tenant(Some(tenant));
+        if self.policies.is_empty() {
+            return self.query_batch(queries);
+        }
+        let mut slots: Vec<Option<Result<ProvenanceResult>>> =
+            (0..queries.len()).map(|_| None).collect();
+        let mut routed: Vec<(usize, (RunId, ViewId, DataId))> = Vec::new();
+        for (i, &(run, view, data)) in queries.iter().enumerate() {
+            match self.effective_view(tenant, run, view) {
+                Ok(v) => routed.push((i, (run, v, data))),
+                Err(e) => slots[i] = Some(Err(e)),
+            }
+        }
+        let triples: Vec<_> = routed.iter().map(|&(_, t)| t).collect();
+        for ((i, (run, _, _)), ans) in routed.iter().zip(self.query_batch(&triples)) {
+            slots[*i] = Some(self.conceal_data_errors(tenant, *run, ans));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every batch slot answered"))
+            .collect()
     }
 
     /// Loads a validated run (journaled when durable).
@@ -403,6 +732,12 @@ impl Zoom {
         Ok(self.warehouse().run(run)?.final_outputs())
     }
 
+    /// Every data object visible at `view` over `run` (the rendered
+    /// provenance graph's node set).
+    pub fn visible_data(&self, run: RunId, view: ViewId) -> Result<Vec<DataId>> {
+        Ok(self.warehouse().view_run(run, view)?.visible_data())
+    }
+
     /// Deep provenance of the run's (first) final output through `view`.
     pub fn deep_provenance_of_final_output(
         &self,
@@ -427,6 +762,7 @@ impl Zoom {
     pub fn load(path: &Path) -> std::result::Result<Self, PersistError> {
         Ok(Zoom {
             backing: Backing::Memory(Box::new(zoom_warehouse::persist::load(path)?)),
+            policies: PolicyTable::new(),
         })
     }
 }

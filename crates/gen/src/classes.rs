@@ -102,6 +102,58 @@ impl fmt::Display for WorkflowClass {
     }
 }
 
+/// The view families the evaluation exercises per workflow (Section V-A),
+/// plus the privacy scenario of DESIGN.md §16.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ViewScenario {
+    /// Every module relevant — the finest view (full provenance).
+    UAdmin,
+    /// The analysis (non-formatting) modules relevant, composed by the
+    /// view-building algorithm.
+    UBio,
+    /// Nothing relevant — the whole workflow as one composite.
+    UBlackBox,
+    /// The coarsest view concealing a protected module: inverted-relevance
+    /// construction, so no query at this view can single the module out.
+    UPrivate,
+}
+
+impl ViewScenario {
+    /// All four scenarios, evaluation order.
+    pub const ALL: [ViewScenario; 4] = [
+        ViewScenario::UAdmin,
+        ViewScenario::UBio,
+        ViewScenario::UBlackBox,
+        ViewScenario::UPrivate,
+    ];
+
+    /// Row label used by the experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViewScenario::UAdmin => "UAdmin",
+            ViewScenario::UBio => "UBio",
+            ViewScenario::UBlackBox => "UBlackBox",
+            ViewScenario::UPrivate => "UPrivate",
+        }
+    }
+
+    /// How the scenario's relevant set is chosen.
+    pub fn relevance(self) -> &'static str {
+        match self {
+            ViewScenario::UAdmin => "all modules",
+            ViewScenario::UBio => "analysis modules",
+            ViewScenario::UBlackBox => "no modules",
+            ViewScenario::UPrivate => "all but the concealed module (inverted)",
+        }
+    }
+}
+
+impl fmt::Display for ViewScenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +175,12 @@ mod tests {
     fn labels_match_table_one() {
         assert_eq!(WorkflowClass::Loop.label(), "Class4 (Loop)");
         assert_eq!(WorkflowClass::ALL.len(), 4);
+    }
+
+    #[test]
+    fn view_scenarios_cover_the_privacy_family() {
+        assert_eq!(ViewScenario::ALL.len(), 4);
+        assert_eq!(ViewScenario::UPrivate.label(), "UPrivate");
+        assert!(ViewScenario::UPrivate.relevance().contains("inverted"));
     }
 }

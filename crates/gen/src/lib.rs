@@ -30,7 +30,7 @@ pub mod stats;
 pub mod streamlog;
 
 pub use adversarial::{deep_chain, diamond_lattice, wide_fanout};
-pub use classes::{Pattern, WorkflowClass};
+pub use classes::{Pattern, ViewScenario, WorkflowClass};
 pub use rungen::{generate_run, RunGenConfig, RunKind};
 pub use specgen::{generate_random_spec, generate_spec, SpecGenConfig};
 pub use stats::{

@@ -50,11 +50,21 @@ pub struct BuiltView {
 ///
 /// ```
 /// use zoom_views::{relev_user_view_builder, is_good_view, is_minimal};
+/// # fn main() -> zoom_model::Result<()> {
 /// let (spec, relevant) = zoom_views::paper::figure6();
-/// let built = relev_user_view_builder(&spec, &relevant).unwrap();
+/// let built = relev_user_view_builder(&spec, &relevant)?;
 /// assert_eq!(built.view.size(), 4); // the paper's result
 /// assert!(is_good_view(&spec, &built.view, &relevant));
 /// assert!(is_minimal(&spec, &built.view, &relevant));
+///
+/// // Boundary cases are total, not panics: an empty relevant set —
+/// // the inverted-relevance form of "every module hidden" — yields
+/// // the single black-box composite rather than unwrapping on an
+/// // empty partition.
+/// let black_box = relev_user_view_builder(&spec, &[])?;
+/// assert_eq!(black_box.view.size(), 1);
+/// # Ok(())
+/// # }
 /// ```
 pub fn relev_user_view_builder(spec: &WorkflowSpec, relevant: &[NodeId]) -> Result<BuiltView> {
     let mut relevant: Vec<NodeId> = relevant.to_vec();

@@ -29,6 +29,10 @@
 //!   with a committed, queryable prefix mid-run;
 //! * [`trace`] — deterministic capture/replay of facade traffic (logical
 //!   clocks + result digests) for regression diffing and load generation;
+//! * [`privacy`] — per-tenant visibility policies compiled into privacy
+//!   views (the inverted-relevance `RelevUserViewBuilder` run), the
+//!   partition-join meet, and the [`PolicyTable`] the enforcement points
+//!   consult — one atomic load for tenants with no policy;
 //! * [`persist`] — binary snapshot save/load;
 //! * [`journal`] — an append-only, checksummed journal for incremental
 //!   durability (crash-tolerant replay, compaction into snapshots);
@@ -55,6 +59,7 @@ pub mod journal;
 pub mod labels;
 pub mod metrics;
 pub mod persist;
+pub mod privacy;
 pub mod query;
 pub mod resilience;
 pub mod schema;
@@ -72,8 +77,12 @@ pub use journal::{JournalError, JournaledWarehouse};
 pub use labels::{LabelIndex, UpdateOutcome, FRAGMENTATION_FACTOR};
 pub use metrics::{
     CacheMetrics, HistogramSnapshot, IndexMetrics, LatencyHistogram, MetricsRegistry,
-    MetricsSnapshot, QueryKind, ReplayMetrics, ResilienceMetrics, SlowQuery, StreamMetrics,
-    ViewClass,
+    MetricsSnapshot, PrivacyMetrics, QueryKind, ReplayMetrics, ResilienceMetrics, SlowQuery,
+    StreamMetrics, ViewClass,
+};
+pub use privacy::{
+    conceal, partition_join, partitions_equal, Decision, MutRegistrar, PolicyMetricsSink,
+    PolicyTable, ReadRegistrar, ViewRegistry, VisibilityPolicy,
 };
 pub use query::{
     data_between, deep_provenance, deep_provenance_bfs, deep_provenance_deadline,
@@ -97,6 +106,6 @@ pub use trace::{
     TraceTarget,
 };
 pub use wire::{
-    BatchItem, Request, Response, ShardBacking, ShardRouter, TenantQuotaTable, TenantQuotas,
-    WireError, MAX_FRAME_BYTES,
+    BatchItem, Request, Response, ShardBacking, ShardPolicySink, ShardRouter, TenantQuotaTable,
+    TenantQuotas, WireError, MAX_FRAME_BYTES,
 };

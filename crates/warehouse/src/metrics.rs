@@ -34,9 +34,52 @@
 use crate::schema::{RunId, ViewId, WarehouseStats};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// The tenant the current thread is executing a query for, if any.
+    /// Set by the daemon's dispatch loop (and the `*_as` facade variants)
+    /// so slow-log entries can be attributed — and later filtered — per
+    /// tenant without threading an extra parameter through every query
+    /// signature.
+    static CURRENT_TENANT: RefCell<Option<Arc<str>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previous tenant tag when dropped, so nested scopes (a
+/// facade call issuing sub-queries) unwind correctly even across panics.
+#[derive(Debug)]
+pub struct TenantTagGuard {
+    prev: Option<Arc<str>>,
+}
+
+impl Drop for TenantTagGuard {
+    fn drop(&mut self) {
+        CURRENT_TENANT.with(|t| *t.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Tags the current thread's queries as issued by `tenant` until the
+/// returned guard drops. `None` clears the tag for the scope.
+pub fn tag_tenant(tenant: Option<&str>) -> TenantTagGuard {
+    tag_tenant_shared(tenant.map(Arc::from))
+}
+
+/// [`tag_tenant`] taking an already-shared name — the batch fan-out
+/// workers re-tag themselves with a clone of the submitting thread's tag
+/// without re-allocating per worker.
+pub fn tag_tenant_shared(tenant: Option<Arc<str>>) -> TenantTagGuard {
+    let prev = CURRENT_TENANT.with(|t| std::mem::replace(&mut *t.borrow_mut(), tenant));
+    TenantTagGuard { prev }
+}
+
+/// The current thread's tenant tag, if one is in scope.
+pub fn current_tenant() -> Option<Arc<str>> {
+    CURRENT_TENANT.with(|t| t.borrow().clone())
+}
 
 /// Number of histogram buckets (15 bounded + 1 overflow).
 pub const HISTOGRAM_BUCKETS: usize = 16;
@@ -258,6 +301,11 @@ pub struct SlowQuery {
     pub data: Option<u64>,
     /// Wall-clock duration, nanoseconds.
     pub nanos: u64,
+    /// The tenant the query was executed for, when known (daemon dispatch
+    /// and the `*_as` facade variants tag their scope). Local untagged
+    /// queries record `None`. This is what per-tenant slow-log filtering
+    /// keys on.
+    pub tenant: Option<String>,
 }
 
 /// The lock-free metrics registry every warehouse owns.
@@ -326,6 +374,15 @@ pub struct MetricsRegistry {
     replay_ops: AtomicU64,
     /// Replayed operations whose result digest diverged from the recording.
     replay_mismatches: AtomicU64,
+    /// Queries rewritten to a coarser view by a visibility policy.
+    policy_substitutions: AtomicU64,
+    /// Requests denied outright by a visibility policy (hidden workflow,
+    /// rendered as the equivalent not-found error).
+    policy_denials: AtomicU64,
+    /// Policy decisions answered from the compiled-policy cache.
+    policy_cache_hits: AtomicU64,
+    /// Privacy views compiled (inverted-relevance builder runs).
+    policy_compilations: AtomicU64,
 }
 
 impl Default for MetricsRegistry {
@@ -362,6 +419,10 @@ impl Default for MetricsRegistry {
             replay_sessions: AtomicU64::new(0),
             replay_ops: AtomicU64::new(0),
             replay_mismatches: AtomicU64::new(0),
+            policy_substitutions: AtomicU64::new(0),
+            policy_denials: AtomicU64::new(0),
+            policy_cache_hits: AtomicU64::new(0),
+            policy_compilations: AtomicU64::new(0),
         }
     }
 }
@@ -396,6 +457,7 @@ impl MetricsRegistry {
                 view_name: view_name.to_string(),
                 data,
                 nanos,
+                tenant: current_tenant().map(|t| t.to_string()),
             };
             let mut log = self.slow_log.lock();
             if log.len() == SLOW_LOG_CAPACITY {
@@ -557,6 +619,27 @@ impl MetricsRegistry {
         }
     }
 
+    /// Records a query rewritten to a coarser view by a visibility policy.
+    pub fn record_policy_substitution(&self) {
+        self.policy_substitutions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request denied outright by a visibility policy.
+    pub fn record_policy_denial(&self) {
+        self.policy_denials.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a policy decision served from the compiled cache.
+    pub fn record_policy_cache_hit(&self) {
+        self.policy_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one privacy-view compilation (an inverted-relevance
+    /// builder run).
+    pub fn record_policy_compilation(&self) {
+        self.policy_compilations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Sets the slow-query threshold in nanoseconds (0 captures every
     /// query; `u64::MAX` disables the log).
     pub fn set_slow_threshold_nanos(&self, nanos: u64) {
@@ -641,6 +724,12 @@ impl MetricsRegistry {
                 sessions: self.replay_sessions.load(Ordering::Relaxed),
                 ops: self.replay_ops.load(Ordering::Relaxed),
                 mismatches: self.replay_mismatches.load(Ordering::Relaxed),
+            },
+            privacy: PrivacyMetrics {
+                substitutions: self.policy_substitutions.load(Ordering::Relaxed),
+                denials: self.policy_denials.load(Ordering::Relaxed),
+                cache_hits: self.policy_cache_hits.load(Ordering::Relaxed),
+                compilations: self.policy_compilations.load(Ordering::Relaxed),
             },
         }
     }
@@ -785,6 +874,21 @@ pub struct ReplayMetrics {
     pub mismatches: u64,
 }
 
+/// Visibility-policy enforcement counters (DESIGN.md §16). A tenant with
+/// no policy touches none of these: the fast path is a single atomic load
+/// on the policy count, and enforcement is skipped entirely.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PrivacyMetrics {
+    /// Queries rewritten to a coarser (privacy or meet) view.
+    pub substitutions: u64,
+    /// Requests denied outright (hidden workflow → not-found rendering).
+    pub denials: u64,
+    /// Policy decisions served from the compiled cache.
+    pub cache_hits: u64,
+    /// Privacy views compiled by the inverted-relevance builder.
+    pub compilations: u64,
+}
+
 /// A point-in-time copy of every warehouse metric, including the classic
 /// [`WarehouseStats`] table counters.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -819,6 +923,8 @@ pub struct MetricsSnapshot {
     pub stream: StreamMetrics,
     /// Trace replay counters.
     pub replay: ReplayMetrics,
+    /// Visibility-policy enforcement counters.
+    pub privacy: PrivacyMetrics,
 }
 
 fn json_escape(s: &str) -> String {
@@ -859,14 +965,17 @@ fn cache_json(c: &CacheMetrics) -> String {
 /// Renders one slow query as a JSON object.
 pub fn slow_query_json(q: &SlowQuery) -> String {
     format!(
-        "{{\"seq\":{},\"kind\":\"{}\",\"run\":{},\"view\":{},\"view_name\":\"{}\",\"data\":{},\"nanos\":{}}}",
+        "{{\"seq\":{},\"kind\":\"{}\",\"run\":{},\"view\":{},\"view_name\":\"{}\",\"data\":{},\"nanos\":{},\"tenant\":{}}}",
         q.seq,
         q.kind,
         q.run.0,
         q.view.0,
         json_escape(&q.view_name),
         q.data.map_or("null".to_string(), |d| d.to_string()),
-        q.nanos
+        q.nanos,
+        q.tenant
+            .as_deref()
+            .map_or("null".to_string(), |t| format!("\"{}\"", json_escape(t)))
     )
 }
 
@@ -934,6 +1043,11 @@ impl MetricsSnapshot {
             "{{\"sessions\":{},\"ops\":{},\"mismatches\":{}}}",
             rp.sessions, rp.ops, rp.mismatches
         );
+        let pv = &self.privacy;
+        let privacy = format!(
+            "{{\"substitutions\":{},\"denials\":{},\"cache_hits\":{},\"compilations\":{}}}",
+            pv.substitutions, pv.denials, pv.cache_hits, pv.compilations
+        );
         let queries: Vec<String> = self
             .queries
             .iter()
@@ -965,6 +1079,7 @@ impl MetricsSnapshot {
              \"batch\":{{\"batches\":{},\"queries\":{},\"max_fanout\":{}}},\
              \"journal\":{{\"appends\":{},\"append_latency\":{},\"checkpoint_latency\":{}}},\
              \"view_switch\":{},\"resilience\":{},\"stream\":{},\"replay\":{},\
+             \"privacy\":{},\
              \"slow_query_threshold_nanos\":{},\
              \"slow_queries\":[{}]}}",
             stats,
@@ -983,6 +1098,7 @@ impl MetricsSnapshot {
             resilience,
             stream,
             replay,
+            privacy,
             self.slow_query_threshold_nanos,
             slow.join(",")
         )

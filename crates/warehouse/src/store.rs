@@ -89,6 +89,16 @@ pub enum WarehouseError {
     /// a panic in one query must not abort the process (or, under
     /// `zoomd`, one tenant's connection thread).
     WorkerPanicked,
+    /// A visibility policy cannot be satisfied for this workflow: no user
+    /// view conceals the protected modules (e.g. the workflow has a single
+    /// module and it is hidden — even the black-box view is a singleton
+    /// composite, which exposes the module's full I/O behaviour).
+    PolicyUnsatisfiable {
+        /// The workflow the policy was compiled against.
+        spec: String,
+        /// Why no concealing view exists.
+        reason: String,
+    },
 }
 
 impl fmt::Display for WarehouseError {
@@ -131,6 +141,12 @@ impl fmt::Display for WarehouseError {
             WarehouseError::Stream(e) => write!(f, "stream error: {e}"),
             WarehouseError::WorkerPanicked => {
                 write!(f, "batch query worker panicked; slot abandoned")
+            }
+            WarehouseError::PolicyUnsatisfiable { spec, reason } => {
+                write!(
+                    f,
+                    "visibility policy unsatisfiable for workflow `{spec}`: {reason}"
+                )
             }
         }
     }
@@ -729,7 +745,13 @@ impl Warehouse {
             .ok_or(WarehouseError::RunNotFound(id))
     }
 
-    /// Views registered for a spec.
+    /// Every registered specification id, in registration order (spec ids
+    /// are allocated densely).
+    pub fn spec_ids(&self) -> Vec<SpecId> {
+        (0..self.next_spec).map(SpecId).collect()
+    }
+
+    /// The registered view ids of `spec`, in registration order.
     pub fn views_of_spec(&self, spec: SpecId) -> &[ViewId] {
         self.views_by_spec.get(&spec).map_or(&[], Vec::as_slice)
     }
@@ -1049,12 +1071,18 @@ impl Warehouse {
         // the remainder. Each worker tags results with their input index
         // so the merge restores input order exactly.
         let next = AtomicUsize::new(0);
+        // Slow-log attribution: the tenant tag is thread-local, so the
+        // submitting thread's tag must be re-established inside every
+        // scoped worker or batch slow queries would record untagged.
+        let tenant = crate::metrics::current_tenant();
         crossbeam::thread::scope(|s| {
             let next = &next;
             let base_deadline = &base_deadline;
+            let tenant = &tenant;
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     s.spawn(move |_| {
+                        let _tag = crate::metrics::tag_tenant_shared(tenant.clone());
                         let mut deadline = base_deadline.clone();
                         let mut out: Vec<(usize, Result<ProvenanceResult>)> = Vec::new();
                         loop {

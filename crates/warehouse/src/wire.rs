@@ -327,15 +327,25 @@ pub enum Request {
     },
     /// Per-shard table counters.
     Stats,
-    /// Per-shard full observability snapshots.
-    Metrics,
+    /// Per-shard full observability snapshots. Snapshots embed the
+    /// slow-query ring; non-admin callers get the ring filtered to their
+    /// own tenant's entries (same admin rule as [`Request::SlowLog`]).
+    Metrics {
+        /// The admin token, for the unfiltered cross-tenant snapshot.
+        token: Option<String>,
+    },
     /// Per-shard health reports.
     Health,
     /// The slow-query log across shards, optionally resetting the capture
     /// threshold first.
     SlowLog {
-        /// New threshold to set before reading, if any.
+        /// New threshold to set before reading, if any. Honoured only for
+        /// admin callers; non-admin callers get their own tenant's slice
+        /// of the ring and cannot retune the capture threshold.
         threshold_nanos: Option<u64>,
+        /// The admin token, when the caller wants the full cross-tenant
+        /// ring (same rule as [`Request::Shutdown`]).
+        token: Option<String>,
     },
     /// Checkpoint every durable shard.
     Checkpoint,
@@ -356,6 +366,25 @@ pub enum Request {
     /// the daemon for everyone else.
     Shutdown {
         /// The admin token, when the daemon requires one.
+        token: Option<String>,
+    },
+    /// Installs (or clears) a tenant's visibility policy. Admin-gated
+    /// with the same rule as [`Request::Shutdown`]: the daemon's admin
+    /// token when one is configured, else loopback peers only.
+    PolicySet {
+        /// The tenant the policy applies to.
+        tenant: String,
+        /// The policy; `None` (or an empty policy) clears it.
+        policy: Option<crate::privacy::VisibilityPolicy>,
+        /// The admin token, when the daemon requires one.
+        token: Option<String>,
+    },
+    /// Reads a tenant's installed visibility policy. A tenant may always
+    /// read its *own* policy; reading another tenant's requires admin.
+    PolicyGet {
+        /// The tenant whose policy to read.
+        tenant: String,
+        /// The admin token, when reading another tenant's policy.
         token: Option<String>,
     },
 }
@@ -464,6 +493,11 @@ pub enum Response {
     },
     /// Reply to [`Request::Shutdown`]; the daemon exits after sending it.
     Bye,
+    /// Reply to [`Request::PolicyGet`].
+    Policy {
+        /// The installed policy, `None` when the tenant is unrestricted.
+        policy: Option<crate::privacy::VisibilityPolicy>,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -742,6 +776,13 @@ pub struct ShardRouter {
     alloc: Mutex<u32>,
     /// Global run id → (shard index, shard-local run id).
     runs: RwLock<crate::fxhash::FxHashMap<u32, (usize, RunId)>>,
+    /// Per-tenant visibility policies (DESIGN.md §16). Enforcement runs
+    /// *before* dispatch — the daemon rewrites a restricted tenant's
+    /// query to its effective view, so the shards never need to know
+    /// about tenants. Not persisted: an operator re-applies policies on
+    /// restart (`zoomctl policy set`), which also guarantees a daemon
+    /// never boots with stale rules.
+    policies: crate::privacy::PolicyTable,
 }
 
 /// Name of the file at a durable root that pins the shard count the
@@ -758,6 +799,7 @@ impl ShardRouter {
                 .collect(),
             registration: Mutex::new(()),
             alloc: Mutex::new(0),
+            policies: crate::privacy::PolicyTable::new(),
             runs: RwLock::new(crate::fxhash::FxHashMap::default()),
         }
     }
@@ -821,6 +863,7 @@ impl ShardRouter {
             shards: backings,
             registration: Mutex::new(()),
             alloc: Mutex::new(0),
+            policies: crate::privacy::PolicyTable::new(),
             runs: RwLock::new(crate::fxhash::FxHashMap::default()),
         };
         // Rebuild the global run map: global ids were handed out densely,
@@ -1194,6 +1237,37 @@ impl ShardRouter {
             .collect()
     }
 
+    /// Slow queries captured for one tenant only — the non-admin
+    /// [`Request::SlowLog`] answer. Entries recorded before tenant
+    /// tagging existed (or outside any connection) carry no tenant and
+    /// are visible to no non-admin caller.
+    pub fn slow_queries_of_tenant(&self, tenant: &str) -> Vec<SlowQuery> {
+        self.slow_queries()
+            .into_iter()
+            .filter(|q| q.tenant.as_deref() == Some(tenant))
+            .collect()
+    }
+
+    /// The per-tenant visibility-policy table (enforced before dispatch).
+    pub fn policies(&self) -> &crate::privacy::PolicyTable {
+        &self.policies
+    }
+
+    /// The specification a (global) run belongs to.
+    pub fn spec_of_run(&self, run: RunId) -> WhResult<SpecId> {
+        self.with_run(run, |b, local| b.warehouse().run_spec(local))
+    }
+
+    /// A [`PolicyMetricsSink`](crate::privacy::PolicyMetricsSink) that
+    /// records enforcement counters into shard 0's registry (policies are
+    /// daemon-global, so one shard's registry is the canonical home; the
+    /// aggregated metrics view sums across shards anyway). Each record
+    /// takes the shard lock briefly — the policy table never calls the
+    /// sink while holding a shard lock, so this cannot deadlock.
+    pub fn policy_sink(&self) -> ShardPolicySink<'_> {
+        ShardPolicySink { router: self }
+    }
+
     /// Sets the slow-query capture threshold on every shard.
     pub fn set_slow_query_threshold_nanos(&self, nanos: u64) {
         for s in &self.shards {
@@ -1241,6 +1315,66 @@ impl ShardRouter {
             agg.degraded = agg.degraded || s.degraded;
         }
         agg
+    }
+}
+
+impl crate::privacy::ViewRegistry for ShardRouter {
+    fn spec_of(&self, id: SpecId) -> WhResult<WorkflowSpec> {
+        self.spec(id)
+    }
+
+    fn view_of(&self, id: ViewId) -> WhResult<UserView> {
+        lock(&self.shards[0]).warehouse().view(id).cloned()
+    }
+
+    fn find_view_id(&self, spec: SpecId, name: &str) -> Option<ViewId> {
+        self.find_view(spec, name)
+    }
+
+    fn register_view_if_absent(&self, spec: SpecId, view: &UserView) -> WhResult<ViewId> {
+        ShardRouter::register_view_if_absent(self, spec, view)
+    }
+
+    fn spec_ids(&self) -> Vec<SpecId> {
+        lock(&self.shards[0]).warehouse().spec_ids()
+    }
+
+    fn view_ids_of(&self, spec: SpecId) -> Vec<ViewId> {
+        lock(&self.shards[0])
+            .warehouse()
+            .views_of_spec(spec)
+            .to_vec()
+    }
+}
+
+/// Routes policy-enforcement counters into shard 0's metrics registry;
+/// see [`ShardRouter::policy_sink`].
+pub struct ShardPolicySink<'a> {
+    router: &'a ShardRouter,
+}
+
+impl ShardPolicySink<'_> {
+    fn with_registry(&self, f: impl FnOnce(&crate::metrics::MetricsRegistry)) {
+        let guard = lock(&self.router.shards[0]);
+        f(guard.warehouse().metrics_registry());
+    }
+}
+
+impl crate::privacy::PolicyMetricsSink for ShardPolicySink<'_> {
+    fn policy_substitution(&self) {
+        self.with_registry(|r| r.record_policy_substitution());
+    }
+
+    fn policy_denial(&self) {
+        self.with_registry(|r| r.record_policy_denial());
+    }
+
+    fn policy_cache_hit(&self) {
+        self.with_registry(|r| r.record_policy_cache_hit());
+    }
+
+    fn policy_compilation(&self) {
+        self.with_registry(|r| r.record_policy_compilation());
     }
 }
 

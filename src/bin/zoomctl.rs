@@ -36,7 +36,7 @@ macro_rules! out_raw {
 }
 use zoom::core::{
     execute_canned, CannedQuery, PushOutcome, ReplayOptions, RunId, SpecId, TraceOp, TraceRecorder,
-    TraceReplayer, ViewId,
+    TraceReplayer, ViewId, VisibilityPolicy,
 };
 use zoom::model::{DataId, LogEvent, StepId, Timestamp, UserView};
 use zoom::Zoom;
@@ -186,8 +186,12 @@ to run against a live zoomd instead of a snapshot; the snapshot path
 argument is dropped:
   zoomctl --connect A ping                             liveness probe
   zoomctl --connect A demo                             load the demo workload
-  zoomctl --connect A stats [--json]                   aggregate across shards
-  zoomctl --connect A slowlog [--threshold-nanos N] [--json]
+  zoomctl --connect A stats [--json] [--admin-token TOK]
+      aggregate across shards; without admin, embedded slow-query rows
+      are filtered to your own tenant
+  zoomctl --connect A slowlog [--threshold-nanos N] [--json] [--admin-token TOK]
+      your tenant's slow queries; admin sees the full cross-tenant ring
+      and may set the capture threshold
   zoomctl --connect A health [--json]                  per-shard health
   zoomctl --connect A build-view <workflow> <module>...
   zoomctl --connect A query <workflow> <run#> <view> <query>
@@ -195,6 +199,15 @@ argument is dropped:
   zoomctl --connect A replay <trace> [--check] [--speed N] [--json]
   zoomctl --connect A soak <sessions>                  open/close N sessions
   zoomctl --connect A compact                          checkpoint durable shards
+  zoomctl --connect A policy set <tenant> [--hide-module M]... [--hide-workflow W]...
+                              [--admin-token TOK]
+      install <tenant>'s visibility policy: hidden modules are concealed
+      inside composites of the coarsest safe view; hidden workflows do
+      not exist for that tenant (admin-gated like shutdown)
+  zoomctl --connect A policy show <tenant> [--json] [--admin-token TOK]
+      print a tenant's policy (your own needs no token)
+  zoomctl --connect A policy clear <tenant> [--admin-token TOK]
+      remove a tenant's policy (admin-gated)
   zoomctl --connect A shutdown [--admin-token TOK]     stop the daemon
 ";
 
@@ -1045,8 +1058,9 @@ fn dispatch_remote(addr: &str, tenant: &str, args: &[String]) -> Result<(), Stri
             Ok(())
         }
         "demo" => remote_demo(&mut rz, addr),
-        "stats" => remote_stats(&mut rz, addr, tenant, args.iter().any(|a| a == "--json")),
+        "stats" => remote_stats(&mut rz, addr, tenant, &args[1..]),
         "slowlog" => remote_slowlog(&mut rz, &args[1..]),
+        "policy" => remote_policy(&mut rz, &args[1..]),
         "health" => remote_health(&mut rz, args.iter().any(|a| a == "--json")),
         "build-view" => remote_build_view(&mut rz, str_arg(args, 1, "workflow name")?, &args[2..]),
         "query" => remote_query(
@@ -1097,18 +1111,42 @@ fn remote_demo(rz: &mut zoom::core::RemoteZoom, addr: &str) -> Result<(), String
     Ok(())
 }
 
+/// Extracts `--admin-token TOK` from `rest`, returning the remaining
+/// arguments and the token (if given).
+fn split_admin_token(rest: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut out = Vec::with_capacity(rest.len());
+    let mut token = None;
+    let mut i = 0;
+    while i < rest.len() {
+        if rest[i] == "--admin-token" {
+            i += 1;
+            token = Some(
+                rest.get(i)
+                    .ok_or("missing value for --admin-token")?
+                    .clone(),
+            );
+        } else {
+            out.push(rest[i].clone());
+        }
+        i += 1;
+    }
+    Ok((out, token))
+}
+
 fn remote_stats(
     rz: &mut zoom::core::RemoteZoom,
     addr: &str,
     tenant: &str,
-    json: bool,
+    rest: &[String],
 ) -> Result<(), String> {
+    let (rest, token) = split_admin_token(rest)?;
+    let json = rest.iter().any(|a| a == "--json");
     let shards = rz.stats_per_shard().map_err(rerr)?;
     let sessions = rz.session_count().map_err(rerr)?;
     let agg = zoom::warehouse::ShardRouter::aggregate_stats(&shards);
     if json {
         let per_shard: Vec<String> = rz
-            .metrics_per_shard()
+            .metrics_per_shard_admin(token.as_deref())
             .map_err(rerr)?
             .iter()
             .map(|m| m.to_json())
@@ -1159,6 +1197,7 @@ fn stats_json(s: &zoom::warehouse::WarehouseStats) -> String {
 }
 
 fn remote_slowlog(rz: &mut zoom::core::RemoteZoom, rest: &[String]) -> Result<(), String> {
+    let (rest, token) = split_admin_token(rest)?;
     let mut threshold: Option<u64> = None;
     let mut json = false;
     let mut i = 0;
@@ -1178,7 +1217,9 @@ fn remote_slowlog(rz: &mut zoom::core::RemoteZoom, rest: &[String]) -> Result<()
         }
         i += 1;
     }
-    let slow = rz.slow_queries(threshold).map_err(rerr)?;
+    let slow = rz
+        .slow_queries_admin(threshold, token.as_deref())
+        .map_err(rerr)?;
     if json {
         let rows: Vec<String> = slow
             .iter()
@@ -1203,6 +1244,115 @@ fn remote_slowlog(rz: &mut zoom::core::RemoteZoom, rest: &[String]) -> Result<()
         );
     }
     Ok(())
+}
+
+/// `policy set|show|clear <tenant>` against a live daemon. Installation
+/// and clearing are admin-gated (same rule as `shutdown`); a tenant may
+/// read its own policy without a token.
+fn remote_policy(rz: &mut zoom::core::RemoteZoom, rest: &[String]) -> Result<(), String> {
+    let (rest, token) = split_admin_token(rest)?;
+    let sub = rest.first().map(String::as_str).unwrap_or("");
+    let subject = str_arg(&rest, 1, "tenant name")?.to_string();
+    match sub {
+        "set" => {
+            let mut policy = VisibilityPolicy::default();
+            let mut i = 2;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--hide-module" => {
+                        i += 1;
+                        policy.hidden_modules.push(
+                            rest.get(i)
+                                .ok_or("missing value for --hide-module")?
+                                .clone(),
+                        );
+                    }
+                    "--hide-workflow" => {
+                        i += 1;
+                        policy.hidden_workflows.push(
+                            rest.get(i)
+                                .ok_or("missing value for --hide-workflow")?
+                                .clone(),
+                        );
+                    }
+                    other => return Err(format!("unknown policy set option `{other}`")),
+                }
+                i += 1;
+            }
+            if policy.is_empty() {
+                return Err("give at least one --hide-module or --hide-workflow \
+                     (use `policy clear` to remove a policy)"
+                    .to_string());
+            }
+            let modules = policy.hidden_modules.len();
+            let workflows = policy.hidden_workflows.len();
+            rz.set_policy(&subject, Some(policy), token.as_deref())
+                .map_err(rerr)?;
+            out!(
+                "policy installed for `{subject}`: {modules} hidden module(s), \
+                 {workflows} hidden workflow(s)"
+            );
+            Ok(())
+        }
+        "show" => {
+            let json = rest.iter().any(|a| a == "--json");
+            let policy = rz.policy(&subject, token.as_deref()).map_err(rerr)?;
+            if json {
+                match &policy {
+                    None => out!(
+                        "{{\"tenant\":\"{}\",\"policy\":null}}",
+                        json_escape(&subject)
+                    ),
+                    Some(p) => {
+                        let ms: Vec<String> = p
+                            .hidden_modules
+                            .iter()
+                            .map(|m| format!("\"{}\"", json_escape(m)))
+                            .collect();
+                        let ws: Vec<String> = p
+                            .hidden_workflows
+                            .iter()
+                            .map(|w| format!("\"{}\"", json_escape(w)))
+                            .collect();
+                        out!(
+                            "{{\"tenant\":\"{}\",\"policy\":{{\"hidden_modules\":[{}],\
+                             \"hidden_workflows\":[{}]}}}}",
+                            json_escape(&subject),
+                            ms.join(","),
+                            ws.join(",")
+                        );
+                    }
+                }
+                return Ok(());
+            }
+            match policy {
+                None => out!("no policy installed for `{subject}` (full visibility)"),
+                Some(p) => {
+                    out!("tenant           : {subject}");
+                    out!("hidden modules   : {}", join_or_none(&p.hidden_modules));
+                    out!("hidden workflows : {}", join_or_none(&p.hidden_workflows));
+                }
+            }
+            Ok(())
+        }
+        "clear" => {
+            rz.set_policy(&subject, None, token.as_deref())
+                .map_err(rerr)?;
+            out!("policy cleared for `{subject}` (full visibility restored)");
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown policy subcommand `{other}` (set | show | clear)"
+        )),
+    }
+}
+
+fn join_or_none(items: &[String]) -> String {
+    if items.is_empty() {
+        "(none)".to_string()
+    } else {
+        items.join(", ")
+    }
 }
 
 fn remote_health(rz: &mut zoom::core::RemoteZoom, json: bool) -> Result<(), String> {

@@ -181,6 +181,12 @@ const DOCUMENTED_KEYS: &[&str] = &[
     "\"appends\"",
     "\"append_latency\"",
     "\"checkpoint_latency\"",
+    // privacy enforcement (DESIGN.md §16)
+    "\"privacy\"",
+    "\"substitutions\"",
+    "\"denials\"",
+    "\"cache_hits\"",
+    "\"compilations\"",
     // interactivity + slow log
     "\"view_switch\"",
     "\"slow_query_threshold_nanos\"",
