@@ -2,13 +2,13 @@
 //!
 //! ```sh
 //! experiments [all|table1|table2|scalability|optimality|fig10|response_time|view_switch|fig11|
-//!              index_speedup|index_scaling|replay_throughput|daemon_throughput]
+//!              index_speedup|index_scaling|replay_throughput|daemon_throughput|shard_recovery]
 //!              [--scale paper|quick] [--seed N]
 //! ```
 //!
-//! `index_scaling`, `replay_throughput`, and `daemon_throughput`
-//! additionally write (or append to) the `BENCH_<date>.json` scorecard in
-//! the current directory.
+//! `index_scaling`, `replay_throughput`, `daemon_throughput`, and
+//! `shard_recovery` additionally write (or append to) the
+//! `BENCH_<date>.json` scorecard in the current directory.
 
 use zoom_bench::experiments::*;
 use zoom_bench::{build_corpus, Scale};
@@ -153,6 +153,18 @@ fn main() {
                 Err(e) => eprintln!("could not write {path}: {e}"),
             }
         }
+        "shard_recovery" => {
+            section("shard_recovery", recovery::report(scale, seed));
+            let date = index_speedup::today_stamp();
+            let path = format!("BENCH_{date}.json");
+            let b = recovery::run(scale, seed);
+            let obj = recovery::scorecard_json(&b, scale, &date);
+            let existing = std::fs::read_to_string(&path).unwrap_or_default();
+            match std::fs::write(&path, replay::append_scorecard(&existing, &obj)) {
+                Ok(()) => eprintln!("appended to {path}"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            }
+        }
         other => die(&format!("unknown experiment `{other}`")),
     };
 
@@ -170,6 +182,7 @@ fn main() {
             "index_scaling",
             "replay_throughput",
             "daemon_throughput",
+            "shard_recovery",
             "open_problem",
         ] {
             run_one(name, &mut corpus);

@@ -33,6 +33,7 @@ pub mod experiments {
     pub mod index_speedup;
     pub mod open_problem;
     pub mod optimality;
+    pub mod recovery;
     pub mod replay;
     pub mod response;
     pub mod scalability;

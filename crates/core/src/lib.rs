@@ -47,9 +47,9 @@ pub use compare::{compare_view_runs, ComparisonReport, ExecMatch, RunComparison}
 pub use queries::{
     execute as execute_canned, execute_many as execute_canned_many, CannedQuery, QueryAnswer,
 };
-pub use remote::{execute_canned_remote, RemoteError, RemoteResult, RemoteZoom};
+pub use remote::{execute_canned_remote, RemoteError, RemoteResult, RemoteRetry, RemoteZoom};
 pub use render::{provenance_to_dot, provenance_to_text, view_on_spec_to_dot};
-pub use server::{Daemon, DaemonConfig};
+pub use server::{Daemon, DaemonConfig, DrainReport};
 pub use session::QuerySession;
 pub use system::{StreamHandle, Zoom};
 

@@ -13,7 +13,8 @@
 use crate::queries::{CannedQuery, QueryAnswer};
 use std::fmt;
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
 use zoom_model::{DataId, EventLog, LogEvent, StepId, UserView, WorkflowSpec};
 use zoom_warehouse::wire::{self, BatchItem, Request, Response, WireError};
 use zoom_warehouse::{
@@ -34,6 +35,21 @@ pub enum RemoteError {
     Server(String),
     /// The daemon answered something the protocol does not allow here.
     Protocol(String),
+    /// The addressed shard stayed quarantined past the client's bounded
+    /// retry budget. Rendered byte-identically to the in-process
+    /// `ShardUnavailable` error, for digest parity.
+    Unavailable {
+        /// The shard that kept refusing.
+        shard: u32,
+        /// The daemon's last backoff hint, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The connection died while a non-idempotent request (a stream
+    /// append, an id-allocating registration) was in flight: the daemon
+    /// may or may not have applied it, so the client refuses to re-send
+    /// and fails loudly instead. The connection itself has already been
+    /// re-established when possible — subsequent calls proceed normally.
+    ConnectionLost(String),
 }
 
 impl fmt::Display for RemoteError {
@@ -42,6 +58,14 @@ impl fmt::Display for RemoteError {
             RemoteError::Wire(e) => write!(f, "transport: {e}"),
             RemoteError::Server(m) => write!(f, "{m}"),
             RemoteError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            RemoteError::Unavailable {
+                shard,
+                retry_after_ms,
+            } => write!(
+                f,
+                "shard {shard} unavailable (under repair); retry after {retry_after_ms} ms"
+            ),
+            RemoteError::ConnectionLost(m) => write!(f, "connection lost: {m}"),
         }
     }
 }
@@ -70,37 +94,83 @@ fn unexpected(resp: Response) -> RemoteError {
     }
 }
 
-/// The `Zoom` facade over a `zoomd` connection.
-pub struct RemoteZoom {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
-    session: u64,
+/// How hard a [`RemoteZoom`] fights to keep a conversation going across
+/// daemon restarts and shard repairs.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteRetry {
+    /// TCP re-establish attempts after a broken connection (each re-sends
+    /// `Hello` with the original tenant and opens a fresh session).
+    pub max_reconnects: u32,
+    /// First reconnect backoff; doubles per attempt.
+    pub base_backoff: Duration,
+    /// Reconnect backoff ceiling.
+    pub max_backoff: Duration,
+    /// How many typed `Unavailable` refusals to absorb (sleeping the
+    /// daemon's `retry_after_ms` hint each time, capped at
+    /// [`RemoteRetry::max_retry_after`]) before surfacing
+    /// [`RemoteError::Unavailable`]. Safe for every request: the daemon
+    /// refuses *before* touching the shard, so a refused mutation was
+    /// never applied.
+    pub max_unavailable_retries: u32,
+    /// Cap on a single `retry_after_ms` sleep, so a hostile or confused
+    /// hint cannot park the client.
+    pub max_retry_after: Duration,
 }
 
-impl RemoteZoom {
-    /// Connects, names the tenant, and opens this client's logical
-    /// session.
-    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> RemoteResult<RemoteZoom> {
+impl Default for RemoteRetry {
+    fn default() -> Self {
+        RemoteRetry {
+            max_reconnects: 8,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(500),
+            max_unavailable_retries: 50,
+            max_retry_after: Duration::from_millis(250),
+        }
+    }
+}
+
+impl RemoteRetry {
+    /// No reconnects, no unavailable-retries: every failure surfaces on
+    /// the call that hit it.
+    pub fn none() -> Self {
+        RemoteRetry {
+            max_reconnects: 0,
+            base_backoff: Duration::from_millis(0),
+            max_backoff: Duration::from_millis(0),
+            max_unavailable_retries: 0,
+            max_retry_after: Duration::from_millis(0),
+        }
+    }
+}
+
+/// One live socket (split for buffered reading and writing).
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn establish(addr: SocketAddr, tenant: &str) -> RemoteResult<(Conn, u64)> {
         let stream = TcpStream::connect(addr)?;
         let _ = stream.set_nodelay(true);
-        let reader = BufReader::new(stream.try_clone()?);
-        let mut rz = RemoteZoom {
-            reader,
+        let mut conn = Conn {
+            reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
-            session: 0,
         };
-        match rz.call(&Request::Hello {
+        match conn.roundtrip(&Request::Hello {
             tenant: tenant.to_string(),
         })? {
             Response::Ok => {}
             other => return Err(unexpected(other)),
         }
-        rz.session = rz.open_session()?;
-        Ok(rz)
+        let session = match conn.roundtrip(&Request::OpenSession)? {
+            Response::Session { id } => id,
+            other => return Err(unexpected(other)),
+        };
+        Ok((conn, session))
     }
 
-    /// One request/response round trip.
-    fn call(&mut self, req: &Request) -> RemoteResult<Response> {
+    fn roundtrip(&mut self, req: &Request) -> RemoteResult<Response> {
         wire::write_message(&mut self.writer, req)?;
         self.writer.flush().map_err(WireError::Io)?;
         match wire::read_message::<Response>(&mut self.reader)? {
@@ -109,6 +179,166 @@ impl RemoteZoom {
                 "server closed the connection".to_string(),
             )),
         }
+    }
+}
+
+/// Whether a failed request may be transparently re-sent on a fresh
+/// connection. Queries and other idempotent requests may; requests that
+/// allocate ids or append to a stream may already have been applied
+/// before the connection died, so re-sending could double-apply them —
+/// those fail loudly with [`RemoteError::ConnectionLost`] instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OnTransportLoss {
+    Resend,
+    FailLoudly,
+}
+
+/// A transport-layer failure (as opposed to a server-side rejection): the
+/// socket can no longer be trusted and must be re-established.
+fn is_transport(e: &RemoteError) -> bool {
+    matches!(e, RemoteError::Wire(_))
+        || matches!(e, RemoteError::Protocol(m) if m == "server closed the connection")
+}
+
+/// The `Zoom` facade over a `zoomd` connection.
+///
+/// The client survives two kinds of trouble on its own:
+///
+/// * A typed [`Response::Unavailable`] refusal (the addressed shard is
+///   quarantined or mid-repair) is retried after the daemon's hinted
+///   backoff, a bounded number of times. This is safe for *every*
+///   request, mutations included — the daemon refuses before touching the
+///   shard, so a refused mutation was never applied.
+/// * A broken connection (daemon restart, dropped socket) triggers
+///   reconnection with exponential backoff, re-sending `Hello` with the
+///   original tenant and opening a fresh logical session. Idempotent
+///   requests are then transparently re-sent; non-idempotent ones
+///   (stream appends, id-allocating registrations) fail loudly with
+///   [`RemoteError::ConnectionLost`], because the daemon may have applied
+///   them before the connection died.
+pub struct RemoteZoom {
+    addr: SocketAddr,
+    tenant: String,
+    retry: RemoteRetry,
+    conn: Option<Conn>,
+    session: u64,
+    /// Connections re-established since `connect` (observability for
+    /// tests and the chaos harness).
+    reconnects: u64,
+}
+
+impl RemoteZoom {
+    /// Connects, names the tenant, and opens this client's logical
+    /// session, with the default retry policy.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: &str) -> RemoteResult<RemoteZoom> {
+        Self::connect_with(addr, tenant, RemoteRetry::default())
+    }
+
+    /// [`Self::connect`] with an explicit retry policy.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        tenant: &str,
+        retry: RemoteRetry,
+    ) -> RemoteResult<RemoteZoom> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| RemoteError::Protocol("address resolved to nothing".to_string()))?;
+        let (conn, session) = Conn::establish(addr, tenant)?;
+        Ok(RemoteZoom {
+            addr,
+            tenant: tenant.to_string(),
+            retry,
+            conn: Some(conn),
+            session,
+            reconnects: 0,
+        })
+    }
+
+    /// Re-establishes the connection with exponential backoff, re-sending
+    /// `Hello` (same tenant) and opening a fresh logical session.
+    fn reconnect(&mut self) -> RemoteResult<()> {
+        self.conn = None;
+        let mut backoff = self.retry.base_backoff;
+        let mut last = "no attempts allowed by the retry policy".to_string();
+        for _ in 0..self.retry.max_reconnects {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(self.retry.max_backoff);
+            match Conn::establish(self.addr, &self.tenant) {
+                Ok((conn, session)) => {
+                    self.conn = Some(conn);
+                    self.session = session;
+                    self.reconnects += 1;
+                    return Ok(());
+                }
+                Err(e) => last = e.to_string(),
+            }
+        }
+        Err(RemoteError::ConnectionLost(format!(
+            "reconnect to {} failed after {} attempts: {last}",
+            self.addr, self.retry.max_reconnects
+        )))
+    }
+
+    /// The request loop: absorbs bounded `Unavailable` refusals for every
+    /// request, and transport failures for idempotent ones.
+    fn call_with(&mut self, req: &Request, loss: OnTransportLoss) -> RemoteResult<Response> {
+        // A previous loud failure may have left us disconnected; nothing
+        // is in flight, so re-establishing here is always safe.
+        if self.conn.is_none() {
+            self.reconnect()?;
+        }
+        let mut unavailable_left = self.retry.max_unavailable_retries;
+        let mut reconnects_left = self.retry.max_reconnects;
+        loop {
+            let outcome = match self.conn.as_mut() {
+                Some(conn) => conn.roundtrip(req),
+                None => Err(RemoteError::ConnectionLost("not connected".to_string())),
+            };
+            match outcome {
+                Ok(Response::Unavailable {
+                    shard,
+                    retry_after_ms,
+                }) => {
+                    if unavailable_left == 0 {
+                        return Err(RemoteError::Unavailable {
+                            shard,
+                            retry_after_ms,
+                        });
+                    }
+                    unavailable_left -= 1;
+                    std::thread::sleep(
+                        Duration::from_millis(retry_after_ms).min(self.retry.max_retry_after),
+                    );
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) if is_transport(&e) => {
+                    // The socket is dead either way; re-establish it so
+                    // at least the *next* call works. Only idempotent
+                    // requests are re-sent on the fresh connection.
+                    if loss == OnTransportLoss::FailLoudly {
+                        let _ = self.reconnect();
+                        return Err(RemoteError::ConnectionLost(e.to_string()));
+                    }
+                    if reconnects_left == 0 {
+                        return Err(RemoteError::ConnectionLost(e.to_string()));
+                    }
+                    reconnects_left -= 1;
+                    self.reconnect()?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One idempotent request (transparently re-sent after reconnect).
+    fn call(&mut self, req: &Request) -> RemoteResult<Response> {
+        self.call_with(req, OnTransportLoss::Resend)
+    }
+
+    /// One non-idempotent request (fails loudly on a broken connection).
+    fn call_mut(&mut self, req: &Request) -> RemoteResult<Response> {
+        self.call_with(req, OnTransportLoss::FailLoudly)
     }
 
     fn call_ok(&mut self, req: &Request) -> RemoteResult<()> {
@@ -123,6 +353,11 @@ impl RemoteZoom {
             Response::Data { ids } => Ok(ids),
             other => Err(unexpected(other)),
         }
+    }
+
+    /// How many times this client re-established its connection.
+    pub fn reconnect_count(&self) -> u64 {
+        self.reconnects
     }
 
     /// This connection's primary logical session id.
@@ -148,8 +383,13 @@ impl RemoteZoom {
     }
 
     /// Closes a logical session opened with [`Self::open_session`].
+    /// (Not re-sent across a reconnect: sessions are connection-scoped,
+    /// so the server released them when the old connection died.)
     pub fn close_session(&mut self, session: u64) -> RemoteResult<()> {
-        self.call_ok(&Request::CloseSession { session })
+        match self.call_mut(&Request::CloseSession { session })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Open logical sessions daemon-wide.
@@ -160,17 +400,19 @@ impl RemoteZoom {
         }
     }
 
-    /// `Zoom::register_workflow` against the daemon.
+    /// `Zoom::register_workflow` against the daemon. Registration
+    /// allocates an id, so it is not re-sent across a reconnect.
     pub fn register_workflow(&mut self, spec: WorkflowSpec) -> RemoteResult<SpecId> {
-        match self.call(&Request::RegisterSpec { spec })? {
+        match self.call_mut(&Request::RegisterSpec { spec })? {
             Response::Spec { id } => Ok(id),
             other => Err(unexpected(other)),
         }
     }
 
-    /// `Zoom::register_view` against the daemon.
+    /// `Zoom::register_view` against the daemon. Registration allocates
+    /// an id, so it is not re-sent across a reconnect.
     pub fn register_view(&mut self, spec: SpecId, view: UserView) -> RemoteResult<ViewId> {
-        match self.call(&Request::RegisterView { spec, view })? {
+        match self.call_mut(&Request::RegisterView { spec, view })? {
             Response::View { id } => Ok(id),
             other => Err(unexpected(other)),
         }
@@ -198,49 +440,60 @@ impl RemoteZoom {
     }
 
     /// `Zoom::load_log` against the daemon; the returned id is global.
+    /// Loading allocates a run id, so it is not re-sent across a
+    /// reconnect — a lost ack could otherwise double-load the run.
     pub fn load_log(&mut self, spec: SpecId, log: &EventLog) -> RemoteResult<RunId> {
         let req = Request::LoadLog {
             session: self.session,
             spec,
             log: log.clone(),
         };
-        match self.call(&req)? {
+        match self.call_mut(&req)? {
             Response::Run { id } => Ok(id),
             other => Err(unexpected(other)),
         }
     }
 
-    /// `Zoom::begin_stream` against the daemon.
+    /// `Zoom::begin_stream` against the daemon. Allocates a run id, so it
+    /// is not re-sent across a reconnect.
     pub fn begin_stream(&mut self, spec: SpecId) -> RemoteResult<RunId> {
         let req = Request::BeginStream {
             session: self.session,
             spec,
         };
-        match self.call(&req)? {
+        match self.call_mut(&req)? {
             Response::Run { id } => Ok(id),
             other => Err(unexpected(other)),
         }
     }
 
-    /// Pushes one event into an open stream.
+    /// Pushes one event into an open stream. Stream appends are the
+    /// canonical non-idempotent request: if the connection dies with one
+    /// in flight the daemon may have committed it, so the client fails
+    /// loudly ([`RemoteError::ConnectionLost`]) rather than re-send and
+    /// risk appending the event twice.
     pub fn stream_push(&mut self, run: RunId, event: &LogEvent) -> RemoteResult<PushOutcome> {
         let req = Request::StreamPush {
             session: self.session,
             run,
             event: event.clone(),
         };
-        match self.call(&req)? {
+        match self.call_mut(&req)? {
             Response::Push { outcome } => Ok(outcome),
             other => Err(unexpected(other)),
         }
     }
 
-    /// Seals an open stream.
+    /// Seals an open stream. Not re-sent across a reconnect (see
+    /// [`Self::stream_push`]).
     pub fn stream_seal(&mut self, run: RunId) -> RemoteResult<()> {
-        self.call_ok(&Request::StreamSeal {
+        match self.call_mut(&Request::StreamSeal {
             session: self.session,
             run,
-        })
+        })? {
+            Response::Ok => Ok(()),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Deep provenance of `data` at `view` over `run`.
@@ -478,7 +731,7 @@ impl RemoteZoom {
     /// token when one is configured; a tokenless daemon honours shutdown
     /// only from loopback peers.
     pub fn shutdown(&mut self, token: Option<&str>) -> RemoteResult<()> {
-        match self.call(&Request::Shutdown {
+        match self.call_mut(&Request::Shutdown {
             token: token.map(str::to_string),
         })? {
             Response::Bye => Ok(()),

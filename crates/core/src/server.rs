@@ -30,18 +30,31 @@
 //!   quota table itself is bounded against tenant-name churn, and
 //!   `Shutdown` is honoured only with the configured admin token (or,
 //!   tokenless, from loopback peers).
+//! * **Storage**: with supervision enabled
+//!   ([`DaemonConfig::supervise_interval`]), a shard whose breaker trips
+//!   is quarantined — out of the write path, still serving reads from
+//!   memory — and repaired online (fsck + journal replay into a fresh
+//!   warehouse, atomically swapped in) while the other shards keep
+//!   serving. Writes routed to it meanwhile answer the typed
+//!   [`Response::Unavailable`] refusal instead of a connection-fatal
+//!   error, and [`Daemon::drain`] gives operators a bounded-deadline
+//!   graceful shutdown that checkpoints every shard still healthy.
 
 use std::io::{BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use zoom_model::UserView;
 use zoom_warehouse::wire::{self, BatchItem, Request, Response, ShardRouter};
 use zoom_warehouse::{codec, fxhash::FxHashMap};
-use zoom_warehouse::{Result as WhResult, TenantQuotaTable, TenantQuotas, ViewId, WarehouseError};
+use zoom_warehouse::{
+    DurableOptions, Result as WhResult, ShardState, StorageIo, TenantQuotaTable, TenantQuotas,
+    ViewId, WarehouseError,
+};
 
 /// How a [`Daemon`] is stood up.
 #[derive(Clone, Debug, Default)]
@@ -58,6 +71,22 @@ pub struct DaemonConfig {
     /// shutdown is honoured only from loopback peers — never from a
     /// remote data connection.
     pub admin_token: Option<String>,
+    /// Durability tuning for durable shards (`None` = defaults). Ignored
+    /// for in-memory daemons.
+    pub durable_options: Option<DurableOptions>,
+    /// Per-shard storage backends, shard order; shards beyond the vec's
+    /// length get [`zoom_warehouse::RealFs`]. This is how the chaos
+    /// harness arms a [`zoom_warehouse::FaultFs`] under one shard of a
+    /// live daemon. Ignored for in-memory daemons.
+    pub shard_ios: Vec<Arc<dyn StorageIo>>,
+    /// When `Some`, a supervisor thread wakes at this interval, refreshes
+    /// every shard's health state from its breaker, quarantines shards
+    /// whose breaker has opened, and repairs quarantined shards online
+    /// (fsck + journal replay into a fresh warehouse, atomically swapped
+    /// in). `None` (the default) leaves shard lifecycle entirely to the
+    /// operator — breaker-open shards keep rendering their usual
+    /// durability errors.
+    pub supervise_interval: Option<Duration>,
 }
 
 impl DaemonConfig {
@@ -87,6 +116,12 @@ struct ServerState {
     /// Logical session id → owning tenant.
     sessions: Mutex<FxHashMap<u64, String>>,
     next_session: AtomicU64,
+    /// Live connection id → socket handle. Handler threads register on
+    /// entry and deregister on exit; drain polls this to know when the
+    /// daemon is idle, and force-closes the stragglers' sockets when the
+    /// deadline expires.
+    conns: Mutex<FxHashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
     stopping: AtomicBool,
     addr: SocketAddr,
     admin_token: Option<String>,
@@ -119,11 +154,28 @@ impl ServerState {
     }
 }
 
+/// What [`Daemon::drain`] accomplished before returning.
+#[derive(Clone, Copy, Debug)]
+pub struct DrainReport {
+    /// Every connection closed on its own before the deadline.
+    pub drained: bool,
+    /// Connections force-closed at the deadline (0 when `drained`).
+    pub conns_aborted: u64,
+    /// Logical sessions still registered when the drain finished —
+    /// their clients never said goodbye.
+    pub sessions_remaining: u64,
+    /// Whether the final checkpoint of the healthy shards succeeded.
+    pub checkpointed: bool,
+    /// Wall-clock duration of the whole drain.
+    pub nanos: u64,
+}
+
 /// A running daemon: the accept loop plus its shared state. Usable both
 /// from the `zoomd` binary and in-process from tests and benches.
 pub struct Daemon {
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
+    supervise: Option<JoinHandle<()>>,
 }
 
 impl Daemon {
@@ -133,8 +185,13 @@ impl Daemon {
         let shards = config.effective_shards();
         let router = match &config.dir {
             None => ShardRouter::in_memory(shards),
-            Some(dir) => ShardRouter::open_durable(dir, shards)
-                .map_err(|e| std::io::Error::other(format!("cannot open shards: {e}")))?,
+            Some(dir) => ShardRouter::open_durable_with(
+                dir,
+                shards,
+                config.durable_options.unwrap_or_default(),
+                &config.shard_ios,
+            )
+            .map_err(|e| std::io::Error::other(format!("cannot open shards: {e}")))?,
         };
         let listener = TcpListener::bind(addr)?;
         let state = Arc::new(ServerState {
@@ -142,6 +199,8 @@ impl Daemon {
             quotas: TenantQuotaTable::new(config.quotas),
             sessions: Mutex::new(FxHashMap::default()),
             next_session: AtomicU64::new(1),
+            conns: Mutex::new(FxHashMap::default()),
+            next_conn: AtomicU64::new(1),
             stopping: AtomicBool::new(false),
             addr: listener.local_addr()?,
             admin_token: config.admin_token,
@@ -161,9 +220,21 @@ impl Daemon {
                         .spawn(move || handle_conn(&conn_state, sock));
                 }
             })?;
+        let supervise = match config.supervise_interval {
+            None => None,
+            Some(interval) => {
+                let sup_state = Arc::clone(&state);
+                Some(
+                    std::thread::Builder::new()
+                        .name("zoomd-supervise".to_string())
+                        .spawn(move || supervise_loop(&sup_state, interval))?,
+                )
+            }
+        };
         Ok(Daemon {
             state,
             accept: Some(accept),
+            supervise,
         })
     }
 
@@ -182,9 +253,37 @@ impl Daemon {
         self.state.session_count()
     }
 
+    /// Whether the accept loop is still running (false once someone sent
+    /// `Shutdown` or called [`Daemon::shutdown`]/[`Daemon::drain`]).
+    pub fn is_running(&self) -> bool {
+        self.accept.as_ref().is_some_and(|h| !h.is_finished())
+    }
+
+    /// Every shard's supervisor lifecycle state, shard order.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.state.router.shard_states()
+    }
+
+    /// Takes one shard out of the write path (see
+    /// [`ShardRouter::quarantine_shard`]).
+    pub fn quarantine_shard(&self, sh: usize) -> bool {
+        self.state.router.quarantine_shard(sh)
+    }
+
+    /// Repairs one shard online (see [`ShardRouter::repair_shard`]).
+    pub fn repair_shard(
+        &self,
+        sh: usize,
+    ) -> Result<zoom_warehouse::RepairOutcome, zoom_warehouse::DurableError> {
+        self.state.router.repair_shard(sh)
+    }
+
     /// Blocks until the daemon stops (a client sent `Shutdown`).
     pub fn join(&mut self) {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.supervise.take() {
             let _ = h.join();
         }
     }
@@ -195,6 +294,113 @@ impl Daemon {
     pub fn shutdown(&mut self) {
         self.state.begin_shutdown();
         self.join();
+    }
+
+    /// Graceful drain: stop accepting, let in-flight connections finish
+    /// on their own, and checkpoint every shard still in the write path.
+    ///
+    /// Connections that outlive `deadline` have their sockets
+    /// force-closed (their handler threads notice the broken stream and
+    /// release their sessions on the way out); the report says how many
+    /// needed that, and whether logical sessions were still open when the
+    /// drain finished — a caller that wants "clean shutdown or a nonzero
+    /// exit" checks `drained && sessions_remaining == 0`.
+    pub fn drain(&mut self, deadline: Duration) -> DrainReport {
+        let started = Instant::now();
+        self.state.begin_shutdown();
+        self.join();
+        let mut drained = true;
+        loop {
+            if lock(&self.state.conns).is_empty() {
+                break;
+            }
+            if started.elapsed() >= deadline {
+                drained = false;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mut conns_aborted = 0;
+        if !drained {
+            for sock in lock(&self.state.conns).values() {
+                let _ = sock.shutdown(Shutdown::Both);
+                conns_aborted += 1;
+            }
+            // Give the evicted handler threads a beat to unwind and
+            // deregister, so the session count below reflects clients
+            // that genuinely never closed their sessions rather than
+            // threads we outran.
+            let grace = Instant::now();
+            while !lock(&self.state.conns).is_empty()
+                && grace.elapsed() < Duration::from_millis(250)
+            {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        let checkpointed = self.state.router.checkpoint().is_ok();
+        DrainReport {
+            drained,
+            conns_aborted,
+            sessions_remaining: self.state.session_count(),
+            checkpointed,
+            nanos: started.elapsed().as_nanos() as u64,
+        }
+    }
+}
+
+/// The supervisor tick: refresh every shard's state from its breaker,
+/// quarantine shards whose breaker has opened, and try to repair whatever
+/// is quarantined. A failed repair (the disk is still sick) leaves the
+/// shard quarantined and backs off exponentially — re-running fsck every
+/// tick at a dead disk would only add noise — while a successful one
+/// re-admits the shard immediately.
+fn supervise_loop(state: &Arc<ServerState>, interval: Duration) {
+    let shard_count = state.router.shard_count();
+    // Per-shard ticks to skip before the next repair attempt.
+    let mut backoff: Vec<u32> = vec![0; shard_count];
+    let mut skip: Vec<u32> = vec![0; shard_count];
+    while !state.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(interval);
+        if state.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let states = state.router.supervise_once();
+        for (sh, st) in states.into_iter().enumerate() {
+            match st {
+                ShardState::Healthy => {
+                    backoff[sh] = 0;
+                    skip[sh] = 0;
+                }
+                ShardState::Degraded => {
+                    // The breaker tripped: pull the shard out of the
+                    // write path and repair it rather than letting every
+                    // write burn a probe against a sick disk.
+                    state.router.quarantine_shard(sh);
+                    try_repair(state, sh, &mut backoff, &mut skip);
+                }
+                ShardState::Quarantined => {
+                    if skip[sh] > 0 {
+                        skip[sh] -= 1;
+                    } else {
+                        try_repair(state, sh, &mut backoff, &mut skip);
+                    }
+                }
+                ShardState::Rebuilding => {}
+            }
+        }
+    }
+}
+
+fn try_repair(state: &Arc<ServerState>, sh: usize, backoff: &mut [u32], skip: &mut [u32]) {
+    match state.router.repair_shard(sh) {
+        Ok(_) => {
+            backoff[sh] = 0;
+            skip[sh] = 0;
+        }
+        Err(_) => {
+            backoff[sh] = (backoff[sh].max(1) * 2).min(64);
+            skip[sh] = backoff[sh];
+        }
     }
 }
 
@@ -222,6 +428,12 @@ fn handle_conn(state: &Arc<ServerState>, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Register with the drain registry; the handle lets drain force-close
+    // this socket if the connection outlives the drain deadline.
+    let conn_id = state.next_conn.fetch_add(1, Ordering::Relaxed);
+    if let Ok(handle) = stream.try_clone() {
+        lock(&state.conns).insert(conn_id, handle);
+    }
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut conn = ConnState {
@@ -273,6 +485,7 @@ fn handle_conn(state: &Arc<ServerState>, stream: TcpStream) {
     for sid in conn.sessions.drain(..) {
         state.drop_session(sid);
     }
+    lock(&state.conns).remove(&conn_id);
 }
 
 fn dispatch(state: &Arc<ServerState>, conn: &mut ConnState, req: &Request) -> Response {
@@ -384,6 +597,19 @@ fn is_admin(state: &ServerState, conn: &ConnState, token: &Option<String>) -> bo
 }
 
 fn err(e: WarehouseError) -> Response {
+    // A supervised shard that is quarantined or mid-rebuild answers a
+    // *typed* refusal, not an error string: the client can back off and
+    // retry without parsing text, and the connection stays healthy.
+    if let WarehouseError::ShardUnavailable {
+        shard,
+        retry_after_ms,
+    } = e
+    {
+        return Response::Unavailable {
+            shard,
+            retry_after_ms,
+        };
+    }
     Response::Error {
         message: e.to_string(),
     }

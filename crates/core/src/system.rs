@@ -10,10 +10,10 @@ use zoom_warehouse::metrics::MetricsRegistry;
 use zoom_warehouse::persist::PersistError;
 use zoom_warehouse::privacy::{Decision, PolicyMetricsSink, PolicyTable, ViewRegistry};
 use zoom_warehouse::{
-    DurableError, DurableOptions, DurableWarehouse, HealthReport, ImmediateAnswer, IndexBackend,
-    MetricsSnapshot, ProvenanceResult, PushOutcome, ReadRegistrar, Result, RunId, SlowQuery,
-    SpecId, StreamError, TraceOp, TraceTarget, ViewId, VisibilityPolicy, Warehouse, WarehouseError,
-    WarehouseStats,
+    DurableError, DurableOptions, DurableWarehouse, FsckReport, HealthReport, ImmediateAnswer,
+    IndexBackend, MetricsSnapshot, ProvenanceResult, PushOutcome, ReadRegistrar, Result, RunId,
+    SlowQuery, SpecId, StreamError, TraceOp, TraceTarget, ViewId, VisibilityPolicy, Warehouse,
+    WarehouseError, WarehouseStats,
 };
 
 /// Maps a durable-store error back into the warehouse error space:
@@ -165,6 +165,27 @@ impl Zoom {
                 Ok(true)
             }
         }
+    }
+
+    /// Rebuilds a durable backing in place: fsck the directory, replay
+    /// manifest + snapshot + journal into a fresh [`DurableWarehouse`]
+    /// (fresh breaker, fresh retry state), prove the disk writable with a
+    /// checkpoint, and swap the fresh store in. This is the single-system
+    /// analog of the shard router's online repair — the recovery path an
+    /// operator reaches for after replacing a sick disk under a live
+    /// `Zoom`. Returns `None` (and does nothing) for in-memory systems;
+    /// on any failure the existing backing is left untouched.
+    pub fn repair(&mut self) -> std::result::Result<Option<FsckReport>, DurableError> {
+        let Backing::Durable(dw) = &self.backing else {
+            return Ok(None);
+        };
+        let (io, dir, options) = (dw.io(), dw.dir().to_path_buf(), dw.options());
+        let report = zoom_warehouse::durable::fsck_with(&*io, &dir)?;
+        let mut fresh = DurableWarehouse::open_with(io, &dir, options)?;
+        // Recovery alone is read-only; only a write proves the disk back.
+        fresh.checkpoint()?;
+        self.backing = Backing::Durable(Box::new(fresh));
+        Ok(Some(report))
     }
 
     /// Warehouse statistics; durable systems fill in the journal and

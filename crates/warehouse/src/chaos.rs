@@ -1,0 +1,272 @@
+//! Deterministic chaos scheduling for the fault-injecting storage layer.
+//!
+//! A [`FaultSchedule`] is a sorted list of *fault events*, each saying
+//! "when the driver's operation counter reaches `at_op`, do `action` to
+//! shard `shard`'s storage". Schedules are either written out explicitly
+//! (the targeted tests) or *generated* from a seed — same seed, same
+//! schedule, bit for bit — so a chaos run that finds a bug is replayable
+//! from nothing but its seed.
+//!
+//! The [`ChaosDriver`] binds a schedule to live [`FaultFs`] handles (the
+//! same `Arc`s a daemon's shards were opened over) and is ticked once per
+//! workload operation by whatever loop is replaying traffic: faults
+//! arm and heal at deterministic points in the *workload*, not at
+//! wall-clock times, which is what makes the whole run reproducible
+//! under arbitrary scheduler jitter.
+
+use crate::io::FaultFs;
+use std::sync::Arc;
+
+/// What a fault event does to its shard's storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Arm `count` write failures (`transient` picks retryable
+    /// `Interrupted` errors over permanent ones). Read-side operations
+    /// are never failed: the fault model is a disk that stops accepting
+    /// writes, not one that loses committed state.
+    Arm {
+        /// Write operations to fail before the storage heals on its own.
+        count: u64,
+        /// Inject retryable errors instead of permanent ones.
+        transient: bool,
+    },
+    /// Clear every injected fault on the shard's storage.
+    Heal,
+}
+
+/// One scheduled fault: at operation `at_op`, apply `action` to `shard`.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    /// The driver-op count at which the event fires.
+    pub at_op: u64,
+    /// The shard whose storage the action applies to.
+    pub shard: usize,
+    /// What happens.
+    pub action: FaultAction,
+}
+
+/// SplitMix64: tiny, seedable, and good enough to scatter fault windows.
+/// Self-contained so schedules are reproducible independent of any RNG
+/// crate's version or platform behavior.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A deterministic, sorted fault schedule.
+#[derive(Clone, Debug, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// A schedule from explicit events (sorted by `at_op`, stable for
+    /// ties so same-op events fire in the order given).
+    pub fn from_events(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_op);
+        FaultSchedule { events }
+    }
+
+    /// Generates `faults` fault windows over a workload of `total_ops`
+    /// operations against `shards` shards. Each window picks a shard, an
+    /// onset, and a width, arms a sticky write-failure burst at the
+    /// onset, and heals at the window's end. Identical arguments produce
+    /// the identical schedule.
+    pub fn generate(seed: u64, shards: usize, total_ops: u64, faults: usize) -> Self {
+        assert!(shards > 0, "a schedule needs at least one shard");
+        let mut rng = SplitMix64::new(seed);
+        let mut events = Vec::with_capacity(faults * 2);
+        let span = total_ops.max(2);
+        for _ in 0..faults {
+            let shard = rng.below(shards as u64) as usize;
+            let at_op = rng.below(span - 1);
+            let width = 1 + rng.below((span / 4).max(1));
+            let count = 1 + rng.below(16);
+            events.push(FaultEvent {
+                at_op,
+                shard,
+                action: FaultAction::Arm {
+                    count,
+                    transient: false,
+                },
+            });
+            events.push(FaultEvent {
+                at_op: (at_op + width).min(span - 1),
+                shard,
+                action: FaultAction::Heal,
+            });
+        }
+        Self::from_events(events)
+    }
+
+    /// The events, sorted by firing op.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Every shard the schedule ever touches, ascending and deduplicated.
+    pub fn shards_touched(&self) -> Vec<usize> {
+        let mut shards: Vec<usize> = self.events.iter().map(|e| e.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+/// Binds a [`FaultSchedule`] to live per-shard [`FaultFs`] handles and
+/// fires events as the workload's operation counter advances.
+pub struct ChaosDriver {
+    schedule: FaultSchedule,
+    ios: Vec<Arc<FaultFs>>,
+    cursor: usize,
+    op: u64,
+}
+
+impl ChaosDriver {
+    /// A driver over `ios` (indexed by the schedule's shard numbers;
+    /// events addressing shards beyond the slice are ignored, so one
+    /// schedule can drive a partially fault-wrapped deployment).
+    pub fn new(schedule: FaultSchedule, ios: Vec<Arc<FaultFs>>) -> Self {
+        ChaosDriver {
+            schedule,
+            ios,
+            cursor: 0,
+            op: 0,
+        }
+    }
+
+    /// Advances the operation counter by one and fires every event due at
+    /// the *previous* count (so an event with `at_op == 0` fires on the
+    /// first tick, before the workload's first operation completes its
+    /// follow-up). Returns the events fired, in order.
+    pub fn tick(&mut self) -> Vec<FaultEvent> {
+        let mut fired = Vec::new();
+        while let Some(ev) = self.schedule.events.get(self.cursor) {
+            if ev.at_op > self.op {
+                break;
+            }
+            self.apply(ev);
+            fired.push(*ev);
+            self.cursor += 1;
+        }
+        self.op += 1;
+        fired
+    }
+
+    fn apply(&self, ev: &FaultEvent) {
+        let Some(io) = self.ios.get(ev.shard) else {
+            return;
+        };
+        match ev.action {
+            FaultAction::Arm { count, transient } => io.arm_failures(count, transient),
+            FaultAction::Heal => io.heal(),
+        }
+    }
+
+    /// Operations ticked so far.
+    pub fn op(&self) -> u64 {
+        self.op
+    }
+
+    /// Whether every scheduled event has fired.
+    pub fn finished(&self) -> bool {
+        self.cursor >= self.schedule.events.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let a = FaultSchedule::generate(42, 4, 1000, 8);
+        let b = FaultSchedule::generate(42, 4, 1000, 8);
+        assert_eq!(a.events().len(), b.events().len());
+        for (x, y) in a.events().iter().zip(b.events()) {
+            assert_eq!(x.at_op, y.at_op);
+            assert_eq!(x.shard, y.shard);
+            assert_eq!(x.action, y.action);
+        }
+        let c = FaultSchedule::generate(43, 4, 1000, 8);
+        let differs = a
+            .events()
+            .iter()
+            .zip(c.events())
+            .any(|(x, y)| x.at_op != y.at_op || x.shard != y.shard || x.action != y.action);
+        assert!(differs, "different seeds should scatter differently");
+    }
+
+    #[test]
+    fn schedule_is_sorted_and_bounded() {
+        let s = FaultSchedule::generate(7, 3, 500, 10);
+        assert_eq!(s.events().len(), 20);
+        let mut prev = 0;
+        for ev in s.events() {
+            assert!(ev.at_op >= prev, "events must be sorted");
+            assert!(ev.at_op < 500);
+            assert!(ev.shard < 3);
+            prev = ev.at_op;
+        }
+        for sh in s.shards_touched() {
+            assert!(sh < 3);
+        }
+    }
+
+    #[test]
+    fn driver_fires_events_at_their_ops() {
+        let schedule = FaultSchedule::from_events(vec![
+            FaultEvent {
+                at_op: 0,
+                shard: 0,
+                action: FaultAction::Arm {
+                    count: 3,
+                    transient: false,
+                },
+            },
+            FaultEvent {
+                at_op: 2,
+                shard: 0,
+                action: FaultAction::Heal,
+            },
+        ]);
+        let io = Arc::new(FaultFs::counting());
+        let mut driver = ChaosDriver::new(schedule, vec![io.clone()]);
+
+        let fired = driver.tick();
+        assert_eq!(fired.len(), 1, "op-0 event fires on the first tick");
+        let path = std::env::temp_dir().join(format!("zoom-chaos-mod-{}", std::process::id()));
+        assert!(
+            crate::io::StorageIo::write(&*io, &path, b"x").is_err(),
+            "armed fault should fail the write"
+        );
+
+        assert!(driver.tick().is_empty(), "nothing due at op 1");
+        let fired = driver.tick();
+        assert_eq!(fired.len(), 1, "heal fires at op 2");
+        assert!(crate::io::StorageIo::write(&*io, &path, b"x").is_ok());
+        assert!(driver.finished());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -649,6 +649,18 @@ impl DurableWarehouse {
         &self.dir
     }
 
+    /// The storage backend this store opened on. The supervisor's online
+    /// repair re-opens a fresh store on the *same* backend so armed fault
+    /// schedules (tests) and real disks (production) behave identically.
+    pub fn io(&self) -> Arc<dyn StorageIo> {
+        Arc::clone(&self.io)
+    }
+
+    /// The options this store opened with (repair reopens with the same).
+    pub fn options(&self) -> DurableOptions {
+        self.options
+    }
+
     /// Current durability epoch.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -695,6 +707,15 @@ impl DurableWarehouse {
             io_retries: registry.io_retries(),
             degraded_writes_rejected: registry.degraded_writes_rejected(),
             durable: true,
+            state: if self.breaker.is_open() {
+                crate::resilience::ShardState::Degraded
+            } else {
+                crate::resilience::ShardState::Healthy
+            },
+            epoch: self.epoch,
+            quarantines: registry.shard_quarantines(),
+            repairs: registry.shard_repairs(),
+            last_repair_nanos: 0,
         }
     }
 }

@@ -50,6 +50,7 @@
 //! * [`fxhash`] — fast hashing for the integer-keyed indexes.
 
 pub mod cache;
+pub mod chaos;
 pub mod codec;
 pub mod durable;
 pub mod fxhash;
@@ -70,6 +71,7 @@ pub mod trace;
 pub mod wire;
 
 pub use cache::ViewRunCache;
+pub use chaos::{ChaosDriver, FaultAction, FaultEvent, FaultSchedule, SplitMix64};
 pub use durable::{fsck, DurableError, DurableOptions, DurableWarehouse, FsckReport};
 pub use index::{IndexBuildError, ProvenanceIndex, ProvenanceIndexCache, RunKeyedCache};
 pub use io::{FaultFs, RealFs, StorageIo};
@@ -94,7 +96,7 @@ pub use query::{
 };
 pub use resilience::{
     AdmissionControl, AdmissionPermit, BreakerState, CancelToken, CircuitBreaker, Deadline,
-    HealthReport, Interrupt, RetryPolicy,
+    HealthReport, Interrupt, RetryPolicy, ShardState,
 };
 pub use schema::{RunId, SpecId, ViewId, WarehouseStats};
 pub use store::{
@@ -106,6 +108,6 @@ pub use trace::{
     TraceTarget,
 };
 pub use wire::{
-    BatchItem, Request, Response, ShardBacking, ShardPolicySink, ShardRouter, TenantQuotaTable,
-    TenantQuotas, WireError, MAX_FRAME_BYTES,
+    BatchItem, RepairOutcome, Request, Response, ShardBacking, ShardPolicySink, ShardRouter,
+    TenantQuotaTable, TenantQuotas, WireError, DEFAULT_RETRY_AFTER_MS, MAX_FRAME_BYTES,
 };

@@ -354,6 +354,15 @@ pub struct MetricsRegistry {
     breaker_recoveries: AtomicU64,
     /// Mutations rejected while the store was degraded (breaker open).
     degraded_writes_rejected: AtomicU64,
+    /// Times the supervisor quarantined this shard (out of the write path).
+    shard_quarantines: AtomicU64,
+    /// Online repairs completed (fsck + reopen + atomic swap).
+    shard_repairs: AtomicU64,
+    /// Total nanoseconds spent in completed online repairs.
+    repair_nanos: AtomicU64,
+    /// Mutations refused with the typed `Unavailable` answer while
+    /// quarantined or rebuilding.
+    unavailable_rejected: AtomicU64,
     /// Streaming ingestions opened.
     streams_started: AtomicU64,
     /// Stream events accepted and applied.
@@ -409,6 +418,10 @@ impl Default for MetricsRegistry {
             breaker_trips: AtomicU64::new(0),
             breaker_recoveries: AtomicU64::new(0),
             degraded_writes_rejected: AtomicU64::new(0),
+            shard_quarantines: AtomicU64::new(0),
+            shard_repairs: AtomicU64::new(0),
+            repair_nanos: AtomicU64::new(0),
+            unavailable_rejected: AtomicU64::new(0),
             streams_started: AtomicU64::new(0),
             stream_events: AtomicU64::new(0),
             stream_events_rejected: AtomicU64::new(0),
@@ -553,6 +566,32 @@ impl MetricsRegistry {
     pub fn record_degraded_write_rejected(&self) {
         self.degraded_writes_rejected
             .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the supervisor quarantining this shard.
+    pub fn record_quarantine(&self) {
+        self.shard_quarantines.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Quarantines so far.
+    pub fn shard_quarantines(&self) -> u64 {
+        self.shard_quarantines.load(Ordering::Relaxed)
+    }
+
+    /// Records one completed online repair and its duration.
+    pub fn record_repair(&self, nanos: u64) {
+        self.shard_repairs.fetch_add(1, Ordering::Relaxed);
+        self.repair_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Completed online repairs so far.
+    pub fn shard_repairs(&self) -> u64 {
+        self.shard_repairs.load(Ordering::Relaxed)
+    }
+
+    /// Records a mutation refused with the typed `Unavailable` answer.
+    pub fn record_unavailable_rejected(&self) {
+        self.unavailable_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Mutations rejected while degraded so far.
@@ -710,6 +749,10 @@ impl MetricsRegistry {
                 breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
                 breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
                 degraded_writes_rejected: self.degraded_writes_rejected.load(Ordering::Relaxed),
+                quarantines: self.shard_quarantines.load(Ordering::Relaxed),
+                repairs: self.shard_repairs.load(Ordering::Relaxed),
+                repair_nanos: self.repair_nanos.load(Ordering::Relaxed),
+                unavailable_rejected: self.unavailable_rejected.load(Ordering::Relaxed),
             },
             stream: StreamMetrics {
                 streams_started: self.streams_started.load(Ordering::Relaxed),
@@ -840,6 +883,14 @@ pub struct ResilienceMetrics {
     pub breaker_recoveries: u64,
     /// Mutations rejected while degraded.
     pub degraded_writes_rejected: u64,
+    /// Supervisor quarantines of this shard.
+    pub quarantines: u64,
+    /// Online repairs completed (fsck + reopen + atomic swap).
+    pub repairs: u64,
+    /// Total nanoseconds spent in completed online repairs.
+    pub repair_nanos: u64,
+    /// Mutations refused with the typed `Unavailable` answer.
+    pub unavailable_rejected: u64,
 }
 
 /// Streaming-ingestion counters: how many streams opened/sealed, how the
@@ -1014,7 +1065,9 @@ impl MetricsSnapshot {
         let resilience = format!(
             "{{\"attempts\":{},\"admitted\":{},\"shed\":{},\"deadline_exceeded\":{},\
              \"cancelled\":{},\"io_retries\":{},\"breaker_trips\":{},\
-             \"breaker_recoveries\":{},\"degraded_writes_rejected\":{}}}",
+             \"breaker_recoveries\":{},\"degraded_writes_rejected\":{},\
+             \"quarantines\":{},\"repairs\":{},\"repair_nanos\":{},\
+             \"unavailable_rejected\":{}}}",
             r.attempts,
             r.admitted,
             r.shed,
@@ -1023,7 +1076,11 @@ impl MetricsSnapshot {
             r.io_retries,
             r.breaker_trips,
             r.breaker_recoveries,
-            r.degraded_writes_rejected
+            r.degraded_writes_rejected,
+            r.quarantines,
+            r.repairs,
+            r.repair_nanos,
+            r.unavailable_rejected
         );
         let st = &self.stream;
         let stream = format!(
@@ -1298,6 +1355,10 @@ mod tests {
             "\"shed\"",
             "\"io_retries\"",
             "\"breaker_trips\"",
+            "\"quarantines\"",
+            "\"repairs\"",
+            "\"repair_nanos\"",
+            "\"unavailable_rejected\"",
             "\"degraded\"",
             "\"stream\"",
             "\"streams_started\"",

@@ -469,6 +469,47 @@ impl CircuitBreaker {
 // Health surface
 // ---------------------------------------------------------------------------
 
+/// Lifecycle state of one supervised shard (DESIGN.md §17).
+///
+/// The supervisor drives each shard around the cycle
+/// `Healthy → Degraded → Quarantined → Rebuilding → Healthy`: the write
+/// breaker tripping marks the shard `Degraded`; quarantine takes it out of
+/// the write path entirely (mutations answer a typed `Unavailable` instead
+/// of a breaker rejection) while reads keep serving from memory; rebuild
+/// re-opens a fresh store from disk and atomically swaps it back in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ShardState {
+    /// Writes flow normally.
+    Healthy,
+    /// The write breaker is open: mutations fail fast, reads serve.
+    Degraded,
+    /// Out of the write path awaiting repair; reads serve from memory.
+    Quarantined,
+    /// An online repair is re-opening the shard from disk; the old
+    /// in-memory image keeps answering reads until the atomic swap.
+    Rebuilding,
+}
+
+impl ShardState {
+    /// Whether the write path may reach the shard at all. `Degraded`
+    /// still admits writes so the breaker (and its probe) stays the
+    /// authority; quarantine and rebuild refuse before touching the store.
+    pub fn accepts_writes(&self) -> bool {
+        matches!(self, ShardState::Healthy | ShardState::Degraded)
+    }
+}
+
+impl fmt::Display for ShardState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardState::Healthy => write!(f, "healthy"),
+            ShardState::Degraded => write!(f, "degraded"),
+            ShardState::Quarantined => write!(f, "quarantined"),
+            ShardState::Rebuilding => write!(f, "rebuilding"),
+        }
+    }
+}
+
 /// A point-in-time health summary of a store, the payload behind
 /// `Zoom::health()` and `zoomctl health --json`.
 #[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -489,6 +530,18 @@ pub struct HealthReport {
     pub degraded_writes_rejected: u64,
     /// Whether the store is durably backed at all.
     pub durable: bool,
+    /// Supervisor lifecycle state; stores outside a supervised router
+    /// report `Healthy` (or `Degraded` when the breaker is open).
+    pub state: ShardState,
+    /// Durability epoch (0 for in-memory stores).
+    pub epoch: u64,
+    /// Times the supervisor quarantined this shard.
+    pub quarantines: u64,
+    /// Online repairs completed (fsck + reopen + swap).
+    pub repairs: u64,
+    /// Duration of the most recent completed repair, nanoseconds
+    /// (0 when never repaired).
+    pub last_repair_nanos: u64,
 }
 
 impl HealthReport {
@@ -503,18 +556,25 @@ impl HealthReport {
             io_retries: 0,
             degraded_writes_rejected: 0,
             durable: false,
+            state: ShardState::Healthy,
+            epoch: 0,
+            quarantines: 0,
+            repairs: 0,
+            last_repair_nanos: 0,
         }
     }
 
     /// Renders the report as a JSON object (the workspace carries no JSON
-    /// dependency by design; keys documented in DESIGN.md §12).
+    /// dependency by design; keys documented in DESIGN.md §12/§17).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"status\":\"{}\",\"writable\":{},\"durable\":{},",
                 "\"breaker\":\"{}\",\"consecutive_failures\":{},",
                 "\"breaker_trips\":{},\"breaker_recoveries\":{},",
-                "\"io_retries\":{},\"degraded_writes_rejected\":{}}}"
+                "\"io_retries\":{},\"degraded_writes_rejected\":{},",
+                "\"state\":\"{}\",\"epoch\":{},\"quarantines\":{},",
+                "\"repairs\":{},\"last_repair_nanos\":{}}}"
             ),
             if self.writable { "ok" } else { "degraded" },
             self.writable,
@@ -525,6 +585,11 @@ impl HealthReport {
             self.breaker_recoveries,
             self.io_retries,
             self.degraded_writes_rejected,
+            self.state,
+            self.epoch,
+            self.quarantines,
+            self.repairs,
+            self.last_repair_nanos,
         )
     }
 }

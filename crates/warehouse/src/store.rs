@@ -89,6 +89,17 @@ pub enum WarehouseError {
     /// a panic in one query must not abort the process (or, under
     /// `zoomd`, one tenant's connection thread).
     WorkerPanicked,
+    /// The shard that owns the addressed state is quarantined or mid-
+    /// rebuild: it was taken out of the write path by the supervisor and
+    /// will return once repaired. Retry after the hinted delay; other
+    /// shards are unaffected. Over the wire this renders as the typed
+    /// `Unavailable` response instead of an error string.
+    ShardUnavailable {
+        /// The supervised shard that refused the operation.
+        shard: u32,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// A visibility policy cannot be satisfied for this workflow: no user
     /// view conceals the protected modules (e.g. the workflow has a single
     /// module and it is hidden — even the black-box view is a singleton
@@ -141,6 +152,15 @@ impl fmt::Display for WarehouseError {
             WarehouseError::Stream(e) => write!(f, "stream error: {e}"),
             WarehouseError::WorkerPanicked => {
                 write!(f, "batch query worker panicked; slot abandoned")
+            }
+            WarehouseError::ShardUnavailable {
+                shard,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "shard {shard} unavailable (under repair); retry after {retry_after_ms} ms"
+                )
             }
             WarehouseError::PolicyUnsatisfiable { spec, reason } => {
                 write!(

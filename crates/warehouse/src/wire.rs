@@ -34,11 +34,12 @@
 //! before a new tenant is refused.
 
 use crate::codec::{self, CodecError};
-use crate::durable::{DurableError, DurableWarehouse};
+use crate::durable::{fsck_with, DurableError, DurableOptions, DurableWarehouse, FsckReport};
+use crate::io::{RealFs, StorageIo};
 use crate::journal::crc32;
 use crate::metrics::{MetricsSnapshot, SlowQuery};
 use crate::query::ProvenanceResult;
-use crate::resilience::{AdmissionControl, AdmissionPermit, HealthReport};
+use crate::resilience::{AdmissionControl, AdmissionPermit, HealthReport, ShardState};
 use crate::schema::{RunId, SpecId, ViewId, WarehouseStats};
 use crate::store::{ImmediateAnswer, Result as WhResult, Warehouse, WarehouseError};
 use crate::stream::PushOutcome;
@@ -50,6 +51,7 @@ use std::io::{Read, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock};
+use std::time::Instant;
 use zoom_model::{DataId, EventLog, LogEvent, StepId, UserView, WorkflowSpec};
 
 /// Hard cap on one wire/trace frame payload, enforced on write (no silent
@@ -59,6 +61,10 @@ pub const MAX_FRAME_BYTES: u32 = 64 * 1024 * 1024;
 /// Hard cap on a tenant name (`Hello`); names are attacker-chosen, so
 /// anything that stores one must bound it first.
 pub const MAX_TENANT_NAME_BYTES: usize = 256;
+
+/// Backoff hint carried by the typed [`Response::Unavailable`] answer a
+/// quarantined or rebuilding shard returns instead of serving a mutation.
+pub const DEFAULT_RETRY_AFTER_MS: u64 = 100;
 
 /// Errors from the framed wire layer.
 #[derive(Debug)]
@@ -491,6 +497,17 @@ pub enum Response {
         /// Display rendering of the error.
         message: String,
     },
+    /// The addressed shard is quarantined or mid-rebuild: the supervisor
+    /// took it out of the write path and it will return once repaired.
+    /// Unlike [`Response::Error`] this is a *typed* refusal — the client
+    /// can retry after the hinted delay without parsing error text, and
+    /// the connection stays healthy (other shards keep answering on it).
+    Unavailable {
+        /// The supervised shard that refused the operation.
+        shard: u32,
+        /// Suggested client backoff before retrying, milliseconds.
+        retry_after_ms: u64,
+    },
     /// Reply to [`Request::Shutdown`]; the daemon exits after sending it.
     Bye,
     /// Reply to [`Request::PolicyGet`].
@@ -760,11 +777,51 @@ impl ShardBacking {
     }
 }
 
+/// Supervisor bookkeeping for one shard (DESIGN.md §17). Guarded by its
+/// own mutex so state checks never contend with the (long-held) backing
+/// lock; the supervision lock is a leaf — it is only ever taken last and
+/// never held across a backing-lock acquisition.
+#[derive(Debug)]
+struct Supervision {
+    state: ShardState,
+    quarantines: u64,
+    repairs: u64,
+    failed_repairs: u64,
+    last_repair_nanos: u64,
+}
+
+impl Supervision {
+    fn new() -> Self {
+        Supervision {
+            state: ShardState::Healthy,
+            quarantines: 0,
+            repairs: 0,
+            failed_repairs: 0,
+            last_repair_nanos: 0,
+        }
+    }
+}
+
+/// The result of one online shard repair (fsck + reopen + atomic swap).
+#[derive(Debug)]
+pub struct RepairOutcome {
+    /// The repaired shard.
+    pub shard: usize,
+    /// What fsck found on disk before the reopen; `None` for in-memory
+    /// shards (nothing on disk to verify — the repair only clears the
+    /// supervisor state).
+    pub fsck: Option<FsckReport>,
+    /// Wall-clock nanoseconds the repair took.
+    pub nanos: u64,
+}
+
 /// Hash-partitions runs across N independent shards while keeping the
 /// spec/view/run id sequences identical to a single warehouse's.
 #[derive(Debug)]
 pub struct ShardRouter {
     shards: Vec<Mutex<ShardBacking>>,
+    /// Per-shard supervisor state, same order as `shards` (DESIGN.md §17).
+    supervision: Vec<Mutex<Supervision>>,
     /// Serializes spec/view broadcasts across shards. Registration locks
     /// shards one at a time; without an outer lock, two concurrent
     /// registrations could interleave (shard 0 sees A then B, shard 1
@@ -797,6 +854,9 @@ impl ShardRouter {
             shards: (0..shards)
                 .map(|_| Mutex::new(ShardBacking::Memory(Box::new(Warehouse::new()))))
                 .collect(),
+            supervision: (0..shards)
+                .map(|_| Mutex::new(Supervision::new()))
+                .collect(),
             registration: Mutex::new(()),
             alloc: Mutex::new(0),
             policies: crate::privacy::PolicyTable::new(),
@@ -815,6 +875,22 @@ impl ShardRouter {
     /// shards and remap every surviving global id — that is refused with
     /// a [`DurableError::BadManifest`] instead.
     pub fn open_durable(dir: &Path, shards: usize) -> Result<Self, DurableError> {
+        Self::open_durable_with(dir, shards, DurableOptions::default(), &[])
+    }
+
+    /// [`ShardRouter::open_durable`] with explicit per-shard storage
+    /// backends and options. `ios[i]` backs shard `i`; shards past the
+    /// slice use the real filesystem. Injecting a
+    /// [`FaultFs`](crate::io::FaultFs) per shard is what lets the chaos
+    /// harness arm deterministic fault schedules against a live daemon;
+    /// the supervisor's repair reopens a shard on the *same* backend, so
+    /// recovery is exercised under the identical fault model.
+    pub fn open_durable_with(
+        dir: &Path,
+        shards: usize,
+        options: DurableOptions,
+        ios: &[Arc<dyn StorageIo>],
+    ) -> Result<Self, DurableError> {
         let n = shards.max(1);
         std::fs::create_dir_all(dir)?;
         let manifest = dir.join(SHARD_MANIFEST);
@@ -855,12 +931,17 @@ impl ShardRouter {
         for i in 0..n {
             let sub = dir.join(format!("shard-{i}"));
             std::fs::create_dir_all(&sub)?;
+            let io: Arc<dyn StorageIo> = match ios.get(i) {
+                Some(io) => Arc::clone(io),
+                None => Arc::new(RealFs),
+            };
             backings.push(Mutex::new(ShardBacking::Durable(Box::new(
-                DurableWarehouse::open(&sub)?,
+                DurableWarehouse::open_with(io, &sub, options)?,
             ))));
         }
         let router = ShardRouter {
             shards: backings,
+            supervision: (0..n).map(|_| Mutex::new(Supervision::new())).collect(),
             registration: Mutex::new(()),
             alloc: Mutex::new(0),
             policies: crate::privacy::PolicyTable::new(),
@@ -936,6 +1017,46 @@ impl ShardRouter {
         f(&guard, local)
     }
 
+    /// Refuses a mutation when the shard is out of the write path
+    /// (`Quarantined`/`Rebuilding`). Called *while holding* the shard's
+    /// backing lock: a writer that passed this check cannot interleave
+    /// with a repair's disk scan, because the repair takes the backing
+    /// lock as a barrier after changing the state and before reading the
+    /// disk. `Degraded` still passes — the breaker stays the authority
+    /// for fail-fast rejections so error renderings match PR 5's.
+    fn write_allowed(&self, sh: usize, backing: &ShardBacking) -> WhResult<()> {
+        let state = lock(&self.supervision[sh]).state;
+        if state.accepts_writes() {
+            Ok(())
+        } else {
+            backing
+                .warehouse()
+                .metrics_registry()
+                .record_unavailable_rejected();
+            Err(WarehouseError::ShardUnavailable {
+                shard: sh as u32,
+                retry_after_ms: DEFAULT_RETRY_AFTER_MS,
+            })
+        }
+    }
+
+    /// Folds a mutation's outcome into the supervisor state: a durable
+    /// shard whose breaker is open is marked `Degraded`, and one whose
+    /// breaker closed again (checkpoint probe) returns to `Healthy`.
+    /// Quarantined/rebuilding shards are left to the repair path.
+    fn note_write_outcome(&self, sh: usize, backing: &ShardBacking) {
+        let degraded = match backing {
+            ShardBacking::Memory(_) => false,
+            ShardBacking::Durable(dw) => dw.degraded(),
+        };
+        let mut sup = lock(&self.supervision[sh]);
+        match (sup.state, degraded) {
+            (ShardState::Healthy, true) => sup.state = ShardState::Degraded,
+            (ShardState::Degraded, false) => sup.state = ShardState::Healthy,
+            _ => {}
+        }
+    }
+
     fn with_run_mut<R>(
         &self,
         run: RunId,
@@ -943,7 +1064,10 @@ impl ShardRouter {
     ) -> WhResult<R> {
         let (sh, local) = self.resolve(run)?;
         let mut guard = lock(&self.shards[sh]);
-        f(&mut guard, local)
+        self.write_allowed(sh, &guard)?;
+        let out = f(&mut guard, local);
+        self.note_write_outcome(sh, &guard);
+        out
     }
 
     fn load_into_shard(
@@ -955,7 +1079,10 @@ impl ShardRouter {
         let sh = self.shard_of(global);
         let local = {
             let mut guard = lock(&self.shards[sh]);
-            load(&mut guard)?
+            self.write_allowed(sh, &guard)?;
+            let out = load(&mut guard);
+            self.note_write_outcome(sh, &guard);
+            out?
         };
         self.runs
             .write()
@@ -971,6 +1098,7 @@ impl ShardRouter {
     /// router's back) is surfaced as corruption.
     pub fn register_spec(&self, spec: &WorkflowSpec) -> WhResult<SpecId> {
         let _reg = lock(&self.registration);
+        self.broadcast_allowed()?;
         let mut agreed: Option<SpecId> = None;
         for (i, shard) in self.shards.iter().enumerate() {
             let id = lock(shard).register_spec(spec.clone())?;
@@ -1010,9 +1138,25 @@ impl ShardRouter {
         self.broadcast_view(spec, view)
     }
 
+    /// A broadcast mutates every shard, so it is refused up front while
+    /// any shard is out of the write path — a partial broadcast would
+    /// commit id assignments the quarantined shard never journaled,
+    /// leaving the tables divergent after its repair. Callers hold the
+    /// registration lock, so no new quarantine can slip between this
+    /// check and the broadcast except via a breaker trip, which the
+    /// per-shard append failure surfaces anyway.
+    fn broadcast_allowed(&self) -> WhResult<()> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let guard = lock(shard);
+            self.write_allowed(i, &guard)?;
+        }
+        Ok(())
+    }
+
     /// The broadcast loop shared by the `register_view*` entry points;
     /// callers must hold the registration lock.
     fn broadcast_view(&self, spec: SpecId, view: &UserView) -> WhResult<ViewId> {
+        self.broadcast_allowed()?;
         let mut agreed: Option<ViewId> = None;
         for (i, shard) in self.shards.iter().enumerate() {
             let id = lock(shard).register_view(spec, view.clone())?;
@@ -1223,9 +1367,178 @@ impl ShardRouter {
             .collect()
     }
 
-    /// Per-shard health, shard order.
+    /// Per-shard health, shard order, with the supervisor's lifecycle
+    /// state overlaid: a quarantined or rebuilding shard reports itself
+    /// unwritable regardless of what its (possibly freshly-swapped)
+    /// breaker says, and the quarantine/repair counters survive the
+    /// repair's registry swap because the supervisor owns them.
     pub fn health(&self) -> Vec<HealthReport> {
-        self.shards.iter().map(|s| lock(s).health()).collect()
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut h = lock(s).health();
+                let sup = lock(&self.supervision[i]);
+                if !matches!(sup.state, ShardState::Healthy) {
+                    h.state = sup.state;
+                }
+                h.writable = h.writable && sup.state.accepts_writes();
+                h.quarantines = sup.quarantines;
+                h.repairs = sup.repairs;
+                h.last_repair_nanos = sup.last_repair_nanos;
+                h
+            })
+            .collect()
+    }
+
+    /// Every shard's supervisor lifecycle state, shard order.
+    pub fn shard_states(&self) -> Vec<ShardState> {
+        self.supervision.iter().map(|s| lock(s).state).collect()
+    }
+
+    /// One shard's supervisor lifecycle state.
+    pub fn shard_state(&self, sh: usize) -> ShardState {
+        lock(&self.supervision[sh]).state
+    }
+
+    /// Refreshes every shard's `Healthy`/`Degraded` state from its
+    /// breaker (quarantined/rebuilding shards are left alone) and returns
+    /// the states. The daemon's supervisor thread calls this each tick so
+    /// breaker trips surface even when no mutation has touched the shard
+    /// since.
+    pub fn supervise_once(&self) -> Vec<ShardState> {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let guard = lock(shard);
+            self.note_write_outcome(i, &guard);
+        }
+        self.shard_states()
+    }
+
+    /// Takes a shard out of the write path: `Healthy`/`Degraded` →
+    /// `Quarantined`. Mutations routed to it answer the typed
+    /// [`Response::Unavailable`] refusal; reads keep serving from memory.
+    /// Returns `false` when the shard is already quarantined or mid-
+    /// rebuild (or out of range).
+    pub fn quarantine_shard(&self, sh: usize) -> bool {
+        let Some(sup) = self.supervision.get(sh) else {
+            return false;
+        };
+        let mut sup = lock(sup);
+        if !sup.state.accepts_writes() {
+            return false;
+        }
+        sup.state = ShardState::Quarantined;
+        sup.quarantines += 1;
+        drop(sup);
+        lock(&self.shards[sh])
+            .warehouse()
+            .metrics_registry()
+            .record_quarantine();
+        true
+    }
+
+    /// Repairs a shard online while the other shards keep serving:
+    ///
+    /// 1. quarantine it if it is not already (`Rebuilding` is refused —
+    ///    one repair at a time), then mark it `Rebuilding`;
+    /// 2. take the backing lock once as a barrier, so any mutation that
+    ///    passed its state check before step 1 has finished and the disk
+    ///    image is stable — no later writer can start against the old
+    ///    backing;
+    /// 3. fsck the shard's directory and re-open a fresh
+    ///    [`DurableWarehouse`] from it on the *same* storage backend,
+    ///    both without holding the backing lock (reads keep answering
+    ///    from the old in-memory image throughout);
+    /// 4. checkpoint the fresh store as a write probe — a repair must
+    ///    not declare a still-broken disk healthy just because replaying
+    ///    the journal needed no writes;
+    /// 5. swap the fresh store in under the backing lock (atomic from
+    ///    every other thread's point of view) and mark the shard
+    ///    `Healthy`.
+    ///
+    /// On any failure the shard returns to `Quarantined` and the error is
+    /// surfaced; the old backing keeps serving reads either way. Memory
+    /// shards have no disk to rebuild from, so their "repair" just
+    /// re-admits them to the write path.
+    pub fn repair_shard(&self, sh: usize) -> Result<RepairOutcome, DurableError> {
+        if sh >= self.shards.len() {
+            return Err(DurableError::BadManifest(format!(
+                "no shard {sh} (router has {})",
+                self.shards.len()
+            )));
+        }
+        let started = Instant::now();
+        {
+            let mut sup = lock(&self.supervision[sh]);
+            if sup.state == ShardState::Rebuilding {
+                return Err(DurableError::BadManifest(format!(
+                    "shard {sh} is already rebuilding"
+                )));
+            }
+            if sup.state.accepts_writes() {
+                sup.quarantines += 1;
+            }
+            sup.state = ShardState::Rebuilding;
+        }
+        // Barrier: wait out any mutation that passed its state check
+        // before we flipped it, and capture what we need for the rebuild.
+        let source = {
+            let guard = lock(&self.shards[sh]);
+            match &*guard {
+                ShardBacking::Memory(_) => None,
+                ShardBacking::Durable(dw) => Some((dw.io(), dw.dir().to_path_buf(), dw.options())),
+            }
+        };
+        let Some((io, dir, options)) = source else {
+            // In-memory shard: nothing on disk to verify or replay.
+            let nanos = started.elapsed().as_nanos() as u64;
+            let mut sup = lock(&self.supervision[sh]);
+            sup.state = ShardState::Healthy;
+            sup.repairs += 1;
+            sup.last_repair_nanos = nanos;
+            return Ok(RepairOutcome {
+                shard: sh,
+                fsck: None,
+                nanos,
+            });
+        };
+        let rebuilt = fsck_with(&*io, &dir).and_then(|report| {
+            let mut fresh = DurableWarehouse::open_with(Arc::clone(&io), &dir, options)?;
+            // Write probe: recovery alone may need no writes at all, and
+            // a repair must not declare a dead disk healthy.
+            fresh.checkpoint()?;
+            Ok((report, fresh))
+        });
+        match rebuilt {
+            Ok((report, fresh)) => {
+                {
+                    let mut guard = lock(&self.shards[sh]);
+                    *guard = ShardBacking::Durable(Box::new(fresh));
+                }
+                let nanos = started.elapsed().as_nanos() as u64;
+                {
+                    let mut sup = lock(&self.supervision[sh]);
+                    sup.state = ShardState::Healthy;
+                    sup.repairs += 1;
+                    sup.last_repair_nanos = nanos;
+                }
+                lock(&self.shards[sh])
+                    .warehouse()
+                    .metrics_registry()
+                    .record_repair(nanos);
+                Ok(RepairOutcome {
+                    shard: sh,
+                    fsck: Some(report),
+                    nanos,
+                })
+            }
+            Err(e) => {
+                let mut sup = lock(&self.supervision[sh]);
+                sup.state = ShardState::Quarantined;
+                sup.failed_repairs += 1;
+                Err(e)
+            }
+        }
     }
 
     /// Slow queries across every shard (shard order, capture order within
@@ -1278,10 +1591,16 @@ impl ShardRouter {
         }
     }
 
-    /// Checkpoints every durable shard (no-op for memory shards).
+    /// Checkpoints every durable shard that is still in the write path
+    /// (no-op for memory shards; quarantined/rebuilding shards are
+    /// skipped — forcing writes at a sick disk during drain would only
+    /// stall the shutdown, and repair re-checkpoints on swap anyway).
     pub fn checkpoint(&self) -> WhResult<()> {
-        for s in &self.shards {
+        for (i, s) in self.shards.iter().enumerate() {
             let mut guard = lock(s);
+            if !lock(&self.supervision[i]).state.accepts_writes() {
+                continue;
+            }
             if let ShardBacking::Durable(dw) = &mut *guard {
                 dw.checkpoint().map_err(durability_err)?;
             }
@@ -1736,6 +2055,140 @@ mod tests {
         // Id sequences continue where they left off.
         let next = reopened.load_log(sid, &log).unwrap();
         assert_eq!(next, RunId(5));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn quarantined_shard_refuses_writes_serves_reads_and_readmits() {
+        let router = ShardRouter::in_memory(3);
+        let s = spec("sup");
+        let sid = router.register_spec(&s).unwrap();
+        let vid = router
+            .register_view(sid, &zoom_model::UserView::admin(&s))
+            .unwrap();
+        let log = log_of(&s);
+        let loaded: Vec<RunId> = (0..6)
+            .map(|_| router.load_log(sid, &log).unwrap())
+            .collect();
+
+        // Quarantine the shard the NEXT run would land on.
+        let target = router.shard_of(RunId(router.run_count()));
+        assert!(router.quarantine_shard(target));
+        assert!(!router.quarantine_shard(target), "already quarantined");
+        assert_eq!(router.shard_state(target), ShardState::Quarantined);
+
+        // Writes to it answer the typed refusal; the dense allocator is
+        // untouched, so the retry below assigns the same global id.
+        let before = router.run_count();
+        let err = router.load_log(sid, &log).unwrap_err();
+        assert!(matches!(
+            err,
+            WarehouseError::ShardUnavailable { shard, retry_after_ms }
+                if shard == target as u32 && retry_after_ms == DEFAULT_RETRY_AFTER_MS
+        ));
+        assert_eq!(router.run_count(), before, "refused load burned an id");
+
+        // Broadcasts are refused while any shard is out of the pool.
+        assert!(matches!(
+            router.register_spec(&spec("other")).unwrap_err(),
+            WarehouseError::ShardUnavailable { .. }
+        ));
+
+        // Reads keep serving from every shard, quarantined included.
+        for rid in &loaded {
+            let deep = router.deep_provenance(*rid, vid, DataId(3)).unwrap();
+            assert_eq!(deep.tuples(), 3);
+        }
+
+        // Health overlays the supervisor state.
+        let health = router.health();
+        assert_eq!(health[target].state, ShardState::Quarantined);
+        assert!(!health[target].writable);
+        assert_eq!(health[target].quarantines, 1);
+
+        // Memory shards repair trivially: no disk, nothing to fsck.
+        let outcome = router.repair_shard(target).unwrap();
+        assert_eq!(outcome.shard, target);
+        assert!(outcome.fsck.is_none());
+        assert_eq!(router.shard_state(target), ShardState::Healthy);
+        assert_eq!(router.load_log(sid, &log).unwrap(), RunId(before));
+        assert_eq!(router.health()[target].repairs, 1);
+    }
+
+    #[test]
+    fn durable_shard_repairs_online_with_fsck_and_write_probe() {
+        let dir = std::env::temp_dir().join(format!("zoomd-repair-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faulty = Arc::new(crate::io::FaultFs::counting());
+        let ios: Vec<Arc<dyn StorageIo>> = vec![
+            Arc::new(RealFs),
+            faulty.clone() as Arc<dyn StorageIo>,
+            Arc::new(RealFs),
+        ];
+        let router =
+            ShardRouter::open_durable_with(&dir, 3, DurableOptions::default(), &ios).unwrap();
+        let s = spec("repair");
+        let sid = router.register_spec(&s).unwrap();
+        let vid = router
+            .register_view(sid, &zoom_model::UserView::admin(&s))
+            .unwrap();
+        let log = log_of(&s);
+        let loaded: Vec<RunId> = (0..6)
+            .map(|_| router.load_log(sid, &log).unwrap())
+            .collect();
+
+        // Sicken shard 1's disk and quarantine it.
+        faulty.arm_failures(u64::MAX, false);
+        assert!(router.quarantine_shard(1));
+
+        // Repair must FAIL while the disk still rejects writes: fsck and
+        // journal replay are read-only, so only the write probe can tell.
+        assert!(router.repair_shard(1).is_err());
+        assert_eq!(router.shard_state(1), ShardState::Quarantined);
+
+        // Heal the disk; the retried repair fscks, replays, probes, swaps.
+        faulty.heal();
+        let outcome = router.repair_shard(1).unwrap();
+        let report = outcome.fsck.expect("durable repair carries an fsck report");
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(router.shard_state(1), ShardState::Healthy);
+
+        // The swapped-in shard answers byte-identically and takes writes.
+        for rid in &loaded {
+            let deep = router.deep_provenance(*rid, vid, DataId(3)).unwrap();
+            assert_eq!(deep.tuples(), 3);
+        }
+        router.load_log(sid, &log).unwrap();
+        let health = router.health();
+        assert_eq!(health[1].repairs, 1);
+        assert!(health[1].last_repair_nanos > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn supervise_once_tracks_breaker_state() {
+        let dir = std::env::temp_dir().join(format!("zoomd-supervise-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let faulty = Arc::new(crate::io::FaultFs::counting());
+        let ios: Vec<Arc<dyn StorageIo>> = vec![faulty.clone() as Arc<dyn StorageIo>];
+        let mut options = DurableOptions::default();
+        options.retry.max_attempts = 1;
+        let router = ShardRouter::open_durable_with(&dir, 1, options, &ios).unwrap();
+        let s = spec("breaker");
+        let sid = router.register_spec(&s).unwrap();
+        let log = log_of(&s);
+        router.load_log(sid, &log).unwrap();
+        assert_eq!(router.supervise_once(), vec![ShardState::Healthy]);
+
+        // Enough sticky failures to trip the breaker flag the shard
+        // Degraded — still in the write path (the breaker stays the
+        // authority on admission) but visible to the supervisor.
+        faulty.arm_failures(u64::MAX, false);
+        for _ in 0..DurableOptions::default().breaker_threshold {
+            let _ = router.load_log(sid, &log);
+        }
+        assert_eq!(router.supervise_once(), vec![ShardState::Degraded]);
+        faulty.heal();
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -968,14 +968,18 @@ fn health(target: &Path, json: bool) -> Result<(), String> {
     }
     let status = if h.writable { "ok" } else { "degraded" };
     out!("status            : {status}");
+    out!("state             : {}", h.state);
     out!("writable          : {}", h.writable);
     out!("durable           : {}", h.durable);
+    out!("epoch             : {}", h.epoch);
     out!("breaker           : {}", h.breaker);
     out!("consec. failures  : {}", h.consecutive_failures);
     out!("breaker trips     : {}", h.breaker_trips);
     out!("breaker recoveries: {}", h.breaker_recoveries);
     out!("io retries        : {}", h.io_retries);
     out!("writes rejected   : {}", h.degraded_writes_rejected);
+    out!("quarantines       : {}", h.quarantines);
+    out!("repairs           : {}", h.repairs);
     Ok(())
 }
 
@@ -1358,18 +1362,32 @@ fn join_or_none(items: &[String]) -> String {
 fn remote_health(rz: &mut zoom::core::RemoteZoom, json: bool) -> Result<(), String> {
     let shards = rz.health_per_shard().map_err(rerr)?;
     if json {
-        let rows: Vec<String> = shards.iter().map(|h| h.to_json()).collect();
+        // Per-shard breakdown: each report tagged with its shard index so
+        // dashboards can address rows without relying on array order.
+        let rows: Vec<String> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let body = h.to_json();
+                format!("{{\"shard\":{i},{}", &body[1..])
+            })
+            .collect();
         out!("[{}]", rows.join(","));
         return Ok(());
     }
     for (i, h) in shards.iter().enumerate() {
-        let status = if h.writable { "ok" } else { "degraded" };
         out!(
-            "shard {i:<3} {status:<9} durable={} breaker={} trips={} retries={}",
+            "shard {i:<3} {:<12} durable={} breaker={} epoch={} trips={} retries={} \
+             quarantines={} repairs={} last_repair_ms={:.1}",
+            h.state,
             h.durable,
             h.breaker,
+            h.epoch,
             h.breaker_trips,
-            h.io_retries
+            h.io_retries,
+            h.quarantines,
+            h.repairs,
+            h.last_repair_nanos as f64 / 1e6
         );
     }
     Ok(())

@@ -410,3 +410,107 @@ fn replayed_trace_survives_transient_faults_without_divergence() {
     }
     std::fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Seeded fault schedules against the shard router
+// ---------------------------------------------------------------------------
+
+/// The deterministic chaos driver end-to-end at the router level: the same
+/// seed must produce the same per-op outcome trace on two independent
+/// router instances (distinct directories, same fault plan), every shard
+/// must be repairable once its disk heals, and every acknowledged load
+/// must survive quarantine + repair + checkpoint + reopen.
+#[test]
+fn seeded_fault_schedule_reproduces_router_outcomes_and_loses_no_acks() {
+    use zoom::model::EventLog;
+    use zoom::warehouse::{ChaosDriver, FaultSchedule, ShardRouter, ShardState, StorageIo};
+
+    const SHARDS: usize = 2;
+    const OPS: u64 = 40;
+
+    let twitchy = || {
+        let mut o = no_compact();
+        o.retry = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        o.breaker_threshold = 2;
+        o
+    };
+
+    // One episode: drive OPS loads through a fault-scheduled router,
+    // returning (per-op outcome trace, acked count, run_count at reopen).
+    let episode = |seed: u64, name: &str| -> (Vec<String>, u32) {
+        let dir = tempdir(name);
+        let ios: Vec<Arc<FaultFs>> = (0..SHARDS).map(|_| Arc::new(FaultFs::counting())).collect();
+        let dyn_ios: Vec<Arc<dyn StorageIo>> = ios
+            .iter()
+            .map(|f| Arc::clone(f) as Arc<dyn StorageIo>)
+            .collect();
+        let router = ShardRouter::open_durable_with(&dir, SHARDS, twitchy(), &dyn_ios).unwrap();
+        let s = spec("chaos-schedule");
+        let log = EventLog::from_run(&run(&s), &s);
+        let sid = router.register_spec(&s).unwrap();
+
+        let schedule = FaultSchedule::generate(seed, SHARDS, OPS, 3);
+        let mut driver = ChaosDriver::new(schedule, ios.clone());
+        let mut trace = Vec::new();
+        let mut acked = 0u32;
+        while driver.op() < OPS {
+            driver.tick();
+            // Outcome classes only — durability error renderings embed
+            // the (per-episode) directory path.
+            match router.load_log(sid, &log) {
+                Ok(rid) => {
+                    acked += 1;
+                    trace.push(format!("ok:{}", rid.0));
+                }
+                Err(WarehouseError::ShardUnavailable { shard, .. }) => {
+                    trace.push(format!("unavailable:{shard}"));
+                }
+                Err(_) => trace.push("refused".to_string()),
+            }
+            // The supervisor pass: sync breaker state, quarantine any
+            // shard the breaker has given up on.
+            for (sh, st) in router.supervise_once().into_iter().enumerate() {
+                if st == ShardState::Degraded {
+                    router.quarantine_shard(sh);
+                    trace.push(format!("quarantined:{sh}"));
+                }
+            }
+        }
+
+        // Heal every disk and repair whatever is out of the write path;
+        // repair must succeed and re-admit each shard.
+        for (sh, io) in ios.iter().enumerate() {
+            io.heal();
+            if router.shard_state(sh) != ShardState::Healthy {
+                let outcome = router.repair_shard(sh).unwrap();
+                assert_eq!(outcome.shard, sh);
+                assert!(outcome.fsck.is_some(), "durable repair carries fsck");
+            }
+            assert_eq!(router.shard_state(sh), ShardState::Healthy);
+        }
+        router.checkpoint().unwrap();
+        let persisted = router.run_count();
+        drop(router);
+
+        // Zero lost acks: a cold reopen still holds every acknowledged
+        // run (refused loads burned no id, so the counts line up).
+        let reopened = ShardRouter::open_durable_with(&dir, SHARDS, twitchy(), &dyn_ios).unwrap();
+        assert_eq!(reopened.run_count(), persisted);
+        assert_eq!(reopened.run_count(), acked);
+        std::fs::remove_dir_all(&dir).ok();
+        (trace, acked)
+    };
+
+    let (trace_a, acked_a) = episode(0xC0FFEE, "sched-a");
+    let (trace_b, acked_b) = episode(0xC0FFEE, "sched-b");
+    assert_eq!(trace_a, trace_b, "same seed must replay identically");
+    assert_eq!(acked_a, acked_b);
+    assert!(acked_a > 0, "the schedule refused every load");
+    assert!(
+        trace_a.iter().any(|t| !t.starts_with("ok:")),
+        "the schedule never faulted anything — widen it"
+    );
+}

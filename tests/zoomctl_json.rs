@@ -241,6 +241,12 @@ fn health_json_is_well_formed_for_snapshots() {
         "\"breaker_recoveries\"",
         "\"io_retries\"",
         "\"degraded_writes_rejected\"",
+        // shard supervision (DESIGN.md §17)
+        "\"state\"",
+        "\"epoch\"",
+        "\"quarantines\"",
+        "\"repairs\"",
+        "\"last_repair_nanos\"",
     ] {
         assert!(json.contains(key), "health --json is missing {key}\n{json}");
     }
@@ -252,6 +258,72 @@ fn health_json_is_well_formed_for_snapshots() {
     assert!(text.contains("status            : ok"), "{text}");
 
     let _ = std::fs::remove_file(&snap);
+}
+
+/// `health --json` against a live daemon must emit one object per shard,
+/// each tagged with its shard index and carrying the supervision fields
+/// (DESIGN.md §17) dashboards key on.
+#[test]
+fn remote_health_json_has_per_shard_breakdown() {
+    use std::io::BufRead;
+
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_zoomd"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--shards",
+            "3",
+            "--supervise",
+            "20",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("zoomd spawns");
+    let addr = {
+        let stdout = daemon.stdout.as_mut().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("zoomd announces its address");
+        line.split_whitespace()
+            .nth(2)
+            .expect("address in announce line")
+            .to_string()
+    };
+
+    let json = run_ok(zoomctl().args(["--connect", &addr, "health", "--json"]));
+    assert_well_formed(&json);
+    for shard in 0..3 {
+        assert!(
+            json.contains(&format!("\"shard\":{shard},")),
+            "missing shard {shard} object:\n{json}"
+        );
+    }
+    for key in [
+        "\"state\":\"healthy\"",
+        "\"epoch\"",
+        "\"quarantines\":0",
+        "\"repairs\":0",
+        "\"last_repair_nanos\":0",
+        "\"breaker\":\"closed\"",
+    ] {
+        assert!(json.contains(key), "health --json is missing {key}\n{json}");
+    }
+    // Exactly one object per shard.
+    assert_eq!(json.matches("\"shard\":").count(), 3, "{json}");
+
+    // The human rendering carries the same per-shard supervision columns.
+    let text = run_ok(zoomctl().args(["--connect", &addr, "health"]));
+    for needle in ["shard 0", "healthy", "quarantines=0", "repairs=0"] {
+        assert!(
+            text.contains(needle),
+            "health text missing {needle}:\n{text}"
+        );
+    }
+
+    run_ok(zoomctl().args(["--connect", &addr, "shutdown"]));
+    let status = daemon.wait().expect("zoomd exits after shutdown");
+    assert!(status.success(), "zoomd exited with {status}");
 }
 
 /// A tenant name full of JSON metacharacters must come out of
